@@ -1,0 +1,93 @@
+// C1 — §II claim: delayed vs immediate initiation.
+//
+// Delayed initiation "enforces global synchronization between large
+// groups of processes"; immediate initiation lets early enrollers make
+// progress. We sweep the arrival stagger of a broadcast cast and
+// measure time-to-first-communication and the early enrollers' idle
+// time under both policies.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::Initiation;
+using script::core::Params;
+using script::core::role;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+
+struct Shape {
+  std::uint64_t first_comm = 0;  // when recipient[0] has the datum
+  std::uint64_t completion = 0;
+};
+
+Shape run_policy(Initiation init, std::size_t n, std::uint64_t gap) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  script::runtime::UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  ScriptSpec spec("bc");
+  spec.role("sender").role_family("recipient", n);
+  spec.initiation(init).termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  Shape shape;
+  inst.on_role("sender", [n](RoleContext& ctx) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto r = ctx.send(role("recipient", static_cast<int>(i)), 1);
+      if (!r) std::abort();
+    }
+  });
+  inst.on_role("recipient", [&shape](RoleContext& ctx) {
+    auto v = ctx.recv<int>(RoleId("sender"));
+    if (!v) std::abort();
+    if (ctx.index() == 0) shape.first_comm = ctx.scheduler().now();
+  });
+  net.spawn_process("T", [&] { inst.enroll(RoleId("sender")); });
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(gap * i);  // recipient[0] arrives immediately
+      inst.enroll(role("recipient", static_cast<int>(i)));
+    });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  shape.completion = result.final_time;
+  return shape;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C1", "delayed vs immediate initiation");
+
+  constexpr std::size_t kN = 8;
+  bench::Table table({"arrival gap", "initiation", "first delivery",
+                      "completion"});
+  for (const std::uint64_t gap : {0u, 10u, 100u, 1000u}) {
+    const auto delayed = run_policy(Initiation::Delayed, kN, gap);
+    const auto immediate = run_policy(Initiation::Immediate, kN, gap);
+    table.add_row(
+        {bench::Table::integer(static_cast<std::int64_t>(gap)), "delayed",
+         bench::Table::integer(static_cast<std::int64_t>(delayed.first_comm)),
+         bench::Table::integer(
+             static_cast<std::int64_t>(delayed.completion))});
+    table.add_row(
+        {bench::Table::integer(static_cast<std::int64_t>(gap)), "immediate",
+         bench::Table::integer(
+             static_cast<std::int64_t>(immediate.first_comm)),
+         bench::Table::integer(
+             static_cast<std::int64_t>(immediate.completion))});
+  }
+  table.print();
+  bench::note("under immediate initiation the first delivery happens at "
+              "~1 tick regardless of stragglers; delayed initiation pins "
+              "it to the LAST arrival — the global-synchronization cost "
+              "the paper attributes to the policy.");
+  return 0;
+}

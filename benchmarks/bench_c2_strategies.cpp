@@ -1,0 +1,76 @@
+// C2 — §II: broadcast strategies over a multi-hop network (refs [12,14]
+// of the paper discuss "various broadcast patterns and their relative
+// merits"). The script hides the strategy; this bench regenerates the
+// merit comparison: completion time and message-hop cost of star,
+// pipeline, and d-ary tree bodies on ring and complete topologies.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+template <typename Broadcast, typename... Extra>
+std::uint64_t run_strategy(std::size_t n,
+                           script::runtime::Topology topo,
+                           Extra... extra) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  net.set_latency_model(&topo);
+  Broadcast bc(net, n, extra...);
+  net.spawn_process("T", [&] { bc.send(1); });
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&, i] { bc.receive(static_cast<int>(i)); });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  return result.final_time;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C2", "broadcast strategy merits on network topologies");
+
+  using script::patterns::PipelineBroadcast;
+  using script::patterns::StarBroadcast;
+  using script::patterns::TreeBroadcast;
+  using script::runtime::Topology;
+
+  bench::Table table({"n", "topology", "star", "pipeline", "tree(d=2)",
+                      "tree(d=4)"});
+  for (const std::size_t n : {7u, 15u, 31u}) {
+    // Node 0 hosts the sender; recipients wrap onto nodes 1..n.
+    const std::size_t nodes = n + 1;
+    for (const char* topo_name : {"complete", "ring"}) {
+      auto make = [&]() {
+        return std::string(topo_name) == "complete"
+                   ? Topology::complete(nodes, 1)
+                   : Topology::ring(nodes, 1);
+      };
+      const auto star = run_strategy<StarBroadcast<int>>(n, make());
+      const auto pipe = run_strategy<PipelineBroadcast<int>>(n, make());
+      const auto tree2 =
+          run_strategy<TreeBroadcast<int>>(n, make(), std::size_t{2});
+      const auto tree4 =
+          run_strategy<TreeBroadcast<int>>(n, make(), std::size_t{4});
+      table.add_row(
+          {bench::Table::integer(static_cast<std::int64_t>(n)), topo_name,
+           bench::Table::integer(static_cast<std::int64_t>(star)),
+           bench::Table::integer(static_cast<std::int64_t>(pipe)),
+           bench::Table::integer(static_cast<std::int64_t>(tree2)),
+           bench::Table::integer(static_cast<std::int64_t>(tree4))});
+    }
+  }
+  table.print();
+  bench::note("on a complete graph the tree wins (parallel waves, "
+              "O(d log n) vs star's O(n)); on a ring the pipeline matches "
+              "the topology (neighbour hops) while star and tree pay "
+              "multi-hop routes. The enrolling code is IDENTICAL for all "
+              "four columns — only the script body changed, which is the "
+              "paper's abstraction payoff.");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// C4 — §IV/§V: centralized vs distributed control of performances.
+//
+// The paper's translations centralize enrollment in a supervisor
+// process and explicitly wish for "distributed algorithms to achieve
+// such multiple synchronization". We compare, per performance of an
+// empty n-role script over a unit-latency network:
+//   * the CSP supervisor p_s (Figure 7): O(n) messages through one
+//     serialization point;
+//   * DistributedCast: O(n^2) messages, no coordinator, no extra
+//     process.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "script/distributed.hpp"
+#include "scripts/csp_embedding.hpp"
+
+namespace {
+
+struct Cost {
+  double msgs_per_perf = 0;
+  double ticks_per_perf = 0;
+  std::size_t extra_processes = 0;
+};
+
+Cost run_supervisor(std::size_t n, int perfs) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  script::runtime::UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  script::embeddings::CspSupervisor sup(net, n, "s");
+  sup.spawn();
+  int done = 0;
+  for (std::size_t r = 0; r < n; ++r)
+    net.spawn_process("p" + std::to_string(r), [&, r] {
+      for (int p = 0; p < perfs; ++p) {
+        sup.enroll_start(r);
+        sup.enroll_end(r);
+      }
+      if (++done == static_cast<int>(n)) sup.shutdown();
+    });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  return {static_cast<double>(net.rendezvous_count()) / perfs,
+          static_cast<double>(result.final_time) / perfs, 1};
+}
+
+Cost run_distributed(std::size_t n, int perfs) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  script::runtime::UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  std::vector<bench::ProcessId> members(n);
+  std::unique_ptr<script::core::DistributedCast> cast;
+  for (std::size_t i = 0; i < n; ++i)
+    members[i] = net.spawn_process("m" + std::to_string(i), [&, i] {
+      for (int p = 0; p < perfs; ++p) {
+        cast->enroll(i);
+        cast->complete(i);
+      }
+    });
+  cast = std::make_unique<script::core::DistributedCast>(net, members, "dc");
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  return {static_cast<double>(net.rendezvous_count()) / perfs,
+          static_cast<double>(result.final_time) / perfs, 0};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("C4", "centralized supervisor vs distributed enrollment");
+
+  constexpr int kPerfs = 20;
+  bench::Table table({"members n", "control", "msgs/perf", "ticks/perf",
+                      "extra processes"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+    const auto sup = run_supervisor(n, kPerfs);
+    const auto dist = run_distributed(n, kPerfs);
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "supervisor p_s", bench::Table::num(sup.msgs_per_perf, 1),
+                   bench::Table::num(sup.ticks_per_perf, 1),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(sup.extra_processes))});
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "distributed cast",
+                   bench::Table::num(dist.msgs_per_perf, 1),
+                   bench::Table::num(dist.ticks_per_perf, 1),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(dist.extra_processes))});
+  }
+  table.print();
+  bench::note("the supervisor serializes 2n messages per performance "
+              "(latency grows ~2n ticks); the distributed protocol "
+              "exchanges ~2n(n-1) messages but overlaps them, so its "
+              "latency grows slower than its message count — the classic "
+              "coordinator-vs-gossip trade the paper anticipates.");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// C5 — ablation: what does the script abstraction itself cost?
+//
+// Wall-clock google-benchmark comparison of one broadcast performance:
+//   * raw CSP channel sends (no abstraction at all),
+//   * hand-coded CSP broadcast (Figure 6 style, guarded repetitive),
+//   * the StarBroadcast script (full enrollment machinery: matching,
+//     performance lifecycle, data-parameter binding).
+// The delta between rows is the price of the paper's mechanism in this
+// implementation.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "csp/alternative.hpp"
+#include "csp/net.hpp"
+#include "runtime/scheduler.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+
+void BM_RawChannelSends(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    Net net(sched);
+    std::vector<ProcessId> rx(n);
+    ProcessId tx = 0;
+    tx = net.spawn_process("tx", [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!net.send(rx[i], "x", 1)) std::abort();
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      rx[i] = net.spawn_process("rx" + std::to_string(i), [&] {
+        if (!net.recv<int>(tx, "x")) std::abort();
+      });
+    if (!sched.run().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_HandCodedCspBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    Net net(sched);
+    std::vector<ProcessId> rx(n);
+    ProcessId tx = 0;
+    tx = net.spawn_process("tx", [&] {
+      std::vector<bool> sent(n, false);
+      script::csp::repetitive(net, [&](script::csp::Alternative& alt) {
+        for (std::size_t k = 0; k < n; ++k)
+          alt.send_case<int>(
+              rx[k], "x", 1, [&sent, k] { sent[k] = true; },
+              /*guard=*/!sent[k]);
+      });
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      rx[i] = net.spawn_process("rx" + std::to_string(i), [&] {
+        if (!net.recv<int>(tx, "x")) std::abort();
+      });
+    if (!sched.run().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_ScriptStarBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    Net net(sched);
+    script::patterns::StarBroadcast<int> bc(net, n);
+    net.spawn_process("tx", [&] { bc.send(1); });
+    for (std::size_t i = 0; i < n; ++i)
+      net.spawn_process("rx" + std::to_string(i),
+                        [&, i] { bc.receive(static_cast<int>(i)); });
+    if (!sched.run().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_ScriptReuse(benchmark::State& state) {
+  // Amortized cost when the instance is built once and performances
+  // repeat — the intended usage pattern.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kPerfs = 16;
+  for (auto _ : state) {
+    Scheduler sched;
+    Net net(sched);
+    script::patterns::StarBroadcast<int> bc(net, n);
+    net.spawn_process("tx", [&] {
+      for (int p = 0; p < kPerfs; ++p) bc.send(p);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      net.spawn_process("rx" + std::to_string(i), [&, i] {
+        for (int p = 0; p < kPerfs; ++p) bc.receive(static_cast<int>(i));
+      });
+    if (!sched.run().ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n) * kPerfs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawChannelSends)->Arg(5)->Arg(20);
+BENCHMARK(BM_HandCodedCspBroadcast)->Arg(5)->Arg(20);
+BENCHMARK(BM_ScriptStarBroadcast)->Arg(5)->Arg(20);
+BENCHMARK(BM_ScriptReuse)->Arg(5)->Arg(20);
+
+BENCHMARK_MAIN();

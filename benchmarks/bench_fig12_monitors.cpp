@@ -1,0 +1,84 @@
+// F12 — Figure 12: mailbox broadcast with monitors.
+//
+// The paper weighs two packagings: "the first uses a single monitor to
+// house all of the mailboxes [...] but all access to any mailbox is
+// serialized. The second [...] one monitor per mailbox [...] eliminates
+// the unnecessary concurrency restrictions." With a fixed per-access
+// cost inside the monitor, the single-monitor broadcast completes in
+// O(n) serialized sections while the per-mailbox scheme overlaps all
+// recipient withdrawals.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "monitor/mailbox.hpp"
+#include "scripts/mailbox_broadcast.hpp"
+
+namespace {
+
+constexpr std::uint64_t kCost = 10;  // ticks held inside the monitor
+
+// Single monitor housing all n mailboxes.
+std::uint64_t run_bank(std::size_t n, std::uint64_t* contended) {
+  bench::Scheduler sched;
+  script::monitor::MailboxBank<int> bank(sched, "bank", n, kCost);
+  sched.spawn("sender", [&] {
+    for (std::size_t i = 0; i < n; ++i) bank.put(i, 1);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    sched.spawn("r" + std::to_string(i), [&, i] { (void)bank.get(i); });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  *contended = bank.monitor().contended_entries();
+  return result.final_time;
+}
+
+// Figure 12 proper: the script packages one monitor per mailbox.
+std::uint64_t run_per_mailbox(std::size_t n, std::uint64_t* contended) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  script::patterns::MailboxBroadcast<int> bc(net, n, "mbc", kCost);
+  net.spawn_process("sender", [&] { bc.send(1); });
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("r" + std::to_string(i),
+                      [&, i] { (void)bc.receive(static_cast<int>(i)); });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  std::uint64_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += bc.mailbox(i).monitor().contended_entries();
+  *contended = c;
+  return result.final_time;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F12", "Figure 12: one monitor vs one monitor per mailbox");
+
+  bench::Table table({"recipients", "packaging", "completion ticks",
+                      "contended entries"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    std::uint64_t bank_contended = 0, multi_contended = 0;
+    const auto bank_time = run_bank(n, &bank_contended);
+    const auto multi_time = run_per_mailbox(n, &multi_contended);
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "single monitor (bank)",
+                   bench::Table::integer(static_cast<std::int64_t>(bank_time)),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(bank_contended))});
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "per-mailbox (fig 12)",
+                   bench::Table::integer(static_cast<std::int64_t>(multi_time)),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(multi_contended))});
+  }
+  table.print();
+  bench::note("bank completion is ~2n serialized monitor sections; the "
+              "per-mailbox script overlaps every withdrawal behind the "
+              "sender's serial deposits (~n+1 sections) and eliminates "
+              "recipient-vs-recipient contention — the script gives back "
+              "the packaging without the serialization.");
+  return 0;
+}

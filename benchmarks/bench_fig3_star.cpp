@@ -1,0 +1,58 @@
+// F3 — Figure 3: the synchronized star broadcast.
+//
+// Fully synchronized semantics (delayed/delayed): "all wait until the
+// last copy is sent". With a unit-cost link, total completion time and
+// every role's time-in-script grow LINEARLY in the number of
+// recipients, because the sender transmits serially; and the sender is
+// "never blocked while waiting for a recipient" — its time-in-script
+// equals exactly n sends.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+
+int main() {
+  bench::banner("F3", "Figure 3: synchronized star broadcast");
+
+  constexpr std::uint64_t kLatency = 10;
+  bench::Table table({"recipients", "completion", "sender in-script",
+                      "recipient in-script (mean)", "rendezvous"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    bench::Scheduler sched;
+    bench::Net net(sched);
+    script::runtime::UniformLatency lat(kLatency);
+    net.set_latency_model(&lat);
+    script::patterns::StarBroadcast<int> bc(net, n);
+
+    std::uint64_t sender_time = 0;
+    bench::Summary recipient_time;
+    net.spawn_process("T", [&] {
+      const auto t0 = sched.now();
+      bc.send(7);
+      sender_time = sched.now() - t0;
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      net.spawn_process("R" + std::to_string(i), [&, i] {
+        const auto t0 = sched.now();
+        bc.receive(static_cast<int>(i));
+        recipient_time.add(static_cast<double>(sched.now() - t0));
+      });
+    const auto result = sched.run();
+    bench::expect_clean(result, sched);
+
+    table.add_row(
+        {bench::Table::integer(static_cast<std::int64_t>(n)),
+         bench::Table::integer(static_cast<std::int64_t>(result.final_time)),
+         bench::Table::integer(static_cast<std::int64_t>(sender_time)),
+         bench::Table::num(recipient_time.mean(), 1),
+         bench::Table::integer(
+             static_cast<std::int64_t>(net.rendezvous_count()))});
+  }
+  table.print();
+  bench::note("completion = n x link latency (serial star); every role is "
+              "held until the last copy lands (delayed termination), so "
+              "recipient time-in-script equals completion time.");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// F4 — Figure 4: pipeline broadcast vs the synchronized star.
+//
+// The paper's claim: "The immediate initiation and termination permit
+// processes to spend much less time in the script, than in the previous
+// example." We stagger recipient arrivals (recipient[i] shows up at
+// i*gap) and measure each role's time-in-script under both scripts.
+// In the star, early arrivals idle until the whole cast assembles; in
+// the pipeline each role leaves as soon as its neighbour took the
+// datum — mean time-in-script drops from O(n*gap) to O(gap).
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+struct Shape {
+  double sender_time = 0;
+  double recipient_mean = 0;
+  double recipient_max = 0;
+  std::uint64_t completion = 0;
+};
+
+template <typename Broadcast>
+Shape run_one(std::size_t n, std::uint64_t gap) {
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  script::runtime::UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  Broadcast bc(net, n);
+
+  Shape shape;
+  bench::Summary in_script;
+  net.spawn_process("T", [&] {
+    const auto t0 = sched.now();
+    bc.send(1);
+    shape.sender_time = static_cast<double>(sched.now() - t0);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(gap * (i + 1));
+      const auto t0 = sched.now();
+      bc.receive(static_cast<int>(i));
+      in_script.add(static_cast<double>(sched.now() - t0));
+    });
+  const auto result = sched.run();
+  bench::expect_clean(result, sched);
+  shape.recipient_mean = in_script.mean();
+  shape.recipient_max = in_script.max();
+  shape.completion = result.final_time;
+  return shape;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F4",
+                "Figure 4: pipeline broadcast — time-in-script vs the star");
+
+  constexpr std::uint64_t kGap = 100;  // recipient arrival stagger
+  bench::Table table({"n", "script", "sender in-script",
+                      "recipient in-script mean", "max", "completion"});
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    const auto star =
+        run_one<script::patterns::StarBroadcast<int>>(n, kGap);
+    const auto pipe =
+        run_one<script::patterns::PipelineBroadcast<int>>(n, kGap);
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "star (fig 3)", bench::Table::num(star.sender_time, 0),
+                   bench::Table::num(star.recipient_mean, 0),
+                   bench::Table::num(star.recipient_max, 0),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(star.completion))});
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
+                   "pipeline (fig 4)",
+                   bench::Table::num(pipe.sender_time, 0),
+                   bench::Table::num(pipe.recipient_mean, 0),
+                   bench::Table::num(pipe.recipient_max, 0),
+                   bench::Table::integer(
+                       static_cast<std::int64_t>(pipe.completion))});
+  }
+  table.print();
+  bench::note("pipeline recipients spend ~one arrival-gap in the script "
+              "(waiting for their successor) regardless of n; star roles "
+              "idle for the whole cast assembly — 'much less time in the "
+              "script', as the paper claims. The price: a pipeline role "
+              "blocks if its neighbour never arrives.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// F5 — Figure 5: the database lock-manager script.
+//
+// A sequential client issues lock/release requests through the script
+// ("one lock to read, k locks to write") against k manager replicas,
+// with unit link latency. Reported per k: grant ratio, and the
+// virtual-time cost of read locks vs write locks — reads stay O(1) in k
+// (first manager grants), writes are O(k) (every manager must grant),
+// the shape the strategy trades on.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/lock_manager.hpp"
+
+int main() {
+  bench::banner("F5", "Figure 5: replicated lock-manager script");
+
+  bench::Table table({"k managers", "requests", "grant %", "read ticks",
+                      "write ticks", "performances"});
+  for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+    constexpr int kRounds = 20;  // reader lock+release, writer lock+release
+    bench::Scheduler sched;
+    bench::Net net(sched);
+    script::runtime::UniformLatency lat(1);
+    net.set_latency_model(&lat);
+    script::lockdb::ReplicaSet replicas(k, k);
+    script::patterns::LockManagerScript locks(net, replicas);
+
+    const int total_requests = kRounds * 4;
+    for (std::size_t m = 0; m < k; ++m)
+      net.spawn_process("M" + std::to_string(m), [&, m] {
+        for (int r = 0; r < total_requests; ++r) locks.serve_once(m);
+      });
+
+    int granted = 0;
+    bench::Summary read_cost, write_cost;
+    net.spawn_process("client", [&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string item = "item" + std::to_string(r % 4);
+        auto t0 = sched.now();
+        if (locks.reader_lock(item, 1) ==
+            script::patterns::LockStatus::Granted)
+          ++granted;
+        read_cost.add(static_cast<double>(sched.now() - t0));
+        locks.reader_release(item, 1);
+
+        t0 = sched.now();
+        if (locks.writer_lock(item, 2) ==
+            script::patterns::LockStatus::Granted)
+          ++granted;
+        write_cost.add(static_cast<double>(sched.now() - t0));
+        locks.writer_release(item, 2);
+      }
+    });
+    const auto result = sched.run();
+    bench::expect_clean(result, sched);
+
+    table.add_row(
+        {bench::Table::integer(static_cast<std::int64_t>(k)),
+         bench::Table::integer(total_requests),
+         bench::Table::num(100.0 * granted / (2 * kRounds), 1),
+         bench::Table::num(read_cost.mean(), 1),
+         bench::Table::num(write_cost.mean(), 1),
+         bench::Table::integer(static_cast<std::int64_t>(
+             locks.instance().performances_completed()))});
+  }
+  table.print();
+  bench::note("reads cost k+2 ticks (ONE lock round-trip — the first "
+              "manager grants — plus k done-marks); writes cost 3k (k "
+              "sequential lock round-trips plus k done-marks). The "
+              "read-one/write-all slope gap is the trade the script "
+              "hides. A sequential client conflicts with nobody, so "
+              "grants stay at 100%.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// F9-F11 — Figures 9-11: the Ada translation's costs.
+//
+// "This translation has two unfortunate consequences. First, the number
+// of processes grows from n (in the script) to n+m+1 in the
+// translation..." — we tabulate the growth and the per-enrollment
+// start/stop entry latency it induces, against the library core which
+// adds zero processes.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "scripts/ada_embedding.hpp"
+#include "scripts/broadcast.hpp"
+
+int main() {
+  bench::banner("F9-11", "Ada translation: process growth n -> n+m+1");
+
+  bench::Table table({"recipients", "embedding", "enroller processes n",
+                      "total processes", "wall us/perf"});
+  for (const std::size_t n : {3u, 5u, 9u}) {
+    constexpr int kPerfs = 50;
+    const std::size_t enrollers = n + 1;
+
+    // Ada translation.
+    {
+      bench::Scheduler sched;
+      script::embeddings::AdaBroadcastScript bc(sched, n);
+      bc.start();
+      int finished = 0;
+      sched.spawn("T", [&] {
+        for (int p = 0; p < kPerfs; ++p) bc.enroll_sender(p);
+      });
+      for (std::size_t i = 0; i < n; ++i)
+        sched.spawn("R" + std::to_string(i), [&, i] {
+          for (int p = 0; p < kPerfs; ++p) bc.enroll_recipient(i);
+          if (++finished == static_cast<int>(n)) bc.shutdown();
+        });
+      const auto wall_start = std::chrono::steady_clock::now();
+      bench::expect_clean(sched.run(), sched);
+      const auto wall_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      table.add_row(
+          {bench::Table::integer(static_cast<std::int64_t>(n)),
+           "ada translation",
+           bench::Table::integer(static_cast<std::int64_t>(enrollers)),
+           bench::Table::integer(
+               static_cast<std::int64_t>(sched.spawned_count())),
+           bench::Table::num(static_cast<double>(wall_us) / kPerfs, 1)});
+    }
+
+    // Library core.
+    {
+      bench::Scheduler sched;
+      bench::Net net(sched);
+      script::patterns::StarBroadcast<int> bc(net, n);
+      net.spawn_process("T", [&] {
+        for (int p = 0; p < kPerfs; ++p) bc.send(p);
+      });
+      for (std::size_t i = 0; i < n; ++i)
+        net.spawn_process("R" + std::to_string(i), [&, i] {
+          for (int p = 0; p < kPerfs; ++p) bc.receive(static_cast<int>(i));
+        });
+      const auto wall_start = std::chrono::steady_clock::now();
+      bench::expect_clean(sched.run(), sched);
+      const auto wall_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      table.add_row(
+          {bench::Table::integer(static_cast<std::int64_t>(n)),
+           "library core",
+           bench::Table::integer(static_cast<std::int64_t>(enrollers)),
+           bench::Table::integer(
+               static_cast<std::int64_t>(sched.spawned_count())),
+           bench::Table::num(static_cast<double>(wall_us) / kPerfs, 1)});
+    }
+  }
+  table.print();
+  bench::note("ada total = n + m + 1 with m = n+1 roles, exactly the "
+              "paper's growth formula; the library keeps the process count "
+              "at n because roles run as logical continuations of their "
+              "enrollers.");
+  return 0;
+}

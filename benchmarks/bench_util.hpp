@@ -1,0 +1,44 @@
+// Shared scaffolding for the figure/claim benches.
+//
+// These benches measure *shape*, not host speed: latency is virtual
+// time charged by the Net's latency model, so results are exactly
+// reproducible. Wall-clock abstraction overhead is measured separately
+// in bench_c5_ablation with google-benchmark.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "csp/net.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace bench {
+
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+using script::support::Summary;
+using script::support::Table;
+
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("\n================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+/// Asserts the run ended cleanly; prints blocked fibers otherwise.
+inline void expect_clean(const script::runtime::RunResult& result,
+                         const Scheduler& sched) {
+  if (result.ok()) return;
+  std::printf("UNEXPECTED DEADLOCK — blocked fibers:\n");
+  for (const auto& [pid, reason] : result.blocked)
+    std::printf("  %s: %s\n", sched.name_of(pid).c_str(), reason.c_str());
+  std::abort();
+}
+
+}  // namespace bench

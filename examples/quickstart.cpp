@@ -1,0 +1,48 @@
+// Quickstart: the paper's headline example — a broadcast script.
+//
+// Six processes; one enrolls as the sender with a value, five enroll as
+// recipients. The script hides the communication pattern entirely: the
+// same program works whether the script body is a star (Figure 3), a
+// pipeline (Figure 4), or a spanning tree, which is the abstraction
+// claim of the paper.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "csp/net.hpp"
+#include "runtime/scheduler.hpp"
+#include "scripts/broadcast.hpp"
+
+int main() {
+  using script::csp::Net;
+  using script::patterns::StarBroadcast;
+  using script::runtime::Scheduler;
+
+  Scheduler sched;
+  Net net(sched);
+
+  // A generic script instance: 5 recipients, payload type std::string.
+  StarBroadcast<std::string> broadcast(net, 5);
+
+  // The transmitter process: ENROLL IN broadcast AS sender("hello...").
+  net.spawn_process("transmitter", [&] {
+    std::printf("[transmitter] enrolling as sender\n");
+    broadcast.send("hello, scripts");
+    std::printf("[transmitter] released (all recipients served)\n");
+  });
+
+  // Five recipient processes: ENROLL ... AS recipient[i](var).
+  for (int i = 0; i < 5; ++i) {
+    net.spawn_process("recipient" + std::to_string(i), [&, i] {
+      const std::string got = broadcast.receive(i);
+      std::printf("[recipient%d] received \"%s\"\n", i, got.c_str());
+    });
+  }
+
+  const auto result = sched.run();
+  std::printf("run complete: %llu scheduler steps, deadlock=%s\n",
+              static_cast<unsigned long long>(result.steps),
+              result.ok() ? "no" : "YES");
+  return result.ok() ? 0 : 1;
+}

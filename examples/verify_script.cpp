@@ -1,0 +1,77 @@
+// Verifying a script exhaustively — the paper's §V: "we believe scripts
+// will simplify the specification of communication subsystems and make
+// the verification of such systems more practical."
+//
+// This example model-checks two tiny systems over EVERY scheduler
+// interleaving (stateless exploration):
+//   1. a 1-recipient broadcast — the delivery spec holds always;
+//   2. a broken hand-rolled lock — the explorer FINDS the race,
+//      demonstrating it actually explores.
+//
+// Build & run:  ./build/examples/verify_script
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "runtime/explore.hpp"
+#include "scripts/broadcast.hpp"
+
+int main() {
+  using script::csp::Net;
+  using script::runtime::explore_interleavings;
+  using script::runtime::ExploreOptions;
+  using script::runtime::RunResult;
+  using script::runtime::Scheduler;
+
+  // --- 1. Verify the broadcast script's delivery specification. ---
+  std::shared_ptr<std::vector<int>> got;
+  bool spec_held = true;
+  const auto stats = explore_interleavings(
+      [&got](Scheduler& sched) {
+        auto net = std::make_shared<Net>(sched);
+        auto bc = std::make_shared<script::patterns::StarBroadcast<int>>(
+            *net, 2);
+        got = std::make_shared<std::vector<int>>();
+        auto sink = got;
+        net->spawn_process("T", [bc, net] { bc->send(1983); });
+        for (int i = 0; i < 2; ++i)
+          net->spawn_process("R" + std::to_string(i), [bc, net, sink, i] {
+            sink->push_back(bc->receive(i));
+          });
+      },
+      [&](Scheduler&, const RunResult& r) {
+        if (!r.ok() || got->size() != 2 || (*got)[0] != 1983 ||
+            (*got)[1] != 1983)
+          spec_held = false;
+      });
+  std::printf("[broadcast] %llu interleavings explored, complete=%s, "
+              "spec %s\n",
+              static_cast<unsigned long long>(stats.interleavings),
+              stats.complete ? "yes" : "no",
+              spec_held ? "HELD in all" : "VIOLATED");
+
+  // --- 2. Find the race in a broken test-and-set lock. ---
+  bool race_found = false;
+  const auto stats2 = explore_interleavings(
+      [&race_found](Scheduler& sched) {
+        auto locked = std::make_shared<bool>(false);
+        auto inside = std::make_shared<int>(0);
+        for (const char* name : {"p", "q"})
+          sched.spawn(name, [&sched, locked, inside, &race_found] {
+            if (*locked) return;  // test...
+            sched.yield();        // (the hole)
+            *locked = true;       // ...and set
+            if (++*inside == 2) race_found = true;
+            sched.yield();
+            --*inside;
+            *locked = false;
+          });
+      },
+      [](Scheduler&, const RunResult&) {});
+  std::printf("[broken lock] %llu interleavings explored, race %s\n",
+              static_cast<unsigned long long>(stats2.interleavings),
+              race_found ? "FOUND (as expected)" : "missed?!");
+
+  return (spec_held && race_found) ? 0 : 1;
+}

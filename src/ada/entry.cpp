@@ -1,0 +1,63 @@
+#include "ada/entry.hpp"
+
+#include <algorithm>
+
+namespace script::ada {
+
+void EntryBase::on_call_arrived() {
+  if (waiting_acceptor_ != kNoProcess) {
+    const ProcessId acceptor = waiting_acceptor_;
+    waiting_acceptor_ = kNoProcess;
+    sched_->unblock(acceptor);
+    return;
+  }
+  // Wake the first select still parked on this entry. A waiter that was
+  // already woken (by another entry or a timeout) is skipped — it will
+  // rescan and deregister itself.
+  for (const ProcessId w : select_waiters_) {
+    if (sched_->state_of(w) == runtime::FiberState::Blocked) {
+      sched_->unblock(w);
+      return;
+    }
+  }
+}
+
+void EntryBase::wait_for_caller() {
+  SCRIPT_ASSERT(waiting_acceptor_ == kNoProcess,
+                "two tasks accepting the same entry " + name_);
+  waiting_acceptor_ = sched_->current();
+  sched_->block("accept " + name_);
+}
+
+EntryBase::PendingCall* EntryBase::take_head() {
+  SCRIPT_ASSERT(!calls_.empty(), "accept_ready on empty entry " + name_);
+  PendingCall* pc = calls_.front();
+  calls_.pop_front();
+  pc->taken = true;
+  return pc;
+}
+
+void EntryBase::finish(PendingCall* pc) {
+  pc->done = true;
+  ++completed_;
+  // A timed caller whose deadline fired during the rendezvous is
+  // already awake; it will observe `done` and take the result.
+  if (sched_->state_of(pc->caller) == runtime::FiberState::Blocked)
+    sched_->unblock(pc->caller);
+}
+
+bool EntryBase::acceptor_committed() const {
+  if (waiting_acceptor_ != kNoProcess) return true;
+  for (const ProcessId w : select_waiters_)
+    if (sched_->state_of(w) == runtime::FiberState::Blocked) return true;
+  return false;
+}
+
+void EntryBase::withdraw(PendingCall* pc) {
+  const auto it = std::find(calls_.begin(), calls_.end(), pc);
+  SCRIPT_ASSERT(it != calls_.end(),
+                "withdraw: call not queued on entry " + name_);
+  calls_.erase(it);
+}
+
+}  // namespace script::ada

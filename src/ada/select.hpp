@@ -1,0 +1,72 @@
+// The Ada selective-wait statement:
+//
+//   select
+//     when G1 => accept E1(..) do .. end;
+//   or
+//     when G2 => accept E2(..) do .. end;
+//   or
+//     delay D; ..
+//   else
+//     ..
+//   end select;
+//
+// Guards are evaluated once at select time (Ada rule). With no open
+// alternative and no else part, Ada raises Program_Error — we panic.
+// The choice among several ready accepts is nondeterministic (seeded).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ada/entry.hpp"
+
+namespace script::ada {
+
+class Select {
+ public:
+  static constexpr int kNone = -1;
+
+  explicit Select(runtime::Scheduler& sched) : sched_(&sched) {}
+
+  /// `when guard => accept entry do body end`.
+  template <typename In, typename Out>
+  int accept_case(Entry<In, Out>& entry, std::function<Out(In&)> body,
+                  bool guard = true) {
+    cases_.push_back(Case{
+        &entry,
+        [&entry, body = std::move(body)] { entry.accept_ready(body); },
+        guard});
+    return static_cast<int>(cases_.size()) - 1;
+  }
+
+  /// `else body` — taken immediately when no accept is ready.
+  int or_else(std::function<void()> body);
+
+  /// `or delay ticks; body` — taken when no caller arrives in time.
+  int or_delay(std::uint64_t ticks, std::function<void()> body);
+
+  /// Execute the select; returns the index of the taken alternative
+  /// (accept cases first, then else/delay in registration order).
+  int run();
+
+ private:
+  struct Case {
+    EntryBase* entry;
+    std::function<void()> fire;
+    bool guard;
+  };
+
+  int pick_ready(const std::vector<int>& open);
+
+  runtime::Scheduler* sched_;
+  std::vector<Case> cases_;
+  std::function<void()> else_body_;
+  std::function<void()> delay_body_;
+  bool has_else_ = false;
+  bool has_delay_ = false;
+  std::uint64_t delay_ticks_ = 0;
+  int else_index_ = kNone;
+  int delay_index_ = kNone;
+};
+
+}  // namespace script::ada

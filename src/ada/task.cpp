@@ -1,0 +1,11 @@
+#include "ada/task.hpp"
+
+namespace script::ada {
+
+Task::Task(runtime::Scheduler& sched, std::string name,
+           std::function<void()> body)
+    : pid_(sched.spawn(name, std::move(body))), name_(std::move(name)) {}
+
+void Task::await(runtime::Scheduler& sched) const { sched.join(pid_); }
+
+}  // namespace script::ada

@@ -1,0 +1,37 @@
+// Ada-style tasks — thin identities over runtime fibers.
+//
+// The Ada host language of the paper's §IV differs from CSP in exactly
+// the ways the paper exploits: a task's *entries* can be called by
+// anyone (callers name the callee, acceptors stay anonymous), and
+// "repeated enrollments are serviced in order of arrival" (FIFO entry
+// queues). Those two properties live in Entry/Select; Task adds naming
+// and lifetime.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+
+namespace script::ada {
+
+using runtime::ProcessId;
+
+class Task {
+ public:
+  /// Spawns the task body immediately (Ada tasks activate at elaboration).
+  Task(runtime::Scheduler& sched, std::string name,
+       std::function<void()> body);
+
+  ProcessId id() const { return pid_; }
+  const std::string& name() const { return name_; }
+
+  /// Block the calling fiber until this task completes.
+  void await(runtime::Scheduler& sched) const;
+
+ private:
+  ProcessId pid_;
+  std::string name_;
+};
+
+}  // namespace script::ada

@@ -1,0 +1,114 @@
+// CSP alternative (guarded) and repetitive commands.
+//
+// An Alternative is one evaluation of a CSP alternative command:
+//   [ g1; io1 -> body1  []  g2; io2 -> body2  [] ... ]
+// Guards are evaluated at construction (as in CSP, once per attempt);
+// branches whose boolean guard is false or whose named partner has
+// terminated are *failed*. select() commits to exactly one ready branch
+// (nondeterministically among candidates), runs its body, and returns
+// its index — or kFailed when every branch has failed, which is the CSP
+// termination rule that `repetitive` uses to exit DO-OD loops.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+
+namespace script::csp {
+
+class Alternative {
+ public:
+  static constexpr int kFailed = -1;
+
+  explicit Alternative(Net& net) : net_(&net) {}
+
+  /// `guard; from ? tag(x) -> body(x)`
+  template <typename T>
+  int recv_case(ProcessId from, const std::string& tag,
+                std::function<void(T)> body, bool guard = true) {
+    return add_branch(detail::Dir::Recv, from, {}, tag,
+                      std::type_index(typeid(T)), Message(),
+                      [body = std::move(body)](ProcessId, Message& m) {
+                        if (body) body(m.as<T>());
+                      },
+                      guard);
+  }
+
+  /// `guard; (any) ? tag(x) -> body(sender, x)` — never fails.
+  template <typename T>
+  int recv_any_case(const std::string& tag,
+                    std::function<void(ProcessId, T)> body,
+                    bool guard = true) {
+    return add_branch(detail::Dir::Recv, kAnyProcess, {}, tag,
+                      std::type_index(typeid(T)), Message(),
+                      [body = std::move(body)](ProcessId who, Message& m) {
+                        if (body) body(who, m.as<T>());
+                      },
+                      guard);
+  }
+
+  /// Receive from any of `candidates`; branch fails when all terminate.
+  template <typename T>
+  int recv_from_case(std::vector<ProcessId> candidates,
+                     const std::string& tag,
+                     std::function<void(ProcessId, T)> body,
+                     bool guard = true) {
+    return add_branch(detail::Dir::Recv, kAnyProcess, std::move(candidates),
+                      tag, std::type_index(typeid(T)), Message(),
+                      [body = std::move(body)](ProcessId who, Message& m) {
+                        if (body) body(who, m.as<T>());
+                      },
+                      guard);
+  }
+
+  /// `guard; to ! tag(value) -> body()` — output guard (CSP extension).
+  template <typename T>
+  int send_case(ProcessId to, const std::string& tag, T value,
+                std::function<void()> body = nullptr, bool guard = true) {
+    return add_branch(detail::Dir::Send, to, {}, tag,
+                      std::type_index(typeid(T)),
+                      Message::of<T>(std::move(value)),
+                      [body = std::move(body)](ProcessId, Message&) {
+                        if (body) body();
+                      },
+                      guard);
+  }
+
+  /// Block until one branch communicates; run its body; return its index.
+  /// Returns kFailed when no branch can ever proceed.
+  int select();
+
+  std::size_t branch_count() const { return branches_.size(); }
+
+ private:
+  struct Branch {
+    detail::Dir dir;
+    ProcessId peer;
+    std::vector<ProcessId> peer_set;
+    std::string tag;
+    std::type_index type;
+    Message out_value;  // payload for send branches
+    std::function<void(ProcessId, Message&)> handler;
+    bool guard;
+  };
+
+  int add_branch(detail::Dir dir, ProcessId peer,
+                 std::vector<ProcessId> peer_set, const std::string& tag,
+                 std::type_index type, Message out_value,
+                 std::function<void(ProcessId, Message&)> handler,
+                 bool guard);
+  bool branch_viable(const Branch& b) const;
+
+  Net* net_;
+  std::vector<Branch> branches_;
+};
+
+/// CSP repetitive command *[ ... ]: rebuild the alternative each
+/// iteration (so boolean guards are re-evaluated, as CSP requires) and
+/// loop until every branch has failed. Returns the iteration count.
+std::size_t repetitive(Net& net,
+                       const std::function<void(Alternative&)>& build);
+
+}  // namespace script::csp

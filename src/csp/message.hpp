@@ -1,0 +1,42 @@
+// Type-erased message payload for CSP-style rendezvous.
+//
+// A CSP communication matches on (sender, receiver, tag, payload type);
+// the payload type is part of the pattern, as in CSP's typed channels.
+#pragma once
+
+#include <any>
+#include <typeindex>
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace script::csp {
+
+class Message {
+ public:
+  Message() : type_(typeid(void)) {}
+
+  template <typename T>
+  static Message of(T value) {
+    Message m;
+    m.payload_ = std::move(value);
+    m.type_ = typeid(T);
+    return m;
+  }
+
+  template <typename T>
+  T as() const {
+    SCRIPT_ASSERT(type_ == std::type_index(typeid(T)),
+                  "Message payload type mismatch");
+    return std::any_cast<T>(payload_);
+  }
+
+  std::type_index type() const { return type_; }
+  bool empty() const { return !payload_.has_value(); }
+
+ private:
+  std::any payload_;
+  std::type_index type_;
+};
+
+}  // namespace script::csp

@@ -1,0 +1,247 @@
+#include "csp/net.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::csp {
+
+using detail::AltGroup;
+using detail::Dir;
+using detail::PendingOp;
+
+ProcessId Net::spawn_process(std::string name, std::function<void()> body) {
+  const auto pid = sched_->spawn(
+      std::move(name), [this, body = std::move(body)] {
+        body();
+        mark_terminated(sched_->current());
+      });
+  return pid;
+}
+
+bool Net::is_terminated(ProcessId pid) const {
+  return pid < terminated_.size() && terminated_[pid];
+}
+
+void Net::link(PendingOp* op) {
+  pending_[op->tag][op->owner].push_back(op);
+  ++pending_count_;
+}
+
+void Net::unlink(PendingOp* op) {
+  const auto bucket = pending_.find(op->tag);
+  SCRIPT_ASSERT(bucket != pending_.end(), "unlink: tag bucket missing");
+  const auto shelf = bucket->second.find(op->owner);
+  SCRIPT_ASSERT(shelf != bucket->second.end(), "unlink: owner shelf missing");
+  auto& ops = shelf->second;
+  const auto it = std::find(ops.begin(), ops.end(), op);
+  SCRIPT_ASSERT(it != ops.end(), "unlink: op not parked");
+  ops.erase(it);
+  if (ops.empty()) bucket->second.erase(shelf);
+  if (bucket->second.empty()) pending_.erase(bucket);
+  --pending_count_;
+}
+
+void Net::mark_terminated(ProcessId pid) {
+  if (pid >= terminated_.size()) terminated_.resize(pid + 1, false);
+  if (terminated_[pid]) return;
+  terminated_[pid] = true;
+
+  // Fail every parked offer whose partner(s) can no longer arrive.
+  // Snapshot first: failing an alt branch unlinks sibling ops.
+  std::vector<PendingOp*> snapshot;
+  for (const auto& [tag, bucket] : pending_)
+    for (const auto& [owner, ops] : bucket)
+      snapshot.insert(snapshot.end(), ops.begin(), ops.end());
+  auto still_parked = [&](PendingOp* op) {
+    const auto bucket = pending_.find(op->tag);
+    if (bucket == pending_.end()) return false;
+    const auto shelf = bucket->second.find(op->owner);
+    if (shelf == bucket->second.end()) return false;
+    return std::find(shelf->second.begin(), shelf->second.end(), op) !=
+           shelf->second.end();
+  };
+  for (PendingOp* op : snapshot) {
+    if (!still_parked(op))
+      continue;  // already removed (e.g. sibling of a failed alt branch)
+    SCRIPT_ASSERT(op->owner != pid,
+                  "process terminated while it still has parked offers");
+    bool dead = false;
+    if (op->peer != kAnyProcess) {
+      dead = op->peer == pid;
+    } else if (!op->peer_set.empty()) {
+      dead = std::all_of(op->peer_set.begin(), op->peer_set.end(),
+                         [&](ProcessId p) { return is_terminated(p); });
+    }
+    if (!dead) continue;
+
+    if (op->group == nullptr) {
+      op->failed = true;
+      unlink(op);
+      sched_->unblock(op->owner);
+    } else {
+      AltGroup* g = op->group;
+      unlink(op);
+      g->ops.erase(std::find(g->ops.begin(), g->ops.end(), op));
+      if (g->ops.empty()) {
+        g->all_failed = true;
+        sched_->unblock(g->owner);
+      }
+    }
+  }
+}
+
+PendingOp* Net::choose(const std::vector<PendingOp*>& matches) {
+  return matches.size() == 1
+             ? matches[0]
+             : matches[sched_->rng().pick_index(matches.size())];
+}
+
+Result<void> Net::send_erased(ProcessId to, const std::string& tag,
+                              Message value, std::type_index type) {
+  const ProcessId me = sched_->current();
+  if (is_terminated(to))
+    return support::make_unexpected(CommError::PeerTerminated);
+
+  const auto matches = find_matches(Dir::Send, me, to, {}, tag, type);
+  if (!matches.empty()) {
+    complete_with(choose(matches), Dir::Send, std::move(value));
+    return {};
+  }
+
+  PendingOp op;
+  op.dir = Dir::Send;
+  op.owner = me;
+  op.peer = to;
+  op.tag = tag;
+  op.type = type;
+  op.value = std::move(value);
+  link(&op);
+  sched_->block("! " + sched_->name_of(to) + " tag=" + tag);
+  if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
+  return {};
+}
+
+Result<std::pair<ProcessId, Message>> Net::recv_erased(
+    ProcessId from, std::vector<ProcessId> peer_set, const std::string& tag,
+    std::type_index type) {
+  const ProcessId me = sched_->current();
+  if (from != kAnyProcess && is_terminated(from))
+    return support::make_unexpected(CommError::PeerTerminated);
+  if (from == kAnyProcess && !peer_set.empty() &&
+      std::all_of(peer_set.begin(), peer_set.end(),
+                  [&](ProcessId p) { return is_terminated(p); }))
+    return support::make_unexpected(CommError::PeerTerminated);
+
+  const auto matches = find_matches(Dir::Recv, me, from, peer_set, tag, type);
+  if (!matches.empty()) {
+    PendingOp* pick = choose(matches);
+    const ProcessId sender = pick->owner;
+    Message payload = complete_with(pick, Dir::Recv, Message());
+    return std::pair<ProcessId, Message>{sender, std::move(payload)};
+  }
+
+  PendingOp op;
+  op.dir = Dir::Recv;
+  op.owner = me;
+  op.peer = from;
+  op.peer_set = std::move(peer_set);
+  op.tag = tag;
+  op.type = type;
+  link(&op);
+  const std::string who =
+      from == kAnyProcess ? std::string("any") : sched_->name_of(from);
+  sched_->block("? " + who + " tag=" + tag);
+  if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
+  return std::pair<ProcessId, Message>{op.matched_with, std::move(op.value)};
+}
+
+bool Net::op_matches(const PendingOp& parked, Dir my_dir, ProcessId me,
+                     ProcessId my_peer,
+                     const std::vector<ProcessId>& my_peer_set,
+                     std::type_index type) const {
+  if (parked.dir == my_dir) return false;
+  if (parked.type != type) return false;
+
+  // The parked offer must accept me as its partner...
+  const bool parked_accepts_me =
+      parked.peer == me ||
+      (parked.peer == kAnyProcess &&
+       (parked.peer_set.empty() ||
+        std::find(parked.peer_set.begin(), parked.peer_set.end(), me) !=
+            parked.peer_set.end()));
+  if (!parked_accepts_me) return false;
+
+  // ...and I must accept the parked owner as mine.
+  return my_peer == parked.owner ||
+         (my_peer == kAnyProcess &&
+          (my_peer_set.empty() ||
+           std::find(my_peer_set.begin(), my_peer_set.end(),
+                     parked.owner) != my_peer_set.end()));
+}
+
+std::vector<PendingOp*> Net::find_matches(
+    Dir my_dir, ProcessId me, ProcessId my_peer,
+    const std::vector<ProcessId>& my_peer_set, const std::string& tag,
+    std::type_index type) const {
+  std::vector<PendingOp*> out;
+  const auto bucket = pending_.find(tag);
+  if (bucket == pending_.end()) return out;
+  auto scan_shelf = [&](ProcessId owner) {
+    const auto shelf = bucket->second.find(owner);
+    if (shelf == bucket->second.end()) return;
+    for (PendingOp* op : shelf->second)
+      if (op_matches(*op, my_dir, me, my_peer, my_peer_set, type))
+        out.push_back(op);
+  };
+  if (my_peer != kAnyProcess) {
+    scan_shelf(my_peer);  // a match can only be owned by my named peer
+  } else if (!my_peer_set.empty()) {
+    for (const ProcessId p : my_peer_set) scan_shelf(p);
+  } else {
+    for (const auto& [owner, ops] : bucket->second)
+      for (PendingOp* op : ops)
+        if (op_matches(*op, my_dir, me, my_peer, my_peer_set, type))
+          out.push_back(op);
+  }
+  return out;
+}
+
+Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
+  const ProcessId me = sched_->current();
+
+  Message result;
+  if (my_dir == Dir::Send) {
+    parked->value = std::move(my_value);  // deliver into the parked recv
+  } else {
+    result = std::move(parked->value);  // take from the parked send
+  }
+  parked->matched_with = me;
+  ++rendezvous_count_;
+
+  if (parked->group != nullptr) {
+    parked->group->chosen = parked->branch;
+    remove_group_ops(parked->group);
+  } else {
+    unlink(parked);
+  }
+
+  const ProcessId sender = my_dir == Dir::Send ? me : parked->owner;
+  const ProcessId receiver = my_dir == Dir::Send ? parked->owner : me;
+  const std::uint64_t lat = charge_latency(sender, receiver);
+  const ProcessId woken =
+      parked->group != nullptr ? parked->group->owner : parked->owner;
+  sched_->wake_at(woken, lat);
+  if (lat > 0) sched_->sleep_for(lat);
+  return result;
+}
+
+void Net::remove_group_ops(AltGroup* group) {
+  for (PendingOp* op : group->ops) unlink(op);
+}
+
+std::uint64_t Net::charge_latency(ProcessId a, ProcessId b) {
+  return latency_ == nullptr ? 0 : latency_->latency(a, b);
+}
+
+}  // namespace script::csp

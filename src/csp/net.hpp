@@ -1,0 +1,228 @@
+// CSP-style synchronous message passing.
+//
+// Reproduces the host-language substrate of the paper's §IV "Scripts in
+// CSP": Hoare's "!" (output) and "?" (input) with strict mutual naming,
+// plus the extensions the paper leans on —
+//   * input from an anonymous partner (`recv_any`), the extension of
+//     Francez [2] cited by the paper for the script supervisor p_s;
+//   * distributed termination: communication with a terminated process
+//     fails, which is what makes CSP repetitive commands (DO-OD) exit.
+//
+// A rendezvous only completes when both parties are committed; an
+// optional LatencyModel charges virtual time to both parties at the
+// moment of transfer, which is how the broadcast-strategy benches get a
+// topology-shaped cost without a real network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csp/message.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_link.hpp"
+#include "support/expected.hpp"
+
+namespace script::csp {
+
+using runtime::ProcessId;
+using runtime::kNoProcess;
+inline constexpr ProcessId kAnyProcess = kNoProcess;
+
+enum class CommError : std::uint8_t {
+  PeerTerminated,  // the named partner has finished (CSP failure rule)
+};
+
+template <typename T>
+using Result = support::Expected<T, CommError>;
+
+namespace detail {
+
+enum class Dir : std::uint8_t { Send, Recv };
+
+struct AltGroup;
+
+// One posted communication offer, parked in the Net until matched.
+struct PendingOp {
+  Dir dir;
+  ProcessId owner;           // the process that posted the offer
+  ProcessId peer;            // named partner, or kAnyProcess (recv only)
+  std::vector<ProcessId> peer_set;  // non-empty: any of these (recv only)
+  std::string tag;
+  std::type_index type{typeid(void)};
+  Message value;             // payload (Send) or delivery slot (Recv)
+  ProcessId matched_with = kNoProcess;  // filled on completion
+  bool failed = false;       // peer terminated while parked
+  AltGroup* group = nullptr; // non-null when part of an Alternative
+  int branch = -1;           // branch index within the Alternative
+};
+
+// A blocked Alternative: all its branches are parked as one atomic group.
+struct AltGroup {
+  ProcessId owner;
+  int chosen = -1;          // branch index that fired
+  bool all_failed = false;  // every viable branch's peer terminated
+  std::vector<PendingOp*> ops;
+};
+
+}  // namespace detail
+
+class Alternative;
+
+class Net {
+ public:
+  explicit Net(runtime::Scheduler& sched) : sched_(&sched) {}
+
+  /// Charge each completed rendezvous `model->latency(from, to)` ticks
+  /// of virtual time to both parties. Pass nullptr to disable.
+  void set_latency_model(runtime::LatencyModel* model) { latency_ = model; }
+
+  // ---- Primitive communication commands (block the calling fiber) ----
+
+  /// Output command `to ! tag(value)`. Fails if `to` has terminated.
+  template <typename T>
+  Result<void> send(ProcessId to, const std::string& tag, T value) {
+    return send_erased(to, tag, Message::of<T>(std::move(value)),
+                       std::type_index(typeid(T)));
+  }
+
+  /// Input command `from ? tag(x)`. Fails if `from` has terminated.
+  template <typename T>
+  Result<T> recv(ProcessId from, const std::string& tag) {
+    auto r = recv_erased(from, {}, tag, std::type_index(typeid(T)));
+    if (!r) return support::make_unexpected(r.error());
+    return r->second.template as<T>();
+  }
+
+  /// Input from any partner (paper's unnamed-communication extension).
+  /// Never fails; blocks until some process sends.
+  template <typename T>
+  Result<std::pair<ProcessId, T>> recv_any(const std::string& tag) {
+    auto r = recv_erased(kAnyProcess, {}, tag, std::type_index(typeid(T)));
+    if (!r) return support::make_unexpected(r.error());
+    return std::pair<ProcessId, T>{r->first, r->second.template as<T>()};
+  }
+
+  /// Input from any of `candidates`; fails once all have terminated.
+  template <typename T>
+  Result<std::pair<ProcessId, T>> recv_from(
+      std::vector<ProcessId> candidates, const std::string& tag) {
+    auto r = recv_erased(kAnyProcess, std::move(candidates), tag,
+                         std::type_index(typeid(T)));
+    if (!r) return support::make_unexpected(r.error());
+    return std::pair<ProcessId, T>{r->first, r->second.template as<T>()};
+  }
+
+  // ---- Polling (non-committal) variants ----
+
+  /// Complete a rendezvous with an already-parked matching receiver;
+  /// otherwise return false WITHOUT parking (never blocks beyond the
+  /// transfer latency).
+  template <typename T>
+  bool try_send(ProcessId to, const std::string& tag, T value) {
+    if (is_terminated(to)) return false;
+    const auto matches =
+        find_matches(detail::Dir::Send, sched_->current(), to, {}, tag,
+                     std::type_index(typeid(T)));
+    if (matches.empty()) return false;
+    complete_with(choose(matches), detail::Dir::Send,
+                  Message::of<T>(std::move(value)));
+    return true;
+  }
+
+  /// Take a message from an already-parked matching sender; otherwise
+  /// return nullopt WITHOUT parking.
+  template <typename T>
+  std::optional<std::pair<ProcessId, T>> try_recv(ProcessId from,
+                                                  const std::string& tag) {
+    const auto matches =
+        find_matches(detail::Dir::Recv, sched_->current(), from, {}, tag,
+                     std::type_index(typeid(T)));
+    if (matches.empty()) return std::nullopt;
+    detail::PendingOp* pick = choose(matches);
+    const ProcessId sender = pick->owner;
+    Message payload = complete_with(pick, detail::Dir::Recv, Message());
+    return std::pair<ProcessId, T>{sender, payload.template as<T>()};
+  }
+
+  /// try_recv from any partner.
+  template <typename T>
+  std::optional<std::pair<ProcessId, T>> try_recv_any(
+      const std::string& tag) {
+    return try_recv<T>(kAnyProcess, tag);
+  }
+
+  // ---- Process lifecycle ----
+
+  /// Declare `pid` terminated: all its parked offers are cancelled and
+  /// every offer naming it as sole partner fails (wakes with error).
+  /// Call at the end of a process body (see Process helper below).
+  void mark_terminated(ProcessId pid);
+  bool is_terminated(ProcessId pid) const;
+
+  // ---- Introspection for tests and benches ----
+
+  std::uint64_t rendezvous_count() const { return rendezvous_count_; }
+  std::size_t pending_count() const { return pending_count_; }
+  runtime::Scheduler& scheduler() { return *sched_; }
+
+  /// Spawn a process whose termination is reported to this Net
+  /// automatically (even if the body returns early).
+  ProcessId spawn_process(std::string name, std::function<void()> body);
+
+ private:
+  friend class Alternative;
+
+  Result<void> send_erased(ProcessId to, const std::string& tag,
+                           Message value, std::type_index type);
+  Result<std::pair<ProcessId, Message>> recv_erased(
+      ProcessId from, std::vector<ProcessId> peer_set,
+      const std::string& tag, std::type_index type);
+
+  /// Nondeterministic choice among matching parked offers.
+  detail::PendingOp* choose(const std::vector<detail::PendingOp*>& matches);
+
+  // Matching helpers shared with Alternative. Parked offers are indexed
+  // by tag, then by owner (a send to P can only match offers OWNED by
+  // P), so named-peer lookups touch a handful of offers no matter how
+  // many are parked; only anonymous input scans its whole tag bucket.
+  bool op_matches(const detail::PendingOp& parked, detail::Dir my_dir,
+                  ProcessId me, ProcessId my_peer,
+                  const std::vector<ProcessId>& my_peer_set,
+                  std::type_index type) const;
+  std::vector<detail::PendingOp*> find_matches(
+      detail::Dir my_dir, ProcessId me, ProcessId my_peer,
+      const std::vector<ProcessId>& my_peer_set, const std::string& tag,
+      std::type_index type) const;
+
+  /// Park / unpark an offer in its tag bucket.
+  void link(detail::PendingOp* op);
+  void unlink(detail::PendingOp* op);
+
+  /// Complete the rendezvous between the running fiber and a parked op:
+  /// transfers the payload, unlinks the parked op (and collapses its
+  /// alt group), wakes the parked owner, and charges latency to both
+  /// sides. Returns the payload seen by the running party.
+  Message complete_with(detail::PendingOp* parked, detail::Dir my_dir,
+                        Message my_value);
+
+  void remove_group_ops(detail::AltGroup* group);
+  std::uint64_t charge_latency(ProcessId a, ProcessId b);
+
+  runtime::Scheduler* sched_;
+  runtime::LatencyModel* latency_ = nullptr;
+  // Raw pointers: each PendingOp lives on its poster's fiber stack, which
+  // is pinned while the poster is blocked; the matcher unlinks it before
+  // waking the poster.
+  using Bucket = std::map<ProcessId, std::vector<detail::PendingOp*>>;
+  std::map<std::string, Bucket> pending_;
+  std::size_t pending_count_ = 0;
+  std::vector<bool> terminated_;  // indexed by ProcessId
+  std::uint64_t rendezvous_count_ = 0;
+};
+
+}  // namespace script::csp

@@ -1,0 +1,130 @@
+#include "lockdb/granularity.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::lockdb {
+
+bool compatible(GranMode held, GranMode wanted) {
+  auto idx = [](GranMode m) { return static_cast<std::size_t>(m); };
+  // Rows: held IS, IX, S, SIX, X; columns: wanted.
+  static constexpr bool kMatrix[5][5] = {
+      //           IS     IX     S      SIX    X
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kMatrix[idx(held)][idx(wanted)];
+}
+
+GranMode intention_for(GranMode mode) {
+  switch (mode) {
+    case GranMode::IS:
+    case GranMode::S:
+      return GranMode::IS;
+    case GranMode::IX:
+    case GranMode::SIX:
+    case GranMode::X:
+      return GranMode::IX;
+  }
+  SCRIPT_PANIC("unreachable");
+}
+
+std::vector<std::string> ancestor_chain(const std::string& path) {
+  SCRIPT_ASSERT(!path.empty(), "empty lock path");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      out.push_back(path);
+      break;
+    }
+    out.push_back(path.substr(0, next));
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool GranularityLockTable::node_allows(const Node& n, GranMode wanted,
+                                       OwnerId owner) const {
+  for (const auto& [other, modes] : n.held) {
+    if (other == owner) continue;  // own locks never conflict with self
+    for (const auto& [held, count] : modes)
+      if (count > 0 && !compatible(held, wanted)) return false;
+  }
+  return true;
+}
+
+bool GranularityLockTable::can_lock(const std::string& path, GranMode mode,
+                                    OwnerId owner) const {
+  const auto chain = ancestor_chain(path);
+  const GranMode intent = intention_for(mode);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const GranMode wanted = (i + 1 == chain.size()) ? mode : intent;
+    const auto it = nodes_.find(chain[i]);
+    if (it != nodes_.end() && !node_allows(it->second, wanted, owner))
+      return false;
+  }
+  return true;
+}
+
+bool GranularityLockTable::lock(const std::string& path, GranMode mode,
+                                OwnerId owner) {
+  if (!can_lock(path, mode, owner)) {
+    ++denials_;
+    return false;
+  }
+  const auto chain = ancestor_chain(path);
+  const GranMode intent = intention_for(mode);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const GranMode wanted = (i + 1 == chain.size()) ? mode : intent;
+    ++nodes_[chain[i]].held[owner][wanted];
+  }
+  ++grants_;
+  return true;
+}
+
+void GranularityLockTable::release(const std::string& path, GranMode mode,
+                                   OwnerId owner) {
+  if (!holds(path, mode, owner)) return;
+  const auto chain = ancestor_chain(path);
+  const GranMode intent = intention_for(mode);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const GranMode wanted = (i + 1 == chain.size()) ? mode : intent;
+    const auto nit = nodes_.find(chain[i]);
+    if (nit == nodes_.end()) continue;
+    auto oit = nit->second.held.find(owner);
+    if (oit == nit->second.held.end()) continue;
+    auto mit = oit->second.find(wanted);
+    if (mit == oit->second.end()) continue;
+    if (--mit->second == 0) oit->second.erase(mit);
+    if (oit->second.empty()) nit->second.held.erase(oit);
+    if (nit->second.held.empty()) nodes_.erase(nit);
+  }
+}
+
+std::size_t GranularityLockTable::release_all(OwnerId owner) {
+  std::size_t dropped = 0;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    dropped += it->second.held.erase(owner);
+    if (it->second.held.empty())
+      it = nodes_.erase(it);
+    else
+      ++it;
+  }
+  return dropped;
+}
+
+bool GranularityLockTable::holds(const std::string& path, GranMode mode,
+                                 OwnerId owner) const {
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) return false;
+  const auto oit = it->second.held.find(owner);
+  if (oit == it->second.held.end()) return false;
+  const auto mit = oit->second.find(mode);
+  return mit != oit->second.end() && mit->second > 0;
+}
+
+}  // namespace script::lockdb

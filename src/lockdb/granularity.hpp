@@ -1,0 +1,76 @@
+// Multiple-granularity locking "as described by Korth [7]" — one of the
+// read/write locking strategies the paper's database script can hide.
+//
+// Resources form a hierarchy (database / area / file / record), named by
+// slash paths ("db/a1/f2/r9"). Locking a node in S or X mode requires
+// intention locks (IS / IX) on every ancestor; the classic compatibility
+// matrix governs coexistence:
+//
+//          IS   IX   S    SIX  X
+//    IS    ok   ok   ok   ok   -
+//    IX    ok   ok   -    -    -
+//    S     ok   -    ok   -    -
+//    SIX   ok   -    -    -    -
+//    X     -    -    -    -    -
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lockdb/lock_table.hpp"
+
+namespace script::lockdb {
+
+enum class GranMode : std::uint8_t { IS, IX, S, SIX, X };
+
+/// Korth compatibility matrix.
+bool compatible(GranMode held, GranMode wanted);
+
+/// The intention mode ancestors need for a leaf lock of `mode`.
+GranMode intention_for(GranMode mode);
+
+/// Split "db/a1/f2" into its ancestor chain: {"db", "db/a1", "db/a1/f2"}.
+std::vector<std::string> ancestor_chain(const std::string& path);
+
+class GranularityLockTable {
+ public:
+  /// Acquire `mode` on `path`, taking the required intention locks on
+  /// all ancestors first (all-or-nothing: on failure nothing changes).
+  /// Holdings are reference-counted: two record locks under one file
+  /// each contribute an intention on the file.
+  bool lock(const std::string& path, GranMode mode, OwnerId owner);
+
+  /// Can the full ancestor+target chain be granted?
+  bool can_lock(const std::string& path, GranMode mode, OwnerId owner) const;
+
+  /// Release one lock previously taken with lock(path, mode, owner):
+  /// drops the target mode and one reference on each ancestor
+  /// intention. No-op if the owner does not hold it.
+  void release(const std::string& path, GranMode mode, OwnerId owner);
+
+  /// Release everything `owner` holds. Returns locks dropped.
+  std::size_t release_all(OwnerId owner);
+
+  bool holds(const std::string& path, GranMode mode, OwnerId owner) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  struct Node {
+    // Each owner may hold several modes on one node (e.g. IX + IS),
+    // each reference-counted across the leaf locks that need it.
+    std::map<OwnerId, std::map<GranMode, std::size_t>> held;
+  };
+
+  bool node_allows(const Node& n, GranMode wanted, OwnerId owner) const;
+
+  std::map<std::string, Node> nodes_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t denials_ = 0;
+};
+
+}  // namespace script::lockdb

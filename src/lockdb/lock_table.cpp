@@ -1,0 +1,64 @@
+#include "lockdb/lock_table.hpp"
+
+namespace script::lockdb {
+
+bool LockTable::can_acquire(const std::string& item, LockMode mode,
+                            OwnerId owner) const {
+  const auto it = entries_.find(item);
+  if (it == entries_.end()) return true;
+  const Entry& e = it->second;
+  if (e.owners.count(owner)) {
+    // Re-acquisition / upgrade: allowed only if sole owner or mode
+    // doesn't strengthen.
+    if (mode == LockMode::Exclusive && e.mode != LockMode::Exclusive &&
+        e.owners.size() > 1) {
+      ++denials_;
+      return false;
+    }
+    return true;
+  }
+  if (mode == LockMode::Shared && e.mode == LockMode::Shared) return true;
+  ++denials_;
+  return false;
+}
+
+bool LockTable::acquire(const std::string& item, LockMode mode,
+                        OwnerId owner) {
+  if (!can_acquire(item, mode, owner)) return false;
+  Entry& e = entries_[item];
+  e.owners.insert(owner);
+  if (mode == LockMode::Exclusive || e.owners.size() == 1) e.mode = mode;
+  ++grants_;
+  return true;
+}
+
+void LockTable::release(const std::string& item, OwnerId owner) {
+  const auto it = entries_.find(item);
+  if (it == entries_.end()) return;
+  it->second.owners.erase(owner);
+  if (it->second.owners.empty()) entries_.erase(it);
+}
+
+std::size_t LockTable::release_all(OwnerId owner) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owners.erase(owner) > 0) ++dropped;
+    if (it->second.owners.empty())
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+  return dropped;
+}
+
+bool LockTable::holds(const std::string& item, OwnerId owner) const {
+  const auto it = entries_.find(item);
+  return it != entries_.end() && it->second.owners.count(owner) > 0;
+}
+
+std::size_t LockTable::holder_count(const std::string& item) const {
+  const auto it = entries_.find(item);
+  return it == entries_.end() ? 0 : it->second.owners.size();
+}
+
+}  // namespace script::lockdb

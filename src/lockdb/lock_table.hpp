@@ -1,0 +1,57 @@
+// Lock tables for the replicated-database example (paper §II / Fig 5).
+//
+// "We assume that the lock tables are abstract data types with the
+// appropriate functions to lock and release entries in the table and to
+// check whether read or write locks on a piece of data may be added."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace script::lockdb {
+
+/// A lock requester (the paper's "unique processor identifier").
+using OwnerId = std::uint32_t;
+
+enum class LockMode : std::uint8_t { Shared, Exclusive };
+
+class LockTable {
+ public:
+  /// May `owner` add a lock of `mode` on `item` right now?
+  /// Shared locks coexist; an exclusive lock excludes everyone else.
+  /// Re-acquisition by the same owner is allowed (idempotent).
+  bool can_acquire(const std::string& item, LockMode mode,
+                   OwnerId owner) const;
+
+  /// Try to acquire; returns false (table unchanged) if incompatible.
+  bool acquire(const std::string& item, LockMode mode, OwnerId owner);
+
+  /// Drop owner's lock on item. No-op if absent.
+  void release(const std::string& item, OwnerId owner);
+
+  /// Drop every lock held by owner. Returns how many were dropped.
+  std::size_t release_all(OwnerId owner);
+
+  bool holds(const std::string& item, OwnerId owner) const;
+  std::size_t holder_count(const std::string& item) const;
+  std::size_t locked_items() const { return entries_.size(); }
+
+  // Conflict accounting for the locking-strategy benches.
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  struct Entry {
+    LockMode mode = LockMode::Shared;
+    std::set<OwnerId> owners;
+  };
+
+  std::map<std::string, Entry> entries_;
+  std::uint64_t grants_ = 0;
+  mutable std::uint64_t denials_ = 0;
+};
+
+}  // namespace script::lockdb

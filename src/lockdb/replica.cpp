@@ -1,0 +1,45 @@
+#include "lockdb/replica.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::lockdb {
+
+ReplicaSet::ReplicaSet(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  SCRIPT_ASSERT(k > 0 && k <= n, "replica set needs 0 < k <= n");
+  for (NodeId i = 0; i < k; ++i) {
+    active_.push_back(i);
+    tables_.push_back(std::make_unique<LockTable>());
+  }
+}
+
+bool ReplicaSet::is_active(NodeId node) const {
+  return std::find(active_.begin(), active_.end(), node) != active_.end();
+}
+
+std::size_t ReplicaSet::index_of(NodeId node) const {
+  for (std::size_t i = 0; i < active_.size(); ++i)
+    if (active_[i] == node) return i;
+  SCRIPT_PANIC("node " + std::to_string(node) + " is not active");
+}
+
+LockTable& ReplicaSet::table(NodeId node) {
+  return *tables_[index_of(node)];
+}
+
+const LockTable& ReplicaSet::table(NodeId node) const {
+  return *tables_[index_of(node)];
+}
+
+void ReplicaSet::swap_member(NodeId leaving, NodeId joining) {
+  SCRIPT_ASSERT(joining < n_, "joining node out of range");
+  SCRIPT_ASSERT(!is_active(joining), "joining node already active");
+  const std::size_t i = index_of(leaving);
+  // The table (with all granted locks) stays with the slot: the joiner
+  // inherits the leaver's lock records.
+  active_[i] = joining;
+  ++epoch_;
+}
+
+}  // namespace script::lockdb

@@ -1,0 +1,55 @@
+// The replicated database substrate of the paper's lock-manager example:
+// "Consider n nodes in a network, each of which can hold a copy of a
+// database. At any one time k nodes hold copies. The membership of this
+// set of active nodes may change, but it always has k members."
+//
+// Lock tables are preserved across membership changes ("if a reader is
+// granted a read lock in one performance, some lock manager will have a
+// record of that lock on a subsequent performance"): a node leaving the
+// active set hands its table to its replacement.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "lockdb/lock_table.hpp"
+
+namespace script::lockdb {
+
+using NodeId = std::size_t;
+
+class ReplicaSet {
+ public:
+  /// n total nodes, of which the first k start active.
+  ReplicaSet(std::size_t n, std::size_t k);
+
+  std::size_t total_nodes() const { return n_; }
+  std::size_t active_count() const { return k_; }
+  const std::vector<NodeId>& active() const { return active_; }
+  bool is_active(NodeId node) const;
+
+  /// The lock table replica held by an ACTIVE node.
+  LockTable& table(NodeId node);
+  const LockTable& table(NodeId node) const;
+
+  /// Replace active node `leaving` with inactive node `joining`,
+  /// transferring the lock table (the paper's membership change,
+  /// normally negotiated by "a separate script" — see
+  /// MembershipChangeScript in scripts/lock_manager).
+  void swap_member(NodeId leaving, NodeId joining);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::size_t index_of(NodeId node) const;
+
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<NodeId> active_;
+  std::vector<std::unique_ptr<LockTable>> tables_;  // parallel to active_
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace script::lockdb

@@ -1,0 +1,159 @@
+#include "lockdb/strategies.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::lockdb {
+
+namespace {
+
+void rollback(ReplicaSet& rs, const std::string& item, OwnerId owner,
+              const std::vector<NodeId>& holders) {
+  for (const NodeId node : holders) rs.table(node).release(item, owner);
+}
+
+}  // namespace
+
+// ---- ReadOneWriteAll ----
+
+LockOutcome ReadOneWriteAll::read_lock(ReplicaSet& rs,
+                                       const std::string& item,
+                                       OwnerId owner) {
+  LockOutcome out;
+  for (const NodeId node : rs.active()) {
+    ++out.replicas_contacted;
+    if (rs.table(node).acquire(item, LockMode::Shared, owner)) {
+      out.granted = true;
+      out.holders.push_back(node);
+      return out;  // one is enough
+    }
+  }
+  return out;
+}
+
+LockOutcome ReadOneWriteAll::write_lock(ReplicaSet& rs,
+                                        const std::string& item,
+                                        OwnerId owner) {
+  LockOutcome out;
+  for (const NodeId node : rs.active()) {
+    ++out.replicas_contacted;
+    if (rs.table(node).acquire(item, LockMode::Exclusive, owner)) {
+      out.holders.push_back(node);
+    } else {
+      rollback(rs, item, owner, out.holders);
+      out.holders.clear();
+      return out;  // any denial aborts the write lock
+    }
+  }
+  out.granted = true;
+  return out;
+}
+
+void ReadOneWriteAll::release(ReplicaSet& rs, const std::string& item,
+                              OwnerId owner) {
+  for (const NodeId node : rs.active()) rs.table(node).release(item, owner);
+}
+
+// ---- MajorityLocking ----
+
+LockOutcome MajorityLocking::quorum_lock(ReplicaSet& rs,
+                                         const std::string& item,
+                                         OwnerId owner, LockMode mode) {
+  const std::size_t quorum = rs.active_count() / 2 + 1;
+  LockOutcome out;
+  for (const NodeId node : rs.active()) {
+    ++out.replicas_contacted;
+    if (rs.table(node).acquire(item, mode, owner))
+      out.holders.push_back(node);
+    if (out.holders.size() >= quorum) {
+      out.granted = true;
+      return out;
+    }
+    // Early abort when a quorum is no longer reachable.
+    const std::size_t remaining = rs.active_count() - out.replicas_contacted;
+    if (out.holders.size() + remaining < quorum) break;
+  }
+  rollback(rs, item, owner, out.holders);
+  out.holders.clear();
+  return out;
+}
+
+LockOutcome MajorityLocking::read_lock(ReplicaSet& rs,
+                                       const std::string& item,
+                                       OwnerId owner) {
+  return quorum_lock(rs, item, owner, LockMode::Shared);
+}
+
+LockOutcome MajorityLocking::write_lock(ReplicaSet& rs,
+                                        const std::string& item,
+                                        OwnerId owner) {
+  return quorum_lock(rs, item, owner, LockMode::Exclusive);
+}
+
+void MajorityLocking::release(ReplicaSet& rs, const std::string& item,
+                              OwnerId owner) {
+  for (const NodeId node : rs.active()) rs.table(node).release(item, owner);
+}
+
+// ---- GranularityStrategy ----
+
+GranularityStrategy::GranularityStrategy(std::size_t replicas) {
+  for (std::size_t i = 0; i < replicas; ++i)
+    tables_.push_back(std::make_unique<GranularityLockTable>());
+}
+
+GranularityLockTable& GranularityStrategy::hierarchy(
+    std::size_t replica_index) {
+  SCRIPT_ASSERT(replica_index < tables_.size(),
+                "granularity replica index out of range");
+  return *tables_[replica_index];
+}
+
+LockOutcome GranularityStrategy::read_lock(ReplicaSet& rs,
+                                           const std::string& item,
+                                           OwnerId owner) {
+  LockOutcome out;
+  for (std::size_t i = 0; i < rs.active_count() && i < tables_.size(); ++i) {
+    ++out.replicas_contacted;
+    if (tables_[i]->lock(item, GranMode::S, owner)) {
+      out.granted = true;
+      out.holders.push_back(rs.active()[i]);
+      return out;
+    }
+  }
+  return out;
+}
+
+LockOutcome GranularityStrategy::write_lock(ReplicaSet& rs,
+                                            const std::string& item,
+                                            OwnerId owner) {
+  LockOutcome out;
+  std::vector<std::size_t> acquired;
+  for (std::size_t i = 0; i < rs.active_count() && i < tables_.size(); ++i) {
+    ++out.replicas_contacted;
+    if (tables_[i]->lock(item, GranMode::X, owner)) {
+      acquired.push_back(i);
+      out.holders.push_back(rs.active()[i]);
+    } else {
+      for (const std::size_t j : acquired)
+        tables_[j]->release(item, GranMode::X, owner);
+      out.holders.clear();
+      return out;
+    }
+  }
+  out.granted = true;
+  return out;
+}
+
+void GranularityStrategy::release(ReplicaSet&, const std::string& item,
+                                  OwnerId owner) {
+  // Drop whichever mode this owner holds on `item`, replica by replica
+  // (a read lock lives on one replica, a write lock on all).
+  for (auto& t : tables_) {
+    if (t->holds(item, GranMode::S, owner))
+      t->release(item, GranMode::S, owner);
+    if (t->holds(item, GranMode::X, owner))
+      t->release(item, GranMode::X, owner);
+  }
+}
+
+}  // namespace script::lockdb

@@ -1,0 +1,93 @@
+// The read/write locking strategies the paper says a lock-manager
+// script "can hide":
+//   * "Lock one node to read, all nodes to write."  (ReadOneWriteAll)
+//   * "Lock a majority of nodes to read or write."  (MajorityLocking)
+//   * "Multiple granularity locking as described by Korth." (see
+//     granularity.hpp; GranularityStrategy adapts it to this interface)
+//
+// A strategy decides HOW MANY replicas must grant, and in which order to
+// try them; the script decides WHO talks to WHOM. Strategies are used
+// both by the lock-manager script bodies and directly by the C3 bench.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lockdb/granularity.hpp"
+#include "lockdb/replica.hpp"
+
+namespace script::lockdb {
+
+struct LockOutcome {
+  bool granted = false;
+  /// Replicas that granted (and still hold) the lock.
+  std::vector<NodeId> holders;
+  /// Replicas contacted before the outcome was decided.
+  std::size_t replicas_contacted = 0;
+};
+
+class LockStrategy {
+ public:
+  virtual ~LockStrategy() = default;
+  virtual std::string name() const = 0;
+
+  virtual LockOutcome read_lock(ReplicaSet& rs, const std::string& item,
+                                OwnerId owner) = 0;
+  virtual LockOutcome write_lock(ReplicaSet& rs, const std::string& item,
+                                 OwnerId owner) = 0;
+  virtual void release(ReplicaSet& rs, const std::string& item,
+                       OwnerId owner) = 0;
+};
+
+/// One replica suffices to read; every replica must grant a write.
+class ReadOneWriteAll final : public LockStrategy {
+ public:
+  std::string name() const override { return "read-one/write-all"; }
+  LockOutcome read_lock(ReplicaSet& rs, const std::string& item,
+                        OwnerId owner) override;
+  LockOutcome write_lock(ReplicaSet& rs, const std::string& item,
+                         OwnerId owner) override;
+  void release(ReplicaSet& rs, const std::string& item,
+               OwnerId owner) override;
+};
+
+/// floor(k/2)+1 replicas must grant either kind of lock.
+class MajorityLocking final : public LockStrategy {
+ public:
+  std::string name() const override { return "majority"; }
+  LockOutcome read_lock(ReplicaSet& rs, const std::string& item,
+                        OwnerId owner) override;
+  LockOutcome write_lock(ReplicaSet& rs, const std::string& item,
+                         OwnerId owner) override;
+  void release(ReplicaSet& rs, const std::string& item,
+               OwnerId owner) override;
+
+ private:
+  LockOutcome quorum_lock(ReplicaSet& rs, const std::string& item,
+                          OwnerId owner, LockMode mode);
+};
+
+/// Korth multiple-granularity locking applied on every replica
+/// (read = S on one replica's hierarchy, write = X on all replicas).
+/// Items are slash paths into the hierarchy.
+class GranularityStrategy final : public LockStrategy {
+ public:
+  explicit GranularityStrategy(std::size_t replicas);
+  std::string name() const override { return "korth-granularity"; }
+  LockOutcome read_lock(ReplicaSet& rs, const std::string& item,
+                        OwnerId owner) override;
+  LockOutcome write_lock(ReplicaSet& rs, const std::string& item,
+                         OwnerId owner) override;
+  void release(ReplicaSet& rs, const std::string& item,
+               OwnerId owner) override;
+
+  GranularityLockTable& hierarchy(std::size_t replica_index);
+
+ private:
+  // Granularity tables shadow the ReplicaSet's flat tables (the flat
+  // LockTable cannot express intentions).
+  std::vector<std::unique_ptr<GranularityLockTable>> tables_;
+};
+
+}  // namespace script::lockdb

@@ -1,0 +1,94 @@
+// The two mailbox packagings of the paper's §IV monitor discussion:
+//
+//   * Mailbox<T>        — one monitor per mailbox ("the second
+//     implementation eliminates the unnecessary concurrency
+//     restrictions"); this is the scheme Figure 12's script follows.
+//   * MailboxBank<T>    — a single monitor housing all mailboxes ("all
+//     access to any mailbox is serialized").
+//
+// Both charge an optional `access_cost` of virtual time while holding
+// their monitor, so the serialization difference is measurable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+
+namespace script::monitor {
+
+/// Single-slot mailbox guarded by its own monitor (Figure 12's
+/// `TYPE mailbox : MONITOR`).
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox(runtime::Scheduler& sched, std::string name,
+          std::uint64_t access_cost = 0)
+      : mon_(sched, std::move(name)), cost_(access_cost) {}
+
+  /// WAIT UNTIL status = empty; contents := i; status := full.
+  void put(T value) {
+    mon_.enter();
+    mon_.wait_until([this] { return !slot_.has_value(); });
+    if (cost_ > 0) mon_.occupy(cost_);
+    slot_ = std::move(value);
+    mon_.leave();
+  }
+
+  /// WAIT UNTIL status = full; get := contents; status := empty.
+  T get() {
+    mon_.enter();
+    mon_.wait_until([this] { return slot_.has_value(); });
+    if (cost_ > 0) mon_.occupy(cost_);
+    T out = std::move(*slot_);
+    slot_.reset();
+    mon_.leave();
+    return out;
+  }
+
+  Monitor& monitor() { return mon_; }
+
+ private:
+  Monitor mon_;
+  std::optional<T> slot_;
+  std::uint64_t cost_;
+};
+
+/// All mailboxes behind ONE monitor — the "unified abstraction, all
+/// details hidden in a single black box" whose cost the paper calls out.
+template <typename T>
+class MailboxBank {
+ public:
+  MailboxBank(runtime::Scheduler& sched, std::string name, std::size_t n,
+              std::uint64_t access_cost = 0)
+      : mon_(sched, std::move(name)), slots_(n), cost_(access_cost) {}
+
+  void put(std::size_t i, T value) {
+    mon_.enter();
+    mon_.wait_until([this, i] { return !slots_[i].has_value(); });
+    if (cost_ > 0) mon_.occupy(cost_);
+    slots_[i] = std::move(value);
+    mon_.leave();
+  }
+
+  T get(std::size_t i) {
+    mon_.enter();
+    mon_.wait_until([this, i] { return slots_[i].has_value(); });
+    if (cost_ > 0) mon_.occupy(cost_);
+    T out = std::move(*slots_[i]);
+    slots_[i].reset();
+    mon_.leave();
+    return out;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  Monitor& monitor() { return mon_; }
+
+ private:
+  Monitor mon_;
+  std::vector<std::optional<T>> slots_;
+  std::uint64_t cost_;
+};
+
+}  // namespace script::monitor

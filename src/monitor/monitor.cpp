@@ -1,0 +1,67 @@
+#include "monitor/monitor.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::monitor {
+
+Monitor::Monitor(runtime::Scheduler& sched, std::string name)
+    : sched_(&sched), name_(std::move(name)), entry_queue_(sched) {}
+
+void Monitor::enter() {
+  ++entries_;
+  if (!busy_) {
+    busy_ = true;
+    return;
+  }
+  ++contended_;
+  entry_queue_.park("entering monitor " + name_);
+  // Woken by release_and_admit with ownership handed to us.
+  SCRIPT_ASSERT(busy_, "monitor hand-off lost ownership");
+}
+
+void Monitor::leave() {
+  SCRIPT_ASSERT(busy_, "leave() without holding monitor " + name_);
+  release_and_admit();
+}
+
+void Monitor::wait_until(std::function<bool()> pred) {
+  SCRIPT_ASSERT(busy_, "wait_until() without holding monitor " + name_);
+  if (pred()) return;
+  cond_waiters_.push_back({sched_->current(), pred});
+  release_and_admit();
+  sched_->block("WAIT UNTIL in monitor " + name_);
+  //
+
+  // Admitted with ownership; hand-off guarantees the predicate held at
+  // admission time and no one has run inside the monitor since.
+  SCRIPT_ASSERT(busy_ && pred(), "WAIT UNTIL admitted with false predicate");
+}
+
+void Monitor::with(const std::function<void()>& body) {
+  enter();
+  body();
+  leave();
+}
+
+void Monitor::occupy(std::uint64_t ticks) {
+  SCRIPT_ASSERT(busy_, "occupy() without holding monitor " + name_);
+  sched_->sleep_for(ticks);
+}
+
+void Monitor::release_and_admit() {
+  // Prefer a condition waiter whose predicate now holds (FIFO).
+  for (std::size_t i = 0; i < cond_waiters_.size(); ++i) {
+    if (cond_waiters_[i].pred()) {
+      const ProcessId pid = cond_waiters_[i].pid;
+      cond_waiters_.erase(cond_waiters_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      // busy_ stays true: ownership passes directly to the waiter.
+      sched_->unblock(pid);
+      return;
+    }
+  }
+  if (entry_queue_.notify_one()) return;  // hand off to a new entrant
+  busy_ = false;
+}
+
+}  // namespace script::monitor

@@ -1,0 +1,72 @@
+// Monitors with `WAIT UNTIL <predicate>` — the shared-memory host
+// language of the paper's §IV "Scripts with Monitors" (Figure 12).
+//
+// Semantics are automatic-signalling (as the paper's Pascal-ish figures
+// assume): a fiber inside the monitor that executes WAIT UNTIL releases
+// the monitor until the predicate holds; whenever the monitor is
+// released, a waiter whose predicate now holds is admitted *before* any
+// new entrant (hand-off), so its predicate is still true when it runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/wait_queue.hpp"
+
+namespace script::monitor {
+
+using runtime::ProcessId;
+
+class Monitor {
+ public:
+  Monitor(runtime::Scheduler& sched, std::string name);
+
+  /// Acquire exclusive access; FIFO among contenders.
+  void enter();
+
+  /// Release; admits (in order of preference) a ready predicate waiter,
+  /// else the head of the entry queue.
+  void leave();
+
+  /// Must hold the monitor. Releases it until `pred()` holds, then
+  /// returns with the monitor re-held. `pred` must only read state
+  /// protected by this monitor.
+  void wait_until(std::function<bool()> pred);
+
+  /// Run `body` inside the monitor (enter/leave RAII-style).
+  void with(const std::function<void()>& body);
+
+  /// Model a computation of `ticks` virtual time performed while
+  /// *holding* the monitor (e.g. copying a message into a mailbox).
+  /// This is what makes single-monitor serialization measurable.
+  void occupy(std::uint64_t ticks);
+
+  bool held() const { return busy_; }
+  const std::string& name() const { return name_; }
+
+  // Contention counters for the Figure-12 bench.
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t contended_entries() const { return contended_; }
+
+ private:
+  struct CondWaiter {
+    ProcessId pid;
+    std::function<bool()> pred;
+  };
+
+  /// Shared tail of leave()/wait_until(): pass the monitor on.
+  void release_and_admit();
+
+  runtime::Scheduler* sched_;
+  std::string name_;
+  bool busy_ = false;
+  runtime::WaitQueue entry_queue_;
+  std::vector<CondWaiter> cond_waiters_;  // FIFO order
+  std::uint64_t entries_ = 0;
+  std::uint64_t contended_ = 0;
+};
+
+}  // namespace script::monitor

@@ -1,0 +1,71 @@
+#include "runtime/explore.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+namespace {
+
+// One node of the decision path: which ready-index was chosen out of
+// how many options.
+struct Decision {
+  std::size_t chosen;
+  std::size_t options;
+};
+
+}  // namespace
+
+ExploreStats explore_interleavings(
+    const std::function<void(Scheduler&)>& build,
+    const std::function<void(Scheduler&, const RunResult&)>& check,
+    ExploreOptions opts) {
+  ExploreStats stats;
+  std::vector<Decision> prefix;  // decisions to replay verbatim
+
+  for (;;) {
+    if (stats.interleavings >= opts.max_runs) return stats;
+
+    // Execute one run: follow `prefix`, then always take index 0,
+    // recording every decision point actually encountered.
+    std::vector<Decision> path;
+    std::size_t step = 0;
+    SchedulerOptions sopts;
+    sopts.policy = SchedulePolicy::Scripted;
+    sopts.stack_bytes = opts.stack_bytes;
+    sopts.max_steps_per_run = opts.max_steps_per_run;
+    sopts.chooser = [&](std::size_t n_ready) {
+      const std::size_t pick =
+          step < prefix.size() ? prefix[step].chosen : 0;
+      SCRIPT_ASSERT(pick < n_ready,
+                    "explore: replay diverged (program not repeatable?)");
+      path.push_back({pick, n_ready});
+      ++step;
+      return pick;
+    };
+    Scheduler sched(sopts);
+    build(sched);
+    const RunResult result = sched.run();
+    ++stats.interleavings;
+    if (result.outcome == RunResult::Outcome::StepLimit)
+      ++stats.truncated_runs;
+    stats.max_decision_depth =
+        std::max(stats.max_decision_depth,
+                 static_cast<std::uint64_t>(path.size()));
+    check(sched, result);
+
+    // Backtrack: advance the last decision that still has an untried
+    // sibling; drop everything after it.
+    while (!path.empty() && path.back().chosen + 1 >= path.back().options)
+      path.pop_back();
+    if (path.empty()) {
+      stats.complete = true;
+      return stats;
+    }
+    ++path.back().chosen;
+    prefix = std::move(path);
+  }
+}
+
+}  // namespace script::runtime

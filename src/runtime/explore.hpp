@@ -1,0 +1,61 @@
+// Exhaustive interleaving exploration (stateless model checking).
+//
+// The paper's §V: "We also intend to explore issues of specification
+// and verification of concurrent programs using scripts." This module
+// is that exploration for small programs: because a run is fully
+// determined by the sequence of scheduler decisions (which ready fiber
+// runs at each step — the RNG and virtual clock are themselves
+// schedule-deterministic), we can enumerate the decision tree by
+// re-executing the program from scratch along each branch (à la
+// stateless model checking).
+//
+//   auto stats = explore_interleavings(
+//       [&](Scheduler& s, Net& n) { ...spawn the program... },
+//       [&](Scheduler& s, const RunResult& r) { ...assert invariants... });
+//
+// The checker runs after EVERY interleaving; a gtest failure or
+// exception inside it surfaces with the decision path that produced it.
+//
+// LIMITATION: a program with an unbounded busy-wait loop has infinite
+// schedules (starve the loop forever); the per-run step bound truncates
+// each such schedule, but the truncated subtree can still be
+// exponential. Keep explored programs loop-free or loop-bounded —
+// rendezvous-based blocking (channels, enrollment) is fine, because a
+// blocked fiber is not schedulable and creates no decision points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace script::runtime {
+
+struct ExploreStats {
+  std::uint64_t interleavings = 0;
+  bool complete = false;  // false: stopped at max_runs
+  std::uint64_t max_decision_depth = 0;
+  /// Schedules cut off by the per-run step bound (a starved busy-wait
+  /// loop makes some schedules infinite; those are truncated, reported
+  /// to `check` with Outcome::StepLimit, and still backtracked past).
+  std::uint64_t truncated_runs = 0;
+};
+
+struct ExploreOptions {
+  std::uint64_t max_runs = 100000;
+  std::uint64_t max_steps_per_run = 5000;
+  std::size_t stack_bytes = 128 * 1024;
+};
+
+/// Enumerate every scheduler interleaving of the program constructed by
+/// `build`, running `check` after each. `build` must be repeatable:
+/// it is invoked once per interleaving on a fresh Scheduler and must
+/// recreate all state the program touches.
+ExploreStats explore_interleavings(
+    const std::function<void(Scheduler&)>& build,
+    const std::function<void(Scheduler&, const RunResult&)>& check,
+    ExploreOptions opts = {});
+
+}  // namespace script::runtime

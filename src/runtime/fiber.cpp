@@ -1,0 +1,48 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdint>
+
+#include "runtime/scheduler.hpp"
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+Fiber::Fiber(ProcessId id, std::string name, std::function<void()> body,
+             std::size_t stack_bytes)
+    : id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(stack_bytes) {
+  if (getcontext(&context_) != 0) SCRIPT_PANIC("getcontext failed");
+  context_.uc_stack.ss_sp = stack_.base();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // fibers return via explicit swapcontext
+  // makecontext only passes ints, so the `this` pointer travels as two
+  // 32-bit halves.
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+                   static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(ptr)->run_body();
+  SCRIPT_PANIC("fiber resumed after completion");
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    failure_ = std::current_exception();
+  }
+  state_ = FiberState::Done;
+  SCRIPT_ASSERT(scheduler_ != nullptr, "fiber ran without a scheduler");
+  scheduler_->on_fiber_done(*this);
+  // Final switch back to the scheduler loop; never returns.
+  scheduler_->switch_out();
+}
+
+}  // namespace script::runtime

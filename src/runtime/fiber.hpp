@@ -1,0 +1,80 @@
+// A Fiber is one lightweight process context (ucontext-based).
+//
+// The paper assumes CSP/Ada-style language-level processes; C++ offers
+// none, so fibers are our substitute. A role body executes *on the
+// enrolling process's fiber* — the paper's "logical continuation of the
+// enrolling process" — which is why fibers, not helper threads, are the
+// right substrate.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+
+#include "runtime/stack.hpp"
+
+namespace script::runtime {
+
+/// Stable identity of a process in the simulated system.
+using ProcessId = std::uint32_t;
+inline constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+enum class FiberState : std::uint8_t {
+  Ready,     // runnable, waiting for the scheduler to pick it
+  Running,   // currently executing
+  Blocked,   // parked on a wait queue / rendezvous
+  Sleeping,  // parked on the virtual-time timer heap
+  Done,      // body returned (or threw)
+};
+
+class Scheduler;
+
+class Fiber {
+ public:
+  Fiber(ProcessId id, std::string name, std::function<void()> body,
+        std::size_t stack_bytes);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  FiberState state() const { return state_; }
+  void set_state(FiberState s) { state_ = s; }
+
+  /// Why this fiber is blocked — surfaced in deadlock reports.
+  const std::string& block_reason() const { return block_reason_; }
+  void set_block_reason(std::string r) { block_reason_ = std::move(r); }
+
+  /// Exception that escaped the body, if any (rethrown by Scheduler::run).
+  std::exception_ptr failure() const { return failure_; }
+
+  /// True when the last block_with_timeout() expired rather than being
+  /// unblocked.
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  friend class Scheduler;
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  ProcessId id_;
+  std::string name_;
+  std::function<void()> body_;
+  Stack stack_;
+  ucontext_t context_{};
+  FiberState state_ = FiberState::Ready;
+  std::string block_reason_;
+  std::exception_ptr failure_;
+  Scheduler* scheduler_ = nullptr;  // set when first scheduled
+  // Wake generation: bumped on every wake so a timer armed for an
+  // earlier block/sleep can be recognized as stale and ignored.
+  std::uint64_t wake_gen_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace script::runtime

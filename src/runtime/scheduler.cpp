@@ -1,0 +1,252 @@
+#include "runtime/scheduler.hpp"
+
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+std::string describe(const RunResult& result, const Scheduler& sched) {
+  std::string out;
+  switch (result.outcome) {
+    case RunResult::Outcome::AllDone:
+      out = "all fibers completed";
+      break;
+    case RunResult::Outcome::Deadlock:
+      out = "DEADLOCK";
+      break;
+    case RunResult::Outcome::StepLimit:
+      out = "stopped at step limit";
+      break;
+  }
+  out += " (steps=" + std::to_string(result.steps) +
+         ", virtual time=" + std::to_string(result.final_time) + ")";
+  for (const auto& [pid, reason] : result.blocked)
+    out += "\n  blocked: " + sched.name_of(pid) + " — " + reason;
+  return out;
+}
+
+Scheduler::Scheduler(SchedulerOptions opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+Scheduler::~Scheduler() = default;
+
+ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
+  const auto pid = static_cast<ProcessId>(fibers_.size());
+  auto f = std::make_unique<Fiber>(pid, std::move(name), std::move(body),
+                                   opts_.stack_bytes);
+  f->scheduler_ = this;
+  fibers_.push_back(std::move(f));
+  joiners_.emplace_back();
+  ready_.push_back(pid);
+  return pid;
+}
+
+RunResult Scheduler::run() {
+  SCRIPT_ASSERT(!running_, "Scheduler::run is not reentrant");
+  running_ = true;
+  RunResult result;
+  std::uint64_t dispatched = 0;
+
+  for (;;) {
+    if (opts_.max_steps_per_run != 0 &&
+        dispatched >= opts_.max_steps_per_run) {
+      result.outcome = RunResult::Outcome::StepLimit;
+      break;
+    }
+    if (ready_.empty() && !advance_clock()) break;
+    if (ready_.empty()) continue;  // clock advance may wake sleepers only
+
+    const ProcessId pid = pick_next();
+    Fiber& f = fiber(pid);
+    SCRIPT_ASSERT(f.state() == FiberState::Ready,
+                  "scheduled fiber not ready: " + f.name());
+    f.set_state(FiberState::Running);
+    current_ = pid;
+    ++steps_;
+    ++dispatched;
+    swapcontext(&main_context_, &f.context_);
+    current_ = kNoProcess;
+
+    if (f.state() == FiberState::Done && f.failure()) {
+      running_ = false;
+      std::rethrow_exception(f.failure());
+    }
+  }
+
+  running_ = false;
+  result.final_time = now_;
+  result.steps = steps_;
+  if (result.outcome == RunResult::Outcome::StepLimit) return result;
+  for (const auto& f : fibers_) {
+    if (f->state() == FiberState::Blocked)
+      result.blocked.emplace_back(f->id(), f->block_reason());
+    SCRIPT_ASSERT(f->state() != FiberState::Sleeping,
+                  "sleeper left behind after clock drained");
+  }
+  result.outcome = result.blocked.empty() ? RunResult::Outcome::AllDone
+                                          : RunResult::Outcome::Deadlock;
+  return result;
+}
+
+void Scheduler::yield() {
+  Fiber& f = fiber(current());
+  f.set_state(FiberState::Ready);
+  ready_.push_back(f.id());
+  switch_out();
+}
+
+void Scheduler::block(const std::string& reason) {
+  Fiber& f = fiber(current());
+  f.set_state(FiberState::Blocked);
+  f.set_block_reason(reason);
+  switch_out();
+}
+
+void Scheduler::sleep_for(std::uint64_t ticks) {
+  Fiber& f = fiber(current());
+  if (ticks == 0) {
+    yield();
+    return;
+  }
+  f.set_state(FiberState::Sleeping);
+  timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  switch_out();
+}
+
+bool Scheduler::block_with_timeout(const std::string& reason,
+                                   std::uint64_t ticks) {
+  Fiber& f = fiber(current());
+  f.set_state(FiberState::Blocked);
+  f.set_block_reason(reason);
+  f.timed_out_ = false;
+  timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  switch_out();
+  return f.timed_out_;
+}
+
+void Scheduler::join(ProcessId pid) {
+  SCRIPT_ASSERT(pid < fibers_.size(), "join: unknown process");
+  if (fiber(pid).state() == FiberState::Done) return;
+  joiners_[pid].push_back(current());
+  block("joining " + fiber(pid).name());
+}
+
+void Scheduler::unblock(ProcessId pid) {
+  Fiber& f = fiber(pid);
+  SCRIPT_ASSERT(f.state() == FiberState::Blocked,
+                "unblock on non-blocked fiber " + f.name());
+  f.set_state(FiberState::Ready);
+  f.set_block_reason("");
+  f.timed_out_ = false;
+  ++f.wake_gen_;  // any timeout timer armed for this block is now stale
+  ready_.push_back(pid);
+}
+
+void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
+  if (ticks_from_now == 0) {
+    unblock(pid);
+    return;
+  }
+  Fiber& f = fiber(pid);
+  SCRIPT_ASSERT(f.state() == FiberState::Blocked,
+                "wake_at on non-blocked fiber " + f.name());
+  f.set_state(FiberState::Sleeping);
+  f.set_block_reason("");
+  ++f.wake_gen_;  // invalidate any timeout armed for the old block
+  timers_.push(Timer{now_ + ticks_from_now, timer_seq_++, pid, f.wake_gen_});
+}
+
+ProcessId Scheduler::current() const {
+  SCRIPT_ASSERT(current_ != kNoProcess,
+                "operation requires a running fiber");
+  return current_;
+}
+
+const std::string& Scheduler::name_of(ProcessId pid) const {
+  return fiber(pid).name();
+}
+
+FiberState Scheduler::state_of(ProcessId pid) const {
+  return fiber(pid).state();
+}
+
+std::size_t Scheduler::live_count() const {
+  std::size_t n = 0;
+  for (const auto& f : fibers_)
+    if (f->state() != FiberState::Done) ++n;
+  return n;
+}
+
+void Scheduler::trace_event(ProcessId subject, std::string what) {
+  trace_.record(now_, name_of(subject), std::move(what));
+}
+
+Fiber& Scheduler::fiber(ProcessId pid) {
+  SCRIPT_ASSERT(pid < fibers_.size(), "unknown process id");
+  return *fibers_[pid];
+}
+
+const Fiber& Scheduler::fiber(ProcessId pid) const {
+  SCRIPT_ASSERT(pid < fibers_.size(), "unknown process id");
+  return *fibers_[pid];
+}
+
+void Scheduler::switch_out() {
+  Fiber& f = fiber(current_);
+  swapcontext(&f.context_, &main_context_);
+}
+
+void Scheduler::on_fiber_done(Fiber& f) {
+  for (const ProcessId waiter : joiners_[f.id()]) unblock(waiter);
+  joiners_[f.id()].clear();
+}
+
+ProcessId Scheduler::pick_next() {
+  SCRIPT_ASSERT(!ready_.empty(), "pick_next on empty ready queue");
+  std::size_t i = 0;
+  switch (opts_.policy) {
+    case SchedulePolicy::Fifo:
+      break;
+    case SchedulePolicy::Random:
+      i = rng_.pick_index(ready_.size());
+      break;
+    case SchedulePolicy::Scripted:
+      SCRIPT_ASSERT(opts_.chooser != nullptr,
+                    "Scripted policy requires a chooser");
+      i = opts_.chooser(ready_.size());
+      SCRIPT_ASSERT(i < ready_.size(), "chooser index out of range");
+      break;
+  }
+  const ProcessId pid = ready_[i];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+  return pid;
+}
+
+bool Scheduler::advance_clock() {
+  bool woke_any = false;
+  while (!timers_.empty() && !woke_any) {
+    now_ = std::max(now_, timers_.top().due);
+    while (!timers_.empty() && timers_.top().due <= now_) {
+      const Timer t = timers_.top();
+      timers_.pop();
+      Fiber& f = fiber(t.pid);
+      if (t.gen != f.wake_gen_) continue;  // stale: fiber woke another way
+      ++f.wake_gen_;
+      if (f.state() == FiberState::Sleeping) {
+        f.set_state(FiberState::Ready);
+      } else {
+        SCRIPT_ASSERT(f.state() == FiberState::Blocked,
+                      "live timer fired for non-parked fiber");
+        f.set_state(FiberState::Ready);
+        f.set_block_reason("");
+        f.timed_out_ = true;
+      }
+      ready_.push_back(t.pid);
+      woke_any = true;
+    }
+  }
+  return woke_any || !timers_.empty();
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,163 @@
+// Cooperative fiber scheduler with a virtual clock.
+//
+// All processes of a libscript program run as fibers on one OS thread.
+// Two scheduling policies:
+//   * Fifo   — deterministic round-robin; every run is identical.
+//   * Random — seeded-random pick among ready fibers; used by property
+//              tests to explore interleavings reproducibly.
+//
+// Time is virtual: it advances only when every runnable fiber has parked
+// on the timer heap (classic discrete-event simulation). Communication
+// latency models (csp::Net, SimLink) park fibers on timers, so benches
+// measure latency *shape* independent of host speed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace script::runtime {
+
+enum class SchedulePolicy : std::uint8_t {
+  Fifo,     // deterministic round-robin
+  Random,   // seeded-random pick among ready fibers
+  Scripted  // every pick delegated to `chooser` (model checking)
+};
+
+struct SchedulerOptions {
+  SchedulePolicy policy = SchedulePolicy::Fifo;
+  std::uint64_t seed = 1;
+  std::size_t stack_bytes = 256 * 1024;
+  /// Scripted policy: called with the number of ready fibers, returns
+  /// the index to run. The exhaustive-interleaving explorer
+  /// (runtime/explore.hpp) drives this.
+  std::function<std::size_t(std::size_t)> chooser;
+  /// If nonzero, run() stops after this many dispatches with outcome
+  /// StepLimit (fibers left unfinished). Lets the explorer bound
+  /// non-terminating schedules (e.g. starving a busy-wait loop).
+  std::uint64_t max_steps_per_run = 0;
+};
+
+struct RunResult {
+  enum class Outcome { AllDone, Deadlock, StepLimit };
+  Outcome outcome = Outcome::AllDone;
+  /// Fibers still blocked at deadlock, with their block reasons.
+  std::vector<std::pair<ProcessId, std::string>> blocked;
+  std::uint64_t final_time = 0;
+  std::uint64_t steps = 0;  // number of fiber dispatches
+
+  bool ok() const { return outcome == Outcome::AllDone; }
+};
+
+class Scheduler;
+
+/// Human-readable run report: outcome, steps, final virtual time, and —
+/// on deadlock — every blocked fiber with its reason. The same report
+/// the examples and benches print; exposed for applications.
+std::string describe(const RunResult& result, const Scheduler& sched);
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opts = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a new process fiber. Callable from outside run() or from a
+  /// running fiber (dynamic spawn). Returns its ProcessId.
+  ProcessId spawn(std::string name, std::function<void()> body);
+
+  /// Drive all fibers to completion or deadlock. Exceptions escaping a
+  /// fiber body are rethrown here. May be called repeatedly (spawn more,
+  /// run again); the virtual clock keeps advancing.
+  RunResult run();
+
+  // ---- Primitives callable only from inside a fiber ----
+
+  /// Let another ready fiber run; current stays runnable.
+  void yield();
+
+  /// Park the current fiber until someone calls unblock(). `reason` is
+  /// shown in deadlock reports ("waiting for role sender to enroll").
+  void block(const std::string& reason);
+
+  /// Park the current fiber for `ticks` of virtual time.
+  void sleep_for(std::uint64_t ticks);
+
+  /// Park like block(), but resume after `ticks` if nobody unblocks us
+  /// first. Returns true on timeout (Ada's `or delay` alternative).
+  /// NOTE: a fiber woken by timeout may still sit in someone's wait
+  /// list; the caller must deregister itself after waking.
+  bool block_with_timeout(const std::string& reason, std::uint64_t ticks);
+
+  /// Block until fiber `pid` has finished. No-op if already done.
+  void join(ProcessId pid);
+
+  // ---- Callable from anywhere ----
+
+  /// Make a Blocked fiber runnable again.
+  void unblock(ProcessId pid);
+
+  /// Move a Blocked fiber onto the timer heap so it resumes `ticks` of
+  /// virtual time from now. Used to charge communication latency to the
+  /// *parked* party of a rendezvous (the running party sleeps directly).
+  void wake_at(ProcessId pid, std::uint64_t ticks_from_now);
+
+  std::uint64_t now() const { return now_; }
+  ProcessId current() const;
+  bool in_fiber() const { return current_ != kNoProcess; }
+  const std::string& name_of(ProcessId pid) const;
+  FiberState state_of(ProcessId pid) const;
+  std::size_t spawned_count() const { return fibers_.size(); }
+  std::size_t live_count() const;
+
+  support::Rng& rng() { return rng_; }
+  support::TraceLog& trace() { return trace_; }
+  /// Record a trace event stamped with virtual time and the fiber's name.
+  void trace_event(ProcessId subject, std::string what);
+
+ private:
+  friend class Fiber;
+
+  Fiber& fiber(ProcessId pid);
+  const Fiber& fiber(ProcessId pid) const;
+  void switch_out();  // from current fiber back to the scheduler loop
+  void on_fiber_done(Fiber& f);
+  ProcessId pick_next();
+  bool advance_clock();  // wake due sleepers; returns false if none pending
+
+  struct Timer {
+    std::uint64_t due;
+    std::uint64_t seq;  // tie-break for determinism
+    ProcessId pid;
+    std::uint64_t gen;  // fiber wake generation this timer was armed for
+    bool operator>(const Timer& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  SchedulerOptions opts_;
+  support::Rng rng_;
+  support::TraceLog trace_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::deque<ProcessId> ready_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::vector<std::vector<ProcessId>> joiners_;  // per-fiber join waiters
+  std::uint64_t now_ = 0;
+  std::uint64_t timer_seq_ = 0;
+  std::uint64_t steps_ = 0;
+  ProcessId current_ = kNoProcess;
+  ucontext_t main_context_{};
+  bool running_ = false;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,90 @@
+#include "runtime/sim_link.hpp"
+
+#include <deque>
+#include <limits>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+std::uint64_t JitterLatency::latency(ProcessId, ProcessId) {
+  if (jitter_ == 0) return base_;
+  return base_ + rng_.below(2 * jitter_ + 1) - jitter_;
+}
+
+Topology::Topology(std::size_t nodes, std::uint64_t ticks_per_hop)
+    : n_(nodes), per_hop_(ticks_per_hop), adj_(nodes) {
+  SCRIPT_ASSERT(nodes > 0, "Topology needs at least one node");
+}
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  SCRIPT_ASSERT(a < n_ && b < n_, "Topology edge out of range");
+  SCRIPT_ASSERT(!frozen_, "Topology::add_edge after freeze");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+void Topology::freeze() {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  dist_.assign(n_, std::vector<std::uint32_t>(n_, kInf));
+  for (std::size_t src = 0; src < n_; ++src) {
+    auto& d = dist_[src];
+    d[src] = 0;
+    std::deque<std::size_t> q{src};
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop_front();
+      for (const std::size_t v : adj_[u]) {
+        if (d[v] == kInf) {
+          d[v] = d[u] + 1;
+          q.push_back(v);
+        }
+      }
+    }
+  }
+  frozen_ = true;
+}
+
+std::uint64_t Topology::latency(ProcessId from, ProcessId to) {
+  SCRIPT_ASSERT(frozen_, "Topology::latency before freeze");
+  return hops(from % n_, to % n_) * per_hop_;
+}
+
+std::uint64_t Topology::hops(std::size_t a, std::size_t b) const {
+  SCRIPT_ASSERT(frozen_, "Topology::hops before freeze");
+  const std::uint32_t h = dist_[a][b];
+  SCRIPT_ASSERT(h != std::numeric_limits<std::uint32_t>::max(),
+                "Topology: unreachable pair");
+  return h;
+}
+
+Topology Topology::ring(std::size_t nodes, std::uint64_t ticks_per_hop) {
+  Topology t(nodes, ticks_per_hop);
+  for (std::size_t i = 0; i < nodes; ++i) t.add_edge(i, (i + 1) % nodes);
+  t.freeze();
+  return t;
+}
+
+Topology Topology::star(std::size_t nodes, std::uint64_t ticks_per_hop) {
+  Topology t(nodes, ticks_per_hop);
+  for (std::size_t i = 1; i < nodes; ++i) t.add_edge(0, i);
+  t.freeze();
+  return t;
+}
+
+Topology Topology::line(std::size_t nodes, std::uint64_t ticks_per_hop) {
+  Topology t(nodes, ticks_per_hop);
+  for (std::size_t i = 0; i + 1 < nodes; ++i) t.add_edge(i, i + 1);
+  t.freeze();
+  return t;
+}
+
+Topology Topology::complete(std::size_t nodes, std::uint64_t ticks_per_hop) {
+  Topology t(nodes, ticks_per_hop);
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t j = i + 1; j < nodes; ++j) t.add_edge(i, j);
+  t.freeze();
+  return t;
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,82 @@
+// Communication-latency models.
+//
+// The paper's broadcast discussion (refs [12, 14]) compares strategies —
+// star, spanning tree, pipeline — whose relative merits only appear when
+// message transfer has a cost. We have no multi-node testbed, so latency
+// is charged in virtual time: when a rendezvous completes, both parties
+// are held for the modelled link latency. The *shape* of the strategy
+// comparison (hop counts × per-hop cost, blocking structure) is exactly
+// what these models reproduce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+#include "support/rng.hpp"
+
+namespace script::runtime {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// Virtual-time cost of one message from `from` to `to`.
+  virtual std::uint64_t latency(ProcessId from, ProcessId to) = 0;
+};
+
+/// Every message costs the same number of ticks.
+class UniformLatency final : public LatencyModel {
+ public:
+  explicit UniformLatency(std::uint64_t ticks) : ticks_(ticks) {}
+  std::uint64_t latency(ProcessId, ProcessId) override { return ticks_; }
+
+ private:
+  std::uint64_t ticks_;
+};
+
+/// base ± jitter, seeded (replayable).
+class JitterLatency final : public LatencyModel {
+ public:
+  JitterLatency(std::uint64_t base, std::uint64_t jitter, std::uint64_t seed)
+      : base_(base), jitter_(jitter), rng_(seed) {}
+  std::uint64_t latency(ProcessId, ProcessId) override;
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t jitter_;
+  support::Rng rng_;
+};
+
+/// An undirected multi-hop network: latency = hop-distance × per-hop cost.
+/// Nodes are ProcessIds 0..n-1 (processes beyond n are treated as node
+/// id % n, letting helper fibers share their owner's node).
+class Topology final : public LatencyModel {
+ public:
+  Topology(std::size_t nodes, std::uint64_t ticks_per_hop);
+
+  void add_edge(std::size_t a, std::size_t b);
+
+  /// Recompute all-pairs hop distances (BFS per node). Call after the
+  /// last add_edge; latency() panics on unreachable pairs.
+  void freeze();
+
+  std::uint64_t latency(ProcessId from, ProcessId to) override;
+
+  std::size_t nodes() const { return n_; }
+  std::uint64_t hops(std::size_t a, std::size_t b) const;
+
+  // Ready-made shapes used by the benches.
+  static Topology ring(std::size_t nodes, std::uint64_t ticks_per_hop);
+  static Topology star(std::size_t nodes, std::uint64_t ticks_per_hop);
+  static Topology line(std::size_t nodes, std::uint64_t ticks_per_hop);
+  static Topology complete(std::size_t nodes, std::uint64_t ticks_per_hop);
+
+ private:
+  std::size_t n_;
+  std::uint64_t per_hop_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::vector<std::uint32_t>> dist_;
+  bool frozen_ = false;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,61 @@
+#include "runtime/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+Stack::Stack(std::size_t usable_size) {
+  const std::size_t ps = page_size();
+  usable_size_ = round_up(usable_size, ps);
+  mapping_size_ = usable_size_ + ps;  // one guard page at the low end
+  mapping_ = mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapping_ == MAP_FAILED) SCRIPT_PANIC("fiber stack mmap failed");
+  if (mprotect(mapping_, ps, PROT_NONE) != 0)
+    SCRIPT_PANIC("fiber stack guard mprotect failed");
+  usable_ = static_cast<char*>(mapping_) + ps;
+}
+
+Stack::~Stack() { release(); }
+
+Stack::Stack(Stack&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      mapping_size_(std::exchange(other.mapping_size_, 0)),
+      usable_(std::exchange(other.usable_, nullptr)),
+      usable_size_(std::exchange(other.usable_size_, 0)) {}
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    release();
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    mapping_size_ = std::exchange(other.mapping_size_, 0);
+    usable_ = std::exchange(other.usable_, nullptr);
+    usable_size_ = std::exchange(other.usable_size_, 0);
+  }
+  return *this;
+}
+
+void Stack::release() noexcept {
+  if (mapping_ != nullptr) {
+    munmap(mapping_, mapping_size_);
+    mapping_ = nullptr;
+  }
+}
+
+}  // namespace script::runtime

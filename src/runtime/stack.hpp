@@ -1,0 +1,35 @@
+// Fiber stack allocation: mmap'd regions with an inaccessible guard page
+// below the stack, so a role body that overflows its stack faults loudly
+// instead of silently corrupting a neighbouring fiber.
+#pragma once
+
+#include <cstddef>
+
+namespace script::runtime {
+
+class Stack {
+ public:
+  /// Allocates `usable_size` bytes (rounded up to page size) plus one
+  /// guard page. Panics on allocation failure.
+  explicit Stack(std::size_t usable_size);
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+
+  /// Lowest usable address (above the guard page).
+  void* base() const { return usable_; }
+  std::size_t size() const { return usable_size_; }
+
+ private:
+  void release() noexcept;
+
+  void* mapping_ = nullptr;       // includes the guard page
+  std::size_t mapping_size_ = 0;  // total mmap'd bytes
+  void* usable_ = nullptr;
+  std::size_t usable_size_ = 0;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,30 @@
+#include "runtime/wait_queue.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+void WaitQueue::park(const std::string& reason) {
+  waiters_.push_back(sched_->current());
+  sched_->block(reason);
+}
+
+bool WaitQueue::notify_one() {
+  if (waiters_.empty()) return false;
+  const ProcessId pid = waiters_.front();
+  waiters_.pop_front();
+  sched_->unblock(pid);
+  return true;
+}
+
+void WaitQueue::notify_all() {
+  while (notify_one()) {
+  }
+}
+
+ProcessId WaitQueue::front() const {
+  SCRIPT_ASSERT(!waiters_.empty(), "WaitQueue::front on empty queue");
+  return waiters_.front();
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,36 @@
+// FIFO queue of parked fibers. The building block for monitors, Ada entry
+// queues, and the script enrollment gates.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+
+namespace script::runtime {
+
+class WaitQueue {
+ public:
+  explicit WaitQueue(Scheduler& sched) : sched_(&sched) {}
+
+  /// Park the calling fiber at the tail. Returns when notified.
+  void park(const std::string& reason);
+
+  /// Wake the fiber at the head, if any. Returns true if one was woken.
+  bool notify_one();
+
+  /// Wake every parked fiber (in FIFO order).
+  void notify_all();
+
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+  /// Peek at the head waiter without waking it.
+  ProcessId front() const;
+
+ private:
+  Scheduler* sched_;
+  std::deque<ProcessId> waiters_;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,48 @@
+// Umbrella header: everything a libscript application typically needs.
+//
+//   #include "script.hpp"
+//
+// Pulls in the runtime (scheduler, latency models, exploration), the
+// three host-language substrates (CSP, Ada, monitors), the script core
+// (the paper's mechanism), and the pattern library. Individual modules
+// remain includable on their own for finer-grained builds.
+#pragma once
+
+// Runtime substrate.
+#include "runtime/explore.hpp"      // IWYU pragma: export
+#include "runtime/scheduler.hpp"    // IWYU pragma: export
+#include "runtime/sim_link.hpp"     // IWYU pragma: export
+#include "runtime/wait_queue.hpp"   // IWYU pragma: export
+
+// Host-language substrates (paper §IV).
+#include "ada/entry.hpp"            // IWYU pragma: export
+#include "ada/select.hpp"           // IWYU pragma: export
+#include "ada/task.hpp"             // IWYU pragma: export
+#include "csp/alternative.hpp"      // IWYU pragma: export
+#include "csp/net.hpp"              // IWYU pragma: export
+#include "monitor/mailbox.hpp"      // IWYU pragma: export
+#include "monitor/monitor.hpp"      // IWYU pragma: export
+
+// The script mechanism (paper §II) and its §V extensions.
+#include "script/distributed.hpp"   // IWYU pragma: export
+#include "script/instance.hpp"      // IWYU pragma: export
+
+// Pattern library (paper §III figures and more).
+#include "scripts/auction.hpp"           // IWYU pragma: export
+#include "scripts/barrier.hpp"           // IWYU pragma: export
+#include "scripts/bounded_buffer.hpp"    // IWYU pragma: export
+#include "scripts/broadcast.hpp"         // IWYU pragma: export
+#include "scripts/lock_manager.hpp"      // IWYU pragma: export
+#include "scripts/mailbox_broadcast.hpp" // IWYU pragma: export
+#include "scripts/scatter_gather.hpp"    // IWYU pragma: export
+#include "scripts/token_ring.hpp"        // IWYU pragma: export
+#include "scripts/two_phase_commit.hpp"  // IWYU pragma: export
+
+// §IV embeddings.
+#include "scripts/ada_embedding.hpp"     // IWYU pragma: export
+#include "scripts/csp_embedding.hpp"     // IWYU pragma: export
+#include "scripts/monitor_embedding.hpp" // IWYU pragma: export
+
+// Replicated-database substrate (Figure 5).
+#include "lockdb/replica.hpp"            // IWYU pragma: export
+#include "lockdb/strategies.hpp"         // IWYU pragma: export

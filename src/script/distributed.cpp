@@ -1,0 +1,59 @@
+#include "script/distributed.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::core {
+
+DistributedCast::DistributedCast(csp::Net& net,
+                                 std::vector<csp::ProcessId> members,
+                                 std::string name)
+    : net_(&net),
+      members_(std::move(members)),
+      name_(std::move(name)),
+      generation_(members_.size(), 0) {
+  SCRIPT_ASSERT(members_.size() >= 2, "distributed cast needs >= 2 members");
+}
+
+void DistributedCast::all_to_all(std::size_t my_index,
+                                 const std::string& phase,
+                                 std::uint64_t generation) {
+  const std::string tag =
+      name_ + "/" + phase + "#" + std::to_string(generation);
+  // Send to every LOWER index first, then receive from everyone, then
+  // send to every HIGHER index. The asymmetry breaks the cycle that
+  // would deadlock a naive send-all-then-receive-all with synchronous
+  // messages: member 0 receives first, member n-1 sends first.
+  //
+  // (Equivalent to the classic ordered handshake generalizing the
+  // binary case: the pair (i, j), i<j, always rendezvouses with j as
+  // sender first.)
+  for (std::size_t j = 0; j < my_index; ++j) {
+    auto r = net_->send(members_[j], tag, my_index);
+    SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
+    ++messages_;
+  }
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (j == my_index) continue;
+    auto r = net_->recv<std::size_t>(members_[j], tag);
+    SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
+  }
+  for (std::size_t j = my_index + 1; j < members_.size(); ++j) {
+    auto r = net_->send(members_[j], tag, my_index);
+    SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
+    ++messages_;
+  }
+}
+
+std::uint64_t DistributedCast::enroll(std::size_t my_index) {
+  SCRIPT_ASSERT(my_index < members_.size(), "bad cast member index");
+  const std::uint64_t g = ++generation_[my_index];
+  all_to_all(my_index, "enroll", g);
+  return g;
+}
+
+void DistributedCast::complete(std::size_t my_index) {
+  SCRIPT_ASSERT(my_index < members_.size(), "bad cast member index");
+  all_to_all(my_index, "done", generation_[my_index]);
+}
+
+}  // namespace script::core

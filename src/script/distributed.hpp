@@ -1,0 +1,65 @@
+// Distributed (supervisor-free) enrollment.
+//
+// The paper's translations use a central supervisor process p_s, and
+// §IV/§V call out the alternative as future work: "to discover
+// distributed algorithms to achieve such multiple synchronization based
+// on a generalization of the current distributed algorithms for binary
+// handshaking."
+//
+// DistributedCast is such a generalization for the delayed-initiation /
+// delayed-termination / fully-named case: every member knows the whole
+// cast (CSP naming), and a performance is two symmetric all-to-all
+// rounds —
+//   round 1 (ENROLL): member i tells everyone "I am in generation g";
+//     having heard all n-1 others, it knows the cast is complete and
+//     starts its role — no coordinator ever existed;
+//   round 2 (DONE): members exchange completion marks; having heard
+//     all, generation g is over and g+1 may begin (the successive-
+//     activations rule, enforced pairwise).
+//
+// Message cost is O(n^2) per performance against the supervisor's O(n)
+// — but with no extra process and no serialization point. Bench C4
+// measures exactly this trade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+
+namespace script::core {
+
+class DistributedCast {
+ public:
+  /// `members[i]` is the process playing role i. All members must be
+  /// declared before any enrolls.
+  DistributedCast(csp::Net& net, std::vector<csp::ProcessId> members,
+                  std::string name);
+
+  /// Called by member `my_index`: announces this member for the next
+  /// generation and blocks until every other member has announced too
+  /// (delayed initiation). Returns the generation number.
+  std::uint64_t enroll(std::size_t my_index);
+
+  /// Called by member `my_index` after its role work: exchanges
+  /// completion marks and blocks until everyone has completed
+  /// (delayed termination + successive-activations gate).
+  void complete(std::size_t my_index);
+
+  std::size_t members() const { return members_.size(); }
+  /// Total protocol messages exchanged so far (for bench C4).
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  void all_to_all(std::size_t my_index, const std::string& phase,
+                  std::uint64_t generation);
+
+  csp::Net* net_;
+  std::vector<csp::ProcessId> members_;
+  std::string name_;
+  std::vector<std::uint64_t> generation_;  // per member
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace script::core

@@ -1,0 +1,30 @@
+// Structured script events, for observers (metrics, runtime
+// verification). The TraceLog keeps the human-readable Figure-1-style
+// timeline; observers get the same milestones as typed values.
+#pragma once
+
+#include <cstdint>
+
+#include "script/ids.hpp"
+
+namespace script::core {
+
+struct ScriptEvent {
+  enum class Kind : std::uint8_t {
+    EnrollAttempt,      // request queued (role = requested, maybe any-index)
+    Enrolled,           // request admitted (role = concrete)
+    RoleBegan,          // body starts on the enroller's fiber
+    RoleFinished,       // body returned
+    Released,           // enroll() returns to the process
+    PerformanceBegan,   // pid is kNoProcess
+    PerformanceEnded,   // pid is kNoProcess
+  };
+
+  Kind kind;
+  std::uint64_t time = 0;         // virtual time
+  ProcessId pid = kNoProcess;     // acting process (if any)
+  RoleId role;                    // affected role (if any)
+  std::uint64_t performance = 0;  // 0 when not yet known
+};
+
+}  // namespace script::core

@@ -1,0 +1,53 @@
+// Role identifiers.
+//
+// A script's roles are "formal process parameters" (paper §II). A role
+// is either a singleton (`sender`) or a member of an indexed family
+// (`recipient[3]`, paper: "we also permit indexed families of roles").
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "runtime/fiber.hpp"
+
+namespace script::core {
+
+using runtime::ProcessId;
+using runtime::kNoProcess;
+
+/// Index value meaning "this is a singleton role".
+inline constexpr int kSingleton = -1;
+/// Index value meaning "any free member of the family" in an enrollment.
+inline constexpr int kAnyIndex = -2;
+
+struct RoleId {
+  std::string name;
+  int index = kSingleton;
+
+  RoleId() = default;
+  RoleId(std::string n) : name(std::move(n)) {}  // NOLINT: implicit by design
+  RoleId(const char* n) : name(n) {}             // NOLINT: implicit by design
+  RoleId(std::string n, int i) : name(std::move(n)), index(i) {}
+
+  bool is_family_member() const { return index >= 0; }
+  bool is_any_index() const { return index == kAnyIndex; }
+
+  std::string str() const {
+    if (index == kSingleton) return name;
+    if (index == kAnyIndex) return name + "[*]";
+    return name + "[" + std::to_string(index) + "]";
+  }
+
+  friend auto operator<=>(const RoleId&, const RoleId&) = default;
+};
+
+/// `role(name, i)` — the i-th member of a role family.
+inline RoleId role(std::string name, int index) {
+  return RoleId(std::move(name), index);
+}
+/// `any_member(name)` — enroll into any free index of the family.
+inline RoleId any_member(std::string name) {
+  return RoleId(std::move(name), kAnyIndex);
+}
+
+}  // namespace script::core

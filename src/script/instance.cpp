@@ -1,0 +1,375 @@
+#include "script/instance.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::core {
+
+using detail::MatchState;
+using detail::RequestView;
+
+ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec,
+                               std::string instance_name)
+    : net_(&net), spec_(std::move(spec)), name_(std::move(instance_name)) {}
+
+ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
+    : ScriptInstance(net, std::move(spec), "") {
+  name_ = spec_.name();
+}
+
+ScriptInstance& ScriptInstance::on_role(const std::string& role_name,
+                                        RoleBody body) {
+  SCRIPT_ASSERT(spec_.has_role(role_name),
+                "on_role for unknown role " + role_name);
+  bodies_[role_name] = std::move(body);
+  return *this;
+}
+
+EnrollResult ScriptInstance::enroll(const RoleId& role,
+                                    const PartnerSpec& partners,
+                                    Params params) {
+  runtime::Scheduler& sched = scheduler();
+  SCRIPT_ASSERT(spec_.valid(role), "enrollment names invalid role " +
+                                       role.str() + " in " + name_);
+  SCRIPT_ASSERT(bodies_.count(role.name),
+                "role " + role.name + " has no body attached");
+
+  Request req;
+  req.pid = sched.current();
+  req.requested = role;
+  req.partners = &partners;
+  queue_.push_back(&req);
+  trace(req.pid, "attempts to enroll as " + role.str());
+  emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+
+  try_advance();
+  while (!req.admitted)
+    sched.block("enrolling in " + name_ + " as " + role.str());
+
+  return run_admitted(req, params);
+}
+
+std::optional<EnrollResult> ScriptInstance::try_enroll(
+    const RoleId& role, const PartnerSpec& partners, Params params) {
+  runtime::Scheduler& sched = scheduler();
+  SCRIPT_ASSERT(spec_.valid(role), "enrollment names invalid role " +
+                                       role.str() + " in " + name_);
+  SCRIPT_ASSERT(bodies_.count(role.name),
+                "role " + role.name + " has no body attached");
+
+  Request req;
+  req.pid = sched.current();
+  req.requested = role;
+  req.partners = &partners;
+  queue_.push_back(&req);
+  trace(req.pid, "attempts guarded enrollment as " + role.str());
+  emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+
+  try_advance();
+  if (!req.admitted) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), &req));
+    trace(req.pid, "guarded enrollment as " + role.str() + " failed");
+    return std::nullopt;
+  }
+  return run_admitted(req, params);
+}
+
+std::optional<EnrollResult> ScriptInstance::enroll_for(
+    const RoleId& role, std::uint64_t ticks, const PartnerSpec& partners,
+    Params params) {
+  runtime::Scheduler& sched = scheduler();
+  SCRIPT_ASSERT(spec_.valid(role), "enrollment names invalid role " +
+                                       role.str() + " in " + name_);
+  SCRIPT_ASSERT(bodies_.count(role.name),
+                "role " + role.name + " has no body attached");
+
+  Request req;
+  req.pid = sched.current();
+  req.requested = role;
+  req.partners = &partners;
+  queue_.push_back(&req);
+  trace(req.pid, "attempts timed enrollment as " + role.str());
+  emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+
+  try_advance();
+  const std::uint64_t deadline = sched.now() + ticks;
+  while (!req.admitted) {
+    const std::uint64_t now = sched.now();
+    const bool timed_out =
+        now >= deadline ||
+        sched.block_with_timeout(
+            "timed enrollment in " + name_ + " as " + role.str(),
+            deadline - now);
+    if (timed_out && !req.admitted) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), &req));
+      trace(req.pid, "timed enrollment as " + role.str() + " expired");
+      return std::nullopt;
+    }
+  }
+  return run_admitted(req, params);
+}
+
+EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
+  runtime::Scheduler& sched = scheduler();
+  // Admitted: this fiber now IS the role (logical continuation).
+  SCRIPT_ASSERT(req.perf != nullptr, "admitted without a performance");
+  Performance& perf = *req.perf;
+  trace(req.pid, "begins role " + req.assigned.str());
+  emit(ScriptEvent::Kind::RoleBegan, req.pid, req.assigned, perf.number);
+  RoleContext ctx(this, &perf, req.assigned, &params);
+  bodies_.at(req.assigned.name)(ctx);
+  trace(req.pid, "finishes role " + req.assigned.str());
+  emit(ScriptEvent::Kind::RoleFinished, req.pid, req.assigned, perf.number);
+  role_done(req.assigned);
+
+  if (spec_.termination() == Termination::Delayed) {
+    while (!perf.done) {
+      end_waiters_.push_back(req.pid);
+      sched.block("delayed termination of " + name_);
+    }
+  }
+  trace(req.pid, "released from " + name_);
+  emit(ScriptEvent::Kind::Released, req.pid, req.assigned, perf.number);
+  return EnrollResult{perf.number, req.assigned};
+}
+
+void ScriptInstance::try_advance() {
+  if (active_ != nullptr && !active_->done) {
+    if (spec_.initiation() == Initiation::Immediate) {
+      admission_pass();
+      after_state_change();
+    }
+    return;
+  }
+
+  if (queue_.empty()) return;
+
+  if (spec_.initiation() == Initiation::Immediate) {
+    active_ = std::make_unique<Performance>();
+    active_->number = next_perf_number_++;
+    trace_script("performance " + std::to_string(active_->number) +
+                 " begins");
+    emit(ScriptEvent::Kind::PerformanceBegan, kNoProcess, RoleId(),
+         active_->number);
+    admission_pass();
+    after_state_change();
+    return;
+  }
+
+  // Delayed initiation: joint formation via the backtracking matcher.
+  // (The matcher prefers earlier positions, so shuffling the view order
+  // realizes the paper's nondeterministic choice among contenders.)
+  std::vector<Request*> order(queue_.begin(), queue_.end());
+  if (spec_.contention_is_nondeterministic())
+    scheduler().rng().shuffle(order);
+  std::vector<RequestView> views;
+  views.reserve(order.size());
+  for (const Request* r : order)
+    views.push_back(RequestView{r->pid, r->requested, r->partners});
+  auto formed = detail::form_delayed(spec_, views);
+  if (!formed) return;
+
+  active_ = std::make_unique<Performance>();
+  active_->number = next_perf_number_++;
+  active_->state = std::move(formed->state);
+  // Delayed initiation freezes the cast: unfilled roles are out.
+  for (const RoleId& r : spec_.fixed_roles())
+    if (!active_->state.is_bound(r)) active_->out.insert(r);
+  active_->critical_hit = true;
+  trace_script("performance " + std::to_string(active_->number) +
+               " begins");
+  emit(ScriptEvent::Kind::PerformanceBegan, kNoProcess, RoleId(),
+       active_->number);
+
+  // Mark the admitted requests (formed->admitted indexes `views`, which
+  // parallels `order`) and release their fibers.
+  std::vector<Request*> admitted;
+  for (const auto& [qi, concrete] : formed->admitted) {
+    Request* r = order[qi];
+    r->admitted = true;
+    r->assigned = concrete;
+    r->perf = active_.get();
+    admitted.push_back(r);
+    trace(r->pid, "enrolls as " + concrete.str());
+    emit(ScriptEvent::Kind::Enrolled, r->pid, concrete, active_->number);
+  }
+  for (Request* r : admitted) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), r));
+    if (scheduler().state_of(r->pid) == runtime::FiberState::Blocked)
+      scheduler().unblock(r->pid);
+  }
+  after_state_change();
+}
+
+void ScriptInstance::admission_pass() {
+  SCRIPT_ASSERT(active_ != nullptr, "admission pass without performance");
+  // Arrival order by default; a single pass suffices because admission
+  // is monotone (bindings only accumulate, constraints only tighten).
+  // Under nondeterministic contention the pass order is shuffled
+  // (seeded), so competing requests for one role win randomly — the
+  // paper's §II choice rule.
+  std::vector<Request*> order(queue_.begin(), queue_.end());
+  if (spec_.contention_is_nondeterministic())
+    scheduler().rng().shuffle(order);
+  std::vector<Request*> admitted;
+  for (Request* r : order) {
+    const RequestView view{r->pid, r->requested, r->partners};
+    if (auto concrete =
+            detail::try_admit(spec_, active_->state, active_->out, view)) {
+      r->admitted = true;
+      r->assigned = *concrete;
+      r->perf = active_.get();
+      admitted.push_back(r);
+      trace(r->pid, "enrolls as " + concrete->str());
+      emit(ScriptEvent::Kind::Enrolled, r->pid, *concrete,
+           active_->number);
+    }
+  }
+  for (Request* r : admitted) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), r));
+    if (scheduler().state_of(r->pid) == runtime::FiberState::Blocked)
+      scheduler().unblock(r->pid);
+  }
+  if (!admitted.empty()) notify_state_change();
+}
+
+void ScriptInstance::after_state_change() {
+  if (active_ == nullptr || active_->done) return;
+
+  if (!active_->critical_hit &&
+      detail::critical_satisfied(spec_, active_->state)) {
+    active_->critical_hit = true;
+    // "Once the critical set is filled, all unfilled roles have
+    // r.terminated set to true."
+    for (const RoleId& r : spec_.fixed_roles())
+      if (!active_->state.is_bound(r)) active_->out.insert(r);
+    notify_state_change();
+  }
+
+  if (performance_can_end()) finish_performance();
+}
+
+bool ScriptInstance::performance_can_end() const {
+  const Performance& p = *active_;
+  if (p.state.bindings.empty()) return false;
+  if (!p.critical_hit) return false;  // more roles must still arrive
+  for (const auto& [r, pid] : p.state.bindings)
+    if (!p.completed.count(r)) return false;
+  // All bound roles completed and all fixed unbound roles are out
+  // (implied by critical_hit); open families may have stragglers, who
+  // will go to the next performance.
+  return true;
+}
+
+void ScriptInstance::finish_performance() {
+  Performance& p = *active_;
+  p.done = true;
+  ++completed_perfs_;
+  trace_script("performance " + std::to_string(p.number) + " ends");
+  emit(ScriptEvent::Kind::PerformanceEnded, kNoProcess, RoleId(), p.number);
+  // Free delayed-termination holdees.
+  std::vector<ProcessId> holdees;
+  holdees.swap(end_waiters_);
+  for (const ProcessId pid : holdees) scheduler().unblock(pid);
+  notify_state_change();
+  // The Performance object must outlive returning enrollees; they hold
+  // pointers to it. Detach it; the last reference dies with their
+  // frames (we keep it alive via shared ownership below).
+  finished_.push_back(std::move(active_));
+  active_.reset();
+  try_advance();
+}
+
+void ScriptInstance::role_done(const RoleId& r) {
+  SCRIPT_ASSERT(active_ != nullptr && active_->state.is_bound(r),
+                "role_done for unbound role " + r.str());
+  active_->completed.insert(r);
+  notify_state_change();
+  after_state_change();
+}
+
+void ScriptInstance::wait_state_change(const std::string& why) {
+  state_waiters_.push_back(scheduler().current());
+  scheduler().block(why);
+}
+
+void ScriptInstance::notify_state_change() {
+  std::vector<ProcessId> waiters;
+  waiters.swap(state_waiters_);
+  for (const ProcessId pid : waiters)
+    if (scheduler().state_of(pid) == runtime::FiberState::Blocked)
+      scheduler().unblock(pid);
+}
+
+void ScriptInstance::trace(ProcessId subject, const std::string& what) {
+  scheduler().trace_event(subject, what);
+}
+
+void ScriptInstance::trace_script(const std::string& what) {
+  scheduler().trace().record(scheduler().now(), name_, what);
+}
+
+void ScriptInstance::emit(ScriptEvent::Kind kind, ProcessId pid,
+                          const RoleId& role, std::uint64_t performance) {
+  if (observers_.empty()) return;
+  const ScriptEvent event{kind, scheduler().now(), pid, role, performance};
+  for (const auto& fn : observers_) fn(event);
+}
+
+std::map<RoleId, ProcessId>::const_iterator
+ScriptInstance::Performance::find_role(ProcessId pid) const {
+  for (auto it = state.bindings.begin(); it != state.bindings.end(); ++it)
+    if (it->second == pid) return it;
+  return state.bindings.end();
+}
+
+// ---- RoleContext ----
+
+std::uint64_t RoleContext::performance() const { return perf_->number; }
+
+bool RoleContext::terminated(const RoleId& r) const {
+  if (perf_->completed.count(r)) return true;
+  return perf_->out.count(r) > 0;
+}
+
+bool RoleContext::filled(const RoleId& r) const {
+  return perf_->state.is_bound(r);
+}
+
+std::size_t RoleContext::family_size(const std::string& role_name) const {
+  const RoleDecl& d = inst_->spec_.decl(role_name);
+  if (!d.open_ended) return d.count;
+  const auto it = perf_->state.open_sizes.find(role_name);
+  return it == perf_->state.open_sizes.end() ? 0 : it->second;
+}
+
+RoleResult<ProcessId> RoleContext::await_role(const RoleId& r) {
+  SCRIPT_ASSERT(inst_->spec_.valid(r) && !r.is_any_index(),
+                "communication names invalid role " + r.str());
+  for (;;) {
+    if (perf_->completed.count(r) || perf_->out.count(r))
+      return support::make_unexpected(RoleCommError::Unavailable);
+    const auto it = perf_->state.bindings.find(r);
+    if (it != perf_->state.bindings.end()) return it->second;
+    if (perf_->done)
+      return support::make_unexpected(RoleCommError::Unavailable);
+    inst_->wait_state_change("role " + self_.str() + " awaiting partner " +
+                             r.str() + " in " + inst_->name_);
+  }
+}
+
+std::string RoleContext::scoped_tag(const RoleId& to,
+                                    const std::string& tag) const {
+  return inst_->name_ + "#" + std::to_string(perf_->number) + "/" +
+         to.str() + "/" + tag;
+}
+
+RoleId RoleContext::role_of(ProcessId pid) const {
+  const auto it = perf_->find_role(pid);
+  SCRIPT_ASSERT(it != perf_->state.bindings.end(),
+                "message from a process playing no role");
+  return it->first;
+}
+
+}  // namespace script::core

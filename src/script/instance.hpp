@@ -1,0 +1,301 @@
+// ScriptInstance — one instance of a script, managing enrollments,
+// performances, and inter-role communication (paper §II).
+//
+// Key semantic commitments (see DESIGN.md §5):
+//
+// * A role body executes ON THE ENROLLING PROCESS'S FIBER — "the
+//   execution of the role is a logical continuation of the enrolling
+//   process". enroll() returns when the role (and, under delayed
+//   termination, the whole performance) is finished.
+// * Successive activations: "all of the roles of a given performance
+//   must terminate before a subsequent performance of the same script
+//   can begin" (Figure 1). Enrollments that cannot join the current
+//   performance queue for the next one.
+// * Critical role sets: once a critical set is filled, every unfilled
+//   role is marked out; `terminated(r)` turns true for it and
+//   communication with it yields a distinguished value (§II).
+// * Inter-role communication rides the CSP substrate with tags scoped
+//   by (instance, performance, destination role), so distinct
+//   performances can never exchange messages (Figure 2's u=x, y=v).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "script/events.hpp"
+#include "script/matching.hpp"
+#include "script/params.hpp"
+#include "script/partner_spec.hpp"
+#include "script/spec.hpp"
+#include "support/expected.hpp"
+
+namespace script::core {
+
+class RoleContext;
+class ScriptInstance;
+
+/// Distinguished value for communication with a role that is out,
+/// completed, or whose process is gone (paper §II: "attempting to
+/// communicate with an unfilled role could return a distinguished
+/// value").
+enum class RoleCommError : std::uint8_t { Unavailable };
+
+template <typename T>
+using RoleResult = support::Expected<T, RoleCommError>;
+
+using RoleBody = std::function<void(RoleContext&)>;
+
+struct EnrollResult {
+  std::uint64_t performance = 0;
+  RoleId played;  // concrete role (index resolved for families)
+};
+
+class ScriptInstance {
+ public:
+  /// `instance_name` distinguishes multiple instances of one generic
+  /// script (paper §II "Successive Activations": separate instances may
+  /// perform concurrently and independently).
+  ScriptInstance(csp::Net& net, ScriptSpec spec, std::string instance_name);
+  ScriptInstance(csp::Net& net, ScriptSpec spec);
+
+  /// Attach the body for a role (family members share one body and
+  /// learn their index from the context). Must be set before enrolling.
+  ScriptInstance& on_role(const std::string& role_name, RoleBody body);
+
+  /// ENROLL IN <this> AS role(params) WITH partners.
+  /// Blocks per the initiation policy, runs the role body on the
+  /// calling fiber, returns per the termination policy.
+  EnrollResult enroll(const RoleId& role, const PartnerSpec& partners = {},
+                      Params params = {});
+
+  /// Enrollment as a guard (paper §II: "this distinction is crucial if
+  /// script enrollment is to be allowed to act as a guard"): attempt
+  /// enrollment WITHOUT waiting — succeeds only if the role can be
+  /// joined right now (an active performance admits it, or a new one
+  /// can form from the already-queued requests). On success the role
+  /// runs exactly as with enroll(); on failure nothing is queued and
+  /// std::nullopt returns immediately.
+  std::optional<EnrollResult> try_enroll(const RoleId& role,
+                                         const PartnerSpec& partners = {},
+                                         Params params = {});
+
+  /// Enrollment with a deadline: like enroll(), but if no performance
+  /// has admitted this request within `ticks` of virtual time, the
+  /// request is withdrawn and nullopt returns. Once admitted, the role
+  /// runs to completion regardless of the deadline (an accepted
+  /// enrollment, like a started Ada rendezvous, cannot time out).
+  std::optional<EnrollResult> enroll_for(const RoleId& role,
+                                         std::uint64_t ticks,
+                                         const PartnerSpec& partners = {},
+                                         Params params = {});
+
+  /// Register an observer for structured lifecycle events (metrics,
+  /// runtime verification). Observers run synchronously at the event
+  /// site and must not block.
+  ScriptInstance& observe(std::function<void(const ScriptEvent&)> fn) {
+    observers_.push_back(std::move(fn));
+    return *this;
+  }
+
+  // ---- Introspection ----
+  const ScriptSpec& spec() const { return spec_; }
+  const std::string& instance_name() const { return name_; }
+  std::uint64_t performances_completed() const { return completed_perfs_; }
+  /// Requests waiting for a future performance.
+  std::size_t queue_length() const { return queue_.size(); }
+  runtime::Scheduler& scheduler() { return net_->scheduler(); }
+  csp::Net& net() { return *net_; }
+
+ private:
+  friend class RoleContext;
+
+  struct Performance {
+    std::uint64_t number = 0;
+    bool done = false;
+    detail::MatchState state;
+    std::set<RoleId> out;        // declared never-filled
+    std::set<RoleId> completed;  // role bodies that returned
+    bool critical_hit = false;   // outs have been marked
+    std::map<RoleId, ProcessId>::const_iterator find_role(ProcessId) const;
+  };
+
+  struct Request {
+    ProcessId pid = kNoProcess;
+    RoleId requested;
+    const PartnerSpec* partners = nullptr;
+    bool admitted = false;
+    RoleId assigned;
+    Performance* perf = nullptr;  // set at admission
+  };
+
+  /// Run the matching machinery: form a performance if none is active,
+  /// admit queued requests into an active one (immediate initiation),
+  /// then mark outs / detect performance end.
+  EnrollResult run_admitted(Request& req, Params& params);
+  void try_advance();
+  void admission_pass();
+  void after_state_change();
+  bool performance_can_end() const;
+  void finish_performance();
+  void role_done(const RoleId& r);
+
+  /// Block the calling fiber until the instance's state changes
+  /// (binding, out, completion, performance end).
+  void wait_state_change(const std::string& why);
+  void notify_state_change();
+
+  void trace(ProcessId subject, const std::string& what);
+  void trace_script(const std::string& what);
+  void emit(ScriptEvent::Kind kind, ProcessId pid, const RoleId& role,
+            std::uint64_t performance);
+
+  csp::Net* net_;
+  ScriptSpec spec_;
+  std::string name_;
+  std::map<std::string, RoleBody> bodies_;
+  std::vector<Request*> queue_;  // requests live on enrollers' stacks
+  std::unique_ptr<Performance> active_;
+  // Finished performances are kept: returning enrollees and contexts
+  // still reference them (cheap — bookkeeping only, no payloads).
+  std::vector<std::unique_ptr<Performance>> finished_;
+  std::uint64_t next_perf_number_ = 1;
+  std::uint64_t completed_perfs_ = 0;
+  std::vector<ProcessId> end_waiters_;    // delayed-termination holdees
+  std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
+  std::vector<std::function<void(const ScriptEvent&)>> observers_;
+};
+
+/// Handle given to a running role body: identity, data parameters,
+/// partner probes, and role-addressed communication.
+class RoleContext {
+ public:
+  const RoleId& self() const { return self_; }
+  /// Family index of this role (kSingleton for singleton roles).
+  int index() const { return self_.index; }
+  std::uint64_t performance() const;
+
+  // ---- Data parameters ----
+  template <typename T>
+  T param(const std::string& name) const {
+    return params_->get<T>(name);
+  }
+  template <typename T>
+  void set_param(const std::string& name, T value) {
+    params_->set(name, std::move(value));
+  }
+  bool has_param(const std::string& name) const {
+    return params_->has(name);
+  }
+
+  // ---- Partner probes ----
+  /// The paper's `r.terminated`: true once the role has finished its
+  /// part, or once it is known the role will not be filled this
+  /// performance. Before the critical role set fills, unfilled roles
+  /// report false.
+  bool terminated(const RoleId& r) const;
+  bool filled(const RoleId& r) const;
+  /// Current member count of a role family this performance.
+  std::size_t family_size(const std::string& role_name) const;
+
+  // ---- Role-addressed communication ----
+  template <typename T>
+  RoleResult<void> send(const RoleId& to, T value,
+                        const std::string& tag = "") {
+    auto pid = await_role(to);
+    if (!pid) return support::make_unexpected(pid.error());
+    auto r = inst_->net_->send(*pid, scoped_tag(to, tag), std::move(value));
+    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    return {};
+  }
+
+  template <typename T>
+  RoleResult<T> recv(const RoleId& from, const std::string& tag = "") {
+    auto pid = await_role(from);
+    if (!pid) return support::make_unexpected(pid.error());
+    auto r = inst_->net_->recv<T>(*pid, scoped_tag(self_, tag));
+    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    return std::move(*r);
+  }
+
+  /// Receive from whichever partner role sends first (host-language
+  /// anonymous communication, as in the paper's Ada embedding).
+  template <typename T>
+  RoleResult<std::pair<RoleId, T>> recv_any(const std::string& tag = "") {
+    auto r = inst_->net_->recv_any<T>(scoped_tag(self_, tag));
+    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
+  }
+
+  /// Selective receive over a set of partner roles: takes the first
+  /// message any of them sends; returns the distinguished value once
+  /// EVERY listed role is terminated (out or completed). Roles still
+  /// unbound when the wait starts are re-examined as they bind.
+  /// Limitation (documented in docs/SEMANTICS.md §7): once this call
+  /// parks on the currently-bound candidates, a message from a role
+  /// that binds later is only noticed on the next call.
+  template <typename T>
+  RoleResult<std::pair<RoleId, T>> recv_from_roles(
+      const std::vector<RoleId>& froms, const std::string& tag = "") {
+    for (;;) {
+      std::vector<ProcessId> candidates;
+      bool might_bind = false;
+      for (const RoleId& r : froms) {
+        if (perf_->completed.count(r) || perf_->out.count(r)) continue;
+        const auto it = perf_->state.bindings.find(r);
+        if (it != perf_->state.bindings.end())
+          candidates.push_back(it->second);
+        else if (!perf_->done)
+          might_bind = true;
+      }
+      if (candidates.empty()) {
+        if (!might_bind)
+          return support::make_unexpected(RoleCommError::Unavailable);
+        inst_->wait_state_change("role " + self_.str() +
+                                 " awaiting any partner binding");
+        continue;
+      }
+      auto r = inst_->net_->recv_from<T>(std::move(candidates),
+                                         scoped_tag(self_, tag));
+      if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+      return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
+    }
+  }
+
+  /// Non-blocking poll for a message from any partner role.
+  template <typename T>
+  std::optional<std::pair<RoleId, T>> try_recv_any(
+      const std::string& tag = "") {
+    auto r = inst_->net_->try_recv_any<T>(scoped_tag(self_, tag));
+    if (!r) return std::nullopt;
+    return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
+  }
+
+  runtime::Scheduler& scheduler() { return inst_->scheduler(); }
+  ScriptInstance& instance() { return *inst_; }
+
+ private:
+  friend class ScriptInstance;
+  RoleContext(ScriptInstance* inst, ScriptInstance::Performance* perf,
+              RoleId self, Params* params)
+      : inst_(inst), perf_(perf), self_(std::move(self)), params_(params) {}
+
+  /// Resolve a partner role to its process, blocking while the role is
+  /// unbound but might still be filled. Distinguished error once the
+  /// role is out/completed.
+  RoleResult<ProcessId> await_role(const RoleId& r);
+  std::string scoped_tag(const RoleId& to, const std::string& tag) const;
+  RoleId role_of(ProcessId pid) const;
+
+  ScriptInstance* inst_;
+  ScriptInstance::Performance* perf_;
+  RoleId self_;
+  Params* params_;
+};
+
+}  // namespace script::core

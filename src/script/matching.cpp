@@ -1,0 +1,247 @@
+#include "script/matching.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::core::detail {
+
+namespace {
+
+/// Intersect `allowed[r]` with `pids`. Recording an empty intersection
+/// is legal: it means nobody can fill r this performance.
+void restrict_allowed(MatchState& st, const RoleId& r,
+                      const std::vector<ProcessId>& pids) {
+  auto it = st.allowed.find(r);
+  if (it == st.allowed.end()) {
+    st.allowed.emplace(r, std::set<ProcessId>(pids.begin(), pids.end()));
+    return;
+  }
+  std::set<ProcessId> next;
+  for (const ProcessId p : pids)
+    if (it->second.count(p)) next.insert(p);
+  it->second = std::move(next);
+}
+
+}  // namespace
+
+std::size_t MatchState::bound_count(const std::string& role_name) const {
+  std::size_t n = 0;
+  for (const auto& [r, pid] : bindings)
+    if (r.name == role_name) ++n;
+  return n;
+}
+
+bool MatchState::permits(const RoleId& r, ProcessId pid) const {
+  const auto it = allowed.find(r);
+  return it == allowed.end() || it->second.count(pid) > 0;
+}
+
+std::optional<RoleId> resolve_index(const ScriptSpec& spec,
+                                    const MatchState& st,
+                                    const std::set<RoleId>& excluded,
+                                    const RoleId& requested,
+                                    ProcessId pid) {
+  if (!requested.is_any_index()) return requested;
+  const RoleDecl& d = spec.decl(requested.name);
+  SCRIPT_ASSERT(d.indexed, "any-index enrollment into singleton role " +
+                               requested.name);
+  if (d.open_ended) {
+    const auto it = st.open_sizes.find(requested.name);
+    const std::size_t next = it == st.open_sizes.end() ? 0 : it->second;
+    return RoleId(requested.name, static_cast<int>(next));
+  }
+  // Lowest free index whose accumulated naming constraints accept this
+  // process (an index pinned to someone else by an earlier member's
+  // PartnerSpec must be left for them).
+  for (std::size_t i = 0; i < d.count; ++i) {
+    RoleId r(requested.name, static_cast<int>(i));
+    if (!st.is_bound(r) && !excluded.count(r) && st.permits(r, pid))
+      return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<RoleId> try_admit(const ScriptSpec& spec, MatchState& st,
+                                const std::set<RoleId>& excluded,
+                                const RequestView& req) {
+  SCRIPT_ASSERT(spec.valid(req.requested),
+                "enrollment names unknown role " + req.requested.str());
+  const auto resolved =
+      resolve_index(spec, st, excluded, req.requested, req.pid);
+  if (!resolved) return std::nullopt;
+  const RoleId r = *resolved;
+  if (st.is_bound(r) || excluded.count(r)) return std::nullopt;
+  // Every current member must accept this process for this role...
+  if (!st.permits(r, req.pid)) return std::nullopt;
+  // ...and this request's own naming must not contradict agreed
+  // bindings — including the binding this admission would create (a
+  // request may constrain the very role it enrolls into, e.g. "I play
+  // fam[1] and fam[1] must be me-or-A").
+  if (req.partners != nullptr) {
+    for (const auto& [partner_role, pids] : req.partners->constraints()) {
+      ProcessId bound_to = kNoProcess;
+      if (partner_role == r) {
+        bound_to = req.pid;
+      } else {
+        const auto bound = st.bindings.find(partner_role);
+        if (bound != st.bindings.end()) bound_to = bound->second;
+      }
+      if (bound_to != kNoProcess &&
+          std::find(pids.begin(), pids.end(), bound_to) == pids.end())
+        return std::nullopt;
+    }
+  }
+
+  // Commit.
+  st.bindings.emplace(r, req.pid);
+  if (req.partners != nullptr)
+    for (const auto& [partner_role, pids] : req.partners->constraints())
+      restrict_allowed(st, partner_role, pids);
+  const RoleDecl& d = spec.decl(r.name);
+  if (d.open_ended) {
+    auto& size = st.open_sizes[r.name];
+    size = std::max(size, static_cast<std::size_t>(r.index) + 1);
+  }
+  return r;
+}
+
+bool critical_satisfied(const ScriptSpec& spec, const MatchState& st) {
+  for (const CriticalSet& cs : spec.critical_sets()) {
+    bool ok = true;
+    for (const auto& [role_name, needed] : cs) {
+      if (st.bound_count(role_name) < needed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct Former {
+  const ScriptSpec& spec;
+  const std::vector<RequestView>& queue;
+  const std::set<RoleId> no_excluded;  // formation has no closed roles
+  // suffix_avail[i][name]: how many requests at positions >= i ask for
+  // role `name` — an optimistic bound used to prune hopeless branches
+  // (otherwise a failed formation costs 2^queue explorations on EVERY
+  // enrollment while a cast assembles).
+  std::vector<std::map<std::string, std::size_t>> suffix_avail;
+  std::uint64_t nodes = 0;
+  static constexpr std::uint64_t kNodeCap = 1u << 20;
+
+  void build_suffix_bounds() {
+    suffix_avail.assign(queue.size() + 1, {});
+    for (std::size_t i = queue.size(); i-- > 0;) {
+      suffix_avail[i] = suffix_avail[i + 1];
+      ++suffix_avail[i][queue[i].requested.name];
+    }
+  }
+
+  bool reachable(std::size_t i, const MatchState& st) const {
+    for (const CriticalSet& cs : spec.critical_sets()) {
+      bool ok = true;
+      for (const auto& [name, needed] : cs) {
+        const auto it = suffix_avail[i].find(name);
+        const std::size_t avail =
+            it == suffix_avail[i].end() ? 0 : it->second;
+        if (st.bound_count(name) + avail < needed) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  /// Candidate concrete roles for a request at this state. A specific
+  /// request has one candidate; an any-index request into a FIXED
+  /// family may need a non-lowest index to satisfy later members'
+  /// constraints (en-bloc naming), so every feasible index is a branch.
+  std::vector<RoleId> candidates(const MatchState& st,
+                                 const RequestView& req) const {
+    if (!req.requested.is_any_index()) return {req.requested};
+    const RoleDecl& d = spec.decl(req.requested.name);
+    if (d.open_ended) {
+      const auto it = st.open_sizes.find(req.requested.name);
+      const std::size_t next = it == st.open_sizes.end() ? 0 : it->second;
+      return {RoleId(req.requested.name, static_cast<int>(next))};
+    }
+    std::vector<RoleId> out;
+    for (std::size_t i = 0; i < d.count; ++i) {
+      RoleId r(req.requested.name, static_cast<int>(i));
+      if (!st.is_bound(r) && st.permits(r, req.pid)) out.push_back(r);
+    }
+    return out;
+  }
+
+  std::optional<FormResult> dfs(std::size_t i, MatchState st,
+                                std::vector<std::pair<std::size_t, RoleId>>
+                                    admitted) {
+    if (++nodes >= kNodeCap) return std::nullopt;  // search budget spent
+    if (critical_satisfied(spec, st)) {
+      // Maximal extension: greedily admit the rest in arrival order.
+      for (std::size_t j = i; j < queue.size(); ++j) {
+        // Skip requests from processes already admitted (one request
+        // per blocked process, but be defensive).
+        if (auto r = try_admit(spec, st, no_excluded, queue[j]))
+          admitted.emplace_back(j, *r);
+      }
+      return FormResult{std::move(st), std::move(admitted)};
+    }
+    if (i == queue.size()) return std::nullopt;
+    if (!reachable(i, st)) return std::nullopt;
+
+    // Include queue[i] first (prefer earlier arrivals), trying every
+    // feasible concrete role for it...
+    for (const RoleId& option : candidates(st, queue[i])) {
+      RequestView forced = queue[i];
+      forced.requested = option;
+      MatchState included = st;
+      if (auto r = try_admit(spec, included, no_excluded, forced)) {
+        auto adm = admitted;
+        adm.emplace_back(i, *r);
+        if (auto res = dfs(i + 1, std::move(included), std::move(adm)))
+          return res;
+      }
+    }
+    // ...then try leaving it for a later performance.
+    return dfs(i + 1, std::move(st), std::move(admitted));
+  }
+};
+
+}  // namespace
+
+std::optional<FormResult> form_delayed(const ScriptSpec& spec,
+                                       const std::vector<RequestView>& queue) {
+  Former f{spec, queue, {}, {}, 0};
+  f.build_suffix_bounds();
+  if (!f.reachable(0, MatchState{})) return std::nullopt;
+
+  // Fast path: plain greedy admission in arrival order. This settles
+  // the overwhelmingly common case (lightly-constrained casts, however
+  // large) iteratively — the DFS recurses once per queued request and
+  // must stay reserved for small, constraint-heavy formations.
+  {
+    MatchState st;
+    std::vector<std::pair<std::size_t, RoleId>> admitted;
+    for (std::size_t i = 0; i < queue.size(); ++i)
+      if (auto r = try_admit(spec, st, {}, queue[i]))
+        admitted.emplace_back(i, *r);
+    if (critical_satisfied(spec, st))
+      return FormResult{std::move(st), std::move(admitted)};
+  }
+
+  // Slow path: backtracking over inclusion and index choices. Guard
+  // against fiber-stack exhaustion on absurdly long queues (greedy
+  // above already failed, so a consistent cast is unlikely anyway).
+  if (queue.size() > 200) return std::nullopt;
+  return f.dfs(0, MatchState{}, {});
+}
+
+}  // namespace script::core::detail

@@ -1,0 +1,94 @@
+// The joint-enrollment matcher.
+//
+// Partner-named enrollment (paper §II): "the processes will jointly
+// enroll in the script only when their enrollment specifications match,
+// that is they all agree on the binding of processes to roles."
+//
+// MatchState tracks, for one performance, the agreed bindings plus the
+// *accumulated* naming constraints: every admitted member's PartnerSpec
+// intersects into `allowed`, so a role can only ever be bound to a
+// process every current member accepts. Constraints over roles that end
+// up unfilled are vacuous (they constrain who COULD fill the role, not
+// whether it must be filled).
+//
+// Two entry points:
+//   * try_admit       — incremental admission (immediate initiation, and
+//                       extension of a formed performance);
+//   * form_delayed    — backtracking search over the queued requests for
+//                       a mutually-consistent subset satisfying a
+//                       critical set (delayed initiation). Greedy
+//                       admission is not enough: with requests
+//                       C(q), B(q, wants p=A), A(p, wants q=B), only the
+//                       assignment {A->p, B->q} starts the performance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "script/partner_spec.hpp"
+#include "script/spec.hpp"
+
+namespace script::core::detail {
+
+/// A queued enrollment, as the matcher sees it.
+struct RequestView {
+  ProcessId pid = kNoProcess;
+  RoleId requested;  // may be any_member(...) for families
+  const PartnerSpec* partners = nullptr;
+};
+
+struct MatchState {
+  std::map<RoleId, ProcessId> bindings;
+  /// Accumulated naming constraints: role -> processes still acceptable
+  /// to every member. Absent key = unconstrained. An empty set means the
+  /// role can no longer be filled this performance.
+  std::map<RoleId, std::set<ProcessId>> allowed;
+  /// Current size of each open-ended family.
+  std::map<std::string, std::size_t> open_sizes;
+
+  bool is_bound(const RoleId& r) const { return bindings.count(r) > 0; }
+  std::size_t bound_count(const std::string& role_name) const;
+  bool permits(const RoleId& r, ProcessId pid) const;
+};
+
+/// Resolve an any-index request to a concrete role: the lowest unbound,
+/// non-excluded index whose accumulated constraints permit `pid`
+/// (fixed family), or the next fresh index (open family). `excluded`
+/// holds roles closed for this performance.
+std::optional<RoleId> resolve_index(const ScriptSpec& spec,
+                                    const MatchState& st,
+                                    const std::set<RoleId>& excluded,
+                                    const RoleId& requested, ProcessId pid);
+
+/// Try to admit one request into `st`. On success, commits the binding
+/// and the request's constraints, and returns the concrete role.
+/// `excluded` holds roles closed for this performance (out or not
+/// joinable). Fails — leaving `st` untouched — when the request's role
+/// is taken/closed, when an existing member's constraint rejects this
+/// process, or when this request's constraint contradicts a binding.
+std::optional<RoleId> try_admit(const ScriptSpec& spec, MatchState& st,
+                                const std::set<RoleId>& excluded,
+                                const RequestView& req);
+
+/// Does `st` satisfy one of the spec's critical sets?
+bool critical_satisfied(const ScriptSpec& spec, const MatchState& st);
+
+/// Result of forming a performance: which queued requests are admitted
+/// (indices into the input vector) and the concrete role of each.
+struct FormResult {
+  MatchState state;
+  std::vector<std::pair<std::size_t, RoleId>> admitted;
+};
+
+/// Backtracking formation for delayed initiation: find a subset of the
+/// queued requests, mutually consistent, that satisfies a critical set;
+/// then extend it greedily (arrival order) with every other consistent
+/// request. Prefers earlier arrivals. Returns nullopt if no subset
+/// works.
+std::optional<FormResult> form_delayed(const ScriptSpec& spec,
+                                       const std::vector<RequestView>& queue);
+
+}  // namespace script::core::detail

@@ -1,0 +1,98 @@
+// Data parameters of a role (paper §II: "ordinary formal parameters ...
+// bound at enrollment time to the corresponding actual parameters
+// supplied by the enrolling process").
+//
+// Modes follow the paper's usage:
+//   * in      — a value the enroller supplies (Fig 3 `sender(data)`);
+//   * out     — a location the role body assigns (Fig 3 recipients'
+//               `VAR data`); because the role body executes on the
+//               enrolling process's own fiber, out-parameters write
+//               straight through to the enroller's variable
+//               (call-by-reference, as in the paper's CSP translation).
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "support/panic.hpp"
+
+namespace script::core {
+
+class Params {
+ public:
+  /// Supply an in-parameter value.
+  template <typename T>
+  Params& in(const std::string& name, T value) {
+    SCRIPT_ASSERT(!slots_.count(name), "duplicate parameter " + name);
+    Slot s;
+    s.value = std::move(value);
+    slots_.emplace(name, std::move(s));
+    return *this;
+  }
+
+  /// Register an out-parameter: the role body's set() writes to *target.
+  template <typename T>
+  Params& out(const std::string& name, T* target) {
+    SCRIPT_ASSERT(!slots_.count(name), "duplicate parameter " + name);
+    Slot s;
+    s.writer = [target](const std::any& v) {
+      *target = std::any_cast<T>(v);
+    };
+    slots_.emplace(name, std::move(s));
+    return *this;
+  }
+
+  /// In-out: supplies a value AND writes the final value back.
+  template <typename T>
+  Params& inout(const std::string& name, T* target) {
+    SCRIPT_ASSERT(!slots_.count(name), "duplicate parameter " + name);
+    Slot s;
+    s.value = *target;
+    s.writer = [target](const std::any& v) {
+      *target = std::any_cast<T>(v);
+    };
+    slots_.emplace(name, std::move(s));
+    return *this;
+  }
+
+  // ---- Used by the role body (via RoleContext) ----
+
+  template <typename T>
+  T get(const std::string& name) const {
+    const Slot& s = slot(name);
+    SCRIPT_ASSERT(s.value.has_value(), "parameter " + name + " has no value");
+    return std::any_cast<T>(s.value);
+  }
+
+  template <typename T>
+  void set(const std::string& name, T value) {
+    Slot& s = slot(name);
+    s.value = value;  // keep readable (in-out semantics)
+    if (s.writer) s.writer(s.value);
+  }
+
+  bool has(const std::string& name) const { return slots_.count(name) > 0; }
+
+ private:
+  struct Slot {
+    std::any value;
+    std::function<void(const std::any&)> writer;
+  };
+
+  Slot& slot(const std::string& name) {
+    auto it = slots_.find(name);
+    SCRIPT_ASSERT(it != slots_.end(), "unknown parameter " + name);
+    return it->second;
+  }
+  const Slot& slot(const std::string& name) const {
+    auto it = slots_.find(name);
+    SCRIPT_ASSERT(it != slots_.end(), "unknown parameter " + name);
+    return it->second;
+  }
+
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace script::core

@@ -1,0 +1,61 @@
+// PartnerSpec: the naming part of an enrollment (paper §II).
+//
+//   ENROLL IN broadcast AS transmitter(exp)
+//     WITH [P AS recipient[1], Q AS recipient[2]]
+//
+// * partners-named   — `with(role, pid)` pins a role to one process;
+// * alternatives     — `with_any_of(role, {A, B})` is the paper's "more
+//                      elaborate naming convention ... a given role
+//                      should be fulfilled by either process A or B";
+// * partners-unnamed — an empty PartnerSpec;
+// * partial naming   — constrain only some roles ("P may specify the
+//                      transmitter T, but not care about the others").
+//
+// Joint enrollment requires all specifications to agree on the binding
+// of processes to roles; disagreeing enrollments wait for a later
+// performance.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "script/ids.hpp"
+
+namespace script::core {
+
+class PartnerSpec {
+ public:
+  PartnerSpec() = default;
+
+  /// Require `r` to be played by exactly `pid`.
+  PartnerSpec& with(RoleId r, ProcessId pid) {
+    want_[std::move(r)] = {pid};
+    return *this;
+  }
+
+  /// Require `r` to be played by one of `pids`.
+  PartnerSpec& with_any_of(RoleId r, std::vector<ProcessId> pids) {
+    want_[std::move(r)] = std::move(pids);
+    return *this;
+  }
+
+  /// En-bloc naming (the paper's "suggestive idea is to allow the en
+  /// bloc enrollment of an array of processes to an array of roles"):
+  /// pins family member `name[i]` to `pids[i]` for every i.
+  PartnerSpec& with_family(const std::string& name,
+                           const std::vector<ProcessId>& pids) {
+    for (std::size_t i = 0; i < pids.size(); ++i)
+      want_[RoleId(name, static_cast<int>(i))] = {pids[i]};
+    return *this;
+  }
+
+  bool empty() const { return want_.empty(); }
+  const std::map<RoleId, std::vector<ProcessId>>& constraints() const {
+    return want_;
+  }
+
+ private:
+  std::map<RoleId, std::vector<ProcessId>> want_;
+};
+
+}  // namespace script::core

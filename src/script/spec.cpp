@@ -1,0 +1,98 @@
+#include "script/spec.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::core {
+
+ScriptSpec& ScriptSpec::role(const std::string& role_name) {
+  SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
+  roles_.push_back(RoleDecl{role_name, 1, false, false, 0});
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::role_family(const std::string& role_name,
+                                    std::size_t count) {
+  SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
+  SCRIPT_ASSERT(count > 0, "empty role family " + role_name);
+  roles_.push_back(RoleDecl{role_name, count, true, false, 0});
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::open_role_family(const std::string& role_name,
+                                         std::size_t min_count) {
+  SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
+  roles_.push_back(RoleDecl{role_name, 0, true, true, min_count});
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::initiation(Initiation i) {
+  initiation_ = i;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::termination(Termination t) {
+  termination_ = t;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::nondeterministic_contention(bool on) {
+  nondet_contention_ = on;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::critical(CriticalSet set) {
+  for (const auto& [role_name, count] : set) {
+    SCRIPT_ASSERT(has_role(role_name),
+                  "critical set names unknown role " + role_name);
+    const RoleDecl& d = decl(role_name);
+    SCRIPT_ASSERT(d.open_ended || count <= d.count,
+                  "critical count exceeds family size for " + role_name);
+  }
+  criticals_.push_back(std::move(set));
+  return *this;
+}
+
+bool ScriptSpec::has_role(const std::string& role_name) const {
+  for (const auto& d : roles_)
+    if (d.name == role_name) return true;
+  return false;
+}
+
+const RoleDecl& ScriptSpec::decl(const std::string& role_name) const {
+  for (const auto& d : roles_)
+    if (d.name == role_name) return d;
+  SCRIPT_PANIC("unknown role " + role_name + " in script " + name_);
+}
+
+bool ScriptSpec::valid(const RoleId& id) const {
+  if (!has_role(id.name)) return false;
+  const RoleDecl& d = decl(id.name);
+  if (!d.indexed) return id.index == kSingleton;
+  if (id.index == kAnyIndex) return true;
+  if (id.index < 0) return false;
+  return d.open_ended || static_cast<std::size_t>(id.index) < d.count;
+}
+
+std::vector<RoleId> ScriptSpec::fixed_roles() const {
+  std::vector<RoleId> out;
+  for (const auto& d : roles_) {
+    if (d.open_ended) continue;
+    if (!d.indexed) {
+      out.emplace_back(d.name);
+    } else {
+      for (std::size_t i = 0; i < d.count; ++i)
+        out.emplace_back(d.name, static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<CriticalSet> ScriptSpec::critical_sets() const {
+  if (!criticals_.empty()) return criticals_;
+  CriticalSet everything;
+  for (const auto& d : roles_)
+    everything[d.name] = d.open_ended ? d.min_count : d.count;
+  return {everything};
+}
+
+}  // namespace script::core

@@ -1,0 +1,102 @@
+// ScriptSpec: the static declaration of a script (paper §II).
+//
+// Declares the roles (singletons, fixed indexed families, open-ended
+// families from the paper's §V future-work list), the initiation and
+// termination policies, and the critical role sets.
+//
+// A critical role set (paper §II "Critical Role Set") is a requirement
+// of the form {role -> needed count}; a performance may begin once, for
+// *some* declared set, every listed role has at least the needed number
+// of members enrolled. When no set is declared "it is taken to mean
+// that the entire collection of roles is critical".
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "script/ids.hpp"
+
+namespace script::core {
+
+enum class Initiation : std::uint8_t {
+  Delayed,   // all critical roles enroll, then everyone starts together
+  Immediate  // the script is activated by its first enroller
+};
+
+enum class Termination : std::uint8_t {
+  Delayed,   // enrollees are freed together when every role is finished
+  Immediate  // each enrollee is freed as soon as its own role finishes
+};
+
+struct RoleDecl {
+  std::string name;
+  std::size_t count = 1;    // family size (1 + indexed=false → singleton)
+  bool indexed = false;     // true: members are name[0..count-1]
+  bool open_ended = false;  // §V: family may grow at run time
+  std::size_t min_count = 0;  // open-ended: members needed for criticality
+};
+
+/// One critical role set: role name → required enrolled count.
+using CriticalSet = std::map<std::string, std::size_t>;
+
+class ScriptSpec {
+ public:
+  explicit ScriptSpec(std::string name) : name_(std::move(name)) {}
+
+  // ---- Builder interface ----
+
+  ScriptSpec& role(const std::string& role_name);
+  ScriptSpec& role_family(const std::string& role_name, std::size_t count);
+  /// Open-ended family (§V): at least `min_count` members make it
+  /// critical; more may enroll while the performance runs (immediate
+  /// initiation only).
+  ScriptSpec& open_role_family(const std::string& role_name,
+                               std::size_t min_count);
+  ScriptSpec& initiation(Initiation i);
+  ScriptSpec& termination(Termination t);
+  /// Paper §II: "If more than one process tries to enroll in the same
+  /// role ... the choice of which process is actually enrolled is
+  /// non-deterministic." Default is arrival order (deterministic, like
+  /// Ada's queues); enable this for the CSP-style seeded-random choice
+  /// among contenders.
+  ScriptSpec& nondeterministic_contention(bool on = true);
+  /// Add one alternative critical role set. May be called repeatedly;
+  /// a performance may begin when ANY declared set is satisfied.
+  ScriptSpec& critical(CriticalSet set);
+
+  // ---- Queries ----
+
+  const std::string& name() const { return name_; }
+  Initiation initiation() const { return initiation_; }
+  Termination termination() const { return termination_; }
+  bool contention_is_nondeterministic() const {
+    return nondet_contention_;
+  }
+  const std::vector<RoleDecl>& roles() const { return roles_; }
+
+  bool has_role(const std::string& role_name) const;
+  const RoleDecl& decl(const std::string& role_name) const;
+  /// Validity of a concrete RoleId against the declarations (open
+  /// families accept any index >= 0).
+  bool valid(const RoleId& id) const;
+
+  /// All concrete roles of the fixed part (families expanded; open
+  /// families contribute no fixed members).
+  std::vector<RoleId> fixed_roles() const;
+
+  /// The critical sets in force: the declared ones, or the implicit
+  /// "everything" set when none were declared.
+  std::vector<CriticalSet> critical_sets() const;
+
+ private:
+  std::string name_;
+  std::vector<RoleDecl> roles_;
+  std::vector<CriticalSet> criticals_;
+  Initiation initiation_ = Initiation::Delayed;
+  Termination termination_ = Termination::Delayed;
+  bool nondet_contention_ = false;
+};
+
+}  // namespace script::core

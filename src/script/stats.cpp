@@ -1,0 +1,51 @@
+#include "script/stats.hpp"
+
+namespace script::core {
+
+ScriptStats::ScriptStats(ScriptInstance& inst) {
+  inst.observe([this](const ScriptEvent& e) { on_event(e); });
+}
+
+void ScriptStats::on_event(const ScriptEvent& e) {
+  switch (e.kind) {
+    case ScriptEvent::Kind::EnrollAttempt:
+      attempt_at_[e.pid] = e.time;
+      break;
+    case ScriptEvent::Kind::Enrolled: {
+      ++enrollments_;
+      const auto it = attempt_at_.find(e.pid);
+      if (it != attempt_at_.end()) {
+        enroll_wait_.add(static_cast<double>(e.time - it->second));
+        attempt_at_.erase(it);
+      }
+      admitted_at_[e.pid] = e.time;
+      break;
+    }
+    case ScriptEvent::Kind::RoleBegan:
+      began_at_[e.pid] = e.time;
+      break;
+    case ScriptEvent::Kind::RoleFinished: {
+      const auto it = began_at_.find(e.pid);
+      if (it != began_at_.end()) {
+        role_duration_.add(static_cast<double>(e.time - it->second));
+        began_at_.erase(it);
+      }
+      break;
+    }
+    case ScriptEvent::Kind::Released: {
+      const auto it = admitted_at_.find(e.pid);
+      if (it != admitted_at_.end()) {
+        in_script_.add(static_cast<double>(e.time - it->second));
+        admitted_at_.erase(it);
+      }
+      break;
+    }
+    case ScriptEvent::Kind::PerformanceBegan:
+      break;
+    case ScriptEvent::Kind::PerformanceEnded:
+      ++performances_;
+      break;
+  }
+}
+
+}  // namespace script::core

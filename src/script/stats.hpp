@@ -1,0 +1,53 @@
+// ScriptStats: per-instance metrics collected through the observer API.
+//
+// Attach to any ScriptInstance to measure what the paper's figures
+// discuss qualitatively: how long processes wait to enroll, how long
+// roles spend in the script, and performance throughput.
+//
+//   ScriptStats stats(instance);
+//   ... run ...
+//   stats.enroll_wait().mean();    // ticks from attempt to admission
+//   stats.time_in_script().mean(); // ticks from admission to release
+//   stats.performances();
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "script/instance.hpp"
+#include "support/stats.hpp"
+
+namespace script::core {
+
+class ScriptStats {
+ public:
+  /// Registers an observer on `inst`; the instance must outlive this.
+  explicit ScriptStats(ScriptInstance& inst);
+
+  /// Virtual ticks between an enrollment attempt and its admission.
+  const support::Summary& enroll_wait() const { return enroll_wait_; }
+  /// Virtual ticks between admission and release (the paper's
+  /// "time spent in the script", the Fig 3 vs Fig 4 axis).
+  const support::Summary& time_in_script() const { return in_script_; }
+  /// Virtual ticks each role body ran (begin -> finish).
+  const support::Summary& role_duration() const { return role_duration_; }
+
+  std::uint64_t performances() const { return performances_; }
+  std::uint64_t enrollments() const { return enrollments_; }
+
+ private:
+  void on_event(const ScriptEvent& e);
+
+  // Keyed by process: a fiber has at most one in-flight enrollment in
+  // a given instance at a time.
+  std::map<ProcessId, std::uint64_t> attempt_at_;
+  std::map<ProcessId, std::uint64_t> admitted_at_;
+  std::map<ProcessId, std::uint64_t> began_at_;
+  support::Summary enroll_wait_;
+  support::Summary in_script_;
+  support::Summary role_duration_;
+  std::uint64_t performances_ = 0;
+  std::uint64_t enrollments_ = 0;
+};
+
+}  // namespace script::core

@@ -1,0 +1,156 @@
+#include "scripts/ada_embedding.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::embeddings {
+
+using ada::Entry;
+using ada::EntryFamily;
+using ada::Select;
+using ada::Task;
+using ada::Unit;
+
+AdaBroadcastScript::AdaBroadcastScript(runtime::Scheduler& sched,
+                                       std::size_t recipients)
+    : sched_(&sched), n_(recipients), m_(recipients + 1) {
+  sup_start_ = std::make_unique<EntryFamily<std::size_t, Unit>>(
+      sched, "sup.start", m_);
+  sup_stop_ = std::make_unique<EntryFamily<std::size_t, Unit>>(
+      sched, "sup.stop", m_);
+  sup_shutdown_ =
+      std::make_unique<Entry<Unit, Unit>>(sched, "sup.shutdown");
+  sender_start_ = std::make_unique<Entry<int, Unit>>(sched, "sender.start");
+  sender_stop_ =
+      std::make_unique<Entry<Unit, Unit>>(sched, "sender.stop");
+  sender_receive_ =
+      std::make_unique<Entry<Unit, int>>(sched, "sender.receive");
+  sender_shutdown_ =
+      std::make_unique<Entry<Unit, Unit>>(sched, "sender.shutdown");
+  recipients_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::string base = "recipient" + std::to_string(i);
+    recipients_[i].start =
+        std::make_unique<Entry<Unit, Unit>>(sched, base + ".start");
+    recipients_[i].stop =
+        std::make_unique<Entry<Unit, int>>(sched, base + ".stop");
+    recipients_[i].shutdown =
+        std::make_unique<Entry<Unit, Unit>>(sched, base + ".shutdown");
+  }
+}
+
+void AdaBroadcastScript::start() {
+  Task sup(*sched_, "_s(supervisor)", [this] { run_supervisor(); });
+  Task snd(*sched_, "_s(sender)", [this] { run_sender_role(); });
+  for (std::size_t i = 0; i < n_; ++i) {
+    Task rcp(*sched_, "_s(recipient" + std::to_string(i) + ")",
+             [this, i] { run_recipient_role(i); });
+  }
+}
+
+void AdaBroadcastScript::run_supervisor() {
+  // Figure 9: accept start(j) only while role j is unstarted in the
+  // current performance; reset when every started role has stopped.
+  std::vector<bool> ready(m_, true);
+  std::vector<bool> started(m_, false);
+  for (;;) {
+    bool stop = false;
+    Select sel(*sched_);
+    for (std::size_t j = 0; j < m_; ++j) {
+      sel.accept_case<std::size_t, Unit>(
+          (*sup_start_)[j],
+          [&ready, &started, j](std::size_t&) {
+            ready[j] = false;
+            started[j] = true;
+            return Unit{};
+          },
+          /*guard=*/ready[j]);
+      sel.accept_case<std::size_t, Unit>(
+          (*sup_stop_)[j],
+          [&started, j](std::size_t&) {
+            started[j] = false;
+            return Unit{};
+          },
+          /*guard=*/!ready[j] && started[j]);
+    }
+    sel.accept_case<Unit, Unit>(*sup_shutdown_, [&stop](Unit&) {
+      stop = true;
+      return Unit{};
+    });
+    sel.run();
+    if (stop) return;
+    if (std::none_of(started.begin(), started.end(),
+                     [](bool b) { return b; }) &&
+        std::any_of(ready.begin(), ready.end(), [](bool r) { return !r; })) {
+      std::fill(ready.begin(), ready.end(), true);
+      ++performances_;
+    }
+  }
+}
+
+void AdaBroadcastScript::run_sender_role() {
+  // Figure 10/11 shape: loop { accept start(v); <body B>; accept stop }.
+  for (;;) {
+    int data = 0;
+    bool stop = false;
+    Select sel(*sched_);
+    sel.accept_case<int, Unit>(*sender_start_, [&data](int& v) {
+      data = v;
+      return Unit{};
+    });
+    sel.accept_case<Unit, Unit>(*sender_shutdown_, [&stop](Unit&) {
+      stop = true;
+      return Unit{};
+    });
+    sel.run();
+    if (stop) return;
+    (*sup_start_)[0].call(0);
+    // Body B — Figure 8's sender: WHILE completed < n LOOP accept
+    // receive(d) DO d := data.
+    for (std::size_t completed = 0; completed < n_; ++completed)
+      sender_receive_->accept([&data](Unit&) { return data; });
+    (*sup_stop_)[0].call(0);
+    sender_stop_->accept([](Unit&) { return Unit{}; });
+  }
+}
+
+void AdaBroadcastScript::run_recipient_role(std::size_t index) {
+  for (;;) {
+    bool stop = false;
+    Select sel(*sched_);
+    sel.accept_case<Unit, Unit>(*recipients_[index].start,
+                                [](Unit&) { return Unit{}; });
+    sel.accept_case<Unit, Unit>(*recipients_[index].shutdown,
+                                [&stop](Unit&) {
+                                  stop = true;
+                                  return Unit{};
+                                });
+    sel.run();
+    if (stop) return;
+    (*sup_start_)[index + 1].call(index + 1);
+    // Body B — Figure 8's recipient: sender.receive(data).
+    const int data = sender_receive_->call();
+    (*sup_stop_)[index + 1].call(index + 1);
+    recipients_[index].stop->accept([data](Unit&) { return data; });
+  }
+}
+
+void AdaBroadcastScript::shutdown() {
+  sender_shutdown_->call();
+  for (auto& r : recipients_) r.shutdown->call();
+  sup_shutdown_->call();
+}
+
+void AdaBroadcastScript::enroll_sender(int value) {
+  sender_start_->call(value);
+  sender_stop_->call();
+}
+
+int AdaBroadcastScript::enroll_recipient(std::size_t index) {
+  SCRIPT_ASSERT(index < n_, "bad recipient index");
+  recipients_[index].start->call();
+  return recipients_[index].stop->call();
+}
+
+}  // namespace script::embeddings

@@ -1,0 +1,78 @@
+// §IV "Scripts in Ada": Figure 8 (the broadcast script as a server
+// script with partners-unnamed enrollment) and Figures 9–11 (the
+// translation into plain Ada: one task per role plus a supervisor task
+// with start/stop entry families).
+//
+// Faithful consequences reproduced here, as the paper notes them:
+//   * the broadcast is REVERSED — recipients call the sender's
+//     `receive` entry, because Ada callers must name the callee while
+//     acceptors stay anonymous;
+//   * "the number of processes grows from n to n+m+1" — task_count()
+//     exposes the m+1 helper tasks the translation spawns;
+//   * the role tasks' infinite loops would make the program
+//     non-terminating — we add shutdown entries so harnesses can end
+//     (the paper flags this very defect of the translation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ada/entry.hpp"
+#include "ada/select.hpp"
+#include "ada/task.hpp"
+
+namespace script::embeddings {
+
+class AdaBroadcastScript {
+ public:
+  AdaBroadcastScript(runtime::Scheduler& sched, std::size_t recipients);
+
+  /// Spawn the supervisor task and the m role tasks.
+  void start();
+  /// Ask every helper task to exit its service loop.
+  void shutdown();
+
+  // ---- Enrollment surface (the paper's s_rj.start / s_rj.stop) ----
+
+  /// ENROLL ... AS sender(value): start(in-params) then stop().
+  void enroll_sender(int value);
+  /// ENROLL ... AS recipient[i](out): start() then stop(out-params).
+  int enroll_recipient(std::size_t index);
+
+  /// Helper tasks the translation created (the paper's m+1 growth).
+  std::size_t helper_task_count() const { return m_ + 1; }
+  std::uint64_t performances() const { return performances_; }
+
+ private:
+  void run_supervisor();
+  void run_sender_role();
+  void run_recipient_role(std::size_t index);
+
+  runtime::Scheduler* sched_;
+  std::size_t n_;  // recipients
+  std::size_t m_;  // roles = n_ + 1
+
+  // Supervisor entries (Figure 9).
+  std::unique_ptr<ada::EntryFamily<std::size_t, ada::Unit>> sup_start_;
+  std::unique_ptr<ada::EntryFamily<std::size_t, ada::Unit>> sup_stop_;
+  std::unique_ptr<ada::Entry<ada::Unit, ada::Unit>> sup_shutdown_;
+
+  // Sender role task entries (Figures 8/10/11).
+  std::unique_ptr<ada::Entry<int, ada::Unit>> sender_start_;
+  std::unique_ptr<ada::Entry<ada::Unit, ada::Unit>> sender_stop_;
+  std::unique_ptr<ada::Entry<ada::Unit, int>> sender_receive_;
+  std::unique_ptr<ada::Entry<ada::Unit, ada::Unit>> sender_shutdown_;
+
+  // Recipient role task entries.
+  struct RecipientEntries {
+    std::unique_ptr<ada::Entry<ada::Unit, ada::Unit>> start;
+    std::unique_ptr<ada::Entry<ada::Unit, int>> stop;
+    std::unique_ptr<ada::Entry<ada::Unit, ada::Unit>> shutdown;
+  };
+  std::vector<RecipientEntries> recipients_;
+
+  std::uint64_t performances_ = 0;
+};
+
+}  // namespace script::embeddings

@@ -1,0 +1,97 @@
+#include "scripts/auction.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+using core::any_member;
+using core::CriticalSet;
+using core::Initiation;
+using core::Params;
+using core::role;
+using core::RoleContext;
+using core::RoleId;
+using core::ScriptSpec;
+using core::Termination;
+
+namespace {
+
+ScriptSpec auction_spec(const std::string& name, std::size_t n) {
+  SCRIPT_ASSERT(n >= 2, "an auction needs room for at least two bidders");
+  ScriptSpec s(name);
+  s.role("auctioneer").role_family("bidder", n);
+  s.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  s.critical(CriticalSet{{"auctioneer", 1}, {"bidder", 2}});
+  return s;
+}
+
+}  // namespace
+
+Auction::Auction(csp::Net& net, std::size_t max_bidders, std::string name)
+    : inst_(net, auction_spec(name, max_bidders), name), n_(max_bidders) {
+  inst_.on_role("auctioneer", [n = n_](RoleContext& ctx) {
+    const long reserve = ctx.param<long>("reserve");
+    AuctionResult result;
+    // Round 1: announce to every present bidder (absent roles are
+    // `terminated` once the critical set filled — skip them).
+    for (std::size_t i = 0; i < n; ++i) {
+      const RoleId b = role("bidder", static_cast<int>(i));
+      if (ctx.terminated(b)) continue;
+      auto s = ctx.send(b, reserve, "announce");
+      SCRIPT_ASSERT(s.has_value(), "auction: bidder vanished");
+      ++result.bidders;
+    }
+    // Round 2: collect bids; keep the best at or above reserve.
+    for (std::size_t i = 0; i < n; ++i) {
+      const RoleId b = role("bidder", static_cast<int>(i));
+      if (ctx.terminated(b)) continue;
+      auto bid = ctx.recv<long>(b, "bid");
+      SCRIPT_ASSERT(bid.has_value(), "auction: bidder vanished");
+      if (*bid >= reserve && (!result.sold || *bid > result.price)) {
+        result.sold = true;
+        result.winner = static_cast<int>(i);
+        result.price = *bid;
+      }
+    }
+    // Round 3: notify outcomes.
+    for (std::size_t i = 0; i < n; ++i) {
+      const RoleId b = role("bidder", static_cast<int>(i));
+      if (ctx.terminated(b)) continue;
+      auto s = ctx.send(b, result.winner == static_cast<int>(i), "award");
+      SCRIPT_ASSERT(s.has_value(), "auction: bidder vanished");
+    }
+    ctx.set_param("result", result);
+  });
+  inst_.on_role("bidder", [](RoleContext& ctx) {
+    auto reserve = ctx.recv<long>(RoleId("auctioneer"), "announce");
+    SCRIPT_ASSERT(reserve.has_value(), "bidder: auctioneer vanished");
+    auto s = ctx.send(RoleId("auctioneer"), ctx.param<long>("bid"), "bid");
+    SCRIPT_ASSERT(s.has_value(), "bidder: auctioneer vanished");
+    auto won = ctx.recv<bool>(RoleId("auctioneer"), "award");
+    SCRIPT_ASSERT(won.has_value(), "bidder: auctioneer vanished");
+    ctx.set_param("won", *won);
+  });
+}
+
+AuctionResult Auction::sell(long reserve) {
+  AuctionResult result;
+  inst_.enroll(RoleId("auctioneer"), {},
+               Params().in("reserve", reserve).out("result", &result));
+  return result;
+}
+
+bool Auction::bid(int index, long bid) {
+  bool won = false;
+  inst_.enroll(role("bidder", index), {},
+               Params().in("bid", bid).out("won", &won));
+  return won;
+}
+
+bool Auction::bid_any(long bid) {
+  bool won = false;
+  inst_.enroll(any_member("bidder"), {},
+               Params().in("bid", bid).out("won", &won));
+  return won;
+}
+
+}  // namespace script::patterns

@@ -1,0 +1,53 @@
+// Auction: a multi-party negotiation script exercising the paper's
+// critical-role-set machinery in a second domain (besides Figure 5).
+//
+// Roles: one auctioneer and up to n bidders. The critical role set is
+// {auctioneer, 2 bidders} — an auction can proceed short-handed, and
+// unfilled bidder roles are `terminated` (the auctioneer probes and
+// skips them, exactly like Figure 5's managers skip an absent writer).
+//
+// Scenario per performance:
+//   1. auctioneer announces the reserve price to every PRESENT bidder;
+//   2. each bidder answers with its bid (its enrollment parameter);
+//   3. auctioneer awards the highest bid >= reserve (ties: lowest
+//      index) and tells every bidder whether it won.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "script/instance.hpp"
+
+namespace script::patterns {
+
+struct AuctionResult {
+  bool sold = false;
+  int winner = -1;   // bidder index
+  long price = 0;    // winning bid
+  std::size_t bidders = 0;
+};
+
+class Auction {
+ public:
+  Auction(csp::Net& net, std::size_t max_bidders,
+          std::string name = "auction");
+
+  /// Enroll as the auctioneer with a reserve price.
+  AuctionResult sell(long reserve);
+
+  /// Enroll as bidder[index] offering `bid`. Returns true if this
+  /// bidder won.
+  bool bid(int index, long bid);
+
+  /// Enroll as any free bidder slot.
+  bool bid_any(long bid);
+
+  std::size_t max_bidders() const { return n_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  core::ScriptInstance inst_;
+  std::size_t n_;
+};
+
+}  // namespace script::patterns

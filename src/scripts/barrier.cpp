@@ -1,0 +1,29 @@
+#include "scripts/barrier.hpp"
+
+namespace script::patterns {
+
+namespace {
+
+core::ScriptSpec barrier_spec(const std::string& name, std::size_t n) {
+  core::ScriptSpec s(name);
+  s.role_family("member", n);
+  s.initiation(core::Initiation::Delayed)
+      .termination(core::Termination::Delayed);
+  return s;
+}
+
+}  // namespace
+
+Barrier::Barrier(csp::Net& net, std::size_t n, std::string name)
+    : inst_(net, barrier_spec(name, n), name), n_(n) {
+  inst_.on_role("member", [](core::RoleContext&) {
+    // Arrival is the whole job: delayed initiation gathers everyone,
+    // delayed termination releases everyone.
+  });
+}
+
+std::uint64_t Barrier::arrive_and_wait() {
+  return inst_.enroll(core::any_member("member")).performance;
+}
+
+}  // namespace script::patterns

@@ -1,0 +1,33 @@
+// Barrier: the purest demonstration that script enrollment is itself a
+// synchronization primitive. Delayed initiation + delayed termination
+// with empty role bodies means enrolling IS arriving at the barrier:
+// nobody proceeds until all n members have enrolled (the paper's
+// "global synchronization between large groups of processes ... a
+// possible extension to CSP's synchronized communication between two
+// processes").
+#pragma once
+
+#include <string>
+
+#include "script/instance.hpp"
+
+namespace script::patterns {
+
+class Barrier {
+ public:
+  Barrier(csp::Net& net, std::size_t n, std::string name = "barrier");
+
+  /// Enroll into any free member slot; returns once all n are present
+  /// (and, by delayed termination, released together). The returned
+  /// value is the performance (i.e. barrier generation) number.
+  std::uint64_t arrive_and_wait();
+
+  std::size_t width() const { return n_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  core::ScriptInstance inst_;
+  std::size_t n_;
+};
+
+}  // namespace script::patterns

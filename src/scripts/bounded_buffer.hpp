@@ -1,0 +1,164 @@
+// BoundedBuffer: the "various buffering regimes" the paper's
+// introduction names as the canonical reusable communication pattern
+// ("enable a single definition of frequently used patterns, for example
+// various buffering regimes").
+//
+// Roles: one buffer, P producers, C consumers — one performance is a
+// whole producer/consumer session. The buffer role owns the bounded
+// queue; producers block (their deposit goes unacknowledged) while the
+// buffer is full, consumers block while it is empty. Capacity,
+// ordering, and flow control are entirely the script's business:
+// enrollers just call produce()/consume().
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  BoundedBuffer(csp::Net& net, std::size_t capacity, std::size_t producers,
+                std::size_t consumers, std::string name = "bounded_buffer")
+      : inst_(net, make_spec(name, producers, consumers), name),
+        capacity_(capacity) {
+    SCRIPT_ASSERT(capacity > 0, "bounded buffer needs capacity >= 1");
+    inst_.on_role("buffer", [this, producers, consumers](
+                                core::RoleContext& ctx) {
+      std::deque<T> buf;
+      // Deferred rendezvous: producers waiting for space, consumers
+      // waiting for items.
+      std::deque<std::pair<core::RoleId, T>> parked_puts;
+      std::deque<core::RoleId> parked_gets;
+      std::size_t live_producers = producers, live_consumers = consumers;
+      auto pump = [&] {
+        // Admit parked deposits while there is space...
+        while (!parked_puts.empty() && buf.size() < capacity_) {
+          auto [who, item] = std::move(parked_puts.front());
+          parked_puts.pop_front();
+          buf.push_back(std::move(item));
+          auto r = ctx.send(who, true, "ack");
+          SCRIPT_ASSERT(r.has_value(), "buffer: producer vanished");
+        }
+        // ...and satisfy parked withdrawals while there are items.
+        while (!parked_gets.empty() && !buf.empty()) {
+          const core::RoleId who = parked_gets.front();
+          parked_gets.pop_front();
+          auto r = ctx.send(who, std::move(buf.front()), "item");
+          buf.pop_front();
+          SCRIPT_ASSERT(r.has_value(), "buffer: consumer vanished");
+        }
+      };
+      while (live_producers + live_consumers > 0) {
+        auto m = ctx.template recv_any<BufferMsg>();
+        SCRIPT_ASSERT(m.has_value(), "buffer lost its clients");
+        auto& [from, msg] = *m;
+        switch (msg.kind) {
+          case BufferMsg::Kind::Put:
+            parked_puts.emplace_back(from, std::move(msg.item));
+            break;
+          case BufferMsg::Kind::Get:
+            parked_gets.push_back(from);
+            break;
+          case BufferMsg::Kind::ProducerDone:
+            --live_producers;
+            break;
+          case BufferMsg::Kind::ConsumerDone:
+            --live_consumers;
+            break;
+        }
+        pump();
+      }
+      SCRIPT_ASSERT(parked_gets.empty(),
+                    "consumers left waiting on an ended session");
+      ctx.set_param("leftover", buf.size());
+    });
+    inst_.on_role("producer", [](core::RoleContext& ctx) {
+      const auto items = ctx.param<std::vector<T>>("items");
+      for (const T& item : items) {
+        auto s = ctx.send(core::RoleId("buffer"),
+                          BufferMsg{BufferMsg::Kind::Put, item});
+        SCRIPT_ASSERT(s.has_value(), "producer: buffer vanished");
+        auto ack =
+            ctx.template recv<bool>(core::RoleId("buffer"), "ack");
+        SCRIPT_ASSERT(ack.has_value(), "producer: buffer vanished");
+      }
+      auto s = ctx.send(core::RoleId("buffer"),
+                        BufferMsg{BufferMsg::Kind::ProducerDone, T{}});
+      SCRIPT_ASSERT(s.has_value(), "producer: buffer vanished");
+    });
+    inst_.on_role("consumer", [](core::RoleContext& ctx) {
+      const auto want = ctx.param<std::size_t>("count");
+      std::vector<T> got;
+      got.reserve(want);
+      for (std::size_t i = 0; i < want; ++i) {
+        auto s = ctx.send(core::RoleId("buffer"),
+                          BufferMsg{BufferMsg::Kind::Get, T{}});
+        SCRIPT_ASSERT(s.has_value(), "consumer: buffer vanished");
+        auto item =
+            ctx.template recv<T>(core::RoleId("buffer"), "item");
+        SCRIPT_ASSERT(item.has_value(), "consumer: buffer vanished");
+        got.push_back(std::move(*item));
+      }
+      auto s = ctx.send(core::RoleId("buffer"),
+                        BufferMsg{BufferMsg::Kind::ConsumerDone, T{}});
+      SCRIPT_ASSERT(s.has_value(), "consumer: buffer vanished");
+      ctx.set_param("items", got);
+    });
+  }
+
+  /// Enroll as the buffer role; returns items left unconsumed.
+  std::size_t serve() {
+    std::size_t leftover = 0;
+    inst_.enroll(core::RoleId("buffer"), {},
+                 core::Params().out("leftover", &leftover));
+    return leftover;
+  }
+
+  /// Enroll as producer[index]; deposits every item (blocking on a
+  /// full buffer via the script's flow control).
+  void produce(int index, std::vector<T> items) {
+    inst_.enroll(core::role("producer", index), {},
+                 core::Params().in("items", std::move(items)));
+  }
+
+  /// Enroll as consumer[index]; withdraws exactly `count` items.
+  std::vector<T> consume(int index, std::size_t count) {
+    std::vector<T> got;
+    inst_.enroll(core::role("consumer", index), {},
+                 core::Params().in("count", count).out("items", &got));
+    return got;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  struct BufferMsg {
+    enum class Kind : std::uint8_t { Put, Get, ProducerDone, ConsumerDone };
+    Kind kind;
+    T item;
+  };
+
+  static core::ScriptSpec make_spec(const std::string& name,
+                                    std::size_t producers,
+                                    std::size_t consumers) {
+    core::ScriptSpec s(name);
+    s.role("buffer")
+        .role_family("producer", producers)
+        .role_family("consumer", consumers);
+    s.initiation(core::Initiation::Delayed)
+        .termination(core::Termination::Delayed);
+    return s;
+  }
+
+  core::ScriptInstance inst_;
+  std::size_t capacity_;
+};
+
+}  // namespace script::patterns

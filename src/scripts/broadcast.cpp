@@ -1,0 +1,13 @@
+#include "scripts/broadcast.hpp"
+
+namespace script::patterns {
+
+ScriptSpec broadcast_spec(const std::string& name, std::size_t n,
+                          Initiation init, Termination term) {
+  ScriptSpec s(name);
+  s.role("sender").role_family("recipient", n);
+  s.initiation(init).termination(term);
+  return s;
+}
+
+}  // namespace script::patterns

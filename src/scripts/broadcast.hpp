@@ -1,0 +1,202 @@
+// The paper's broadcast scripts.
+//
+//   * StarBroadcast     — Figure 3: fully synchronized; the sender hands
+//     the datum to each recipient in turn; delayed initiation and
+//     termination mean "all wait until the last copy is sent".
+//   * PipelineBroadcast — Figure 4: immediate initiation/termination;
+//     the sender gives the message to recipient[0] and leaves;
+//     recipient[i] waits for recipient[i+1] and passes it along.
+//   * TreeBroadcast     — §II's "spanning tree, generating a wave of
+//     transmissions": every role, upon receiving x from its parent,
+//     transmits it to each of its d children.
+//
+// All three expose the same enrolling surface (send / receive), hiding
+// the strategy — which is exactly the abstraction claim of the paper.
+#pragma once
+
+#include <string>
+
+#include "script/instance.hpp"
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+using core::any_member;
+using core::EnrollResult;
+using core::Initiation;
+using core::Params;
+using core::PartnerSpec;
+using core::role;
+using core::RoleContext;
+using core::RoleId;
+using core::ScriptInstance;
+using core::ScriptSpec;
+using core::Termination;
+
+/// Roles: sender + recipient[n]. Policies per the figure being modelled.
+ScriptSpec broadcast_spec(const std::string& name, std::size_t n,
+                          Initiation init, Termination term);
+
+template <typename T>
+class StarBroadcast {
+ public:
+  StarBroadcast(csp::Net& net, std::size_t n,
+                std::string name = "star_broadcast")
+      : inst_(net,
+              broadcast_spec(name, n, Initiation::Delayed,
+                             Termination::Delayed),
+              name),
+        n_(n) {
+    inst_.on_role("sender", [n](RoleContext& ctx) {
+      const T data = ctx.param<T>("data");
+      for (std::size_t i = 0; i < n; ++i) {
+        auto r = ctx.send(role("recipient", static_cast<int>(i)), data);
+        SCRIPT_ASSERT(r.has_value(), "star broadcast: recipient vanished");
+      }
+    });
+    inst_.on_role("recipient", [](RoleContext& ctx) {
+      auto v = ctx.template recv<T>(RoleId("sender"));
+      SCRIPT_ASSERT(v.has_value(), "star broadcast: sender vanished");
+      ctx.set_param("data", *v);
+    });
+  }
+
+  /// ENROLL ... AS sender(value).
+  EnrollResult send(T value, const PartnerSpec& partners = {}) {
+    return inst_.enroll(RoleId("sender"), partners,
+                        Params().in("data", std::move(value)));
+  }
+
+  /// ENROLL ... AS recipient[index](out).
+  T receive(int index, const PartnerSpec& partners = {}) {
+    T out{};
+    inst_.enroll(role("recipient", index), partners,
+                 Params().out("data", &out));
+    return out;
+  }
+
+  /// ENROLL into any free recipient slot.
+  T receive_any() {
+    T out{};
+    inst_.enroll(any_member("recipient"), {}, Params().out("data", &out));
+    return out;
+  }
+
+  std::size_t recipients() const { return n_; }
+  ScriptInstance& instance() { return inst_; }
+
+ private:
+  ScriptInstance inst_;
+  std::size_t n_;
+};
+
+template <typename T>
+class PipelineBroadcast {
+ public:
+  PipelineBroadcast(csp::Net& net, std::size_t n,
+                    std::string name = "pipeline_broadcast")
+      : inst_(net,
+              broadcast_spec(name, n, Initiation::Immediate,
+                             Termination::Immediate),
+              name),
+        n_(n) {
+    inst_.on_role("sender", [](RoleContext& ctx) {
+      auto r = ctx.send(role("recipient", 0), ctx.param<T>("data"));
+      SCRIPT_ASSERT(r.has_value(), "pipeline: first recipient vanished");
+    });
+    inst_.on_role("recipient", [n](RoleContext& ctx) {
+      const RoleId prev = ctx.index() == 0
+                              ? RoleId("sender")
+                              : role("recipient", ctx.index() - 1);
+      auto v = ctx.template recv<T>(prev);
+      SCRIPT_ASSERT(v.has_value(), "pipeline: upstream vanished");
+      ctx.set_param("data", *v);
+      if (static_cast<std::size_t>(ctx.index()) + 1 < n) {
+        auto r = ctx.send(role("recipient", ctx.index() + 1), *v);
+        SCRIPT_ASSERT(r.has_value(), "pipeline: downstream vanished");
+      }
+    });
+  }
+
+  EnrollResult send(T value, const PartnerSpec& partners = {}) {
+    return inst_.enroll(RoleId("sender"), partners,
+                        Params().in("data", std::move(value)));
+  }
+
+  T receive(int index, const PartnerSpec& partners = {}) {
+    T out{};
+    inst_.enroll(role("recipient", index), partners,
+                 Params().out("data", &out));
+    return out;
+  }
+
+  std::size_t recipients() const { return n_; }
+  ScriptInstance& instance() { return inst_; }
+
+ private:
+  ScriptInstance inst_;
+  std::size_t n_;
+};
+
+template <typename T>
+class TreeBroadcast {
+ public:
+  /// Nodes 0..n form a d-ary heap: node 0 is the sender, node j>=1 is
+  /// recipient[j-1]; children of node j are d*j+1 .. d*j+d.
+  TreeBroadcast(csp::Net& net, std::size_t n, std::size_t fanout,
+                std::string name = "tree_broadcast")
+      : inst_(net,
+              broadcast_spec(name, n, Initiation::Delayed,
+                             Termination::Delayed),
+              name),
+        n_(n),
+        d_(fanout) {
+    SCRIPT_ASSERT(fanout > 0, "tree broadcast needs fanout >= 1");
+    auto send_children = [n, fanout](RoleContext& ctx, std::size_t node,
+                                     const T& data) {
+      for (std::size_t c = fanout * node + 1;
+           c <= fanout * node + fanout && c <= n; ++c) {
+        auto r =
+            ctx.send(role("recipient", static_cast<int>(c - 1)), data);
+        SCRIPT_ASSERT(r.has_value(), "tree broadcast: child vanished");
+      }
+    };
+    inst_.on_role("sender", [send_children](RoleContext& ctx) {
+      send_children(ctx, 0, ctx.param<T>("data"));
+    });
+    inst_.on_role("recipient", [send_children, fanout](RoleContext& ctx) {
+      const std::size_t node = static_cast<std::size_t>(ctx.index()) + 1;
+      const std::size_t parent = (node - 1) / fanout;
+      const RoleId from = parent == 0
+                              ? RoleId("sender")
+                              : role("recipient", static_cast<int>(parent) - 1);
+      auto v = ctx.template recv<T>(from);
+      SCRIPT_ASSERT(v.has_value(), "tree broadcast: parent vanished");
+      ctx.set_param("data", *v);
+      send_children(ctx, node, *v);
+    });
+  }
+
+  EnrollResult send(T value, const PartnerSpec& partners = {}) {
+    return inst_.enroll(RoleId("sender"), partners,
+                        Params().in("data", std::move(value)));
+  }
+
+  T receive(int index, const PartnerSpec& partners = {}) {
+    T out{};
+    inst_.enroll(role("recipient", index), partners,
+                 Params().out("data", &out));
+    return out;
+  }
+
+  std::size_t recipients() const { return n_; }
+  std::size_t fanout() const { return d_; }
+  ScriptInstance& instance() { return inst_; }
+
+ private:
+  ScriptInstance inst_;
+  std::size_t n_;
+  std::size_t d_;
+};
+
+}  // namespace script::patterns

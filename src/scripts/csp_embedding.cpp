@@ -1,0 +1,91 @@
+#include "scripts/csp_embedding.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::embeddings {
+
+using csp::Alternative;
+using csp::Net;
+
+CspSupervisor::CspSupervisor(Net& net, std::size_t roles, std::string name)
+    : net_(&net),
+      m_(roles),
+      name_(std::move(name)),
+      ready_(roles, true),
+      done_(roles, false) {}
+
+void CspSupervisor::spawn() {
+  pid_ = net_->spawn_process("p_s:" + name_, [this] { supervise(); });
+}
+
+void CspSupervisor::supervise() {
+  // Figure 7: *[ (k,j) ready[k]; p_j?start_s() -> ready[k]:=false
+  //            [] ~ready[k]; p_j?end_s()   -> done[k]:=true ...]
+  for (;;) {
+    Alternative alt(*net_);
+    for (std::size_t k = 0; k < m_; ++k) {
+      alt.recv_any_case<std::size_t>(
+          "start_" + std::to_string(k),
+          [this, k](csp::ProcessId, std::size_t) { ready_[k] = false; },
+          /*guard=*/ready_[k]);
+      alt.recv_any_case<std::size_t>(
+          "end_" + std::to_string(k),
+          [this, k](csp::ProcessId, std::size_t) { done_[k] = true; },
+          /*guard=*/!ready_[k] && !done_[k]);
+    }
+    alt.recv_any_case<std::size_t>(
+        "shutdown_" + name_,
+        [this](csp::ProcessId, std::size_t) { stop_requested_ = true; });
+    if (alt.select() == Alternative::kFailed || stop_requested_) return;
+
+    if (std::all_of(done_.begin(), done_.end(), [](bool d) { return d; })) {
+      // ready := m'true; done := m'false  — next performance may form.
+      std::fill(ready_.begin(), ready_.end(), true);
+      std::fill(done_.begin(), done_.end(), false);
+      ++performances_;
+    }
+  }
+}
+
+void CspSupervisor::shutdown() {
+  auto r = net_->send(pid_, "shutdown_" + name_, std::size_t{0});
+  SCRIPT_ASSERT(r.has_value(), "supervisor already gone");
+}
+
+void CspSupervisor::enroll_start(std::size_t role_index) {
+  SCRIPT_ASSERT(role_index < m_, "bad role index");
+  auto r = net_->send(pid_, "start_" + std::to_string(role_index),
+                      role_index);
+  SCRIPT_ASSERT(r.has_value(), "supervisor gone during enroll");
+}
+
+void CspSupervisor::enroll_end(std::size_t role_index) {
+  SCRIPT_ASSERT(role_index < m_, "bad role index");
+  auto r =
+      net_->send(pid_, "end_" + std::to_string(role_index), role_index);
+  SCRIPT_ASSERT(r.has_value(), "supervisor gone during end");
+}
+
+std::size_t csp_broadcast_transmit(
+    Net& net, int x, const std::vector<csp::ProcessId>& recipient_pids) {
+  // Figure 6's transmitter: VAR sent: ARRAY[1..5] OF boolean := false;
+  // *[ (k) ~sent[k]; recipient[k]!x -> sent[k]:=true ]
+  std::vector<bool> sent(recipient_pids.size(), false);
+  return csp::repetitive(net, [&](Alternative& alt) {
+    for (std::size_t k = 0; k < recipient_pids.size(); ++k)
+      alt.send_case<int>(
+          recipient_pids[k], "x", x, [&sent, k] { sent[k] = true; },
+          /*guard=*/!sent[k]);
+  });
+}
+
+int csp_broadcast_receive(Net& net, csp::ProcessId transmitter_pid) {
+  // Figure 6's recipient: transmitter ? y_i
+  auto r = net.recv<int>(transmitter_pid, "x");
+  SCRIPT_ASSERT(r.has_value(), "transmitter terminated early");
+  return *r;
+}
+
+}  // namespace script::embeddings

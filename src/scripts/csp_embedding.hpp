@@ -1,0 +1,73 @@
+// §IV "Scripts in CSP": Figure 6 (the broadcast script in CSP) and
+// Figure 7 (the supervisor process p_s of the translation into plain
+// CSP).
+//
+// The translation inlines each role body at the enrollment site; what
+// remains of the script is the supervisor, which coordinates the
+// successive-activations rule: a process announces `start_s(k)` before
+// executing role k's inlined body and `end_s(k)` after; p_s only
+// accepts a start for a role that is free in the current performance,
+// and opens the next performance when every role of the current one has
+// ended. This class is that supervisor, faithfully message-driven (the
+// bench measures its overhead against the library's direct bookkeeping).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/alternative.hpp"
+#include "csp/net.hpp"
+
+namespace script::embeddings {
+
+class CspSupervisor {
+ public:
+  /// Creates (but does not yet spawn) a supervisor for m roles.
+  CspSupervisor(csp::Net& net, std::size_t roles, std::string name);
+
+  /// Spawn the p_s process. Call before any enroll_*.
+  void spawn();
+
+  /// Stop p_s once the last performance has completed.
+  void shutdown();
+
+  // ---- Client side (call from enrolling processes) ----
+
+  /// `p_s ! start_s(k)` — blocks until role k is free in the current
+  /// performance (Figure 7's `ready[k]` guard).
+  void enroll_start(std::size_t role_index);
+
+  /// `p_s ! end_s(k)` — marks role k finished; when all roles have
+  /// ended, p_s resets for the next performance.
+  void enroll_end(std::size_t role_index);
+
+  std::uint64_t performances() const { return performances_; }
+  csp::ProcessId pid() const { return pid_; }
+
+ private:
+  void supervise();
+
+  csp::Net* net_;
+  std::size_t m_;
+  std::string name_;
+  csp::ProcessId pid_ = csp::kAnyProcess;
+  std::vector<bool> ready_;
+  std::vector<bool> done_;
+  std::uint64_t performances_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Figure 6 faithfully: the broadcast body written with raw CSP
+/// primitives — the transmitter's repetitive command with `sent[k]`
+/// guards sending x to each recipient in nondeterministic order, each
+/// recipient a single `transmitter ? x`.
+///
+/// `transmitter_pid` / `recipient_pids` follow CSP's strict mutual
+/// naming. Returns the number of rendezvous performed (== recipients).
+std::size_t csp_broadcast_transmit(csp::Net& net, int x,
+                                   const std::vector<csp::ProcessId>&
+                                       recipient_pids);
+int csp_broadcast_receive(csp::Net& net, csp::ProcessId transmitter_pid);
+
+}  // namespace script::embeddings

@@ -1,0 +1,258 @@
+#include "scripts/lock_manager.hpp"
+
+#include <set>
+
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+using core::any_member;
+using core::CriticalSet;
+using core::Initiation;
+using core::Params;
+using core::role;
+using core::RoleContext;
+using core::RoleId;
+using core::ScriptSpec;
+using core::Termination;
+using lockdb::LockMode;
+
+namespace {
+
+ScriptSpec lock_spec(const std::string& name, std::size_t k) {
+  ScriptSpec s(name);
+  s.role_family("manager", k).role("reader").role("writer");
+  s.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  s.critical(CriticalSet{{"manager", k}, {"reader", 1}});
+  s.critical(CriticalSet{{"manager", k}, {"writer", 1}});
+  return s;
+}
+
+}  // namespace
+
+LockManagerScript::LockManagerScript(csp::Net& net,
+                                     lockdb::ReplicaSet& replicas,
+                                     std::string name)
+    : inst_(net, lock_spec(name, replicas.active_count()), name),
+      replicas_(&replicas),
+      k_(replicas.active_count()) {
+  inst_.on_role("manager", [this](RoleContext& ctx) {
+    lockdb::LockTable& table = replicas_->table(
+        replicas_->active()[static_cast<std::size_t>(ctx.index())]);
+    // Which clients joined this performance? (Cast is frozen under
+    // delayed initiation; unfilled client roles are `terminated`.)
+    std::set<std::string> pending;
+    for (const char* client : {"reader", "writer"})
+      if (!ctx.terminated(RoleId(client))) pending.insert(client);
+    while (!pending.empty()) {
+      auto m = ctx.recv_any<LockRequest>();
+      SCRIPT_ASSERT(m.has_value(), "manager lost its clients");
+      const RoleId from = m->first;
+      const LockRequest req = m->second;
+      switch (req.kind) {
+        case LockRequest::Kind::Lock: {
+          const LockMode mode = from.name == "reader"
+                                    ? LockMode::Shared
+                                    : LockMode::Exclusive;
+          const bool ok = table.acquire(req.item, mode, req.owner);
+          auto s = ctx.send(
+              from, ok ? LockStatus::Granted : LockStatus::Denied, "reply");
+          SCRIPT_ASSERT(s.has_value(), "manager: client vanished");
+          break;
+        }
+        case LockRequest::Kind::Release:
+          table.release(req.item, req.owner);
+          break;
+        case LockRequest::Kind::Done:
+          pending.erase(from.name);
+          break;
+      }
+    }
+  });
+
+  // Figure 5b: the reader needs one grant; on full denial nothing is
+  // held (its `who` set is empty), matching the paper's release loop.
+  inst_.on_role("reader", [k = k_](RoleContext& ctx) {
+    const auto kind = ctx.param<LockRequest::Kind>("kind");
+    const auto item = ctx.param<std::string>("item");
+    const auto id = ctx.param<lockdb::OwnerId>("id");
+    LockStatus status = LockStatus::Denied;
+    if (kind == LockRequest::Kind::Release) {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto s = ctx.send(role("manager", static_cast<int>(i)),
+                          LockRequest{kind, item, id});
+        SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
+      }
+      status = LockStatus::Granted;
+    } else {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto s = ctx.send(role("manager", static_cast<int>(i)),
+                          LockRequest{LockRequest::Kind::Lock, item, id});
+        SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
+        auto reply = ctx.recv<LockStatus>(
+            role("manager", static_cast<int>(i)), "reply");
+        SCRIPT_ASSERT(reply.has_value(), "reader: manager vanished");
+        if (*reply == LockStatus::Granted) {
+          status = LockStatus::Granted;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      auto s = ctx.send(role("manager", static_cast<int>(i)),
+                        LockRequest{LockRequest::Kind::Done, "", id});
+      SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
+    }
+    ctx.set_param("status", status);
+  });
+
+  // Figure 5c: the writer needs every manager; a single denial aborts
+  // and releases the grants collected so far.
+  inst_.on_role("writer", [k = k_](RoleContext& ctx) {
+    const auto kind = ctx.param<LockRequest::Kind>("kind");
+    const auto item = ctx.param<std::string>("item");
+    const auto id = ctx.param<lockdb::OwnerId>("id");
+    LockStatus status = LockStatus::Denied;
+    if (kind == LockRequest::Kind::Release) {
+      for (std::size_t i = 0; i < k; ++i) {
+        auto s = ctx.send(role("manager", static_cast<int>(i)),
+                          LockRequest{kind, item, id});
+        SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
+      }
+      status = LockStatus::Granted;
+    } else {
+      std::set<std::size_t> who;
+      for (std::size_t i = 0; i < k; ++i) {
+        auto s = ctx.send(role("manager", static_cast<int>(i)),
+                          LockRequest{LockRequest::Kind::Lock, item, id});
+        SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
+        auto reply = ctx.recv<LockStatus>(
+            role("manager", static_cast<int>(i)), "reply");
+        SCRIPT_ASSERT(reply.has_value(), "writer: manager vanished");
+        if (*reply == LockStatus::Granted)
+          who.insert(i);
+        else
+          break;
+      }
+      if (who.size() == k) {
+        status = LockStatus::Granted;
+      } else {
+        for (const std::size_t i : who) {
+          auto s =
+              ctx.send(role("manager", static_cast<int>(i)),
+                       LockRequest{LockRequest::Kind::Release, item, id});
+          SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      auto s = ctx.send(role("manager", static_cast<int>(i)),
+                        LockRequest{LockRequest::Kind::Done, "", id});
+      SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
+    }
+    ctx.set_param("status", status);
+  });
+}
+
+void LockManagerScript::serve_once(std::size_t index) {
+  inst_.enroll(role("manager", static_cast<int>(index)));
+}
+
+LockStatus LockManagerScript::run_client(const RoleId& client,
+                                         LockRequest::Kind kind,
+                                         const std::string& item,
+                                         lockdb::OwnerId id) {
+  LockStatus status = LockStatus::Denied;
+  inst_.enroll(client, {},
+               Params()
+                   .in("kind", kind)
+                   .in("item", item)
+                   .in("id", id)
+                   .out("status", &status));
+  return status;
+}
+
+LockStatus LockManagerScript::reader_lock(const std::string& item,
+                                          lockdb::OwnerId id) {
+  return run_client(RoleId("reader"), LockRequest::Kind::Lock, item, id);
+}
+
+void LockManagerScript::reader_release(const std::string& item,
+                                       lockdb::OwnerId id) {
+  run_client(RoleId("reader"), LockRequest::Kind::Release, item, id);
+}
+
+LockStatus LockManagerScript::writer_lock(const std::string& item,
+                                          lockdb::OwnerId id) {
+  return run_client(RoleId("writer"), LockRequest::Kind::Lock, item, id);
+}
+
+void LockManagerScript::writer_release(const std::string& item,
+                                       lockdb::OwnerId id) {
+  run_client(RoleId("writer"), LockRequest::Kind::Release, item, id);
+}
+
+// ---- MembershipChangeScript ----
+
+namespace {
+
+ScriptSpec membership_spec(const std::string& name, std::size_t k) {
+  ScriptSpec s(name);
+  s.role("leaver").role("joiner");
+  if (k > 1) s.role_family("witness", k - 1);
+  s.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  return s;
+}
+
+}  // namespace
+
+MembershipChangeScript::MembershipChangeScript(csp::Net& net,
+                                               lockdb::ReplicaSet& replicas,
+                                               std::string name)
+    : inst_(net, membership_spec(name, replicas.active_count()), name),
+      replicas_(&replicas) {
+  const std::size_t k = replicas.active_count();
+  inst_.on_role("leaver", [](RoleContext& ctx) {
+    auto s = ctx.send(RoleId("joiner"),
+                      ctx.param<lockdb::NodeId>("node"), "handover");
+    SCRIPT_ASSERT(s.has_value(), "membership: joiner vanished");
+  });
+  inst_.on_role("joiner", [this, k](RoleContext& ctx) {
+    auto leaving = ctx.recv<lockdb::NodeId>(RoleId("leaver"), "handover");
+    SCRIPT_ASSERT(leaving.has_value(), "membership: leaver vanished");
+    replicas_->swap_member(*leaving, ctx.param<lockdb::NodeId>("node"));
+    const std::uint64_t epoch = replicas_->epoch();
+    for (std::size_t w = 0; w + 1 < k; ++w) {
+      auto s = ctx.send(role("witness", static_cast<int>(w)), epoch,
+                        "epoch");
+      SCRIPT_ASSERT(s.has_value(), "membership: witness vanished");
+    }
+    ctx.set_param("epoch", epoch);
+  });
+  if (k > 1) {
+    inst_.on_role("witness", [](RoleContext& ctx) {
+      auto epoch = ctx.recv<std::uint64_t>(RoleId("joiner"), "epoch");
+      SCRIPT_ASSERT(epoch.has_value(), "membership: joiner vanished");
+      ctx.set_param("epoch", *epoch);
+    });
+  }
+}
+
+void MembershipChangeScript::leave(lockdb::NodeId self) {
+  inst_.enroll(RoleId("leaver"), {}, Params().in("node", self));
+}
+
+std::uint64_t MembershipChangeScript::join(lockdb::NodeId self) {
+  std::uint64_t epoch = 0;
+  inst_.enroll(RoleId("joiner"), {},
+               Params().in("node", self).out("epoch", &epoch));
+  return epoch;
+}
+
+std::uint64_t MembershipChangeScript::witness(int index) {
+  std::uint64_t epoch = 0;
+  inst_.enroll(role("witness", index), {}, Params().out("epoch", &epoch));
+  return epoch;
+}
+
+}  // namespace script::patterns

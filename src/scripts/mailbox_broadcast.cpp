@@ -1,0 +1,3 @@
+// MailboxBroadcast is fully generic (header-only); see
+// mailbox_broadcast.hpp.
+#include "scripts/mailbox_broadcast.hpp"

@@ -1,0 +1,42 @@
+#include "scripts/monitor_embedding.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::embeddings {
+
+MonitorSupervisor::MonitorSupervisor(runtime::Scheduler& sched,
+                                     std::size_t roles, std::string name)
+    : mon_(sched, std::move(name)),
+      m_(roles),
+      taken_(roles, false),
+      ended_(roles, false) {
+  SCRIPT_ASSERT(roles > 0, "supervisor needs at least one role");
+}
+
+void MonitorSupervisor::enroll_start(std::size_t k) {
+  SCRIPT_ASSERT(k < m_, "bad role index");
+  mon_.enter();
+  mon_.wait_until([this, k] { return !taken_[k]; });
+  taken_[k] = true;
+  mon_.leave();
+}
+
+void MonitorSupervisor::enroll_end(std::size_t k) {
+  SCRIPT_ASSERT(k < m_, "bad role index");
+  mon_.enter();
+  SCRIPT_ASSERT(taken_[k] && !ended_[k],
+                "enroll_end without matching enroll_start");
+  ended_[k] = true;
+  if (std::all_of(ended_.begin(), ended_.end(), [](bool e) { return e; })) {
+    // Last role out: next performance may form. Leaving the monitor
+    // re-evaluates the WAIT UNTILs of queued starters automatically.
+    std::fill(taken_.begin(), taken_.end(), false);
+    std::fill(ended_.begin(), ended_.end(), false);
+    ++performances_;
+  }
+  mon_.leave();
+}
+
+}  // namespace script::embeddings

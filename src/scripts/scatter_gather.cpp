@@ -1,0 +1,4 @@
+// ScatterGather is fully generic (header-only); this translation unit
+// exists to give the template a home in the library and to anchor any
+// future non-template helpers.
+#include "scripts/scatter_gather.hpp"

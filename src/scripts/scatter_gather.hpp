@@ -1,0 +1,86 @@
+// ScatterGather: a coordinator distributes one work item to each of n
+// workers and collects the results — the "single definition of a
+// frequently used pattern" the paper's introduction asks abstraction
+// mechanisms to provide.
+//
+// Workers bring their own compute function as an in-parameter, so one
+// script definition serves every workload type (generic "as its host
+// programming language allows").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+template <typename T, typename R>
+class ScatterGather {
+ public:
+  ScatterGather(csp::Net& net, std::size_t n,
+                std::string name = "scatter_gather")
+      : inst_(net, make_spec(name, n), name), n_(n) {
+    inst_.on_role("coordinator", [n](core::RoleContext& ctx) {
+      const auto items = ctx.param<std::vector<T>>("items");
+      SCRIPT_ASSERT(items.size() == n,
+                    "scatter: item count must equal worker count");
+      for (std::size_t i = 0; i < n; ++i) {
+        auto s = ctx.send(core::role("worker", static_cast<int>(i)),
+                          items[i], "task");
+        SCRIPT_ASSERT(s.has_value(), "scatter: worker vanished");
+      }
+      std::vector<R> results(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto r = ctx.template recv<R>(
+            core::role("worker", static_cast<int>(i)), "result");
+        SCRIPT_ASSERT(r.has_value(), "gather: worker vanished");
+        results[i] = *r;
+      }
+      ctx.set_param("results", results);
+    });
+    inst_.on_role("worker", [](core::RoleContext& ctx) {
+      auto task =
+          ctx.template recv<T>(core::RoleId("coordinator"), "task");
+      SCRIPT_ASSERT(task.has_value(), "worker: coordinator vanished");
+      const auto fn = ctx.param<std::function<R(T)>>("fn");
+      auto s = ctx.send(core::RoleId("coordinator"), fn(*task), "result");
+      SCRIPT_ASSERT(s.has_value(), "worker: coordinator vanished");
+    });
+  }
+
+  /// Enroll as the coordinator; blocks until all results are gathered.
+  std::vector<R> scatter(std::vector<T> items) {
+    std::vector<R> results;
+    inst_.enroll(core::RoleId("coordinator"), {},
+                 core::Params()
+                     .in("items", std::move(items))
+                     .out("results", &results));
+    return results;
+  }
+
+  /// Enroll as any free worker, computing with `fn`.
+  void work(std::function<R(T)> fn) {
+    inst_.enroll(core::any_member("worker"), {},
+                 core::Params().in("fn", std::move(fn)));
+  }
+
+  std::size_t workers() const { return n_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  static core::ScriptSpec make_spec(const std::string& name, std::size_t n) {
+    core::ScriptSpec s(name);
+    s.role("coordinator").role_family("worker", n);
+    s.initiation(core::Initiation::Delayed)
+        .termination(core::Termination::Delayed);
+    return s;
+  }
+
+  core::ScriptInstance inst_;
+  std::size_t n_;
+};
+
+}  // namespace script::patterns

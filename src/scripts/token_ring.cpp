@@ -1,0 +1,2 @@
+// TokenRing is fully generic (header-only); see token_ring.hpp.
+#include "scripts/token_ring.hpp"

@@ -1,0 +1,96 @@
+// TokenRing: a token circulates member[0] -> member[1] -> ... ->
+// member[n-1] -> member[0], `laps` times; every member transforms the
+// token as it passes. A classic well-structured communication pattern
+// (mutual exclusion, round-robin scheduling, ring reductions) captured
+// as a single script.
+//
+// Token algebra: member[0] seeds token = fn0(initial) once, then each
+// lap moves the token through members 1..n-1 (each applying its fn) and
+// back to member[0] (which applies fn0 again at the START of every
+// subsequent lap). With every fn = (+1), the final value is
+// initial + 1 + laps*(n-1) + (laps-1).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "script/instance.hpp"
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+template <typename T>
+class TokenRing {
+ public:
+  TokenRing(csp::Net& net, std::size_t n, std::size_t laps,
+            std::string name = "token_ring")
+      : inst_(net, make_spec(name, n), name), n_(n), laps_(laps) {
+    SCRIPT_ASSERT(n >= 2, "token ring needs at least two members");
+    SCRIPT_ASSERT(laps >= 1, "token ring needs at least one lap");
+    inst_.on_role("member", [n, laps](core::RoleContext& ctx) {
+      const auto fn = ctx.param<std::function<T(T)>>("fn");
+      const int i = ctx.index();
+      const core::RoleId left =
+          core::role("member", (i + static_cast<int>(n) - 1) %
+                                   static_cast<int>(n));
+      const core::RoleId right =
+          core::role("member", (i + 1) % static_cast<int>(n));
+      if (i == 0) {
+        T token = fn(ctx.param<T>("initial"));
+        for (std::size_t lap = 0; lap < laps; ++lap) {
+          if (lap > 0) token = fn(token);
+          auto s = ctx.send(right, token, "token");
+          SCRIPT_ASSERT(s.has_value(), "ring: right neighbour vanished");
+          auto r = ctx.template recv<T>(left, "token");
+          SCRIPT_ASSERT(r.has_value(), "ring: left neighbour vanished");
+          token = *r;
+        }
+        ctx.set_param("final", token);
+      } else {
+        for (std::size_t lap = 0; lap < laps; ++lap) {
+          auto r = ctx.template recv<T>(left, "token");
+          SCRIPT_ASSERT(r.has_value(), "ring: left neighbour vanished");
+          auto s = ctx.send(right, fn(*r), "token");
+          SCRIPT_ASSERT(s.has_value(), "ring: right neighbour vanished");
+        }
+      }
+    });
+  }
+
+  /// Enroll as member[0], seeding the ring; returns the final token.
+  T lead(T initial, std::function<T(T)> fn) {
+    T final_token{};
+    inst_.enroll(core::role("member", 0), {},
+                 core::Params()
+                     .in("initial", std::move(initial))
+                     .in("fn", std::move(fn))
+                     .out("final", &final_token));
+    return final_token;
+  }
+
+  /// Enroll as member[index] (index >= 1).
+  void join(int index, std::function<T(T)> fn) {
+    SCRIPT_ASSERT(index >= 1, "join is for members 1..n-1; use lead()");
+    inst_.enroll(core::role("member", index), {},
+                 core::Params().in("fn", std::move(fn)));
+  }
+
+  std::size_t members() const { return n_; }
+  std::size_t laps() const { return laps_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  static core::ScriptSpec make_spec(const std::string& name, std::size_t n) {
+    core::ScriptSpec s(name);
+    s.role_family("member", n);
+    s.initiation(core::Initiation::Delayed)
+        .termination(core::Termination::Delayed);
+    return s;
+  }
+
+  core::ScriptInstance inst_;
+  std::size_t n_;
+  std::size_t laps_;
+};
+
+}  // namespace script::patterns

@@ -1,0 +1,77 @@
+#include "scripts/two_phase_commit.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::patterns {
+
+namespace {
+
+core::ScriptSpec tpc_spec(const std::string& name, std::size_t n) {
+  core::ScriptSpec s(name);
+  s.role("coordinator").role_family("participant", n);
+  s.initiation(core::Initiation::Delayed)
+      .termination(core::Termination::Delayed);
+  return s;
+}
+
+}  // namespace
+
+TwoPhaseCommit::TwoPhaseCommit(csp::Net& net, std::size_t participants,
+                               std::string name)
+    : inst_(net, tpc_spec(name, participants), name), n_(participants) {
+  inst_.on_role("coordinator", [n = n_](core::RoleContext& ctx) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto s = ctx.send(core::role("participant", static_cast<int>(i)),
+                        true, "prepare");
+      SCRIPT_ASSERT(s.has_value(), "2pc: participant vanished");
+    }
+    bool all_yes = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto vote = ctx.recv<bool>(
+          core::role("participant", static_cast<int>(i)), "vote");
+      SCRIPT_ASSERT(vote.has_value(), "2pc: participant vanished");
+      all_yes = all_yes && *vote;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto s = ctx.send(core::role("participant", static_cast<int>(i)),
+                        all_yes, "decision");
+      SCRIPT_ASSERT(s.has_value(), "2pc: participant vanished");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto ack = ctx.recv<bool>(
+          core::role("participant", static_cast<int>(i)), "ack");
+      SCRIPT_ASSERT(ack.has_value(), "2pc: participant vanished");
+    }
+    ctx.set_param("decision", all_yes);
+  });
+  inst_.on_role("participant", [](core::RoleContext& ctx) {
+    auto prep = ctx.recv<bool>(core::RoleId("coordinator"), "prepare");
+    SCRIPT_ASSERT(prep.has_value(), "2pc: coordinator vanished");
+    const auto voter = ctx.param<std::function<bool()>>("voter");
+    auto sv = ctx.send(core::RoleId("coordinator"), voter(), "vote");
+    SCRIPT_ASSERT(sv.has_value(), "2pc: coordinator vanished");
+    auto decision = ctx.recv<bool>(core::RoleId("coordinator"), "decision");
+    SCRIPT_ASSERT(decision.has_value(), "2pc: coordinator vanished");
+    auto sa = ctx.send(core::RoleId("coordinator"), true, "ack");
+    SCRIPT_ASSERT(sa.has_value(), "2pc: coordinator vanished");
+    ctx.set_param("decision", *decision);
+  });
+}
+
+bool TwoPhaseCommit::coordinate() {
+  bool decision = false;
+  inst_.enroll(core::RoleId("coordinator"), {},
+               core::Params().out("decision", &decision));
+  return decision;
+}
+
+bool TwoPhaseCommit::participate(int index, std::function<bool()> voter) {
+  bool decision = false;
+  inst_.enroll(core::role("participant", index), {},
+               core::Params()
+                   .in("voter", std::move(voter))
+                   .out("decision", &decision));
+  return decision;
+}
+
+}  // namespace script::patterns

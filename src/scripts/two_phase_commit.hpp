@@ -1,0 +1,40 @@
+// TwoPhaseCommit: the "larger scale synchronization (involving more than
+// just a pair of processes)" the paper's introduction names as a target
+// for communication abstraction. One coordinator, n participants:
+//
+//   phase 1: coordinator -> prepare -> each participant, which votes;
+//   phase 2: coordinator broadcasts commit (all voted yes) or abort,
+//            and collects acknowledgements.
+//
+// The whole protocol — message pattern, vote aggregation, decision
+// distribution — lives in the script; enrollers only supply a voter.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "script/instance.hpp"
+
+namespace script::patterns {
+
+class TwoPhaseCommit {
+ public:
+  TwoPhaseCommit(csp::Net& net, std::size_t participants,
+                 std::string name = "two_phase_commit");
+
+  /// Enroll as the coordinator; returns the decision (true = commit).
+  bool coordinate();
+
+  /// Enroll as participant[index]; `voter` is consulted in phase 1.
+  /// Returns the coordinator's decision.
+  bool participate(int index, std::function<bool()> voter);
+
+  std::size_t participants() const { return n_; }
+  core::ScriptInstance& instance() { return inst_; }
+
+ private:
+  core::ScriptInstance inst_;
+  std::size_t n_;
+};
+
+}  // namespace script::patterns

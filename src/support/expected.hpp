@@ -1,0 +1,97 @@
+// Minimal Expected<T, E> (std::expected is C++23; this toolchain is C++20).
+//
+// Used throughout libscript for fallible operations that must not throw
+// across fiber boundaries — most prominently the "distinguished value"
+// returned when a role communicates with an unfilled partner role
+// (paper §II, "Critical Role Set").
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "support/panic.hpp"
+
+namespace script::support {
+
+/// Tag wrapper so Expected<T, E> can disambiguate error construction.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> make_unexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+/// A value of type T or an error of type E. T and E may be the same type.
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> e)
+      : data_(std::in_place_index<1>, std::move(e.error)) {}
+
+  bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    SCRIPT_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(data_);
+  }
+  const T& value() const& {
+    SCRIPT_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    SCRIPT_ASSERT(has_value(), "Expected::value() on error");
+    return std::get<0>(std::move(data_));
+  }
+
+  E& error() & {
+    SCRIPT_ASSERT(!has_value(), "Expected::error() on value");
+    return std::get<1>(data_);
+  }
+  const E& error() const& {
+    SCRIPT_ASSERT(!has_value(), "Expected::error() on value");
+    return std::get<1>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Expected<void, E> specialization: success carries no payload.
+template <typename E>
+class [[nodiscard]] Expected<void, E> {
+ public:
+  Expected() : ok_(true) {}
+  Expected(Unexpected<E> e) : ok_(false), error_(std::move(e.error)) {}
+
+  bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  E& error() {
+    SCRIPT_ASSERT(!ok_, "Expected<void>::error() on success");
+    return error_;
+  }
+  const E& error() const {
+    SCRIPT_ASSERT(!ok_, "Expected<void>::error() on success");
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  E error_{};
+};
+
+}  // namespace script::support

@@ -1,0 +1,40 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+#include "support/panic.hpp"
+
+namespace script::support {
+
+void TraceLog::record(std::uint64_t time, std::string subject,
+                      std::string what) {
+  events_.push_back({time, std::move(subject), std::move(what)});
+}
+
+std::ptrdiff_t TraceLog::find(const std::string& subject,
+                              const std::string& what) const {
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    if (events_[i].subject == subject && events_[i].what == what)
+      return static_cast<std::ptrdiff_t>(i);
+  return -1;
+}
+
+bool TraceLog::ordered(const std::string& s1, const std::string& w1,
+                       const std::string& s2, const std::string& w2) const {
+  const auto a = find(s1, w1);
+  const auto b = find(s2, w2);
+  SCRIPT_ASSERT(a >= 0, "TraceLog::ordered: first event missing: " + s1 +
+                            " / " + w1);
+  SCRIPT_ASSERT(b >= 0, "TraceLog::ordered: second event missing: " + s2 +
+                            " / " + w2);
+  return a < b;
+}
+
+void TraceLog::print() const {
+  for (const auto& e : events_)
+    std::printf("t=%-6llu %-12s %s\n",
+                static_cast<unsigned long long>(e.time), e.subject.c_str(),
+                e.what.c_str());
+}
+
+}  // namespace script::support

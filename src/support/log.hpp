@@ -1,0 +1,39 @@
+// Event-trace logging. The paper's Figure 1 is a *timeline* of enrollments
+// and completions; TraceLog records such timelines so tests can assert on
+// ordering and benches can print paper-style traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace script::support {
+
+struct TraceEvent {
+  std::uint64_t time;   // virtual-time ticks
+  std::string subject;  // e.g. process or role name
+  std::string what;     // e.g. "enrolls as p", "finishes role"
+};
+
+class TraceLog {
+ public:
+  void record(std::uint64_t time, std::string subject, std::string what);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Index of first event matching both fields, or -1.
+  std::ptrdiff_t find(const std::string& subject, const std::string& what) const;
+
+  /// True iff (s1,w1) occurs before (s2,w2); both must be present.
+  bool ordered(const std::string& s1, const std::string& w1,
+               const std::string& s2, const std::string& w2) const;
+
+  /// Figure-1-style dump: "t=12  D  attempts to enroll as p".
+  void print() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace script::support

@@ -1,0 +1,15 @@
+#include "support/panic.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace script::support {
+
+void panic(const std::string& msg, const char* file, int line) {
+  std::fprintf(stderr, "[libscript panic] %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace script::support

@@ -1,0 +1,29 @@
+// Panic / assertion helpers for libscript.
+//
+// The runtime is cooperative and single-threaded; an internal invariant
+// violation is a programming error, never a recoverable condition, so we
+// print a diagnostic and abort rather than unwind across fiber stacks.
+#pragma once
+
+#include <string>
+
+namespace script::support {
+
+/// Print `msg` (with source location) to stderr and abort.
+[[noreturn]] void panic(const std::string& msg, const char* file, int line);
+
+}  // namespace script::support
+
+/// Abort with a formatted message. Usable from any fiber.
+#define SCRIPT_PANIC(msg) ::script::support::panic((msg), __FILE__, __LINE__)
+
+/// Internal invariant check; active in all build types (the runtime is a
+/// simulator — correctness beats the few ns a disabled assert would save).
+#define SCRIPT_ASSERT(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::script::support::panic(std::string("assertion failed: ") + \
+                                   #cond + " — " + (msg),          \
+                               __FILE__, __LINE__);                \
+    }                                                              \
+  } while (0)

@@ -1,0 +1,50 @@
+// Deterministic, seedable PRNG (xoshiro256**).
+//
+// All nondeterminism in libscript — "the choice of which process is
+// actually enrolled is non-deterministic" (paper §II), CSP alternative
+// tie-breaks, scheduler interleaving under the Random policy — funnels
+// through one of these so any run is replayable from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace script::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index; v must be non-empty.
+  std::size_t pick_index(std::size_t size);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace script::support

@@ -1,0 +1,100 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/panic.hpp"
+
+namespace script::support {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const {
+  SCRIPT_ASSERT(!samples_.empty(), "Summary::mean on empty");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  SCRIPT_ASSERT(!samples_.empty(), "Summary::min on empty");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  SCRIPT_ASSERT(!samples_.empty(), "Summary::max on empty");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  SCRIPT_ASSERT(!samples_.empty(), "Summary::stddev on empty");
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Summary::percentile(double q) const {
+  SCRIPT_ASSERT(!samples_.empty(), "Summary::percentile on empty");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::string Summary::brief() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.2f p50=%.2f p99=%.2f max=%.2f", count(), mean(),
+                percentile(0.50), percentile(0.99), max());
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SCRIPT_ASSERT(cells.size() == headers_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 == headers_.size() ? "\n" : "  ");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace script::support

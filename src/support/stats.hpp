@@ -1,0 +1,54 @@
+// Small statistics helpers used by the benchmark harnesses to report the
+// rows/series the paper's figures imply (latency distributions, message
+// counts, time-in-script).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace script::support {
+
+/// Online mean/min/max plus retained samples for percentile queries.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  double total() const { return sum_; }
+
+  /// q in [0,1]; nearest-rank percentile. Empty summary panics.
+  double percentile(double q) const;
+
+  /// "n=.. mean=.. p50=.. p99=.. max=.." one-liner for bench output.
+  std::string brief() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+/// Fixed-width table printer so every bench emits aligned, comparable rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout with column alignment.
+  void print() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace script::support

@@ -1,0 +1,245 @@
+#include "ada/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ada/task.hpp"
+
+namespace {
+
+using script::ada::Entry;
+using script::ada::Select;
+using script::ada::Task;
+using script::ada::Unit;
+using script::runtime::Scheduler;
+
+TEST(Select, TakesTheReadyAlternative) {
+  Scheduler sched;
+  Entry<Unit, Unit> a(sched, "a"), b(sched, "b");
+  std::string taken;
+  Task client(sched, "client", [&] { b.call(); });
+  Task server(sched, "server", [&] {
+    sched.sleep_for(5);  // client queued on b
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(a, [&](Unit&) {
+      taken = "a";
+      return Unit{};
+    });
+    sel.accept_case<Unit, Unit>(b, [&](Unit&) {
+      taken = "b";
+      return Unit{};
+    });
+    EXPECT_EQ(sel.run(), 1);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(taken, "b");
+}
+
+TEST(Select, BlocksUntilACallerArrives) {
+  Scheduler sched;
+  Entry<int, Unit> e(sched, "e");
+  int got = 0;
+  std::uint64_t when = 0;
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<int, Unit>(e, [&](int& v) {
+      got = v;
+      return Unit{};
+    });
+    sel.run();
+    when = sched.now();
+  });
+  Task client(sched, "client", [&] {
+    sched.sleep_for(33);
+    e.call(9);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 9);
+  EXPECT_EQ(when, 33u);
+}
+
+TEST(Select, ClosedGuardExcludesAlternative) {
+  Scheduler sched;
+  Entry<Unit, Unit> a(sched, "a"), b(sched, "b");
+  Task client(sched, "client", [&] { a.call(); });
+  bool a_taken = false;
+  Task server(sched, "server", [&] {
+    sched.sleep_for(5);
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(
+        a,
+        [&](Unit&) {
+          a_taken = true;
+          return Unit{};
+        },
+        /*guard=*/true);
+    sel.accept_case<Unit, Unit>(b, [](Unit&) { return Unit{}; },
+                                /*guard=*/false);
+    EXPECT_EQ(sel.run(), 0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(a_taken);
+}
+
+TEST(Select, ElseTakenWhenNothingReady) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool else_taken = false;
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [](Unit&) { return Unit{}; });
+    const int else_idx = sel.or_else([&] { else_taken = true; });
+    EXPECT_EQ(sel.run(), else_idx);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(else_taken);
+}
+
+TEST(Select, ElseSkippedWhenEntryReady) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool else_taken = false, accepted = false;
+  Task client(sched, "client", [&] { e.call(); });
+  Task server(sched, "server", [&] {
+    sched.sleep_for(5);
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [&](Unit&) {
+      accepted = true;
+      return Unit{};
+    });
+    sel.or_else([&] { else_taken = true; });
+    EXPECT_EQ(sel.run(), 0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(accepted);
+  EXPECT_FALSE(else_taken);
+}
+
+TEST(Select, DelayFiresWhenNoCallerInTime) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool delayed = false;
+  std::uint64_t when = 0;
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [](Unit&) { return Unit{}; });
+    const int didx = sel.or_delay(50, [&] { delayed = true; });
+    EXPECT_EQ(sel.run(), didx);
+    when = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(delayed);
+  EXPECT_EQ(when, 50u);
+}
+
+TEST(Select, DelayCancelledByEarlyCaller) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool delayed = false, accepted = false;
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [&](Unit&) {
+      accepted = true;
+      return Unit{};
+    });
+    sel.or_delay(50, [&] { delayed = true; });
+    EXPECT_EQ(sel.run(), 0);
+    EXPECT_EQ(sched.now(), 10u);
+  });
+  Task client(sched, "client", [&] {
+    sched.sleep_for(10);
+    e.call();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(accepted);
+  EXPECT_FALSE(delayed);
+}
+
+TEST(Select, AllClosedWithElseRunsElse) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool else_taken = false;
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [](Unit&) { return Unit{}; },
+                                /*guard=*/false);
+    sel.or_else([&] { else_taken = true; });
+    sel.run();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(else_taken);
+}
+
+TEST(Select, ServerLoopServesInterleavedEntries) {
+  Scheduler sched;
+  Entry<int, Unit> put(sched, "put");
+  Entry<Unit, int> take(sched, "take");
+  std::vector<int> buffer;
+  // Classic bounded-buffer server written with guards.
+  Task server(sched, "server", [&] {
+    for (int served = 0; served < 6; ++served) {
+      Select sel(sched);
+      sel.accept_case<int, Unit>(
+          put,
+          [&](int& v) {
+            buffer.push_back(v);
+            return Unit{};
+          },
+          /*guard=*/buffer.size() < 2);
+      sel.accept_case<Unit, int>(
+          take,
+          [&](Unit&) {
+            const int v = buffer.front();
+            buffer.erase(buffer.begin());
+            return v;
+          },
+          /*guard=*/!buffer.empty());
+      sel.run();
+    }
+  });
+  Task producer(sched, "producer", [&] {
+    for (int i = 1; i <= 3; ++i) put.call(i);
+  });
+  std::vector<int> got;
+  Task consumer(sched, "consumer", [&] {
+    for (int i = 0; i < 3; ++i) got.push_back(take.call());
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Select, TwoSelectsOnDifferentEntriesBothServed) {
+  Scheduler sched;
+  Entry<Unit, Unit> a(sched, "a"), b(sched, "b");
+  int served = 0;
+  Task s1(sched, "s1", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(a, [&](Unit&) {
+      ++served;
+      return Unit{};
+    });
+    sel.run();
+  });
+  Task s2(sched, "s2", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(b, [&](Unit&) {
+      ++served;
+      return Unit{};
+    });
+    sel.run();
+  });
+  Task c1(sched, "c1", [&] {
+    sched.sleep_for(5);
+    a.call();
+  });
+  Task c2(sched, "c2", [&] {
+    sched.sleep_for(5);
+    b.call();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(served, 2);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Ada conditional and timed entry calls (caller-side select).
+#include <gtest/gtest.h>
+
+#include "ada/entry.hpp"
+#include "ada/select.hpp"
+#include "ada/task.hpp"
+
+namespace {
+
+using script::ada::Entry;
+using script::ada::Select;
+using script::ada::Task;
+using script::ada::Unit;
+using script::runtime::Scheduler;
+
+TEST(ConditionalCall, FailsWhenNoAcceptorCommitted) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  bool attempted = false;
+  Task client(sched, "client", [&] {
+    EXPECT_FALSE(e.try_call().has_value());
+    attempted = true;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(attempted);
+}
+
+TEST(ConditionalCall, SucceedsWhenAcceptorWaiting) {
+  Scheduler sched;
+  Entry<int, int> e(sched, "e");
+  Task server(sched, "server",
+              [&] { e.accept([](int& x) { return x + 1; }); });
+  Task client(sched, "client", [&] {
+    sched.sleep_for(5);  // server is parked in accept by now
+    const auto r = e.try_call(41);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 42);
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(ConditionalCall, SucceedsWhenSelectParkedOnEntry) {
+  Scheduler sched;
+  Entry<Unit, Unit> e(sched, "e");
+  Task server(sched, "server", [&] {
+    Select sel(sched);
+    sel.accept_case<Unit, Unit>(e, [](Unit&) { return Unit{}; });
+    sel.run();
+  });
+  Task client(sched, "client", [&] {
+    sched.sleep_for(5);
+    EXPECT_TRUE(e.try_call().has_value());
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(TimedCall, TimesOutWhenNeverAccepted) {
+  Scheduler sched;
+  Entry<int, Unit> e(sched, "e");
+  std::uint64_t gave_up_at = 0;
+  Task client(sched, "client", [&] {
+    EXPECT_FALSE(e.call_with_timeout(1, 50).has_value());
+    gave_up_at = sched.now();
+    EXPECT_EQ(e.count(), 0u);  // the call was withdrawn from the queue
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(gave_up_at, 50u);
+}
+
+TEST(TimedCall, CompletesWhenAcceptedInTime) {
+  Scheduler sched;
+  Entry<int, int> e(sched, "e");
+  Task server(sched, "server", [&] {
+    sched.sleep_for(20);
+    e.accept([](int& x) { return x * 2; });
+  });
+  Task client(sched, "client", [&] {
+    const auto r = e.call_with_timeout(21, 100);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(sched.now(), 20u);
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(TimedCall, StartedRendezvousAlwaysCompletes) {
+  // The acceptor takes the call just before the deadline and the
+  // rendezvous body runs PAST it: Ada says the caller must still wait.
+  Scheduler sched;
+  Entry<Unit, int> e(sched, "e");
+  Task server(sched, "server", [&] {
+    sched.sleep_for(40);
+    e.accept([&](Unit&) {
+      sched.sleep_for(30);  // body outlives the caller's deadline (50)
+      return 7;
+    });
+  });
+  Task client(sched, "client", [&] {
+    const auto r = e.call_with_timeout(Unit{}, 50);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 7);
+    EXPECT_EQ(sched.now(), 70u);
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(TimedCall, TimeoutAtExactAcceptMoment) {
+  // Acceptor arrives exactly at the deadline tick: either outcome is
+  // legal, but the system must neither hang nor double-serve.
+  Scheduler sched;
+  Entry<Unit, int> e(sched, "e");
+  bool accepted_someone = false;
+  Task server(sched, "server", [&] {
+    sched.sleep_for(50);
+    Select sel(sched);
+    sel.accept_case<Unit, int>(e, [&](Unit&) {
+      accepted_someone = true;
+      return 1;
+    });
+    sel.or_else([] {});
+    sel.run();
+  });
+  Task client(sched, "client", [&] {
+    const auto r = e.call_with_timeout(Unit{}, 50);
+    if (r.has_value()) {
+      EXPECT_TRUE(accepted_someone);
+    }
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(TimedCall, FifoPositionLostOnWithdrawal) {
+  // A timed caller that withdraws leaves the queue; the next caller is
+  // served first.
+  Scheduler sched;
+  Entry<int, Unit> e(sched, "e");
+  std::vector<int> served;
+  Task impatient(sched, "impatient", [&] {
+    EXPECT_FALSE(e.call_with_timeout(1, 10).has_value());
+  });
+  Task patient(sched, "patient", [&] {
+    sched.sleep_for(5);
+    e.call(2);
+  });
+  Task server(sched, "server", [&] {
+    sched.sleep_for(50);
+    e.accept([&](int& who) {
+      served.push_back(who);
+      return Unit{};
+    });
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(served, (std::vector<int>{2}));
+}
+
+}  // namespace

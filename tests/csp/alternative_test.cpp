@@ -1,0 +1,269 @@
+#include "csp/alternative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::csp::Alternative;
+using script::csp::Net;
+using script::csp::repetitive;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+
+TEST(Alternative, PicksTheReadyBranch) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, alice = 0, bob = 0;
+  std::string who;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(server, "a", 1));
+  });
+  bob = net.spawn_process("bob", [&] { sched.sleep_for(100); });
+  server = net.spawn_process("server", [&] {
+    sched.sleep_for(10);  // alice is parked, bob is asleep
+    Alternative alt(net);
+    alt.recv_case<int>(alice, "a", [&](int) { who = "alice"; });
+    alt.recv_case<int>(bob, "b", [&](int) { who = "bob"; });
+    EXPECT_EQ(alt.select(), 0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(who, "alice");
+}
+
+TEST(Alternative, FalseGuardDisablesBranch) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, alice = 0;
+  int fired = -1;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(server, "a", 1));
+  });
+  server = net.spawn_process("server", [&] {
+    Alternative alt(net);
+    alt.recv_case<int>(alice, "a", nullptr, /*guard=*/false);
+    const int second =
+        alt.recv_case<int>(alice, "a", [&](int) {}, /*guard=*/true);
+    fired = alt.select();
+    EXPECT_EQ(fired, second);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Alternative, AllGuardsFalseFailsImmediately) {
+  Scheduler sched;
+  Net net(sched);
+  net.spawn_process("server", [&] {
+    Alternative alt(net);
+    alt.recv_any_case<int>("x", nullptr, /*guard=*/false);
+    EXPECT_EQ(alt.select(), Alternative::kFailed);
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(Alternative, BlocksUntilABranchBecomesReady) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, alice = 0;
+  std::uint64_t fired_at = 0;
+  alice = net.spawn_process("alice", [&] {
+    sched.sleep_for(30);
+    ASSERT_TRUE(net.send(server, "a", 7));
+  });
+  server = net.spawn_process("server", [&] {
+    Alternative alt(net);
+    int got = 0;
+    alt.recv_case<int>(alice, "a", [&](int v) { got = v; });
+    EXPECT_EQ(alt.select(), 0);
+    EXPECT_EQ(got, 7);
+    fired_at = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(fired_at, 30u);
+}
+
+TEST(Alternative, SendCaseActsAsOutputGuard) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, sink = 0;
+  bool sent = false;
+  sink = net.spawn_process("sink", [&] {
+    sched.sleep_for(10);
+    ASSERT_TRUE(net.recv<int>(server, "out"));
+  });
+  server = net.spawn_process("server", [&] {
+    Alternative alt(net);
+    alt.send_case<int>(sink, "out", 99, [&] { sent = true; });
+    EXPECT_EQ(alt.select(), 0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(sent);
+}
+
+TEST(Alternative, MixedSendRecvBranches) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, alice = 0;
+  std::string what;
+  alice = net.spawn_process("alice", [&] {
+    auto r = net.recv<int>(server, "give");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, 5);
+  });
+  server = net.spawn_process("server", [&] {
+    sched.sleep_for(1);  // alice parks her recv first
+    Alternative alt(net);
+    alt.recv_case<int>(alice, "take", [&](int) { what = "took"; });
+    alt.send_case<int>(alice, "give", 5, [&] { what = "gave"; });
+    EXPECT_EQ(alt.select(), 1);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(what, "gave");
+}
+
+TEST(Alternative, FailsWhenOnlyPeerTerminates) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId mortal = 0;
+  int result = 0;
+  mortal = net.spawn_process("mortal", [&] { sched.sleep_for(10); });
+  net.spawn_process("server", [&] {
+    Alternative alt(net);
+    alt.recv_case<int>(mortal, "x", nullptr);
+    result = alt.select();  // parks; mortal dies; branch fails
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(result, Alternative::kFailed);
+}
+
+TEST(Alternative, SurvivesOnePeerDeathIfOtherBranchLives) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId mortal = 0, alice = 0, server = 0;
+  int fired = -1;
+  mortal = net.spawn_process("mortal", [&] { sched.sleep_for(10); });
+  alice = net.spawn_process("alice", [&] {
+    sched.sleep_for(50);
+    ASSERT_TRUE(net.send(server, "a", 1));
+  });
+  server = net.spawn_process("server", [&] {
+    Alternative alt(net);
+    alt.recv_case<int>(mortal, "m", nullptr);
+    alt.recv_case<int>(alice, "a", nullptr);
+    fired = alt.select();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Alternative, TwoAlternativesRendezvousWithEachOther) {
+  // Both parties park alternatives; the second to park must find the
+  // first one's offers.
+  Scheduler sched;
+  Net net(sched);
+  ProcessId p = 0, q = 0;
+  bool p_fired = false, q_fired = false;
+  p = net.spawn_process("p", [&] {
+    Alternative alt(net);
+    alt.send_case<int>(q, "x", 1, [&] { p_fired = true; });
+    EXPECT_EQ(alt.select(), 0);
+  });
+  q = net.spawn_process("q", [&] {
+    sched.sleep_for(5);
+    Alternative alt(net);
+    alt.recv_case<int>(p, "x", [&](int) { q_fired = true; });
+    EXPECT_EQ(alt.select(), 0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(p_fired);
+  EXPECT_TRUE(q_fired);
+}
+
+TEST(Repetitive, TerminatesWhenAllPeersDie) {
+  // The canonical CSP server loop: serve until every client is gone.
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0;
+  int served = 0;
+  std::vector<ProcessId> clients;
+  server = net.spawn_process("server", [&] {
+    const std::size_t n = repetitive(net, [&](Alternative& alt) {
+      alt.recv_from_case<int>(clients, "req",
+                              [&](ProcessId, int) { ++served; });
+    });
+    EXPECT_EQ(n, 6u);
+  });
+  for (int c = 0; c < 3; ++c)
+    clients.push_back(net.spawn_process("c" + std::to_string(c), [&] {
+      for (int i = 0; i < 2; ++i) ASSERT_TRUE(net.send(server, "req", i));
+    }));
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(served, 6);
+}
+
+TEST(Repetitive, GuardsReevaluatedEachIteration) {
+  // Figure 6's transmitter: send x to each recipient once, in
+  // nondeterministic order, using sent[k] guards.
+  Scheduler sched;
+  Net net(sched);
+  constexpr int kRecipients = 5;
+  ProcessId tx = 0;
+  std::vector<ProcessId> rx;
+  std::vector<int> got(kRecipients, 0);
+  tx = net.spawn_process("transmitter", [&] {
+    bool sent[kRecipients] = {};
+    const std::size_t n = repetitive(net, [&](Alternative& alt) {
+      for (int k = 0; k < kRecipients; ++k)
+        alt.send_case<int>(
+            rx[static_cast<std::size_t>(k)], "x", 42,
+            [&sent, k] { sent[k] = true; }, /*guard=*/!sent[k]);
+    });
+    EXPECT_EQ(n, static_cast<std::size_t>(kRecipients));
+  });
+  for (int k = 0; k < kRecipients; ++k)
+    rx.push_back(net.spawn_process("recipient" + std::to_string(k), [&, k] {
+      auto r = net.recv<int>(tx, "x");
+      ASSERT_TRUE(r);
+      got[static_cast<std::size_t>(k)] = *r;
+    }));
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(kRecipients, 42));
+}
+
+TEST(Alternative, NondeterministicPickAmongReadyBranches) {
+  // With several clients parked, repeated selects must (eventually) pick
+  // different partners — and identically across same-seed runs.
+  auto run_once = [](std::uint64_t seed) {
+    script::runtime::SchedulerOptions opts;
+    opts.seed = seed;
+    Scheduler sched(opts);
+    Net net(sched);
+    ProcessId server = 0;
+    std::vector<ProcessId> order;
+    server = net.spawn_process("server", [&] {
+      sched.sleep_for(10);
+      for (int i = 0; i < 5; ++i) {
+        Alternative alt(net);
+        alt.recv_any_case<int>("req",
+                               [&](ProcessId who, int) { order.push_back(who); });
+        EXPECT_EQ(alt.select(), 0);
+      }
+    });
+    for (int i = 0; i < 5; ++i)
+      net.spawn_process("c" + std::to_string(i), [&] {
+        ASSERT_TRUE(net.send(server, "req", 1));
+      });
+    EXPECT_TRUE(sched.run().ok());
+    return order;
+  };
+  EXPECT_EQ(run_once(4), run_once(4));
+  std::set<std::vector<ProcessId>> distinct;
+  for (std::uint64_t s = 0; s < 8; ++s) distinct.insert(run_once(s));
+  EXPECT_GT(distinct.size(), 1u);  // choice actually varies with seed
+}
+
+}  // namespace

@@ -1,0 +1,326 @@
+#include "csp/net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::csp::CommError;
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(Net, SynchronousSendRecv) {
+  Scheduler sched;
+  Net net(sched);
+  int got = 0;
+  ProcessId alice = 0, bob = 0;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(bob, "x", 42));
+  });
+  bob = net.spawn_process("bob", [&] {
+    auto r = net.recv<int>(alice, "x");
+    ASSERT_TRUE(r);
+    got = *r;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(net.rendezvous_count(), 1u);
+}
+
+TEST(Net, RecvBeforeSendAlsoWorks) {
+  // Order of arrival must not matter: receiver parks first.
+  Scheduler sched;
+  Net net(sched);
+  std::string got;
+  ProcessId alice = 0, bob = 0;
+  bob = net.spawn_process("bob", [&] {
+    auto r = net.recv<std::string>(alice, "msg");
+    ASSERT_TRUE(r);
+    got = *r;
+  });
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(bob, "msg", std::string("hello")));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(Net, SenderBlocksUntilReceiverArrives) {
+  Scheduler sched;
+  Net net(sched);
+  std::vector<std::string> order;
+  ProcessId alice = 0, bob = 0;
+  alice = net.spawn_process("alice", [&] {
+    order.push_back("alice sends");
+    ASSERT_TRUE(net.send(bob, "x", 1));
+    order.push_back("alice resumed");
+  });
+  bob = net.spawn_process("bob", [&] {
+    sched.sleep_for(50);
+    order.push_back("bob receives");
+    ASSERT_TRUE(net.recv<int>(alice, "x"));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"alice sends", "bob receives",
+                                             "alice resumed"}));
+}
+
+TEST(Net, TagsKeepConversationsApart) {
+  Scheduler sched;
+  Net net(sched);
+  int first = 0, second = 0;
+  ProcessId alice = 0, bob = 0;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(bob, "b", 2));
+    ASSERT_TRUE(net.send(bob, "a", 1));
+  });
+  bob = net.spawn_process("bob", [&] {
+    auto a = net.recv<int>(alice, "a");
+    // "a" must wait for the second send even though "b" arrived first:
+    // matching is by tag, not arrival order.
+    ASSERT_TRUE(a);
+    first = *a;
+    auto b = net.recv<int>(alice, "b");
+    ASSERT_TRUE(b);
+    second = *b;
+  });
+  const auto result = sched.run();
+  // alice's send(b) parks; bob's recv(a) parks... then deadlock? No:
+  // alice is blocked on "b" and bob waits for "a" — deadlock by design of
+  // this ordering. Verify CSP strictness.
+  EXPECT_FALSE(result.ok());
+  (void)first;
+  (void)second;
+}
+
+TEST(Net, TypeIsPartOfThePattern) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId alice = 0, bob = 0;
+  double got = 0;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(bob, "x", 2.5));  // double
+  });
+  bob = net.spawn_process("bob", [&] {
+    auto r = net.recv<double>(alice, "x");
+    ASSERT_TRUE(r);
+    got = *r;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_DOUBLE_EQ(got, 2.5);
+}
+
+TEST(Net, SendToTerminatedProcessFails) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId ghost = net.spawn_process("ghost", [] {});
+  bool failed = false;
+  net.spawn_process("alice", [&] {
+    sched.yield();  // let ghost finish
+    auto r = net.send(ghost, "x", 1);
+    failed = !r && r.error() == CommError::PeerTerminated;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed);
+}
+
+TEST(Net, ParkedSendFailsWhenPeerTerminates) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId lazy = 0;
+  bool failed = false;
+  lazy = net.spawn_process("lazy", [&] { sched.sleep_for(10); });
+  net.spawn_process("alice", [&] {
+    auto r = net.send(lazy, "x", 1);  // parks; lazy never receives
+    failed = !r && r.error() == CommError::PeerTerminated;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed);
+}
+
+TEST(Net, ParkedRecvFailsWhenPeerTerminates) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId lazy = 0;
+  bool failed = false;
+  lazy = net.spawn_process("lazy", [&] { sched.sleep_for(10); });
+  net.spawn_process("bob", [&] {
+    auto r = net.recv<int>(lazy, "x");
+    failed = !r && r.error() == CommError::PeerTerminated;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed);
+}
+
+TEST(Net, RecvAnyTakesFromAnySender) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0;
+  std::vector<int> got;
+  server = net.spawn_process("server", [&] {
+    for (int i = 0; i < 3; ++i) {
+      auto r = net.recv_any<int>("req");
+      ASSERT_TRUE(r);
+      got.push_back(r->second);
+    }
+  });
+  for (int i = 1; i <= 3; ++i)
+    net.spawn_process("client" + std::to_string(i), [&, i] {
+      ASSERT_TRUE(net.send(server, "req", i * 10));
+    });
+  ASSERT_TRUE(sched.run().ok());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Net, RecvAnyReportsSenderIdentity) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, client = 0;
+  ProcessId reported = script::csp::kAnyProcess;
+  server = net.spawn_process("server", [&] {
+    auto r = net.recv_any<int>("req");
+    ASSERT_TRUE(r);
+    reported = r->first;
+  });
+  client = net.spawn_process("client", [&] {
+    ASSERT_TRUE(net.send(server, "req", 5));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(reported, client);
+}
+
+TEST(Net, RecvFromRestrictsCandidates) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId server = 0, good = 0, bad = 0;
+  int got = 0;
+  server = net.spawn_process("server", [&] {
+    auto r = net.recv_from<int>({good}, "req");
+    ASSERT_TRUE(r);
+    got = r->second;
+  });
+  bad = net.spawn_process("bad", [&] {
+    // This send can never match the recv_from({good}); it would park
+    // forever, so send to a dummy sink instead after a beat.
+    sched.sleep_for(5);
+  });
+  good = net.spawn_process("good", [&] {
+    ASSERT_TRUE(net.send(server, "req", 7));
+  });
+  (void)bad;
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Net, RecvFromFailsWhenAllCandidatesDead) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId a = net.spawn_process("a", [] {});
+  ProcessId b = net.spawn_process("b", [] {});
+  bool failed = false;
+  net.spawn_process("server", [&] {
+    sched.sleep_for(1);  // let a and b finish
+    auto r = net.recv_from<int>({a, b}, "req");
+    failed = !r;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed);
+}
+
+TEST(Net, ParkedRecvFromFailsWhenLastCandidateDies) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId a = 0, b = 0;
+  bool failed = false;
+  a = net.spawn_process("a", [&] { sched.sleep_for(5); });
+  b = net.spawn_process("b", [&] { sched.sleep_for(10); });
+  net.spawn_process("server", [&] {
+    auto r = net.recv_from<int>({a, b}, "req");  // parks
+    failed = !r;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed);
+}
+
+TEST(Net, LatencyChargedToBothParties) {
+  Scheduler sched;
+  Net net(sched);
+  UniformLatency lat(25);
+  net.set_latency_model(&lat);
+  std::uint64_t t_sender = 0, t_receiver = 0;
+  ProcessId alice = 0, bob = 0;
+  alice = net.spawn_process("alice", [&] {
+    ASSERT_TRUE(net.send(bob, "x", 1));
+    t_sender = sched.now();
+  });
+  bob = net.spawn_process("bob", [&] {
+    ASSERT_TRUE(net.recv<int>(alice, "x"));
+    t_receiver = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(t_sender, 25u);
+  EXPECT_EQ(t_receiver, 25u);
+}
+
+TEST(Net, ManyPairsManyMessages) {
+  Scheduler sched;
+  Net net(sched);
+  constexpr int kPairs = 20, kMsgs = 50;
+  int total = 0;
+  std::vector<ProcessId> rx(kPairs);
+  for (int p = 0; p < kPairs; ++p) {
+    rx[static_cast<std::size_t>(p)] =
+        net.spawn_process("rx" + std::to_string(p), [&, p] {
+          ProcessId unused_sender_name = 0;
+          (void)unused_sender_name;
+          for (int m = 0; m < kMsgs; ++m) {
+            auto r = net.recv_any<int>("m" + std::to_string(p));
+            ASSERT_TRUE(r);
+            total += r->second;
+          }
+        });
+  }
+  for (int p = 0; p < kPairs; ++p)
+    net.spawn_process("tx" + std::to_string(p), [&, p] {
+      for (int m = 0; m < kMsgs; ++m)
+        ASSERT_TRUE(
+            net.send(rx[static_cast<std::size_t>(p)], "m" + std::to_string(p), 1));
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(total, kPairs * kMsgs);
+  EXPECT_EQ(net.rendezvous_count(),
+            static_cast<std::uint64_t>(kPairs * kMsgs));
+}
+
+TEST(Net, NondeterministicChoiceIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    script::runtime::SchedulerOptions opts;
+    opts.seed = seed;
+    Scheduler sched(opts);
+    Net net(sched);
+    ProcessId server = 0;
+    std::vector<ProcessId> order;
+    server = net.spawn_process("server", [&] {
+      sched.sleep_for(10);  // let all clients park first
+      for (int i = 0; i < 4; ++i) {
+        auto r = net.recv_any<int>("req");
+        ASSERT_TRUE(r);
+        order.push_back(r->first);
+      }
+    });
+    for (int i = 0; i < 4; ++i)
+      net.spawn_process("c" + std::to_string(i), [&] {
+        ASSERT_TRUE(net.send(server, "req", 1));
+      });
+    EXPECT_TRUE(sched.run().ok());
+    return order;
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Non-committal (polling) rendezvous variants: try_send / try_recv.
+#include <gtest/gtest.h>
+
+#include "csp/net.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(Polling, TryRecvEmptyReturnsNothing) {
+  Scheduler sched;
+  Net net(sched);
+  bool polled = false;
+  net.spawn_process("p", [&] {
+    EXPECT_FALSE(net.try_recv_any<int>("x").has_value());
+    polled = true;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(polled);
+}
+
+TEST(Polling, TryRecvTakesParkedSend) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId rx = 0, tx = 0;
+  rx = net.spawn_process("rx", [&] {
+    sched.sleep_for(10);  // tx parks first
+    const auto r = net.try_recv<int>(tx, "x");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->first, tx);
+    EXPECT_EQ(r->second, 5);
+  });
+  tx = net.spawn_process("tx", [&] { ASSERT_TRUE(net.send(rx, "x", 5)); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(net.rendezvous_count(), 1u);
+}
+
+TEST(Polling, TrySendNeedsParkedReceiver) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId rx = 0, tx = 0;
+  int got = 0;
+  tx = net.spawn_process("tx", [&] {
+    EXPECT_FALSE(net.try_send(rx, "x", 1));  // nobody waiting yet
+    sched.sleep_for(10);
+    EXPECT_TRUE(net.try_send(rx, "x", 2));  // rx parked by now
+  });
+  rx = net.spawn_process("rx", [&] {
+    auto r = net.recv<int>(tx, "x");
+    ASSERT_TRUE(r);
+    got = *r;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Polling, TrySendToTerminatedPeerFails) {
+  Scheduler sched;
+  Net net(sched);
+  const ProcessId ghost = net.spawn_process("ghost", [] {});
+  net.spawn_process("tx", [&] {
+    sched.yield();
+    EXPECT_FALSE(net.try_send(ghost, "x", 1));
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(Polling, TryVariantsChargeLatency) {
+  Scheduler sched;
+  Net net(sched);
+  UniformLatency lat(7);
+  net.set_latency_model(&lat);
+  ProcessId rx = 0, tx = 0;
+  std::uint64_t taken_at = 0;
+  tx = net.spawn_process("tx", [&] { ASSERT_TRUE(net.send(rx, "x", 1)); });
+  rx = net.spawn_process("rx", [&] {
+    sched.sleep_for(3);
+    ASSERT_TRUE(net.try_recv<int>(tx, "x").has_value());
+    taken_at = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(taken_at, 10u);  // parked at 3, + 7 transfer latency
+}
+
+TEST(Polling, PollLoopDrainsMultipleSenders) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId sink = 0;
+  int sum = 0;
+  sink = net.spawn_process("sink", [&] {
+    sched.sleep_for(5);  // all senders parked
+    while (const auto r = net.try_recv_any<int>("m")) sum += r->second;
+  });
+  for (int i = 1; i <= 4; ++i)
+    net.spawn_process("tx" + std::to_string(i), [&, i] {
+      ASSERT_TRUE(net.send(sink, "m", i));
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace

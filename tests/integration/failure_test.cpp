@@ -1,0 +1,156 @@
+// Failure injection: crashing role bodies, dying partners, abandoned
+// casts. The runtime must fail LOUDLY (exception propagation, deadlock
+// reports with reasons) rather than hang silently.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::core::Initiation;
+using script::core::role;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::CommError;
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+
+TEST(FailureInjection, ExceptionInRoleBodyPropagates) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("boom");
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  inst.on_role("boom", [](RoleContext&) {
+    throw std::runtime_error("role body crashed");
+  });
+  net.spawn_process("victim", [&] { inst.enroll(RoleId("boom")); });
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(FailureInjection, PartnerProcessDiesBeforeRendezvous) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId mortal = 0;
+  bool failed_cleanly = false;
+  mortal = net.spawn_process("mortal", [&] { sched.sleep_for(5); });
+  net.spawn_process("talker", [&] {
+    auto r = net.send(mortal, "x", 1);
+    failed_cleanly = !r && r.error() == CommError::PeerTerminated;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(failed_cleanly);
+}
+
+TEST(FailureInjection, AbandonedCastIsReportedWithReasons) {
+  // A star broadcast missing two recipients: the deadlock report must
+  // name the script and the missing roles.
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 3);
+  net.spawn_process("T", [&] { bc.send(1); });
+  net.spawn_process("R0", [&] { bc.receive(0); });
+  const auto result = sched.run();
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.blocked.size(), 2u);
+  for (const auto& [pid, reason] : result.blocked)
+    EXPECT_NE(reason.find("star_broadcast"), std::string::npos) << reason;
+}
+
+TEST(FailureInjection, PipelineMissingNeighbourBlocksWithReason) {
+  // The Figure-4 hazard: recipient[1] never arrives; recipient[0]
+  // blocks trying to pass the datum on. The report must say which role
+  // it awaits.
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::PipelineBroadcast<int> bc(net, 3);
+  net.spawn_process("T", [&] { bc.send(1); });
+  net.spawn_process("R0", [&] { bc.receive(0); });
+  const auto result = sched.run();
+  ASSERT_FALSE(result.ok());
+  bool found = false;
+  for (const auto& [pid, reason] : result.blocked)
+    if (reason.find("awaiting partner recipient[1]") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found) << "no block reason names the missing neighbour";
+}
+
+TEST(FailureInjection, SendToOutRoleYieldsDistinguishedValueNotHang) {
+  // Critical role set satisfied without the writer: a manager's probe
+  // and send must both resolve immediately (no hang, no crash).
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("a").role("maybe");
+  spec.critical(script::core::CriticalSet{{"a", 1}});
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  ScriptInstance inst(net, spec);
+  bool got_distinguished = false;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    EXPECT_TRUE(ctx.terminated(RoleId("maybe")));
+    auto r = ctx.send(RoleId("maybe"), 1);
+    got_distinguished =
+        !r && r.error() == script::core::RoleCommError::Unavailable;
+    auto rv = ctx.recv<int>(RoleId("maybe"));
+    EXPECT_FALSE(rv.has_value());
+  });
+  inst.on_role("maybe", [](RoleContext&) {});
+  net.spawn_process("A", [&] { inst.enroll(RoleId("a")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(got_distinguished);
+}
+
+TEST(FailureInjection, ExceptionDoesNotCorruptOtherFibersStacks) {
+  // After a crashed run, a fresh scheduler on the same thread works.
+  {
+    Scheduler sched;
+    sched.spawn("boom", [] { throw std::logic_error("x"); });
+    EXPECT_THROW(sched.run(), std::logic_error);
+  }
+  Scheduler sched2;
+  bool ran = false;
+  sched2.spawn("fine", [&] { ran = true; });
+  EXPECT_TRUE(sched2.run().ok());
+  EXPECT_TRUE(ran);
+}
+
+TEST(FailureInjection, ContradictoryNamingNeverForms) {
+  // A and B each insist on a partner that refuses them: the cast can
+  // never form; both are reported blocked in enrollment.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("p").role("q");
+  ScriptInstance inst(net, spec);
+  inst.on_role("p", [](RoleContext&) {});
+  inst.on_role("q", [](RoleContext&) {});
+  ProcessId a = 0, b = 0;
+  a = net.spawn_process("A", [&] {
+    script::core::PartnerSpec want;
+    want.with(RoleId("q"), 9999);  // nobody
+    inst.enroll(RoleId("p"), want);
+  });
+  b = net.spawn_process("B", [&] {
+    script::core::PartnerSpec want;
+    want.with(RoleId("p"), 9999);  // nobody
+    inst.enroll(RoleId("q"), want);
+  });
+  (void)a;
+  (void)b;
+  const auto result = sched.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.blocked.size(), 2u);
+}
+
+}  // namespace

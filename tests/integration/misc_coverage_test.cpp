@@ -1,0 +1,174 @@
+// Coverage for corners not hit elsewhere: in-out data parameters,
+// payload-type-as-pattern, jittered links, timer tie-breaks, and the
+// immediate-initiation/delayed-termination policy combination.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "runtime/sim_link.hpp"
+#include "script/instance.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::core::Initiation;
+using script::core::Params;
+using script::core::role;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::runtime::Scheduler;
+
+TEST(MiscCoverage, InOutParameterRoundTrips) {
+  // Params::inout: the role reads the caller's value AND writes back.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("doubler");
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  inst.on_role("doubler", [](RoleContext& ctx) {
+    ctx.set_param("x", ctx.param<int>("x") * 2);
+  });
+  int x = 21;
+  net.spawn_process("P", [&] {
+    inst.enroll(RoleId("doubler"), {}, Params().inout("x", &x));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(MiscCoverage, PayloadTypeIsPartOfThePattern) {
+  // Two parked sends on ONE tag with different payload types: each
+  // recv takes exactly its own type, regardless of arrival order.
+  Scheduler sched;
+  Net net(sched);
+  script::runtime::ProcessId rx = 0;
+  int got_i = 0;
+  double got_d = 0;
+  rx = net.spawn_process("rx", [&] {
+    sched.sleep_for(5);  // both sends parked
+    auto d = net.recv_any<double>("v");
+    ASSERT_TRUE(d);
+    got_d = d->second;
+    auto i = net.recv_any<int>("v");
+    ASSERT_TRUE(i);
+    got_i = i->second;
+  });
+  net.spawn_process("tx_int", [&] { ASSERT_TRUE(net.send(rx, "v", 7)); });
+  net.spawn_process("tx_dbl",
+                    [&] { ASSERT_TRUE(net.send(rx, "v", 2.5)); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got_i, 7);
+  EXPECT_DOUBLE_EQ(got_d, 2.5);
+}
+
+TEST(MiscCoverage, JitteredLinksStillDeliverEverything) {
+  Scheduler sched;
+  Net net(sched);
+  script::runtime::JitterLatency lat(10, 5, /*seed=*/3);
+  net.set_latency_model(&lat);
+  script::patterns::StarBroadcast<int> bc(net, 6);
+  std::vector<int> got(6, 0);
+  net.spawn_process("T", [&] { bc.send(13); });
+  for (int i = 0; i < 6; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      got[static_cast<std::size_t>(i)] = bc.receive(i);
+    });
+  const auto result = sched.run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(got, std::vector<int>(6, 13));
+  EXPECT_GE(result.final_time, 6u * 5u);   // at least min latency each
+  EXPECT_LE(result.final_time, 6u * 15u);  // at most max latency each
+}
+
+TEST(MiscCoverage, EqualDueTimersWakeInArmingOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i)
+    sched.spawn("s" + std::to_string(i), [&, i] {
+      sched.sleep_for(25);  // all due at the same tick
+      order.push_back(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));  // seq tie-break
+}
+
+TEST(MiscCoverage, ImmediateInitiationDelayedTermination) {
+  // Early roles make progress immediately but are all released at the
+  // SAME instant once the cast completes.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("early").role("late");
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Delayed);
+  ScriptInstance inst(net, spec);
+  std::uint64_t early_ran_at = 1, early_released = 0, late_released = 0;
+  inst.on_role("early", [&](RoleContext& ctx) {
+    early_ran_at = ctx.scheduler().now();
+  });
+  inst.on_role("late", [](RoleContext&) {});
+  net.spawn_process("E", [&] {
+    inst.enroll(RoleId("early"));
+    early_released = sched.now();
+  });
+  net.spawn_process("L", [&] {
+    sched.sleep_for(60);
+    inst.enroll(RoleId("late"));
+    late_released = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(early_ran_at, 0u);      // body ran right away
+  EXPECT_EQ(early_released, 60u);   // but held until the cast finished
+  EXPECT_EQ(late_released, 60u);
+}
+
+TEST(MiscCoverage, OneProcessFillsTwoFamilySlots) {
+  // Immediate/immediate: a process may re-enroll into the SAME family
+  // within one performance when the roles do not communicate.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role_family("worker", 2);
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  int runs = 0;
+  inst.on_role("worker", [&](RoleContext&) { ++runs; });
+  net.spawn_process("P", [&] {
+    const auto a = inst.enroll(script::core::any_member("worker"));
+    const auto b = inst.enroll(script::core::any_member("worker"));
+    EXPECT_EQ(a.performance, b.performance);
+    EXPECT_NE(a.played.index, b.played.index);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+}
+
+TEST(MiscCoverage, RecvFromWithDuplicateCandidates) {
+  Scheduler sched;
+  Net net(sched);
+  script::runtime::ProcessId server = 0, client = 0;
+  int got = 0;
+  server = net.spawn_process("server", [&] {
+    auto r = net.recv_from<int>({client, client, client}, "q");
+    ASSERT_TRUE(r);
+    got = r->second;
+  });
+  client = net.spawn_process("client", [&] {
+    ASSERT_TRUE(net.send(server, "q", 6));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 6);
+  EXPECT_EQ(net.rendezvous_count(), 1u);  // matched once, not thrice
+}
+
+}  // namespace

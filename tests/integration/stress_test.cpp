@@ -1,0 +1,102 @@
+// Bounded stress tests: larger casts and longer sessions than the unit
+// tests, still fast enough for every CI run (each case < ~1s).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "scripts/broadcast.hpp"
+#include "scripts/csp_embedding.hpp"
+#include "scripts/token_ring.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::runtime::Scheduler;
+
+TEST(Stress, WideStarBroadcastManyPerformances) {
+  constexpr std::size_t kN = 150;
+  constexpr int kPerfs = 10;
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, kN);
+  std::vector<int> sums(kN, 0);
+  net.spawn_process("T", [&] {
+    for (int p = 0; p < kPerfs; ++p) bc.send(p);
+  });
+  for (std::size_t i = 0; i < kN; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      for (int p = 0; p < kPerfs; ++p) sums[i] += bc.receive(static_cast<int>(i));
+    });
+  ASSERT_TRUE(sched.run().ok());
+  const int expected = kPerfs * (kPerfs - 1) / 2;
+  for (const int s : sums) EXPECT_EQ(s, expected);
+}
+
+TEST(Stress, LongTokenRing) {
+  constexpr std::size_t kN = 60;
+  constexpr std::size_t kLaps = 40;
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::TokenRing<long> ring(net, kN, kLaps);
+  long final_token = -1;
+  net.spawn_process("lead", [&] {
+    final_token = ring.lead(0, [](long t) { return t + 1; });
+  });
+  for (std::size_t i = 1; i < kN; ++i)
+    net.spawn_process("M" + std::to_string(i), [&, i] {
+      ring.join(static_cast<int>(i), [](long t) { return t + 1; });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(final_token,
+            static_cast<long>(1 + kLaps * (kN - 1) + (kLaps - 1)));
+}
+
+TEST(Stress, SupervisorUnderContention) {
+  // Many processes compete for few roles through the CSP supervisor;
+  // every enrollment must eventually be served, one per performance
+  // per role, never two holders of one role at once.
+  constexpr std::size_t kRoles = 3;
+  constexpr int kProcs = 12;
+  constexpr int kRounds = 8;
+  Scheduler sched;
+  Net net(sched);
+  script::embeddings::CspSupervisor sup(net, kRoles, "s");
+  sup.spawn();
+  std::vector<int> holders(kRoles, 0);
+  int violations = 0, served = 0, finished = 0;
+  for (int p = 0; p < kProcs; ++p)
+    net.spawn_process("p" + std::to_string(p), [&, p] {
+      const std::size_t k = static_cast<std::size_t>(p) % kRoles;
+      for (int r = 0; r < kRounds; ++r) {
+        sup.enroll_start(k);
+        if (++holders[k] != 1) ++violations;
+        sched.sleep_for(1);
+        --holders[k];
+        ++served;
+        sup.enroll_end(k);
+      }
+      if (++finished == kProcs) sup.shutdown();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(served, kProcs * kRounds);
+}
+
+TEST(Stress, DeepPipeline) {
+  constexpr std::size_t kN = 120;
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::PipelineBroadcast<int> bc(net, kN);
+  int delivered = 0;
+  net.spawn_process("T", [&] { bc.send(1); });
+  for (std::size_t i = 0; i < kN; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      if (bc.receive(static_cast<int>(i)) == 1) ++delivered;
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(delivered, static_cast<int>(kN));
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// End-to-end workload: a small "distributed system" composed entirely
+// of scripts over the simulated substrates —
+//   * a replicated lock service (Figure 5 script, 3 replicas),
+//   * configuration changes through the membership script,
+//   * result dissemination through a tree broadcast,
+//   * a final two-phase commit over all workers,
+// all under a ring topology latency model and a randomized (seeded)
+// scheduler. One test, every module.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lockdb/replica.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+#include "scripts/lock_manager.hpp"
+#include "scripts/monitor_embedding.hpp"
+#include "scripts/two_phase_commit.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::embeddings::MonitorSupervisor;
+using script::lockdb::ReplicaSet;
+using script::patterns::LockManagerScript;
+using script::patterns::LockStatus;
+using script::patterns::MembershipChangeScript;
+using script::patterns::TreeBroadcast;
+using script::patterns::TwoPhaseCommit;
+using script::runtime::SchedulePolicy;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+class WorkloadSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadSweep, FullSystemRoundTrip) {
+  SchedulerOptions opts;
+  opts.policy = SchedulePolicy::Random;
+  opts.seed = GetParam();
+  Scheduler sched(opts);
+  Net net(sched);
+  script::runtime::Topology topo = script::runtime::Topology::ring(8, 1);
+  net.set_latency_model(&topo);
+
+  constexpr std::size_t kWorkers = 3;
+  ReplicaSet replicas(4, 3);
+  LockManagerScript locks(net, replicas);
+  MembershipChangeScript membership(net, replicas);
+  TreeBroadcast<int> results(net, kWorkers, 2, "results");
+  TwoPhaseCommit commit(net, kWorkers, "commit");
+
+  // Lock service: nodes 0..2 serve one lock performance each round;
+  // node 0 then rotates out in favour of node 3.
+  net.spawn_process("node0", [&] {
+    locks.serve_once(0);
+    membership.leave(0);
+  });
+  net.spawn_process("node1", [&] {
+    locks.serve_once(1);
+    membership.witness(0);
+    locks.serve_once(1);
+  });
+  net.spawn_process("node2", [&] {
+    locks.serve_once(2);
+    membership.witness(1);
+    locks.serve_once(2);
+  });
+  net.spawn_process("node3", [&] {
+    const auto epoch = membership.join(3);
+    EXPECT_EQ(epoch, 1u);
+    locks.serve_once(0);
+  });
+
+  // The pipeline driver: take the write lock, "compute", release via
+  // the post-change cast, broadcast the answer, commit.
+  bool committed = false;
+  net.spawn_process("driver", [&] {
+    EXPECT_EQ(locks.writer_lock("answer", 7), LockStatus::Granted);
+    sched.sleep_for(5);  // compute
+    locks.writer_release("answer", 7);
+    results.send(42);
+    committed = commit.coordinate();
+  });
+
+  // Workers: receive the answer, vote to commit iff it is 42.
+  std::vector<int> got(kWorkers, 0);
+  int worker_commits = 0;
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    net.spawn_process("worker" + std::to_string(w), [&, w] {
+      got[w] = results.receive(static_cast<int>(w));
+      if (commit.participate(static_cast<int>(w),
+                             [&, w] { return got[w] == 42; }))
+        ++worker_commits;
+    });
+
+  const auto result = sched.run();
+  ASSERT_TRUE(result.ok()) << "seed " << GetParam();
+  EXPECT_EQ(got, std::vector<int>(kWorkers, 42));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(worker_commits, static_cast<int>(kWorkers));
+  EXPECT_EQ(replicas.epoch(), 1u);
+  EXPECT_TRUE(replicas.is_active(3));
+  EXPECT_EQ(locks.instance().performances_completed(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSweep,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(MonitorSupervisorTest, CoordinatesSuccessivePerformances) {
+  Scheduler sched;
+  MonitorSupervisor sup(sched, 2, "msup");
+  std::vector<std::string> order;
+  for (int round = 0; round < 2; ++round)
+    for (std::size_t k = 0; k < 2; ++k)
+      sched.spawn("p" + std::to_string(round) + std::to_string(k),
+                  [&, k, round] {
+                    sup.enroll_start(k);
+                    order.push_back("r" + std::to_string(round) + "k" +
+                                    std::to_string(k));
+                    sched.sleep_for(10);
+                    sup.enroll_end(k);
+                  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sup.performances(), 2u);
+  ASSERT_EQ(order.size(), 4u);
+}
+
+TEST(MonitorSupervisorTest, SecondTakerOfRoleWaitsForPerformanceEnd) {
+  Scheduler sched;
+  MonitorSupervisor sup(sched, 2, "msup");
+  std::uint64_t d_entered = 0;
+  sched.spawn("A", [&] {
+    sup.enroll_start(0);
+    sup.enroll_end(0);  // instant role
+  });
+  sched.spawn("B", [&] {
+    sup.enroll_start(1);
+    sched.sleep_for(70);  // slow role holds performance 1 open
+    sup.enroll_end(1);
+  });
+  sched.spawn("D", [&] {
+    sched.sleep_for(5);
+    sup.enroll_start(0);  // must wait for B to end performance 1
+    d_entered = sched.now();
+    sup.enroll_end(0);
+  });
+  sched.spawn("E", [&] {
+    sched.sleep_for(5);
+    sup.enroll_start(1);
+    sup.enroll_end(1);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(d_entered, 70u);
+  EXPECT_EQ(sup.performances(), 2u);
+}
+
+}  // namespace

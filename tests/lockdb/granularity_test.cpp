@@ -1,0 +1,146 @@
+#include "lockdb/granularity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using script::lockdb::ancestor_chain;
+using script::lockdb::compatible;
+using script::lockdb::GranMode;
+using script::lockdb::GranularityLockTable;
+using script::lockdb::intention_for;
+
+TEST(Granularity, CompatibilityMatrix) {
+  EXPECT_TRUE(compatible(GranMode::IS, GranMode::IX));
+  EXPECT_TRUE(compatible(GranMode::IX, GranMode::IX));
+  EXPECT_TRUE(compatible(GranMode::S, GranMode::IS));
+  EXPECT_TRUE(compatible(GranMode::IS, GranMode::SIX));
+  EXPECT_FALSE(compatible(GranMode::IX, GranMode::S));
+  EXPECT_FALSE(compatible(GranMode::S, GranMode::IX));
+  EXPECT_FALSE(compatible(GranMode::SIX, GranMode::SIX));
+  EXPECT_FALSE(compatible(GranMode::X, GranMode::IS));
+  EXPECT_FALSE(compatible(GranMode::IS, GranMode::X));
+}
+
+TEST(Granularity, IntentionModes) {
+  EXPECT_EQ(intention_for(GranMode::S), GranMode::IS);
+  EXPECT_EQ(intention_for(GranMode::X), GranMode::IX);
+  EXPECT_EQ(intention_for(GranMode::SIX), GranMode::IX);
+}
+
+TEST(Granularity, AncestorChain) {
+  const auto chain = ancestor_chain("db/a1/f2/r9");
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], "db");
+  EXPECT_EQ(chain[1], "db/a1");
+  EXPECT_EQ(chain[3], "db/a1/f2/r9");
+}
+
+TEST(Granularity, LockTakesIntentionsOnAncestors) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/a1/r1", GranMode::X, 1));
+  EXPECT_TRUE(t.holds("db", GranMode::IX, 1));
+  EXPECT_TRUE(t.holds("db/a1", GranMode::IX, 1));
+  EXPECT_TRUE(t.holds("db/a1/r1", GranMode::X, 1));
+}
+
+TEST(Granularity, RecordLocksInDifferentFilesCoexist) {
+  // The whole point of granularity locking: two writers in different
+  // subtrees both get X record locks (IX intentions are compatible).
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::X, 1));
+  EXPECT_TRUE(t.lock("db/f2/r2", GranMode::X, 2));
+}
+
+TEST(Granularity, SubtreeLockBlocksDescendantWriter) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1", GranMode::S, 1));  // whole-file read lock
+  EXPECT_FALSE(t.lock("db/f1/r1", GranMode::X, 2));  // IX vs S on db/f1
+  EXPECT_TRUE(t.lock("db/f1/r1", GranMode::S, 2));   // IS vs S is fine
+}
+
+TEST(Granularity, RootXBlocksEverything) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db", GranMode::X, 1));
+  EXPECT_FALSE(t.lock("db/f1/r1", GranMode::S, 2));
+  EXPECT_FALSE(t.lock("db/f1", GranMode::IS, 2));
+}
+
+TEST(Granularity, SIXAllowsReadersButBlocksWriters) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1", GranMode::SIX, 1));
+  // Another reader of a record under f1 needs IS on f1: IS vs SIX ok.
+  EXPECT_TRUE(t.lock("db/f1/r1", GranMode::S, 2));
+  // Another writer needs IX on f1: IX vs SIX incompatible.
+  EXPECT_FALSE(t.lock("db/f1/r2", GranMode::X, 2));
+}
+
+TEST(Granularity, OwnLocksNeverSelfConflict) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1", GranMode::S, 1));
+  EXPECT_TRUE(t.lock("db/f1/r1", GranMode::X, 1));
+}
+
+TEST(Granularity, FailedLockChangesNothing) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1", GranMode::X, 1));
+  const auto nodes_before = t.node_count();
+  EXPECT_FALSE(t.lock("db/f1/r1", GranMode::S, 2));
+  EXPECT_EQ(t.node_count(), nodes_before);
+  EXPECT_FALSE(t.holds("db", GranMode::IS, 2));
+}
+
+TEST(Granularity, ReleaseAllDropsWholeChain) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/a/f/r", GranMode::X, 1));
+  EXPECT_EQ(t.release_all(1), 4u);
+  EXPECT_EQ(t.node_count(), 0u);
+  EXPECT_TRUE(t.lock("db", GranMode::X, 2));
+}
+
+TEST(Granularity, GrantDenialCounters) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/x", GranMode::X, 1));
+  ASSERT_FALSE(t.lock("db/x", GranMode::S, 2));
+  EXPECT_EQ(t.grants(), 1u);
+  EXPECT_EQ(t.denials(), 1u);
+}
+
+TEST(Granularity, PerPathReleaseKeepsSiblingIntentions) {
+  // Two record locks under one file share the file's IX intention;
+  // releasing one must not strip the other's protection.
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::X, 1));
+  ASSERT_TRUE(t.lock("db/f1/r2", GranMode::X, 1));
+  t.release("db/f1/r1", GranMode::X, 1);
+  EXPECT_FALSE(t.holds("db/f1/r1", GranMode::X, 1));
+  EXPECT_TRUE(t.holds("db/f1/r2", GranMode::X, 1));
+  // The surviving IX on db/f1 still blocks a whole-file S lock.
+  EXPECT_FALSE(t.lock("db/f1", GranMode::S, 2));
+}
+
+TEST(Granularity, PerPathReleaseFreesChainWhenLastLockGoes) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::X, 1));
+  t.release("db/f1/r1", GranMode::X, 1);
+  EXPECT_EQ(t.node_count(), 0u);
+  EXPECT_TRUE(t.lock("db", GranMode::X, 2));
+}
+
+TEST(Granularity, ReleaseOfUnheldLockIsNoOp) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::S, 1));
+  t.release("db/f1/r1", GranMode::X, 1);  // wrong mode: no-op
+  t.release("db/f9/r9", GranMode::S, 1);  // wrong path: no-op
+  EXPECT_TRUE(t.holds("db/f1/r1", GranMode::S, 1));
+}
+
+TEST(Granularity, ReleaseOnlyAffectsOneOwner) {
+  GranularityLockTable t;
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::S, 1));
+  ASSERT_TRUE(t.lock("db/f1/r1", GranMode::S, 2));
+  t.release("db/f1/r1", GranMode::S, 1);
+  EXPECT_TRUE(t.holds("db/f1/r1", GranMode::S, 2));
+}
+
+}  // namespace

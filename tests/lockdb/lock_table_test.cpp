@@ -1,0 +1,94 @@
+#include "lockdb/lock_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using script::lockdb::LockMode;
+using script::lockdb::LockTable;
+
+TEST(LockTable, SharedLocksCoexist) {
+  LockTable t;
+  EXPECT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  EXPECT_TRUE(t.acquire("x", LockMode::Shared, 2));
+  EXPECT_EQ(t.holder_count("x"), 2u);
+}
+
+TEST(LockTable, ExclusiveExcludesEveryoneElse) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Exclusive, 1));
+  EXPECT_FALSE(t.acquire("x", LockMode::Shared, 2));
+  EXPECT_FALSE(t.acquire("x", LockMode::Exclusive, 2));
+}
+
+TEST(LockTable, SharedBlocksExclusiveFromOthers) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  EXPECT_FALSE(t.acquire("x", LockMode::Exclusive, 2));
+}
+
+TEST(LockTable, SoleOwnerCanUpgrade) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  EXPECT_TRUE(t.acquire("x", LockMode::Exclusive, 1));
+  EXPECT_FALSE(t.acquire("x", LockMode::Shared, 2));
+}
+
+TEST(LockTable, UpgradeDeniedWithCoHolders) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 2));
+  EXPECT_FALSE(t.acquire("x", LockMode::Exclusive, 1));
+}
+
+TEST(LockTable, ReacquisitionIsIdempotent) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  EXPECT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  EXPECT_EQ(t.holder_count("x"), 1u);
+}
+
+TEST(LockTable, ReleaseFreesTheItem) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Exclusive, 1));
+  t.release("x", 1);
+  EXPECT_FALSE(t.holds("x", 1));
+  EXPECT_TRUE(t.acquire("x", LockMode::Exclusive, 2));
+}
+
+TEST(LockTable, ReleaseOfOneSharedHolderKeepsOthers) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 1));
+  ASSERT_TRUE(t.acquire("x", LockMode::Shared, 2));
+  t.release("x", 1);
+  EXPECT_TRUE(t.holds("x", 2));
+  EXPECT_EQ(t.holder_count("x"), 1u);
+}
+
+TEST(LockTable, ReleaseAllDropsEverything) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("a", LockMode::Shared, 1));
+  ASSERT_TRUE(t.acquire("b", LockMode::Exclusive, 1));
+  ASSERT_TRUE(t.acquire("a", LockMode::Shared, 2));
+  EXPECT_EQ(t.release_all(1), 2u);
+  EXPECT_FALSE(t.holds("a", 1));
+  EXPECT_FALSE(t.holds("b", 1));
+  EXPECT_TRUE(t.holds("a", 2));
+}
+
+TEST(LockTable, ItemsAreIndependent) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Exclusive, 1));
+  EXPECT_TRUE(t.acquire("y", LockMode::Exclusive, 2));
+  EXPECT_EQ(t.locked_items(), 2u);
+}
+
+TEST(LockTable, GrantAndDenialCounters) {
+  LockTable t;
+  ASSERT_TRUE(t.acquire("x", LockMode::Exclusive, 1));
+  ASSERT_FALSE(t.acquire("x", LockMode::Shared, 2));
+  EXPECT_EQ(t.grants(), 1u);
+  EXPECT_EQ(t.denials(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "lockdb/replica.hpp"
+#include "lockdb/strategies.hpp"
+
+namespace {
+
+using script::lockdb::GranularityStrategy;
+using script::lockdb::LockMode;
+using script::lockdb::MajorityLocking;
+using script::lockdb::ReadOneWriteAll;
+using script::lockdb::ReplicaSet;
+
+TEST(ReplicaSet, StartsWithFirstKActive) {
+  ReplicaSet rs(5, 3);
+  EXPECT_EQ(rs.active(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(rs.is_active(1));
+  EXPECT_FALSE(rs.is_active(4));
+}
+
+TEST(ReplicaSet, SwapPreservesLockTable) {
+  ReplicaSet rs(4, 2);
+  ASSERT_TRUE(rs.table(0).acquire("x", LockMode::Shared, 7));
+  rs.swap_member(0, 3);
+  EXPECT_FALSE(rs.is_active(0));
+  EXPECT_TRUE(rs.is_active(3));
+  // Node 3 inherits node 0's table — the lock on x survives.
+  EXPECT_TRUE(rs.table(3).holds("x", 7));
+  EXPECT_EQ(rs.epoch(), 1u);
+}
+
+TEST(ReadOneWriteAll, ReadNeedsOneReplica) {
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  const auto out = s.read_lock(rs, "x", 1);
+  EXPECT_TRUE(out.granted);
+  EXPECT_EQ(out.holders.size(), 1u);
+  EXPECT_EQ(out.replicas_contacted, 1u);
+}
+
+TEST(ReadOneWriteAll, WriteNeedsAllReplicas) {
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  const auto out = s.write_lock(rs, "x", 1);
+  EXPECT_TRUE(out.granted);
+  EXPECT_EQ(out.holders.size(), 3u);
+}
+
+TEST(ReadOneWriteAll, ReaderOnFirstReplicaBlocksWriter) {
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  ASSERT_TRUE(s.read_lock(rs, "x", 1).granted);
+  const auto out = s.write_lock(rs, "x", 2);
+  EXPECT_FALSE(out.granted);
+  // Rollback: no replica still holds the writer's lock.
+  for (const auto node : rs.active())
+    EXPECT_FALSE(rs.table(node).holds("x", 2));
+}
+
+TEST(ReadOneWriteAll, WriterBlocksAllReaders) {
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  ASSERT_TRUE(s.write_lock(rs, "x", 1).granted);
+  EXPECT_FALSE(s.read_lock(rs, "x", 2).granted);
+}
+
+TEST(ReadOneWriteAll, ReaderSkipsBusyReplica) {
+  // A reader denied at replica 0 (held X by someone) reads replica 1.
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  ASSERT_TRUE(rs.table(0).acquire("x", LockMode::Exclusive, 9));
+  const auto out = s.read_lock(rs, "x", 1);
+  EXPECT_TRUE(out.granted);
+  EXPECT_EQ(out.replicas_contacted, 2u);
+  EXPECT_EQ(out.holders[0], 1u);
+}
+
+TEST(ReadOneWriteAll, ReleaseClearsEverywhere) {
+  ReplicaSet rs(3, 3);
+  ReadOneWriteAll s;
+  ASSERT_TRUE(s.write_lock(rs, "x", 1).granted);
+  s.release(rs, "x", 1);
+  EXPECT_TRUE(s.write_lock(rs, "x", 2).granted);
+}
+
+TEST(Majority, NeedsQuorum) {
+  ReplicaSet rs(5, 5);
+  MajorityLocking s;
+  const auto out = s.read_lock(rs, "x", 1);
+  EXPECT_TRUE(out.granted);
+  EXPECT_EQ(out.holders.size(), 3u);  // floor(5/2)+1
+}
+
+TEST(Majority, TwoWritersCannotBothHoldQuorums) {
+  ReplicaSet rs(5, 5);
+  MajorityLocking s;
+  ASSERT_TRUE(s.write_lock(rs, "x", 1).granted);
+  const auto out = s.write_lock(rs, "x", 2);
+  EXPECT_FALSE(out.granted);
+  for (const auto node : rs.active())
+    EXPECT_FALSE(rs.table(node).holds("x", 2));
+}
+
+TEST(Majority, TwoReadersShareQuorums) {
+  ReplicaSet rs(5, 5);
+  MajorityLocking s;
+  EXPECT_TRUE(s.read_lock(rs, "x", 1).granted);
+  EXPECT_TRUE(s.read_lock(rs, "x", 2).granted);
+}
+
+TEST(Majority, ReaderBlocksWriterQuorum) {
+  ReplicaSet rs(3, 3);
+  MajorityLocking s;
+  ASSERT_TRUE(s.read_lock(rs, "x", 1).granted);  // holds 2 of 3
+  EXPECT_FALSE(s.write_lock(rs, "x", 2).granted);
+}
+
+TEST(Majority, EarlyAbortWhenQuorumUnreachable) {
+  ReplicaSet rs(3, 3);
+  MajorityLocking s;
+  // Occupy replicas 0 and 1 exclusively: a 2-of-3 quorum is impossible.
+  ASSERT_TRUE(rs.table(0).acquire("x", LockMode::Exclusive, 9));
+  ASSERT_TRUE(rs.table(1).acquire("x", LockMode::Exclusive, 9));
+  const auto out = s.write_lock(rs, "x", 1);
+  EXPECT_FALSE(out.granted);
+}
+
+TEST(GranularityStrategyTest, ReadOneReplicaWriteAll) {
+  ReplicaSet rs(3, 3);
+  GranularityStrategy s(3);
+  EXPECT_TRUE(s.read_lock(rs, "db/f1/r1", 1).granted);
+  // Writer of a different record proceeds (IX vs IS compatible at f1).
+  EXPECT_TRUE(s.write_lock(rs, "db/f1/r2", 2).granted);
+  // Writer of the SAME record is blocked on replica 0.
+  EXPECT_FALSE(s.write_lock(rs, "db/f1/r1", 3).granted);
+}
+
+TEST(GranularityStrategyTest, ReleaseAllReplicas) {
+  ReplicaSet rs(2, 2);
+  GranularityStrategy s(2);
+  ASSERT_TRUE(s.write_lock(rs, "db/f1", 1).granted);
+  s.release(rs, "db/f1", 1);
+  EXPECT_TRUE(s.write_lock(rs, "db/f1", 2).granted);
+}
+
+}  // namespace

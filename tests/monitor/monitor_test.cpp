@@ -1,0 +1,203 @@
+#include "monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::monitor::Monitor;
+using script::runtime::Scheduler;
+
+TEST(Monitor, MutualExclusion) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 5; ++i)
+    sched.spawn("p" + std::to_string(i), [&] {
+      mon.enter();
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      mon.occupy(10);  // hold across virtual time
+      --inside;
+      mon.leave();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(sched.now(), 50u);  // fully serialized
+}
+
+TEST(Monitor, FifoAmongContenders) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  std::vector<int> order;
+  sched.spawn("holder", [&] {
+    mon.enter();
+    sched.sleep_for(10);
+    mon.leave();
+  });
+  for (int i = 0; i < 3; ++i)
+    sched.spawn("c" + std::to_string(i), [&, i] {
+      mon.enter();
+      order.push_back(i);
+      mon.leave();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Monitor, WaitUntilBlocksUntilPredicateHolds) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  bool flag = false;
+  std::vector<std::string> order;
+  sched.spawn("waiter", [&] {
+    mon.enter();
+    mon.wait_until([&] { return flag; });
+    order.push_back("waiter through");
+    mon.leave();
+  });
+  sched.spawn("setter", [&] {
+    sched.sleep_for(20);
+    mon.enter();
+    flag = true;
+    order.push_back("setter set");
+    mon.leave();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"setter set", "waiter through"}));
+}
+
+TEST(Monitor, WaitUntilImmediateWhenPredicateAlreadyTrue) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  bool through = false;
+  sched.spawn("p", [&] {
+    mon.enter();
+    mon.wait_until([] { return true; });
+    through = true;
+    mon.leave();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(through);
+}
+
+TEST(Monitor, WaiterAdmittedBeforeNewEntrant) {
+  // Hand-off semantics: when the setter leaves, the predicate waiter
+  // gets the monitor before a newly-arriving contender.
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  bool flag = false;
+  std::vector<std::string> order;
+  sched.spawn("waiter", [&] {
+    mon.enter();
+    mon.wait_until([&] { return flag; });
+    order.push_back("waiter");
+    mon.leave();
+  });
+  sched.spawn("setter", [&] {
+    sched.sleep_for(5);
+    mon.enter();
+    flag = true;
+    mon.leave();
+  });
+  sched.spawn("entrant", [&] {
+    sched.sleep_for(5);
+    mon.enter();
+    order.push_back("entrant");
+    mon.leave();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "waiter");
+}
+
+TEST(Monitor, MultipleWaitersWokenAsPredicatesBecomeTrue) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  int stage = 0;
+  std::vector<int> order;
+  for (int want = 1; want <= 3; ++want)
+    sched.spawn("w" + std::to_string(want), [&, want] {
+      mon.enter();
+      mon.wait_until([&, want] { return stage >= want; });
+      order.push_back(want);
+      mon.leave();
+    });
+  sched.spawn("driver", [&] {
+    for (int s = 1; s <= 3; ++s) {
+      sched.sleep_for(10);
+      mon.enter();
+      stage = s;
+      mon.leave();
+    }
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Monitor, ChainedWakeups) {
+  // One leave() can only admit one waiter, but that waiter's leave()
+  // admits the next whose predicate now holds.
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  int token = 0;
+  std::vector<int> order;
+  for (int i = 1; i <= 4; ++i)
+    sched.spawn("w" + std::to_string(i), [&, i] {
+      mon.enter();
+      mon.wait_until([&, i] { return token == i; });
+      order.push_back(i);
+      token = i + 1;  // enables the next waiter
+      mon.leave();
+    });
+  sched.spawn("kick", [&] {
+    mon.enter();
+    token = 1;
+    mon.leave();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Monitor, WithRunsBodyInsideMonitor) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  bool was_held = false;
+  sched.spawn("p", [&] { mon.with([&] { was_held = mon.held(); }); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(was_held);
+  EXPECT_FALSE(mon.held());
+}
+
+TEST(Monitor, ContentionCountersTrack) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  sched.spawn("a", [&] {
+    mon.enter();
+    sched.sleep_for(10);
+    mon.leave();
+  });
+  sched.spawn("b", [&] {
+    mon.enter();
+    mon.leave();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(mon.entries(), 2u);
+  EXPECT_EQ(mon.contended_entries(), 1u);
+}
+
+TEST(Monitor, UnsatisfiedWaitUntilIsDeadlock) {
+  Scheduler sched;
+  Monitor mon(sched, "m");
+  sched.spawn("p", [&] {
+    mon.enter();
+    mon.wait_until([] { return false; });
+  });
+  const auto result = sched.run();
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace

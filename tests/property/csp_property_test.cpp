@@ -1,0 +1,153 @@
+// Property tests for the CSP substrate under random interleavings:
+// message conservation, rendezvous pairing, and alternative validity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "csp/alternative.hpp"
+#include "csp/net.hpp"
+
+namespace {
+
+using script::csp::Alternative;
+using script::csp::Net;
+using script::runtime::ProcessId;
+using script::runtime::SchedulePolicy;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+Scheduler make_sched(std::uint64_t seed) {
+  SchedulerOptions opts;
+  opts.policy = SchedulePolicy::Random;
+  opts.seed = seed;
+  return Scheduler(opts);
+}
+
+class CspProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CspProperty, EveryMessageSentIsReceivedExactlyOnce) {
+  auto sched = make_sched(GetParam());
+  Net net(sched);
+  constexpr int kSenders = 5;
+  constexpr int kMsgsEach = 20;
+  ProcessId sink = 0;
+  std::map<int, int> received;  // payload -> count
+  sink = net.spawn_process("sink", [&] {
+    for (int i = 0; i < kSenders * kMsgsEach; ++i) {
+      auto r = net.recv_any<int>("m");
+      ASSERT_TRUE(r);
+      ++received[r->second];
+    }
+  });
+  for (int s = 0; s < kSenders; ++s)
+    net.spawn_process("tx" + std::to_string(s), [&, s] {
+      for (int m = 0; m < kMsgsEach; ++m)
+        ASSERT_TRUE(net.send(sink, "m", s * 1000 + m));
+    });
+  ASSERT_TRUE(sched.run().ok()) << "seed " << GetParam();
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kSenders * kMsgsEach));
+  for (const auto& [payload, count] : received)
+    EXPECT_EQ(count, 1) << "payload " << payload << " duplicated";
+  EXPECT_EQ(net.rendezvous_count(),
+            static_cast<std::uint64_t>(kSenders * kMsgsEach));
+}
+
+TEST_P(CspProperty, PerSenderFifoOrderPreserved) {
+  // CSP rendezvous is synchronous, so each sender's messages arrive in
+  // program order even though senders interleave arbitrarily.
+  auto sched = make_sched(GetParam());
+  Net net(sched);
+  constexpr int kSenders = 4, kMsgs = 15;
+  ProcessId sink = 0;
+  std::map<ProcessId, std::vector<int>> per_sender;
+  sink = net.spawn_process("sink", [&] {
+    for (int i = 0; i < kSenders * kMsgs; ++i) {
+      auto r = net.recv_any<int>("m");
+      ASSERT_TRUE(r);
+      per_sender[r->first].push_back(r->second);
+    }
+  });
+  for (int s = 0; s < kSenders; ++s)
+    net.spawn_process("tx" + std::to_string(s), [&] {
+      for (int m = 0; m < kMsgs; ++m) ASSERT_TRUE(net.send(sink, "m", m));
+    });
+  ASSERT_TRUE(sched.run().ok()) << "seed " << GetParam();
+  for (const auto& [sender, msgs] : per_sender) {
+    ASSERT_EQ(msgs.size(), static_cast<std::size_t>(kMsgs));
+    for (int m = 0; m < kMsgs; ++m)
+      EXPECT_EQ(msgs[static_cast<std::size_t>(m)], m)
+          << "sender " << sender << " reordered, seed " << GetParam();
+  }
+}
+
+TEST_P(CspProperty, AlternativeOnlyFiresViableBranches) {
+  auto sched = make_sched(GetParam());
+  Net net(sched);
+  constexpr int kClients = 6;
+  ProcessId server = 0;
+  int served = 0, guard_violations = 0;
+  std::vector<bool> allowed(kClients, false);
+  std::vector<ProcessId> clients(kClients);
+  server = net.spawn_process("server", [&] {
+    // Random subset of clients is allowed each round; a branch firing
+    // for a disallowed client is a guard violation.
+    for (int round = 0; round < kClients; ++round) {
+      for (int c = 0; c < kClients; ++c)
+        allowed[static_cast<std::size_t>(c)] = true;  // open all once pending
+      Alternative alt(net);
+      for (int c = 0; c < kClients; ++c)
+        alt.recv_case<int>(
+            clients[static_cast<std::size_t>(c)], "req",
+            [&, c](int) {
+              if (!allowed[static_cast<std::size_t>(c)]) ++guard_violations;
+              ++served;
+            },
+            /*guard=*/allowed[static_cast<std::size_t>(c)]);
+      ASSERT_NE(alt.select(), Alternative::kFailed);
+    }
+  });
+  for (int c = 0; c < kClients; ++c)
+    clients[static_cast<std::size_t>(c)] =
+        net.spawn_process("c" + std::to_string(c), [&] {
+          ASSERT_TRUE(net.send(server, "req", 1));
+        });
+  ASSERT_TRUE(sched.run().ok()) << "seed " << GetParam();
+  EXPECT_EQ(served, kClients);
+  EXPECT_EQ(guard_violations, 0);
+}
+
+TEST_P(CspProperty, RepetitiveServesEveryClientToCompletion) {
+  auto sched = make_sched(GetParam());
+  Net net(sched);
+  constexpr int kClients = 5;
+  ProcessId server = 0;
+  std::vector<ProcessId> clients;
+  int total = 0;
+  server = net.spawn_process("server", [&] {
+    script::csp::repetitive(net, [&](Alternative& alt) {
+      alt.recv_from_case<int>(clients, "req",
+                              [&](ProcessId, int v) { total += v; });
+    });
+  });
+  int expected = 0;
+  for (int c = 0; c < kClients; ++c) {
+    const int msgs = c + 1;
+    for (int m = 0; m < msgs; ++m) expected += c;
+    clients.push_back(
+        net.spawn_process("c" + std::to_string(c), [&, c, msgs] {
+          for (int m = 0; m < msgs; ++m)
+            ASSERT_TRUE(net.send(server, "req", c));
+        }));
+  }
+  ASSERT_TRUE(sched.run().ok()) << "seed " << GetParam();
+  EXPECT_EQ(total, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Safety properties of the locking strategies under randomized
+// workloads: whatever interleaving of lock/release requests arrives,
+// the replica tables must never hold conflicting grants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lockdb/strategies.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using script::lockdb::GranularityStrategy;
+using script::lockdb::LockMode;
+using script::lockdb::LockStrategy;
+using script::lockdb::MajorityLocking;
+using script::lockdb::OwnerId;
+using script::lockdb::ReadOneWriteAll;
+using script::lockdb::ReplicaSet;
+using script::support::Rng;
+
+struct Granted {
+  OwnerId owner;
+  bool write;
+  std::string item;
+};
+
+class LockStrategyProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Writers must be exclusive GLOBALLY: while a write lock on item X is
+// outstanding, no other owner may hold any lock on X.
+void run_safety_workload(LockStrategy& strategy, std::size_t k,
+                         std::uint64_t seed) {
+  ReplicaSet rs(k, k);
+  Rng rng(seed);
+  constexpr int kOwners = 6;
+  std::vector<Granted> held;  // outstanding grants
+
+  for (int op = 0; op < 600; ++op) {
+    const auto owner = static_cast<OwnerId>(rng.below(kOwners));
+    // Release something this owner holds?
+    std::vector<std::size_t> mine;
+    for (std::size_t i = 0; i < held.size(); ++i)
+      if (held[i].owner == owner) mine.push_back(i);
+    if (!mine.empty() && rng.chance(0.5)) {
+      const std::size_t pick = mine[rng.pick_index(mine.size())];
+      strategy.release(rs, held[pick].item, owner);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+      continue;
+    }
+    const std::string item = "it" + std::to_string(rng.below(5));
+    // One outstanding lock per (owner,item) to keep the model simple.
+    bool already = false;
+    for (const auto& g : held)
+      if (g.owner == owner && g.item == item) already = true;
+    if (already) continue;
+
+    const bool write = rng.chance(0.4);
+    const auto out = write ? strategy.write_lock(rs, item, owner)
+                           : strategy.read_lock(rs, item, owner);
+    if (out.granted) held.push_back({owner, write, item});
+
+    // SAFETY: no write lock may coexist with any other grant on the
+    // same item.
+    std::map<std::string, int> writers, readers;
+    for (const auto& g : held) {
+      if (g.write)
+        ++writers[g.item];
+      else
+        ++readers[g.item];
+    }
+    for (const auto& [it, w] : writers) {
+      EXPECT_LE(w, 1) << "two writers on " << it << ", seed " << seed;
+      EXPECT_EQ(readers.count(it) ? readers[it] : 0, 0)
+          << "reader alongside writer on " << it << ", seed " << seed;
+    }
+  }
+}
+
+TEST_P(LockStrategyProperty, ReadOneWriteAllIsSafe) {
+  ReadOneWriteAll s;
+  run_safety_workload(s, 3, GetParam());
+}
+
+TEST_P(LockStrategyProperty, MajorityIsSafe) {
+  MajorityLocking s;
+  run_safety_workload(s, 5, GetParam());
+}
+
+TEST_P(LockStrategyProperty, GranularityIsSafe) {
+  GranularityStrategy s(3);
+  run_safety_workload(s, 3, GetParam());
+}
+
+TEST_P(LockStrategyProperty, ReleaseRestoresFullAvailability) {
+  // After all owners release everything, a fresh writer must succeed
+  // on every item (no leaked residue).
+  for (auto* which : {"rowa", "maj"}) {
+    std::unique_ptr<LockStrategy> s;
+    if (std::string(which) == "rowa")
+      s = std::make_unique<ReadOneWriteAll>();
+    else
+      s = std::make_unique<MajorityLocking>();
+    ReplicaSet rs(3, 3);
+    Rng rng(GetParam());
+    std::vector<std::pair<OwnerId, std::string>> grants;
+    for (int op = 0; op < 100; ++op) {
+      const auto owner = static_cast<OwnerId>(rng.below(4));
+      const std::string item = "it" + std::to_string(rng.below(4));
+      const auto out = rng.chance(0.5) ? s->read_lock(rs, item, owner)
+                                       : s->write_lock(rs, item, owner);
+      if (out.granted) grants.emplace_back(owner, item);
+    }
+    for (const auto& [owner, item] : grants) s->release(rs, item, owner);
+    for (int i = 0; i < 4; ++i) {
+      const std::string item = "it" + std::to_string(i);
+      EXPECT_TRUE(s->write_lock(rs, item, 99).granted)
+          << which << " leaked a lock on " << item;
+      s->release(rs, item, 99);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockStrategyProperty,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Parameterized sweeps over pattern-script shapes: every (pattern,
+// size, fanout, policy) combination must deliver its specification.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "scripts/barrier.hpp"
+#include "scripts/broadcast.hpp"
+#include "scripts/scatter_gather.hpp"
+#include "scripts/token_ring.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::runtime::Scheduler;
+
+class TreeFanoutSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(TreeFanoutSweep, DeliversToEveryRecipient) {
+  const auto [n, fanout] = GetParam();
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::TreeBroadcast<int> bc(net, n, fanout);
+  std::vector<int> got(n, 0);
+  net.spawn_process("T", [&] { bc.send(31); });
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      got[i] = bc.receive(static_cast<int>(i));
+    });
+  ASSERT_TRUE(sched.run().ok()) << "n=" << n << " d=" << fanout;
+  EXPECT_EQ(got, std::vector<int>(n, 31));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeFanoutSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 12, 30),
+                       ::testing::Values<std::size_t>(1, 2, 3, 5)));
+
+class BroadcastSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BroadcastSizeSweep, StarAndPipelineAgree) {
+  const std::size_t n = GetParam();
+  for (const bool pipeline : {false, true}) {
+    Scheduler sched;
+    Net net(sched);
+    std::vector<int> got(n, 0);
+    if (pipeline) {
+      script::patterns::PipelineBroadcast<int> bc(net, n);
+      net.spawn_process("T", [&] { bc.send(8); });
+      for (std::size_t i = 0; i < n; ++i)
+        net.spawn_process("R" + std::to_string(i), [&, i] {
+          got[i] = bc.receive(static_cast<int>(i));
+        });
+      ASSERT_TRUE(sched.run().ok()) << "pipeline n=" << n;
+    } else {
+      script::patterns::StarBroadcast<int> bc(net, n);
+      net.spawn_process("T", [&] { bc.send(8); });
+      for (std::size_t i = 0; i < n; ++i)
+        net.spawn_process("R" + std::to_string(i), [&, i] {
+          got[i] = bc.receive(static_cast<int>(i));
+        });
+      ASSERT_TRUE(sched.run().ok()) << "star n=" << n;
+    }
+    EXPECT_EQ(got, std::vector<int>(n, 8));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastSizeSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 7, 20, 50));
+
+class BarrierWidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BarrierWidthSweep, ReleasesExactlyTogether) {
+  const std::size_t n = GetParam();
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::Barrier barrier(net, n);
+  std::vector<std::uint64_t> released;
+  for (std::size_t i = 0; i < n; ++i)
+    net.spawn_process("P" + std::to_string(i), [&, i] {
+      sched.sleep_for(i * 7);
+      barrier.arrive_and_wait();
+      released.push_back(sched.now());
+    });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(released.size(), n);
+  for (const auto t : released) EXPECT_EQ(t, (n - 1) * 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BarrierWidthSweep,
+                         ::testing::Values<std::size_t>(1, 2, 5, 16, 40));
+
+class RingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RingSweep, TokenCountMatchesFormula) {
+  const auto [n, laps] = GetParam();
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::TokenRing<int> ring(net, n, laps);
+  int final_token = -1;
+  net.spawn_process("lead", [&] {
+    final_token = ring.lead(0, [](int t) { return t + 1; });
+  });
+  for (std::size_t i = 1; i < n; ++i)
+    net.spawn_process("M" + std::to_string(i), [&, i] {
+      ring.join(static_cast<int>(i), [](int t) { return t + 1; });
+    });
+  ASSERT_TRUE(sched.run().ok()) << "n=" << n << " laps=" << laps;
+  EXPECT_EQ(final_token,
+            static_cast<int>(1 + laps * (n - 1) + (laps - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 6, 10),
+                       ::testing::Values<std::size_t>(1, 2, 5)));
+
+class ScatterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScatterSweep, SquaresEveryItem) {
+  const std::size_t n = GetParam();
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::ScatterGather<int, int> sg(net, n);
+  std::vector<int> items(n);
+  std::iota(items.begin(), items.end(), 1);
+  std::vector<int> results;
+  net.spawn_process("coord", [&] { results = sg.scatter(items); });
+  for (std::size_t w = 0; w < n; ++w)
+    net.spawn_process("W" + std::to_string(w), [&] {
+      sg.work([](int x) { return x * x; });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(results.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(results[i], items[i] * items[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScatterSweep,
+                         ::testing::Values<std::size_t>(1, 2, 4, 9, 25));
+
+}  // namespace

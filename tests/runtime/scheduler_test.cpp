@@ -1,0 +1,222 @@
+#include "runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::runtime::ProcessId;
+using script::runtime::RunResult;
+using script::runtime::SchedulePolicy;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+TEST(Scheduler, RunsSingleFiberToCompletion) {
+  Scheduler sched;
+  bool ran = false;
+  sched.spawn("solo", [&] { ran = true; });
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(result.steps, 1u);
+}
+
+TEST(Scheduler, FifoIsRoundRobinAcrossYields) {
+  Scheduler sched;
+  std::vector<std::string> order;
+  for (const char* name : {"a", "b", "c"}) {
+    sched.spawn(name, [&, name] {
+      order.push_back(name);
+      sched.yield();
+      order.push_back(name);
+    });
+  }
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"a", "b", "c", "a", "b", "c"}));
+}
+
+TEST(Scheduler, RandomPolicyIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    SchedulerOptions opts;
+    opts.policy = SchedulePolicy::Random;
+    opts.seed = seed;
+    Scheduler sched(opts);
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i)
+      sched.spawn("p" + std::to_string(i), [&, i] {
+        order.push_back(i);
+        sched.yield();
+        order.push_back(i + 100);
+      });
+    EXPECT_TRUE(sched.run().ok());
+    return order;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(Scheduler, BlockAndUnblock) {
+  Scheduler sched;
+  bool woke = false;
+  ProcessId sleeper = 0;
+  sleeper = sched.spawn("sleeper", [&] {
+    sched.block("waiting for waker");
+    woke = true;
+  });
+  sched.spawn("waker", [&] { sched.unblock(sleeper); });
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(woke);
+}
+
+TEST(Scheduler, DeadlockDetectedAndReported) {
+  Scheduler sched;
+  sched.spawn("stuck", [&] { sched.block("waiting for godot"); });
+  const auto result = sched.run();
+  EXPECT_EQ(result.outcome, RunResult::Outcome::Deadlock);
+  ASSERT_EQ(result.blocked.size(), 1u);
+  EXPECT_EQ(result.blocked[0].second, "waiting for godot");
+}
+
+TEST(Scheduler, VirtualTimeAdvancesOnSleep) {
+  Scheduler sched;
+  std::uint64_t t_mid = 0, t_end = 0;
+  sched.spawn("timer", [&] {
+    sched.sleep_for(10);
+    t_mid = sched.now();
+    sched.sleep_for(5);
+    t_end = sched.now();
+  });
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(t_mid, 10u);
+  EXPECT_EQ(t_end, 15u);
+  EXPECT_EQ(result.final_time, 15u);
+}
+
+TEST(Scheduler, SleepersInterleaveByDueTime) {
+  Scheduler sched;
+  std::vector<std::string> order;
+  sched.spawn("late", [&] {
+    sched.sleep_for(20);
+    order.push_back("late");
+  });
+  sched.spawn("early", [&] {
+    sched.sleep_for(5);
+    order.push_back("early");
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"early", "late"}));
+}
+
+TEST(Scheduler, SleepZeroActsAsYield) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.spawn("a", [&] {
+    order.push_back(1);
+    sched.sleep_for(0);
+    order.push_back(3);
+  });
+  sched.spawn("b", [&] { order.push_back(2); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 0u);
+}
+
+TEST(Scheduler, JoinWaitsForCompletion) {
+  Scheduler sched;
+  std::vector<std::string> order;
+  const ProcessId worker = sched.spawn("worker", [&] {
+    sched.sleep_for(100);
+    order.push_back("worker done");
+  });
+  sched.spawn("boss", [&] {
+    sched.join(worker);
+    order.push_back("boss resumed");
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"worker done", "boss resumed"}));
+}
+
+TEST(Scheduler, JoinOnFinishedFiberReturnsImmediately) {
+  Scheduler sched;
+  const ProcessId quick = sched.spawn("quick", [] {});
+  bool resumed = false;
+  sched.spawn("boss", [&] {
+    sched.yield();  // let quick finish first
+    sched.join(quick);
+    resumed = true;
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Scheduler, DynamicSpawnFromFiber) {
+  Scheduler sched;
+  bool child_ran = false;
+  sched.spawn("parent", [&] {
+    const ProcessId child = sched.spawn("child", [&] { child_ran = true; });
+    sched.join(child);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(sched.spawned_count(), 2u);
+}
+
+TEST(Scheduler, ExceptionInFiberPropagatesFromRun) {
+  Scheduler sched;
+  sched.spawn("thrower", [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Scheduler, TraceEventsStampVirtualTime) {
+  Scheduler sched;
+  sched.spawn("A", [&] {
+    sched.trace_event(sched.current(), "starts");
+    sched.sleep_for(7);
+    sched.trace_event(sched.current(), "wakes");
+  });
+  ASSERT_TRUE(sched.run().ok());
+  const auto& events = sched.trace().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 0u);
+  EXPECT_EQ(events[1].time, 7u);
+  EXPECT_EQ(events[1].subject, "A");
+}
+
+TEST(Scheduler, LiveCountTracksCompletion) {
+  Scheduler sched;
+  sched.spawn("a", [] {});
+  sched.spawn("b", [] {});
+  EXPECT_EQ(sched.live_count(), 2u);
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sched.live_count(), 0u);
+}
+
+TEST(Scheduler, ManyFibersComplete) {
+  Scheduler sched;
+  int done = 0;
+  for (int i = 0; i < 500; ++i)
+    sched.spawn("w" + std::to_string(i), [&] {
+      sched.yield();
+      ++done;
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(done, 500);
+}
+
+TEST(Scheduler, RunAgainAfterNewSpawns) {
+  Scheduler sched;
+  int runs = 0;
+  sched.spawn("first", [&] { ++runs; });
+  ASSERT_TRUE(sched.run().ok());
+  sched.spawn("second", [&] { ++runs; });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(runs, 2);
+}
+
+}  // namespace

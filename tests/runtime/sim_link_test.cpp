@@ -1,0 +1,65 @@
+#include "runtime/sim_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using script::runtime::JitterLatency;
+using script::runtime::Topology;
+using script::runtime::UniformLatency;
+
+TEST(UniformLatency, ConstantCost) {
+  UniformLatency lat(7);
+  EXPECT_EQ(lat.latency(0, 1), 7u);
+  EXPECT_EQ(lat.latency(3, 2), 7u);
+}
+
+TEST(JitterLatency, StaysWithinBand) {
+  JitterLatency lat(10, 3, 42);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = lat.latency(0, 1);
+    EXPECT_GE(v, 7u);
+    EXPECT_LE(v, 13u);
+  }
+}
+
+TEST(JitterLatency, SeedDeterministic) {
+  JitterLatency a(10, 3, 5), b(10, 3, 5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.latency(0, 1), b.latency(0, 1));
+}
+
+TEST(Topology, RingDistances) {
+  auto t = Topology::ring(6, 10);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 3), 3u);  // halfway around
+  EXPECT_EQ(t.hops(0, 5), 1u);  // wraps
+  EXPECT_EQ(t.latency(0, 3), 30u);
+}
+
+TEST(Topology, StarDistances) {
+  auto t = Topology::star(5, 2);
+  EXPECT_EQ(t.hops(0, 4), 1u);  // hub to leaf
+  EXPECT_EQ(t.hops(1, 4), 2u);  // leaf via hub
+  EXPECT_EQ(t.latency(1, 2), 4u);
+}
+
+TEST(Topology, LineDistances) {
+  auto t = Topology::line(4, 1);
+  EXPECT_EQ(t.hops(0, 3), 3u);
+  EXPECT_EQ(t.hops(2, 2), 0u);
+}
+
+TEST(Topology, CompleteIsOneHop) {
+  auto t = Topology::complete(8, 5);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_EQ(t.hops(i, j), i == j ? 0u : 1u);
+}
+
+TEST(Topology, ProcessIdsWrapOntoNodes) {
+  auto t = Topology::line(3, 1);
+  // Process 4 maps onto node 1 (4 % 3).
+  EXPECT_EQ(t.latency(4, 0), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "runtime/wait_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using script::runtime::Scheduler;
+using script::runtime::WaitQueue;
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  std::vector<int> woken;
+  for (int i = 0; i < 3; ++i)
+    sched.spawn("waiter" + std::to_string(i), [&, i] {
+      q.park("parked");
+      woken.push_back(i);
+    });
+  sched.spawn("waker", [&] {
+    while (q.notify_one()) sched.yield();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(woken, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryone) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i)
+    sched.spawn("w" + std::to_string(i), [&] {
+      q.park("parked");
+      ++woken;
+    });
+  sched.spawn("waker", [&] { q.notify_all(); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(WaitQueue, NotifyOnEmptyReturnsFalse) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  bool result = true;
+  sched.spawn("solo", [&] { result = q.notify_one(); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_FALSE(result);
+}
+
+TEST(WaitQueue, SizeAndFront) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  sched.spawn("first", [&] { q.park("x"); });
+  sched.spawn("checker", [&] {
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(sched.name_of(q.front()), "first");
+    q.notify_all();
+  });
+  ASSERT_TRUE(sched.run().ok());
+}
+
+TEST(WaitQueue, UnnotifiedParkIsDeadlock) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  sched.spawn("stuck", [&] { q.park("never notified"); });
+  const auto result = sched.run();
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.blocked.size(), 1u);
+  EXPECT_EQ(result.blocked[0].second, "never notified");
+}
+
+}  // namespace

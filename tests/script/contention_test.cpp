@@ -1,0 +1,143 @@
+// Enrollment contention: the paper's §II rule — "If more than one
+// process tries to enroll in the same role of the same instance of a
+// script ... the choice of which process is actually enrolled is
+// non-deterministic."
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::any_member;
+using script::core::Initiation;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+// Run a two-way race for one role; return the winner's name.
+std::string race_once(std::uint64_t seed, bool nondet) {
+  SchedulerOptions opts;
+  opts.seed = seed;
+  Scheduler sched(opts);
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("prize").role("gate");
+  if (nondet) spec.nondeterministic_contention();
+  ScriptInstance inst(net, spec);
+  std::string winner;
+  inst.on_role("prize", [](RoleContext&) {});
+  inst.on_role("gate", [](RoleContext&) {});
+  // Both contenders queue BEFORE the gate enroller completes the cast,
+  // so formation sees a genuine two-way race for `prize`.
+  net.spawn_process("early", [&] {
+    inst.enroll(RoleId("prize"));
+    winner = winner.empty() ? "early" : winner;
+  });
+  net.spawn_process("late", [&] {
+    inst.enroll(RoleId("prize"));
+    winner = winner.empty() ? "late" : winner;
+  });
+  net.spawn_process("gatekeeper", [&] { inst.enroll(RoleId("gate")); });
+  // Loser stays queued forever: deadlock is expected and ignored.
+  (void)sched.run();
+  return winner;
+}
+
+TEST(Contention, DefaultIsArrivalOrder) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed)
+    EXPECT_EQ(race_once(seed, false), "early") << "seed " << seed;
+}
+
+TEST(Contention, NondeterministicModeVariesWithSeed) {
+  std::set<std::string> winners;
+  for (std::uint64_t seed = 0; seed < 12; ++seed)
+    winners.insert(race_once(seed, true));
+  EXPECT_EQ(winners.size(), 2u) << "choice never varied across 12 seeds";
+}
+
+TEST(Contention, NondeterministicModeIsSeedReplayable) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed)
+    EXPECT_EQ(race_once(seed, true), race_once(seed, true));
+}
+
+TEST(Contention, NondeterministicCastStillConsistent) {
+  // Shuffled formation must still respect partner naming.
+  SchedulerOptions opts;
+  opts.seed = 5;
+  Scheduler sched(opts);
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("p").role("q");
+  spec.nondeterministic_contention();
+  ScriptInstance inst(net, spec);
+  inst.on_role("p", [](RoleContext&) {});
+  inst.on_role("q", [](RoleContext&) {});
+  script::runtime::ProcessId b = 0;
+  bool b_won_q = false;
+  net.spawn_process("A", [&] {
+    script::core::PartnerSpec want;
+    want.with(RoleId("q"), b);  // A insists on B as q
+    inst.enroll(RoleId("p"), want);
+  });
+  b = net.spawn_process("B", [&] {
+    inst.enroll(RoleId("q"));
+    b_won_q = true;
+  });
+  net.spawn_process("C", [&] {
+    // C also wants q but A's naming excludes it; C must never win.
+    inst.enroll(RoleId("q"));
+  });
+  (void)sched.run();  // C legitimately left queued -> deadlock report
+  EXPECT_TRUE(b_won_q);
+}
+
+TEST(OpenFamily, StragglerRollsToNextPerformance) {
+  // An open-family member that arrives after the performance completed
+  // joins the NEXT performance with a fresh index 0.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("gather");
+  spec.role("collector").open_role_family("worker", 1);
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  inst.on_role("collector", [](RoleContext& ctx) {
+    auto v = ctx.recv_any<int>();
+    ASSERT_TRUE(v.has_value());
+  });
+  inst.on_role("worker", [](RoleContext& ctx) {
+    ASSERT_TRUE(ctx.send(RoleId("collector"), 1));
+  });
+  std::vector<std::uint64_t> perfs;
+  std::vector<int> indices;
+  net.spawn_process("C", [&] {
+    inst.enroll(RoleId("collector"));
+    inst.enroll(RoleId("collector"));
+  });
+  net.spawn_process("W0", [&] {
+    const auto r = inst.enroll(any_member("worker"));
+    perfs.push_back(r.performance);
+    indices.push_back(r.played.index);
+  });
+  net.spawn_process("W1", [&] {
+    sched.sleep_for(50);  // well after performance 1 completed
+    const auto r = inst.enroll(any_member("worker"));
+    perfs.push_back(r.performance);
+    indices.push_back(r.played.index);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(perfs, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(indices, (std::vector<int>{0, 0}));  // fresh index per perf
+  EXPECT_EQ(inst.performances_completed(), 2u);
+}
+
+}  // namespace

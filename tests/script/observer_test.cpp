@@ -1,0 +1,124 @@
+// Tests for the structured observer API (ScriptInstance::observe).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::core::Params;
+using script::core::role;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptEvent;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::csp::Net;
+using script::runtime::Scheduler;
+
+using Kind = ScriptEvent::Kind;
+
+TEST(Observer, SeesFullLifecycleInOrder) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("solo");
+  ScriptInstance inst(net, spec);
+  inst.on_role("solo", [](RoleContext&) {});
+  std::vector<Kind> kinds;
+  inst.observe([&](const ScriptEvent& e) { kinds.push_back(e.kind); });
+  net.spawn_process("P", [&] { inst.enroll(RoleId("solo")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(kinds,
+            (std::vector<Kind>{Kind::EnrollAttempt, Kind::PerformanceBegan,
+                               Kind::Enrolled, Kind::RoleBegan,
+                               Kind::RoleFinished, Kind::PerformanceEnded,
+                               Kind::Released}));
+}
+
+TEST(Observer, CountsEventsAcrossPerformances) {
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 2);
+  std::map<Kind, int> counts;
+  bc.instance().observe(
+      [&](const ScriptEvent& e) { ++counts[e.kind]; });
+  constexpr int kRounds = 3;
+  net.spawn_process("T", [&] {
+    for (int r = 0; r < kRounds; ++r) bc.send(r);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      for (int r = 0; r < kRounds; ++r) bc.receive(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(counts[Kind::PerformanceBegan], kRounds);
+  EXPECT_EQ(counts[Kind::PerformanceEnded], kRounds);
+  EXPECT_EQ(counts[Kind::Enrolled], kRounds * 3);
+  EXPECT_EQ(counts[Kind::RoleBegan], kRounds * 3);
+  EXPECT_EQ(counts[Kind::RoleFinished], kRounds * 3);
+  EXPECT_EQ(counts[Kind::Released], kRounds * 3);
+}
+
+TEST(Observer, EventsCarryRoleAndPerformance) {
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 1);
+  std::vector<ScriptEvent> enrolled;
+  bc.instance().observe([&](const ScriptEvent& e) {
+    if (e.kind == Kind::Enrolled) enrolled.push_back(e);
+  });
+  net.spawn_process("T", [&] { bc.send(1); });
+  net.spawn_process("R", [&] { bc.receive(0); });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(enrolled.size(), 2u);
+  for (const auto& e : enrolled) {
+    EXPECT_EQ(e.performance, 1u);
+    EXPECT_TRUE(e.role == RoleId("sender") || e.role == role("recipient", 0))
+        << e.role.str();
+  }
+}
+
+TEST(Observer, RuntimeVerificationExample) {
+  // An observer as a runtime monitor: performances must never overlap.
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 2);
+  int open = 0, max_open = 0;
+  bc.instance().observe([&](const ScriptEvent& e) {
+    if (e.kind == Kind::PerformanceBegan) max_open = std::max(++open, max_open);
+    if (e.kind == Kind::PerformanceEnded) --open;
+  });
+  net.spawn_process("T", [&] {
+    for (int r = 0; r < 4; ++r) bc.send(r);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      for (int r = 0; r < 4; ++r) bc.receive(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(max_open, 1);
+  EXPECT_EQ(open, 0);
+}
+
+TEST(Observer, MultipleObserversAllFire) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("solo");
+  ScriptInstance inst(net, spec);
+  inst.on_role("solo", [](RoleContext&) {});
+  int a = 0, b = 0;
+  inst.observe([&](const ScriptEvent&) { ++a; });
+  inst.observe([&](const ScriptEvent&) { ++b; });
+  net.spawn_process("P", [&] { inst.enroll(RoleId("solo")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Role-addressed communication extras: selective receive over role
+// sets and non-blocking polls.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::CriticalSet;
+using script::core::Initiation;
+using script::core::role;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::runtime::Scheduler;
+
+TEST(RoleComm, RecvFromRolesTakesWhicheverSendsFirst) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("hub").role("a").role("b");
+  ScriptInstance inst(net, spec);
+  std::vector<std::string> order;
+  inst.on_role("hub", [&](RoleContext& ctx) {
+    for (int i = 0; i < 2; ++i) {
+      auto m = ctx.recv_from_roles<int>({RoleId("a"), RoleId("b")});
+      ASSERT_TRUE(m.has_value());
+      order.push_back(m->first.name);
+    }
+  });
+  inst.on_role("a", [](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(20);
+    ASSERT_TRUE(ctx.send(RoleId("hub"), 1));
+  });
+  inst.on_role("b", [](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(10);
+    ASSERT_TRUE(ctx.send(RoleId("hub"), 2));
+  });
+  net.spawn_process("H", [&] { inst.enroll(RoleId("hub")); });
+  net.spawn_process("A", [&] { inst.enroll(RoleId("a")); });
+  net.spawn_process("B", [&] { inst.enroll(RoleId("b")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(RoleComm, RecvFromRolesFailsWhenAllListedRolesOut) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("hub").role("a").role("b");
+  spec.critical(CriticalSet{{"hub", 1}});
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  ScriptInstance inst(net, spec);
+  bool distinguished = false;
+  inst.on_role("hub", [&](RoleContext& ctx) {
+    auto m = ctx.recv_from_roles<int>({RoleId("a"), RoleId("b")});
+    distinguished = !m.has_value();
+  });
+  inst.on_role("a", [](RoleContext&) {});
+  inst.on_role("b", [](RoleContext&) {});
+  net.spawn_process("H", [&] { inst.enroll(RoleId("hub")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(distinguished);
+}
+
+TEST(RoleComm, RecvFromRolesWaitsForLateBinding) {
+  // Immediate initiation: partner roles bind after the hub starts
+  // waiting; the wait loop must pick them up.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("hub").role("late");
+  spec.initiation(Initiation::Immediate)
+      .termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  int got = 0;
+  inst.on_role("hub", [&](RoleContext& ctx) {
+    auto m = ctx.recv_from_roles<int>({RoleId("late")});
+    ASSERT_TRUE(m.has_value());
+    got = m->second;
+  });
+  inst.on_role("late", [](RoleContext& ctx) {
+    ASSERT_TRUE(ctx.send(RoleId("hub"), 9));
+  });
+  net.spawn_process("H", [&] { inst.enroll(RoleId("hub")); });
+  net.spawn_process("L", [&] {
+    sched.sleep_for(30);
+    inst.enroll(RoleId("late"));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 9);
+}
+
+TEST(RoleComm, TryRecvAnyPollsWithoutBlocking) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("s");
+  spec.role("hub").role("talker");
+  ScriptInstance inst(net, spec);
+  int polls_empty = 0, got = 0;
+  inst.on_role("hub", [&](RoleContext& ctx) {
+    if (!ctx.try_recv_any<int>().has_value()) ++polls_empty;
+    ctx.scheduler().sleep_for(20);  // talker's send parks meanwhile
+    auto m = ctx.try_recv_any<int>();
+    ASSERT_TRUE(m.has_value());
+    got = m->second;
+  });
+  inst.on_role("talker", [](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(5);
+    ASSERT_TRUE(ctx.send(RoleId("hub"), 4));
+  });
+  net.spawn_process("H", [&] { inst.enroll(RoleId("hub")); });
+  net.spawn_process("T", [&] { inst.enroll(RoleId("talker")); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(polls_empty, 1);
+  EXPECT_EQ(got, 4);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+#include "script/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using script::core::any_member;
+using script::core::CriticalSet;
+using script::core::Initiation;
+using script::core::kSingleton;
+using script::core::role;
+using script::core::RoleId;
+using script::core::ScriptSpec;
+using script::core::Termination;
+
+TEST(RoleId, StringForms) {
+  EXPECT_EQ(RoleId("sender").str(), "sender");
+  EXPECT_EQ(role("recipient", 3).str(), "recipient[3]");
+  EXPECT_EQ(any_member("recipient").str(), "recipient[*]");
+}
+
+TEST(RoleId, Ordering) {
+  EXPECT_LT(role("a", 1), role("a", 2));
+  EXPECT_LT(RoleId("a"), RoleId("b"));
+  EXPECT_EQ(role("r", 1), role("r", 1));
+}
+
+TEST(ScriptSpec, BuilderAndQueries) {
+  ScriptSpec s("broadcast");
+  s.role("sender").role_family("recipient", 5);
+  s.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  EXPECT_TRUE(s.has_role("sender"));
+  EXPECT_TRUE(s.has_role("recipient"));
+  EXPECT_FALSE(s.has_role("nobody"));
+  EXPECT_EQ(s.decl("recipient").count, 5u);
+  EXPECT_EQ(s.fixed_roles().size(), 6u);
+}
+
+TEST(ScriptSpec, ValidityOfRoleIds) {
+  ScriptSpec s("s");
+  s.role("solo").role_family("fam", 3).open_role_family("open", 1);
+  EXPECT_TRUE(s.valid(RoleId("solo")));
+  EXPECT_FALSE(s.valid(role("solo", 0)));  // singleton has no index
+  EXPECT_TRUE(s.valid(role("fam", 2)));
+  EXPECT_FALSE(s.valid(role("fam", 3)));  // out of range
+  EXPECT_TRUE(s.valid(any_member("fam")));
+  EXPECT_TRUE(s.valid(role("open", 999)));  // open-ended: any index
+  EXPECT_FALSE(s.valid(RoleId("ghost")));
+}
+
+TEST(ScriptSpec, DefaultCriticalSetIsEverything) {
+  ScriptSpec s("s");
+  s.role("a").role_family("b", 4).open_role_family("c", 2);
+  const auto sets = s.critical_sets();
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].at("a"), 1u);
+  EXPECT_EQ(sets[0].at("b"), 4u);
+  EXPECT_EQ(sets[0].at("c"), 2u);  // open family: its min count
+}
+
+TEST(ScriptSpec, ExplicitCriticalSetsAreAlternatives) {
+  // The database example: all managers plus a reader, OR all managers
+  // plus a writer.
+  ScriptSpec s("lock");
+  s.role_family("manager", 3).role("reader").role("writer");
+  s.critical(CriticalSet{{"manager", 3}, {"reader", 1}});
+  s.critical(CriticalSet{{"manager", 3}, {"writer", 1}});
+  EXPECT_EQ(s.critical_sets().size(), 2u);
+}
+
+TEST(ScriptSpec, OpenFamilyHasNoFixedRoles) {
+  ScriptSpec s("s");
+  s.role("a").open_role_family("workers", 2);
+  const auto fixed = s.fixed_roles();
+  ASSERT_EQ(fixed.size(), 1u);
+  EXPECT_EQ(fixed[0].name, "a");
+}
+
+TEST(ScriptSpec, PoliciesDefaultToDelayed) {
+  ScriptSpec s("s");
+  EXPECT_EQ(s.initiation(), Initiation::Delayed);
+  EXPECT_EQ(s.termination(), Termination::Delayed);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for ScriptStats (observer-based metrics) and the RunResult
+// describe() helper.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "script/stats.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::core::ScriptStats;
+using script::csp::Net;
+using script::runtime::describe;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(ScriptStatsTest, MeasuresWaitAndTimeInScript) {
+  Scheduler sched;
+  Net net(sched);
+  UniformLatency lat(10);
+  net.set_latency_model(&lat);
+  script::patterns::StarBroadcast<int> bc(net, 2);
+  ScriptStats stats(bc.instance());
+  net.spawn_process("T", [&] { bc.send(1); });
+  net.spawn_process("R0", [&] { bc.receive(0); });
+  net.spawn_process("R1", [&] {
+    sched.sleep_for(40);  // the cast waits for this straggler
+    bc.receive(1);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(stats.performances(), 1u);
+  EXPECT_EQ(stats.enrollments(), 3u);
+  // T and R0 waited 40 ticks for R1; R1 waited 0.
+  EXPECT_EQ(stats.enroll_wait().max(), 40.0);
+  EXPECT_EQ(stats.enroll_wait().min(), 0.0);
+  // Everyone is held until the last copy lands: 2 sends x 10 ticks.
+  EXPECT_EQ(stats.time_in_script().max(), 20.0);
+  EXPECT_EQ(stats.time_in_script().count(), 3u);
+}
+
+TEST(ScriptStatsTest, CountsAcrossPerformances) {
+  Scheduler sched;
+  Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 1);
+  ScriptStats stats(bc.instance());
+  constexpr int kRounds = 4;
+  net.spawn_process("T", [&] {
+    for (int r = 0; r < kRounds; ++r) bc.send(r);
+  });
+  net.spawn_process("R", [&] {
+    for (int r = 0; r < kRounds; ++r) bc.receive(0);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(stats.performances(), static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.enrollments(), static_cast<std::uint64_t>(2 * kRounds));
+  EXPECT_EQ(stats.role_duration().count(),
+            static_cast<std::size_t>(2 * kRounds));
+}
+
+TEST(DescribeRunResult, ReportsSuccess) {
+  Scheduler sched;
+  sched.spawn("p", [&] { sched.sleep_for(7); });
+  const auto result = sched.run();
+  const std::string text = describe(result, sched);
+  EXPECT_NE(text.find("all fibers completed"), std::string::npos);
+  EXPECT_NE(text.find("virtual time=7"), std::string::npos);
+}
+
+TEST(DescribeRunResult, ReportsDeadlockWithReasons) {
+  Scheduler sched;
+  sched.spawn("stuck", [&] { sched.block("waiting for nobody"); });
+  const auto result = sched.run();
+  const std::string text = describe(result, sched);
+  EXPECT_NE(text.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(text.find("stuck"), std::string::npos);
+  EXPECT_NE(text.find("waiting for nobody"), std::string::npos);
+}
+
+}  // namespace

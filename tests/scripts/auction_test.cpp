@@ -1,0 +1,119 @@
+#include "scripts/auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using script::csp::Net;
+using script::patterns::Auction;
+using script::patterns::AuctionResult;
+using script::runtime::Scheduler;
+
+TEST(AuctionScript, HighestBidWins) {
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 3);
+  AuctionResult result;
+  bool won[3] = {false, false, false};
+  // Bidders first: the auctioneer completes the critical set, so by
+  // then every bidder must be queued to make this performance (a later
+  // bidder would legally be deferred to the next auction).
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      won[i] = auction.bid(i, 10 + i * 5);  // bids 10, 15, 20
+    });
+  net.spawn_process("seller", [&] { result = auction.sell(10); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(result.sold);
+  EXPECT_EQ(result.winner, 2);
+  EXPECT_EQ(result.price, 20);
+  EXPECT_EQ(result.bidders, 3u);
+  EXPECT_FALSE(won[0]);
+  EXPECT_FALSE(won[1]);
+  EXPECT_TRUE(won[2]);
+}
+
+TEST(AuctionScript, ReserveNotMetMeansNoSale) {
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 2);
+  AuctionResult result;
+  net.spawn_process("seller", [&] { result = auction.sell(100); });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      EXPECT_FALSE(auction.bid(i, 50 + i));
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_FALSE(result.sold);
+  EXPECT_EQ(result.winner, -1);
+}
+
+TEST(AuctionScript, ProceedsShortHandedViaCriticalSet) {
+  // Room for 4 bidders; only 2 show up. The critical set admits the
+  // performance and the auctioneer's terminated() probes skip the
+  // empty seats.
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 4);
+  AuctionResult result;
+  net.spawn_process("seller", [&] { result = auction.sell(1); });
+  net.spawn_process("B0", [&] { EXPECT_FALSE(auction.bid(0, 5)); });
+  net.spawn_process("B1", [&] { EXPECT_TRUE(auction.bid(1, 9)); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(result.sold);
+  EXPECT_EQ(result.bidders, 2u);
+  EXPECT_EQ(result.winner, 1);
+}
+
+TEST(AuctionScript, TiesGoToLowestIndex) {
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 3);
+  AuctionResult result;
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("B" + std::to_string(i),
+                      [&, i] { auction.bid(i, 7); });
+  net.spawn_process("seller", [&] { result = auction.sell(1); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(result.winner, 0);
+}
+
+TEST(AuctionScript, SuccessiveAuctionsAreIndependent) {
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 2);
+  AuctionResult first, second;
+  net.spawn_process("seller", [&] {
+    first = auction.sell(1);
+    second = auction.sell(1);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      auction.bid(i, i == 0 ? 10 : 5);  // round 1: B0 wins
+      auction.bid(i, i == 0 ? 5 : 10);  // round 2: B1 wins
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(first.winner, 0);
+  EXPECT_EQ(second.winner, 1);
+}
+
+TEST(AuctionScript, BidAnyFillsSlots) {
+  Scheduler sched;
+  Net net(sched);
+  Auction auction(net, 3);
+  AuctionResult result;
+  int winners = 0;
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      if (auction.bid_any(100 + i)) ++winners;
+    });
+  net.spawn_process("seller", [&] { result = auction.sell(1); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(result.sold);
+  EXPECT_EQ(result.price, 102);
+  EXPECT_EQ(winners, 1);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include "scripts/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::csp::Net;
+using script::patterns::PipelineBroadcast;
+using script::patterns::StarBroadcast;
+using script::patterns::TreeBroadcast;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(StarBroadcastScript, DeliversToAllRecipients) {
+  Scheduler sched;
+  Net net(sched);
+  StarBroadcast<int> bc(net, 5);
+  std::vector<int> got(5, 0);
+  net.spawn_process("T", [&] { bc.send(42); });
+  for (int i = 0; i < 5; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&, i] { got[static_cast<std::size_t>(i)] = bc.receive(i); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(5, 42));
+}
+
+TEST(StarBroadcastScript, WorksWithStrings) {
+  // "A script is as generic as its host language allows."
+  Scheduler sched;
+  Net net(sched);
+  StarBroadcast<std::string> bc(net, 2);
+  std::string a, b;
+  net.spawn_process("T", [&] { bc.send(std::string("payload")); });
+  net.spawn_process("R0", [&] { a = bc.receive(0); });
+  net.spawn_process("R1", [&] { b = bc.receive(1); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(a, "payload");
+  EXPECT_EQ(b, "payload");
+}
+
+TEST(StarBroadcastScript, ReceiveAnyFillsFreeSlots) {
+  Scheduler sched;
+  Net net(sched);
+  StarBroadcast<int> bc(net, 3);
+  int sum = 0;
+  net.spawn_process("T", [&] { bc.send(7); });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&] { sum += bc.receive_any(); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sum, 21);
+}
+
+TEST(StarBroadcastScript, FullySynchronizedRelease) {
+  // Fig 3: "All wait until the last copy is sent" — with per-message
+  // latency, everyone leaves at the time of the LAST rendezvous.
+  Scheduler sched;
+  Net net(sched);
+  UniformLatency lat(10);
+  net.set_latency_model(&lat);
+  StarBroadcast<int> bc(net, 3);
+  std::vector<std::uint64_t> released;
+  net.spawn_process("T", [&] {
+    bc.send(1);
+    released.push_back(sched.now());
+  });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      bc.receive(i);
+      released.push_back(sched.now());
+    });
+  ASSERT_TRUE(sched.run().ok());
+  for (const auto t : released) EXPECT_EQ(t, 30u);  // 3 sends x 10 ticks
+}
+
+TEST(PipelineBroadcastScript, DeliversAlongTheChain) {
+  Scheduler sched;
+  Net net(sched);
+  PipelineBroadcast<int> bc(net, 4);
+  std::vector<int> got(4, 0);
+  net.spawn_process("T", [&] { bc.send(9); });
+  for (int i = 0; i < 4; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&, i] { got[static_cast<std::size_t>(i)] = bc.receive(i); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(4, 9));
+}
+
+TEST(PipelineBroadcastScript, SenderLeavesEarly) {
+  // Fig 4: "the sender gives the message to the first recipient and is
+  // then finished", even though later recipients dawdle.
+  Scheduler sched;
+  Net net(sched);
+  PipelineBroadcast<int> bc(net, 3);
+  std::uint64_t sender_out = 0;
+  net.spawn_process("T", [&] {
+    bc.send(1);
+    sender_out = sched.now();
+  });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(static_cast<std::uint64_t>(100 * (i + 1)));
+      bc.receive(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sender_out, 100u);  // freed once recipient[0] took the datum
+}
+
+TEST(TreeBroadcastScript, BinaryTreeDelivers) {
+  Scheduler sched;
+  Net net(sched);
+  TreeBroadcast<int> bc(net, 7, 2);
+  std::vector<int> got(7, 0);
+  net.spawn_process("T", [&] { bc.send(5); });
+  for (int i = 0; i < 7; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&, i] { got[static_cast<std::size_t>(i)] = bc.receive(i); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(7, 5));
+}
+
+TEST(TreeBroadcastScript, WaveLatencyIsLogarithmic) {
+  // With unit latency per message, a binary tree of 14 recipients
+  // completes in O(depth * fanout) rather than O(n): the root sends 2
+  // messages (t=2), each depth adds at most 2 more sends.
+  Scheduler sched_tree;
+  Net net_tree(sched_tree);
+  UniformLatency lat1(1);
+  net_tree.set_latency_model(&lat1);
+  TreeBroadcast<int> tree(net_tree, 14, 2);
+  net_tree.spawn_process("T", [&] { tree.send(1); });
+  for (int i = 0; i < 14; ++i)
+    net_tree.spawn_process("R" + std::to_string(i),
+                           [&, i] { tree.receive(i); });
+  ASSERT_TRUE(sched_tree.run().ok());
+  const auto tree_time = sched_tree.now();
+
+  Scheduler sched_star;
+  Net net_star(sched_star);
+  UniformLatency lat2(1);
+  net_star.set_latency_model(&lat2);
+  StarBroadcast<int> star(net_star, 14);
+  net_star.spawn_process("T", [&] { star.send(1); });
+  for (int i = 0; i < 14; ++i)
+    net_star.spawn_process("R" + std::to_string(i),
+                           [&, i] { star.receive(i); });
+  ASSERT_TRUE(sched_star.run().ok());
+  const auto star_time = sched_star.now();
+
+  EXPECT_EQ(star_time, 14u);     // sequential sends from the root
+  EXPECT_LT(tree_time, star_time);  // the wave wins
+}
+
+TEST(BroadcastScripts, SuccessivePerformances) {
+  Scheduler sched;
+  Net net(sched);
+  StarBroadcast<int> bc(net, 2);
+  std::vector<int> first(2), second(2);
+  net.spawn_process("T", [&] {
+    bc.send(1);
+    bc.send(2);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      first[static_cast<std::size_t>(i)] = bc.receive(i);
+      second[static_cast<std::size_t>(i)] = bc.receive(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(first, std::vector<int>(2, 1));
+  EXPECT_EQ(second, std::vector<int>(2, 2));
+}
+
+TEST(BroadcastScripts, PartnerNamedSenderSelection) {
+  Scheduler sched;
+  Net net(sched);
+  StarBroadcast<int> bc(net, 1);
+  script::runtime::ProcessId wanted = 0;
+  int got = 0;
+  net.spawn_process("decoy", [&] { bc.send(666); });
+  wanted = net.spawn_process("wanted", [&] {
+    sched.sleep_for(5);
+    bc.send(42);
+  });
+  net.spawn_process("R", [&] {
+    script::core::PartnerSpec spec;
+    spec.with(script::core::RoleId("sender"), wanted);
+    got = bc.receive(0, spec);
+  });
+  // The decoy's enrollment stays queued; run() reports it blocked.
+  const auto result = sched.run();
+  EXPECT_EQ(got, 42);
+  ASSERT_EQ(result.blocked.size(), 1u);
+  EXPECT_NE(result.blocked[0].second.find("sender"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Tests for the §IV host-language embeddings (CSP Figures 6-7, Ada
+// Figures 8-11) and the §V distributed enrollment protocol.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "script/distributed.hpp"
+#include "scripts/ada_embedding.hpp"
+#include "scripts/csp_embedding.hpp"
+
+namespace {
+
+using script::core::DistributedCast;
+using script::csp::Net;
+using script::embeddings::AdaBroadcastScript;
+using script::embeddings::csp_broadcast_receive;
+using script::embeddings::csp_broadcast_transmit;
+using script::embeddings::CspSupervisor;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+
+TEST(CspEmbedding, Figure6BroadcastDelivers) {
+  Scheduler sched;
+  Net net(sched);
+  std::vector<ProcessId> recipients(5);
+  ProcessId transmitter = 0;
+  std::vector<int> got(5, 0);
+  transmitter = net.spawn_process("transmitter", [&] {
+    EXPECT_EQ(csp_broadcast_transmit(net, 42, recipients), 5u);
+  });
+  for (int i = 0; i < 5; ++i)
+    recipients[static_cast<std::size_t>(i)] =
+        net.spawn_process("recipient" + std::to_string(i), [&, i] {
+          got[static_cast<std::size_t>(i)] =
+              csp_broadcast_receive(net, transmitter);
+        });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(5, 42));
+}
+
+TEST(CspEmbedding, Figure6OrderIsNondeterministicButSeedStable) {
+  auto run_once = [](std::uint64_t seed) {
+    script::runtime::SchedulerOptions opts;
+    opts.seed = seed;
+    opts.policy = script::runtime::SchedulePolicy::Random;
+    Scheduler sched(opts);
+    Net net(sched);
+    std::vector<ProcessId> recipients(4);
+    ProcessId transmitter = 0;
+    std::vector<int> order;
+    transmitter = net.spawn_process("transmitter", [&] {
+      csp_broadcast_transmit(net, 1, recipients);
+    });
+    for (int i = 0; i < 4; ++i)
+      recipients[static_cast<std::size_t>(i)] =
+          net.spawn_process("r" + std::to_string(i), [&, i] {
+            csp_broadcast_receive(net, transmitter);
+            order.push_back(i);
+          });
+    EXPECT_TRUE(sched.run().ok());
+    return order;
+  };
+  EXPECT_EQ(run_once(3), run_once(3));
+}
+
+TEST(CspSupervisorTest, Figure7CoordinatesOnePerformance) {
+  Scheduler sched;
+  Net net(sched);
+  CspSupervisor sup(net, 2, "s");
+  sup.spawn();
+  std::vector<std::string> events;
+  net.spawn_process("A", [&] {
+    sup.enroll_start(0);
+    events.push_back("A in");
+    sup.enroll_end(0);
+  });
+  net.spawn_process("B", [&] {
+    sup.enroll_start(1);
+    events.push_back("B in");
+    sup.enroll_end(1);
+    sup.shutdown();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(sup.performances(), 1u);
+}
+
+TEST(CspSupervisorTest, SecondEnrollerWaitsForPerformanceEnd) {
+  // Figure 1 via the translation: D's start_s(p) is only accepted after
+  // the whole first performance has ended.
+  Scheduler sched;
+  Net net(sched);
+  CspSupervisor sup(net, 2, "s");
+  sup.spawn();
+  std::uint64_t d_started = 0;
+  net.spawn_process("A", [&] {
+    sup.enroll_start(0);
+    sup.enroll_end(0);  // A finishes role 0 instantly
+  });
+  net.spawn_process("B", [&] {
+    sup.enroll_start(1);
+    sched.sleep_for(60);  // role 1 is slow
+    sup.enroll_end(1);
+  });
+  net.spawn_process("D", [&] {
+    sched.sleep_for(5);
+    sup.enroll_start(0);  // must wait for B despite role 0 being done
+    d_started = sched.now();
+    sup.enroll_end(0);
+  });
+  net.spawn_process("E", [&] {
+    sched.sleep_for(5);
+    sup.enroll_start(1);
+    sup.enroll_end(1);
+    sup.shutdown();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_GE(d_started, 60u);
+  EXPECT_EQ(sup.performances(), 2u);
+}
+
+TEST(AdaEmbedding, Figure8ReverseBroadcastDelivers) {
+  Scheduler sched;
+  AdaBroadcastScript script(sched, 5);
+  script.start();
+  std::vector<int> got(5, 0);
+  int done = 0;
+  sched.spawn("T", [&] { script.enroll_sender(77); });
+  for (int i = 0; i < 5; ++i)
+    sched.spawn("R" + std::to_string(i), [&, i] {
+      got[static_cast<std::size_t>(i)] =
+          script.enroll_recipient(static_cast<std::size_t>(i));
+      if (++done == 5) script.shutdown();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(5, 77));
+}
+
+TEST(AdaEmbedding, TaskGrowthMatchesPaper) {
+  // "the number of processes grows from n to n+m+1": for 3 recipients,
+  // m = 4 roles, so 5 helper tasks beyond the enrollers.
+  Scheduler sched;
+  AdaBroadcastScript script(sched, 3);
+  EXPECT_EQ(script.helper_task_count(), 5u);
+  script.start();
+  EXPECT_EQ(sched.spawned_count(), 5u);  // before any enroller spawns
+  // Drain: enroll once and shut down.
+  std::vector<int> got(3);
+  int done = 0;
+  sched.spawn("T", [&] { script.enroll_sender(1); });
+  for (int i = 0; i < 3; ++i)
+    sched.spawn("R" + std::to_string(i), [&, i] {
+      got[static_cast<std::size_t>(i)] =
+          script.enroll_recipient(static_cast<std::size_t>(i));
+      if (++done == 3) script.shutdown();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sched.spawned_count(), 9u);  // 5 helpers + 4 enrollers
+}
+
+TEST(AdaEmbedding, SuccessivePerformances) {
+  Scheduler sched;
+  AdaBroadcastScript script(sched, 2);
+  script.start();
+  std::vector<int> first(2), second(2);
+  int rounds_done = 0;
+  sched.spawn("T", [&] {
+    script.enroll_sender(1);
+    script.enroll_sender(2);
+  });
+  for (int i = 0; i < 2; ++i)
+    sched.spawn("R" + std::to_string(i), [&, i] {
+      first[static_cast<std::size_t>(i)] =
+          script.enroll_recipient(static_cast<std::size_t>(i));
+      second[static_cast<std::size_t>(i)] =
+          script.enroll_recipient(static_cast<std::size_t>(i));
+      if (++rounds_done == 2) script.shutdown();
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(first, std::vector<int>(2, 1));
+  EXPECT_EQ(second, std::vector<int>(2, 2));
+}
+
+TEST(DistributedCastTest, AllMembersSynchronize) {
+  Scheduler sched;
+  Net net(sched);
+  std::vector<ProcessId> members(4);
+  std::unique_ptr<DistributedCast> cast;
+  std::vector<std::uint64_t> entered;
+  for (std::size_t i = 0; i < 4; ++i)
+    members[i] = net.spawn_process("m" + std::to_string(i), [&, i] {
+      sched.sleep_for(10 * i);
+      cast->enroll(i);
+      entered.push_back(sched.now());
+      cast->complete(i);
+    });
+  cast = std::make_unique<DistributedCast>(net, members, "dc");
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(entered.size(), 4u);
+  for (const auto t : entered) EXPECT_EQ(t, 30u);  // last arrival gates
+}
+
+TEST(DistributedCastTest, SuccessiveGenerationsStayOrdered) {
+  Scheduler sched;
+  Net net(sched);
+  std::vector<ProcessId> members(3);
+  std::unique_ptr<DistributedCast> cast;
+  std::vector<std::uint64_t> gens;
+  for (std::size_t i = 0; i < 3; ++i)
+    members[i] = net.spawn_process("m" + std::to_string(i), [&, i] {
+      for (int round = 0; round < 3; ++round) {
+        gens.push_back(cast->enroll(i));
+        cast->complete(i);
+      }
+    });
+  cast = std::make_unique<DistributedCast>(net, members, "dc");
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(gens.size(), 9u);
+  EXPECT_EQ(std::count(gens.begin(), gens.end(), 1u), 3);
+  EXPECT_EQ(std::count(gens.begin(), gens.end(), 2u), 3);
+  EXPECT_EQ(std::count(gens.begin(), gens.end(), 3u), 3);
+}
+
+TEST(DistributedCastTest, MessageCountIsQuadratic) {
+  Scheduler sched;
+  Net net(sched);
+  std::vector<ProcessId> members(4);
+  std::unique_ptr<DistributedCast> cast;
+  for (std::size_t i = 0; i < 4; ++i)
+    members[i] = net.spawn_process("m" + std::to_string(i), [&, i] {
+      cast->enroll(i);
+      cast->complete(i);
+    });
+  cast = std::make_unique<DistributedCast>(net, members, "dc");
+  ASSERT_TRUE(sched.run().ok());
+  // 2 rounds x n(n-1) messages.
+  EXPECT_EQ(cast->messages(), 2u * 4u * 3u);
+}
+
+}  // namespace

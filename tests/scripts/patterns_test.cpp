@@ -1,0 +1,231 @@
+// Tests for the barrier, scatter-gather, token-ring, two-phase-commit,
+// and mailbox-broadcast pattern scripts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "scripts/barrier.hpp"
+#include "scripts/mailbox_broadcast.hpp"
+#include "scripts/scatter_gather.hpp"
+#include "scripts/token_ring.hpp"
+#include "scripts/two_phase_commit.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::patterns::Barrier;
+using script::patterns::MailboxBroadcast;
+using script::patterns::ScatterGather;
+using script::patterns::TokenRing;
+using script::patterns::TwoPhaseCommit;
+using script::runtime::Scheduler;
+
+TEST(BarrierScript, NobodyPassesUntilAllArrive) {
+  Scheduler sched;
+  Net net(sched);
+  Barrier barrier(net, 4);
+  std::vector<std::uint64_t> passed;
+  for (int i = 0; i < 4; ++i)
+    net.spawn_process("P" + std::to_string(i), [&, i] {
+      sched.sleep_for(static_cast<std::uint64_t>(10 * i));
+      barrier.arrive_and_wait();
+      passed.push_back(sched.now());
+    });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_EQ(passed.size(), 4u);
+  for (const auto t : passed) EXPECT_EQ(t, 30u);  // the last arrival gates
+}
+
+TEST(BarrierScript, GenerationsCount) {
+  Scheduler sched;
+  Net net(sched);
+  Barrier barrier(net, 2);
+  std::vector<std::uint64_t> gens;
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("P" + std::to_string(i), [&] {
+      gens.push_back(barrier.arrive_and_wait());
+      gens.push_back(barrier.arrive_and_wait());
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(std::count(gens.begin(), gens.end(), 1u), 2);
+  EXPECT_EQ(std::count(gens.begin(), gens.end(), 2u), 2);
+}
+
+TEST(ScatterGatherScript, MapsItemsAcrossWorkers) {
+  Scheduler sched;
+  Net net(sched);
+  ScatterGather<int, int> sg(net, 4);
+  std::vector<int> results;
+  net.spawn_process("coord", [&] { results = sg.scatter({1, 2, 3, 4}); });
+  for (int i = 0; i < 4; ++i)
+    net.spawn_process("W" + std::to_string(i),
+                      [&] { sg.work([](int x) { return x * x; }); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(results, (std::vector<int>{1, 4, 9, 16}));
+}
+
+TEST(ScatterGatherScript, HeterogeneousTypes) {
+  Scheduler sched;
+  Net net(sched);
+  ScatterGather<std::string, std::size_t> sg(net, 2);
+  std::vector<std::size_t> lens;
+  net.spawn_process("coord", [&] { lens = sg.scatter({"ab", "xyz"}); });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("W" + std::to_string(i), [&] {
+      sg.work([](std::string s) { return s.size(); });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(lens, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(TokenRingScript, CountsApplications) {
+  Scheduler sched;
+  Net net(sched);
+  constexpr std::size_t kN = 5, kLaps = 3;
+  TokenRing<int> ring(net, kN, kLaps);
+  int final_token = -1;
+  net.spawn_process("lead", [&] {
+    final_token = ring.lead(0, [](int t) { return t + 1; });
+  });
+  for (int i = 1; i < static_cast<int>(kN); ++i)
+    net.spawn_process("M" + std::to_string(i), [&, i] {
+      ring.join(i, [](int t) { return t + 1; });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  // initial + 1 (seed) + laps*(n-1) + (laps-1) applications of +1.
+  EXPECT_EQ(final_token,
+            static_cast<int>(1 + kLaps * (kN - 1) + (kLaps - 1)));
+}
+
+TEST(TokenRingScript, OrderOfVisitsIsRingOrder) {
+  Scheduler sched;
+  Net net(sched);
+  TokenRing<std::vector<int>> ring(net, 3, 1);
+  std::vector<int> trail;
+  net.spawn_process("lead", [&] {
+    trail = ring.lead({}, [](std::vector<int> v) {
+      v.push_back(0);
+      return v;
+    });
+  });
+  for (int i = 1; i < 3; ++i)
+    net.spawn_process("M" + std::to_string(i), [&, i] {
+      ring.join(i, [i](std::vector<int> v) {
+        v.push_back(i);
+        return v;
+      });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(trail, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TwoPhaseCommitScript, UnanimousYesCommits) {
+  Scheduler sched;
+  Net net(sched);
+  TwoPhaseCommit tpc(net, 3);
+  bool coord_decision = false;
+  std::vector<bool> part_decisions(3, false);
+  net.spawn_process("C", [&] { coord_decision = tpc.coordinate(); });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("P" + std::to_string(i), [&, i] {
+      part_decisions[static_cast<std::size_t>(i)] =
+          tpc.participate(i, [] { return true; });
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(coord_decision);
+  for (const bool d : part_decisions) EXPECT_TRUE(d);
+}
+
+TEST(TwoPhaseCommitScript, SingleNoAborts) {
+  Scheduler sched;
+  Net net(sched);
+  TwoPhaseCommit tpc(net, 3);
+  bool coord_decision = true;
+  std::vector<bool> part_decisions(3, true);
+  net.spawn_process("C", [&] { coord_decision = tpc.coordinate(); });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("P" + std::to_string(i), [&, i] {
+      part_decisions[static_cast<std::size_t>(i)] =
+          tpc.participate(i, [i] { return i != 1; });  // P1 votes no
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_FALSE(coord_decision);
+  for (const bool d : part_decisions) EXPECT_FALSE(d);
+}
+
+TEST(TwoPhaseCommitScript, RepeatedRounds) {
+  Scheduler sched;
+  Net net(sched);
+  TwoPhaseCommit tpc(net, 2);
+  std::vector<bool> outcomes;
+  net.spawn_process("C", [&] {
+    outcomes.push_back(tpc.coordinate());
+    outcomes.push_back(tpc.coordinate());
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("P" + std::to_string(i), [&, i] {
+      tpc.participate(i, [] { return true; });
+      tpc.participate(i, [i] { return i == 0; });  // second round aborts
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, false}));
+}
+
+TEST(MailboxBroadcastScript, Figure12Delivers) {
+  Scheduler sched;
+  Net net(sched);
+  MailboxBroadcast<int> bc(net, 5);
+  std::vector<int> got(5, 0);
+  net.spawn_process("T", [&] { bc.send(77); });
+  for (int i = 0; i < 5; ++i)
+    net.spawn_process("R" + std::to_string(i),
+                      [&, i] { got[static_cast<std::size_t>(i)] = bc.receive(i); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, std::vector<int>(5, 77));
+}
+
+TEST(MailboxBroadcastScript, MailboxDecouplesSenderFromLateRecipients) {
+  // Unlike the CSP star, the mailbox sender deposits and leaves even if
+  // recipients are late (immediate initiation/termination + buffering).
+  Scheduler sched;
+  Net net(sched);
+  MailboxBroadcast<int> bc(net, 2);
+  std::uint64_t sender_out = 0;
+  net.spawn_process("T", [&] {
+    bc.send(1);
+    sender_out = sched.now();
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(500);
+      bc.receive(i);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(sender_out, 0u);  // deposited into both boxes immediately
+}
+
+TEST(MailboxBroadcastScript, SuccessivePerformances) {
+  Scheduler sched;
+  Net net(sched);
+  MailboxBroadcast<int> bc(net, 2);
+  std::vector<int> r0, r1;
+  net.spawn_process("T", [&] {
+    bc.send(1);
+    bc.send(2);
+  });
+  net.spawn_process("R0", [&] {
+    r0.push_back(bc.receive(0));
+    r0.push_back(bc.receive(0));
+  });
+  net.spawn_process("R1", [&] {
+    r1.push_back(bc.receive(1));
+    r1.push_back(bc.receive(1));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(r0, (std::vector<int>{1, 2}));
+  EXPECT_EQ(r1, (std::vector<int>{1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "support/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using script::support::Expected;
+using script::support::make_unexpected;
+
+enum class Err { Unfilled, Closed };
+
+TEST(Expected, HoldsValue) {
+  Expected<int, Err> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, Err> e = make_unexpected(Err::Unfilled);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), Err::Unfilled);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, SameTypeValueAndError) {
+  Expected<int, int> ok(1);
+  Expected<int, int> bad = make_unexpected(2);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error(), 2);
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>, Err> e(std::make_unique<int>(9));
+  ASSERT_TRUE(e.has_value());
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(Expected, VoidSuccess) {
+  Expected<void, Err> e;
+  EXPECT_TRUE(e.has_value());
+}
+
+TEST(Expected, VoidError) {
+  Expected<void, Err> e = make_unexpected(Err::Closed);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), Err::Closed);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string, Err> e(std::string("role"));
+  EXPECT_EQ(e->size(), 4u);
+}
+
+}  // namespace

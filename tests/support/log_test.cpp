@@ -1,0 +1,33 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using script::support::TraceLog;
+
+TEST(TraceLog, RecordsAndFinds) {
+  TraceLog log;
+  log.record(1, "A", "enrolls as p");
+  log.record(2, "B", "enrolls as q");
+  EXPECT_EQ(log.find("A", "enrolls as p"), 0);
+  EXPECT_EQ(log.find("B", "enrolls as q"), 1);
+  EXPECT_EQ(log.find("C", "enrolls as r"), -1);
+}
+
+TEST(TraceLog, OrderedReflectsSequence) {
+  TraceLog log;
+  log.record(1, "A", "starts");
+  log.record(5, "B", "starts");
+  EXPECT_TRUE(log.ordered("A", "starts", "B", "starts"));
+  EXPECT_FALSE(log.ordered("B", "starts", "A", "starts"));
+}
+
+TEST(TraceLog, ClearEmpties) {
+  TraceLog log;
+  log.record(1, "A", "x");
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+}  // namespace

@@ -1,0 +1,15 @@
+// The umbrella header must compile standalone and expose the library.
+#include "script.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, ExposesEverything) {
+  script::runtime::Scheduler sched;
+  script::csp::Net net(sched);
+  script::patterns::StarBroadcast<int> bc(net, 1);
+  int got = 0;
+  net.spawn_process("T", [&] { bc.send(1); });
+  net.spawn_process("R", [&] { got = bc.receive(0); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(got, 1);
+}
