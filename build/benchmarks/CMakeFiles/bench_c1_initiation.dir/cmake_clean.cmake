@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c1_initiation"
+  "../bench/bench_c1_initiation.pdb"
+  "CMakeFiles/bench_c1_initiation.dir/bench_c1_initiation.cpp.o"
+  "CMakeFiles/bench_c1_initiation.dir/bench_c1_initiation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_initiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

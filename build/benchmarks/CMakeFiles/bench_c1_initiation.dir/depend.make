@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_c1_initiation.
+# This may be replaced when dependencies are built.

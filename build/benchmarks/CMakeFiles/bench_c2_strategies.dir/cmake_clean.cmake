@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c2_strategies"
+  "../bench/bench_c2_strategies.pdb"
+  "CMakeFiles/bench_c2_strategies.dir/bench_c2_strategies.cpp.o"
+  "CMakeFiles/bench_c2_strategies.dir/bench_c2_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

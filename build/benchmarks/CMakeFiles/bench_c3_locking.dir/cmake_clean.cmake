@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c3_locking"
+  "../bench/bench_c3_locking.pdb"
+  "CMakeFiles/bench_c3_locking.dir/bench_c3_locking.cpp.o"
+  "CMakeFiles/bench_c3_locking.dir/bench_c3_locking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c4_distributed"
+  "../bench/bench_c4_distributed.pdb"
+  "CMakeFiles/bench_c4_distributed.dir/bench_c4_distributed.cpp.o"
+  "CMakeFiles/bench_c4_distributed.dir/bench_c4_distributed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c5_ablation"
+  "../bench/bench_c5_ablation.pdb"
+  "CMakeFiles/bench_c5_ablation.dir/bench_c5_ablation.cpp.o"
+  "CMakeFiles/bench_c5_ablation.dir/bench_c5_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

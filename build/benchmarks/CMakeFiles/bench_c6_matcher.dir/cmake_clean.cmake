@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c6_matcher"
+  "../bench/bench_c6_matcher.pdb"
+  "CMakeFiles/bench_c6_matcher.dir/bench_c6_matcher.cpp.o"
+  "CMakeFiles/bench_c6_matcher.dir/bench_c6_matcher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c7_scale"
+  "../bench/bench_c7_scale.pdb"
+  "CMakeFiles/bench_c7_scale.dir/bench_c7_scale.cpp.o"
+  "CMakeFiles/bench_c7_scale.dir/bench_c7_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_monitors"
+  "../bench/bench_fig12_monitors.pdb"
+  "CMakeFiles/bench_fig12_monitors.dir/bench_fig12_monitors.cpp.o"
+  "CMakeFiles/bench_fig12_monitors.dir/bench_fig12_monitors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

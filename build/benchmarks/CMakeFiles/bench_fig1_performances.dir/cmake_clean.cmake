@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_performances"
+  "../bench/bench_fig1_performances.pdb"
+  "CMakeFiles/bench_fig1_performances.dir/bench_fig1_performances.cpp.o"
+  "CMakeFiles/bench_fig1_performances.dir/bench_fig1_performances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_performances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_reenrollment"
+  "../bench/bench_fig2_reenrollment.pdb"
+  "CMakeFiles/bench_fig2_reenrollment.dir/bench_fig2_reenrollment.cpp.o"
+  "CMakeFiles/bench_fig2_reenrollment.dir/bench_fig2_reenrollment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reenrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_star"
+  "../bench/bench_fig3_star.pdb"
+  "CMakeFiles/bench_fig3_star.dir/bench_fig3_star.cpp.o"
+  "CMakeFiles/bench_fig3_star.dir/bench_fig3_star.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_pipeline"
+  "../bench/bench_fig4_pipeline.pdb"
+  "CMakeFiles/bench_fig4_pipeline.dir/bench_fig4_pipeline.cpp.o"
+  "CMakeFiles/bench_fig4_pipeline.dir/bench_fig4_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_lockdb"
+  "../bench/bench_fig5_lockdb.pdb"
+  "CMakeFiles/bench_fig5_lockdb.dir/bench_fig5_lockdb.cpp.o"
+  "CMakeFiles/bench_fig5_lockdb.dir/bench_fig5_lockdb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lockdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

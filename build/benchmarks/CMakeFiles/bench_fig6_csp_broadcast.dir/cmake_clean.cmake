@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_csp_broadcast"
+  "../bench/bench_fig6_csp_broadcast.pdb"
+  "CMakeFiles/bench_fig6_csp_broadcast.dir/bench_fig6_csp_broadcast.cpp.o"
+  "CMakeFiles/bench_fig6_csp_broadcast.dir/bench_fig6_csp_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_csp_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

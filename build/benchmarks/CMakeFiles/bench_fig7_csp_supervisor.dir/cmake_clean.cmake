@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_csp_supervisor"
+  "../bench/bench_fig7_csp_supervisor.pdb"
+  "CMakeFiles/bench_fig7_csp_supervisor.dir/bench_fig7_csp_supervisor.cpp.o"
+  "CMakeFiles/bench_fig7_csp_supervisor.dir/bench_fig7_csp_supervisor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_csp_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

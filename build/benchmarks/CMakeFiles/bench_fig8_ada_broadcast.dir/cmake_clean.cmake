@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ada_broadcast"
+  "../bench/bench_fig8_ada_broadcast.pdb"
+  "CMakeFiles/bench_fig8_ada_broadcast.dir/bench_fig8_ada_broadcast.cpp.o"
+  "CMakeFiles/bench_fig8_ada_broadcast.dir/bench_fig8_ada_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ada_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_ada_translation"
+  "../bench/bench_fig9_ada_translation.pdb"
+  "CMakeFiles/bench_fig9_ada_translation.dir/bench_fig9_ada_translation.cpp.o"
+  "CMakeFiles/bench_fig9_ada_translation.dir/bench_fig9_ada_translation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ada_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

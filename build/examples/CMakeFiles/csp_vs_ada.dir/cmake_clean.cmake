@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_vs_ada.dir/csp_vs_ada.cpp.o"
+  "CMakeFiles/csp_vs_ada.dir/csp_vs_ada.cpp.o.d"
+  "csp_vs_ada"
+  "csp_vs_ada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_vs_ada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for csp_vs_ada.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dining_philosophers.dir/dining_philosophers.cpp.o"
+  "CMakeFiles/dining_philosophers.dir/dining_philosophers.cpp.o.d"
+  "dining_philosophers"
+  "dining_philosophers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dining_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dining_philosophers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/replicated_db.cpp" "examples/CMakeFiles/replicated_db.dir/replicated_db.cpp.o" "gcc" "examples/CMakeFiles/replicated_db.dir/replicated_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_ada.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_lockdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_db.dir/replicated_db.cpp.o"
+  "CMakeFiles/replicated_db.dir/replicated_db.cpp.o.d"
+  "replicated_db"
+  "replicated_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

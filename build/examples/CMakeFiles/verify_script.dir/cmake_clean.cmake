@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_script.dir/verify_script.cpp.o"
+  "CMakeFiles/verify_script.dir/verify_script.cpp.o.d"
+  "verify_script"
+  "verify_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "libscript::script_support" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_support )
+list(APPEND _cmake_import_check_files_for_libscript::script_support "${_IMPORT_PREFIX}/lib/libscript_support.a" )
+
+# Import target "libscript::script_runtime" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_runtime APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_runtime PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_runtime.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_runtime )
+list(APPEND _cmake_import_check_files_for_libscript::script_runtime "${_IMPORT_PREFIX}/lib/libscript_runtime.a" )
+
+# Import target "libscript::script_csp" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_csp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_csp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_csp.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_csp )
+list(APPEND _cmake_import_check_files_for_libscript::script_csp "${_IMPORT_PREFIX}/lib/libscript_csp.a" )
+
+# Import target "libscript::script_monitor" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_monitor APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_monitor PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_monitor.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_monitor )
+list(APPEND _cmake_import_check_files_for_libscript::script_monitor "${_IMPORT_PREFIX}/lib/libscript_monitor.a" )
+
+# Import target "libscript::script_ada" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_ada APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_ada PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_ada.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_ada )
+list(APPEND _cmake_import_check_files_for_libscript::script_ada "${_IMPORT_PREFIX}/lib/libscript_ada.a" )
+
+# Import target "libscript::script_core" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_core )
+list(APPEND _cmake_import_check_files_for_libscript::script_core "${_IMPORT_PREFIX}/lib/libscript_core.a" )
+
+# Import target "libscript::script_lockdb" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_lockdb APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_lockdb PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_lockdb.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_lockdb )
+list(APPEND _cmake_import_check_files_for_libscript::script_lockdb "${_IMPORT_PREFIX}/lib/libscript_lockdb.a" )
+
+# Import target "libscript::script_patterns" for configuration "RelWithDebInfo"
+set_property(TARGET libscript::script_patterns APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(libscript::script_patterns PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libscript_patterns.a"
+  )
+
+list(APPEND _cmake_import_check_targets libscript::script_patterns )
+list(APPEND _cmake_import_check_files_for_libscript::script_patterns "${_IMPORT_PREFIX}/lib/libscript_patterns.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

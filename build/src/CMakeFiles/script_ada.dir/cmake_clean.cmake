@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_ada.dir/ada/entry.cpp.o"
+  "CMakeFiles/script_ada.dir/ada/entry.cpp.o.d"
+  "CMakeFiles/script_ada.dir/ada/select.cpp.o"
+  "CMakeFiles/script_ada.dir/ada/select.cpp.o.d"
+  "CMakeFiles/script_ada.dir/ada/task.cpp.o"
+  "CMakeFiles/script_ada.dir/ada/task.cpp.o.d"
+  "libscript_ada.a"
+  "libscript_ada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_ada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

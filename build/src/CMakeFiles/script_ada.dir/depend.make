@@ -1,0 +1,2 @@
+# Empty dependencies file for script_ada.
+# This may be replaced when dependencies are built.

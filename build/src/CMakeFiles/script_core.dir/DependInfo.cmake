@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/distributed.cpp" "src/CMakeFiles/script_core.dir/script/distributed.cpp.o" "gcc" "src/CMakeFiles/script_core.dir/script/distributed.cpp.o.d"
+  "/root/repo/src/script/instance.cpp" "src/CMakeFiles/script_core.dir/script/instance.cpp.o" "gcc" "src/CMakeFiles/script_core.dir/script/instance.cpp.o.d"
+  "/root/repo/src/script/matching.cpp" "src/CMakeFiles/script_core.dir/script/matching.cpp.o" "gcc" "src/CMakeFiles/script_core.dir/script/matching.cpp.o.d"
+  "/root/repo/src/script/spec.cpp" "src/CMakeFiles/script_core.dir/script/spec.cpp.o" "gcc" "src/CMakeFiles/script_core.dir/script/spec.cpp.o.d"
+  "/root/repo/src/script/stats.cpp" "src/CMakeFiles/script_core.dir/script/stats.cpp.o" "gcc" "src/CMakeFiles/script_core.dir/script/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_core.dir/script/distributed.cpp.o"
+  "CMakeFiles/script_core.dir/script/distributed.cpp.o.d"
+  "CMakeFiles/script_core.dir/script/instance.cpp.o"
+  "CMakeFiles/script_core.dir/script/instance.cpp.o.d"
+  "CMakeFiles/script_core.dir/script/matching.cpp.o"
+  "CMakeFiles/script_core.dir/script/matching.cpp.o.d"
+  "CMakeFiles/script_core.dir/script/spec.cpp.o"
+  "CMakeFiles/script_core.dir/script/spec.cpp.o.d"
+  "CMakeFiles/script_core.dir/script/stats.cpp.o"
+  "CMakeFiles/script_core.dir/script/stats.cpp.o.d"
+  "libscript_core.a"
+  "libscript_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csp/alternative.cpp" "src/CMakeFiles/script_csp.dir/csp/alternative.cpp.o" "gcc" "src/CMakeFiles/script_csp.dir/csp/alternative.cpp.o.d"
+  "/root/repo/src/csp/net.cpp" "src/CMakeFiles/script_csp.dir/csp/net.cpp.o" "gcc" "src/CMakeFiles/script_csp.dir/csp/net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

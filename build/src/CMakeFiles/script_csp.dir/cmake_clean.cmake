@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_csp.dir/csp/alternative.cpp.o"
+  "CMakeFiles/script_csp.dir/csp/alternative.cpp.o.d"
+  "CMakeFiles/script_csp.dir/csp/net.cpp.o"
+  "CMakeFiles/script_csp.dir/csp/net.cpp.o.d"
+  "libscript_csp.a"
+  "libscript_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

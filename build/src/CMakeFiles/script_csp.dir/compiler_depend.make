@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for script_csp.
+# This may be replaced when dependencies are built.

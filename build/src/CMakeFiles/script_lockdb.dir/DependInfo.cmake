@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lockdb/granularity.cpp" "src/CMakeFiles/script_lockdb.dir/lockdb/granularity.cpp.o" "gcc" "src/CMakeFiles/script_lockdb.dir/lockdb/granularity.cpp.o.d"
+  "/root/repo/src/lockdb/lock_table.cpp" "src/CMakeFiles/script_lockdb.dir/lockdb/lock_table.cpp.o" "gcc" "src/CMakeFiles/script_lockdb.dir/lockdb/lock_table.cpp.o.d"
+  "/root/repo/src/lockdb/replica.cpp" "src/CMakeFiles/script_lockdb.dir/lockdb/replica.cpp.o" "gcc" "src/CMakeFiles/script_lockdb.dir/lockdb/replica.cpp.o.d"
+  "/root/repo/src/lockdb/strategies.cpp" "src/CMakeFiles/script_lockdb.dir/lockdb/strategies.cpp.o" "gcc" "src/CMakeFiles/script_lockdb.dir/lockdb/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

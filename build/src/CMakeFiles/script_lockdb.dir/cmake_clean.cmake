@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_lockdb.dir/lockdb/granularity.cpp.o"
+  "CMakeFiles/script_lockdb.dir/lockdb/granularity.cpp.o.d"
+  "CMakeFiles/script_lockdb.dir/lockdb/lock_table.cpp.o"
+  "CMakeFiles/script_lockdb.dir/lockdb/lock_table.cpp.o.d"
+  "CMakeFiles/script_lockdb.dir/lockdb/replica.cpp.o"
+  "CMakeFiles/script_lockdb.dir/lockdb/replica.cpp.o.d"
+  "CMakeFiles/script_lockdb.dir/lockdb/strategies.cpp.o"
+  "CMakeFiles/script_lockdb.dir/lockdb/strategies.cpp.o.d"
+  "libscript_lockdb.a"
+  "libscript_lockdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_lockdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

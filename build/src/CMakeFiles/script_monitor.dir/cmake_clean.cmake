@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_monitor.dir/monitor/monitor.cpp.o"
+  "CMakeFiles/script_monitor.dir/monitor/monitor.cpp.o.d"
+  "libscript_monitor.a"
+  "libscript_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscript_monitor.a"
+)

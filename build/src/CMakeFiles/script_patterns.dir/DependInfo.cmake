@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scripts/ada_embedding.cpp" "src/CMakeFiles/script_patterns.dir/scripts/ada_embedding.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/ada_embedding.cpp.o.d"
+  "/root/repo/src/scripts/auction.cpp" "src/CMakeFiles/script_patterns.dir/scripts/auction.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/auction.cpp.o.d"
+  "/root/repo/src/scripts/barrier.cpp" "src/CMakeFiles/script_patterns.dir/scripts/barrier.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/barrier.cpp.o.d"
+  "/root/repo/src/scripts/broadcast.cpp" "src/CMakeFiles/script_patterns.dir/scripts/broadcast.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/broadcast.cpp.o.d"
+  "/root/repo/src/scripts/csp_embedding.cpp" "src/CMakeFiles/script_patterns.dir/scripts/csp_embedding.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/csp_embedding.cpp.o.d"
+  "/root/repo/src/scripts/lock_manager.cpp" "src/CMakeFiles/script_patterns.dir/scripts/lock_manager.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/lock_manager.cpp.o.d"
+  "/root/repo/src/scripts/mailbox_broadcast.cpp" "src/CMakeFiles/script_patterns.dir/scripts/mailbox_broadcast.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/mailbox_broadcast.cpp.o.d"
+  "/root/repo/src/scripts/monitor_embedding.cpp" "src/CMakeFiles/script_patterns.dir/scripts/monitor_embedding.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/monitor_embedding.cpp.o.d"
+  "/root/repo/src/scripts/scatter_gather.cpp" "src/CMakeFiles/script_patterns.dir/scripts/scatter_gather.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/scatter_gather.cpp.o.d"
+  "/root/repo/src/scripts/token_ring.cpp" "src/CMakeFiles/script_patterns.dir/scripts/token_ring.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/token_ring.cpp.o.d"
+  "/root/repo/src/scripts/two_phase_commit.cpp" "src/CMakeFiles/script_patterns.dir/scripts/two_phase_commit.cpp.o" "gcc" "src/CMakeFiles/script_patterns.dir/scripts/two_phase_commit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_ada.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_lockdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_patterns.dir/scripts/ada_embedding.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/ada_embedding.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/auction.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/auction.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/barrier.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/barrier.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/broadcast.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/broadcast.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/csp_embedding.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/csp_embedding.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/lock_manager.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/lock_manager.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/mailbox_broadcast.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/mailbox_broadcast.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/monitor_embedding.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/monitor_embedding.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/scatter_gather.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/scatter_gather.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/token_ring.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/token_ring.cpp.o.d"
+  "CMakeFiles/script_patterns.dir/scripts/two_phase_commit.cpp.o"
+  "CMakeFiles/script_patterns.dir/scripts/two_phase_commit.cpp.o.d"
+  "libscript_patterns.a"
+  "libscript_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

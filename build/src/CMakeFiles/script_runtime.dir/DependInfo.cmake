@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/explore.cpp" "src/CMakeFiles/script_runtime.dir/runtime/explore.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/explore.cpp.o.d"
+  "/root/repo/src/runtime/fiber.cpp" "src/CMakeFiles/script_runtime.dir/runtime/fiber.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/fiber.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/script_runtime.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/sim_link.cpp" "src/CMakeFiles/script_runtime.dir/runtime/sim_link.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/sim_link.cpp.o.d"
+  "/root/repo/src/runtime/stack.cpp" "src/CMakeFiles/script_runtime.dir/runtime/stack.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/stack.cpp.o.d"
+  "/root/repo/src/runtime/wait_queue.cpp" "src/CMakeFiles/script_runtime.dir/runtime/wait_queue.cpp.o" "gcc" "src/CMakeFiles/script_runtime.dir/runtime/wait_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

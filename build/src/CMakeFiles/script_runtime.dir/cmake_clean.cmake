@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_runtime.dir/runtime/explore.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/explore.cpp.o.d"
+  "CMakeFiles/script_runtime.dir/runtime/fiber.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/fiber.cpp.o.d"
+  "CMakeFiles/script_runtime.dir/runtime/scheduler.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/scheduler.cpp.o.d"
+  "CMakeFiles/script_runtime.dir/runtime/sim_link.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/sim_link.cpp.o.d"
+  "CMakeFiles/script_runtime.dir/runtime/stack.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/stack.cpp.o.d"
+  "CMakeFiles/script_runtime.dir/runtime/wait_queue.cpp.o"
+  "CMakeFiles/script_runtime.dir/runtime/wait_queue.cpp.o.d"
+  "libscript_runtime.a"
+  "libscript_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/log.cpp" "src/CMakeFiles/script_support.dir/support/log.cpp.o" "gcc" "src/CMakeFiles/script_support.dir/support/log.cpp.o.d"
+  "/root/repo/src/support/panic.cpp" "src/CMakeFiles/script_support.dir/support/panic.cpp.o" "gcc" "src/CMakeFiles/script_support.dir/support/panic.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/script_support.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/script_support.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/script_support.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/script_support.dir/support/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

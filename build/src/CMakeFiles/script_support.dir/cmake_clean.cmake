@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_support.dir/support/log.cpp.o"
+  "CMakeFiles/script_support.dir/support/log.cpp.o.d"
+  "CMakeFiles/script_support.dir/support/panic.cpp.o"
+  "CMakeFiles/script_support.dir/support/panic.cpp.o.d"
+  "CMakeFiles/script_support.dir/support/rng.cpp.o"
+  "CMakeFiles/script_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/script_support.dir/support/stats.cpp.o"
+  "CMakeFiles/script_support.dir/support/stats.cpp.o.d"
+  "libscript_support.a"
+  "libscript_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

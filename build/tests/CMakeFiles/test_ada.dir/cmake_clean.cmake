@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ada.dir/ada/entry_test.cpp.o"
+  "CMakeFiles/test_ada.dir/ada/entry_test.cpp.o.d"
+  "CMakeFiles/test_ada.dir/ada/select_test.cpp.o"
+  "CMakeFiles/test_ada.dir/ada/select_test.cpp.o.d"
+  "CMakeFiles/test_ada.dir/ada/timed_call_test.cpp.o"
+  "CMakeFiles/test_ada.dir/ada/timed_call_test.cpp.o.d"
+  "test_ada"
+  "test_ada.pdb"
+  "test_ada[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

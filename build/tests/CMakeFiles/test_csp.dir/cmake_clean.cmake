@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csp.dir/csp/alternative_test.cpp.o"
+  "CMakeFiles/test_csp.dir/csp/alternative_test.cpp.o.d"
+  "CMakeFiles/test_csp.dir/csp/net_test.cpp.o"
+  "CMakeFiles/test_csp.dir/csp/net_test.cpp.o.d"
+  "CMakeFiles/test_csp.dir/csp/polling_test.cpp.o"
+  "CMakeFiles/test_csp.dir/csp/polling_test.cpp.o.d"
+  "test_csp"
+  "test_csp.pdb"
+  "test_csp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/death_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/death_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/failure_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/failure_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/golden_trace_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/golden_trace_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/misc_coverage_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/paper_claims_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/paper_claims_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/stress_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/stress_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/workload_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/workload_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockdb.dir/lockdb/granularity_test.cpp.o"
+  "CMakeFiles/test_lockdb.dir/lockdb/granularity_test.cpp.o.d"
+  "CMakeFiles/test_lockdb.dir/lockdb/lock_table_test.cpp.o"
+  "CMakeFiles/test_lockdb.dir/lockdb/lock_table_test.cpp.o.d"
+  "CMakeFiles/test_lockdb.dir/lockdb/replica_strategies_test.cpp.o"
+  "CMakeFiles/test_lockdb.dir/lockdb/replica_strategies_test.cpp.o.d"
+  "test_lockdb"
+  "test_lockdb.pdb"
+  "test_lockdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor.dir/monitor/mailbox_test.cpp.o"
+  "CMakeFiles/test_monitor.dir/monitor/mailbox_test.cpp.o.d"
+  "CMakeFiles/test_monitor.dir/monitor/monitor_test.cpp.o"
+  "CMakeFiles/test_monitor.dir/monitor/monitor_test.cpp.o.d"
+  "test_monitor"
+  "test_monitor.pdb"
+  "test_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

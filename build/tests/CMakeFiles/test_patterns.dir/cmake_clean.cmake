@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patterns.dir/scripts/auction_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/auction_test.cpp.o.d"
+  "CMakeFiles/test_patterns.dir/scripts/broadcast_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/broadcast_test.cpp.o.d"
+  "CMakeFiles/test_patterns.dir/scripts/embeddings_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/embeddings_test.cpp.o.d"
+  "CMakeFiles/test_patterns.dir/scripts/extensions_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/extensions_test.cpp.o.d"
+  "CMakeFiles/test_patterns.dir/scripts/lock_manager_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/lock_manager_test.cpp.o.d"
+  "CMakeFiles/test_patterns.dir/scripts/patterns_test.cpp.o"
+  "CMakeFiles/test_patterns.dir/scripts/patterns_test.cpp.o.d"
+  "test_patterns"
+  "test_patterns.pdb"
+  "test_patterns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

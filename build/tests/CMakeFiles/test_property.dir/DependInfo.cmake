@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/ada_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/ada_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/ada_property_test.cpp.o.d"
+  "/root/repo/tests/property/csp_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/csp_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/csp_property_test.cpp.o.d"
+  "/root/repo/tests/property/interleaving_test.cpp" "tests/CMakeFiles/test_property.dir/property/interleaving_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/interleaving_test.cpp.o.d"
+  "/root/repo/tests/property/lockdb_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/lockdb_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/lockdb_property_test.cpp.o.d"
+  "/root/repo/tests/property/matcher_property_test.cpp" "tests/CMakeFiles/test_property.dir/property/matcher_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/matcher_property_test.cpp.o.d"
+  "/root/repo/tests/property/pattern_sweep_test.cpp" "tests/CMakeFiles/test_property.dir/property/pattern_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/pattern_sweep_test.cpp.o.d"
+  "/root/repo/tests/property/script_fuzz_test.cpp" "tests/CMakeFiles/test_property.dir/property/script_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/script_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/script_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_ada.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_lockdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/script_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

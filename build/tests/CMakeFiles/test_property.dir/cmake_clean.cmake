@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/ada_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/ada_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/csp_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/csp_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/interleaving_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/interleaving_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/lockdb_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/lockdb_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/matcher_property_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/matcher_property_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/pattern_sweep_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/pattern_sweep_test.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/script_fuzz_test.cpp.o"
+  "CMakeFiles/test_property.dir/property/script_fuzz_test.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

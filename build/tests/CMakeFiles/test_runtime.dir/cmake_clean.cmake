@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/explore_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/explore_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/scheduler_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/sim_link_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/sim_link_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/wait_queue_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/wait_queue_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_script_core.dir/script/contention_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/contention_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/instance_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/instance_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/matching_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/matching_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/observer_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/observer_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/role_comm_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/role_comm_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/spec_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/spec_test.cpp.o.d"
+  "CMakeFiles/test_script_core.dir/script/stats_collector_test.cpp.o"
+  "CMakeFiles/test_script_core.dir/script/stats_collector_test.cpp.o.d"
+  "test_script_core"
+  "test_script_core.pdb"
+  "test_script_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_script_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
