@@ -74,11 +74,18 @@ int main() {
   bench::banner("C4", "centralized supervisor vs distributed enrollment");
 
   constexpr int kPerfs = 20;
+  bench::Telemetry telemetry("c4_distributed");
   bench::Table table({"members n", "control", "msgs/perf", "ticks/perf",
                       "extra processes"});
   for (const std::size_t n : {2u, 4u, 8u, 16u}) {
     const auto sup = run_supervisor(n, kPerfs);
     const auto dist = run_distributed(n, kPerfs);
+    const std::string row = "n" + std::to_string(n);
+    telemetry.gauge(row + ".supervisor.msgs_per_perf", sup.msgs_per_perf);
+    telemetry.gauge(row + ".supervisor.ticks_per_perf", sup.ticks_per_perf);
+    telemetry.gauge(row + ".distributed.msgs_per_perf", dist.msgs_per_perf);
+    telemetry.gauge(row + ".distributed.ticks_per_perf",
+                    dist.ticks_per_perf);
     table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
                    "supervisor p_s", bench::Table::num(sup.msgs_per_perf, 1),
                    bench::Table::num(sup.ticks_per_perf, 1),

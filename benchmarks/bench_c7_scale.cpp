@@ -30,6 +30,7 @@ double wall_us(const std::function<void()>& fn) {
 int main() {
   bench::banner("C7", "substrate scalability: fibers, rendezvous, casts");
 
+  bench::Telemetry telemetry("c7_scale");
   {
     bench::Table table({"fibers", "spawn+run wall ms", "us/fiber"});
     for (const std::size_t n : {100u, 1000u, 10000u}) {
@@ -42,6 +43,8 @@ int main() {
       table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
                      bench::Table::num(us / 1000.0, 2),
                      bench::Table::num(us / static_cast<double>(n), 2)});
+      telemetry.gauge("spawn.n" + std::to_string(n) + ".us_per_fiber",
+                      us / static_cast<double>(n));
     }
     table.print();
   }
@@ -73,6 +76,9 @@ int main() {
            bench::Table::integer(static_cast<std::int64_t>(total)),
            bench::Table::num(us / 1000.0, 2),
            bench::Table::num(total / (us / 1000.0), 0)});
+      telemetry.gauge(
+          "rendezvous.pairs" + std::to_string(pairs) + ".msgs_per_ms",
+          total / (us / 1000.0));
     }
     table.print();
   }
@@ -101,6 +107,8 @@ int main() {
                      bench::Table::integer(kPerfs),
                      bench::Table::num(us / 1000.0, 2),
                      bench::Table::num(us / 1000.0 / kPerfs, 2)});
+      telemetry.gauge("cast.n" + std::to_string(n) + ".ms_per_perf",
+                      us / 1000.0 / kPerfs);
     }
     table.print();
   }

@@ -16,6 +16,7 @@
 int main() {
   bench::banner("F2", "Figure 2: repeated enrollment keeps performances apart");
 
+  bench::Telemetry telemetry("fig2_reenrollment");
   bench::Table table({"recipients", "rounds", "violations", "ticks/perf",
                       "wall us/perf"});
   for (const std::size_t n : {1u, 4u, 16u}) {
@@ -50,6 +51,13 @@ int main() {
          bench::Table::num(static_cast<double>(result.final_time) / kRounds,
                            1),
          bench::Table::num(static_cast<double>(wall_us) / kRounds, 1)});
+
+    const std::string row = "n" + std::to_string(n);
+    telemetry.gauge(row + ".violations", violations);
+    telemetry.gauge(row + ".ticks_per_perf",
+                    static_cast<double>(result.final_time) / kRounds);
+    telemetry.gauge(row + ".wall_us_per_perf",
+                    static_cast<double>(wall_us) / kRounds);
   }
   table.print();
   bench::note("0 violations: u=x and y=v in every round — the minimum "

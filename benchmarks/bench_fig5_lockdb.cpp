@@ -16,6 +16,7 @@
 int main() {
   bench::banner("F5", "Figure 5: replicated lock-manager script");
 
+  bench::Telemetry telemetry("fig5_lockdb");
   bench::Table table({"k managers", "requests", "grant %", "read ticks",
                       "write ticks", "performances"});
   for (const std::size_t k : {1u, 2u, 3u, 5u}) {
@@ -64,6 +65,10 @@ int main() {
          bench::Table::num(write_cost.mean(), 1),
          bench::Table::integer(static_cast<std::int64_t>(
              locks.instance().performances_completed()))});
+    const std::string row = "k" + std::to_string(k);
+    telemetry.gauge(row + ".grant_pct", 100.0 * granted / (2 * kRounds));
+    telemetry.summary(row + ".read_ticks", read_cost);
+    telemetry.summary(row + ".write_ticks", write_cost);
   }
   table.print();
   bench::note("reads cost k+2 ticks (ONE lock round-trip — the first "

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "csp/net.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/stats.hpp"
 
@@ -40,5 +42,55 @@ inline void expect_clean(const script::runtime::RunResult& result,
     std::printf("  %s: %s\n", sched.name_of(pid).c_str(), reason.c_str());
   std::abort();
 }
+
+/// Machine-readable bench telemetry: the headline numbers a bench
+/// prints as tables also land in an obs::MetricsRegistry and are
+/// written to BENCH_<name>.json when the Telemetry object dies.
+///
+/// Output directory, in priority order: $SCRIPT_BENCH_OUT, the
+/// build-time SCRIPT_BENCH_OUT_DIR (CMake points it at the repo root),
+/// else the working directory.
+class Telemetry {
+ public:
+  explicit Telemetry(std::string name) : name_(std::move(name)) {}
+  ~Telemetry() { write(); }
+
+  script::obs::MetricsRegistry& metrics() { return reg_; }
+  void gauge(const std::string& key, double v) { reg_.gauge(key, v); }
+
+  /// Record a Summary as <prefix>.count/mean/min/max gauges plus a
+  /// log-scale histogram of its samples under <prefix>.
+  void summary(const std::string& prefix, const Summary& s) {
+    reg_.gauge(prefix + ".count", static_cast<double>(s.count()));
+    if (s.count() == 0) return;
+    reg_.gauge(prefix + ".mean", s.mean());
+    reg_.gauge(prefix + ".min", s.min());
+    reg_.gauge(prefix + ".max", s.max());
+    reg_.gauge(prefix + ".total", s.total());
+  }
+
+  std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("SCRIPT_BENCH_OUT"))
+      dir = env;
+#ifdef SCRIPT_BENCH_OUT_DIR
+    if (dir.empty()) dir = SCRIPT_BENCH_OUT_DIR;
+#endif
+    if (dir.empty()) dir = ".";
+    return dir + "/BENCH_" + name_ + ".json";
+  }
+
+  void write() const {
+    const std::string p = path();
+    if (reg_.write_json(p))
+      std::printf("telemetry: wrote %s\n", p.c_str());
+    else
+      std::printf("telemetry: FAILED to write %s\n", p.c_str());
+  }
+
+ private:
+  std::string name_;
+  script::obs::MetricsRegistry reg_;
+};
 
 }  // namespace bench

@@ -5,6 +5,11 @@
 namespace script::ada {
 
 void EntryBase::on_call_arrived() {
+  if (sched_->bus().wants(obs::Subsystem::Ada))
+    sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Ada,
+                           obs::kAutoTime, sched_->current(), obs::kNoLane,
+                           "entry.call", name_,
+                           static_cast<double>(calls_.size())});
   if (waiting_acceptor_ != kNoProcess) {
     const ProcessId acceptor = waiting_acceptor_;
     waiting_acceptor_ = kNoProcess;
@@ -34,12 +39,20 @@ EntryBase::PendingCall* EntryBase::take_head() {
   PendingCall* pc = calls_.front();
   calls_.pop_front();
   pc->taken = true;
+  if (sched_->bus().wants(obs::Subsystem::Ada))
+    sched_->bus().publish({obs::EventKind::SpanBegin, obs::Subsystem::Ada,
+                           obs::kAutoTime, sched_->current(), obs::kNoLane,
+                           "rendezvous", name_});
   return pc;
 }
 
 void EntryBase::finish(PendingCall* pc) {
   pc->done = true;
   ++completed_;
+  if (sched_->bus().wants(obs::Subsystem::Ada))
+    sched_->bus().publish({obs::EventKind::SpanEnd, obs::Subsystem::Ada,
+                           obs::kAutoTime, sched_->current(), obs::kNoLane,
+                           "rendezvous", name_});
   // A timed caller whose deadline fired during the rendezvous is
   // already awake; it will observe `done` and take the result.
   if (sched_->state_of(pc->caller) == runtime::FiberState::Blocked)

@@ -112,8 +112,13 @@ class Entry : public EntryBase {
     PendingCall pc{sched_->current(), &arg, &out, false, false};
     calls_.push_back(&pc);
     on_call_arrived();
-    bool timed_out =
-        sched_->block_with_timeout("timed entry call " + name_, ticks);
+    // The queued call self-cleans if the deadline fires before an
+    // acceptor takes it; a call taken at the firing instant stays.
+    bool timed_out = sched_->block_with_timeout(
+        "timed entry call " + name_, ticks,
+        [this, &pc] {
+          if (!pc.taken) withdraw(&pc);
+        });
     while (timed_out && pc.taken && !pc.done) {
       // Accepted just as the timer fired: the rendezvous must finish.
       timed_out = false;
@@ -121,7 +126,6 @@ class Entry : public EntryBase {
     }
     if (pc.done) return out;
     SCRIPT_ASSERT(timed_out, "timed entry call woke in impossible state");
-    withdraw(&pc);
     return std::nullopt;
   }
 

@@ -69,6 +69,14 @@ int Select::run() {
   const ProcessId me = sched_->current();
   for (const int i : open)
     cases_[static_cast<std::size_t>(i)].entry->select_waiters_.push_back(me);
+  // Idempotent; also installed as the timeout hook so the registrations
+  // self-clean the instant the delay expires.
+  const auto deregister = [this, me, &open] {
+    for (const int i : open) {
+      auto& ws = cases_[static_cast<std::size_t>(i)].entry->select_waiters_;
+      ws.erase(std::remove(ws.begin(), ws.end(), me), ws.end());
+    }
+  };
 
   int chosen = kNone;
   bool timed_out = false;
@@ -79,8 +87,8 @@ int Select::run() {
       if (now >= deadline) {
         timed_out = true;
       } else {
-        timed_out =
-            sched_->block_with_timeout("select (delay)", deadline - now);
+        timed_out = sched_->block_with_timeout(
+            "select (delay)", deadline - now, deregister);
       }
     } else {
       sched_->block("select on " +
@@ -91,10 +99,7 @@ int Select::run() {
     // Spurious wake (a caller was consumed by someone else): park again.
   }
 
-  for (const int i : open) {
-    auto& ws = cases_[static_cast<std::size_t>(i)].entry->select_waiters_;
-    ws.erase(std::remove(ws.begin(), ws.end(), me), ws.end());
-  }
+  deregister();
 
   if (chosen != kNone) {
     cases_[static_cast<std::size_t>(chosen)].fire();

@@ -229,6 +229,11 @@ Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
   const ProcessId sender = my_dir == Dir::Send ? me : parked->owner;
   const ProcessId receiver = my_dir == Dir::Send ? parked->owner : me;
   const std::uint64_t lat = charge_latency(sender, receiver);
+  if (sched_->bus().wants(obs::Subsystem::Csp))
+    sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Csp,
+                           obs::kAutoTime, sender, obs::kNoLane,
+                           "rendezvous", parked->tag,
+                           static_cast<double>(lat)});
   const ProcessId woken =
       parked->group != nullptr ? parked->group->owner : parked->owner;
   sched_->wake_at(woken, lat);

@@ -2,6 +2,14 @@
 
 namespace script::lockdb {
 
+void LockTable::publish(const char* name, const std::string& item,
+                        LockMode mode, OwnerId owner) const {
+  bus_->publish({obs::EventKind::Instant, obs::Subsystem::Lock,
+                 obs::kAutoTime, obs::kNoPid, obs::kNoLane, name,
+                 item + (mode == LockMode::Exclusive ? " X" : " S"),
+                 static_cast<double>(owner)});
+}
+
 bool LockTable::can_acquire(const std::string& item, LockMode mode,
                             OwnerId owner) const {
   const auto it = entries_.find(item);
@@ -13,12 +21,16 @@ bool LockTable::can_acquire(const std::string& item, LockMode mode,
     if (mode == LockMode::Exclusive && e.mode != LockMode::Exclusive &&
         e.owners.size() > 1) {
       ++denials_;
+      if (bus_ != nullptr && bus_->wants(obs::Subsystem::Lock))
+        publish("lock.conflict", item, mode, owner);
       return false;
     }
     return true;
   }
   if (mode == LockMode::Shared && e.mode == LockMode::Shared) return true;
   ++denials_;
+  if (bus_ != nullptr && bus_->wants(obs::Subsystem::Lock))
+    publish("lock.conflict", item, mode, owner);
   return false;
 }
 
@@ -29,20 +41,29 @@ bool LockTable::acquire(const std::string& item, LockMode mode,
   e.owners.insert(owner);
   if (mode == LockMode::Exclusive || e.owners.size() == 1) e.mode = mode;
   ++grants_;
+  if (bus_ != nullptr && bus_->wants(obs::Subsystem::Lock))
+    publish("lock.acquire", item, mode, owner);
   return true;
 }
 
 void LockTable::release(const std::string& item, OwnerId owner) {
   const auto it = entries_.find(item);
   if (it == entries_.end()) return;
-  it->second.owners.erase(owner);
+  if (it->second.owners.erase(owner) > 0 && bus_ != nullptr &&
+      bus_->wants(obs::Subsystem::Lock))
+    publish("lock.release", item, it->second.mode, owner);
   if (it->second.owners.empty()) entries_.erase(it);
 }
 
 std::size_t LockTable::release_all(OwnerId owner) {
   std::size_t dropped = 0;
+  const bool observed = bus_ != nullptr && bus_->wants(obs::Subsystem::Lock);
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.owners.erase(owner) > 0) ++dropped;
+    if (it->second.owners.erase(owner) > 0) {
+      ++dropped;
+      if (observed)
+        publish("lock.release", it->first, it->second.mode, owner);
+    }
     if (it->second.owners.empty())
       it = entries_.erase(it);
     else

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_bus.hpp"
+
 namespace script::lockdb {
 
 /// A lock requester (the paper's "unique processor identifier").
@@ -43,15 +45,24 @@ class LockTable {
   std::uint64_t grants() const { return grants_; }
   std::uint64_t denials() const { return denials_; }
 
+  /// Publish lock.acquire / lock.conflict / lock.release events on
+  /// `bus` (Subsystem::Lock). lockdb has no scheduler of its own, so
+  /// the owner wires a bus in (nullptr detaches).
+  void attach_bus(obs::EventBus* bus) { bus_ = bus; }
+
  private:
   struct Entry {
     LockMode mode = LockMode::Shared;
     std::set<OwnerId> owners;
   };
 
+  void publish(const char* name, const std::string& item, LockMode mode,
+               OwnerId owner) const;
+
   std::map<std::string, Entry> entries_;
   std::uint64_t grants_ = 0;
   mutable std::uint64_t denials_ = 0;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace script::lockdb

@@ -11,16 +11,23 @@ void Monitor::enter() {
   ++entries_;
   if (!busy_) {
     busy_ = true;
+    publish_hold(obs::EventKind::SpanBegin);
     return;
   }
   ++contended_;
+  if (sched_->bus().wants(obs::Subsystem::Monitor))
+    sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Monitor,
+                           obs::kAutoTime, sched_->current(), obs::kNoLane,
+                           "monitor.contended", name_});
   entry_queue_.park("entering monitor " + name_);
   // Woken by release_and_admit with ownership handed to us.
   SCRIPT_ASSERT(busy_, "monitor hand-off lost ownership");
+  publish_hold(obs::EventKind::SpanBegin);
 }
 
 void Monitor::leave() {
   SCRIPT_ASSERT(busy_, "leave() without holding monitor " + name_);
+  publish_hold(obs::EventKind::SpanEnd);
   release_and_admit();
 }
 
@@ -28,6 +35,7 @@ void Monitor::wait_until(std::function<bool()> pred) {
   SCRIPT_ASSERT(busy_, "wait_until() without holding monitor " + name_);
   if (pred()) return;
   cond_waiters_.push_back({sched_->current(), pred});
+  publish_hold(obs::EventKind::SpanEnd);
   release_and_admit();
   sched_->block("WAIT UNTIL in monitor " + name_);
   //
@@ -35,6 +43,14 @@ void Monitor::wait_until(std::function<bool()> pred) {
   // Admitted with ownership; hand-off guarantees the predicate held at
   // admission time and no one has run inside the monitor since.
   SCRIPT_ASSERT(busy_ && pred(), "WAIT UNTIL admitted with false predicate");
+  publish_hold(obs::EventKind::SpanBegin);
+}
+
+void Monitor::publish_hold(obs::EventKind kind) {
+  if (!sched_->bus().wants(obs::Subsystem::Monitor)) return;
+  sched_->bus().publish({kind, obs::Subsystem::Monitor, obs::kAutoTime,
+                         sched_->current(), obs::kNoLane, "monitor.hold",
+                         name_});
 }
 
 void Monitor::with(const std::function<void()>& body) {

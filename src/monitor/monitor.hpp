@@ -60,6 +60,9 @@ class Monitor {
   /// Shared tail of leave()/wait_until(): pass the monitor on.
   void release_and_admit();
 
+  /// Begin/end of the current fiber's hold span on the bus.
+  void publish_hold(obs::EventKind kind);
+
   runtime::Scheduler* sched_;
   std::string name_;
   bool busy_ = false;

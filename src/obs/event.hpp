@@ -1,0 +1,66 @@
+// Typed observability events — the vocabulary every layer speaks.
+//
+// The paper's central artifact is a *timeline* (Figure 1 is literally a
+// trace of enrollments, performances, and releases). This header widens
+// that idea into one vocabulary covering every layer of the system:
+// scheduler dispatch/block/unblock, script lifecycle, CSP rendezvous,
+// Ada entry calls, monitor holds, lock grants, and distributed message
+// hops. Producers publish Events to an EventBus; subscribers (the
+// TraceLog bridge, ScriptStats, the Chrome-trace exporter, metrics)
+// consume them without the producers knowing who is listening.
+//
+// This module depends only on src/support so that leaf libraries
+// (e.g. lockdb, which has no scheduler) can publish events too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace script::obs {
+
+/// Mirrors runtime::ProcessId without depending on the runtime library.
+using Pid = std::uint32_t;
+inline constexpr Pid kNoPid = static_cast<Pid>(-1);
+
+/// No instance/custom lane; the event belongs to the fiber named by pid.
+inline constexpr std::int32_t kNoLane = -1;
+
+/// Sentinel: the bus stamps the event with its clock at publish time.
+inline constexpr std::uint64_t kAutoTime = static_cast<std::uint64_t>(-1);
+
+enum class EventKind : std::uint8_t {
+  SpanBegin,  // a duration starts on the event's lane
+  SpanEnd,    // ... and ends (LIFO-nested per lane)
+  Instant,    // a point milestone
+  Counter,    // a sampled numeric value (`value`)
+};
+
+/// Which layer produced the event. Subscribers declare a subsystem mask;
+/// producers test EventBus::wants(subsystem) before building an Event, so
+/// an un-observed subsystem costs one branch.
+enum class Subsystem : std::uint8_t {
+  Scheduler,  // dispatch, block/unblock, sleep, clock advance
+  Script,     // enrollment/performance lifecycle (paper Figure 1)
+  Csp,        // rendezvous completions
+  Ada,        // entry calls and accept rendezvous
+  Monitor,    // monitor acquisition/hold
+  Lock,       // lockdb acquire/release/conflict
+  Link,       // SimLink / distributed-protocol message hops
+  User,       // application-defined events
+  kCount,
+};
+
+const char* subsystem_name(Subsystem s);
+
+struct Event {
+  EventKind kind = EventKind::Instant;
+  Subsystem subsystem = Subsystem::User;
+  std::uint64_t time = kAutoTime;  // virtual ticks
+  Pid pid = kNoPid;                // acting fiber, if any
+  std::int32_t lane = kNoLane;     // instance lane (EventBus::add_lane)
+  std::string name;                // stable id, e.g. "enroll.ok", "role"
+  std::string detail;              // human fragment, e.g. a role or tag
+  double value = 0;                // Counter payload / numeric annotation
+};
+
+}  // namespace script::obs

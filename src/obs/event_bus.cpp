@@ -1,0 +1,81 @@
+#include "obs/event_bus.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::obs {
+
+const char* subsystem_name(Subsystem s) {
+  switch (s) {
+    case Subsystem::Scheduler: return "scheduler";
+    case Subsystem::Script: return "script";
+    case Subsystem::Csp: return "csp";
+    case Subsystem::Ada: return "ada";
+    case Subsystem::Monitor: return "monitor";
+    case Subsystem::Lock: return "lock";
+    case Subsystem::Link: return "link";
+    case Subsystem::User: return "user";
+    case Subsystem::kCount: break;
+  }
+  return "unknown";
+}
+
+EventBus::SubId EventBus::subscribe(Mask mask, Subscriber fn) {
+  SCRIPT_ASSERT(fn != nullptr, "EventBus::subscribe with null subscriber");
+  const SubId id = next_id_++;
+  subs_.push_back(Sub{id, mask, std::move(fn)});
+  recompute_wants();
+  return id;
+}
+
+void EventBus::unsubscribe(SubId id) {
+  const auto it = std::find_if(subs_.begin(), subs_.end(),
+                               [id](const Sub& s) { return s.id == id; });
+  SCRIPT_ASSERT(it != subs_.end(), "EventBus::unsubscribe: unknown id");
+  subs_.erase(it);
+  recompute_wants();
+}
+
+void EventBus::publish(Event e) {
+  if (e.time == kAutoTime) e.time = clock_ ? clock_() : 0;
+  ++published_;
+  const Mask bit = mask_of(e.subsystem);
+  for (const Sub& s : subs_)
+    if (s.mask & bit) s.fn(e);
+  if (history_cap_ != 0 && e.pid != kNoPid) {
+    auto& ring = history_[e.pid];
+    ring.push_back(std::move(e));
+    if (ring.size() > history_cap_) ring.pop_front();
+  }
+}
+
+std::int32_t EventBus::add_lane(std::string name) {
+  lanes_.push_back(std::move(name));
+  return static_cast<std::int32_t>(lanes_.size()) - 1;
+}
+
+const std::string& EventBus::lane_name(std::int32_t lane) const {
+  SCRIPT_ASSERT(lane >= 0 &&
+                    static_cast<std::size_t>(lane) < lanes_.size(),
+                "EventBus::lane_name: unknown lane");
+  return lanes_[static_cast<std::size_t>(lane)];
+}
+
+void EventBus::set_history(std::size_t per_fiber) {
+  history_cap_ = per_fiber;
+  if (per_fiber == 0) history_.clear();
+  recompute_wants();
+}
+
+const std::deque<Event>* EventBus::history_for(Pid pid) const {
+  const auto it = history_.find(pid);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+void EventBus::recompute_wants() {
+  wants_ = history_cap_ != 0 ? kAllSubsystems : 0;
+  for (const Sub& s : subs_) wants_ |= s.mask;
+}
+
+}  // namespace script::obs

@@ -1,0 +1,44 @@
+#include "obs/log_bridge.hpp"
+
+namespace script::obs {
+
+EventBus::SubId install_script_log_bridge(
+    EventBus& bus, support::TraceLog& log,
+    std::function<std::string(Pid)> fiber_name) {
+  return bus.subscribe(
+      EventBus::mask_of(Subsystem::Script),
+      [&bus, &log, fiber_name = std::move(fiber_name)](const Event& e) {
+        auto record = [&](std::string what) {
+          log.record(e.time, fiber_name(e.pid), std::move(what));
+        };
+        if (e.name == "enroll.attempt") {
+          record("attempts to enroll as " + e.detail);
+        } else if (e.name == "enroll.attempt.guarded") {
+          record("attempts guarded enrollment as " + e.detail);
+        } else if (e.name == "enroll.attempt.timed") {
+          record("attempts timed enrollment as " + e.detail);
+        } else if (e.name == "enroll.ok") {
+          record("enrolls as " + e.detail);
+        } else if (e.name == "enroll.fail.guarded") {
+          record("guarded enrollment as " + e.detail + " failed");
+        } else if (e.name == "enroll.fail.timed") {
+          record("timed enrollment as " + e.detail + " expired");
+        } else if (e.name == "role") {
+          record((e.kind == EventKind::SpanBegin ? "begins role "
+                                                 : "finishes role ") +
+                 e.detail);
+        } else if (e.name == "release") {
+          record("released from " + bus.lane_name(e.lane));
+        } else if (e.name == "performance") {
+          log.record(e.time, bus.lane_name(e.lane),
+                     "performance " +
+                         std::to_string(static_cast<std::uint64_t>(e.value)) +
+                         (e.kind == EventKind::SpanBegin ? " begins"
+                                                         : " ends"));
+        }
+        // Unknown script events pass through silently; the prose log is
+        // a curated view, not an exhaustive one.
+      });
+}
+
+}  // namespace script::obs

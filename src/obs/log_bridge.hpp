@@ -1,0 +1,24 @@
+// Bridges typed Script-subsystem events back into the human-readable
+// support::TraceLog, reproducing the exact Figure-1 phrasing the golden
+// tests assert on ("D attempts to enroll as p", "performance 1 begins").
+//
+// The script core used to build these strings at every milestone; now it
+// publishes typed events once and this subscriber does the wording, so
+// exporters/metrics and the prose log can never drift apart.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/event_bus.hpp"
+#include "support/log.hpp"
+
+namespace script::obs {
+
+/// Install the bridge; returns the subscription id. `fiber_name`
+/// resolves event pids to process names (Scheduler::name_of).
+EventBus::SubId install_script_log_bridge(
+    EventBus& bus, support::TraceLog& log,
+    std::function<std::string(Pid)> fiber_name);
+
+}  // namespace script::obs

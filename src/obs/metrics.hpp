@@ -1,0 +1,89 @@
+// MetricsRegistry — counters, gauges, and log-scale histograms with a
+// machine-readable JSON snapshot.
+//
+// This is the bench-telemetry backbone: bench binaries record their
+// headline numbers here and drop a BENCH_<name>.json next to the repo's
+// other artifacts, so the perf trajectory is diffable across commits
+// instead of living only in stdout tables. It can also piggyback on an
+// EventBus to count events per subsystem/name without touching the
+// producers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/event_bus.hpp"
+
+namespace script::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Power-of-two-bucket histogram: bucket b counts observations in
+/// [2^b, 2^(b+1)); values < 1 land in bucket 0. Constant memory, O(1)
+/// observe, good-enough quantiles for latency-shaped data spanning
+/// orders of magnitude.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// q in [0,1]; upper bound of the bucket holding the q-quantile.
+  double quantile(double q) const;
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Set a named point-in-time double (bench headline numbers).
+  void gauge(const std::string& name, double value);
+
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+
+  /// Subscribe to `bus`, counting every event as
+  /// "<subsystem>.<name>[.<kind-suffix>]"; span begins count once.
+  /// Returns the subscription id (caller unsubscribes if needed).
+  EventBus::SubId attach_event_counters(EventBus& bus,
+                                        EventBus::Mask mask);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} —
+  /// histograms carry count/sum/min/max/mean/p50/p90/p99 plus the
+  /// non-empty buckets as [lower-bound, count] pairs.
+  std::string json(int indent = 0) const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace script::obs

@@ -1,0 +1,158 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace script::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Trace-process 1 hosts fiber lanes, 2 hosts bus (instance) lanes.
+struct LaneKey {
+  int tpid;
+  std::uint64_t tid;
+  bool operator<(const LaneKey& o) const {
+    return tpid != o.tpid ? tpid < o.tpid : tid < o.tid;
+  }
+};
+
+LaneKey lane_of(const Event& e) {
+  if (e.pid != kNoPid) return {1, e.pid};
+  if (e.lane != kNoLane) return {2, static_cast<std::uint64_t>(e.lane)};
+  return {0, 0};
+}
+
+void append_record(std::string& out, const LaneKey& lane, const char* ph,
+                   std::uint64_t ts, const std::string& name,
+                   const std::string& args_json, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  {\"name\": ";
+  append_escaped(out, name);
+  out += ", \"ph\": \"";
+  out += ph;
+  out += "\", \"ts\": " + std::to_string(ts) +
+         ", \"pid\": " + std::to_string(lane.tpid) +
+         ", \"tid\": " + std::to_string(lane.tid);
+  if (!args_json.empty()) out += ", \"args\": " + args_json;
+  out += "}";
+}
+
+}  // namespace
+
+TraceExporter::TraceExporter(EventBus& bus, EventBus::Mask mask)
+    : bus_(&bus) {
+  sub_ = bus_->subscribe(mask,
+                         [this](const Event& e) { events_.push_back(e); });
+}
+
+TraceExporter::~TraceExporter() { bus_->unsubscribe(sub_); }
+
+std::string TraceExporter::json() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+
+  // Metadata: name the trace processes and every lane we will emit on.
+  std::set<Pid> fibers;
+  for (const Event& e : events_)
+    if (e.pid != kNoPid) fibers.insert(e.pid);
+  append_record(out, {0, 0}, "M", 0, "process_name",
+                "{\"name\": \"global\"}", first);
+  append_record(out, {1, 0}, "M", 0, "process_name",
+                "{\"name\": \"fibers\"}", first);
+  append_record(out, {2, 0}, "M", 0, "process_name",
+                "{\"name\": \"script instances\"}", first);
+  for (const Pid pid : fibers) {
+    const std::string name =
+        fiber_namer_ ? fiber_namer_(pid) : "fiber " + std::to_string(pid);
+    std::string args = "{\"name\": ";
+    append_escaped(args, name);
+    args += "}";
+    append_record(out, {1, pid}, "M", 0, "thread_name", args, first);
+  }
+  for (std::size_t lane = 0; lane < bus_->lane_count(); ++lane) {
+    std::string args = "{\"name\": ";
+    append_escaped(args, bus_->lane_name(static_cast<std::int32_t>(lane)));
+    args += "}";
+    append_record(out, {2, lane}, "M", 0, "thread_name", args, first);
+  }
+
+  // Events. Track span depth and open-span names per lane so the
+  // output always balances (see header).
+  std::map<LaneKey, std::vector<std::string>> open_spans;
+  std::uint64_t last_ts = 0;
+  for (const Event& e : events_) {
+    const LaneKey lane = lane_of(e);
+    last_ts = e.time;  // bus publishes in nondecreasing virtual time
+    std::string name = e.name;
+    if (!e.detail.empty() && e.kind != EventKind::Counter)
+      name += " " + e.detail;
+    std::string args;
+    switch (e.kind) {
+      case EventKind::SpanBegin:
+        open_spans[lane].push_back(name);
+        append_record(out, lane, "B", e.time, name, args, first);
+        break;
+      case EventKind::SpanEnd: {
+        auto& open = open_spans[lane];
+        if (open.empty()) continue;  // began before tracing started
+        open.pop_back();
+        append_record(out, lane, "E", e.time, name, args, first);
+        break;
+      }
+      case EventKind::Instant:
+        append_record(out, lane, "i", e.time, name,
+                      "{\"value\": " + std::to_string(e.value) + "}", first);
+        break;
+      case EventKind::Counter:
+        args = "{";
+        args += "\"" + (e.detail.empty() ? std::string("value") : e.detail) +
+                "\": " + std::to_string(e.value) + "}";
+        append_record(out, lane, "C", e.time, e.name, args, first);
+        break;
+    }
+  }
+
+  // Close spans left open (blocked-at-deadlock fibers, live monitors).
+  for (auto& [lane, open] : open_spans)
+    while (!open.empty()) {
+      append_record(out, lane, "E", last_ts, open.back(), "", first);
+      open.pop_back();
+    }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceExporter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = json();
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace script::obs

@@ -1,0 +1,59 @@
+// TraceExporter — Chrome trace-event / Perfetto JSON from the EventBus.
+//
+// Subscribes to a bus, buffers every event, and renders the Chrome
+// trace-event format (the JSON flavour Perfetto's ui.perfetto.dev and
+// chrome://tracing both load). Timestamps are VIRTUAL time: one tick is
+// rendered as one microsecond, so the viewer's timeline is the paper's
+// timeline, not the host's.
+//
+// Lane model:
+//   * trace pid 1, tid <fiber id>  — one lane per fiber; named via the
+//     fiber namer (Scheduler::name_of).
+//   * trace pid 2, tid <lane id>   — one lane per registered bus lane
+//     (script instances register themselves).
+//   * trace pid 0                  — global events (clock counters).
+//
+// Span discipline: SpanBegin/SpanEnd must nest LIFO per lane (the
+// instrumentation guarantees it); a SpanEnd with no matching SpanBegin
+// (tracing enabled mid-span) is dropped, and spans still open at export
+// time are closed at the final timestamp so the JSON always balances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace script::obs {
+
+class TraceExporter {
+ public:
+  /// Starts capturing immediately. `mask` selects subsystems.
+  explicit TraceExporter(EventBus& bus,
+                         EventBus::Mask mask = EventBus::kAllSubsystems);
+  ~TraceExporter();
+
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Resolve fiber ids to lane names at export time (Scheduler::name_of
+  /// wrapped by the owner). Unset fibers render as "fiber <id>".
+  void set_fiber_namer(std::function<std::string(Pid)> namer) {
+    fiber_namer_ = std::move(namer);
+  }
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Render the full Chrome trace JSON document.
+  std::string json() const;
+  bool write(const std::string& path) const;
+
+ private:
+  EventBus* bus_;
+  EventBus::SubId sub_;
+  std::function<std::string(Pid)> fiber_namer_;
+  std::vector<Event> events_;
+};
+
+}  // namespace script::obs

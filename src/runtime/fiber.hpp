@@ -75,6 +75,10 @@ class Fiber {
   // earlier block/sleep can be recognized as stale and ignored.
   std::uint64_t wake_gen_ = 0;
   bool timed_out_ = false;
+  // Deregistration hook for block_with_timeout: runs at the moment the
+  // timeout fires (before any other fiber can observe the stale wait
+  // entry), so wakers self-clean instead of every call site doing it.
+  std::function<void()> timeout_cleanup_;
 };
 
 }  // namespace script::runtime

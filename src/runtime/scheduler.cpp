@@ -1,7 +1,11 @@
 #include "runtime/scheduler.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
+#include "obs/log_bridge.hpp"
+#include "obs/trace_export.hpp"
 #include "support/panic.hpp"
 
 namespace script::runtime {
@@ -21,15 +25,61 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
   }
   out += " (steps=" + std::to_string(result.steps) +
          ", virtual time=" + std::to_string(result.final_time) + ")";
-  for (const auto& [pid, reason] : result.blocked)
+  for (const auto& [pid, reason] : result.blocked) {
     out += "\n  blocked: " + sched.name_of(pid) + " — " + reason;
+    // With event history enabled (SchedulerOptions::event_history), show
+    // how the fiber got here: its last few bus events, oldest first.
+    if (const auto* ring = sched.bus().history_for(pid)) {
+      for (const obs::Event& e : *ring) {
+        out += "\n    [t=" + std::to_string(e.time) + "] " +
+               obs::subsystem_name(e.subsystem) + " " + e.name;
+        if (!e.detail.empty()) out += " " + e.detail;
+      }
+    }
+  }
   return out;
 }
 
 Scheduler::Scheduler(SchedulerOptions opts)
-    : opts_(opts), rng_(opts.seed) {}
+    : opts_(opts), rng_(opts.seed) {
+  bus_.set_clock([this] { return now_; });
+  // The prose TraceLog is a bus subscriber: script-layer milestones are
+  // published once and worded here, keeping log and exporters in sync.
+  obs::install_script_log_bridge(
+      bus_, trace_, [this](obs::Pid p) { return name_of(p); });
+  if (opts_.event_history != 0) bus_.set_history(opts_.event_history);
+  if (const char* path = std::getenv("SCRIPT_TRACE");
+      path != nullptr && *path != '\0') {
+    enable_tracing();
+    trace_path_ = path;
+  }
+}
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() {
+  if (exporter_ != nullptr && !trace_path_.empty()) {
+    // Several schedulers in one process (tests) get numbered files.
+    static int seq = 0;
+    const int n = seq++;
+    const std::string path =
+        n == 0 ? trace_path_ : trace_path_ + "." + std::to_string(n);
+    if (!write_trace(path))
+      std::fprintf(stderr, "SCRIPT_TRACE: could not write %s\n",
+                   path.c_str());
+  }
+}
+
+obs::TraceExporter& Scheduler::enable_tracing() {
+  if (exporter_ == nullptr) {
+    exporter_ = std::make_unique<obs::TraceExporter>(bus_);
+    exporter_->set_fiber_namer(
+        [this](obs::Pid p) { return name_of(p); });
+  }
+  return *exporter_;
+}
+
+bool Scheduler::write_trace(const std::string& path) const {
+  return exporter_ != nullptr && exporter_->write(path);
+}
 
 ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
   const auto pid = static_cast<ProcessId>(fibers_.size());
@@ -39,6 +89,10 @@ ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
   fibers_.push_back(std::move(f));
   joiners_.emplace_back();
   ready_.push_back(pid);
+  if (bus_.wants(obs::Subsystem::Scheduler))
+    bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, pid, obs::kNoLane, "spawn",
+                  fibers_[pid]->name()});
   return pid;
 }
 
@@ -65,6 +119,10 @@ RunResult Scheduler::run() {
     current_ = pid;
     ++steps_;
     ++dispatched;
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, pid, obs::kNoLane, "dispatch", "",
+                    static_cast<double>(steps_)});
     swapcontext(&main_context_, &f.context_);
     current_ = kNoProcess;
 
@@ -100,6 +158,9 @@ void Scheduler::block(const std::string& reason) {
   Fiber& f = fiber(current());
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
+  if (bus_.wants(obs::Subsystem::Scheduler))
+    bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason});
   switch_out();
 }
 
@@ -111,16 +172,26 @@ void Scheduler::sleep_for(std::uint64_t ticks) {
   }
   f.set_state(FiberState::Sleeping);
   timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  if (bus_.wants(obs::Subsystem::Scheduler))
+    bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, f.id(), obs::kNoLane, "sleeping", "",
+                  static_cast<double>(ticks)});
   switch_out();
 }
 
 bool Scheduler::block_with_timeout(const std::string& reason,
-                                   std::uint64_t ticks) {
+                                   std::uint64_t ticks,
+                                   std::function<void()> on_timeout) {
   Fiber& f = fiber(current());
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
   f.timed_out_ = false;
+  f.timeout_cleanup_ = std::move(on_timeout);
   timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  if (bus_.wants(obs::Subsystem::Scheduler))
+    bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason,
+                  static_cast<double>(ticks)});
   switch_out();
   return f.timed_out_;
 }
@@ -139,8 +210,12 @@ void Scheduler::unblock(ProcessId pid) {
   f.set_state(FiberState::Ready);
   f.set_block_reason("");
   f.timed_out_ = false;
+  f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
   ++f.wake_gen_;  // any timeout timer armed for this block is now stale
   ready_.push_back(pid);
+  if (bus_.wants(obs::Subsystem::Scheduler))
+    bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, pid, obs::kNoLane, "blocked", ""});
 }
 
 void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
@@ -153,8 +228,16 @@ void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
                 "wake_at on non-blocked fiber " + f.name());
   f.set_state(FiberState::Sleeping);
   f.set_block_reason("");
+  f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
   ++f.wake_gen_;  // invalidate any timeout armed for the old block
   timers_.push(Timer{now_ + ticks_from_now, timer_seq_++, pid, f.wake_gen_});
+  if (bus_.wants(obs::Subsystem::Scheduler)) {
+    bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, pid, obs::kNoLane, "blocked", ""});
+    bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
+                  obs::kAutoTime, pid, obs::kNoLane, "sleeping", "",
+                  static_cast<double>(ticks_from_now)});
+  }
 }
 
 ProcessId Scheduler::current() const {
@@ -226,14 +309,20 @@ ProcessId Scheduler::pick_next() {
 bool Scheduler::advance_clock() {
   bool woke_any = false;
   while (!timers_.empty() && !woke_any) {
+    const std::uint64_t before = now_;
     now_ = std::max(now_, timers_.top().due);
+    if (now_ != before && bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::Counter, obs::Subsystem::Scheduler,
+                    now_, obs::kNoPid, obs::kNoLane, "virtual_time", "",
+                    static_cast<double>(now_)});
     while (!timers_.empty() && timers_.top().due <= now_) {
       const Timer t = timers_.top();
       timers_.pop();
       Fiber& f = fiber(t.pid);
       if (t.gen != f.wake_gen_) continue;  // stale: fiber woke another way
       ++f.wake_gen_;
-      if (f.state() == FiberState::Sleeping) {
+      const bool was_sleeping = f.state() == FiberState::Sleeping;
+      if (was_sleeping) {
         f.set_state(FiberState::Ready);
       } else {
         SCRIPT_ASSERT(f.state() == FiberState::Blocked,
@@ -241,9 +330,23 @@ bool Scheduler::advance_clock() {
         f.set_state(FiberState::Ready);
         f.set_block_reason("");
         f.timed_out_ = true;
+        // Self-clean the fiber's wait-list registration NOW, before any
+        // other fiber can run and hand work to a waiter that is no
+        // longer waiting (the old footgun every call site worked
+        // around by hand).
+        if (f.timeout_cleanup_) {
+          auto cleanup = std::move(f.timeout_cleanup_);
+          f.timeout_cleanup_ = nullptr;
+          cleanup();
+        }
       }
       ready_.push_back(t.pid);
       woke_any = true;
+      if (bus_.wants(obs::Subsystem::Scheduler))
+        bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                      obs::kAutoTime, t.pid, obs::kNoLane,
+                      was_sleeping ? "sleeping" : "blocked",
+                      was_sleeping ? "" : "timeout"});
     }
   }
   return woke_any || !timers_.empty();

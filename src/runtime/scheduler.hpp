@@ -20,9 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_bus.hpp"
 #include "runtime/fiber.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
+
+namespace script::obs {
+class TraceExporter;
+}
 
 namespace script::runtime {
 
@@ -44,6 +49,10 @@ struct SchedulerOptions {
   /// StepLimit (fibers left unfinished). Lets the explorer bound
   /// non-terminating schedules (e.g. starving a busy-wait loop).
   std::uint64_t max_steps_per_run = 0;
+  /// If nonzero, keep the last N bus events per fiber and include them
+  /// in deadlock reports (describe()). Forces full event production, so
+  /// leave at 0 for benchmarks.
+  std::size_t event_history = 0;
 };
 
 struct RunResult {
@@ -95,9 +104,12 @@ class Scheduler {
 
   /// Park like block(), but resume after `ticks` if nobody unblocks us
   /// first. Returns true on timeout (Ada's `or delay` alternative).
-  /// NOTE: a fiber woken by timeout may still sit in someone's wait
-  /// list; the caller must deregister itself after waking.
-  bool block_with_timeout(const std::string& reason, std::uint64_t ticks);
+  /// `on_timeout`, if given, runs at the instant the timeout fires —
+  /// before any other fiber can observe the stale registration — so the
+  /// caller's wait-list entry self-cleans. It does NOT run when the
+  /// fiber is woken normally (the waker consumed the entry).
+  bool block_with_timeout(const std::string& reason, std::uint64_t ticks,
+                          std::function<void()> on_timeout = nullptr);
 
   /// Block until fiber `pid` has finished. No-op if already done.
   void join(ProcessId pid);
@@ -125,6 +137,20 @@ class Scheduler {
   /// Record a trace event stamped with virtual time and the fiber's name.
   void trace_event(ProcessId subject, std::string what);
 
+  /// Typed observability bus. Every layer publishes here; the prose
+  /// TraceLog is itself a bus subscriber (obs::install_script_log_bridge).
+  obs::EventBus& bus() { return bus_; }
+  const obs::EventBus& bus() const { return bus_; }
+
+  /// Start capturing a Chrome-trace/Perfetto timeline of every
+  /// subsystem. Idempotent; returns the exporter (json()/write()).
+  /// Setting $SCRIPT_TRACE=<path> enables this at construction and
+  /// writes the file when the scheduler is destroyed.
+  obs::TraceExporter& enable_tracing();
+  bool tracing_enabled() const { return exporter_ != nullptr; }
+  /// Write the captured timeline; false if tracing is off or IO failed.
+  bool write_trace(const std::string& path) const;
+
  private:
   friend class Fiber;
 
@@ -148,6 +174,9 @@ class Scheduler {
   SchedulerOptions opts_;
   support::Rng rng_;
   support::TraceLog trace_;
+  obs::EventBus bus_;
+  std::unique_ptr<obs::TraceExporter> exporter_;
+  std::string trace_path_;  // from $SCRIPT_TRACE; written in the dtor
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::deque<ProcessId> ready_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;

@@ -1,5 +1,7 @@
 #include "runtime/wait_queue.hpp"
 
+#include <algorithm>
+
 #include "support/panic.hpp"
 
 namespace script::runtime {
@@ -7,6 +9,15 @@ namespace script::runtime {
 void WaitQueue::park(const std::string& reason) {
   waiters_.push_back(sched_->current());
   sched_->block(reason);
+}
+
+bool WaitQueue::park_for(const std::string& reason, std::uint64_t ticks) {
+  const ProcessId pid = sched_->current();
+  waiters_.push_back(pid);
+  return sched_->block_with_timeout(reason, ticks, [this, pid] {
+    const auto it = std::find(waiters_.begin(), waiters_.end(), pid);
+    if (it != waiters_.end()) waiters_.erase(it);
+  });
 }
 
 bool WaitQueue::notify_one() {

@@ -16,6 +16,11 @@ class WaitQueue {
   /// Park the calling fiber at the tail. Returns when notified.
   void park(const std::string& reason);
 
+  /// Park at the tail for at most `ticks` of virtual time. Returns true
+  /// on timeout. The queue entry self-cleans when the timeout fires, so
+  /// a later notify_one() can never wake a fiber that already gave up.
+  bool park_for(const std::string& reason, std::uint64_t ticks);
+
   /// Wake the fiber at the head, if any. Returns true if one was woken.
   bool notify_one();
 

@@ -27,7 +27,16 @@ void DistributedCast::all_to_all(std::size_t my_index,
   // (Equivalent to the classic ordered handshake generalizing the
   // binary case: the pair (i, j), i<j, always rendezvouses with j as
   // sender first.)
+  auto hop = [&](std::size_t j) {
+    obs::EventBus& bus = net_->scheduler().bus();
+    if (bus.wants(obs::Subsystem::Link))
+      bus.publish({obs::EventKind::Instant, obs::Subsystem::Link,
+                   obs::kAutoTime, net_->scheduler().current(),
+                   obs::kNoLane, "hop", tag,
+                   static_cast<double>(members_[j])});
+  };
   for (std::size_t j = 0; j < my_index; ++j) {
+    hop(j);
     auto r = net_->send(members_[j], tag, my_index);
     SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
     ++messages_;
@@ -38,6 +47,7 @@ void DistributedCast::all_to_all(std::size_t my_index,
     SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
   }
   for (std::size_t j = my_index + 1; j < members_.size(); ++j) {
+    hop(j);
     auto r = net_->send(members_[j], tag, my_index);
     SCRIPT_ASSERT(r.has_value(), "distributed cast: member died");
     ++messages_;

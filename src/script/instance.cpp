@@ -40,7 +40,7 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
   req.requested = role;
   req.partners = &partners;
   queue_.push_back(&req);
-  trace(req.pid, "attempts to enroll as " + role.str());
+  publish(obs::EventKind::Instant, req.pid, "enroll.attempt", role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
   try_advance();
@@ -63,13 +63,15 @@ std::optional<EnrollResult> ScriptInstance::try_enroll(
   req.requested = role;
   req.partners = &partners;
   queue_.push_back(&req);
-  trace(req.pid, "attempts guarded enrollment as " + role.str());
+  publish(obs::EventKind::Instant, req.pid, "enroll.attempt.guarded",
+          role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
   try_advance();
   if (!req.admitted) {
     queue_.erase(std::find(queue_.begin(), queue_.end(), &req));
-    trace(req.pid, "guarded enrollment as " + role.str() + " failed");
+    publish(obs::EventKind::Instant, req.pid, "enroll.fail.guarded",
+            role.str());
     return std::nullopt;
   }
   return run_admitted(req, params);
@@ -89,21 +91,30 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   req.requested = role;
   req.partners = &partners;
   queue_.push_back(&req);
-  trace(req.pid, "attempts timed enrollment as " + role.str());
+  publish(obs::EventKind::Instant, req.pid, "enroll.attempt.timed",
+          role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
   try_advance();
   const std::uint64_t deadline = sched.now() + ticks;
+  // The request self-cleans when the timeout fires: the scheduler runs
+  // the hook at the firing instant, before any other fiber can admit a
+  // request that is no longer waiting.
+  const auto withdraw = [this, &req] {
+    const auto it = std::find(queue_.begin(), queue_.end(), &req);
+    if (it != queue_.end()) queue_.erase(it);
+  };
   while (!req.admitted) {
     const std::uint64_t now = sched.now();
     const bool timed_out =
         now >= deadline ||
         sched.block_with_timeout(
             "timed enrollment in " + name_ + " as " + role.str(),
-            deadline - now);
+            deadline - now, withdraw);
     if (timed_out && !req.admitted) {
-      queue_.erase(std::find(queue_.begin(), queue_.end(), &req));
-      trace(req.pid, "timed enrollment as " + role.str() + " expired");
+      withdraw();  // covers the already-past-deadline fast path
+      publish(obs::EventKind::Instant, req.pid, "enroll.fail.timed",
+              role.str());
       return std::nullopt;
     }
   }
@@ -115,11 +126,13 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   // Admitted: this fiber now IS the role (logical continuation).
   SCRIPT_ASSERT(req.perf != nullptr, "admitted without a performance");
   Performance& perf = *req.perf;
-  trace(req.pid, "begins role " + req.assigned.str());
+  publish(obs::EventKind::SpanBegin, req.pid, "role", req.assigned.str(),
+          static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::RoleBegan, req.pid, req.assigned, perf.number);
   RoleContext ctx(this, &perf, req.assigned, &params);
   bodies_.at(req.assigned.name)(ctx);
-  trace(req.pid, "finishes role " + req.assigned.str());
+  publish(obs::EventKind::SpanEnd, req.pid, "role", req.assigned.str(),
+          static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::RoleFinished, req.pid, req.assigned, perf.number);
   role_done(req.assigned);
 
@@ -129,7 +142,8 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
       sched.block("delayed termination of " + name_);
     }
   }
-  trace(req.pid, "released from " + name_);
+  publish(obs::EventKind::Instant, req.pid, "release", "",
+          static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::Released, req.pid, req.assigned, perf.number);
   return EnrollResult{perf.number, req.assigned};
 }
@@ -148,8 +162,8 @@ void ScriptInstance::try_advance() {
   if (spec_.initiation() == Initiation::Immediate) {
     active_ = std::make_unique<Performance>();
     active_->number = next_perf_number_++;
-    trace_script("performance " + std::to_string(active_->number) +
-                 " begins");
+    publish(obs::EventKind::SpanBegin, kNoProcess, "performance", "",
+            static_cast<double>(active_->number));
     emit(ScriptEvent::Kind::PerformanceBegan, kNoProcess, RoleId(),
          active_->number);
     admission_pass();
@@ -177,8 +191,8 @@ void ScriptInstance::try_advance() {
   for (const RoleId& r : spec_.fixed_roles())
     if (!active_->state.is_bound(r)) active_->out.insert(r);
   active_->critical_hit = true;
-  trace_script("performance " + std::to_string(active_->number) +
-               " begins");
+  publish(obs::EventKind::SpanBegin, kNoProcess, "performance", "",
+          static_cast<double>(active_->number));
   emit(ScriptEvent::Kind::PerformanceBegan, kNoProcess, RoleId(),
        active_->number);
 
@@ -191,7 +205,8 @@ void ScriptInstance::try_advance() {
     r->assigned = concrete;
     r->perf = active_.get();
     admitted.push_back(r);
-    trace(r->pid, "enrolls as " + concrete.str());
+    publish(obs::EventKind::Instant, r->pid, "enroll.ok", concrete.str(),
+            static_cast<double>(active_->number));
     emit(ScriptEvent::Kind::Enrolled, r->pid, concrete, active_->number);
   }
   for (Request* r : admitted) {
@@ -221,7 +236,8 @@ void ScriptInstance::admission_pass() {
       r->assigned = *concrete;
       r->perf = active_.get();
       admitted.push_back(r);
-      trace(r->pid, "enrolls as " + concrete->str());
+      publish(obs::EventKind::Instant, r->pid, "enroll.ok",
+              concrete->str(), static_cast<double>(active_->number));
       emit(ScriptEvent::Kind::Enrolled, r->pid, *concrete,
            active_->number);
     }
@@ -266,7 +282,8 @@ void ScriptInstance::finish_performance() {
   Performance& p = *active_;
   p.done = true;
   ++completed_perfs_;
-  trace_script("performance " + std::to_string(p.number) + " ends");
+  publish(obs::EventKind::SpanEnd, kNoProcess, "performance", "",
+          static_cast<double>(p.number));
   emit(ScriptEvent::Kind::PerformanceEnded, kNoProcess, RoleId(), p.number);
   // Free delayed-termination holdees.
   std::vector<ProcessId> holdees;
@@ -302,12 +319,20 @@ void ScriptInstance::notify_state_change() {
       scheduler().unblock(pid);
 }
 
-void ScriptInstance::trace(ProcessId subject, const std::string& what) {
-  scheduler().trace_event(subject, what);
+std::int32_t ScriptInstance::obs_lane() {
+  if (obs_lane_ == obs::kNoLane)
+    obs_lane_ = scheduler().bus().add_lane(name_);
+  return obs_lane_;
 }
 
-void ScriptInstance::trace_script(const std::string& what) {
-  scheduler().trace().record(scheduler().now(), name_, what);
+void ScriptInstance::publish(obs::EventKind kind, ProcessId pid,
+                             const char* name, std::string detail,
+                             double value) {
+  obs::EventBus& bus = scheduler().bus();
+  if (!bus.wants(obs::Subsystem::Script)) return;  // bridge keeps it hot
+  bus.publish({kind, obs::Subsystem::Script, obs::kAutoTime,
+               static_cast<obs::Pid>(pid), obs_lane(), name,
+               std::move(detail), value});
 }
 
 void ScriptInstance::emit(ScriptEvent::Kind kind, ProcessId pid,

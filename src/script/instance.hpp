@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "csp/net.hpp"
+#include "obs/event_bus.hpp"
 #include "script/events.hpp"
 #include "script/matching.hpp"
 #include "script/params.hpp"
@@ -112,6 +113,11 @@ class ScriptInstance {
   runtime::Scheduler& scheduler() { return net_->scheduler(); }
   csp::Net& net() { return *net_; }
 
+  /// This instance's lane on the scheduler's EventBus (registered on
+  /// first use). Every script event the instance publishes carries it,
+  /// so subscribers (ScriptStats, exporters) can tell instances apart.
+  std::int32_t obs_lane();
+
  private:
   friend class RoleContext;
 
@@ -150,8 +156,10 @@ class ScriptInstance {
   void wait_state_change(const std::string& why);
   void notify_state_change();
 
-  void trace(ProcessId subject, const std::string& what);
-  void trace_script(const std::string& what);
+  /// Publish a Script-subsystem event on the scheduler's bus. The prose
+  /// TraceLog wording is reconstructed by obs::install_script_log_bridge.
+  void publish(obs::EventKind kind, ProcessId pid, const char* name,
+               std::string detail, double value = 0);
   void emit(ScriptEvent::Kind kind, ProcessId pid, const RoleId& role,
             std::uint64_t performance);
 
@@ -169,6 +177,7 @@ class ScriptInstance {
   std::vector<ProcessId> end_waiters_;    // delayed-termination holdees
   std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
   std::vector<std::function<void(const ScriptEvent&)>> observers_;
+  std::int32_t obs_lane_ = obs::kNoLane;
 };
 
 /// Handle given to a running role body: identity, data parameters,

@@ -2,49 +2,48 @@
 
 namespace script::core {
 
-ScriptStats::ScriptStats(ScriptInstance& inst) {
-  inst.observe([this](const ScriptEvent& e) { on_event(e); });
+ScriptStats::ScriptStats(ScriptInstance& inst)
+    : bus_(&inst.scheduler().bus()), lane_(inst.obs_lane()) {
+  sub_ = bus_->subscribe(
+      obs::EventBus::mask_of(obs::Subsystem::Script),
+      [this](const obs::Event& e) {
+        if (e.lane == lane_) on_event(e);
+      });
 }
 
-void ScriptStats::on_event(const ScriptEvent& e) {
-  switch (e.kind) {
-    case ScriptEvent::Kind::EnrollAttempt:
-      attempt_at_[e.pid] = e.time;
-      break;
-    case ScriptEvent::Kind::Enrolled: {
-      ++enrollments_;
-      const auto it = attempt_at_.find(e.pid);
-      if (it != attempt_at_.end()) {
-        enroll_wait_.add(static_cast<double>(e.time - it->second));
-        attempt_at_.erase(it);
-      }
-      admitted_at_[e.pid] = e.time;
-      break;
+ScriptStats::~ScriptStats() { bus_->unsubscribe(sub_); }
+
+void ScriptStats::on_event(const obs::Event& e) {
+  // Vocabulary: see docs/OBSERVABILITY.md. Every "enroll.attempt*"
+  // variant (plain, guarded, timed) starts the wait clock.
+  if (e.name.compare(0, 14, "enroll.attempt") == 0) {
+    attempt_at_[e.pid] = e.time;
+  } else if (e.name == "enroll.ok") {
+    ++enrollments_;
+    const auto it = attempt_at_.find(e.pid);
+    if (it != attempt_at_.end()) {
+      enroll_wait_.add(static_cast<double>(e.time - it->second));
+      attempt_at_.erase(it);
     }
-    case ScriptEvent::Kind::RoleBegan:
+    admitted_at_[e.pid] = e.time;
+  } else if (e.name == "role") {
+    if (e.kind == obs::EventKind::SpanBegin) {
       began_at_[e.pid] = e.time;
-      break;
-    case ScriptEvent::Kind::RoleFinished: {
+    } else {
       const auto it = began_at_.find(e.pid);
       if (it != began_at_.end()) {
         role_duration_.add(static_cast<double>(e.time - it->second));
         began_at_.erase(it);
       }
-      break;
     }
-    case ScriptEvent::Kind::Released: {
-      const auto it = admitted_at_.find(e.pid);
-      if (it != admitted_at_.end()) {
-        in_script_.add(static_cast<double>(e.time - it->second));
-        admitted_at_.erase(it);
-      }
-      break;
+  } else if (e.name == "release") {
+    const auto it = admitted_at_.find(e.pid);
+    if (it != admitted_at_.end()) {
+      in_script_.add(static_cast<double>(e.time - it->second));
+      admitted_at_.erase(it);
     }
-    case ScriptEvent::Kind::PerformanceBegan:
-      break;
-    case ScriptEvent::Kind::PerformanceEnded:
-      ++performances_;
-      break;
+  } else if (e.name == "performance") {
+    if (e.kind == obs::EventKind::SpanEnd) ++performances_;
   }
 }
 

@@ -1,4 +1,4 @@
-// ScriptStats: per-instance metrics collected through the observer API.
+// ScriptStats: per-instance metrics collected from the EventBus.
 //
 // Attach to any ScriptInstance to measure what the paper's figures
 // discuss qualitatively: how long processes wait to enroll, how long
@@ -9,11 +9,17 @@
 //   stats.enroll_wait().mean();    // ticks from attempt to admission
 //   stats.time_in_script().mean(); // ticks from admission to release
 //   stats.performances();
+//
+// Implementation: a subscriber on the scheduler's obs::EventBus,
+// filtered to this instance's lane. The instance publishes each
+// lifecycle milestone exactly once; stats, the prose TraceLog, and the
+// Chrome-trace exporter all consume the same stream.
 #pragma once
 
 #include <cstdint>
 #include <map>
 
+#include "obs/event_bus.hpp"
 #include "script/instance.hpp"
 #include "support/stats.hpp"
 
@@ -21,8 +27,13 @@ namespace script::core {
 
 class ScriptStats {
  public:
-  /// Registers an observer on `inst`; the instance must outlive this.
+  /// Subscribes to the instance's bus; the instance (and its
+  /// scheduler) must outlive this object.
   explicit ScriptStats(ScriptInstance& inst);
+  ~ScriptStats();
+
+  ScriptStats(const ScriptStats&) = delete;
+  ScriptStats& operator=(const ScriptStats&) = delete;
 
   /// Virtual ticks between an enrollment attempt and its admission.
   const support::Summary& enroll_wait() const { return enroll_wait_; }
@@ -36,13 +47,17 @@ class ScriptStats {
   std::uint64_t enrollments() const { return enrollments_; }
 
  private:
-  void on_event(const ScriptEvent& e);
+  void on_event(const obs::Event& e);
+
+  obs::EventBus* bus_;
+  obs::EventBus::SubId sub_;
+  std::int32_t lane_;
 
   // Keyed by process: a fiber has at most one in-flight enrollment in
   // a given instance at a time.
-  std::map<ProcessId, std::uint64_t> attempt_at_;
-  std::map<ProcessId, std::uint64_t> admitted_at_;
-  std::map<ProcessId, std::uint64_t> began_at_;
+  std::map<obs::Pid, std::uint64_t> attempt_at_;
+  std::map<obs::Pid, std::uint64_t> admitted_at_;
+  std::map<obs::Pid, std::uint64_t> began_at_;
   support::Summary enroll_wait_;
   support::Summary in_script_;
   support::Summary role_duration_;

@@ -9,6 +9,14 @@ namespace script::support {
 void TraceLog::record(std::uint64_t time, std::string subject,
                       std::string what) {
   events_.push_back({time, std::move(subject), std::move(what)});
+  ++recorded_;
+  if (capacity_ != 0 && events_.size() > capacity_) events_.pop_front();
+}
+
+void TraceLog::set_capacity(std::size_t n) {
+  capacity_ = n;
+  if (n != 0)
+    while (events_.size() > n) events_.pop_front();
 }
 
 std::ptrdiff_t TraceLog::find(const std::string& subject,

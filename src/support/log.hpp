@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 namespace script::support {
 
@@ -19,8 +19,20 @@ class TraceLog {
  public:
   void record(std::uint64_t time, std::string subject, std::string what);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void clear() {
+    events_.clear();
+    recorded_ = 0;
+  }
+
+  /// Keep only the newest `n` events (a ring buffer); 0 — the default —
+  /// keeps everything. Long soak runs set a capacity so the log stays
+  /// useful (the recent past) without growing without bound.
+  void set_capacity(std::size_t n);
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded since construction/clear(), including any the ring
+  /// has already discarded.
+  std::uint64_t recorded() const { return recorded_; }
 
   /// Index of first event matching both fields, or -1.
   std::ptrdiff_t find(const std::string& subject, const std::string& what) const;
@@ -33,7 +45,9 @@ class TraceLog {
   void print() const;
 
  private:
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 0;  // 0 = unlimited
+  std::uint64_t recorded_ = 0;
 };
 
 }  // namespace script::support

@@ -1,0 +1,126 @@
+// EventBus: subscription masks, dispatch order, wants() gating, lanes,
+// and the per-fiber history ring.
+#include "obs/event_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::EventKind;
+using script::obs::Subsystem;
+
+Event make(Subsystem s, const std::string& name, script::obs::Pid pid = 7) {
+  Event e;
+  e.kind = EventKind::Instant;
+  e.subsystem = s;
+  e.time = 1;
+  e.pid = pid;
+  e.name = name;
+  return e;
+}
+
+TEST(EventBusTest, WantsIsFalseWithNoSubscribers) {
+  EventBus bus;
+  EXPECT_FALSE(bus.enabled());
+  for (unsigned s = 0; s < static_cast<unsigned>(Subsystem::kCount); ++s)
+    EXPECT_FALSE(bus.wants(static_cast<Subsystem>(s)));
+}
+
+TEST(EventBusTest, SubscriberSeesOnlyItsMask) {
+  EventBus bus;
+  std::vector<std::string> got;
+  bus.subscribe(EventBus::mask_of(Subsystem::Csp),
+                [&](const Event& e) { got.push_back(e.name); });
+
+  EXPECT_TRUE(bus.wants(Subsystem::Csp));
+  EXPECT_FALSE(bus.wants(Subsystem::Ada));
+
+  bus.publish(make(Subsystem::Csp, "a"));
+  bus.publish(make(Subsystem::Ada, "b"));
+  bus.publish(make(Subsystem::Csp, "c"));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "a");
+  EXPECT_EQ(got[1], "c");
+}
+
+TEST(EventBusTest, SubscribersRunInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe(EventBus::kAllSubsystems,
+                [&](const Event&) { order.push_back(1); });
+  bus.subscribe(EventBus::kAllSubsystems,
+                [&](const Event&) { order.push_back(2); });
+  bus.subscribe(EventBus::kAllSubsystems,
+                [&](const Event&) { order.push_back(3); });
+  bus.publish(make(Subsystem::User, "x"));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventBusTest, UnsubscribeDropsDeliveryAndRecomputesWants) {
+  EventBus bus;
+  int n = 0;
+  const auto id = bus.subscribe(EventBus::mask_of(Subsystem::Lock),
+                                [&](const Event&) { ++n; });
+  bus.publish(make(Subsystem::Lock, "l"));
+  EXPECT_EQ(n, 1);
+  bus.unsubscribe(id);
+  EXPECT_FALSE(bus.wants(Subsystem::Lock));
+  bus.publish(make(Subsystem::Lock, "l"));
+  EXPECT_EQ(n, 1);
+}
+
+TEST(EventBusTest, AutoTimeIsStampedFromClock) {
+  EventBus bus;
+  std::uint64_t now = 42;
+  bus.set_clock([&] { return now; });
+  std::uint64_t seen = 0;
+  bus.subscribe(EventBus::kAllSubsystems,
+                [&](const Event& e) { seen = e.time; });
+
+  Event e = make(Subsystem::User, "t");
+  e.time = script::obs::kAutoTime;
+  bus.publish(e);
+  EXPECT_EQ(seen, 42u);
+
+  e.time = 5;  // explicit times pass through untouched
+  bus.publish(e);
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(EventBusTest, LanesAreNamedAndSequential) {
+  EventBus bus;
+  EXPECT_EQ(bus.add_lane("alpha"), 0);
+  EXPECT_EQ(bus.add_lane("beta"), 1);
+  EXPECT_EQ(bus.lane_count(), 2u);
+  EXPECT_EQ(bus.lane_name(0), "alpha");
+  EXPECT_EQ(bus.lane_name(1), "beta");
+}
+
+TEST(EventBusTest, HistoryRingKeepsLastNPerFiber) {
+  EventBus bus;
+  bus.set_history(2);
+  EXPECT_TRUE(bus.enabled());  // history forces full production
+
+  for (int i = 0; i < 5; ++i)
+    bus.publish(make(Subsystem::User, "e" + std::to_string(i), 3));
+  bus.publish(make(Subsystem::User, "other", 9));
+
+  const auto* ring = bus.history_for(3);
+  ASSERT_NE(ring, nullptr);
+  ASSERT_EQ(ring->size(), 2u);
+  EXPECT_EQ((*ring)[0].name, "e3");
+  EXPECT_EQ((*ring)[1].name, "e4");
+  ASSERT_NE(bus.history_for(9), nullptr);
+  EXPECT_EQ(bus.history_for(123), nullptr);
+
+  bus.set_history(0);
+  EXPECT_EQ(bus.history_for(3), nullptr);
+  EXPECT_FALSE(bus.enabled());
+}
+
+}  // namespace

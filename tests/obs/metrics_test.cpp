@@ -1,0 +1,104 @@
+// MetricsRegistry: counters, gauges, the log-scale histogram's
+// bucketing/quantiles, event-counter piggybacking, and JSON output.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::EventKind;
+using script::obs::Histogram;
+using script::obs::MetricsRegistry;
+using script::obs::Subsystem;
+
+TEST(HistogramTest, PowerOfTwoBucketing) {
+  Histogram h;
+  h.observe(0);    // bucket 0
+  h.observe(0.5);  // bucket 0
+  h.observe(1);    // bucket 0: [1, 2)
+  h.observe(2);    // bucket 1: [2, 4)
+  h.observe(3);    // bucket 1
+  h.observe(4);    // bucket 2: [4, 8)
+  h.observe(1024); // bucket 10
+
+  const auto& b = h.buckets();
+  EXPECT_EQ(b[0], 3u);
+  EXPECT_EQ(b[1], 2u);
+  EXPECT_EQ(b[2], 1u);
+  EXPECT_EQ(b[10], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1024.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1034.5);
+}
+
+TEST(HistogramTest, QuantilesAreBucketUpperBoundsClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(1);  // bucket 0
+  h.observe(1000);                            // bucket 9: [512, 1024)
+
+  // p50 falls in bucket 0 — upper bound 2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // The top sample is in the [512, 1024) bucket; clamped to the
+  // observed max rather than the bucket bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeroCount) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesFindOrCreate) {
+  MetricsRegistry reg;
+  reg.counter("hits").inc();
+  reg.counter("hits").inc(4);
+  EXPECT_EQ(reg.counter("hits").value(), 5u);
+  EXPECT_TRUE(reg.has_counter("hits"));
+  EXPECT_FALSE(reg.has_counter("misses"));
+  reg.gauge("temp", 21.5);
+  reg.gauge("temp", 22.0);  // last write wins
+  EXPECT_NE(reg.json().find("\"temp\": 22"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, AttachEventCountersCountsPerSubsystemName) {
+  MetricsRegistry reg;
+  EventBus bus;
+  reg.attach_event_counters(bus, EventBus::kAllSubsystems);
+
+  Event e;
+  e.subsystem = Subsystem::Csp;
+  e.name = "rendezvous";
+  e.kind = EventKind::Instant;
+  e.time = 0;
+  bus.publish(e);
+  bus.publish(e);
+  e.kind = EventKind::SpanBegin;
+  e.name = "hold";
+  e.subsystem = Subsystem::Monitor;
+  bus.publish(e);
+  e.kind = EventKind::SpanEnd;  // span ends are not double-counted
+  bus.publish(e);
+
+  EXPECT_EQ(reg.counter("csp.rendezvous").value(), 2u);
+  EXPECT_EQ(reg.counter("monitor.hold").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonHasAllThreeSections) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  reg.gauge("g", 1.0);
+  reg.histogram("h").observe(3);
+  const std::string j = reg.json(2);
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+}
+
+}  // namespace

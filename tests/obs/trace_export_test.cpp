@@ -1,0 +1,227 @@
+// TraceExporter: the Chrome trace-event JSON contract. A real scripted
+// run is exported and the document is checked record-by-record with a
+// small scanner: schema fields, lane metadata, per-lane virtual-time
+// monotonicity, and B/E span balance — the invariants that keep the
+// file loadable at ui.perfetto.dev.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::EventKind;
+using script::obs::Subsystem;
+using script::obs::TraceExporter;
+
+// --- a deliberately tiny scanner for the exporter's one-record-per-line
+// --- output. Not a general JSON parser; it pins the exact shape we emit.
+
+std::vector<std::string> records(const std::string& json) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    std::size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    if (line.rfind("  {", 0) == 0) out.push_back(line);
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string str_field(const std::string& rec, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = rec.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = rec.find('"', start);
+  return rec.substr(start, end - start);
+}
+
+bool has_int_field(const std::string& rec, const std::string& key) {
+  return rec.find("\"" + key + "\": ") != std::string::npos;
+}
+
+std::int64_t int_field(const std::string& rec, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = rec.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << rec;
+  return std::stoll(rec.substr(at + needle.size()));
+}
+
+bool any_record(const std::vector<std::string>& recs,
+                const std::string& substr) {
+  for (const auto& r : recs)
+    if (r.find(substr) != std::string::npos) return true;
+  return false;
+}
+
+TEST(TraceExportTest, ScriptedRunProducesWellFormedChromeTrace) {
+  script::runtime::Scheduler sched;
+  script::csp::Net net(sched);
+  script::runtime::UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  script::patterns::StarBroadcast<int> bc(net, 2, "s");
+  TraceExporter& exporter = sched.enable_tracing();
+
+  constexpr int kRounds = 3;
+  net.spawn_process("A", [&] {
+    for (int r = 0; r < kRounds; ++r) bc.send(r);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      for (int r = 0; r < kRounds; ++r) EXPECT_EQ(bc.receive(i), r);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_GT(exporter.event_count(), 0u);
+
+  const std::string json = exporter.json();
+
+  // Document header/footer.
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\": \"ms\"", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\n]}\n"), std::string::npos);
+
+  const auto recs = records(json);
+  ASSERT_GT(recs.size(), 10u);
+
+  // Every record carries the Chrome trace-event required fields, and
+  // ph is one of the phases we emit.
+  for (const auto& r : recs) {
+    EXPECT_TRUE(has_int_field(r, "ts")) << r;
+    EXPECT_TRUE(has_int_field(r, "pid")) << r;
+    EXPECT_TRUE(has_int_field(r, "tid")) << r;
+    const std::string ph = str_field(r, "ph");
+    EXPECT_TRUE(ph == "M" || ph == "B" || ph == "E" || ph == "i" ||
+                ph == "C")
+        << r;
+    EXPECT_FALSE(str_field(r, "name").empty()) << r;
+  }
+
+  // Lane metadata: the three trace processes plus named fiber and
+  // instance lanes.
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"global\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"fibers\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"script instances\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"A\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"B0\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"B1\"}"));
+  EXPECT_TRUE(any_record(recs, "{\"name\": \"s\"}"));
+
+  // The script lifecycle and the scheduler both show up: enrollment
+  // instants on fiber lanes, performance spans on the instance lane
+  // (trace pid 2), and the virtual-time counter on the global lane.
+  EXPECT_TRUE(any_record(recs, "\"name\": \"enroll.ok"));  // "enroll.ok <role>"
+  bool perf_on_instance_lane = false;
+  bool clock_on_global_lane = false;
+  for (const auto& r : recs) {
+    if (str_field(r, "name") == "performance" && str_field(r, "ph") == "B")
+      perf_on_instance_lane |= int_field(r, "pid") == 2;
+    if (str_field(r, "name") == "virtual_time" && str_field(r, "ph") == "C")
+      clock_on_global_lane |= int_field(r, "pid") == 0;
+  }
+  EXPECT_TRUE(perf_on_instance_lane);
+  EXPECT_TRUE(clock_on_global_lane);
+
+  // Per lane: virtual time never runs backwards, and B/E spans nest —
+  // depth never goes negative and every lane ends balanced.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last_ts;
+  std::map<std::pair<std::int64_t, std::int64_t>, int> depth;
+  for (const auto& r : recs) {
+    const std::string ph = str_field(r, "ph");
+    if (ph == "M") continue;
+    const std::pair<std::int64_t, std::int64_t> lane{int_field(r, "pid"),
+                                                     int_field(r, "tid")};
+    const std::int64_t ts = int_field(r, "ts");
+    const auto it = last_ts.find(lane);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << r;
+    }
+    last_ts[lane] = ts;
+    if (ph == "B") ++depth[lane];
+    if (ph == "E") {
+      --depth[lane];
+      EXPECT_GE(depth[lane], 0) << r;
+    }
+  }
+  for (const auto& [lane, d] : depth)
+    EXPECT_EQ(d, 0) << "unbalanced spans on lane pid=" << lane.first
+                    << " tid=" << lane.second;
+}
+
+TEST(TraceExportTest, DropsOrphanEndsAndClosesOpenSpans) {
+  EventBus bus;
+  TraceExporter exporter(bus);
+
+  Event e;
+  e.subsystem = Subsystem::User;
+  e.pid = 1;
+
+  e.kind = EventKind::SpanEnd;  // began before tracing started
+  e.time = 5;
+  e.name = "orphan";
+  bus.publish(e);
+
+  e.kind = EventKind::SpanBegin;  // still open at export time
+  e.time = 10;
+  e.name = "work";
+  bus.publish(e);
+
+  e.kind = EventKind::Instant;
+  e.time = 12;
+  e.name = "tick";
+  bus.publish(e);
+
+  const auto recs = records(exporter.json());
+  int begins = 0, ends = 0;
+  for (const auto& r : recs) {
+    if (str_field(r, "ph") == "B") ++begins;
+    if (str_field(r, "ph") == "E") {
+      ++ends;
+      EXPECT_EQ(str_field(r, "name"), "work");
+      EXPECT_EQ(int_field(r, "ts"), 12);  // closed at the last timestamp
+    }
+    EXPECT_EQ(r.find("orphan"), std::string::npos) << r;
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST(TraceExportTest, CounterRecordsCarryNamedSeries) {
+  EventBus bus;
+  TraceExporter exporter(bus);
+
+  Event e;
+  e.kind = EventKind::Counter;
+  e.subsystem = Subsystem::Scheduler;
+  e.time = 3;
+  e.name = "virtual_time";
+  e.value = 7;
+  bus.publish(e);
+
+  const auto recs = records(exporter.json());
+  bool found = false;
+  for (const auto& r : recs)
+    if (str_field(r, "ph") == "C") {
+      found = true;
+      EXPECT_EQ(str_field(r, "name"), "virtual_time");
+      EXPECT_NE(r.find("\"value\": 7.000000"), std::string::npos) << r;
+      EXPECT_EQ(int_field(r, "pid"), 0);  // no fiber, no lane -> global
+    }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

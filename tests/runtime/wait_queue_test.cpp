@@ -60,6 +60,36 @@ TEST(WaitQueue, SizeAndFront) {
   ASSERT_TRUE(sched.run().ok());
 }
 
+TEST(WaitQueue, ParkForTimeoutRemovesWaiterFromQueue) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  bool timed_out = false;
+  sched.spawn("impatient", [&] { timed_out = q.park_for("parked", 5); });
+  sched.spawn("late_waker", [&] {
+    sched.sleep_for(10);
+    // The timed-out waiter already left the queue: nothing to wake.
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.notify_one());
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(WaitQueue, ParkForWokenInTimeDoesNotTimeOut) {
+  Scheduler sched;
+  WaitQueue q(sched);
+  bool timed_out = true;
+  sched.spawn("patient", [&] { timed_out = q.park_for("parked", 50); });
+  sched.spawn("waker", [&] {
+    sched.sleep_for(3);
+    EXPECT_TRUE(q.notify_one());
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_FALSE(timed_out);
+  // The stale timer fires harmlessly after the wake.
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(WaitQueue, UnnotifiedParkIsDeadlock) {
   Scheduler sched;
   WaitQueue q(sched);

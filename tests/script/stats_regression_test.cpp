@@ -1,0 +1,72 @@
+// Regression pin for the bus-backed ScriptStats: the Figure 2
+// re-enrollment probe (StarBroadcast to two recipients over a
+// unit-latency network) must report exactly the numbers the original
+// observer-based collector reported. Any drift here means the EventBus
+// rewrite changed what the metrics mean, not just how they are wired.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "csp/net.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_link.hpp"
+#include "script/stats.hpp"
+#include "scripts/broadcast.hpp"
+
+namespace {
+
+using script::core::ScriptStats;
+using script::csp::Net;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(ScriptStatsRegression, Fig2ProbeMatchesSeedNumbers) {
+  Scheduler sched;
+  Net net(sched);
+  UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  script::patterns::StarBroadcast<int> bc(net, 2);
+  ScriptStats stats(bc.instance());
+
+  constexpr int kRounds = 50;
+  net.spawn_process("A", [&] {
+    for (int r = 0; r < kRounds; ++r) bc.send(r);
+  });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("B" + std::to_string(i), [&, i] {
+      for (int r = 0; r < kRounds; ++r) EXPECT_EQ(bc.receive(i), r);
+    });
+
+  const auto result = sched.run();
+  ASSERT_TRUE(result.ok());
+
+  // Scheduler-level shape: 2 ticks of latency per round.
+  EXPECT_EQ(result.final_time, 100u);
+  EXPECT_EQ(result.steps, 403u);
+
+  // One performance per round; all three roles re-enroll every round.
+  EXPECT_EQ(stats.performances(), 50u);
+  EXPECT_EQ(stats.enrollments(), 150u);
+
+  // Lock-step loops: nobody ever waits to enroll.
+  EXPECT_EQ(stats.enroll_wait().count(), 150u);
+  EXPECT_EQ(stats.enroll_wait().min(), 0.0);
+  EXPECT_EQ(stats.enroll_wait().max(), 0.0);
+
+  // Everyone is held from admission to release: the 2 ticks it takes
+  // the second copy to land.
+  EXPECT_EQ(stats.time_in_script().count(), 150u);
+  EXPECT_EQ(stats.time_in_script().min(), 2.0);
+  EXPECT_EQ(stats.time_in_script().max(), 2.0);
+  EXPECT_EQ(stats.time_in_script().total(), 300.0);
+
+  // Role bodies: the transmitter finishes after both sends (2 ticks),
+  // each recipient after its own copy (1 tick).
+  EXPECT_EQ(stats.role_duration().count(), 150u);
+  EXPECT_EQ(stats.role_duration().min(), 1.0);
+  EXPECT_EQ(stats.role_duration().max(), 2.0);
+  EXPECT_EQ(stats.role_duration().total(), 250.0);
+  EXPECT_NEAR(stats.role_duration().mean(), 250.0 / 150.0, 1e-9);
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace {
 
 using script::support::TraceLog;
@@ -28,6 +30,43 @@ TEST(TraceLog, ClearEmpties) {
   log.record(1, "A", "x");
   log.clear();
   EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.recorded(), 0u);
+}
+
+TEST(TraceLog, UnlimitedByDefault) {
+  TraceLog log;
+  EXPECT_EQ(log.capacity(), 0u);
+  for (int i = 0; i < 100; ++i) log.record(i, "A", "e");
+  EXPECT_EQ(log.events().size(), 100u);
+  EXPECT_EQ(log.recorded(), 100u);
+}
+
+TEST(TraceLog, CapacityKeepsNewestEvents) {
+  TraceLog log;
+  log.set_capacity(3);
+  for (int i = 0; i < 7; ++i)
+    log.record(i, "A", "e" + std::to_string(i));
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.recorded(), 7u);  // total seen, not retained
+  EXPECT_EQ(log.events()[0].what, "e4");
+  EXPECT_EQ(log.events()[2].what, "e6");
+  // Dropped events are gone for lookups too.
+  EXPECT_EQ(log.find("A", "e0"), -1);
+}
+
+TEST(TraceLog, ShrinkingCapacityTrimsOldest) {
+  TraceLog log;
+  for (int i = 0; i < 5; ++i)
+    log.record(i, "A", "e" + std::to_string(i));
+  log.set_capacity(2);
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0].what, "e3");
+  EXPECT_EQ(log.events()[1].what, "e4");
+  // Zero restores unlimited retention (history stays trimmed).
+  log.set_capacity(0);
+  for (int i = 5; i < 10; ++i)
+    log.record(i, "A", "e" + std::to_string(i));
+  EXPECT_EQ(log.events().size(), 7u);
 }
 
 }  // namespace
