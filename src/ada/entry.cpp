@@ -4,6 +4,25 @@
 
 namespace script::ada {
 
+EntryBase::EntryBase(runtime::Scheduler& sched, std::string name)
+    : sched_(&sched), name_(std::move(name)) {
+  // When the owning task crashes, every queued caller — and every later
+  // one — raises TaskingError instead of waiting forever.
+  crash_hook_id_ = sched_->add_crash_hook([this](ProcessId pid) {
+    if (owner_ == kNoProcess || pid != owner_) return;
+    owner_crashed_ = true;
+    const std::deque<PendingCall*> doomed = std::move(calls_);
+    calls_.clear();
+    for (PendingCall* pc : doomed) {
+      pc->failed = true;
+      if (sched_->state_of(pc->caller) == runtime::FiberState::Blocked)
+        sched_->unblock(pc->caller);
+    }
+  });
+}
+
+EntryBase::~EntryBase() { sched_->remove_crash_hook(crash_hook_id_); }
+
 void EntryBase::on_call_arrived() {
   if (sched_->bus().wants(obs::Subsystem::Ada))
     sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Ada,
@@ -31,7 +50,15 @@ void EntryBase::wait_for_caller() {
   SCRIPT_ASSERT(waiting_acceptor_ == kNoProcess,
                 "two tasks accepting the same entry " + name_);
   waiting_acceptor_ = sched_->current();
-  sched_->block("accept " + name_);
+  try {
+    sched_->block("accept " + name_);
+  } catch (...) {
+    // Crashed while committed to this accept: withdraw the commitment
+    // so a later caller does not try to wake a dead acceptor.
+    if (waiting_acceptor_ == sched_->current())
+      waiting_acceptor_ = kNoProcess;
+    throw;
+  }
 }
 
 EntryBase::PendingCall* EntryBase::take_head() {
@@ -71,6 +98,29 @@ void EntryBase::withdraw(PendingCall* pc) {
   SCRIPT_ASSERT(it != calls_.end(),
                 "withdraw: call not queued on entry " + name_);
   calls_.erase(it);
+}
+
+void EntryBase::fail_call(PendingCall* pc) {
+  pc->failed = true;
+  if (sched_->bus().wants(obs::Subsystem::Ada))
+    sched_->bus().publish({obs::EventKind::SpanEnd, obs::Subsystem::Ada,
+                           obs::kAutoTime, sched_->current(), obs::kNoLane,
+                           "rendezvous", name_ + " (failed)"});
+  if (sched_->state_of(pc->caller) == runtime::FiberState::Blocked)
+    sched_->unblock(pc->caller);
+}
+
+void EntryBase::unwind_call(PendingCall* pc) {
+  const auto it = std::find(calls_.begin(), calls_.end(), pc);
+  if (it != calls_.end()) {
+    calls_.erase(it);  // still queued: withdraw and die
+    return;
+  }
+  // Taken (or being failed): the acceptor is using our stack slots. A
+  // started rendezvous runs to completion — park until it has finished,
+  // then resume dying. The scheduler tolerates this deferred death.
+  while (pc->taken && !pc->done && !pc->failed)
+    sched_->block("entry call " + name_ + " (finishing rendezvous)");
 }
 
 }  // namespace script::ada

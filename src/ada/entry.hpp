@@ -7,10 +7,12 @@
 // `start(1..m)`) are EntryFamily — an indexed vector of entries.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,17 +27,32 @@ using runtime::ProcessId;
 /// Placeholder for "no in-parameters" / "no out-parameters".
 struct Unit {};
 
+/// Ada's TASKING_ERROR: raised in a caller whose entry call can never
+/// complete — the owning task crashed (before or during the rendezvous).
+class TaskingError : public std::runtime_error {
+ public:
+  explicit TaskingError(const std::string& entry)
+      : std::runtime_error("tasking error: entry " + entry +
+                           " of a dead task") {}
+};
+
 class Select;
 
 /// Type-independent part of an entry: the caller queue and its
 /// integration with accept/select.
 class EntryBase {
  public:
-  EntryBase(runtime::Scheduler& sched, std::string name)
-      : sched_(&sched), name_(std::move(name)) {}
+  EntryBase(runtime::Scheduler& sched, std::string name);
+  ~EntryBase();
 
   EntryBase(const EntryBase&) = delete;
   EntryBase& operator=(const EntryBase&) = delete;
+
+  /// Declare which task owns (accepts) this entry. When that task
+  /// crashes, queued and future callers raise TaskingError — Ada's
+  /// "entry call on an abnormal task" rule.
+  void owned_by(ProcessId owner) { owner_ = owner; }
+  bool owner_crashed() const { return owner_crashed_; }
 
   /// Ada's E'COUNT: callers currently queued.
   std::size_t count() const { return calls_.size(); }
@@ -52,6 +69,7 @@ class EntryBase {
     void* out;   // caller-stack storage
     bool taken = false;  // an acceptor is executing the rendezvous
     bool done = false;
+    bool failed = false;  // acceptor task died; caller raises TaskingError
   };
 
   /// A caller queued a call: wake whoever is waiting to accept.
@@ -64,6 +82,12 @@ class EntryBase {
   bool acceptor_committed() const;
   /// Remove a not-yet-taken call from the queue (timed-call withdrawal).
   void withdraw(PendingCall* pc);
+  /// Wake `pc`'s caller with TaskingError (acceptor died mid-rendezvous).
+  void fail_call(PendingCall* pc);
+  /// Crash unwinding through a parked entry call: withdraw a queued
+  /// call, or ride out a started rendezvous (Ada: a taken rendezvous
+  /// cannot be abandoned — the caller's stack holds the parameters).
+  void unwind_call(PendingCall* pc);
 
   runtime::Scheduler* sched_;
   std::string name_;
@@ -71,6 +95,9 @@ class EntryBase {
   ProcessId waiting_acceptor_ = kNoProcess;
   std::vector<ProcessId> select_waiters_;  // tasks blocked in Select
   std::uint64_t completed_ = 0;
+  ProcessId owner_ = kNoProcess;
+  bool owner_crashed_ = false;
+  std::uint64_t crash_hook_id_ = 0;
 };
 
 template <typename In = Unit, typename Out = Unit>
@@ -79,12 +106,21 @@ class Entry : public EntryBase {
   using EntryBase::EntryBase;
 
   /// Entry call: `server.e(arg)`. Blocks until the rendezvous completes.
+  /// Raises TaskingError if the owning task has crashed (or crashes
+  /// before completing the rendezvous).
   Out call(In arg) {
+    if (owner_crashed_) throw TaskingError(name_);
     Out out{};
     PendingCall pc{sched_->current(), &arg, &out, false};
     calls_.push_back(&pc);
     on_call_arrived();
-    sched_->block("entry call " + name_);
+    try {
+      sched_->block("entry call " + name_);
+    } catch (...) {
+      unwind_call(&pc);
+      throw;
+    }
+    if (pc.failed) throw TaskingError(name_);
     SCRIPT_ASSERT(pc.done, "entry caller woken before rendezvous end");
     return out;
   }
@@ -108,22 +144,30 @@ class Entry : public EntryBase {
   /// Once an acceptor takes the call, it always runs to completion
   /// (Ada: a started rendezvous cannot be timed out).
   std::optional<Out> call_with_timeout(In arg, std::uint64_t ticks) {
+    if (owner_crashed_) throw TaskingError(name_);
     Out out{};
     PendingCall pc{sched_->current(), &arg, &out, false, false};
     calls_.push_back(&pc);
     on_call_arrived();
     // The queued call self-cleans if the deadline fires before an
     // acceptor takes it; a call taken at the firing instant stays.
-    bool timed_out = sched_->block_with_timeout(
-        "timed entry call " + name_, ticks,
-        [this, &pc] {
-          if (!pc.taken) withdraw(&pc);
-        });
-    while (timed_out && pc.taken && !pc.done) {
-      // Accepted just as the timer fired: the rendezvous must finish.
-      timed_out = false;
-      sched_->block("entry call " + name_ + " (rendezvous in progress)");
+    bool timed_out = false;
+    try {
+      timed_out = sched_->block_with_timeout(
+          "timed entry call " + name_, ticks,
+          [this, &pc] {
+            if (!pc.taken) withdraw(&pc);
+          });
+      while (timed_out && pc.taken && !pc.done && !pc.failed) {
+        // Accepted just as the timer fired: the rendezvous must finish.
+        timed_out = false;
+        sched_->block("entry call " + name_ + " (rendezvous in progress)");
+      }
+    } catch (...) {
+      unwind_call(&pc);
+      throw;
     }
+    if (pc.failed) throw TaskingError(name_);
     if (pc.done) return out;
     SCRIPT_ASSERT(timed_out, "timed entry call woke in impossible state");
     return std::nullopt;
@@ -139,7 +183,14 @@ class Entry : public EntryBase {
   /// Accept with a caller known to be queued (used by Select).
   void accept_ready(const std::function<Out(In&)>& body) {
     PendingCall* pc = take_head();
-    *static_cast<Out*>(pc->out) = body(*static_cast<In*>(pc->in));
+    try {
+      *static_cast<Out*>(pc->out) = body(*static_cast<In*>(pc->in));
+    } catch (...) {
+      // Acceptor died mid-rendezvous: the caller raises TaskingError
+      // (Ada 9.5: abnormal completion of the called task).
+      fail_call(pc);
+      throw;
+    }
     finish(pc);
   }
 };

@@ -81,22 +81,27 @@ int Select::run() {
   int chosen = kNone;
   bool timed_out = false;
   const std::uint64_t deadline = sched_->now() + delay_ticks_;
-  for (;;) {
-    if (has_delay_) {
-      const std::uint64_t now = sched_->now();
-      if (now >= deadline) {
-        timed_out = true;
+  try {
+    for (;;) {
+      if (has_delay_) {
+        const std::uint64_t now = sched_->now();
+        if (now >= deadline) {
+          timed_out = true;
+        } else {
+          timed_out = sched_->block_with_timeout(
+              "select (delay)", deadline - now, deregister);
+        }
       } else {
-        timed_out = sched_->block_with_timeout(
-            "select (delay)", deadline - now, deregister);
+        sched_->block("select on " +
+                      std::to_string(open.size()) + " entries");
       }
-    } else {
-      sched_->block("select on " +
-                    std::to_string(open.size()) + " entries");
+      chosen = pick_ready(open);
+      if (chosen != kNone || timed_out) break;
+      // Spurious wake (a caller was consumed by someone else): park again.
     }
-    chosen = pick_ready(open);
-    if (chosen != kNone || timed_out) break;
-    // Spurious wake (a caller was consumed by someone else): park again.
+  } catch (...) {
+    deregister();  // crashed while parked: no dangling select waiters
+    throw;
   }
 
   deregister();

@@ -92,6 +92,18 @@ int Alternative::select() {
     group.ops.push_back(&op);
     net.link(&op);
   }
+  // If a FaultPlan crash unwinds this fiber while parked, every branch
+  // still linked must leave the Net with the stack it lives on. After a
+  // normal wake the matcher has unlinked the whole group: no-op.
+  struct GroupUnlinkGuard {
+    Net* net;
+    std::vector<PendingOp>* ops;
+    ~GroupUnlinkGuard() {
+      for (PendingOp& op : *ops)
+        if (op.linked) net->unlink(&op);
+    }
+  };
+  GroupUnlinkGuard guard{&net, &ops};
   net.scheduler().block("alternative (" + std::to_string(viable.size()) +
                         " branches)");
 

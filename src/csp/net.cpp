@@ -10,6 +10,29 @@ using detail::AltGroup;
 using detail::Dir;
 using detail::PendingOp;
 
+namespace {
+
+// Unparks a posted offer if the posting fiber unwinds while it is still
+// linked (a FaultPlan crash killing a blocked communicator). On normal
+// wake-ups the matcher has already unlinked the op and this is a no-op.
+struct UnlinkGuard {
+  Net* net;
+  PendingOp* op;
+  void (Net::*unlink)(PendingOp*);
+  ~UnlinkGuard() {
+    if (op->linked) (net->*unlink)(op);
+  }
+};
+
+}  // namespace
+
+Net::Net(runtime::Scheduler& sched) : sched_(&sched) {
+  crash_hook_id_ = sched_->add_crash_hook(
+      [this](ProcessId pid) { mark_terminated(pid); });
+}
+
+Net::~Net() { sched_->remove_crash_hook(crash_hook_id_); }
+
 ProcessId Net::spawn_process(std::string name, std::function<void()> body) {
   const auto pid = sched_->spawn(
       std::move(name), [this, body = std::move(body)] {
@@ -25,6 +48,7 @@ bool Net::is_terminated(ProcessId pid) const {
 
 void Net::link(PendingOp* op) {
   pending_[op->tag][op->owner].push_back(op);
+  op->linked = true;
   ++pending_count_;
 }
 
@@ -39,6 +63,7 @@ void Net::unlink(PendingOp* op) {
   ops.erase(it);
   if (ops.empty()) bucket->second.erase(shelf);
   if (bucket->second.empty()) pending_.erase(bucket);
+  op->linked = false;
   --pending_count_;
 }
 
@@ -53,17 +78,18 @@ void Net::mark_terminated(ProcessId pid) {
   for (const auto& [tag, bucket] : pending_)
     for (const auto& [owner, ops] : bucket)
       snapshot.insert(snapshot.end(), ops.begin(), ops.end());
-  auto still_parked = [&](PendingOp* op) {
-    const auto bucket = pending_.find(op->tag);
-    if (bucket == pending_.end()) return false;
-    const auto shelf = bucket->second.find(op->owner);
-    if (shelf == bucket->second.end()) return false;
-    return std::find(shelf->second.begin(), shelf->second.end(), op) !=
-           shelf->second.end();
-  };
   for (PendingOp* op : snapshot) {
-    if (!still_parked(op))
+    if (!op->linked)
       continue;  // already removed (e.g. sibling of a failed alt branch)
+    if (op->ghost) {
+      // A duplicate TO the dead process can never be taken; one FROM it
+      // is already in flight and stays deliverable.
+      if (op->peer == pid) {
+        unlink(op);
+        free_ghost(op);
+      }
+      continue;
+    }
     SCRIPT_ASSERT(op->owner != pid,
                   "process terminated while it still has parked offers");
     bool dead = false;
@@ -73,22 +99,70 @@ void Net::mark_terminated(ProcessId pid) {
       dead = std::all_of(op->peer_set.begin(), op->peer_set.end(),
                          [&](ProcessId p) { return is_terminated(p); });
     }
-    if (!dead) continue;
+    if (dead) fail_op(op);
+  }
+}
 
-    if (op->group == nullptr) {
-      op->failed = true;
-      unlink(op);
-      sched_->unblock(op->owner);
-    } else {
-      AltGroup* g = op->group;
-      unlink(op);
-      g->ops.erase(std::find(g->ops.begin(), g->ops.end(), op));
-      if (g->ops.empty()) {
-        g->all_failed = true;
-        sched_->unblock(g->owner);
-      }
+void Net::fail_op(PendingOp* op) {
+  if (op->group == nullptr) {
+    op->failed = true;
+    unlink(op);
+    sched_->unblock(op->owner);
+  } else {
+    AltGroup* g = op->group;
+    unlink(op);
+    g->ops.erase(std::find(g->ops.begin(), g->ops.end(), op));
+    if (g->ops.empty()) {
+      g->all_failed = true;
+      sched_->unblock(g->owner);
     }
   }
+}
+
+void Net::fail_tagged(const std::string& prefix) {
+  std::vector<PendingOp*> snapshot;
+  for (auto it = pending_.lower_bound(prefix);
+       it != pending_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    for (const auto& [owner, ops] : it->second)
+      snapshot.insert(snapshot.end(), ops.begin(), ops.end());
+  for (PendingOp* op : snapshot) {
+    if (!op->linked) continue;  // sibling of a failed alt branch
+    if (op->ghost) {
+      unlink(op);
+      free_ghost(op);
+      continue;
+    }
+    fail_op(op);
+  }
+}
+
+void Net::add_ghost(ProcessId sender, ProcessId receiver,
+                    const std::string& tag, std::type_index type,
+                    Message value) {
+  auto g = std::make_unique<PendingOp>();
+  g->dir = Dir::Send;
+  g->owner = sender;
+  g->peer = receiver;
+  g->tag = tag;
+  g->type = type;
+  g->value = std::move(value);
+  g->ghost = true;
+  link(g.get());
+  if (sched_->bus().wants(obs::Subsystem::Fault))
+    sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                           obs::kAutoTime, sender, obs::kNoLane,
+                           "fault.duplicate", tag});
+  ghosts_.push_back(std::move(g));
+}
+
+void Net::free_ghost(PendingOp* op) {
+  const auto it = std::find_if(
+      ghosts_.begin(), ghosts_.end(),
+      [op](const std::unique_ptr<PendingOp>& g) { return g.get() == op; });
+  SCRIPT_ASSERT(it != ghosts_.end(), "free_ghost: not a ghost op");
+  ghosts_.erase(it);
 }
 
 PendingOp* Net::choose(const std::vector<PendingOp*>& matches) {
@@ -98,14 +172,29 @@ PendingOp* Net::choose(const std::vector<PendingOp*>& matches) {
 }
 
 Result<void> Net::send_erased(ProcessId to, const std::string& tag,
-                              Message value, std::type_index type) {
+                              Message value, std::type_index type,
+                              std::uint64_t timeout_ticks) {
   const ProcessId me = sched_->current();
   if (is_terminated(to))
     return support::make_unexpected(CommError::PeerTerminated);
 
   const auto matches = find_matches(Dir::Send, me, to, {}, tag, type);
   if (!matches.empty()) {
-    complete_with(choose(matches), Dir::Send, std::move(value));
+    PendingOp* pick = choose(matches);
+    runtime::FaultPlan* plan = sched_->fault_plan();
+    if (plan != nullptr && plan->has_message_faults() &&
+        plan->should_drop(tag)) {
+      // Lost at the transfer instant: the sender believes it delivered
+      // (and pays latency); the receiver keeps waiting.
+      const std::uint64_t lat = charge_latency(me, pick->owner);
+      if (sched_->bus().wants(obs::Subsystem::Fault))
+        sched_->bus().publish({obs::EventKind::Instant,
+                               obs::Subsystem::Fault, obs::kAutoTime, me,
+                               obs::kNoLane, "fault.drop", tag});
+      if (lat > 0) sched_->sleep_for(lat);
+      return {};
+    }
+    complete_with(pick, Dir::Send, std::move(value));
     return {};
   }
 
@@ -116,30 +205,59 @@ Result<void> Net::send_erased(ProcessId to, const std::string& tag,
   op.tag = tag;
   op.type = type;
   op.value = std::move(value);
+  UnlinkGuard guard{this, &op, &Net::unlink};
   link(&op);
-  sched_->block("! " + sched_->name_of(to) + " tag=" + tag);
+  const std::string reason = "! " + sched_->name_of(to) + " tag=" + tag;
+  if (timeout_ticks == kNoTimeout) {
+    sched_->block(reason);
+  } else {
+    const bool expired = sched_->block_with_timeout(
+        reason, timeout_ticks, [this, p = &op] {
+          if (p->linked) unlink(p);
+        });
+    if (expired) return support::make_unexpected(CommError::TimedOut);
+  }
   if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
   return {};
 }
 
 Result<std::pair<ProcessId, Message>> Net::recv_erased(
     ProcessId from, std::vector<ProcessId> peer_set, const std::string& tag,
-    std::type_index type) {
+    std::type_index type, std::uint64_t timeout_ticks) {
   const ProcessId me = sched_->current();
+  runtime::FaultPlan* plan = sched_->fault_plan();
+  const bool faulty = plan != nullptr && plan->has_message_faults();
+
+  // Deliverable parked offers are taken before the terminated checks: an
+  // in-flight duplicate from a since-dead sender must still arrive (it
+  // already left that sender). Non-ghost offers from terminated owners
+  // cannot exist, so this reordering only affects ghosts.
+  for (;;) {
+    const auto matches =
+        find_matches(Dir::Recv, me, from, peer_set, tag, type);
+    if (matches.empty()) break;
+    PendingOp* pick = choose(matches);
+    if (faulty && !pick->ghost && plan->should_drop(tag)) {
+      // Complete the parked send so the sender believes it delivered,
+      // then lose the payload; keep looking (or park below).
+      if (sched_->bus().wants(obs::Subsystem::Fault))
+        sched_->bus().publish({obs::EventKind::Instant,
+                               obs::Subsystem::Fault, obs::kAutoTime, me,
+                               obs::kNoLane, "fault.drop", tag});
+      complete_with(pick, Dir::Recv, Message());
+      continue;
+    }
+    const ProcessId sender = pick->owner;
+    Message payload = complete_with(pick, Dir::Recv, Message());
+    return std::pair<ProcessId, Message>{sender, std::move(payload)};
+  }
+
   if (from != kAnyProcess && is_terminated(from))
     return support::make_unexpected(CommError::PeerTerminated);
   if (from == kAnyProcess && !peer_set.empty() &&
       std::all_of(peer_set.begin(), peer_set.end(),
                   [&](ProcessId p) { return is_terminated(p); }))
     return support::make_unexpected(CommError::PeerTerminated);
-
-  const auto matches = find_matches(Dir::Recv, me, from, peer_set, tag, type);
-  if (!matches.empty()) {
-    PendingOp* pick = choose(matches);
-    const ProcessId sender = pick->owner;
-    Message payload = complete_with(pick, Dir::Recv, Message());
-    return std::pair<ProcessId, Message>{sender, std::move(payload)};
-  }
 
   PendingOp op;
   op.dir = Dir::Recv;
@@ -148,10 +266,20 @@ Result<std::pair<ProcessId, Message>> Net::recv_erased(
   op.peer_set = std::move(peer_set);
   op.tag = tag;
   op.type = type;
+  UnlinkGuard guard{this, &op, &Net::unlink};
   link(&op);
   const std::string who =
       from == kAnyProcess ? std::string("any") : sched_->name_of(from);
-  sched_->block("? " + who + " tag=" + tag);
+  const std::string reason = "? " + who + " tag=" + tag;
+  if (timeout_ticks == kNoTimeout) {
+    sched_->block(reason);
+  } else {
+    const bool expired = sched_->block_with_timeout(
+        reason, timeout_ticks, [this, p = &op] {
+          if (p->linked) unlink(p);
+        });
+    if (expired) return support::make_unexpected(CommError::TimedOut);
+  }
   if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
   return std::pair<ProcessId, Message>{op.matched_with, std::move(op.value)};
 }
@@ -209,6 +337,26 @@ std::vector<PendingOp*> Net::find_matches(
 
 Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
   const ProcessId me = sched_->current();
+  runtime::FaultPlan* plan = sched_->fault_plan();
+  const bool faulty = plan != nullptr && plan->has_message_faults();
+
+  if (parked->ghost) {
+    // Taking an in-flight duplicate: there is no partner to wake; only
+    // the receiver pays the hop latency.
+    SCRIPT_ASSERT(my_dir == Dir::Recv, "ghost matched by a send");
+    Message result = std::move(parked->value);
+    const ProcessId sender = parked->owner;
+    const std::string tag = parked->tag;
+    unlink(parked);
+    free_ghost(parked);
+    const std::uint64_t lat = charge_latency(sender, me);
+    if (sched_->bus().wants(obs::Subsystem::Fault))
+      sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                             obs::kAutoTime, me, obs::kNoLane,
+                             "fault.duplicate.delivered", tag});
+    if (lat > 0) sched_->sleep_for(lat);
+    return result;
+  }
 
   Message result;
   if (my_dir == Dir::Send) {
@@ -228,7 +376,23 @@ Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
 
   const ProcessId sender = my_dir == Dir::Send ? me : parked->owner;
   const ProcessId receiver = my_dir == Dir::Send ? parked->owner : me;
-  const std::uint64_t lat = charge_latency(sender, receiver);
+  std::uint64_t lat = charge_latency(sender, receiver);
+  if (faulty) {
+    // The op is unlinked but still valid (it lives on the owner's pinned
+    // fiber stack), so the payload can be copied for a duplicate.
+    if (const std::uint64_t extra = plan->extra_delay(parked->tag);
+        extra > 0) {
+      lat += extra;
+      if (sched_->bus().wants(obs::Subsystem::Fault))
+        sched_->bus().publish({obs::EventKind::Instant,
+                               obs::Subsystem::Fault, obs::kAutoTime,
+                               sender, obs::kNoLane, "fault.delay",
+                               parked->tag, static_cast<double>(extra)});
+    }
+    if (plan->should_duplicate(parked->tag))
+      add_ghost(sender, receiver, parked->tag, parked->type,
+                my_dir == Dir::Send ? parked->value : result);
+  }
   if (sched_->bus().wants(obs::Subsystem::Csp))
     sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Csp,
                            obs::kAutoTime, sender, obs::kNoLane,

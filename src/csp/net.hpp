@@ -35,7 +35,12 @@ inline constexpr ProcessId kAnyProcess = kNoProcess;
 
 enum class CommError : std::uint8_t {
   PeerTerminated,  // the named partner has finished (CSP failure rule)
+  TimedOut,        // a *_for variant expired before the rendezvous
 };
+
+/// No deadline: *_for variants with this value behave like the plain ones.
+inline constexpr std::uint64_t kNoTimeout =
+    static_cast<std::uint64_t>(-1);
 
 template <typename T>
 using Result = support::Expected<T, CommError>;
@@ -57,6 +62,8 @@ struct PendingOp {
   Message value;             // payload (Send) or delivery slot (Recv)
   ProcessId matched_with = kNoProcess;  // filled on completion
   bool failed = false;       // peer terminated while parked
+  bool linked = false;       // currently parked in the Net's buckets
+  bool ghost = false;        // heap-owned in-flight duplicate (fault)
   AltGroup* group = nullptr; // non-null when part of an Alternative
   int branch = -1;           // branch index within the Alternative
 };
@@ -75,7 +82,13 @@ class Alternative;
 
 class Net {
  public:
-  explicit Net(runtime::Scheduler& sched) : sched_(&sched) {}
+  /// Registers a scheduler crash hook so a FaultPlan-killed process is
+  /// treated exactly like a terminated one (CSP failure rule).
+  explicit Net(runtime::Scheduler& sched);
+  ~Net();
+
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
 
   /// Charge each completed rendezvous `model->latency(from, to)` ticks
   /// of virtual time to both parties. Pass nullptr to disable.
@@ -94,6 +107,27 @@ class Net {
   template <typename T>
   Result<T> recv(ProcessId from, const std::string& tag) {
     auto r = recv_erased(from, {}, tag, std::type_index(typeid(T)));
+    if (!r) return support::make_unexpected(r.error());
+    return r->second.template as<T>();
+  }
+
+  // ---- Timed variants (fault-tolerant protocols' building blocks) ----
+
+  /// send() that gives up with CommError::TimedOut after `timeout_ticks`
+  /// of virtual time with no willing receiver.
+  template <typename T>
+  Result<void> send_for(ProcessId to, const std::string& tag, T value,
+                        std::uint64_t timeout_ticks) {
+    return send_erased(to, tag, Message::of<T>(std::move(value)),
+                       std::type_index(typeid(T)), timeout_ticks);
+  }
+
+  /// recv() that gives up with CommError::TimedOut after `timeout_ticks`.
+  template <typename T>
+  Result<T> recv_for(ProcessId from, const std::string& tag,
+                     std::uint64_t timeout_ticks) {
+    auto r = recv_erased(from, {}, tag, std::type_index(typeid(T)),
+                         timeout_ticks);
     if (!r) return support::make_unexpected(r.error());
     return r->second.template as<T>();
   }
@@ -164,6 +198,12 @@ class Net {
   void mark_terminated(ProcessId pid);
   bool is_terminated(ProcessId pid) const;
 
+  /// Fail every parked offer whose tag starts with `prefix` (owners wake
+  /// with PeerTerminated) and discard matching in-flight duplicates.
+  /// script::Instance aborts a performance by failing its scoped-tag
+  /// namespace "<script>#<perf>/" in one sweep.
+  void fail_tagged(const std::string& prefix);
+
   // ---- Introspection for tests and benches ----
 
   std::uint64_t rendezvous_count() const { return rendezvous_count_; }
@@ -178,10 +218,23 @@ class Net {
   friend class Alternative;
 
   Result<void> send_erased(ProcessId to, const std::string& tag,
-                           Message value, std::type_index type);
+                           Message value, std::type_index type,
+                           std::uint64_t timeout_ticks = kNoTimeout);
   Result<std::pair<ProcessId, Message>> recv_erased(
       ProcessId from, std::vector<ProcessId> peer_set,
-      const std::string& tag, std::type_index type);
+      const std::string& tag, std::type_index type,
+      std::uint64_t timeout_ticks = kNoTimeout);
+
+  /// Fail one parked offer: wake its owner with PeerTerminated (and
+  /// collapse its Alternative group when every branch has failed).
+  void fail_op(detail::PendingOp* op);
+
+  /// Park a heap-owned duplicate of a just-delivered message; the
+  /// receiver's next matching input takes it like any parked send.
+  void add_ghost(ProcessId sender, ProcessId receiver,
+                 const std::string& tag, std::type_index type,
+                 Message value);
+  void free_ghost(detail::PendingOp* op);
 
   /// Nondeterministic choice among matching parked offers.
   detail::PendingOp* choose(const std::vector<detail::PendingOp*>& matches);
@@ -223,6 +276,10 @@ class Net {
   std::size_t pending_count_ = 0;
   std::vector<bool> terminated_;  // indexed by ProcessId
   std::uint64_t rendezvous_count_ = 0;
+  // In-flight duplicates (FaultPlan::duplicate_message) are the one kind
+  // of parked op with no fiber stack to live on; the Net owns them.
+  std::vector<std::unique_ptr<detail::PendingOp>> ghosts_;
+  std::uint64_t crash_hook_id_ = 0;
 };
 
 }  // namespace script::csp

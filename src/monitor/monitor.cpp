@@ -11,6 +11,7 @@ void Monitor::enter() {
   ++entries_;
   if (!busy_) {
     busy_ = true;
+    holder_ = sched_->current();
     publish_hold(obs::EventKind::SpanBegin);
     return;
   }
@@ -19,7 +20,14 @@ void Monitor::enter() {
     sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Monitor,
                            obs::kAutoTime, sched_->current(), obs::kNoLane,
                            "monitor.contended", name_});
-  entry_queue_.park("entering monitor " + name_);
+  try {
+    entry_queue_.park("entering monitor " + name_);
+  } catch (...) {
+    // Crashed while queued (the park self-cleans) — or just after the
+    // hand-off made us owner, in which case the monitor moves on.
+    if (busy_ && holder_ == sched_->current()) release_and_admit();
+    throw;
+  }
   // Woken by release_and_admit with ownership handed to us.
   SCRIPT_ASSERT(busy_, "monitor hand-off lost ownership");
   publish_hold(obs::EventKind::SpanBegin);
@@ -34,11 +42,25 @@ void Monitor::leave() {
 void Monitor::wait_until(std::function<bool()> pred) {
   SCRIPT_ASSERT(busy_, "wait_until() without holding monitor " + name_);
   if (pred()) return;
-  cond_waiters_.push_back({sched_->current(), pred});
+  const ProcessId me = sched_->current();
+  cond_waiters_.push_back({me, pred});
   publish_hold(obs::EventKind::SpanEnd);
   release_and_admit();
-  sched_->block("WAIT UNTIL in monitor " + name_);
-  //
+  try {
+    sched_->block("WAIT UNTIL in monitor " + name_);
+  } catch (...) {
+    // Crashed while waiting: either our waiter entry is still queued
+    // (never admitted — drop it) or the hand-off already made us owner
+    // (pass the monitor on so no one deadlocks on a dead holder).
+    for (auto it = cond_waiters_.begin(); it != cond_waiters_.end(); ++it) {
+      if (it->pid == me) {
+        cond_waiters_.erase(it);
+        throw;
+      }
+    }
+    if (busy_ && holder_ == me) release_and_admit();
+    throw;
+  }
 
   // Admitted with ownership; hand-off guarantees the predicate held at
   // admission time and no one has run inside the monitor since.
@@ -55,7 +77,17 @@ void Monitor::publish_hold(obs::EventKind kind) {
 
 void Monitor::with(const std::function<void()>& body) {
   enter();
-  body();
+  try {
+    body();
+  } catch (...) {
+    // A crash (or exception) inside the critical section releases the
+    // monitor instead of wedging every later entrant.
+    if (busy_ && holder_ == sched_->current()) {
+      publish_hold(obs::EventKind::SpanEnd);
+      release_and_admit();
+    }
+    throw;
+  }
   leave();
 }
 
@@ -72,12 +104,18 @@ void Monitor::release_and_admit() {
       cond_waiters_.erase(cond_waiters_.begin() +
                           static_cast<std::ptrdiff_t>(i));
       // busy_ stays true: ownership passes directly to the waiter.
+      holder_ = pid;
       sched_->unblock(pid);
       return;
     }
   }
-  if (entry_queue_.notify_one()) return;  // hand off to a new entrant
+  if (!entry_queue_.empty()) {
+    holder_ = entry_queue_.front();  // hand off to a new entrant
+    entry_queue_.notify_one();
+    return;
+  }
   busy_ = false;
+  holder_ = runtime::kNoProcess;
 }
 
 }  // namespace script::monitor

@@ -66,6 +66,9 @@ class Monitor {
   runtime::Scheduler* sched_;
   std::string name_;
   bool busy_ = false;
+  // Current owner — lets a crash unwinding through with()/wait_until()
+  // decide whether this fiber must pass the monitor on.
+  ProcessId holder_ = runtime::kNoProcess;
   runtime::WaitQueue entry_queue_;
   std::vector<CondWaiter> cond_waiters_;  // FIFO order
   std::uint64_t entries_ = 0;

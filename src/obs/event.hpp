@@ -47,6 +47,7 @@ enum class Subsystem : std::uint8_t {
   Lock,       // lockdb acquire/release/conflict
   Link,       // SimLink / distributed-protocol message hops
   User,       // application-defined events
+  Fault,      // injected faults: crashes, stalls, message drop/dup/delay
   kCount,
 };
 

@@ -16,6 +16,7 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::Lock: return "lock";
     case Subsystem::Link: return "link";
     case Subsystem::User: return "user";
+    case Subsystem::Fault: return "fault";
     case Subsystem::kCount: break;
   }
   return "unknown";

@@ -68,4 +68,35 @@ ExploreStats explore_interleavings(
   }
 }
 
+FaultExploreStats explore_fault_schedules(
+    const std::function<void(Scheduler&)>& build,
+    const std::function<void(Scheduler&, const RunResult&, const FaultPlan&)>&
+        check,
+    FaultExploreOptions opts) {
+  FaultExploreStats stats;
+  stats.complete = true;
+
+  const auto explore_one = [&](const FaultPlan& plan) {
+    const ExploreStats s = explore_interleavings(
+        [&](Scheduler& sched) {
+          if (!plan.empty()) sched.install_fault_plan(plan);
+          build(sched);
+        },
+        [&](Scheduler& sched, const RunResult& result) {
+          check(sched, result, plan);
+        },
+        opts.base);
+    ++stats.schedules;
+    stats.interleavings += s.interleavings;
+    stats.truncated_runs += s.truncated_runs;
+    if (!s.complete) stats.complete = false;
+  };
+
+  if (opts.include_fault_free) explore_one(FaultPlan{});
+  for (const ProcessId pid : opts.candidate_pids)
+    for (std::uint64_t step = 1; step <= opts.max_crash_step; ++step)
+      explore_one(FaultPlan{}.crash_at_step(pid, step));
+  return stats;
+}
+
 }  // namespace script::runtime

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace script::runtime {
@@ -57,5 +58,43 @@ ExploreStats explore_interleavings(
     const std::function<void(Scheduler&)>& build,
     const std::function<void(Scheduler&, const RunResult&)>& check,
     ExploreOptions opts = {});
+
+// ---- Fault-schedule exploration ----
+//
+// A fault schedule is WHERE a process dies: here, one crash of one
+// candidate process at one dispatch step. Crossed with full
+// interleaving enumeration per schedule, this checks that the
+// program's failure semantics hold at every crash point — the
+// fault-injection analogue of the decision-tree walk above.
+
+struct FaultExploreOptions {
+  ExploreOptions base;
+  /// Crash steps tried per candidate: 1..max_crash_step. Steps past
+  /// the program's natural end just never fire (still explored).
+  std::uint64_t max_crash_step = 8;
+  /// Processes to crash. Spawn order is deterministic, so callers know
+  /// their pids (spawn returns them; first spawn is the lowest pid).
+  std::vector<ProcessId> candidate_pids;
+  /// Also explore the schedule with no fault at all.
+  bool include_fault_free = true;
+};
+
+struct FaultExploreStats {
+  std::uint64_t schedules = 0;       // fault schedules enumerated
+  std::uint64_t interleavings = 0;   // total runs across all schedules
+  std::uint64_t truncated_runs = 0;
+  bool complete = false;  // every schedule's exploration completed
+};
+
+/// For each fault schedule (each candidate pid crashed at each step
+/// 1..max_crash_step, plus optionally the fault-free run), enumerate
+/// every interleaving of `build`'s program with that FaultPlan
+/// installed, and run `check` after each run. `build` must be
+/// repeatable, exactly as for explore_interleavings.
+FaultExploreStats explore_fault_schedules(
+    const std::function<void(Scheduler&)>& build,
+    const std::function<void(Scheduler&, const RunResult&, const FaultPlan&)>&
+        check,
+    FaultExploreOptions opts);
 
 }  // namespace script::runtime

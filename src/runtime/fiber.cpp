@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "runtime/fault.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/panic.hpp"
 
@@ -34,7 +35,15 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 
 void Fiber::run_body() {
   try {
-    body_();
+    if (kill_pending_) {
+      // Killed before ever being dispatched: the body never starts.
+      kill_pending_ = false;
+      crashed_ = true;
+    } else {
+      body_();
+    }
+  } catch (const FiberKilled&) {
+    crashed_ = true;  // a crash is not a failure; nothing to rethrow
   } catch (...) {
     failure_ = std::current_exception();
   }

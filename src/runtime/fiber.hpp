@@ -56,6 +56,13 @@ class Fiber {
   /// unblocked.
   bool timed_out() const { return timed_out_; }
 
+  /// True once a FaultPlan killed this fiber (its body was unwound by
+  /// FiberKilled; never reported through failure()).
+  bool crashed() const { return crashed_; }
+
+  /// Virtual time at which this fiber last ran (dispatch instant).
+  std::uint64_t last_progress() const { return last_progress_; }
+
  private:
   friend class Scheduler;
 
@@ -75,6 +82,12 @@ class Fiber {
   // earlier block/sleep can be recognized as stale and ignored.
   std::uint64_t wake_gen_ = 0;
   bool timed_out_ = false;
+  // ---- Fault-injection state (runtime/fault.hpp) ----
+  bool kill_pending_ = false;   // next switch-in throws FiberKilled
+  bool crashed_ = false;        // body unwound by FiberKilled
+  bool crash_notified_ = false;  // crash hooks already ran
+  std::uint64_t pending_stall_ticks_ = 0;  // consumed at next dispatch
+  std::uint64_t last_progress_ = 0;        // virtual time last dispatched
   // Deregistration hook for block_with_timeout: runs at the moment the
   // timeout fires (before any other fiber can observe the stale wait
   // entry), so wakers self-clean instead of every call site doing it.

@@ -26,7 +26,9 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
   out += " (steps=" + std::to_string(result.steps) +
          ", virtual time=" + std::to_string(result.final_time) + ")";
   for (const auto& [pid, reason] : result.blocked) {
-    out += "\n  blocked: " + sched.name_of(pid) + " — " + reason;
+    out += "\n  blocked: " + sched.name_of(pid) + " — " + reason +
+           " (last progress t=" + std::to_string(sched.last_progress(pid)) +
+           ")";
     // With event history enabled (SchedulerOptions::event_history), show
     // how the fiber got here: its last few bus events, oldest first.
     if (const auto* ring = sched.bus().history_for(pid)) {
@@ -103,6 +105,7 @@ RunResult Scheduler::run() {
   std::uint64_t dispatched = 0;
 
   for (;;) {
+    if (fault_plan_ != nullptr) fire_due_faults();
     if (opts_.max_steps_per_run != 0 &&
         dispatched >= opts_.max_steps_per_run) {
       result.outcome = RunResult::Outcome::StepLimit;
@@ -115,7 +118,17 @@ RunResult Scheduler::run() {
     Fiber& f = fiber(pid);
     SCRIPT_ASSERT(f.state() == FiberState::Ready,
                   "scheduled fiber not ready: " + f.name());
+    if (f.pending_stall_ticks_ > 0) {
+      // An injected stall: the fiber loses its turn and freezes for the
+      // stall duration (virtual time), then becomes runnable again.
+      const std::uint64_t ticks = f.pending_stall_ticks_;
+      f.pending_stall_ticks_ = 0;
+      f.set_state(FiberState::Sleeping);
+      timers_.push(Timer{now_ + ticks, timer_seq_++, pid, f.wake_gen_});
+      continue;
+    }
     f.set_state(FiberState::Running);
+    f.last_progress_ = now_;
     current_ = pid;
     ++steps_;
     ++dispatched;
@@ -126,6 +139,7 @@ RunResult Scheduler::run() {
     swapcontext(&main_context_, &f.context_);
     current_ = kNoProcess;
 
+    if (f.state() == FiberState::Done && f.crashed()) finish_crash(f);
     if (f.state() == FiberState::Done && f.failure()) {
       running_ = false;
       std::rethrow_exception(f.failure());
@@ -278,11 +292,106 @@ const Fiber& Scheduler::fiber(ProcessId pid) const {
 void Scheduler::switch_out() {
   Fiber& f = fiber(current_);
   swapcontext(&f.context_, &main_context_);
+  if (f.kill_pending_) {
+    // A FaultPlan crash fired while we were parked: unwind this fiber's
+    // stack so every RAII registration guard deregisters.
+    f.kill_pending_ = false;
+    throw FiberKilled{f.id()};
+  }
 }
 
 void Scheduler::on_fiber_done(Fiber& f) {
-  for (const ProcessId waiter : joiners_[f.id()]) unblock(waiter);
+  for (const ProcessId waiter : joiners_[f.id()])
+    if (fiber(waiter).state() == FiberState::Blocked) unblock(waiter);
   joiners_[f.id()].clear();
+}
+
+void Scheduler::install_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::make_unique<FaultPlan>(std::move(plan));
+}
+
+std::uint64_t Scheduler::add_crash_hook(std::function<void(ProcessId)> fn) {
+  const std::uint64_t id = next_crash_hook_id_++;
+  crash_hooks_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Scheduler::remove_crash_hook(std::uint64_t id) {
+  for (auto it = crash_hooks_.begin(); it != crash_hooks_.end(); ++it) {
+    if (it->first == id) {
+      crash_hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Scheduler::fire_due_faults() {
+  if (fault_plan_ == nullptr) return false;
+  bool fired_any = false;
+  for (FaultPlan::ProcessFault& pf : fault_plan_->process_faults()) {
+    if (pf.fired) continue;
+    if (pf.by_time ? now_ < pf.at : steps_ < pf.at) continue;
+    pf.fired = true;
+    fired_any = true;
+    Fiber& f = fiber(pf.pid);
+    if (f.state() == FiberState::Done) continue;  // beat the fault to exit
+    if (pf.kind == FaultPlan::ProcessFault::Kind::Crash) {
+      if (bus_.wants(obs::Subsystem::Fault))
+        bus_.publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                      obs::kAutoTime, pf.pid, obs::kNoLane, "fault.crash",
+                      f.name()});
+      kill_now(f);
+    } else {
+      if (bus_.wants(obs::Subsystem::Fault))
+        bus_.publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                      obs::kAutoTime, pf.pid, obs::kNoLane, "fault.stall",
+                      f.name(), static_cast<double>(pf.ticks)});
+      f.pending_stall_ticks_ += pf.ticks;
+    }
+  }
+  return fired_any;
+}
+
+void Scheduler::kill_now(Fiber& f) {
+  SCRIPT_ASSERT(current_ == kNoProcess,
+                "kill_now must run from the scheduler loop");
+  for (auto it = ready_.begin(); it != ready_.end();)
+    it = (*it == f.id()) ? ready_.erase(it) : it + 1;
+  // Self-clean any timed-wait registration exactly as a timeout would.
+  if (f.timeout_cleanup_) {
+    auto cleanup = std::move(f.timeout_cleanup_);
+    f.timeout_cleanup_ = nullptr;
+    cleanup();
+  }
+  ++f.wake_gen_;  // any armed timer is now stale
+  f.set_block_reason("");
+  f.kill_pending_ = true;
+  f.set_state(FiberState::Running);
+  current_ = f.id();
+  // Switch in so the victim unwinds NOW — before any other fiber can
+  // observe (and trip over) its stale rendezvous registrations.
+  swapcontext(&main_context_, &f.context_);
+  current_ = kNoProcess;
+  if (f.state() == FiberState::Done) {
+    if (f.crashed()) finish_crash(f);
+  }
+  // else: death deferred — the victim re-parked mid-rendezvous (an Ada
+  // caller whose call was already taken must wait out the acceptor);
+  // the run loop finishes the crash when the fiber reaches Done.
+}
+
+void Scheduler::finish_crash(Fiber& f) {
+  if (f.crash_notified_) return;
+  f.crash_notified_ = true;
+  if (bus_.wants(obs::Subsystem::Fault))
+    bus_.publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                  obs::kAutoTime, f.id(), obs::kNoLane, "fault.crashed",
+                  f.name()});
+  // Hooks may add/remove hooks while running; iterate by index on copies.
+  for (std::size_t i = 0; i < crash_hooks_.size(); ++i) {
+    auto fn = crash_hooks_[i].second;
+    fn(f.id());
+  }
 }
 
 ProcessId Scheduler::pick_next() {
@@ -308,9 +417,15 @@ ProcessId Scheduler::pick_next() {
 
 bool Scheduler::advance_clock() {
   bool woke_any = false;
-  while (!timers_.empty() && !woke_any) {
+  while (!woke_any) {
+    const std::uint64_t timer_due =
+        timers_.empty() ? kNoTrigger : timers_.top().due;
+    const std::uint64_t fault_due =
+        fault_plan_ != nullptr ? fault_plan_->next_time_trigger() : kNoTrigger;
+    const std::uint64_t due = std::min(timer_due, fault_due);
+    if (due == kNoTrigger) break;
     const std::uint64_t before = now_;
-    now_ = std::max(now_, timers_.top().due);
+    now_ = std::max(now_, due);
     if (now_ != before && bus_.wants(obs::Subsystem::Scheduler))
       bus_.publish({obs::EventKind::Counter, obs::Subsystem::Scheduler,
                     now_, obs::kNoPid, obs::kNoLane, "virtual_time", "",
@@ -348,8 +463,14 @@ bool Scheduler::advance_clock() {
                       was_sleeping ? "sleeping" : "blocked",
                       was_sleeping ? "" : "timeout"});
     }
+    // Same-instant faults fire after timers: a timeout racing a crash at
+    // the same tick resolves as timeout first (satellite regression).
+    if (fault_plan_ != nullptr && fire_due_faults()) woke_any = true;
   }
-  return woke_any || !timers_.empty();
+  if (woke_any || !timers_.empty()) return true;
+  // Unfired time-triggered faults keep the clock alive on their own.
+  return fault_plan_ != nullptr &&
+         fault_plan_->next_time_trigger() != kNoTrigger;
 }
 
 }  // namespace script::runtime

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/event_bus.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/fiber.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -132,6 +133,30 @@ class Scheduler {
   std::size_t spawned_count() const { return fibers_.size(); }
   std::size_t live_count() const;
 
+  // ---- Deterministic fault injection (runtime/fault.hpp) ----
+
+  /// Install a copy of `plan`; its triggers fire during subsequent
+  /// run() calls. Replaces any previous plan.
+  void install_fault_plan(FaultPlan plan);
+  void clear_fault_plan() { fault_plan_.reset(); }
+  /// The installed plan, or nullptr. csp::Net consults this for
+  /// message faults; the null check is the entire uninstalled cost.
+  FaultPlan* fault_plan() { return fault_plan_.get(); }
+
+  /// True once a FaultPlan crashed `pid`.
+  bool has_crashed(ProcessId pid) const { return fiber(pid).crashed(); }
+  /// Virtual time at which `pid` was last dispatched — deadlock reports
+  /// show it so an injected-fault hang is diagnosable at a glance.
+  std::uint64_t last_progress(ProcessId pid) const {
+    return fiber(pid).last_progress();
+  }
+
+  /// Register a hook that runs after a crashed fiber has fully unwound
+  /// (csp::Net fails the dead process's peers through one). Returns an
+  /// id for remove_crash_hook().
+  std::uint64_t add_crash_hook(std::function<void(ProcessId)> fn);
+  void remove_crash_hook(std::uint64_t id);
+
   support::Rng& rng() { return rng_; }
   support::TraceLog& trace() { return trace_; }
   /// Record a trace event stamped with virtual time and the fiber's name.
@@ -161,6 +186,16 @@ class Scheduler {
   ProcessId pick_next();
   bool advance_clock();  // wake due sleepers; returns false if none pending
 
+  /// Fire every due fault of the installed plan. Crashes unwind the
+  /// victim synchronously (see kill_now); returns true if anything
+  /// fired that could create runnable work.
+  bool fire_due_faults();
+  /// Switch into `f` with a kill pending so it unwinds NOW, before any
+  /// other fiber can observe its stale registrations.
+  void kill_now(Fiber& f);
+  /// Run the registered crash hooks for a fully-unwound crashed fiber.
+  void finish_crash(Fiber& f);
+
   struct Timer {
     std::uint64_t due;
     std::uint64_t seq;  // tie-break for determinism
@@ -187,6 +222,10 @@ class Scheduler {
   ProcessId current_ = kNoProcess;
   ucontext_t main_context_{};
   bool running_ = false;
+  std::unique_ptr<FaultPlan> fault_plan_;
+  std::vector<std::pair<std::uint64_t, std::function<void(ProcessId)>>>
+      crash_hooks_;
+  std::uint64_t next_crash_hook_id_ = 1;
 };
 
 }  // namespace script::runtime

@@ -7,8 +7,17 @@
 namespace script::runtime {
 
 void WaitQueue::park(const std::string& reason) {
-  waiters_.push_back(sched_->current());
-  sched_->block(reason);
+  const ProcessId pid = sched_->current();
+  waiters_.push_back(pid);
+  try {
+    sched_->block(reason);
+  } catch (...) {
+    // FaultPlan crash while parked: leave no dangling waiter entry.
+    // (park_for needs no guard — kill runs its timeout hook.)
+    const auto it = std::find(waiters_.begin(), waiters_.end(), pid);
+    if (it != waiters_.end()) waiters_.erase(it);
+    throw;
+  }
 }
 
 bool WaitQueue::park_for(const std::string& reason, std::uint64_t ticks) {

@@ -10,8 +10,60 @@ DistributedCast::DistributedCast(csp::Net& net,
     : net_(&net),
       members_(std::move(members)),
       name_(std::move(name)),
-      generation_(members_.size(), 0) {
+      generation_(members_.size(), 0),
+      suspected_(members_.size(), false) {
   SCRIPT_ASSERT(members_.size() >= 2, "distributed cast needs >= 2 members");
+}
+
+void DistributedCast::set_fault_options(CastFaultOptions opts) {
+  SCRIPT_ASSERT(opts.timeout_ticks > 0 && opts.max_attempts > 0 &&
+                    opts.backoff_factor > 0,
+                "cast fault options must be positive");
+  tolerant_ = true;
+  fault_ = opts;
+}
+
+std::size_t DistributedCast::suspected_count() const {
+  std::size_t n = 0;
+  for (const bool s : suspected_)
+    if (s) ++n;
+  return n;
+}
+
+void DistributedCast::suspect(std::size_t j, const std::string& tag) {
+  if (suspected_[j]) return;
+  suspected_[j] = true;
+  obs::EventBus& bus = net_->scheduler().bus();
+  if (bus.wants(obs::Subsystem::Fault))
+    bus.publish({obs::EventKind::Instant, obs::Subsystem::Fault,
+                 obs::kAutoTime, net_->scheduler().current(), obs::kNoLane,
+                 "cast.suspect", tag, static_cast<double>(members_[j])});
+}
+
+bool DistributedCast::exchange(std::size_t my_index, std::size_t j,
+                               bool sending, const std::string& tag) {
+  // Timed tries with exponential backoff; a peer that answers none of
+  // them — or is already known dead — is suspected. Waits are virtual
+  // ticks, so the suspicion instant is deterministic per seed + plan.
+  std::uint64_t wait = fault_.timeout_ticks;
+  for (unsigned attempt = 0; attempt < fault_.max_attempts; ++attempt) {
+    if (suspected_[j]) return false;  // someone else condemned j meanwhile
+    if (sending) {
+      auto r = net_->send_for(members_[j], tag, my_index, wait);
+      if (r.has_value()) {
+        ++messages_;
+        return true;
+      }
+      if (r.error() == csp::CommError::PeerTerminated) break;
+    } else {
+      auto r = net_->recv_for<std::size_t>(members_[j], tag, wait);
+      if (r.has_value()) return true;
+      if (r.error() == csp::CommError::PeerTerminated) break;
+    }
+    wait *= fault_.backoff_factor;
+  }
+  suspect(j, tag);
+  return false;
 }
 
 void DistributedCast::all_to_all(std::size_t my_index,
@@ -35,6 +87,27 @@ void DistributedCast::all_to_all(std::size_t my_index,
                    obs::kNoLane, "hop", tag,
                    static_cast<double>(members_[j])});
   };
+  if (tolerant_) {
+    // Same ordered handshake, but every exchange is timed and a silent
+    // peer is eventually suspected and skipped — by this member now,
+    // and by everyone else on their next exchange with it.
+    for (std::size_t j = 0; j < my_index; ++j) {
+      if (suspected_[j]) continue;
+      hop(j);
+      exchange(my_index, j, /*sending=*/true, tag);
+    }
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      if (j == my_index || suspected_[j]) continue;
+      exchange(my_index, j, /*sending=*/false, tag);
+    }
+    for (std::size_t j = my_index + 1; j < members_.size(); ++j) {
+      if (suspected_[j]) continue;
+      hop(j);
+      exchange(my_index, j, /*sending=*/true, tag);
+    }
+    return;
+  }
+
   for (std::size_t j = 0; j < my_index; ++j) {
     hop(j);
     auto r = net_->send(members_[j], tag, my_index);

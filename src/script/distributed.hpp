@@ -30,6 +30,14 @@
 
 namespace script::core {
 
+/// Retry/backoff parameters for crash-tolerant rounds. All in virtual
+/// ticks, so a fixed seed + fault plan gives identical suspicions.
+struct CastFaultOptions {
+  std::uint64_t timeout_ticks = 50;  // first wait per peer exchange
+  unsigned max_attempts = 3;         // timed tries before suspicion
+  std::uint64_t backoff_factor = 2;  // wait multiplier per retry
+};
+
 class DistributedCast {
  public:
   /// `members[i]` is the process playing role i. All members must be
@@ -51,15 +59,32 @@ class DistributedCast {
   /// Total protocol messages exchanged so far (for bench C4).
   std::uint64_t messages() const { return messages_; }
 
+  /// Switch to crash-tolerant rounds: every exchange is timed, retried
+  /// with exponential backoff, and a peer that stays silent (or is
+  /// known dead) is SUSPECTED and skipped by everyone from then on.
+  /// Without this, a member death aborts the program (bench-grade
+  /// strict mode, zero timeout bookkeeping on the hot path).
+  void set_fault_options(CastFaultOptions opts);
+  bool is_suspected(std::size_t index) const { return suspected_[index]; }
+  std::size_t suspected_count() const;
+
  private:
   void all_to_all(std::size_t my_index, const std::string& phase,
                   std::uint64_t generation);
+  /// One timed exchange with peer j (tolerant mode). Returns false
+  /// if j became suspected instead of completing the exchange.
+  bool exchange(std::size_t my_index, std::size_t j, bool sending,
+                const std::string& tag);
+  void suspect(std::size_t j, const std::string& tag);
 
   csp::Net* net_;
   std::vector<csp::ProcessId> members_;
   std::string name_;
   std::vector<std::uint64_t> generation_;  // per member
   std::uint64_t messages_ = 0;
+  bool tolerant_ = false;
+  CastFaultOptions fault_;
+  std::vector<bool> suspected_;
 };
 
 }  // namespace script::core

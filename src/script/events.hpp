@@ -18,6 +18,8 @@ struct ScriptEvent {
     Released,           // enroll() returns to the process
     PerformanceBegan,   // pid is kNoProcess
     PerformanceEnded,   // pid is kNoProcess
+    RoleCrashed,        // the enrolled process died mid-performance
+    PerformanceAborted, // a crash voided the performance (pid kNoProcess)
   };
 
   Kind kind;

@@ -11,11 +11,21 @@ using detail::RequestView;
 
 ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec,
                                std::string instance_name)
-    : net_(&net), spec_(std::move(spec)), name_(std::move(instance_name)) {}
+    : net_(&net), spec_(std::move(spec)), name_(std::move(instance_name)) {
+  // A crashed enrollee's role fails. The hook runs after the fiber has
+  // fully unwound (and after the Net's own hook has failed its parked
+  // rendezvous), so the instance sees consistent state.
+  crash_hook_id_ = scheduler().add_crash_hook(
+      [this](ProcessId pid) { on_process_crashed(pid); });
+}
 
 ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
     : ScriptInstance(net, std::move(spec), "") {
   name_ = spec_.name();
+}
+
+ScriptInstance::~ScriptInstance() {
+  scheduler().remove_crash_hook(crash_hook_id_);
 }
 
 ScriptInstance& ScriptInstance::on_role(const std::string& role_name,
@@ -44,8 +54,16 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
   try_advance();
-  while (!req.admitted)
-    sched.block("enrolling in " + name_ + " as " + role.str());
+  try {
+    while (!req.admitted)
+      sched.block("enrolling in " + name_ + " as " + role.str());
+  } catch (...) {
+    // Crashed while queued: withdraw so the matcher never binds a dead
+    // process. (A crash after admission is the crash hook's business.)
+    const auto it = std::find(queue_.begin(), queue_.end(), &req);
+    if (it != queue_.end()) queue_.erase(it);
+    throw;
+  }
 
   return run_admitted(req, params);
 }
@@ -130,11 +148,32 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
           static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::RoleBegan, req.pid, req.assigned, perf.number);
   RoleContext ctx(this, &perf, req.assigned, &params);
-  bodies_.at(req.assigned.name)(ctx);
-  publish(obs::EventKind::SpanEnd, req.pid, "role", req.assigned.str(),
-          static_cast<double>(perf.number));
-  emit(ScriptEvent::Kind::RoleFinished, req.pid, req.assigned, perf.number);
-  role_done(req.assigned);
+  bool unwound = false;
+  try {
+    bodies_.at(req.assigned.name)(ctx);
+  } catch (const PerformanceAborted&) {
+    unwound = true;  // a partner crashed; this role survives, undone
+  } catch (...) {
+    // This process is dying (FiberKilled) or the body itself threw: the
+    // role will never finish. The scheduler's crash hook does the
+    // failure bookkeeping after the fiber has fully unwound.
+    publish(obs::EventKind::SpanEnd, req.pid, "role",
+            req.assigned.str() + " (crashed)",
+            static_cast<double>(perf.number));
+    throw;
+  }
+  if (unwound) {
+    publish(obs::EventKind::SpanEnd, req.pid, "role",
+            req.assigned.str() + " (aborted)",
+            static_cast<double>(perf.number));
+    mark_role_unwound(perf, req.assigned);
+  } else {
+    publish(obs::EventKind::SpanEnd, req.pid, "role", req.assigned.str(),
+            static_cast<double>(perf.number));
+    emit(ScriptEvent::Kind::RoleFinished, req.pid, req.assigned,
+         perf.number);
+    role_done(req.assigned);
+  }
 
   if (spec_.termination() == Termination::Delayed) {
     while (!perf.done) {
@@ -145,12 +184,14 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   publish(obs::EventKind::Instant, req.pid, "release", "",
           static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::Released, req.pid, req.assigned, perf.number);
-  return EnrollResult{perf.number, req.assigned};
+  return EnrollResult{perf.number, req.assigned, unwound || perf.aborted};
 }
 
 void ScriptInstance::try_advance() {
   if (active_ != nullptr && !active_->done) {
-    if (spec_.initiation() == Initiation::Immediate) {
+    // No admissions into a performance that is winding down after an
+    // abort; new requests queue for the next generation.
+    if (!active_->aborted && spec_.initiation() == Initiation::Immediate) {
       admission_pass();
       after_state_change();
     }
@@ -271,24 +312,28 @@ bool ScriptInstance::performance_can_end() const {
   if (p.state.bindings.empty()) return false;
   if (!p.critical_hit) return false;  // more roles must still arrive
   for (const auto& [r, pid] : p.state.bindings)
-    if (!p.completed.count(r)) return false;
-  // All bound roles completed and all fixed unbound roles are out
-  // (implied by critical_hit); open families may have stragglers, who
-  // will go to the next performance.
+    if (!p.completed.count(r) && !p.failed.count(r)) return false;
+  // All bound roles completed (or failed — a crashed role can never
+  // finish) and all fixed unbound roles are out (implied by
+  // critical_hit); open families may have stragglers, who will go to
+  // the next performance.
   return true;
 }
 
 void ScriptInstance::finish_performance() {
   Performance& p = *active_;
   p.done = true;
-  ++completed_perfs_;
-  publish(obs::EventKind::SpanEnd, kNoProcess, "performance", "",
-          static_cast<double>(p.number));
+  if (!p.aborted) ++completed_perfs_;
+  publish(obs::EventKind::SpanEnd, kNoProcess, "performance",
+          p.aborted ? "(aborted)" : "", static_cast<double>(p.number));
   emit(ScriptEvent::Kind::PerformanceEnded, kNoProcess, RoleId(), p.number);
-  // Free delayed-termination holdees.
+  // Free delayed-termination holdees. A holdee that crashed while
+  // parked here is Done, not Blocked — skip it.
   std::vector<ProcessId> holdees;
   holdees.swap(end_waiters_);
-  for (const ProcessId pid : holdees) scheduler().unblock(pid);
+  for (const ProcessId pid : holdees)
+    if (scheduler().state_of(pid) == runtime::FiberState::Blocked)
+      scheduler().unblock(pid);
   notify_state_change();
   // The Performance object must outlive returning enrollees; they hold
   // pointers to it. Detach it; the last reference dies with their
@@ -306,9 +351,65 @@ void ScriptInstance::role_done(const RoleId& r) {
   after_state_change();
 }
 
+void ScriptInstance::on_process_crashed(ProcessId pid) {
+  if (active_ == nullptr || active_->done) return;
+  const auto it = active_->find_role(pid);
+  if (it == active_->state.bindings.end()) return;
+  const RoleId r = it->first;
+  if (active_->completed.count(r) || active_->failed.count(r)) return;
+  handle_role_crash(*active_, r, pid);
+}
+
+void ScriptInstance::handle_role_crash(Performance& perf, const RoleId& r,
+                                       ProcessId pid) {
+  perf.failed.insert(r);
+  publish(obs::EventKind::Instant, pid, "role.crashed", r.str(),
+          static_cast<double>(perf.number));
+  emit(ScriptEvent::Kind::RoleCrashed, pid, r, perf.number);
+  if (!perf.aborted && spec_.failure_policy() == FailurePolicy::Abort)
+    abort_performance(perf);
+  notify_state_change();
+  if (&perf == active_.get()) after_state_change();
+}
+
+void ScriptInstance::abort_performance(Performance& perf) {
+  perf.aborted = true;
+  ++aborted_perfs_;
+  if (!perf.critical_hit) {
+    // The cast will never complete: stop waiting for more enrollees.
+    perf.critical_hit = true;
+    for (const RoleId& r : spec_.fixed_roles())
+      if (!perf.state.is_bound(r)) perf.out.insert(r);
+  }
+  publish(obs::EventKind::Instant, kNoProcess, "performance.abort", "",
+          static_cast<double>(perf.number));
+  emit(ScriptEvent::Kind::PerformanceAborted, kNoProcess, RoleId(),
+       perf.number);
+  // Survivors parked in a rendezvous of THIS performance wake with a
+  // failed op and unwind via check_abort(); survivors parked on state
+  // changes are woken by the caller's notify_state_change().
+  net_->fail_tagged(name_ + "#" + std::to_string(perf.number) + "/");
+}
+
+void ScriptInstance::mark_role_unwound(Performance& perf, const RoleId& r) {
+  if (perf.done || perf.completed.count(r) || perf.failed.count(r)) return;
+  perf.failed.insert(r);
+  notify_state_change();
+  if (&perf == active_.get()) after_state_change();
+}
+
 void ScriptInstance::wait_state_change(const std::string& why) {
-  state_waiters_.push_back(scheduler().current());
-  scheduler().block(why);
+  const ProcessId me = scheduler().current();
+  state_waiters_.push_back(me);
+  try {
+    scheduler().block(why);
+  } catch (...) {
+    // Crashed while parked: deregister so notify never sees a stale pid.
+    const auto it =
+        std::find(state_waiters_.begin(), state_waiters_.end(), me);
+    if (it != state_waiters_.end()) state_waiters_.erase(it);
+    throw;
+  }
 }
 
 void ScriptInstance::notify_state_change() {
@@ -355,7 +456,16 @@ std::uint64_t RoleContext::performance() const { return perf_->number; }
 
 bool RoleContext::terminated(const RoleId& r) const {
   if (perf_->completed.count(r)) return true;
+  if (perf_->failed.count(r)) return true;
   return perf_->out.count(r) > 0;
+}
+
+bool RoleContext::failed(const RoleId& r) const {
+  return perf_->failed.count(r) > 0;
+}
+
+void RoleContext::check_abort() const {
+  if (perf_->aborted) throw PerformanceAborted{perf_->number};
 }
 
 bool RoleContext::filled(const RoleId& r) const {
@@ -373,7 +483,9 @@ RoleResult<ProcessId> RoleContext::await_role(const RoleId& r) {
   SCRIPT_ASSERT(inst_->spec_.valid(r) && !r.is_any_index(),
                 "communication names invalid role " + r.str());
   for (;;) {
-    if (perf_->completed.count(r) || perf_->out.count(r))
+    check_abort();
+    if (perf_->completed.count(r) || perf_->out.count(r) ||
+        perf_->failed.count(r))
       return support::make_unexpected(RoleCommError::Unavailable);
     const auto it = perf_->state.bindings.find(r);
     if (it != perf_->state.bindings.end()) return it->second;

@@ -50,11 +50,21 @@ enum class RoleCommError : std::uint8_t { Unavailable };
 template <typename T>
 using RoleResult = support::Expected<T, RoleCommError>;
 
+/// Thrown through a surviving role body when a partner's crash voids the
+/// performance (FailurePolicy::Abort). Deliberately NOT derived from
+/// std::exception: an abort is not a role-level failure, and role bodies
+/// that catch std::exception must not swallow the unwinding. enroll()
+/// absorbs it and reports `aborted` in the EnrollResult.
+struct PerformanceAborted {
+  std::uint64_t performance = 0;
+};
+
 using RoleBody = std::function<void(RoleContext&)>;
 
 struct EnrollResult {
   std::uint64_t performance = 0;
   RoleId played;  // concrete role (index resolved for families)
+  bool aborted = false;  // a partner crashed and the performance was voided
 };
 
 class ScriptInstance {
@@ -64,6 +74,10 @@ class ScriptInstance {
   /// perform concurrently and independently).
   ScriptInstance(csp::Net& net, ScriptSpec spec, std::string instance_name);
   ScriptInstance(csp::Net& net, ScriptSpec spec);
+  ~ScriptInstance();
+
+  ScriptInstance(const ScriptInstance&) = delete;
+  ScriptInstance& operator=(const ScriptInstance&) = delete;
 
   /// Attach the body for a role (family members share one body and
   /// learn their index from the context). Must be set before enrolling.
@@ -108,6 +122,7 @@ class ScriptInstance {
   const ScriptSpec& spec() const { return spec_; }
   const std::string& instance_name() const { return name_; }
   std::uint64_t performances_completed() const { return completed_perfs_; }
+  std::uint64_t performances_aborted() const { return aborted_perfs_; }
   /// Requests waiting for a future performance.
   std::size_t queue_length() const { return queue_.size(); }
   runtime::Scheduler& scheduler() { return net_->scheduler(); }
@@ -127,7 +142,9 @@ class ScriptInstance {
     detail::MatchState state;
     std::set<RoleId> out;        // declared never-filled
     std::set<RoleId> completed;  // role bodies that returned
+    std::set<RoleId> failed;     // roles whose process crashed / unwound
     bool critical_hit = false;   // outs have been marked
+    bool aborted = false;        // a crash voided this performance
     std::map<RoleId, ProcessId>::const_iterator find_role(ProcessId) const;
   };
 
@@ -150,6 +167,19 @@ class ScriptInstance {
   bool performance_can_end() const;
   void finish_performance();
   void role_done(const RoleId& r);
+
+  // ---- Failure semantics (docs/ROBUSTNESS.md) ----
+  /// Scheduler crash hook: a process died; if it plays a live role of
+  /// the active performance, the role has failed.
+  void on_process_crashed(ProcessId pid);
+  /// Record a role failure and apply the spec's FailurePolicy.
+  void handle_role_crash(Performance& perf, const RoleId& r, ProcessId pid);
+  /// FailurePolicy::Abort: void the performance — fail every parked
+  /// rendezvous in its scoped-tag namespace so survivors unwind.
+  void abort_performance(Performance& perf);
+  /// A surviving role unwound via PerformanceAborted: count its role as
+  /// failed (not completed) so the performance can still end.
+  void mark_role_unwound(Performance& perf, const RoleId& r);
 
   /// Block the calling fiber until the instance's state changes
   /// (binding, out, completion, performance end).
@@ -174,6 +204,8 @@ class ScriptInstance {
   std::vector<std::unique_ptr<Performance>> finished_;
   std::uint64_t next_perf_number_ = 1;
   std::uint64_t completed_perfs_ = 0;
+  std::uint64_t aborted_perfs_ = 0;
+  std::uint64_t crash_hook_id_ = 0;
   std::vector<ProcessId> end_waiters_;    // delayed-termination holdees
   std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
   std::vector<std::function<void(const ScriptEvent&)>> observers_;
@@ -209,6 +241,12 @@ class RoleContext {
   /// report false.
   bool terminated(const RoleId& r) const;
   bool filled(const RoleId& r) const;
+  /// True once the role's process is known to have crashed this
+  /// performance (always also `terminated`).
+  bool failed(const RoleId& r) const;
+  /// True once a partner's crash voided the performance (Abort policy).
+  /// Communication calls made after this point throw PerformanceAborted.
+  bool aborted() const { return perf_->aborted; }
   /// Current member count of a role family this performance.
   std::size_t family_size(const std::string& role_name) const;
 
@@ -216,19 +254,27 @@ class RoleContext {
   template <typename T>
   RoleResult<void> send(const RoleId& to, T value,
                         const std::string& tag = "") {
+    check_abort();
     auto pid = await_role(to);
     if (!pid) return support::make_unexpected(pid.error());
     auto r = inst_->net_->send(*pid, scoped_tag(to, tag), std::move(value));
-    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    if (!r) {
+      check_abort();  // woken by abort_performance's fail_tagged
+      return support::make_unexpected(RoleCommError::Unavailable);
+    }
     return {};
   }
 
   template <typename T>
   RoleResult<T> recv(const RoleId& from, const std::string& tag = "") {
+    check_abort();
     auto pid = await_role(from);
     if (!pid) return support::make_unexpected(pid.error());
     auto r = inst_->net_->recv<T>(*pid, scoped_tag(self_, tag));
-    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    if (!r) {
+      check_abort();
+      return support::make_unexpected(RoleCommError::Unavailable);
+    }
     return std::move(*r);
   }
 
@@ -236,8 +282,12 @@ class RoleContext {
   /// anonymous communication, as in the paper's Ada embedding).
   template <typename T>
   RoleResult<std::pair<RoleId, T>> recv_any(const std::string& tag = "") {
+    check_abort();
     auto r = inst_->net_->recv_any<T>(scoped_tag(self_, tag));
-    if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+    if (!r) {
+      check_abort();
+      return support::make_unexpected(RoleCommError::Unavailable);
+    }
     return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
   }
 
@@ -252,10 +302,13 @@ class RoleContext {
   RoleResult<std::pair<RoleId, T>> recv_from_roles(
       const std::vector<RoleId>& froms, const std::string& tag = "") {
     for (;;) {
+      check_abort();
       std::vector<ProcessId> candidates;
       bool might_bind = false;
       for (const RoleId& r : froms) {
-        if (perf_->completed.count(r) || perf_->out.count(r)) continue;
+        if (perf_->completed.count(r) || perf_->out.count(r) ||
+            perf_->failed.count(r))
+          continue;
         const auto it = perf_->state.bindings.find(r);
         if (it != perf_->state.bindings.end())
           candidates.push_back(it->second);
@@ -271,7 +324,10 @@ class RoleContext {
       }
       auto r = inst_->net_->recv_from<T>(std::move(candidates),
                                          scoped_tag(self_, tag));
-      if (!r) return support::make_unexpected(RoleCommError::Unavailable);
+      if (!r) {
+        check_abort();
+        return support::make_unexpected(RoleCommError::Unavailable);
+      }
       return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
     }
   }
@@ -280,6 +336,7 @@ class RoleContext {
   template <typename T>
   std::optional<std::pair<RoleId, T>> try_recv_any(
       const std::string& tag = "") {
+    check_abort();
     auto r = inst_->net_->try_recv_any<T>(scoped_tag(self_, tag));
     if (!r) return std::nullopt;
     return std::pair<RoleId, T>{role_of(r->first), std::move(r->second)};
@@ -296,8 +353,10 @@ class RoleContext {
 
   /// Resolve a partner role to its process, blocking while the role is
   /// unbound but might still be filled. Distinguished error once the
-  /// role is out/completed.
+  /// role is out/completed/failed.
   RoleResult<ProcessId> await_role(const RoleId& r);
+  /// Unwind this role body if the performance has been aborted.
+  void check_abort() const;
   std::string scoped_tag(const RoleId& to, const std::string& tag) const;
   RoleId role_of(ProcessId pid) const;
 

@@ -40,6 +40,11 @@ ScriptSpec& ScriptSpec::nondeterministic_contention(bool on) {
   return *this;
 }
 
+ScriptSpec& ScriptSpec::on_failure(FailurePolicy p) {
+  failure_policy_ = p;
+  return *this;
+}
+
 ScriptSpec& ScriptSpec::critical(CriticalSet set) {
   for (const auto& [role_name, count] : set) {
     SCRIPT_ASSERT(has_role(role_name),

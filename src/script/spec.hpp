@@ -30,6 +30,20 @@ enum class Termination : std::uint8_t {
   Immediate  // each enrollee is freed as soon as its own role finishes
 };
 
+/// What a performance does when an enrolled role's process crashes
+/// mid-performance. Generalizes the paper's §II unfilled-role rule
+/// (distinguished value) from "never filled" to "filled but failed".
+enum class FailurePolicy : std::uint8_t {
+  /// Unwind every surviving role (they observe PerformanceAborted), end
+  /// the performance, and let the next generation start. Default: a
+  /// script is a joint activity; losing a member voids the performance.
+  Abort,
+  /// Keep going: the failed role becomes `terminated(r)` and
+  /// communication with it yields the distinguished value, exactly as
+  /// if the role had never been filled (§II).
+  Degrade,
+};
+
 struct RoleDecl {
   std::string name;
   std::size_t count = 1;    // family size (1 + indexed=false → singleton)
@@ -65,6 +79,8 @@ class ScriptSpec {
   /// Add one alternative critical role set. May be called repeatedly;
   /// a performance may begin when ANY declared set is satisfied.
   ScriptSpec& critical(CriticalSet set);
+  /// Reaction to a role crashing mid-performance (default Abort).
+  ScriptSpec& on_failure(FailurePolicy p);
 
   // ---- Queries ----
 
@@ -74,6 +90,7 @@ class ScriptSpec {
   bool contention_is_nondeterministic() const {
     return nondet_contention_;
   }
+  FailurePolicy failure_policy() const { return failure_policy_; }
   const std::vector<RoleDecl>& roles() const { return roles_; }
 
   bool has_role(const std::string& role_name) const;
@@ -97,6 +114,7 @@ class ScriptSpec {
   Initiation initiation_ = Initiation::Delayed;
   Termination termination_ = Termination::Delayed;
   bool nondet_contention_ = false;
+  FailurePolicy failure_policy_ = FailurePolicy::Abort;
 };
 
 }  // namespace script::core

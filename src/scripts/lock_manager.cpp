@@ -25,6 +25,9 @@ ScriptSpec lock_spec(const std::string& name, std::size_t k) {
   s.initiation(Initiation::Delayed).termination(Termination::Delayed);
   s.critical(CriticalSet{{"manager", k}, {"reader", 1}});
   s.critical(CriticalSet{{"manager", k}, {"writer", 1}});
+  // A crashed client must not wedge the managers: the performance
+  // degrades and the manager body reaps the dead client's grants.
+  s.on_failure(core::FailurePolicy::Degrade);
   return s;
 }
 
@@ -44,9 +47,27 @@ LockManagerScript::LockManagerScript(csp::Net& net,
     std::set<std::string> pending;
     for (const char* client : {"reader", "writer"})
       if (!ctx.terminated(RoleId(client))) pending.insert(client);
+    // Grants outstanding per client, so a client that crashes between
+    // Lock and Release leaves no orphaned lock behind (recovery path).
+    std::map<std::string, std::set<std::pair<std::string, lockdb::OwnerId>>>
+        held;
     while (!pending.empty()) {
-      auto m = ctx.recv_any<LockRequest>();
-      SCRIPT_ASSERT(m.has_value(), "manager lost its clients");
+      // Reap terminated clients first: a crashed client never sends
+      // Release/Done, so its grants are released on its behalf.
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (ctx.terminated(RoleId(*it))) {
+          for (const auto& [item, owner] : held[*it])
+            table.release(item, owner);
+          held.erase(*it);
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (pending.empty()) break;
+      const std::vector<RoleId> live(pending.begin(), pending.end());
+      auto m = ctx.recv_from_roles<LockRequest>(live);
+      if (!m.has_value()) continue;  // a client died: re-scan and reap
       const RoleId from = m->first;
       const LockRequest req = m->second;
       switch (req.kind) {
@@ -55,16 +76,21 @@ LockManagerScript::LockManagerScript(csp::Net& net,
                                     ? LockMode::Shared
                                     : LockMode::Exclusive;
           const bool ok = table.acquire(req.item, mode, req.owner);
-          auto s = ctx.send(
-              from, ok ? LockStatus::Granted : LockStatus::Denied, "reply");
-          SCRIPT_ASSERT(s.has_value(), "manager: client vanished");
+          if (ok) held[from.name].insert({req.item, req.owner});
+          // A failed reply means the client died after asking; keep the
+          // grant in `held` and let the reap release it.
+          (void)ctx.send(from,
+                         ok ? LockStatus::Granted : LockStatus::Denied,
+                         "reply");
           break;
         }
         case LockRequest::Kind::Release:
           table.release(req.item, req.owner);
+          held[from.name].erase({req.item, req.owner});
           break;
         case LockRequest::Kind::Done:
           pending.erase(from.name);
+          held.erase(from.name);
           break;
       }
     }
@@ -78,31 +104,28 @@ LockManagerScript::LockManagerScript(csp::Net& net,
     const auto id = ctx.param<lockdb::OwnerId>("id");
     LockStatus status = LockStatus::Denied;
     if (kind == LockRequest::Kind::Release) {
-      for (std::size_t i = 0; i < k; ++i) {
-        auto s = ctx.send(role("manager", static_cast<int>(i)),
-                          LockRequest{kind, item, id});
-        SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
-      }
+      for (std::size_t i = 0; i < k; ++i)
+        (void)ctx.send(role("manager", static_cast<int>(i)),
+                       LockRequest{kind, item, id});
       status = LockStatus::Granted;
     } else {
       for (std::size_t i = 0; i < k; ++i) {
+        // A dead manager replica answers nothing: treat it as a denial
+        // and try the next one (the reader needs only one grant).
         auto s = ctx.send(role("manager", static_cast<int>(i)),
                           LockRequest{LockRequest::Kind::Lock, item, id});
-        SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
+        if (!s.has_value()) continue;
         auto reply = ctx.recv<LockStatus>(
             role("manager", static_cast<int>(i)), "reply");
-        SCRIPT_ASSERT(reply.has_value(), "reader: manager vanished");
-        if (*reply == LockStatus::Granted) {
+        if (reply.has_value() && *reply == LockStatus::Granted) {
           status = LockStatus::Granted;
           break;
         }
       }
     }
-    for (std::size_t i = 0; i < k; ++i) {
-      auto s = ctx.send(role("manager", static_cast<int>(i)),
-                        LockRequest{LockRequest::Kind::Done, "", id});
-      SCRIPT_ASSERT(s.has_value(), "reader: manager vanished");
-    }
+    for (std::size_t i = 0; i < k; ++i)
+      (void)ctx.send(role("manager", static_cast<int>(i)),
+                     LockRequest{LockRequest::Kind::Done, "", id});
     ctx.set_param("status", status);
   });
 
@@ -114,42 +137,42 @@ LockManagerScript::LockManagerScript(csp::Net& net,
     const auto id = ctx.param<lockdb::OwnerId>("id");
     LockStatus status = LockStatus::Denied;
     if (kind == LockRequest::Kind::Release) {
-      for (std::size_t i = 0; i < k; ++i) {
-        auto s = ctx.send(role("manager", static_cast<int>(i)),
-                          LockRequest{kind, item, id});
-        SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
-      }
+      for (std::size_t i = 0; i < k; ++i)
+        (void)ctx.send(role("manager", static_cast<int>(i)),
+                       LockRequest{kind, item, id});
       status = LockStatus::Granted;
     } else {
       std::set<std::size_t> who;
+      bool denied = false;
       for (std::size_t i = 0; i < k; ++i) {
+        // The writer needs EVERY manager; a dead one counts as a denial
+        // and the grants collected so far are rolled back below.
         auto s = ctx.send(role("manager", static_cast<int>(i)),
                           LockRequest{LockRequest::Kind::Lock, item, id});
-        SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
+        if (!s.has_value()) {
+          denied = true;
+          break;
+        }
         auto reply = ctx.recv<LockStatus>(
             role("manager", static_cast<int>(i)), "reply");
-        SCRIPT_ASSERT(reply.has_value(), "writer: manager vanished");
-        if (*reply == LockStatus::Granted)
+        if (reply.has_value() && *reply == LockStatus::Granted) {
           who.insert(i);
-        else
+        } else {
+          denied = true;
           break;
-      }
-      if (who.size() == k) {
-        status = LockStatus::Granted;
-      } else {
-        for (const std::size_t i : who) {
-          auto s =
-              ctx.send(role("manager", static_cast<int>(i)),
-                       LockRequest{LockRequest::Kind::Release, item, id});
-          SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
         }
       }
+      if (!denied && who.size() == k) {
+        status = LockStatus::Granted;
+      } else {
+        for (const std::size_t i : who)
+          (void)ctx.send(role("manager", static_cast<int>(i)),
+                         LockRequest{LockRequest::Kind::Release, item, id});
+      }
     }
-    for (std::size_t i = 0; i < k; ++i) {
-      auto s = ctx.send(role("manager", static_cast<int>(i)),
-                        LockRequest{LockRequest::Kind::Done, "", id});
-      SCRIPT_ASSERT(s.has_value(), "writer: manager vanished");
-    }
+    for (std::size_t i = 0; i < k; ++i)
+      (void)ctx.send(role("manager", static_cast<int>(i)),
+                     LockRequest{LockRequest::Kind::Done, "", id});
     ctx.set_param("status", status);
   });
 }

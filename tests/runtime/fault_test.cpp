@@ -1,0 +1,256 @@
+#include "runtime/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/explore.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using script::runtime::FaultExploreOptions;
+using script::runtime::FaultPlan;
+using script::runtime::ProcessId;
+using script::runtime::RunResult;
+using script::runtime::SchedulePolicy;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+TEST(Fault, CrashAtStepKillsOnlyTheVictim) {
+  Scheduler sched;
+  int a_laps = 0;
+  int b_laps = 0;
+  const ProcessId a = sched.spawn("a", [&] {
+    for (int i = 0; i < 5; ++i) {
+      ++a_laps;
+      sched.yield();
+    }
+  });
+  const ProcessId b = sched.spawn("b", [&] {
+    for (int i = 0; i < 5; ++i) {
+      ++b_laps;
+      sched.yield();
+    }
+  });
+  FaultPlan plan;
+  plan.crash_at_step(a, 3);
+  sched.install_fault_plan(plan);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(sched.has_crashed(a));
+  EXPECT_FALSE(sched.has_crashed(b));
+  EXPECT_LT(a_laps, 5);
+  EXPECT_EQ(b_laps, 5);
+}
+
+TEST(Fault, CrashIsSeedDeterministic) {
+  auto run_once = [] {
+    SchedulerOptions opts;
+    opts.policy = SchedulePolicy::Random;
+    opts.seed = 7;
+    Scheduler sched(opts);
+    std::vector<int> progress;
+    for (int p = 0; p < 4; ++p)
+      sched.spawn("p" + std::to_string(p), [&, p] {
+        for (int i = 0; i < 4; ++i) {
+          progress.push_back(p * 10 + i);
+          sched.yield();
+        }
+      });
+    FaultPlan plan;
+    plan.crash_at_step(2, 5);
+    sched.install_fault_plan(plan);
+    EXPECT_TRUE(sched.run().ok());
+    return progress;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Fault, CrashAtTimeAdvancesTheClockToTheTrigger) {
+  // A parked fiber with no timers: only the fault's time trigger can
+  // move the clock. The crash must both advance time and unwedge the
+  // run (the blocked fiber dies instead of deadlocking).
+  Scheduler sched;
+  const ProcessId victim =
+      sched.spawn("victim", [&] { sched.block("waiting forever"); });
+  FaultPlan plan;
+  plan.crash_at_time(victim, 50);
+  sched.install_fault_plan(plan);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok()) << "crashed blocked fiber must not deadlock";
+  EXPECT_TRUE(sched.has_crashed(victim));
+  EXPECT_EQ(sched.now(), 50u);
+}
+
+TEST(Fault, KillRunsTimeoutCleanupHooks) {
+  // The victim parks with a self-cleaning timeout; the kill must run
+  // that hook during the unwind, exactly as a fired deadline would.
+  Scheduler sched;
+  bool hook_ran = false;
+  bool body_finished = false;
+  const ProcessId victim = sched.spawn("victim", [&] {
+    sched.block_with_timeout("parked", 100, [&] { hook_ran = true; });
+    body_finished = true;
+  });
+  FaultPlan plan;
+  plan.crash_at_time(victim, 10);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(hook_ran);
+  EXPECT_FALSE(body_finished);
+}
+
+TEST(Fault, FiberKilledPassesThroughUserCatchAll) {
+  Scheduler sched;
+  bool rethrown = false;
+  const ProcessId victim = sched.spawn("victim", [&] {
+    try {
+      sched.block("parked");
+    } catch (...) {
+      rethrown = true;
+      throw;  // the documented contract for catch(...) in fiber bodies
+    }
+  });
+  FaultPlan plan;
+  plan.crash_at_time(victim, 5);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(rethrown);
+  EXPECT_TRUE(sched.has_crashed(victim));
+}
+
+TEST(Fault, StallFreezesTheProcessForItsTicks) {
+  Scheduler sched;
+  std::vector<std::uint64_t> times;
+  const ProcessId p = sched.spawn("p", [&] {
+    for (int i = 0; i < 3; ++i) {
+      times.push_back(sched.now());
+      sched.yield();
+    }
+  });
+  FaultPlan plan;
+  plan.stall_at_step(p, 1, 40);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_FALSE(sched.has_crashed(p));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 0u);
+  EXPECT_EQ(times.back(), 40u);  // frozen 40 ticks, then resumed
+}
+
+TEST(Fault, CrashHooksSeeTheVictimAfterUnwind) {
+  Scheduler sched;
+  std::vector<ProcessId> notified;
+  const std::uint64_t hook = sched.add_crash_hook(
+      [&](ProcessId pid) { notified.push_back(pid); });
+  const ProcessId victim =
+      sched.spawn("victim", [&] { sched.block("parked"); });
+  sched.spawn("bystander", [] {});
+  FaultPlan plan;
+  plan.crash_at_step(victim, 2);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_EQ(notified, std::vector<ProcessId>{victim});
+  sched.remove_crash_hook(hook);
+}
+
+TEST(Fault, CrashedFiberIsNotAFailure) {
+  // A crash is injected, not a bug: run() must not rethrow it the way
+  // it rethrows a genuine fiber exception.
+  Scheduler sched;
+  const ProcessId victim = sched.spawn("victim", [&] {
+    for (;;) sched.yield();
+  });
+  FaultPlan plan;
+  plan.crash_at_step(victim, 4);
+  sched.install_fault_plan(plan);
+  EXPECT_NO_THROW({
+    const auto result = sched.run();
+    EXPECT_TRUE(result.ok());
+  });
+}
+
+TEST(Fault, DeadlockReportShowsLastProgressTime) {
+  Scheduler sched;
+  sched.spawn("sleeper", [&] {
+    sched.sleep_for(25);
+    sched.block("stuck after nap");
+  });
+  const auto result = sched.run();
+  ASSERT_EQ(result.outcome, RunResult::Outcome::Deadlock);
+  const std::string report = script::runtime::describe(result, sched);
+  EXPECT_NE(report.find("last progress t=25"), std::string::npos) << report;
+}
+
+TEST(Fault, TimerAndCrashAtTheSameInstantFireTimerFirst) {
+  // Regression: a timed wait whose deadline coincides with a fault
+  // trigger must resolve the timer first (waking the sleeper exactly
+  // once), then fire the fault — never double-wake, never lose either.
+  Scheduler sched;
+  bool woke_by_timeout = false;
+  const ProcessId sleeper = sched.spawn("sleeper", [&] {
+    woke_by_timeout = sched.block_with_timeout("napping", 30, [] {});
+  });
+  const ProcessId victim =
+      sched.spawn("victim", [&] { sched.block("doomed"); });
+  FaultPlan plan;
+  plan.crash_at_time(victim, 30);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(woke_by_timeout);
+  EXPECT_TRUE(sched.has_crashed(victim));
+  EXPECT_FALSE(sched.has_crashed(sleeper));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(Fault, VictimWithExpiredTimerDiesWithoutDoubleFire) {
+  // The victim's own timeout and its crash land on the same instant:
+  // the timer wakes it (Ready), then the kill takes it before it runs.
+  // Its cleanup hook must run exactly once.
+  Scheduler sched;
+  int hook_runs = 0;
+  const ProcessId victim = sched.spawn("victim", [&] {
+    sched.block_with_timeout("racing the reaper", 20,
+                             [&] { ++hook_runs; });
+    for (;;) sched.yield();  // unreachable if the kill wins
+  });
+  FaultPlan plan;
+  plan.crash_at_time(victim, 20);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(sched.has_crashed(victim));
+  EXPECT_EQ(hook_runs, 1);
+}
+
+TEST(FaultExplore, EnumeratesSchedulesAndKeepsProgramsLive) {
+  FaultExploreOptions opts;
+  opts.max_crash_step = 4;
+  opts.candidate_pids = {0, 1};  // spawn order is deterministic
+  opts.base.max_runs = 20000;
+  bool c_always_finished = true;
+  const auto stats = script::runtime::explore_fault_schedules(
+      [](Scheduler& s) {
+        s.spawn("a", [&s] {
+          s.yield();
+          s.yield();
+        });
+        s.spawn("b", [&s] {
+          s.yield();
+          s.yield();
+        });
+      },
+      [&](Scheduler&, const RunResult& r, const FaultPlan&) {
+        // No fault schedule may wedge this loop-free program.
+        if (!r.ok()) c_always_finished = false;
+      },
+      opts);
+  EXPECT_TRUE(c_always_finished);
+  EXPECT_EQ(stats.schedules, 1u + 2u * 4u);  // fault-free + pid×step grid
+  EXPECT_GE(stats.interleavings, stats.schedules);
+  EXPECT_TRUE(stats.complete);
+}
+
+}  // namespace
