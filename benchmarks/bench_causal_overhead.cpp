@@ -1,0 +1,108 @@
+// Causal-tracking overhead on the hot path.
+//
+// The CausalTracker hooks sit on the scheduler's dispatch step and on
+// every cross-fiber wake, so their cost when tracking is OFF must be a
+// single pointer test (same discipline as the FaultPlan hooks). This
+// bench times the C7-shaped rendezvous workload three ways:
+//
+//   off      — no tracker; the baseline every other bench reports.
+//   tracker  — enable_causal_tracking() but NO subscriber: pure vector
+//              clock tick/merge cost. Events are still gated by
+//              EventBus::wants(), so nothing is built or stamped.
+//   tracing  — full enable_tracing(): tracker + TraceExporter recording
+//              every event (the price of a trace worth analyzing).
+//
+// 'tracker/off' is the number satellite 2 pins: it is the entire cost
+// a tracing-capable build charges a run that nobody observes.
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+enum class Mode { kOff, kTracker, kTracing };
+
+double wall_us(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// The C7 rendezvous workload: `pairs` tx/rx couples, kMsgs each.
+double run_pairs(std::size_t pairs, Mode mode) {
+  constexpr int kMsgs = 10;
+  bench::Scheduler sched;
+  bench::Net net(sched);
+  if (mode == Mode::kTracker) sched.enable_causal_tracking();
+  if (mode == Mode::kTracing) sched.enable_tracing();
+  std::vector<bench::ProcessId> rx(pairs);
+  return wall_us([&] {
+    for (std::size_t p = 0; p < pairs; ++p)
+      rx[p] = net.spawn_process("rx" + std::to_string(p), [&net] {
+        for (int m = 0; m < kMsgs; ++m)
+          if (!net.recv_any<int>("m")) std::abort();
+      });
+    for (std::size_t p = 0; p < pairs; ++p)
+      net.spawn_process("tx" + std::to_string(p), [&net, &rx, p] {
+        for (int m = 0; m < kMsgs; ++m)
+          if (!net.send(rx[p], "m", m)) std::abort();
+      });
+    if (!sched.run().ok()) std::abort();
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("causal-overhead",
+                "cost of vector-clock tracking on the rendezvous hot path");
+
+  bench::Telemetry telemetry("causal_overhead");
+  bench::Table table({"pairs", "off ms", "tracker ms", "tracing ms",
+                      "tracker/off", "tracing/off"});
+  for (const std::size_t pairs : {500u, 2000u}) {
+    // Warm-up run to stabilize allocator state before timing.
+    (void)run_pairs(pairs, Mode::kOff);
+
+    constexpr int kReps = 5;
+    double off_us = 0;
+    double tracker_us = 0;
+    double tracing_us = 0;
+    for (int r = 0; r < kReps; ++r) {
+      off_us += run_pairs(pairs, Mode::kOff);
+      tracker_us += run_pairs(pairs, Mode::kTracker);
+      tracing_us += run_pairs(pairs, Mode::kTracing);
+    }
+    off_us /= kReps;
+    tracker_us /= kReps;
+    tracing_us /= kReps;
+
+    const double tracker_ratio = tracker_us / off_us;
+    const double tracing_ratio = tracing_us / off_us;
+    table.add_row({bench::Table::integer(static_cast<std::int64_t>(pairs)),
+                   bench::Table::num(off_us / 1000.0, 2),
+                   bench::Table::num(tracker_us / 1000.0, 2),
+                   bench::Table::num(tracing_us / 1000.0, 2),
+                   bench::Table::num(tracker_ratio, 3),
+                   bench::Table::num(tracing_ratio, 3)});
+    const std::string prefix = "pairs" + std::to_string(pairs);
+    telemetry.gauge(prefix + ".off_ms", off_us / 1000.0);
+    telemetry.gauge(prefix + ".tracker_ms", tracker_us / 1000.0);
+    telemetry.gauge(prefix + ".tracing_ms", tracing_us / 1000.0);
+    telemetry.gauge(prefix + ".tracker_over_off", tracker_ratio);
+    telemetry.gauge(prefix + ".tracing_over_off", tracing_ratio);
+  }
+  table.print();
+
+  bench::note("no tracker = one null-pointer test per dispatch/wake and "
+              "one per publish; 'tracker/off' is the full price of vclock "
+              "tick+merge with nobody subscribed, 'tracing/off' adds the "
+              "exporter recording every event.");
+  return 0;
+}

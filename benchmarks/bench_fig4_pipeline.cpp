@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/causal.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/sim_link.hpp"
 #include "scripts/broadcast.hpp"
 
@@ -23,10 +25,16 @@ struct Shape {
   std::uint64_t completion = 0;
 };
 
+/// When `tel` is set, the run is traced and the causal profile lands as
+/// <prefix>.critical_path_ticks / <prefix>.wait_ticks_by_role.* gauges.
 template <typename Broadcast>
-Shape run_one(std::size_t n, std::uint64_t gap) {
+Shape run_one(std::size_t n, std::uint64_t gap,
+              bench::Telemetry* tel = nullptr,
+              const std::string& prefix = {}) {
   bench::Scheduler sched;
   bench::Net net(sched);
+  script::obs::TraceExporter* exporter =
+      tel != nullptr ? &sched.enable_tracing() : nullptr;
   script::runtime::UniformLatency lat(1);
   net.set_latency_model(&lat);
   Broadcast bc(net, n);
@@ -50,6 +58,12 @@ Shape run_one(std::size_t n, std::uint64_t gap) {
   shape.recipient_mean = in_script.mean();
   shape.recipient_max = in_script.max();
   shape.completion = result.final_time;
+  if (tel != nullptr) {
+    script::obs::CausalAnalyzer analysis(exporter->events(),
+                                         exporter->fiber_names(),
+                                         exporter->lane_names());
+    analysis.export_gauges(tel->metrics(), prefix);
+  }
   return shape;
 }
 
@@ -60,13 +74,21 @@ int main() {
                 "Figure 4: pipeline broadcast — time-in-script vs the star");
 
   constexpr std::uint64_t kGap = 100;  // recipient arrival stagger
+  bench::Telemetry telemetry("fig4_pipeline");
   bench::Table table({"n", "script", "sender in-script",
                       "recipient in-script mean", "max", "completion"});
   for (const std::size_t n : {4u, 8u, 16u, 32u}) {
-    const auto star =
-        run_one<script::patterns::StarBroadcast<int>>(n, kGap);
-    const auto pipe =
-        run_one<script::patterns::PipelineBroadcast<int>>(n, kGap);
+    const std::string row = "n" + std::to_string(n);
+    const auto star = run_one<script::patterns::StarBroadcast<int>>(
+        n, kGap, &telemetry, row + ".star");
+    const auto pipe = run_one<script::patterns::PipelineBroadcast<int>>(
+        n, kGap, &telemetry, row + ".pipeline");
+    telemetry.gauge(row + ".star.completion",
+                    static_cast<double>(star.completion));
+    telemetry.gauge(row + ".star.recipient_mean", star.recipient_mean);
+    telemetry.gauge(row + ".pipeline.completion",
+                    static_cast<double>(pipe.completion));
+    telemetry.gauge(row + ".pipeline.recipient_mean", pipe.recipient_mean);
     table.add_row({bench::Table::integer(static_cast<std::int64_t>(n)),
                    "star (fig 3)", bench::Table::num(star.sender_time, 0),
                    bench::Table::num(star.recipient_mean, 0),

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/causal.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/sim_link.hpp"
 #include "scripts/lock_manager.hpp"
 
@@ -23,6 +25,7 @@ int main() {
     constexpr int kRounds = 20;  // reader lock+release, writer lock+release
     bench::Scheduler sched;
     bench::Net net(sched);
+    script::obs::TraceExporter& exporter = sched.enable_tracing();
     script::runtime::UniformLatency lat(1);
     net.set_latency_model(&lat);
     script::lockdb::ReplicaSet replicas(k, k);
@@ -69,6 +72,12 @@ int main() {
     telemetry.gauge(row + ".grant_pct", 100.0 * granted / (2 * kRounds));
     telemetry.summary(row + ".read_ticks", read_cost);
     telemetry.summary(row + ".write_ticks", write_cost);
+    // Causal profile: critical-path and wait-by-role gauges per k.
+    script::obs::CausalAnalyzer analysis(exporter.events(),
+                                         exporter.fiber_names(),
+                                         exporter.lane_names());
+    analysis.export_gauges(telemetry.metrics(), row + ".perf",
+                           /*per_performance=*/false);
   }
   table.print();
   bench::note("reads cost k+2 ticks (ONE lock round-trip — the first "

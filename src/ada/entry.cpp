@@ -66,6 +66,9 @@ EntryBase::PendingCall* EntryBase::take_head() {
   PendingCall* pc = calls_.front();
   calls_.pop_front();
   pc->taken = true;
+  // The caller's in-parameters flow into the acceptor here — a
+  // happens-before edge the eventual finish() wake does not cover.
+  sched_->causal_edge(pc->caller, sched_->current(), "entry");
   if (sched_->bus().wants(obs::Subsystem::Ada))
     sched_->bus().publish({obs::EventKind::SpanBegin, obs::Subsystem::Ada,
                            obs::kAutoTime, sched_->current(), obs::kNoLane,
@@ -120,7 +123,8 @@ void EntryBase::unwind_call(PendingCall* pc) {
   // started rendezvous runs to completion — park until it has finished,
   // then resume dying. The scheduler tolerates this deferred death.
   while (pc->taken && !pc->done && !pc->failed)
-    sched_->block("entry call " + name_ + " (finishing rendezvous)");
+    sched_->block("entry call " + name_ + " (finishing rendezvous)",
+                  owner_);
 }
 
 }  // namespace script::ada

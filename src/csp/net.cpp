@@ -209,12 +209,14 @@ Result<void> Net::send_erased(ProcessId to, const std::string& tag,
   link(&op);
   const std::string reason = "! " + sched_->name_of(to) + " tag=" + tag;
   if (timeout_ticks == kNoTimeout) {
-    sched_->block(reason);
+    sched_->block(reason, to);
   } else {
     const bool expired = sched_->block_with_timeout(
-        reason, timeout_ticks, [this, p = &op] {
+        reason, timeout_ticks,
+        [this, p = &op] {
           if (p->linked) unlink(p);
-        });
+        },
+        to);
     if (expired) return support::make_unexpected(CommError::TimedOut);
   }
   if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
@@ -271,13 +273,16 @@ Result<std::pair<ProcessId, Message>> Net::recv_erased(
   const std::string who =
       from == kAnyProcess ? std::string("any") : sched_->name_of(from);
   const std::string reason = "? " + who + " tag=" + tag;
+  const ProcessId hint = from == kAnyProcess ? kNoProcess : from;
   if (timeout_ticks == kNoTimeout) {
-    sched_->block(reason);
+    sched_->block(reason, hint);
   } else {
     const bool expired = sched_->block_with_timeout(
-        reason, timeout_ticks, [this, p = &op] {
+        reason, timeout_ticks,
+        [this, p = &op] {
           if (p->linked) unlink(p);
-        });
+        },
+        hint);
     if (expired) return support::make_unexpected(CommError::TimedOut);
   }
   if (op.failed) return support::make_unexpected(CommError::PeerTerminated);
@@ -349,6 +354,9 @@ Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
     const std::string tag = parked->tag;
     unlink(parked);
     free_ghost(parked);
+    // The duplicate's payload still carries the (dead) sender's causal
+    // past into the receiver.
+    sched_->causal_edge(sender, me, "msg");
     const std::uint64_t lat = charge_latency(sender, me);
     if (sched_->bus().wants(obs::Subsystem::Fault))
       sched_->bus().publish({obs::EventKind::Instant, obs::Subsystem::Fault,
@@ -398,6 +406,9 @@ Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
                            obs::kAutoTime, sender, obs::kNoLane,
                            "rendezvous", parked->tag,
                            static_cast<double>(lat)});
+  // Completing a parked SEND hands its payload to me: a data-flow edge
+  // the wake below (me -> sender) does not cover.
+  if (my_dir == Dir::Recv) sched_->causal_edge(parked->owner, me, "msg");
   const ProcessId woken =
       parked->group != nullptr ? parked->group->owner : parked->owner;
   sched_->wake_at(woken, lat);

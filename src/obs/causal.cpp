@@ -1,0 +1,580 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/metrics.hpp"
+#include "support/panic.hpp"
+
+namespace script::obs {
+
+// ---- CausalTracker ----
+
+CausalTracker::CausalTracker(EventBus& bus) : bus_(&bus) {}
+
+std::vector<std::uint64_t>& CausalTracker::clock(Pid pid) {
+  if (clocks_.size() <= pid) clocks_.resize(pid + 1);
+  auto& c = clocks_[pid];
+  if (c.size() <= pid) c.resize(pid + 1, 0);
+  return c;
+}
+
+const std::vector<std::uint64_t>& CausalTracker::clock_of(Pid pid) const {
+  static const std::vector<std::uint64_t> kEmpty;
+  return pid < clocks_.size() ? clocks_[pid] : kEmpty;
+}
+
+void CausalTracker::on_dispatch(Pid pid) {
+  ++clock(pid)[pid];
+  current_ = pid;
+}
+
+void CausalTracker::on_edge(Pid from, Pid to, const char* what) {
+  if (from == kNoPid || to == kNoPid || from == to) return;
+  const auto& src = clock(from);
+  auto& dst = clock(to);
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    dst[i] = std::max(dst[i], src[i]);
+  if (!bus_->wants(Subsystem::Causal)) return;
+  const auto id = static_cast<double>(next_flow_id_++);
+  bus_->publish({EventKind::Instant, Subsystem::Causal, kAutoTime, from,
+                 kNoLane, "flow.s", what, id});
+  bus_->publish({EventKind::Instant, Subsystem::Causal, kAutoTime, to,
+                 kNoLane, "flow.f", what, id});
+}
+
+void CausalTracker::stamp(Event& e) const {
+  if (current_ == kNoPid || current_ >= clocks_.size()) return;
+  const auto& c = clocks_[current_];
+  e.seq = current_ < c.size() ? c[current_] : 0;
+  e.vclock = c;
+}
+
+// ---- CausalAnalyzer ----
+
+namespace {
+
+constexpr std::uint64_t kFlowIdNone = 0;
+
+std::uint64_t flow_id(const Event& e) {
+  const auto id = static_cast<std::uint64_t>(e.value);
+  return id == 0 ? kFlowIdNone : id;
+}
+
+std::string fmt_ticks(std::uint64_t t) { return std::to_string(t); }
+
+}  // namespace
+
+CausalAnalyzer::CausalAnalyzer(std::vector<Event> events,
+                               std::map<Pid, std::string> fiber_names,
+                               std::vector<std::string> lane_names)
+    : events_(std::move(events)),
+      fiber_names_(std::move(fiber_names)),
+      lane_names_(std::move(lane_names)) {
+  index_events();
+  build_performances();
+}
+
+std::string CausalAnalyzer::fiber_name(Pid pid) const {
+  const auto it = fiber_names_.find(pid);
+  return it != fiber_names_.end() ? it->second
+                                  : "fiber " + std::to_string(pid);
+}
+
+void CausalAnalyzer::index_events() {
+  std::uint64_t last_time = 0;
+  std::map<std::uint64_t, Flow> half_flows;
+  for (const Event& e : events_) {
+    last_time = std::max(last_time, e.time);
+    if (e.subsystem == Subsystem::Scheduler && e.pid != kNoPid &&
+        (e.name == "blocked" || e.name == "sleeping")) {
+      auto& ps = parks_[e.pid];
+      if (e.kind == EventKind::SpanBegin) {
+        Park k;
+        k.begin = e.time;
+        k.blocked = e.name == "blocked";
+        k.open = true;
+        k.detail = e.detail;
+        ps.push_back(k);
+      } else if (e.kind == EventKind::SpanEnd) {
+        // Close the most recent open park of the matching kind; an end
+        // with no begin means capture started mid-span — ignore it.
+        for (auto it = ps.rbegin(); it != ps.rend(); ++it) {
+          if (it->open && it->blocked == (e.name == "blocked")) {
+            it->open = false;
+            it->end = e.time;
+            break;
+          }
+        }
+      }
+    } else if (e.subsystem == Subsystem::Causal) {
+      const std::uint64_t id = flow_id(e);
+      if (id == kFlowIdNone) continue;
+      auto& half = half_flows[id];
+      if (e.name == "flow.s") {
+        half.from = e.pid;
+      } else if (e.name == "flow.f") {
+        half.to = e.pid;
+        half.time = e.time;
+      }
+      if (half.from != kNoPid && half.to != kNoPid) {
+        flows_[id] = half;
+        edges_in_[half.to].emplace(half.time, half.from);
+        half_flows.erase(id);
+      }
+    }
+  }
+  // Dangling opens (deadlock / crash residue): clamp to the last time so
+  // wait attribution can still see them; blocked_ticks() skips them to
+  // match the scheduler's own accounting.
+  for (auto& [pid, ps] : parks_)
+    for (Park& k : ps)
+      if (k.open) k.end = std::max(k.begin, last_time);
+  // Unpaired halves stay out of edges_in_ (self_check reports them).
+}
+
+void CausalAnalyzer::build_performances() {
+  // Performances are keyed (lane, number); role spans attach by the
+  // same key. Script events all carry the instance lane.
+  std::map<std::pair<std::int32_t, std::uint64_t>, std::size_t> open;
+  struct RoleSpan {
+    Pid pid;
+    std::string role;
+    std::uint64_t begin = 0, end = 0;
+    bool open = true;
+  };
+  std::map<std::pair<std::int32_t, std::uint64_t>, std::vector<RoleSpan>>
+      roles;
+
+  for (const Event& e : events_) {
+    if (e.subsystem != Subsystem::Script) continue;
+    const auto key = std::make_pair(
+        e.lane, static_cast<std::uint64_t>(e.value));
+    if (e.name == "performance") {
+      if (e.kind == EventKind::SpanBegin) {
+        PerformanceProfile p;
+        p.lane = e.lane;
+        p.number = key.second;
+        p.begin = e.time;
+        p.instance =
+            e.lane >= 0 &&
+                    static_cast<std::size_t>(e.lane) < lane_names_.size()
+                ? lane_names_[static_cast<std::size_t>(e.lane)]
+                : "lane " + std::to_string(e.lane);
+        open[key] = perfs_.size();
+        perfs_.push_back(std::move(p));
+      } else if (e.kind == EventKind::SpanEnd) {
+        const auto it = open.find(key);
+        if (it == open.end()) continue;
+        perfs_[it->second].end = e.time;
+        perfs_[it->second].aborted = e.detail == "(aborted)";
+        open.erase(it);
+      }
+    } else if (e.name == "role" && e.pid != kNoPid) {
+      auto& rs = roles[key];
+      if (e.kind == EventKind::SpanBegin) {
+        rs.push_back(RoleSpan{e.pid, e.detail, e.time, 0, true});
+      } else if (e.kind == EventKind::SpanEnd) {
+        for (auto it = rs.rbegin(); it != rs.rend(); ++it)
+          if (it->open && it->pid == e.pid) {
+            it->open = false;
+            it->end = e.time;
+            break;
+          }
+      }
+    }
+  }
+  // A performance still open at capture end has no makespan; leave its
+  // end at begin (zero-length) and skip the walk.
+  for (const auto& [key, idx] : open) perfs_[idx].end = perfs_[idx].begin;
+
+  for (PerformanceProfile& p : perfs_) {
+    const auto key = std::make_pair(p.lane, p.number);
+    const auto it = roles.find(key);
+    if (it != roles.end()) {
+      for (const RoleSpan& r : it->second) {
+        if (r.open) continue;
+        std::uint64_t wait = 0;
+        std::map<std::string, std::uint64_t>& reasons =
+            p.wait_reasons[r.role];
+        const auto pit = parks_.find(r.pid);
+        if (pit != parks_.end()) {
+          for (const Park& k : pit->second) {
+            if (!k.blocked) continue;
+            const std::uint64_t lo = std::max(k.begin, r.begin);
+            const std::uint64_t hi = std::min(k.end, r.end);
+            if (hi > lo) {
+              wait += hi - lo;
+              reasons[k.detail] += hi - lo;
+            }
+          }
+        }
+        p.wait_by_role[r.role] += wait;
+        if (reasons.empty()) p.wait_reasons.erase(r.role);
+      }
+    }
+    if (p.end > p.begin) walk_critical_path(p);
+
+    // Anchor the walk on the fiber whose action closed the performance:
+    // the last role span to end. (walk_critical_path reads this via the
+    // same lookup, so compute nothing here if there were no roles.)
+  }
+}
+
+const CausalAnalyzer::Park* CausalAnalyzer::park_ending_at(
+    Pid pid, std::uint64_t t) const {
+  const auto it = parks_.find(pid);
+  if (it == parks_.end()) return nullptr;
+  const Park* best = nullptr;
+  for (const Park& k : it->second) {
+    if (k.end > t) continue;
+    if (best == nullptr || k.end > best->end ||
+        (k.end == best->end && &k > best))
+      best = &k;
+  }
+  return best;
+}
+
+bool CausalAnalyzer::edge_into(Pid pid, std::uint64_t t, Pid* from) const {
+  const auto it = edges_in_.find(pid);
+  if (it == edges_in_.end()) return false;
+  const auto range = it->second.equal_range(t);
+  if (range.first == range.second) return false;
+  // Several wakes at one instant: any of them is a causally valid
+  // predecessor; take the last recorded for determinism.
+  auto last = range.second;
+  --last;
+  *from = last->second;
+  return true;
+}
+
+void CausalAnalyzer::walk_critical_path(PerformanceProfile& p) {
+  // Anchor: the fiber whose role span ends last within this performance
+  // (its role_done is what closed the performance). Without role spans
+  // (non-script traces) there is nothing to walk.
+  Pid anchor = kNoPid;
+  std::uint64_t anchor_end = 0;
+  for (const Event& e : events_) {
+    if (e.subsystem != Subsystem::Script || e.kind != EventKind::SpanEnd ||
+        e.name != "role" || e.lane != p.lane ||
+        static_cast<std::uint64_t>(e.value) != p.number)
+      continue;
+    if (e.pid != kNoPid && e.time >= anchor_end) {
+      anchor = e.pid;
+      anchor_end = e.time;
+    }
+  }
+  if (anchor == kNoPid) return;
+
+  std::vector<PathSegment> rev;  // built backward, reversed at the end
+  std::set<const Park*> consumed;
+  Pid f = anchor;
+  std::uint64_t t = p.end;
+  // Termination: each iteration either consumes a park (finite) or
+  // lowers t; the belt-and-braces guard covers adversarial input.
+  std::uint64_t guard = 4 * (events_.size() + 4);
+
+  auto emit = [&](Pid pid, std::uint64_t b, std::uint64_t e,
+                  const char* what, const std::string& detail) {
+    if (e > b)
+      rev.push_back(PathSegment{pid, b, e, what, detail});
+  };
+
+  while (t > p.begin && guard-- > 0) {
+    const Park* k = nullptr;
+    {
+      // Latest unconsumed park of f ending at or before t.
+      const auto it = parks_.find(f);
+      if (it != parks_.end()) {
+        for (const Park& cand : it->second) {
+          if (cand.end > t || consumed.count(&cand)) continue;
+          if (k == nullptr || cand.end > k->end ||
+              (cand.end == k->end && &cand > k))
+            k = &cand;
+        }
+      }
+    }
+    if (k == nullptr) {
+      // No park history: the fiber ran straight through (or capture
+      // started late). Charge the residue as plain execution.
+      emit(f, p.begin, t, "run", fiber_name(f));
+      t = p.begin;
+      break;
+    }
+    if (k->end < t) {
+      // Gap between the park and t: virtual time cannot pass while the
+      // fiber is runnable, so this only appears when the capture missed
+      // spans; account it as execution so the path still tiles.
+      const std::uint64_t lo = std::max(k->end, p.begin);
+      emit(f, lo, t, "run", fiber_name(f));
+      t = lo;
+      continue;
+    }
+    consumed.insert(k);
+    const std::uint64_t lo = std::max(k->begin, p.begin);
+    if (k->blocked) {
+      Pid from = kNoPid;
+      if (!k->open && edge_into(f, t, &from)) {
+        // Someone's action ended this wait: the path continues through
+        // the waker; the waiting interval is its responsibility.
+        f = from;
+        continue;
+      }
+      // Timeout wake (or still-open at capture end): the wait itself
+      // is on the path.
+      emit(f, lo, t, "wait", k->detail);
+      t = lo;
+    } else {
+      // Sleeping: modelled latency / work.
+      emit(f, lo, t, "latency", k->detail);
+      t = lo;
+    }
+  }
+  if (t > p.begin) emit(f, p.begin, t, "run", fiber_name(f));
+
+  std::reverse(rev.begin(), rev.end());
+  p.critical_path = std::move(rev);
+  p.critical_path_ticks = 0;
+  for (const PathSegment& s : p.critical_path)
+    p.critical_path_ticks += s.ticks();
+}
+
+std::uint64_t CausalAnalyzer::blocked_ticks(Pid pid) const {
+  const auto it = parks_.find(pid);
+  if (it == parks_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const Park& k : it->second)
+    if (k.blocked && !k.open) total += k.end - k.begin;
+  return total;
+}
+
+std::map<Pid, std::uint64_t> CausalAnalyzer::blocked_by_fiber() const {
+  std::map<Pid, std::uint64_t> out;
+  for (const auto& [pid, ps] : parks_) {
+    const std::uint64_t t = blocked_ticks(pid);
+    if (t > 0) out[pid] = t;
+  }
+  return out;
+}
+
+std::string CausalAnalyzer::report() const {
+  std::string out;
+  std::set<Pid> fibers;
+  for (const Event& e : events_)
+    if (e.pid != kNoPid) fibers.insert(e.pid);
+  out += "trace: " + std::to_string(events_.size()) + " events, " +
+         std::to_string(fibers.size()) + " fibers, " +
+         std::to_string(flows_.size()) + " causal edges, " +
+         std::to_string(perfs_.size()) + " performances\n";
+
+  for (const PerformanceProfile& p : perfs_) {
+    out += "\n== " + p.instance + "#" + std::to_string(p.number) +
+           "  t=[" + fmt_ticks(p.begin) + ", " + fmt_ticks(p.end) +
+           "]  makespan=" + fmt_ticks(p.makespan()) +
+           (p.aborted ? "  ABORTED" : "") + " ==\n";
+    if (!p.critical_path.empty()) {
+      out += "  critical path (" + fmt_ticks(p.critical_path_ticks) +
+             " ticks):\n";
+      for (const PathSegment& s : p.critical_path) {
+        out += "    [" + fmt_ticks(s.begin) + " .. " + fmt_ticks(s.end) +
+               "]  " + fiber_name(s.pid) + "  " + s.what;
+        if (!s.detail.empty() && s.what != "run")
+          out += "  \"" + s.detail + "\"";
+        out += "\n";
+      }
+    }
+    if (!p.wait_by_role.empty()) {
+      out += "  wait by role:\n";
+      for (const auto& [role, ticks] : p.wait_by_role) {
+        out += "    " + role + ": " + fmt_ticks(ticks) + " ticks\n";
+        const auto rit = p.wait_reasons.find(role);
+        if (rit == p.wait_reasons.end()) continue;
+        for (const auto& [reason, rt] : rit->second)
+          if (rt > 0)
+            out += "      " + fmt_ticks(rt) + "  \"" + reason + "\"\n";
+      }
+    }
+  }
+
+  const auto blocked = blocked_by_fiber();
+  if (!blocked.empty()) {
+    out += "\nblocked time by fiber:\n";
+    for (const auto& [pid, ticks] : blocked)
+      out += "  " + fiber_name(pid) + ": " + fmt_ticks(ticks) + " ticks\n";
+  }
+  return out;
+}
+
+std::string CausalAnalyzer::self_check() const {
+  std::string errors;
+  auto fail = [&errors](const std::string& what) {
+    errors += (errors.empty() ? "" : "\n") + what;
+  };
+
+  // 1. Flow pairing: every flow id must have exactly one s and one f.
+  std::map<std::uint64_t, int> s_count, f_count;
+  for (const Event& e : events_) {
+    if (e.subsystem != Subsystem::Causal) continue;
+    const std::uint64_t id = flow_id(e);
+    if (e.name == "flow.s") ++s_count[id];
+    if (e.name == "flow.f") ++f_count[id];
+  }
+  for (const auto& [id, n] : s_count)
+    if (n != 1 || f_count[id] != 1)
+      fail("flow id " + std::to_string(id) + " unbalanced: " +
+           std::to_string(n) + " starts, " + std::to_string(f_count[id]) +
+           " finishes");
+  for (const auto& [id, n] : f_count)
+    if (s_count.find(id) == s_count.end())
+      fail("flow id " + std::to_string(id) + " has a finish but no start");
+
+  // 2. Per-fiber stamps: vector clocks never run backwards. An event
+  // ATTRIBUTED to fiber F may be STAMPED by another fiber (unblock's
+  // span-close is published by the waker), so seq — the publisher's own
+  // counter — is not monotone per attributed fiber; componentwise
+  // vclock dominance is: the wake edge merges the waker's clock into F
+  // before F's own next stamp.
+  std::map<Pid, const Event*> last_stamped;
+  for (const Event& e : events_) {
+    if (e.pid == kNoPid || e.vclock.empty()) continue;
+    const auto it = last_stamped.find(e.pid);
+    if (it != last_stamped.end()) {
+      const Event& prev = *it->second;
+      if (vclock_less(e.vclock, prev.vclock))
+        fail("fiber " + std::to_string(e.pid) +
+             ": vector clock ran backwards at t=" +
+             std::to_string(e.time));
+    }
+    last_stamped[e.pid] = &e;
+  }
+
+  // 3. Happens-before is consistent with publish order: a strictly
+  // vclock-later event can never have been published earlier. Quadratic,
+  // so sampled on large traces.
+  std::vector<const Event*> stamped;
+  for (const Event& e : events_)
+    if (!e.vclock.empty()) stamped.push_back(&e);
+  const std::size_t step =
+      stamped.size() > 2000 ? stamped.size() / 2000 + 1 : 1;
+  for (std::size_t i = 0; i < stamped.size(); i += step)
+    for (std::size_t j = i + 1; j < stamped.size(); j += step)
+      if (vclock_less(stamped[j]->vclock, stamped[i]->vclock))
+        fail("publish order contradicts happens-before at t=" +
+             std::to_string(stamped[i]->time) + " vs t=" +
+             std::to_string(stamped[j]->time));
+
+  // 4. Span balance per lane (fiber or instance).
+  std::map<std::pair<std::int64_t, std::int64_t>, int> depth;
+  for (const Event& e : events_) {
+    const std::pair<std::int64_t, std::int64_t> lane =
+        e.pid != kNoPid
+            ? std::pair<std::int64_t, std::int64_t>{1, e.pid}
+            : std::pair<std::int64_t, std::int64_t>{2, e.lane};
+    if (e.kind == EventKind::SpanBegin) ++depth[lane];
+    if (e.kind == EventKind::SpanEnd) {
+      if (--depth[lane] < 0) {
+        fail("span underflow on lane " + std::to_string(lane.second));
+        depth[lane] = 0;
+      }
+    }
+  }
+  for (const auto& [lane, d] : depth)
+    if (d != 0)
+      fail(std::to_string(d) + " dangling open span(s) on lane " +
+           std::to_string(lane.second));
+
+  // 5. The tentpole invariant: critical paths tile the makespan.
+  for (const PerformanceProfile& p : perfs_) {
+    if (p.end <= p.begin || p.critical_path.empty()) continue;
+    if (p.critical_path_ticks != p.makespan())
+      fail(p.instance + "#" + std::to_string(p.number) +
+           ": critical path " + std::to_string(p.critical_path_ticks) +
+           " ticks != makespan " + std::to_string(p.makespan()));
+  }
+  return errors;
+}
+
+std::string CausalAnalyzer::diff(const CausalAnalyzer& before,
+                                 const CausalAnalyzer& after) {
+  using Key = std::pair<std::string, std::uint64_t>;
+  std::map<Key, const PerformanceProfile*> a, b;
+  for (const PerformanceProfile& p : before.perfs_)
+    a[{p.instance, p.number}] = &p;
+  for (const PerformanceProfile& p : after.perfs_)
+    b[{p.instance, p.number}] = &p;
+
+  std::string out = "causal diff: " + std::to_string(a.size()) +
+                    " performances before, " + std::to_string(b.size()) +
+                    " after\n";
+  auto signed_str = [](std::int64_t v) {
+    return (v >= 0 ? "+" : "") + std::to_string(v);
+  };
+  for (const auto& [key, pa] : a) {
+    const auto it = b.find(key);
+    const std::string id = key.first + "#" + std::to_string(key.second);
+    if (it == b.end()) {
+      out += "  - " + id + " only before (makespan=" +
+             std::to_string(pa->makespan()) + ")\n";
+      continue;
+    }
+    const PerformanceProfile* pb = it->second;
+    const std::int64_t dm = static_cast<std::int64_t>(pb->makespan()) -
+                            static_cast<std::int64_t>(pa->makespan());
+    const bool aborted_changed = pa->aborted != pb->aborted;
+    if (dm != 0 || aborted_changed) {
+      out += "  ~ " + id + " makespan " + std::to_string(pa->makespan()) +
+             " -> " + std::to_string(pb->makespan()) + " (" +
+             signed_str(dm) + ")";
+      if (aborted_changed)
+        out += pb->aborted ? "  now ABORTED" : "  no longer aborted";
+      out += "\n";
+    }
+    std::set<std::string> roles;
+    for (const auto& [r, t] : pa->wait_by_role) roles.insert(r);
+    for (const auto& [r, t] : pb->wait_by_role) roles.insert(r);
+    for (const std::string& r : roles) {
+      const auto fa = pa->wait_by_role.find(r);
+      const auto fb = pb->wait_by_role.find(r);
+      const std::uint64_t ta =
+          fa == pa->wait_by_role.end() ? 0 : fa->second;
+      const std::uint64_t tb =
+          fb == pb->wait_by_role.end() ? 0 : fb->second;
+      if (ta != tb)
+        out += "      wait[" + r + "] " + std::to_string(ta) + " -> " +
+               std::to_string(tb) + " (" +
+               signed_str(static_cast<std::int64_t>(tb) -
+                          static_cast<std::int64_t>(ta)) +
+               ")\n";
+    }
+  }
+  for (const auto& [key, pb] : b)
+    if (a.find(key) == a.end())
+      out += "  + " + key.first + "#" + std::to_string(key.second) +
+             " only after (makespan=" + std::to_string(pb->makespan()) +
+             ")\n";
+  return out;
+}
+
+void CausalAnalyzer::export_gauges(MetricsRegistry& reg,
+                                   const std::string& prefix,
+                                   bool per_performance) const {
+  std::uint64_t path_total = 0;
+  std::map<std::string, std::uint64_t> wait_total;
+  for (const PerformanceProfile& p : perfs_) {
+    path_total += p.critical_path_ticks;
+    if (per_performance)
+      reg.gauge(prefix + "." + std::to_string(p.number) +
+                    ".critical_path_ticks",
+                static_cast<double>(p.critical_path_ticks));
+    for (const auto& [role, ticks] : p.wait_by_role)
+      wait_total[role] += ticks;
+  }
+  reg.gauge(prefix + ".critical_path_ticks",
+            static_cast<double>(path_total));
+  for (const auto& [role, ticks] : wait_total)
+    reg.gauge(prefix + ".wait_ticks_by_role." + role,
+              static_cast<double>(ticks));
+}
+
+}  // namespace script::obs

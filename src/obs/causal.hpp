@@ -1,0 +1,199 @@
+// Causality layer: vector clocks, happens-before recovery, and the
+// per-performance profiler.
+//
+// The paper's central object is a *performance* whose cost is set by the
+// communication pattern among its roles. A flat event stream cannot
+// answer "which role's waiting made this performance slow?"; for that we
+// need the happens-before DAG. Two pieces live here:
+//
+//   * CausalTracker — owned by the Scheduler. Keeps one vector clock per
+//     fiber, ticked on dispatch and merged along every cross-fiber wake
+//     (CSP rendezvous, Ada entry hand-off, monitor admission, wait-queue
+//     notify, enrollment release, DistributedCast delivery — they all
+//     funnel through Scheduler::unblock/wake_at plus two explicit
+//     data-flow sites). It stamps every published Event with the
+//     publishing fiber's (seq, vclock) and publishes paired flow.s /
+//     flow.f events that render as Perfetto flow arrows AND double as
+//     the explicit edges of the happens-before DAG.
+//
+//   * CausalAnalyzer — pure function of an event vector (live from a
+//     TraceExporter or re-read from a trace file). Extracts per-
+//     performance critical paths (virtual-time weighted), attributes
+//     wait time to roles and block reasons, and self-checks the trace's
+//     causal consistency.
+//
+// The critical-path walk leans on a scheduler invariant: virtual time
+// advances only when every live fiber is parked (blocked or sleeping),
+// so a fiber's parked spans tile all virtual time that elapses while it
+// is alive. Walking backward from the performance's end — jumping to the
+// waking fiber wherever a blocked span ends with an incoming flow edge —
+// therefore yields a path whose segment lengths sum EXACTLY to the
+// performance's makespan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace script::obs {
+
+class MetricsRegistry;
+
+/// One vector clock per fiber; installed on a Scheduler (which forwards
+/// dispatches and wake edges) and on its EventBus (as the stamper).
+class CausalTracker {
+ public:
+  explicit CausalTracker(EventBus& bus);
+
+  /// Fiber `pid` is switched in: tick its own component.
+  void on_dispatch(Pid pid);
+  /// Control returned to the scheduler loop: no fiber is current.
+  void on_scheduler_loop() { current_ = kNoPid; }
+
+  /// Cross-fiber happens-before edge: merge `from`'s clock into `to`'s
+  /// and (when anyone listens to Subsystem::Causal) publish a flow.s /
+  /// flow.f pair carrying a shared id, so exporters draw sender→receiver
+  /// arrows and the analyzer recovers the edge. `what` labels the edge
+  /// kind ("wake", "msg", "entry", ...).
+  void on_edge(Pid from, Pid to, const char* what = "wake");
+
+  /// EventBus stamper: seq/vclock of the currently-running fiber (events
+  /// published from the scheduler loop itself stay unstamped).
+  void stamp(Event& e) const;
+
+  const std::vector<std::uint64_t>& clock_of(Pid pid) const;
+  Pid current() const { return current_; }
+
+ private:
+  std::vector<std::uint64_t>& clock(Pid pid);
+
+  EventBus* bus_;
+  Pid current_ = kNoPid;
+  std::vector<std::vector<std::uint64_t>> clocks_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+/// One hop of a critical path, in virtual time. `what` is "latency"
+/// (a sleeping span: communication latency or modelled work), "wait"
+/// (a blocked span nobody's action ended — a timeout wake), or "run"
+/// (residue before the fiber's first recorded park).
+struct PathSegment {
+  Pid pid = kNoPid;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::string what;
+  std::string detail;  // block reason / span annotation, when known
+
+  std::uint64_t ticks() const { return end - begin; }
+};
+
+/// Profile of one performance recovered from the trace.
+struct PerformanceProfile {
+  std::string instance;       // lane name, e.g. "lockdb"
+  std::int32_t lane = kNoLane;
+  std::uint64_t number = 0;   // performance number within the instance
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool aborted = false;
+
+  /// Chronological; segment ticks sum to exactly end - begin.
+  std::vector<PathSegment> critical_path;
+  std::uint64_t critical_path_ticks = 0;
+
+  /// role string -> blocked ticks inside that role's span.
+  std::map<std::string, std::uint64_t> wait_by_role;
+  /// role string -> block reason -> ticks (channel/entry attribution).
+  std::map<std::string, std::map<std::string, std::uint64_t>> wait_reasons;
+
+  std::uint64_t makespan() const { return end - begin; }
+};
+
+/// Happens-before analysis over a captured event stream.
+class CausalAnalyzer {
+ public:
+  /// `events` must be in publish order (TraceExporter::events() or
+  /// trace_read). `fiber_names` is optional prettiness.
+  explicit CausalAnalyzer(std::vector<Event> events,
+                          std::map<Pid, std::string> fiber_names = {},
+                          std::vector<std::string> lane_names = {});
+
+  const std::vector<PerformanceProfile>& performances() const {
+    return perfs_;
+  }
+
+  /// Total blocked virtual time recovered for `pid` — must equal the
+  /// scheduler's own Scheduler::blocked_ticks(pid) accounting.
+  std::uint64_t blocked_ticks(Pid pid) const;
+  std::map<Pid, std::uint64_t> blocked_by_fiber() const;
+
+  /// Strict happens-before between two stamped events (empty-stamp
+  /// events are never ordered).
+  static bool happens_before(const Event& a, const Event& b) {
+    return !a.vclock.empty() && !b.vclock.empty() &&
+           vclock_less(a.vclock, b.vclock);
+  }
+
+  /// Human report: per-performance summary, critical path, and wait
+  /// attribution. What trace-analyze prints.
+  std::string report() const;
+
+  /// Consistency audit; empty string when the trace is causally sound.
+  /// Checks flow-pair integrity, per-fiber stamp monotonicity,
+  /// vclock-order-implies-publish-order, span balance, and critical
+  /// path == makespan per performance.
+  std::string self_check() const;
+
+  /// Causal diff of two runs (e.g. fault-free vs injected-crash replay):
+  /// performance-by-performance makespan and wait shifts, plus
+  /// performances present on only one side.
+  static std::string diff(const CausalAnalyzer& before,
+                          const CausalAnalyzer& after);
+
+  /// Surface the headline numbers as gauges:
+  ///   perf.critical_path_ticks            (summed over performances)
+  ///   perf.wait_ticks_by_role.<role>      (summed over performances)
+  /// plus, when `per_performance`, perf.<n>.critical_path_ticks for each
+  /// performance (skip for runs with hundreds of them).
+  void export_gauges(MetricsRegistry& reg,
+                     const std::string& prefix = "perf",
+                     bool per_performance = true) const;
+
+  const std::vector<Event>& events() const { return events_; }
+  std::string fiber_name(Pid pid) const;
+
+ private:
+  struct Park {  // one blocked or sleeping interval of a fiber
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool blocked = false;  // else sleeping
+    bool open = false;     // never closed (deadlock / crash residue)
+    std::string detail;    // block reason from the SpanBegin
+  };
+
+  void index_events();
+  void build_performances();
+  void walk_critical_path(PerformanceProfile& p);
+  const Park* park_ending_at(Pid pid, std::uint64_t t) const;
+  bool edge_into(Pid pid, std::uint64_t t, Pid* from) const;
+
+  std::vector<Event> events_;
+  std::map<Pid, std::string> fiber_names_;
+  std::vector<std::string> lane_names_;
+  std::map<Pid, std::vector<Park>> parks_;
+  // flow id -> (source pid, target pid, time)
+  struct Flow {
+    Pid from = kNoPid;
+    Pid to = kNoPid;
+    std::uint64_t time = 0;
+  };
+  std::map<std::uint64_t, Flow> flows_;
+  // (target pid) -> times with an incoming edge -> source pid
+  std::map<Pid, std::multimap<std::uint64_t, Pid>> edges_in_;
+  std::vector<PerformanceProfile> perfs_;
+};
+
+}  // namespace script::obs

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace script::obs {
 
@@ -48,12 +50,22 @@ enum class Subsystem : std::uint8_t {
   Link,       // SimLink / distributed-protocol message hops
   User,       // application-defined events
   Fault,      // injected faults: crashes, stalls, message drop/dup/delay
+  Causal,     // happens-before edges between fibers (flow.s / flow.f)
   kCount,
 };
 
 const char* subsystem_name(Subsystem s);
 
 struct Event {
+  Event() = default;
+  // Producers brace-initialize the descriptive prefix; the causal stamp
+  // below is only ever filled in by the bus's stamper hook.
+  Event(EventKind k, Subsystem s, std::uint64_t t = kAutoTime,
+        Pid p = kNoPid, std::int32_t l = kNoLane, std::string n = {},
+        std::string d = {}, double v = 0)
+      : kind(k), subsystem(s), time(t), pid(p), lane(l),
+        name(std::move(n)), detail(std::move(d)), value(v) {}
+
   EventKind kind = EventKind::Instant;
   Subsystem subsystem = Subsystem::User;
   std::uint64_t time = kAutoTime;  // virtual ticks
@@ -62,6 +74,19 @@ struct Event {
   std::string name;                // stable id, e.g. "enroll.ok", "role"
   std::string detail;              // human fragment, e.g. a role or tag
   double value = 0;                // Counter payload / numeric annotation
+
+  // ---- Causal stamp (CausalTracker; empty when tracking is off) ----
+  // The publishing fiber's dispatch count and vector clock at publish
+  // time. Strict vclock order between two stamped events implies the
+  // first was published before the second (happens-before).
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> vclock;
 };
+
+/// Componentwise comparison of two vector clocks (missing components
+/// count as 0). True iff a <= b everywhere and a < b somewhere — the
+/// happens-before order on stamped events.
+bool vclock_less(const std::vector<std::uint64_t>& a,
+                 const std::vector<std::uint64_t>& b);
 
 }  // namespace script::obs

@@ -17,9 +17,22 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::Link: return "link";
     case Subsystem::User: return "user";
     case Subsystem::Fault: return "fault";
+    case Subsystem::Causal: return "causal";
     case Subsystem::kCount: break;
   }
   return "unknown";
+}
+
+bool vclock_less(const std::vector<std::uint64_t>& a,
+                 const std::vector<std::uint64_t>& b) {
+  bool strictly = false;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    const std::uint64_t av = i < a.size() ? a[i] : 0;
+    const std::uint64_t bv = i < b.size() ? b[i] : 0;
+    if (av > bv) return false;
+    if (av < bv) strictly = true;
+  }
+  return strictly;
 }
 
 EventBus::SubId EventBus::subscribe(Mask mask, Subscriber fn) {
@@ -40,6 +53,7 @@ void EventBus::unsubscribe(SubId id) {
 
 void EventBus::publish(Event e) {
   if (e.time == kAutoTime) e.time = clock_ ? clock_() : 0;
+  if (stamper_) stamper_(e);
   ++published_;
   const Mask bit = mask_of(e.subsystem);
   for (const Sub& s : subs_)

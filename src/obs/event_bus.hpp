@@ -42,6 +42,13 @@ class EventBus {
     clock_ = std::move(clock);
   }
 
+  /// Extra stamp applied to every published event after the time stamp.
+  /// The CausalTracker installs one that fills Event::seq/vclock from
+  /// the publishing fiber's clock. Unset (the default) costs one branch.
+  void set_stamper(std::function<void(Event&)> stamper) {
+    stamper_ = std::move(stamper);
+  }
+
   /// Register `fn` for every event whose subsystem is in `mask`.
   /// Subscribers run synchronously, in subscription order, and must not
   /// block. Returns an id for unsubscribe().
@@ -89,6 +96,7 @@ class EventBus {
   SubId next_id_ = 1;
   std::uint64_t published_ = 0;
   std::function<std::uint64_t()> clock_;
+  std::function<void(Event&)> stamper_;
   std::vector<std::string> lanes_;
   std::size_t history_cap_ = 0;
   std::map<Pid, std::deque<Event>> history_;

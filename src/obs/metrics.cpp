@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "support/log.hpp"
 #include "support/panic.hpp"
 
 namespace script::obs {
@@ -57,6 +58,12 @@ double Histogram::quantile(double q) const {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
+}
+
+void MetricsRegistry::import_tracelog_truncation(
+    const support::TraceLog& log) {
+  Counter& c = counter("tracelog.truncated_events");
+  if (log.evicted() > c.value()) c.inc(log.evicted() - c.value());
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {

@@ -16,6 +16,10 @@
 
 #include "obs/event_bus.hpp"
 
+namespace script::support {
+class TraceLog;
+}
+
 namespace script::obs {
 
 class Counter {
@@ -68,11 +72,22 @@ class MetricsRegistry {
     return counters_.count(name) != 0;
   }
 
+  /// Last value set for a gauge, or 0 when never set.
+  double gauge_value(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
   /// Subscribe to `bus`, counting every event as
   /// "<subsystem>.<name>[.<kind-suffix>]"; span begins count once.
   /// Returns the subscription id (caller unsubscribes if needed).
   EventBus::SubId attach_event_counters(EventBus& bus,
                                         EventBus::Mask mask);
+
+  /// Sync the "tracelog.truncated_events" counter to `log`'s ring
+  /// eviction tally, so a truncated forensic log is visible in exported
+  /// metrics rather than silently passing as complete. Idempotent.
+  void import_tracelog_truncation(const support::TraceLog& log);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} —
   /// histograms carry count/sum/min/max/mean/p50/p90/p99 plus the

@@ -70,6 +70,52 @@ TraceExporter::TraceExporter(EventBus& bus, EventBus::Mask mask)
 
 TraceExporter::~TraceExporter() { bus_->unsubscribe(sub_); }
 
+std::map<Pid, std::string> TraceExporter::fiber_names() const {
+  std::map<Pid, std::string> names;
+  for (const Event& e : events_)
+    if (e.pid != kNoPid && names.find(e.pid) == names.end())
+      names[e.pid] = fiber_namer_ ? fiber_namer_(e.pid)
+                                  : "fiber " + std::to_string(e.pid);
+  return names;
+}
+
+std::vector<std::string> TraceExporter::lane_names() const {
+  std::vector<std::string> names;
+  for (std::size_t lane = 0; lane < bus_->lane_count(); ++lane)
+    names.push_back(bus_->lane_name(static_cast<std::int32_t>(lane)));
+  return names;
+}
+
+namespace {
+void upsert_metadata(
+    std::vector<std::pair<std::string, std::string>>& metadata,
+    const std::string& key, std::string rendered) {
+  for (auto& [k, v] : metadata)
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  metadata.emplace_back(key, std::move(rendered));
+}
+}  // namespace
+
+void TraceExporter::set_metadata(const std::string& key, double value) {
+  std::string num = std::to_string(value);
+  // Trim trailing zeros so integer-valued metadata reads cleanly.
+  if (num.find('.') != std::string::npos) {
+    while (!num.empty() && num.back() == '0') num.pop_back();
+    if (!num.empty() && num.back() == '.') num.pop_back();
+  }
+  upsert_metadata(metadata_, key, std::move(num));
+}
+
+void TraceExporter::set_metadata(const std::string& key,
+                                 const std::string& value) {
+  std::string rendered;
+  append_escaped(rendered, value);
+  upsert_metadata(metadata_, key, std::move(rendered));
+}
+
 std::string TraceExporter::json() const {
   std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
@@ -103,9 +149,53 @@ std::string TraceExporter::json() const {
   // output always balances (see header).
   std::map<LaneKey, std::vector<std::string>> open_spans;
   std::uint64_t last_ts = 0;
+
+  // Reconstruction args shared by every non-flow record: subsystem tag
+  // and causal stamp. trace_read reads these back.
+  const auto common_args = [](const Event& e) {
+    std::string extra = std::string(", \"sub\": \"") +
+                        subsystem_name(e.subsystem) + "\"";
+    // An event carrying BOTH a fiber and an instance lane renders on the
+    // fiber's track; keep the lane in args so trace_read is lossless
+    // (script role spans key performances by it).
+    if (e.pid != kNoPid && e.lane != kNoLane)
+      extra += ", \"lane\": " + std::to_string(e.lane);
+    if (!e.vclock.empty()) {
+      extra += ", \"seq\": " + std::to_string(e.seq) + ", \"vc\": [";
+      for (std::size_t i = 0; i < e.vclock.size(); ++i) {
+        if (i != 0) extra += ",";
+        extra += std::to_string(e.vclock[i]);
+      }
+      extra += "]";
+    }
+    return extra;
+  };
+
   for (const Event& e : events_) {
     const LaneKey lane = lane_of(e);
     last_ts = e.time;  // bus publishes in nondecreasing virtual time
+
+    // Causal flow pairs render as Perfetto flow arrows: ph "s" on the
+    // sender's lane, ph "f" (binding to the enclosing slice) on the
+    // receiver's, joined by the shared id the tracker put in `value`.
+    if (e.subsystem == Subsystem::Causal &&
+        (e.name == "flow.s" || e.name == "flow.f")) {
+      const bool start = e.name == "flow.s";
+      if (!first) out += ",\n";
+      first = false;
+      out += "  {\"name\": ";
+      append_escaped(out, e.detail.empty() ? std::string("wake") : e.detail);
+      out += std::string(", \"cat\": \"flow\", \"ph\": \"") +
+             (start ? "s" : "f") + "\"";
+      if (!start) out += ", \"bp\": \"e\"";
+      out += ", \"id\": " +
+             std::to_string(static_cast<std::uint64_t>(e.value)) +
+             ", \"ts\": " + std::to_string(e.time) +
+             ", \"pid\": " + std::to_string(lane.tpid) +
+             ", \"tid\": " + std::to_string(lane.tid) + "}";
+      continue;
+    }
+
     std::string name = e.name;
     if (!e.detail.empty() && e.kind != EventKind::Counter)
       name += " " + e.detail;
@@ -113,23 +203,28 @@ std::string TraceExporter::json() const {
     switch (e.kind) {
       case EventKind::SpanBegin:
         open_spans[lane].push_back(name);
+        args = "{\"value\": " + std::to_string(e.value) + common_args(e) +
+               "}";
         append_record(out, lane, "B", e.time, name, args, first);
         break;
       case EventKind::SpanEnd: {
         auto& open = open_spans[lane];
         if (open.empty()) continue;  // began before tracing started
         open.pop_back();
+        args = "{\"value\": " + std::to_string(e.value) + common_args(e) +
+               "}";
         append_record(out, lane, "E", e.time, name, args, first);
         break;
       }
       case EventKind::Instant:
-        append_record(out, lane, "i", e.time, name,
-                      "{\"value\": " + std::to_string(e.value) + "}", first);
+        args = "{\"value\": " + std::to_string(e.value) + common_args(e) +
+               "}";
+        append_record(out, lane, "i", e.time, name, args, first);
         break;
       case EventKind::Counter:
         args = "{";
         args += "\"" + (e.detail.empty() ? std::string("value") : e.detail) +
-                "\": " + std::to_string(e.value) + "}";
+                "\": " + std::to_string(e.value) + common_args(e) + "}";
         append_record(out, lane, "C", e.time, e.name, args, first);
         break;
     }
@@ -142,7 +237,19 @@ std::string TraceExporter::json() const {
       open.pop_back();
     }
 
-  out += "\n]}\n";
+  out += "\n]";
+  if (!metadata_.empty()) {
+    out += ",\n\"metadata\": {";
+    bool mfirst = true;
+    for (const auto& [key, value] : metadata_) {
+      if (!mfirst) out += ", ";
+      mfirst = false;
+      append_escaped(out, key);
+      out += ": " + value;
+    }
+    out += "}";
+  }
+  out += "}\n";
   return out;
 }
 

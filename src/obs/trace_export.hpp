@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/event_bus.hpp"
@@ -45,7 +47,23 @@ class TraceExporter {
 
   std::size_t event_count() const { return events_.size(); }
 
-  /// Render the full Chrome trace JSON document.
+  /// The captured events, in publish order. Feed to CausalAnalyzer.
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Names for every fiber seen so far (via the fiber namer) and for
+  /// every registered bus lane — the shape CausalAnalyzer expects.
+  std::map<Pid, std::string> fiber_names() const;
+  std::vector<std::string> lane_names() const;
+
+  /// Attach a key/value to the trace's top-level "metadata" object
+  /// (e.g. truncated_events when the TraceLog ring evicted entries).
+  void set_metadata(const std::string& key, double value);
+  void set_metadata(const std::string& key, const std::string& value);
+
+  /// Render the full Chrome trace JSON document. Causal flow.s/flow.f
+  /// pairs render as ph "s"/"f" flow arrows; every other record carries
+  /// "sub" (subsystem), "value", and — when stamped — "seq"/"vc" args so
+  /// trace_read can reconstruct the events losslessly.
   std::string json() const;
   bool write(const std::string& path) const;
 
@@ -54,6 +72,7 @@ class TraceExporter {
   EventBus::SubId sub_;
   std::function<std::string(Pid)> fiber_namer_;
   std::vector<Event> events_;
+  std::vector<std::pair<std::string, std::string>> metadata_;  // pre-rendered
 };
 
 }  // namespace script::obs

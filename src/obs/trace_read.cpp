@@ -1,0 +1,251 @@
+#include "obs/trace_read.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace script::obs {
+
+namespace {
+
+// ---- line scanning helpers (mirror append_record's output shape) ----
+
+/// Position just past `"key": ` in `line`, or npos.
+std::size_t after_key(const std::string& line, const std::string& key,
+                      std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle, from);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+/// Undo append_escaped starting at the opening quote.
+bool read_string_at(const std::string& line, std::size_t at,
+                    std::string* out) {
+  if (at >= line.size() || line[at] != '"') return false;
+  out->clear();
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      *out += c;
+      continue;
+    }
+    if (++i >= line.size()) return false;
+    switch (line[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case 'n': *out += '\n'; break;
+      case 't': *out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= line.size()) return false;
+        *out += static_cast<char>(
+            std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: *out += line[i];
+    }
+  }
+  return false;
+}
+
+bool str_field(const std::string& line, const std::string& key,
+               std::string* out) {
+  const std::size_t at = after_key(line, key);
+  return at != std::string::npos && read_string_at(line, at, out);
+}
+
+bool num_field(const std::string& line, const std::string& key,
+               double* out) {
+  const std::size_t at = after_key(line, key);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at, nullptr);
+  return true;
+}
+
+Subsystem subsystem_from(const std::string& name) {
+  for (unsigned i = 0; i < static_cast<unsigned>(Subsystem::kCount); ++i) {
+    const Subsystem s = static_cast<Subsystem>(i);
+    if (name == subsystem_name(s)) return s;
+  }
+  return Subsystem::User;
+}
+
+/// "name detail" → (name, detail): exporter joins with the first space
+/// and event names are space-free tokens.
+void split_name(const std::string& joined, std::string* name,
+                std::string* detail) {
+  const std::size_t sp = joined.find(' ');
+  if (sp == std::string::npos) {
+    *name = joined;
+    detail->clear();
+  } else {
+    *name = joined.substr(0, sp);
+    *detail = joined.substr(sp + 1);
+  }
+}
+
+void parse_metadata_line(const std::string& line,
+                         std::map<std::string, std::string>* out) {
+  // `"metadata": {"k": v, "k2": v2}` — keys are escaped strings, values
+  // are numbers or escaped strings; store both as text.
+  std::size_t at = after_key(line, "metadata");
+  if (at == std::string::npos || at >= line.size() || line[at] != '{')
+    return;
+  ++at;
+  while (at < line.size() && line[at] != '}') {
+    std::string key;
+    if (!read_string_at(line, at, &key)) return;
+    at = line.find(':', at);
+    if (at == std::string::npos) return;
+    at += 2;  // skip ": "
+    std::string value;
+    if (at < line.size() && line[at] == '"') {
+      if (!read_string_at(line, at, &value)) return;
+      at = line.find('"', at + 1);
+      if (at == std::string::npos) return;
+      ++at;
+    } else {
+      const std::size_t end = line.find_first_of(",}", at);
+      if (end == std::string::npos) return;
+      value = line.substr(at, end - at);
+      at = end;
+    }
+    (*out)[key] = value;
+    if (at < line.size() && line[at] == ',') at += 2;  // skip ", "
+  }
+}
+
+void parse_record(const std::string& line, TraceFile* out) {
+  std::string ph;
+  if (!str_field(line, "ph", &ph) || ph.empty()) return;
+
+  double ts = 0, tpid = 0, tid = 0;
+  num_field(line, "ts", &ts);
+  num_field(line, "pid", &tpid);
+  num_field(line, "tid", &tid);
+  std::string joined;
+  str_field(line, "name", &joined);
+
+  if (ph == "M") {
+    if (joined != "thread_name") return;
+    std::string who;
+    const std::size_t args = line.find("\"args\":");
+    if (args == std::string::npos) return;
+    if (!str_field(line.substr(args), "name", &who)) return;
+    if (static_cast<int>(tpid) == 1) {
+      out->fiber_names[static_cast<Pid>(tid)] = who;
+    } else if (static_cast<int>(tpid) == 2) {
+      const auto lane = static_cast<std::size_t>(tid);
+      if (out->lane_names.size() <= lane)
+        out->lane_names.resize(lane + 1, "");
+      out->lane_names[lane] = who;
+    }
+    return;
+  }
+
+  Event e;
+  e.time = static_cast<std::uint64_t>(ts);
+  if (static_cast<int>(tpid) == 1) {
+    e.pid = static_cast<Pid>(tid);
+  } else if (static_cast<int>(tpid) == 2) {
+    e.lane = static_cast<std::int32_t>(tid);
+  }
+
+  if (ph == "s" || ph == "f") {
+    e.kind = EventKind::Instant;
+    e.subsystem = Subsystem::Causal;
+    e.name = ph == "s" ? "flow.s" : "flow.f";
+    e.detail = joined;
+    double id = 0;
+    num_field(line, "id", &id);
+    e.value = id;
+    out->events.push_back(std::move(e));
+    return;
+  }
+
+  std::string sub;
+  if (str_field(line, "sub", &sub)) e.subsystem = subsystem_from(sub);
+  double args_lane = 0;  // fiber-track records keep their lane in args
+  if (num_field(line, "lane", &args_lane))
+    e.lane = static_cast<std::int32_t>(args_lane);
+  double value = 0;
+
+  if (ph == "B" || ph == "E" || ph == "i") {
+    e.kind = ph == "B"   ? EventKind::SpanBegin
+             : ph == "E" ? EventKind::SpanEnd
+                         : EventKind::Instant;
+    split_name(joined, &e.name, &e.detail);
+    if (num_field(line, "value", &value)) e.value = value;
+    double seq = 0;
+    if (num_field(line, "seq", &seq)) {
+      e.seq = static_cast<std::uint64_t>(seq);
+      std::size_t at = after_key(line, "vc");
+      if (at != std::string::npos && at < line.size() && line[at] == '[') {
+        ++at;
+        while (at < line.size() && line[at] != ']') {
+          char* end = nullptr;
+          e.vclock.push_back(static_cast<std::uint64_t>(
+              std::strtoull(line.c_str() + at, &end, 10)));
+          at = static_cast<std::size_t>(end - line.c_str());
+          if (at < line.size() && line[at] == ',') ++at;
+        }
+      }
+    }
+    out->events.push_back(std::move(e));
+    return;
+  }
+
+  if (ph == "C") {
+    e.kind = EventKind::Counter;
+    e.name = joined;
+    // The series key is the first args key; "value" means empty detail.
+    const std::size_t args = line.find("\"args\": {");
+    if (args != std::string::npos) {
+      std::string series;
+      if (read_string_at(line, args + std::strlen("\"args\": {"),
+                         &series)) {
+        if (series != "value") e.detail = series;
+        num_field(line.substr(args), series, &value);
+        e.value = value;
+      }
+    }
+    out->events.push_back(std::move(e));
+    return;
+  }
+}
+
+}  // namespace
+
+TraceFile parse_trace_json(const std::string& json) {
+  TraceFile out;
+  std::size_t start = 0;
+  while (start < json.size()) {
+    std::size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    if (line.find("\"metadata\":") != std::string::npos) {
+      parse_metadata_line(line, &out.metadata);
+    } else if (line.find("\"ph\":") != std::string::npos) {
+      parse_record(line, &out);
+    }
+  }
+  for (std::size_t i = 0; i < out.lane_names.size(); ++i)
+    if (out.lane_names[i].empty())
+      out.lane_names[i] = "lane " + std::to_string(i);
+  return out;
+}
+
+std::optional<TraceFile> read_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  return parse_trace_json(body);
+}
+
+}  // namespace script::obs

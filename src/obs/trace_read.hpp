@@ -1,0 +1,36 @@
+// trace_read — reconstruct an Event stream from a trace file.
+//
+// The TraceExporter writes Chrome trace-event JSON with one record per
+// line and a "sub"/"value"/"seq"/"vc" args payload on every record
+// precisely so that this reader can reverse it: trace-analyze (and the
+// golden tests) load a .trace.json from disk and hand the recovered
+// events to CausalAnalyzer, getting the same analysis a live subscriber
+// would. This is a reader for OUR writer's output — line-oriented and
+// deliberately minimal, not a general JSON parser.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace script::obs {
+
+struct TraceFile {
+  std::vector<Event> events;  // in file (= publish) order
+  std::map<Pid, std::string> fiber_names;
+  std::vector<std::string> lane_names;
+  std::map<std::string, std::string> metadata;
+};
+
+/// Parse a trace document produced by TraceExporter::json().
+/// Unrecognised records are skipped; a document with no trace records at
+/// all yields an empty TraceFile (callers can treat that as an error).
+TraceFile parse_trace_json(const std::string& json);
+
+/// Read + parse; nullopt when the file cannot be opened.
+std::optional<TraceFile> read_trace_file(const std::string& path);
+
+}  // namespace script::obs

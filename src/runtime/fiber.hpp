@@ -63,6 +63,18 @@ class Fiber {
   /// Virtual time at which this fiber last ran (dispatch instant).
   std::uint64_t last_progress() const { return last_progress_; }
 
+  /// Total virtual time this fiber has spent Blocked (closed spans only;
+  /// a currently-blocked fiber's open span is not yet counted). Always
+  /// maintained — the cost is two assignments per park — so wait-time
+  /// attribution has a ground truth to check against.
+  std::uint64_t blocked_ticks() const { return blocked_ticks_; }
+
+  /// Who this fiber is blocked on, when the call site knows (the CSP
+  /// peer, the Ada entry owner, the monitor holder, a join target).
+  /// kNoProcess when unknown or not blocked. Drives the wait-for chains
+  /// in deadlock reports.
+  ProcessId waiting_on() const { return waiting_on_; }
+
  private:
   friend class Scheduler;
 
@@ -88,6 +100,10 @@ class Fiber {
   bool crash_notified_ = false;  // crash hooks already ran
   std::uint64_t pending_stall_ticks_ = 0;  // consumed at next dispatch
   std::uint64_t last_progress_ = 0;        // virtual time last dispatched
+  // ---- Causal accounting (always on; plain arithmetic per park) ----
+  std::uint64_t blocked_ticks_ = 0;  // closed Blocked spans, summed
+  std::uint64_t block_start_ = 0;    // entry time of the open Blocked span
+  ProcessId waiting_on_ = kNoProcess;  // wait-for hint for deadlock chains
   // Deregistration hook for block_with_timeout: runs at the moment the
   // timeout fires (before any other fiber can observe the stale wait
   // entry), so wakers self-clean instead of every call site doing it.

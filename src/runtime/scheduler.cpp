@@ -1,9 +1,11 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
+#include "obs/causal.hpp"
 #include "obs/log_bridge.hpp"
 #include "obs/trace_export.hpp"
 #include "support/panic.hpp"
@@ -29,13 +31,26 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
     out += "\n  blocked: " + sched.name_of(pid) + " — " + reason +
            " (last progress t=" + std::to_string(sched.last_progress(pid)) +
            ")";
-    // With event history enabled (SchedulerOptions::event_history), show
-    // how the fiber got here: its last few bus events, oldest first.
-    if (const auto* ring = sched.bus().history_for(pid)) {
-      for (const obs::Event& e : *ring) {
-        out += "\n    [t=" + std::to_string(e.time) + "] " +
-               obs::subsystem_name(e.subsystem) + " " + e.name;
-        if (!e.detail.empty()) out += " " + e.detail;
+    // The wait-for chain: who this fiber waits on, who THAT fiber waits
+    // on, and so forth — the causal explanation of the deadlock, not a
+    // flat event dump. A repeated fiber closes the chain as a cycle.
+    std::vector<ProcessId> seen{pid};
+    ProcessId at = sched.waiting_on(pid);
+    while (at != kNoProcess) {
+      const bool cycle =
+          std::find(seen.begin(), seen.end(), at) != seen.end();
+      out += "\n    waits for " + sched.name_of(at);
+      if (cycle) {
+        out += "  [cycle]";
+        break;
+      }
+      if (sched.state_of(at) == FiberState::Blocked) {
+        const ProcessId next = sched.waiting_on(at);
+        if (next == kNoProcess) break;
+        seen.push_back(at);
+        at = next;
+      } else {
+        break;
       }
     }
   }
@@ -72,6 +87,9 @@ Scheduler::~Scheduler() {
 
 obs::TraceExporter& Scheduler::enable_tracing() {
   if (exporter_ == nullptr) {
+    // A timeline without happens-before arrows is half a timeline:
+    // tracing implies causal tracking.
+    enable_causal_tracking();
     exporter_ = std::make_unique<obs::TraceExporter>(bus_);
     exporter_->set_fiber_namer(
         [this](obs::Pid p) { return name_of(p); });
@@ -79,8 +97,27 @@ obs::TraceExporter& Scheduler::enable_tracing() {
   return *exporter_;
 }
 
+void Scheduler::enable_causal_tracking() {
+  if (causal_ != nullptr) return;
+  causal_ = std::make_unique<obs::CausalTracker>(bus_);
+  bus_.set_stamper([this](obs::Event& e) { causal_->stamp(e); });
+}
+
+void Scheduler::causal_edge(ProcessId from, ProcessId to,
+                            const char* what) {
+  if (causal_ != nullptr) causal_->on_edge(from, to, what);
+}
+
 bool Scheduler::write_trace(const std::string& path) const {
-  return exporter_ != nullptr && exporter_->write(path);
+  if (exporter_ == nullptr) return false;
+  // Stamp provenance metadata at write time (set_metadata upserts, so
+  // repeated writes stay consistent). truncated_events > 0 flags that
+  // the prose TraceLog's ring dropped entries — the exported timeline
+  // itself is complete, but the companion log is not.
+  exporter_->set_metadata("truncated_events",
+                          static_cast<double>(trace_.evicted()));
+  exporter_->set_metadata("virtual_time", static_cast<double>(now_));
+  return exporter_->write(path);
 }
 
 ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
@@ -132,12 +169,14 @@ RunResult Scheduler::run() {
     current_ = pid;
     ++steps_;
     ++dispatched;
+    if (causal_ != nullptr) causal_->on_dispatch(pid);
     if (bus_.wants(obs::Subsystem::Scheduler))
       bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
                     obs::kAutoTime, pid, obs::kNoLane, "dispatch", "",
                     static_cast<double>(steps_)});
     swapcontext(&main_context_, &f.context_);
     current_ = kNoProcess;
+    if (causal_ != nullptr) causal_->on_scheduler_loop();
 
     if (f.state() == FiberState::Done && f.crashed()) finish_crash(f);
     if (f.state() == FiberState::Done && f.failure()) {
@@ -168,10 +207,12 @@ void Scheduler::yield() {
   switch_out();
 }
 
-void Scheduler::block(const std::string& reason) {
+void Scheduler::block(const std::string& reason, ProcessId waiting_on) {
   Fiber& f = fiber(current());
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
+  f.block_start_ = now_;
+  f.waiting_on_ = waiting_on;
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason});
@@ -195,10 +236,13 @@ void Scheduler::sleep_for(std::uint64_t ticks) {
 
 bool Scheduler::block_with_timeout(const std::string& reason,
                                    std::uint64_t ticks,
-                                   std::function<void()> on_timeout) {
+                                   std::function<void()> on_timeout,
+                                   ProcessId waiting_on) {
   Fiber& f = fiber(current());
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
+  f.block_start_ = now_;
+  f.waiting_on_ = waiting_on;
   f.timed_out_ = false;
   f.timeout_cleanup_ = std::move(on_timeout);
   timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
@@ -214,7 +258,7 @@ void Scheduler::join(ProcessId pid) {
   SCRIPT_ASSERT(pid < fibers_.size(), "join: unknown process");
   if (fiber(pid).state() == FiberState::Done) return;
   joiners_[pid].push_back(current());
-  block("joining " + fiber(pid).name());
+  block("joining " + fiber(pid).name(), pid);
 }
 
 void Scheduler::unblock(ProcessId pid) {
@@ -223,10 +267,17 @@ void Scheduler::unblock(ProcessId pid) {
                 "unblock on non-blocked fiber " + f.name());
   f.set_state(FiberState::Ready);
   f.set_block_reason("");
+  f.blocked_ticks_ += now_ - f.block_start_;
+  f.waiting_on_ = kNoProcess;
   f.timed_out_ = false;
   f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
   ++f.wake_gen_;  // any timeout timer armed for this block is now stale
   ready_.push_back(pid);
+  // Every wake that flows through here — CSP rendezvous, Ada hand-off,
+  // monitor admission, wait-queue notify, enrollment release — is a
+  // happens-before edge from the running fiber to the woken one.
+  if (causal_ != nullptr && current_ != kNoProcess && current_ != pid)
+    causal_->on_edge(current_, pid);
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
                   obs::kAutoTime, pid, obs::kNoLane, "blocked", ""});
@@ -242,9 +293,15 @@ void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
                 "wake_at on non-blocked fiber " + f.name());
   f.set_state(FiberState::Sleeping);
   f.set_block_reason("");
+  f.blocked_ticks_ += now_ - f.block_start_;
+  f.waiting_on_ = kNoProcess;
   f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
   ++f.wake_gen_;  // invalidate any timeout armed for the old block
   timers_.push(Timer{now_ + ticks_from_now, timer_seq_++, pid, f.wake_gen_});
+  // The edge is recorded at SEND time: the latency sleep that follows is
+  // the message in flight, already caused by the sender.
+  if (causal_ != nullptr && current_ != kNoProcess && current_ != pid)
+    causal_->on_edge(current_, pid);
   if (bus_.wants(obs::Subsystem::Scheduler)) {
     bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
                   obs::kAutoTime, pid, obs::kNoLane, "blocked", ""});
@@ -363,15 +420,36 @@ void Scheduler::kill_now(Fiber& f) {
     f.timeout_cleanup_ = nullptr;
     cleanup();
   }
+  // Close the victim's open park span before unwinding it, so causal
+  // graphs never see a dangling blocked/sleeping span for a killed
+  // fiber (the unwind below emits the layer-level close events; this is
+  // the scheduler-level one).
+  if (f.state() == FiberState::Blocked) {
+    f.blocked_ticks_ += now_ - f.block_start_;
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, f.id(), obs::kNoLane, "blocked",
+                    "(killed)"});
+  } else if (f.state() == FiberState::Sleeping) {
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, f.id(), obs::kNoLane, "sleeping",
+                    "(killed)"});
+  }
+  f.waiting_on_ = kNoProcess;
   ++f.wake_gen_;  // any armed timer is now stale
   f.set_block_reason("");
   f.kill_pending_ = true;
   f.set_state(FiberState::Running);
   current_ = f.id();
+  // The unwind counts as a dispatch of the victim: events its RAII
+  // guards publish while unwinding are stamped with the victim's clock.
+  if (causal_ != nullptr) causal_->on_dispatch(f.id());
   // Switch in so the victim unwinds NOW — before any other fiber can
   // observe (and trip over) its stale rendezvous registrations.
   swapcontext(&main_context_, &f.context_);
   current_ = kNoProcess;
+  if (causal_ != nullptr) causal_->on_scheduler_loop();
   if (f.state() == FiberState::Done) {
     if (f.crashed()) finish_crash(f);
   }
@@ -444,6 +522,8 @@ bool Scheduler::advance_clock() {
                       "live timer fired for non-parked fiber");
         f.set_state(FiberState::Ready);
         f.set_block_reason("");
+        f.blocked_ticks_ += now_ - f.block_start_;
+        f.waiting_on_ = kNoProcess;
         f.timed_out_ = true;
         // Self-clean the fiber's wait-list registration NOW, before any
         // other fiber can run and hand work to a waiter that is no

@@ -27,6 +27,7 @@
 #include "support/rng.hpp"
 
 namespace script::obs {
+class CausalTracker;
 class TraceExporter;
 }
 
@@ -98,7 +99,11 @@ class Scheduler {
 
   /// Park the current fiber until someone calls unblock(). `reason` is
   /// shown in deadlock reports ("waiting for role sender to enroll").
-  void block(const std::string& reason);
+  /// `waiting_on`, when the call site knows it (the CSP peer, the entry
+  /// owner, the monitor holder), feeds the wait-for chains deadlock
+  /// reports print.
+  void block(const std::string& reason,
+             ProcessId waiting_on = kNoProcess);
 
   /// Park the current fiber for `ticks` of virtual time.
   void sleep_for(std::uint64_t ticks);
@@ -110,7 +115,8 @@ class Scheduler {
   /// caller's wait-list entry self-cleans. It does NOT run when the
   /// fiber is woken normally (the waker consumed the entry).
   bool block_with_timeout(const std::string& reason, std::uint64_t ticks,
-                          std::function<void()> on_timeout = nullptr);
+                          std::function<void()> on_timeout = nullptr,
+                          ProcessId waiting_on = kNoProcess);
 
   /// Block until fiber `pid` has finished. No-op if already done.
   void join(ProcessId pid);
@@ -132,6 +138,17 @@ class Scheduler {
   FiberState state_of(ProcessId pid) const;
   std::size_t spawned_count() const { return fibers_.size(); }
   std::size_t live_count() const;
+
+  /// Total virtual time `pid` has spent blocked (closed spans). The
+  /// causal analyzer's recovered wait attribution must match this —
+  /// it is the always-on ground truth.
+  std::uint64_t blocked_ticks(ProcessId pid) const {
+    return fiber(pid).blocked_ticks();
+  }
+  /// Wait-for hint: who `pid` is blocked on, or kNoProcess.
+  ProcessId waiting_on(ProcessId pid) const {
+    return fiber(pid).waiting_on();
+  }
 
   // ---- Deterministic fault injection (runtime/fault.hpp) ----
 
@@ -174,7 +191,22 @@ class Scheduler {
   obs::TraceExporter& enable_tracing();
   bool tracing_enabled() const { return exporter_ != nullptr; }
   /// Write the captured timeline; false if tracing is off or IO failed.
+  /// Stamps trace metadata (truncated_events) just before writing.
   bool write_trace(const std::string& path) const;
+
+  /// Stamp every event with the publishing fiber's vector clock and
+  /// publish flow.s/flow.f edges on cross-fiber wakes. Implied by
+  /// enable_tracing(); callable alone for causal tests that subscribe
+  /// directly. Idempotent.
+  void enable_causal_tracking();
+  bool causal_tracking_enabled() const { return causal_ != nullptr; }
+  obs::CausalTracker* causal_tracker() { return causal_.get(); }
+
+  /// Record an explicit happens-before edge (data handed from `from` to
+  /// `to` outside the unblock path, e.g. a CSP payload completing into a
+  /// parked receiver, or an Ada acceptor taking a queued call). No-op
+  /// when causal tracking is off.
+  void causal_edge(ProcessId from, ProcessId to, const char* what);
 
  private:
   friend class Fiber;
@@ -211,6 +243,7 @@ class Scheduler {
   support::TraceLog trace_;
   obs::EventBus bus_;
   std::unique_ptr<obs::TraceExporter> exporter_;
+  std::unique_ptr<obs::CausalTracker> causal_;
   std::string trace_path_;  // from $SCRIPT_TRACE; written in the dtor
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::deque<ProcessId> ready_;

@@ -6,11 +6,11 @@
 
 namespace script::runtime {
 
-void WaitQueue::park(const std::string& reason) {
+void WaitQueue::park(const std::string& reason, ProcessId waiting_on) {
   const ProcessId pid = sched_->current();
   waiters_.push_back(pid);
   try {
-    sched_->block(reason);
+    sched_->block(reason, waiting_on);
   } catch (...) {
     // FaultPlan crash while parked: leave no dangling waiter entry.
     // (park_for needs no guard — kill runs its timeout hook.)
@@ -20,13 +20,17 @@ void WaitQueue::park(const std::string& reason) {
   }
 }
 
-bool WaitQueue::park_for(const std::string& reason, std::uint64_t ticks) {
+bool WaitQueue::park_for(const std::string& reason, std::uint64_t ticks,
+                         ProcessId waiting_on) {
   const ProcessId pid = sched_->current();
   waiters_.push_back(pid);
-  return sched_->block_with_timeout(reason, ticks, [this, pid] {
-    const auto it = std::find(waiters_.begin(), waiters_.end(), pid);
-    if (it != waiters_.end()) waiters_.erase(it);
-  });
+  return sched_->block_with_timeout(
+      reason, ticks,
+      [this, pid] {
+        const auto it = std::find(waiters_.begin(), waiters_.end(), pid);
+        if (it != waiters_.end()) waiters_.erase(it);
+      },
+      waiting_on);
 }
 
 bool WaitQueue::notify_one() {

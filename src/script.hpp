@@ -14,6 +14,12 @@
 #include "runtime/sim_link.hpp"     // IWYU pragma: export
 #include "runtime/wait_queue.hpp"   // IWYU pragma: export
 
+// Observability: causal analysis and trace files.
+#include "obs/causal.hpp"           // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/trace_export.hpp"     // IWYU pragma: export
+#include "obs/trace_read.hpp"       // IWYU pragma: export
+
 // Host-language substrates (paper §IV).
 #include "ada/entry.hpp"            // IWYU pragma: export
 #include "ada/select.hpp"           // IWYU pragma: export

@@ -10,13 +10,19 @@ void TraceLog::record(std::uint64_t time, std::string subject,
                       std::string what) {
   events_.push_back({time, std::move(subject), std::move(what)});
   ++recorded_;
-  if (capacity_ != 0 && events_.size() > capacity_) events_.pop_front();
+  if (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+    ++evicted_;
+  }
 }
 
 void TraceLog::set_capacity(std::size_t n) {
   capacity_ = n;
   if (n != 0)
-    while (events_.size() > n) events_.pop_front();
+    while (events_.size() > n) {
+      events_.pop_front();
+      ++evicted_;
+    }
 }
 
 std::ptrdiff_t TraceLog::find(const std::string& subject,

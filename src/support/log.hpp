@@ -23,6 +23,7 @@ class TraceLog {
   void clear() {
     events_.clear();
     recorded_ = 0;
+    evicted_ = 0;
   }
 
   /// Keep only the newest `n` events (a ring buffer); 0 — the default —
@@ -33,6 +34,10 @@ class TraceLog {
   /// Events recorded since construction/clear(), including any the ring
   /// has already discarded.
   std::uint64_t recorded() const { return recorded_; }
+  /// Events the capacity ring has discarded since construction/clear().
+  /// Exporters surface this as the `truncated_events` metric so a
+  /// truncated trace is never mistaken for a complete one.
+  std::uint64_t evicted() const { return evicted_; }
 
   /// Index of first event matching both fields, or -1.
   std::ptrdiff_t find(const std::string& subject, const std::string& what) const;
@@ -48,6 +53,7 @@ class TraceLog {
   std::deque<TraceEvent> events_;
   std::size_t capacity_ = 0;  // 0 = unlimited
   std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace script::support

@@ -1,0 +1,156 @@
+// Golden test for trace-analyze on the Figure 5 lock-DB example.
+//
+// A deterministic (FIFO) run of the replicated lock-manager script is
+// exported to a trace file, re-read through trace_read — the exact
+// pipeline the trace-analyze CLI uses — and the analyzer's report is
+// pinned line for line. Under the FIFO policy the runtime is fully
+// deterministic, so the critical paths and wait attributions are too.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/causal.hpp"
+#include "obs/trace_read.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/lock_manager.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::obs::CausalAnalyzer;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+/// The fig. 5 workload, shrunk to stay readable as a golden: one
+/// manager replica, two client rounds of reader-then-writer locking.
+std::string run_and_analyze(std::string* self_check_out) {
+  const std::string path = ::testing::TempDir() + "fig5_golden.json";
+  {
+    Scheduler sched;
+    Net net(sched);
+    sched.enable_tracing();
+    UniformLatency lat(1);
+    net.set_latency_model(&lat);
+    constexpr std::size_t kManagers = 1;
+    script::lockdb::ReplicaSet replicas(kManagers, kManagers);
+    script::patterns::LockManagerScript locks(net, replicas);
+
+    constexpr int kRounds = 2;
+    for (std::size_t m = 0; m < kManagers; ++m)
+      net.spawn_process("M" + std::to_string(m), [&, m] {
+        for (int r = 0; r < kRounds * 4; ++r) locks.serve_once(m);
+      });
+    net.spawn_process("client", [&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string item = "item" + std::to_string(r);
+        locks.reader_lock(item, 1);
+        locks.reader_release(item, 1);
+        locks.writer_lock(item, 2);
+        locks.writer_release(item, 2);
+      }
+    });
+    EXPECT_TRUE(sched.run().ok());
+    EXPECT_TRUE(sched.write_trace(path));
+  }
+
+  const auto file = script::obs::read_trace_file(path);
+  std::remove(path.c_str());
+  if (!file.has_value()) return "<unreadable trace>";
+  CausalAnalyzer analysis(file->events, file->fiber_names,
+                          file->lane_names);
+  *self_check_out = analysis.self_check();
+  return analysis.report();
+}
+
+TEST(TraceAnalyzeGolden, Fig5LockDbReport) {
+  std::string self_check;
+  const std::string report = run_and_analyze(&self_check);
+  EXPECT_EQ(self_check, "");
+
+  // Regenerate with GOLDEN_DUMP=/tmp/fig5_report.txt, filter to
+  // TraceAnalyzeGolden.*, then paste the dumped file here.
+  if (const char* dump = std::getenv("GOLDEN_DUMP")) {
+    if (std::FILE* f = std::fopen(dump, "w")) {
+      std::fwrite(report.data(), 1, report.size(), f);
+      std::fclose(f);
+    }
+  }
+
+  const std::string kGolden =
+      R"(trace: 452 events, 2 fibers, 52 causal edges, 8 performances
+
+== lock_script#1  t=[0, 3]  makespan=3 ==
+  critical path (3 ticks):
+    [0 .. 1]  M0  latency
+    [1 .. 2]  M0  latency
+    [2 .. 3]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    reader: 0 ticks
+
+== lock_script#2  t=[3, 5]  makespan=2 ==
+  critical path (2 ticks):
+    [3 .. 4]  M0  latency
+    [4 .. 5]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    reader: 0 ticks
+
+== lock_script#3  t=[5, 8]  makespan=3 ==
+  critical path (3 ticks):
+    [5 .. 6]  M0  latency
+    [6 .. 7]  M0  latency
+    [7 .. 8]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    writer: 0 ticks
+
+== lock_script#4  t=[8, 10]  makespan=2 ==
+  critical path (2 ticks):
+    [8 .. 9]  M0  latency
+    [9 .. 10]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    writer: 0 ticks
+
+== lock_script#5  t=[10, 13]  makespan=3 ==
+  critical path (3 ticks):
+    [10 .. 11]  M0  latency
+    [11 .. 12]  M0  latency
+    [12 .. 13]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    reader: 0 ticks
+
+== lock_script#6  t=[13, 15]  makespan=2 ==
+  critical path (2 ticks):
+    [13 .. 14]  M0  latency
+    [14 .. 15]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    reader: 0 ticks
+
+== lock_script#7  t=[15, 18]  makespan=3 ==
+  critical path (3 ticks):
+    [15 .. 16]  M0  latency
+    [16 .. 17]  M0  latency
+    [17 .. 18]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    writer: 0 ticks
+
+== lock_script#8  t=[18, 20]  makespan=2 ==
+  critical path (2 ticks):
+    [18 .. 19]  M0  latency
+    [19 .. 20]  M0  latency
+  wait by role:
+    manager[0]: 0 ticks
+    writer: 0 ticks
+)";
+  EXPECT_EQ(report, kGolden);
+}
+
+}  // namespace

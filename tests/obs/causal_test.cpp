@@ -1,0 +1,400 @@
+// Causality layer: vector clocks, happens-before recovery, critical
+// paths, and wait attribution. The two load-bearing assertions here are
+// the ISSUE's acceptance criteria: a performance's critical path sums
+// EXACTLY to its makespan, and the analyzer's recovered blocked time
+// matches the scheduler's own accounting tick for tick.
+#include "obs/causal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_read.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_link.hpp"
+#include "scripts/broadcast.hpp"
+#include "scripts/lock_manager.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::obs::CausalAnalyzer;
+using script::obs::CausalTracker;
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::EventKind;
+using script::obs::PerformanceProfile;
+using script::obs::Subsystem;
+using script::obs::TraceExporter;
+using script::obs::vclock_less;
+using script::runtime::FaultPlan;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+using script::runtime::UniformLatency;
+
+TEST(VclockTest, LessIsComponentwiseWithStrictSomewhere) {
+  using V = std::vector<std::uint64_t>;
+  EXPECT_TRUE(vclock_less(V{1, 2}, V{1, 3}));
+  EXPECT_TRUE(vclock_less(V{1, 2}, V{2, 2}));
+  EXPECT_FALSE(vclock_less(V{1, 2}, V{1, 2}));  // equal: not strict
+  EXPECT_FALSE(vclock_less(V{2, 1}, V{1, 2}));  // concurrent
+  EXPECT_FALSE(vclock_less(V{1, 2}, V{2, 1}));  // concurrent, other side
+  // Missing components count as zero.
+  EXPECT_TRUE(vclock_less(V{1}, V{1, 1}));
+  EXPECT_FALSE(vclock_less(V{1, 1}, V{1}));
+}
+
+TEST(CausalTrackerTest, DispatchTicksOwnComponentAndEdgesMerge) {
+  EventBus bus;
+  CausalTracker tracker(bus);
+
+  tracker.on_dispatch(0);
+  tracker.on_dispatch(0);
+  EXPECT_EQ(tracker.clock_of(0), (std::vector<std::uint64_t>{2}));
+
+  tracker.on_dispatch(1);
+  EXPECT_EQ(tracker.clock_of(1), (std::vector<std::uint64_t>{0, 1}));
+
+  // Edge 0 -> 1 merges 0's clock into 1's; 1's own component is kept.
+  tracker.on_edge(0, 1, "msg");
+  EXPECT_EQ(tracker.clock_of(1), (std::vector<std::uint64_t>{2, 1}));
+  // 0 learned nothing.
+  EXPECT_EQ(tracker.clock_of(0), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(CausalTrackerTest, StampUsesCurrentFiberAndSkipsSchedulerLoop) {
+  EventBus bus;
+  CausalTracker tracker(bus);
+  tracker.on_dispatch(3);
+
+  Event e;
+  tracker.stamp(e);
+  EXPECT_EQ(e.vclock, (std::vector<std::uint64_t>{0, 0, 0, 1}));
+  EXPECT_EQ(e.seq, 1u);
+
+  tracker.on_scheduler_loop();
+  Event loop_event;
+  tracker.stamp(loop_event);
+  EXPECT_TRUE(loop_event.vclock.empty());  // loop events stay unstamped
+}
+
+TEST(CausalTrackerTest, FlowPairsPublishOnlyWhenSomeoneListens) {
+  EventBus bus;
+  CausalTracker tracker(bus);
+  int flows = 0;
+  tracker.on_edge(0, 1);  // nobody subscribed: no events built
+  const auto sub = bus.subscribe(
+      EventBus::mask_of(Subsystem::Causal),
+      [&](const Event& e) {
+        if (e.name == "flow.s" || e.name == "flow.f") ++flows;
+      });
+  tracker.on_edge(0, 1);
+  EXPECT_EQ(flows, 2);  // exactly one s/f pair
+  bus.unsubscribe(sub);
+}
+
+/// Rendezvous over the scheduler: the receiver's post-recv events must
+/// be causally after the sender's pre-send events.
+TEST(CausalSchedulerTest, RendezvousOrdersStamps) {
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+
+  std::vector<Event> marks;
+  const auto sub = sched.bus().subscribe(
+      EventBus::mask_of(Subsystem::User), [&](const Event& e) {
+        if (e.name == "mark") marks.push_back(e);
+      });
+
+  const ProcessId rx = net.spawn_process("rx", [&] {
+    ASSERT_TRUE(net.recv_any<int>("m").has_value());
+    sched.bus().publish({EventKind::Instant, Subsystem::User,
+                         script::obs::kAutoTime, sched.current(),
+                         script::obs::kNoLane, "mark", "after-recv"});
+  });
+  net.spawn_process("tx", [&] {
+    sched.bus().publish({EventKind::Instant, Subsystem::User,
+                         script::obs::kAutoTime, sched.current(),
+                         script::obs::kNoLane, "mark", "before-send"});
+    ASSERT_TRUE(net.send(rx, "m", 7));
+  });
+  ASSERT_TRUE(sched.run().ok());
+  sched.bus().unsubscribe(sub);
+
+  ASSERT_EQ(marks.size(), 2u);
+  const Event& before = marks[0].detail == "before-send" ? marks[0]
+                                                         : marks[1];
+  const Event& after = marks[0].detail == "after-recv" ? marks[0]
+                                                       : marks[1];
+  EXPECT_TRUE(CausalAnalyzer::happens_before(before, after));
+  EXPECT_FALSE(CausalAnalyzer::happens_before(after, before));
+  EXPECT_GT(exporter.event_count(), 0u);
+}
+
+/// Acceptance criterion, fig. 4 shape: the pipeline broadcast's
+/// critical path must total exactly the performance's makespan, with
+/// segments tiling [begin, end] chronologically.
+TEST(CausalAnalyzerTest, PipelineCriticalPathEqualsMakespan) {
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+  UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  constexpr std::size_t kN = 4;
+  script::patterns::PipelineBroadcast<int> bc(net, kN, "pipe");
+
+  net.spawn_process("T", [&] { bc.send(42); });
+  for (std::size_t i = 0; i < kN; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(10 * (i + 1));  // staggered arrivals (fig. 4)
+      EXPECT_EQ(bc.receive(static_cast<int>(i)), 42);
+    });
+  ASSERT_TRUE(sched.run().ok());
+
+  CausalAnalyzer analysis(exporter.events(), exporter.fiber_names(),
+                          exporter.lane_names());
+  ASSERT_FALSE(analysis.performances().empty());
+  for (const PerformanceProfile& p : analysis.performances()) {
+    EXPECT_FALSE(p.aborted);
+    EXPECT_GT(p.makespan(), 0u);
+    EXPECT_EQ(p.critical_path_ticks, p.makespan());
+
+    // Segments tile [begin, end]: chronological, gap-free, exact.
+    std::uint64_t at = p.begin;
+    std::uint64_t total = 0;
+    for (const auto& seg : p.critical_path) {
+      EXPECT_EQ(seg.begin, at) << "gap before segment on " << seg.what;
+      EXPECT_GE(seg.end, seg.begin);
+      total += seg.ticks();
+      at = seg.end;
+    }
+    EXPECT_EQ(at, p.end);
+    EXPECT_EQ(total, p.makespan());
+  }
+  EXPECT_EQ(analysis.self_check(), "");
+}
+
+/// Acceptance criterion, fig. 5 shape: the lock-DB workload's wait
+/// attribution must match the scheduler's always-on blocked-tick
+/// accounting, fiber by fiber.
+TEST(CausalAnalyzerTest, LockDbWaitAttributionMatchesScheduler) {
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+  UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  constexpr std::size_t kManagers = 2;
+  script::lockdb::ReplicaSet replicas(kManagers, kManagers);
+  script::patterns::LockManagerScript locks(net, replicas);
+
+  constexpr int kRounds = 4;
+  std::vector<ProcessId> pids;
+  for (std::size_t m = 0; m < kManagers; ++m)
+    pids.push_back(net.spawn_process("M" + std::to_string(m), [&, m] {
+      for (int r = 0; r < kRounds * 4; ++r) locks.serve_once(m);
+    }));
+  pids.push_back(net.spawn_process("client", [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::string item = "item" + std::to_string(r);
+      locks.reader_lock(item, 1);
+      locks.reader_release(item, 1);
+      locks.writer_lock(item, 2);
+      locks.writer_release(item, 2);
+    }
+  }));
+  ASSERT_TRUE(sched.run().ok());
+
+  CausalAnalyzer analysis(exporter.events(), exporter.fiber_names(),
+                          exporter.lane_names());
+  EXPECT_EQ(analysis.self_check(), "");
+
+  // Fiber by fiber: recovered blocked time == the scheduler's ledger.
+  for (const ProcessId pid : pids)
+    EXPECT_EQ(analysis.blocked_ticks(pid), sched.blocked_ticks(pid))
+        << "fiber " << sched.name_of(pid);
+
+  // Performances exist and their wait attribution is consistent: each
+  // role's wait fits inside the performance and the reason breakdown
+  // sums to the role total.
+  ASSERT_FALSE(analysis.performances().empty());
+  for (const PerformanceProfile& p : analysis.performances()) {
+    EXPECT_EQ(p.critical_path_ticks, p.makespan());
+    for (const auto& [role, ticks] : p.wait_by_role) {
+      EXPECT_LE(ticks, p.makespan()) << role;
+      const auto it = p.wait_reasons.find(role);
+      if (ticks == 0) continue;
+      ASSERT_NE(it, p.wait_reasons.end()) << role;
+      std::uint64_t reason_sum = 0;
+      for (const auto& [reason, t] : it->second) reason_sum += t;
+      EXPECT_EQ(reason_sum, ticks) << role;
+    }
+  }
+
+  // Gauges surface the same totals.
+  script::obs::MetricsRegistry reg;
+  analysis.export_gauges(reg, "perf");
+  std::uint64_t path_total = 0;
+  for (const PerformanceProfile& p : analysis.performances())
+    path_total += p.critical_path_ticks;
+  EXPECT_EQ(reg.gauge_value("perf.critical_path_ticks"),
+            static_cast<double>(path_total));
+}
+
+/// Satellite 1: a fiber killed while parked must not leave a dangling
+/// open span — the causal graph stays balanced and the analyzer's
+/// ledger still matches the scheduler's.
+TEST(CausalAnalyzerTest, KilledFiberClosesItsParkSpan) {
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+
+  const ProcessId rx = net.spawn_process("rx", [&] {
+    (void)net.recv_any<int>("never");  // parks forever; killed mid-wait
+  });
+  net.spawn_process("tx", [&] { sched.sleep_for(5); });
+  FaultPlan plan;
+  plan.crash_at_time(rx, 3);
+  sched.install_fault_plan(plan);
+  ASSERT_TRUE(sched.run().ok());
+
+  // The victim's blocked span was closed by the kill, with the kill
+  // marker as its annotation.
+  bool closed_by_kill = false;
+  for (const Event& e : exporter.events())
+    if (e.kind == EventKind::SpanEnd && e.pid == rx &&
+        e.name == "blocked" && e.detail == "(killed)")
+      closed_by_kill = true;
+  EXPECT_TRUE(closed_by_kill);
+
+  CausalAnalyzer analysis(exporter.events(), exporter.fiber_names(),
+                          exporter.lane_names());
+  EXPECT_EQ(analysis.self_check(), "");
+  EXPECT_EQ(analysis.blocked_ticks(rx), sched.blocked_ticks(rx));
+  EXPECT_EQ(analysis.blocked_ticks(rx), 3u);  // parked t=0..3, then killed
+}
+
+/// Deadlock reports now explain WHO each stuck fiber waits for — the
+/// wait-for chain with cycle detection — instead of a flat event dump.
+TEST(CausalSchedulerTest, DeadlockReportWalksWaitForChain) {
+  Scheduler sched;
+  Net net(sched);
+  ProcessId a = 0, b = 0;
+  a = net.spawn_process("alice", [&] { (void)net.recv<int>(b, "x"); });
+  b = net.spawn_process("bob", [&] { (void)net.recv<int>(a, "y"); });
+  const auto result = sched.run();
+  ASSERT_FALSE(result.ok());
+
+  const std::string report = describe(result, sched);
+  EXPECT_NE(report.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(report.find("waits for"), std::string::npos);
+  EXPECT_NE(report.find("[cycle]"), std::string::npos);
+  // Both directions of the cycle are named.
+  EXPECT_NE(report.find("alice"), std::string::npos);
+  EXPECT_NE(report.find("bob"), std::string::npos);
+}
+
+/// Satellite 6: ring eviction is counted and surfaces as a metric and
+/// as trace metadata.
+TEST(TruncationTest, TraceLogEvictionSurfacesAsCounterAndMetadata) {
+  script::support::TraceLog log;
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) log.record(i, "s", "e" + std::to_string(i));
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.evicted(), 6u);
+
+  script::obs::MetricsRegistry reg;
+  reg.import_tracelog_truncation(log);
+  EXPECT_EQ(reg.counter("tracelog.truncated_events").value(), 6u);
+  reg.import_tracelog_truncation(log);  // idempotent, not additive
+  EXPECT_EQ(reg.counter("tracelog.truncated_events").value(), 6u);
+  log.record(11, "s", "one more");
+  reg.import_tracelog_truncation(log);
+  EXPECT_EQ(reg.counter("tracelog.truncated_events").value(), 7u);
+
+  // Shrinking capacity evicts too.
+  log.set_capacity(2);
+  EXPECT_EQ(log.evicted(), 9u);
+  log.clear();
+  EXPECT_EQ(log.evicted(), 0u);
+}
+
+/// Round trip: write_trace -> trace_read -> CausalAnalyzer must agree
+/// with the live analyzer, and the metadata must carry provenance.
+TEST(TraceRoundTripTest, FileAnalysisMatchesLiveAnalysis) {
+  const std::string path = ::testing::TempDir() + "causal_roundtrip.json";
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+  UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  script::patterns::PipelineBroadcast<int> bc(net, 3, "pipe");
+
+  net.spawn_process("T", [&] { bc.send(1); });
+  for (std::size_t i = 0; i < 3; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(5 * (i + 1));
+      EXPECT_EQ(bc.receive(static_cast<int>(i)), 1);
+    });
+  ASSERT_TRUE(sched.run().ok());
+  ASSERT_TRUE(sched.write_trace(path));
+
+  const auto file = script::obs::read_trace_file(path);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->metadata.at("truncated_events"), "0");
+  EXPECT_FALSE(file->metadata.at("virtual_time").empty());
+
+  CausalAnalyzer live(exporter.events(), exporter.fiber_names(),
+                      exporter.lane_names());
+  CausalAnalyzer reread(file->events, file->fiber_names,
+                        file->lane_names);
+  EXPECT_EQ(reread.self_check(), "");
+  ASSERT_EQ(reread.performances().size(), live.performances().size());
+  for (std::size_t i = 0; i < live.performances().size(); ++i) {
+    const PerformanceProfile& a = live.performances()[i];
+    const PerformanceProfile& b = reread.performances()[i];
+    EXPECT_EQ(a.instance, b.instance);
+    EXPECT_EQ(a.number, b.number);
+    EXPECT_EQ(a.makespan(), b.makespan());
+    EXPECT_EQ(a.critical_path_ticks, b.critical_path_ticks);
+    EXPECT_EQ(a.wait_by_role, b.wait_by_role);
+  }
+  EXPECT_EQ(live.report(), reread.report());
+  std::remove(path.c_str());
+}
+
+/// The report is the trace-analyze CLI's output; pin its headline shape.
+TEST(CausalAnalyzerTest, ReportNamesPerformancesAndWaits) {
+  Scheduler sched;
+  Net net(sched);
+  TraceExporter& exporter = sched.enable_tracing();
+  UniformLatency lat(1);
+  net.set_latency_model(&lat);
+  script::patterns::StarBroadcast<int> bc(net, 2, "star");
+  net.spawn_process("T", [&] { bc.send(9); });
+  for (int i = 0; i < 2; ++i)
+    net.spawn_process("R" + std::to_string(i), [&, i] {
+      sched.sleep_for(static_cast<std::uint64_t>(3 * (i + 1)));
+      EXPECT_EQ(bc.receive(i), 9);
+    });
+  ASSERT_TRUE(sched.run().ok());
+
+  CausalAnalyzer analysis(exporter.events(), exporter.fiber_names(),
+                          exporter.lane_names());
+  const std::string report = analysis.report();
+  EXPECT_NE(report.find("trace:"), std::string::npos);
+  EXPECT_NE(report.find("star#"), std::string::npos);
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+  EXPECT_NE(report.find("makespan="), std::string::npos);
+}
+
+}  // namespace

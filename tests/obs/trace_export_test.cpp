@@ -99,17 +99,41 @@ TEST(TraceExportTest, ScriptedRunProducesWellFormedChromeTrace) {
   ASSERT_GT(recs.size(), 10u);
 
   // Every record carries the Chrome trace-event required fields, and
-  // ph is one of the phases we emit.
+  // ph is one of the phases we emit ("s"/"f" are the causal flow
+  // arrows enable_tracing's CausalTracker publishes).
   for (const auto& r : recs) {
     EXPECT_TRUE(has_int_field(r, "ts")) << r;
     EXPECT_TRUE(has_int_field(r, "pid")) << r;
     EXPECT_TRUE(has_int_field(r, "tid")) << r;
     const std::string ph = str_field(r, "ph");
     EXPECT_TRUE(ph == "M" || ph == "B" || ph == "E" || ph == "i" ||
-                ph == "C")
+                ph == "C" || ph == "s" || ph == "f")
         << r;
     EXPECT_FALSE(str_field(r, "name").empty()) << r;
   }
+
+  // Flow arrows come in s/f pairs sharing an id, flow-start strictly
+  // first, both carrying cat "flow" — the shape Perfetto binds arrows
+  // from. A rendezvous-driven run must produce at least one.
+  std::map<std::int64_t, int> flow_state;  // id -> 1 after s, 2 after f
+  int flows = 0;
+  for (const auto& r : recs) {
+    const std::string ph = str_field(r, "ph");
+    if (ph != "s" && ph != "f") continue;
+    EXPECT_EQ(str_field(r, "cat"), "flow") << r;
+    const std::int64_t id = int_field(r, "id");
+    if (ph == "s") {
+      EXPECT_EQ(flow_state[id], 0) << "duplicate flow.s id in " << r;
+      flow_state[id] = 1;
+      ++flows;
+    } else {
+      EXPECT_EQ(flow_state[id], 1) << "flow.f without flow.s in " << r;
+      flow_state[id] = 2;
+    }
+  }
+  EXPECT_GT(flows, 0);
+  for (const auto& [id, state] : flow_state)
+    EXPECT_EQ(state, 2) << "unfinished flow id " << id;
 
   // Lane metadata: the three trace processes plus named fiber and
   // instance lanes.

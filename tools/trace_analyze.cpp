@@ -1,0 +1,83 @@
+// trace-analyze — offline causal analysis of libscript trace files.
+//
+//   trace-analyze <trace.json>             per-performance report:
+//                                          critical paths + wait times
+//   trace-analyze --self-check <trace.json>  audit causal consistency;
+//                                          exit 1 and list violations
+//   trace-analyze --diff <a.json> <b.json>   causal diff of two runs
+//
+// Trace files come from $SCRIPT_TRACE=<path> (written at scheduler
+// destruction) or Scheduler::write_trace(). The analysis is the same
+// CausalAnalyzer a live subscriber gets — see docs/OBSERVABILITY.md.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "obs/causal.hpp"
+#include "obs/trace_read.hpp"
+
+namespace {
+
+using script::obs::CausalAnalyzer;
+using script::obs::TraceFile;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace-analyze <trace.json>\n"
+               "       trace-analyze --self-check <trace.json>\n"
+               "       trace-analyze --diff <before.json> <after.json>\n");
+  return 2;
+}
+
+std::optional<CausalAnalyzer> load(const char* path) {
+  const auto file = script::obs::read_trace_file(path);
+  if (!file.has_value()) {
+    std::fprintf(stderr, "trace-analyze: cannot open %s\n", path);
+    return std::nullopt;
+  }
+  if (file->events.empty()) {
+    std::fprintf(stderr, "trace-analyze: no trace records in %s\n", path);
+    return std::nullopt;
+  }
+  for (const auto& [key, value] : file->metadata)
+    if (key == "truncated_events" && value != "0")
+      std::fprintf(stderr,
+                   "trace-analyze: note: companion TraceLog dropped %s "
+                   "events (ring capacity)\n",
+                   value.c_str());
+  return CausalAnalyzer(file->events, file->fiber_names, file->lane_names);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--self-check") == 0) {
+    if (argc != 3) return usage();
+    const auto a = load(argv[2]);
+    if (!a.has_value()) return 2;
+    const std::string problems = a->self_check();
+    if (problems.empty()) {
+      std::printf("self-check OK: %zu events, %zu performances\n",
+                  a->events().size(), a->performances().size());
+      return 0;
+    }
+    std::printf("self-check FAILED:\n%s\n", problems.c_str());
+    return 1;
+  }
+
+  if (argc >= 2 && std::strcmp(argv[1], "--diff") == 0) {
+    if (argc != 4) return usage();
+    const auto before = load(argv[2]);
+    const auto after = load(argv[3]);
+    if (!before.has_value() || !after.has_value()) return 2;
+    std::fputs(CausalAnalyzer::diff(*before, *after).c_str(), stdout);
+    return 0;
+  }
+
+  if (argc != 2 || argv[1][0] == '-') return usage();
+  const auto a = load(argv[1]);
+  if (!a.has_value()) return 2;
+  std::fputs(a->report().c_str(), stdout);
+  return 0;
+}
