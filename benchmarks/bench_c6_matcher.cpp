@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "script/matching.hpp"
 
 namespace {
@@ -110,6 +111,30 @@ void BM_FormAdversarialChain(benchmark::State& state) {
   }
 }
 
+// Bridges google-benchmark results into the repo's bench telemetry:
+// every run lands as a "<Name>.<arg>.ns_per_op" gauge in
+// BENCH_c6_matcher.json, so the CI regression gate can diff matcher
+// cost the same way it diffs the figure benches.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TelemetryReporter(bench::Telemetry& telemetry)
+      : telemetry_(telemetry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      std::string key = r.benchmark_name();
+      if (key.rfind("BM_", 0) == 0) key = key.substr(3);
+      for (char& c : key)
+        if (c == '/') c = '.';
+      telemetry_.gauge(key + ".ns_per_op", r.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  bench::Telemetry& telemetry_;
+};
+
 }  // namespace
 
 BENCHMARK(BM_FormUnnamed)->Arg(4)->Arg(16)->Arg(64);
@@ -117,4 +142,12 @@ BENCHMARK(BM_FormEnBloc)->Arg(4)->Arg(16);
 BENCHMARK(BM_FormInfeasible)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_FormAdversarialChain)->Arg(3)->Arg(5);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::Telemetry telemetry("c6_matcher");
+  TelemetryReporter reporter(telemetry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;  // telemetry written at scope exit
+}

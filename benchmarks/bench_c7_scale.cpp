@@ -84,6 +84,36 @@ int main() {
   }
 
   {
+    // Fiber churn: repeated waves of short-lived fibers through ONE
+    // scheduler, the fig.2 usage pattern distilled. Wave 1 pays the
+    // mmaps; every later wave must ride the stack pool.
+    std::printf("\n");
+    bench::Table table({"waves x fibers", "wall ms", "us/fiber",
+                        "stack reuse"});
+    constexpr std::size_t kWaves = 20;
+    constexpr std::size_t kPerWave = 500;
+    script::runtime::SchedulerOptions opts;
+    opts.stack_pool_max_idle = kPerWave;  // keep a full wave's stacks warm
+    bench::Scheduler sched(opts);
+    const double us = wall_us([&] {
+      for (std::size_t w = 0; w < kWaves; ++w) {
+        for (std::size_t i = 0; i < kPerWave; ++i)
+          sched.spawn("c" + std::to_string(i), [&sched] { sched.yield(); });
+        if (!sched.run().ok()) std::abort();
+      }
+    });
+    const double per_fiber = us / static_cast<double>(kWaves * kPerWave);
+    const double reuse = sched.stack_pool_stats().reuse_ratio();
+    table.add_row({std::to_string(kWaves) + " x " + std::to_string(kPerWave),
+                   bench::Table::num(us / 1000.0, 2),
+                   bench::Table::num(per_fiber, 2),
+                   bench::Table::num(reuse, 3)});
+    table.print();
+    telemetry.gauge("churn.us_per_fiber", per_fiber);
+    telemetry.gauge("stackpool.reuse_ratio", reuse);
+  }
+
+  {
     std::printf("\n");
     bench::Table table({"cast size", "performances", "wall ms total",
                         "ms/performance"});

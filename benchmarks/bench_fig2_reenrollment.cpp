@@ -58,6 +58,12 @@ int main() {
                     static_cast<double>(result.final_time) / kRounds);
     telemetry.gauge(row + ".wall_us_per_perf",
                     static_cast<double>(wall_us) / kRounds);
+    // How often the role-index gate answered "cannot form" without
+    // running the matcher at all — the point of the indexed rewrite.
+    telemetry.gauge(row + ".matcher.index_hits",
+                    static_cast<double>(bc.instance().matcher_index_hits()));
+    telemetry.gauge(row + ".matcher.runs",
+                    static_cast<double>(bc.instance().matcher_runs()));
   }
   table.print();
   bench::note("0 violations: u=x and y=v in every round — the minimum "

@@ -31,6 +31,10 @@ void CausalTracker::on_dispatch(Pid pid) {
 
 void CausalTracker::on_edge(Pid from, Pid to, const char* what) {
   if (from == kNoPid || to == kNoPid || from == to) return;
+  // Materialize the larger pid's row first: clock() may grow the outer
+  // vector, and taking src before dst handed out a reference that the
+  // second call's resize could invalidate.
+  clock(std::max(from, to));
   const auto& src = clock(from);
   auto& dst = clock(to);
   if (dst.size() < src.size()) dst.resize(src.size(), 0);
@@ -346,6 +350,15 @@ std::uint64_t CausalAnalyzer::blocked_ticks(Pid pid) const {
   std::uint64_t total = 0;
   for (const Park& k : it->second)
     if (k.blocked && !k.open) total += k.end - k.begin;
+  return total;
+}
+
+std::uint64_t CausalAnalyzer::slept_ticks(Pid pid) const {
+  const auto it = parks_.find(pid);
+  if (it == parks_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const Park& k : it->second)
+    if (!k.blocked && !k.open) total += k.end - k.begin;
   return total;
 }
 

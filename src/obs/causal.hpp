@@ -130,6 +130,11 @@ class CausalAnalyzer {
   std::uint64_t blocked_ticks(Pid pid) const;
   std::map<Pid, std::uint64_t> blocked_by_fiber() const;
 
+  /// Total sleeping virtual time recovered for `pid` — the other half of
+  /// the wait ledger; must equal Scheduler::slept_ticks(pid), including
+  /// on kill paths (a fiber killed mid-sleep accrues the elapsed part).
+  std::uint64_t slept_ticks(Pid pid) const;
+
   /// Strict happens-before between two stamped events (empty-stamp
   /// events are never ordered).
   static bool happens_before(const Event& a, const Event& b) {

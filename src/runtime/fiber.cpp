@@ -9,11 +9,11 @@
 namespace script::runtime {
 
 Fiber::Fiber(ProcessId id, std::string name, std::function<void()> body,
-             std::size_t stack_bytes)
+             Stack stack)
     : id_(id),
       name_(std::move(name)),
       body_(std::move(body)),
-      stack_(stack_bytes) {
+      stack_(std::move(stack)) {
   if (getcontext(&context_) != 0) SCRIPT_PANIC("getcontext failed");
   context_.uc_stack.ss_sp = stack_.base();
   context_.uc_stack.ss_size = stack_.size();
@@ -34,6 +34,8 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Fiber::run_body() {
+  SCRIPT_ASSERT(scheduler_ != nullptr, "fiber dispatched without a scheduler");
+  scheduler_->fiber_entered(*this);
   try {
     if (kill_pending_) {
       // Killed before ever being dispatched: the body never starts.

@@ -34,8 +34,10 @@ class Scheduler;
 
 class Fiber {
  public:
+  /// Takes ownership of `stack` (typically from the scheduler's
+  /// StackPool; the scheduler reclaims it after the fiber finishes).
   Fiber(ProcessId id, std::string name, std::function<void()> body,
-        std::size_t stack_bytes);
+        Stack stack);
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -69,6 +71,12 @@ class Fiber {
   /// attribution has a ground truth to check against.
   std::uint64_t blocked_ticks() const { return blocked_ticks_; }
 
+  /// Total virtual time spent Sleeping (timer parks), closed spans
+  /// only — the other half of the wait ledger. A fiber killed mid-sleep
+  /// accrues the elapsed part, so causal attribution and this ledger
+  /// agree on kill paths too.
+  std::uint64_t slept_ticks() const { return slept_ticks_; }
+
   /// Who this fiber is blocked on, when the call site knows (the CSP
   /// peer, the Ada entry owner, the monitor holder, a join target).
   /// kNoProcess when unknown or not blocked. Drives the wait-for chains
@@ -80,12 +88,18 @@ class Fiber {
 
   static void trampoline(unsigned hi, unsigned lo);
   void run_body();
+  /// Hand the stack back for pooling. Only valid once the fiber is Done
+  /// AND control is back on the scheduler's own stack.
+  Stack release_stack() { return std::move(stack_); }
 
   ProcessId id_;
   std::string name_;
   std::function<void()> body_;
   Stack stack_;
   ucontext_t context_{};
+  // ASan fake-stack handle saved while this fiber is switched out
+  // (runtime/sanitizer_fiber.hpp); stays null outside sanitized builds.
+  void* asan_fake_stack_ = nullptr;
   FiberState state_ = FiberState::Ready;
   std::string block_reason_;
   std::exception_ptr failure_;
@@ -93,6 +107,12 @@ class Fiber {
   // Wake generation: bumped on every wake so a timer armed for an
   // earlier block/sleep can be recognized as stale and ignored.
   std::uint64_t wake_gen_ = 0;
+  // An armed heap timer references the current wake_gen_. The scheduler
+  // uses this to count how many heap entries went stale (lazy purge).
+  bool timer_armed_ = false;
+  // Intrusive ready-queue membership flag: lets kill paths skip the
+  // queue scan entirely when the fiber is not queued (the common case).
+  bool in_ready_ = false;
   bool timed_out_ = false;
   // ---- Fault-injection state (runtime/fault.hpp) ----
   bool kill_pending_ = false;   // next switch-in throws FiberKilled
@@ -103,6 +123,8 @@ class Fiber {
   // ---- Causal accounting (always on; plain arithmetic per park) ----
   std::uint64_t blocked_ticks_ = 0;  // closed Blocked spans, summed
   std::uint64_t block_start_ = 0;    // entry time of the open Blocked span
+  std::uint64_t slept_ticks_ = 0;    // closed Sleeping spans, summed
+  std::uint64_t sleep_start_ = 0;    // entry time of the open Sleeping span
   ProcessId waiting_on_ = kNoProcess;  // wait-for hint for deadlock chains
   // Deregistration hook for block_with_timeout: runs at the moment the
   // timeout fires (before any other fiber can observe the stale wait

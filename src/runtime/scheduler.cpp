@@ -8,6 +8,7 @@
 #include "obs/causal.hpp"
 #include "obs/log_bridge.hpp"
 #include "obs/trace_export.hpp"
+#include "runtime/sanitizer_fiber.hpp"
 #include "support/panic.hpp"
 
 namespace script::runtime {
@@ -58,7 +59,7 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
 }
 
 Scheduler::Scheduler(SchedulerOptions opts)
-    : opts_(opts), rng_(opts.seed) {
+    : opts_(opts), rng_(opts.seed), stack_pool_(opts.stack_pool_max_idle) {
   bus_.set_clock([this] { return now_; });
   // The prose TraceLog is a bus subscriber: script-layer milestones are
   // published once and worded here, keeping log and exporters in sync.
@@ -83,6 +84,11 @@ Scheduler::~Scheduler() {
       std::fprintf(stderr, "SCRIPT_TRACE: could not write %s\n",
                    path.c_str());
   }
+  // Destroy fibers before implicit member teardown: a fiber body may own
+  // the last reference to an object whose destructor calls back into the
+  // scheduler (csp::Net deregisters its crash hook), and crash_hooks_ —
+  // declared after fibers_ — would otherwise already be gone.
+  fibers_.clear();
 }
 
 obs::TraceExporter& Scheduler::enable_tracing() {
@@ -123,11 +129,12 @@ bool Scheduler::write_trace(const std::string& path) const {
 ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
   const auto pid = static_cast<ProcessId>(fibers_.size());
   auto f = std::make_unique<Fiber>(pid, std::move(name), std::move(body),
-                                   opts_.stack_bytes);
+                                   stack_pool_.acquire(opts_.stack_bytes));
   f->scheduler_ = this;
   fibers_.push_back(std::move(f));
   joiners_.emplace_back();
-  ready_.push_back(pid);
+  ++live_;
+  ready_push(*fibers_[pid]);
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
                   obs::kAutoTime, pid, obs::kNoLane, "spawn",
@@ -161,7 +168,14 @@ RunResult Scheduler::run() {
       const std::uint64_t ticks = f.pending_stall_ticks_;
       f.pending_stall_ticks_ = 0;
       f.set_state(FiberState::Sleeping);
-      timers_.push(Timer{now_ + ticks, timer_seq_++, pid, f.wake_gen_});
+      f.sleep_start_ = now_;
+      arm_timer(f, now_ + ticks);
+      // Open the sleeping span (its SpanEnd was already published on
+      // wake, leaving stall spans unbalanced before this).
+      if (bus_.wants(obs::Subsystem::Scheduler))
+        bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
+                      obs::kAutoTime, pid, obs::kNoLane, "sleeping",
+                      "(stalled)", static_cast<double>(ticks)});
       continue;
     }
     f.set_state(FiberState::Running);
@@ -174,14 +188,19 @@ RunResult Scheduler::run() {
       bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
                     obs::kAutoTime, pid, obs::kNoLane, "dispatch", "",
                     static_cast<double>(steps_)});
-    swapcontext(&main_context_, &f.context_);
+    switch_to(f);
     current_ = kNoProcess;
     if (causal_ != nullptr) causal_->on_scheduler_loop();
 
-    if (f.state() == FiberState::Done && f.crashed()) finish_crash(f);
-    if (f.state() == FiberState::Done && f.failure()) {
-      running_ = false;
-      std::rethrow_exception(f.failure());
+    if (f.state() == FiberState::Done) {
+      if (f.crashed()) finish_crash(f);
+      // Back on the scheduler stack: the fiber's stack is no longer in
+      // use and can be recycled for the next spawn.
+      reclaim_stack(f);
+      if (f.failure()) {
+        running_ = false;
+        std::rethrow_exception(f.failure());
+      }
     }
   }
 
@@ -203,7 +222,7 @@ RunResult Scheduler::run() {
 void Scheduler::yield() {
   Fiber& f = fiber(current());
   f.set_state(FiberState::Ready);
-  ready_.push_back(f.id());
+  ready_push(f);
   switch_out();
 }
 
@@ -226,7 +245,8 @@ void Scheduler::sleep_for(std::uint64_t ticks) {
     return;
   }
   f.set_state(FiberState::Sleeping);
-  timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  f.sleep_start_ = now_;
+  arm_timer(f, now_ + ticks);
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "sleeping", "",
@@ -245,7 +265,7 @@ bool Scheduler::block_with_timeout(const std::string& reason,
   f.waiting_on_ = waiting_on;
   f.timed_out_ = false;
   f.timeout_cleanup_ = std::move(on_timeout);
-  timers_.push(Timer{now_ + ticks, timer_seq_++, f.id(), f.wake_gen_});
+  arm_timer(f, now_ + ticks);
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason,
@@ -271,8 +291,9 @@ void Scheduler::unblock(ProcessId pid) {
   f.waiting_on_ = kNoProcess;
   f.timed_out_ = false;
   f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
+  note_stale_timer(f);
   ++f.wake_gen_;  // any timeout timer armed for this block is now stale
-  ready_.push_back(pid);
+  ready_push(f);
   // Every wake that flows through here — CSP rendezvous, Ada hand-off,
   // monitor admission, wait-queue notify, enrollment release — is a
   // happens-before edge from the running fiber to the woken one.
@@ -294,10 +315,12 @@ void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
   f.set_state(FiberState::Sleeping);
   f.set_block_reason("");
   f.blocked_ticks_ += now_ - f.block_start_;
+  f.sleep_start_ = now_;
   f.waiting_on_ = kNoProcess;
   f.timeout_cleanup_ = nullptr;  // woken normally: waker consumed the entry
+  note_stale_timer(f);
   ++f.wake_gen_;  // invalidate any timeout armed for the old block
-  timers_.push(Timer{now_ + ticks_from_now, timer_seq_++, pid, f.wake_gen_});
+  arm_timer(f, now_ + ticks_from_now);
   // The edge is recorded at SEND time: the latency sleep that follows is
   // the message in flight, already caused by the sender.
   if (causal_ != nullptr && current_ != kNoProcess && current_ != pid)
@@ -325,12 +348,7 @@ FiberState Scheduler::state_of(ProcessId pid) const {
   return fiber(pid).state();
 }
 
-std::size_t Scheduler::live_count() const {
-  std::size_t n = 0;
-  for (const auto& f : fibers_)
-    if (f->state() != FiberState::Done) ++n;
-  return n;
-}
+std::size_t Scheduler::live_count() const { return live_; }
 
 void Scheduler::trace_event(ProcessId subject, std::string what) {
   trace_.record(now_, name_of(subject), std::move(what));
@@ -346,9 +364,31 @@ const Fiber& Scheduler::fiber(ProcessId pid) const {
   return *fibers_[pid];
 }
 
+void Scheduler::switch_to(Fiber& f) {
+  sanitizer::start_switch(&main_fake_stack_, f.stack_.base(),
+                          f.stack_.size());
+  swapcontext(&main_context_, &f.context_);
+  sanitizer::finish_switch(main_fake_stack_, nullptr, nullptr);
+}
+
+void Scheduler::fiber_entered(Fiber& f) {
+  // First entry has no saved fake stack (null); resumptions restore the
+  // one saved at the matching start_switch in switch_out. Either way the
+  // "from" bounds are the scheduler's own stack — record them for the
+  // switch back (they never change; the scheduler loop stays put).
+  sanitizer::finish_switch(f.asan_fake_stack_, &main_stack_bottom_,
+                           &main_stack_size_);
+}
+
 void Scheduler::switch_out() {
   Fiber& f = fiber(current_);
+  // A Done fiber will never run again: hand ASan a null save slot so it
+  // retires the fiber's fake stack instead of keeping it for a resume.
+  sanitizer::start_switch(
+      f.state() == FiberState::Done ? nullptr : &f.asan_fake_stack_,
+      main_stack_bottom_, main_stack_size_);
   swapcontext(&f.context_, &main_context_);
+  sanitizer::finish_switch(f.asan_fake_stack_, nullptr, nullptr);
   if (f.kill_pending_) {
     // A FaultPlan crash fired while we were parked: unwind this fiber's
     // stack so every RAII registration guard deregisters.
@@ -358,9 +398,50 @@ void Scheduler::switch_out() {
 }
 
 void Scheduler::on_fiber_done(Fiber& f) {
+  --live_;
   for (const ProcessId waiter : joiners_[f.id()])
     if (fiber(waiter).state() == FiberState::Blocked) unblock(waiter);
   joiners_[f.id()].clear();
+}
+
+void Scheduler::ready_push(Fiber& f) {
+  SCRIPT_ASSERT(!f.in_ready_, "fiber already on the ready queue");
+  f.in_ready_ = true;
+  ready_.push(f.id());
+}
+
+void Scheduler::arm_timer(Fiber& f, std::uint64_t due) {
+  maybe_purge_timers();
+  timers_.push(Timer{due, timer_seq_++, f.id(), f.wake_gen_});
+  f.timer_armed_ = true;
+}
+
+void Scheduler::note_stale_timer(Fiber& f) {
+  if (!f.timer_armed_) return;
+  f.timer_armed_ = false;
+  ++stale_timers_;
+}
+
+void Scheduler::maybe_purge_timers() {
+  // Purge only once stale entries both exceed a floor (small heaps are
+  // cheap to carry) and dominate the heap, so the rebuild amortizes to
+  // O(1) per armed timer. Runs only from arm sites — never inside the
+  // advance_clock pop loop.
+  if (stale_timers_ <= 64 || stale_timers_ * 2 <= timers_.size()) return;
+  std::vector<Timer>& raw = timers_.raw();
+  raw.erase(std::remove_if(raw.begin(), raw.end(),
+                           [this](const Timer& t) {
+                             return t.gen != fiber(t.pid).wake_gen_;
+                           }),
+            raw.end());
+  std::make_heap(raw.begin(), raw.end(), std::greater<>{});
+  stale_timers_ = 0;
+}
+
+void Scheduler::reclaim_stack(Fiber& f) {
+  SCRIPT_ASSERT(current_ == kNoProcess,
+                "stack reclaim must run from the scheduler loop");
+  if (f.stack_.valid()) stack_pool_.release(f.release_stack());
 }
 
 void Scheduler::install_fault_plan(FaultPlan plan) {
@@ -412,8 +493,10 @@ bool Scheduler::fire_due_faults() {
 void Scheduler::kill_now(Fiber& f) {
   SCRIPT_ASSERT(current_ == kNoProcess,
                 "kill_now must run from the scheduler loop");
-  for (auto it = ready_.begin(); it != ready_.end();)
-    it = (*it == f.id()) ? ready_.erase(it) : it + 1;
+  if (f.in_ready_) {
+    ready_.remove(f.id());
+    f.in_ready_ = false;
+  }
   // Self-clean any timed-wait registration exactly as a timeout would.
   if (f.timeout_cleanup_) {
     auto cleanup = std::move(f.timeout_cleanup_);
@@ -423,7 +506,9 @@ void Scheduler::kill_now(Fiber& f) {
   // Close the victim's open park span before unwinding it, so causal
   // graphs never see a dangling blocked/sleeping span for a killed
   // fiber (the unwind below emits the layer-level close events; this is
-  // the scheduler-level one).
+  // the scheduler-level one). The elapsed part of the cut-short park
+  // accrues to the matching ledger, so scheduler and causal attribution
+  // agree on kill paths too.
   if (f.state() == FiberState::Blocked) {
     f.blocked_ticks_ += now_ - f.block_start_;
     if (bus_.wants(obs::Subsystem::Scheduler))
@@ -431,12 +516,14 @@ void Scheduler::kill_now(Fiber& f) {
                     obs::kAutoTime, f.id(), obs::kNoLane, "blocked",
                     "(killed)"});
   } else if (f.state() == FiberState::Sleeping) {
+    f.slept_ticks_ += now_ - f.sleep_start_;
     if (bus_.wants(obs::Subsystem::Scheduler))
       bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
                     obs::kAutoTime, f.id(), obs::kNoLane, "sleeping",
                     "(killed)"});
   }
   f.waiting_on_ = kNoProcess;
+  note_stale_timer(f);
   ++f.wake_gen_;  // any armed timer is now stale
   f.set_block_reason("");
   f.kill_pending_ = true;
@@ -447,11 +534,12 @@ void Scheduler::kill_now(Fiber& f) {
   if (causal_ != nullptr) causal_->on_dispatch(f.id());
   // Switch in so the victim unwinds NOW — before any other fiber can
   // observe (and trip over) its stale rendezvous registrations.
-  swapcontext(&main_context_, &f.context_);
+  switch_to(f);
   current_ = kNoProcess;
   if (causal_ != nullptr) causal_->on_scheduler_loop();
   if (f.state() == FiberState::Done) {
     if (f.crashed()) finish_crash(f);
+    reclaim_stack(f);
   }
   // else: death deferred — the victim re-parked mid-rendezvous (an Ada
   // caller whose call was already taken must wait out the acceptor);
@@ -465,31 +553,43 @@ void Scheduler::finish_crash(Fiber& f) {
     bus_.publish({obs::EventKind::Instant, obs::Subsystem::Fault,
                   obs::kAutoTime, f.id(), obs::kNoLane, "fault.crashed",
                   f.name()});
-  // Hooks may add/remove hooks while running; iterate by index on copies.
-  for (std::size_t i = 0; i < crash_hooks_.size(); ++i) {
-    auto fn = crash_hooks_[i].second;
-    fn(f.id());
+  // Hooks may add/remove hooks (their own or each other's) while
+  // running — e.g. an instance torn down inside one hook deregisters
+  // another. Walk a snapshot by stable id and skip any hook that is no
+  // longer registered when its turn comes: nothing is skipped by index
+  // shifts and nothing runs twice. Hooks registered DURING the walk
+  // deliberately don't see this crash (they did not exist when it
+  // happened).
+  const auto snapshot = crash_hooks_;
+  for (const auto& [id, fn] : snapshot) {
+    const bool still_registered =
+        std::any_of(crash_hooks_.begin(), crash_hooks_.end(),
+                    [id = id](const auto& h) { return h.first == id; });
+    if (still_registered) fn(f.id());
   }
 }
 
 ProcessId Scheduler::pick_next() {
   SCRIPT_ASSERT(!ready_.empty(), "pick_next on empty ready queue");
-  std::size_t i = 0;
+  ProcessId pid = kNoProcess;
   switch (opts_.policy) {
     case SchedulePolicy::Fifo:
+      // Exact arrival order — golden traces pin this.
+      pid = ready_.pop_front();
       break;
     case SchedulePolicy::Random:
-      i = rng_.pick_index(ready_.size());
+      pid = ready_.pop_at(rng_.pick_index(ready_.size()));
       break;
-    case SchedulePolicy::Scripted:
+    case SchedulePolicy::Scripted: {
       SCRIPT_ASSERT(opts_.chooser != nullptr,
                     "Scripted policy requires a chooser");
-      i = opts_.chooser(ready_.size());
+      const std::size_t i = opts_.chooser(ready_.size());
       SCRIPT_ASSERT(i < ready_.size(), "chooser index out of range");
+      pid = ready_.pop_at(i);
       break;
+    }
   }
-  const ProcessId pid = ready_[i];
-  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+  fiber(pid).in_ready_ = false;
   return pid;
 }
 
@@ -512,11 +612,17 @@ bool Scheduler::advance_clock() {
       const Timer t = timers_.top();
       timers_.pop();
       Fiber& f = fiber(t.pid);
-      if (t.gen != f.wake_gen_) continue;  // stale: fiber woke another way
+      if (t.gen != f.wake_gen_) {  // stale: fiber woke another way
+        SCRIPT_ASSERT(stale_timers_ > 0, "stale-timer count out of sync");
+        --stale_timers_;
+        continue;
+      }
+      f.timer_armed_ = false;  // consuming the live timer, not stale
       ++f.wake_gen_;
       const bool was_sleeping = f.state() == FiberState::Sleeping;
       if (was_sleeping) {
         f.set_state(FiberState::Ready);
+        f.slept_ticks_ += now_ - f.sleep_start_;
       } else {
         SCRIPT_ASSERT(f.state() == FiberState::Blocked,
                       "live timer fired for non-parked fiber");
@@ -535,7 +641,7 @@ bool Scheduler::advance_clock() {
           cleanup();
         }
       }
-      ready_.push_back(t.pid);
+      ready_push(f);
       woke_any = true;
       if (bus_.wants(obs::Subsystem::Scheduler))
         bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,

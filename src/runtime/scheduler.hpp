@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -23,6 +22,8 @@
 #include "obs/event_bus.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/fiber.hpp"
+#include "runtime/ready_queue.hpp"
+#include "runtime/stack_pool.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
 
@@ -55,6 +56,9 @@ struct SchedulerOptions {
   /// in deadlock reports (describe()). Forces full event production, so
   /// leave at 0 for benchmarks.
   std::size_t event_history = 0;
+  /// How many retired fiber stacks the scheduler's StackPool keeps for
+  /// reuse (decommitted — address space, not RSS). 0 disables pooling.
+  std::size_t stack_pool_max_idle = StackPool::kDefaultMaxIdle;
 };
 
 struct RunResult {
@@ -145,6 +149,11 @@ class Scheduler {
   std::uint64_t blocked_ticks(ProcessId pid) const {
     return fiber(pid).blocked_ticks();
   }
+  /// Total virtual time `pid` has spent sleeping (closed spans),
+  /// including the elapsed part of a sleep cut short by a kill.
+  std::uint64_t slept_ticks(ProcessId pid) const {
+    return fiber(pid).slept_ticks();
+  }
   /// Wait-for hint: who `pid` is blocked on, or kNoProcess.
   ProcessId waiting_on(ProcessId pid) const {
     return fiber(pid).waiting_on();
@@ -173,6 +182,19 @@ class Scheduler {
   /// id for remove_crash_hook().
   std::uint64_t add_crash_hook(std::function<void(ProcessId)> fn);
   void remove_crash_hook(std::uint64_t id);
+
+  /// Current timer-heap size, stale entries included. Tests assert it
+  /// stays bounded under arm/early-wake churn (lazy purging).
+  std::size_t timer_heap_size() const { return timers_.size(); }
+  /// Heap entries known stale (their fiber woke another way). Purged in
+  /// bulk once they dominate the heap.
+  std::size_t stale_timer_count() const { return stale_timers_; }
+
+  /// The fiber-stack recycler and its reuse statistics.
+  StackPool& stack_pool() { return stack_pool_; }
+  const StackPool::Stats& stack_pool_stats() const {
+    return stack_pool_.stats();
+  }
 
   support::Rng& rng() { return rng_; }
   support::TraceLog& trace() { return trace_; }
@@ -214,9 +236,29 @@ class Scheduler {
   Fiber& fiber(ProcessId pid);
   const Fiber& fiber(ProcessId pid) const;
   void switch_out();  // from current fiber back to the scheduler loop
+  /// The one scheduler→fiber context switch (dispatch and kill paths),
+  /// bracketed with the sanitizer fiber annotations.
+  void switch_to(Fiber& f);
+  /// First thing a fiber runs after gaining control (from trampoline):
+  /// completes the sanitizer-side switch and records the scheduler
+  /// stack's bounds for the switch back.
+  void fiber_entered(Fiber& f);
   void on_fiber_done(Fiber& f);
   ProcessId pick_next();
   bool advance_clock();  // wake due sleepers; returns false if none pending
+  /// Enqueue a fiber and set its intrusive ready flag.
+  void ready_push(Fiber& f);
+  /// Push a timer for the fiber's CURRENT wake generation; purges the
+  /// heap first when stale entries dominate it.
+  void arm_timer(Fiber& f, std::uint64_t due);
+  /// The fiber is waking by some other path: any timer it armed is now
+  /// stale. Count it so the heap can be purged lazily. Call BEFORE
+  /// bumping wake_gen_.
+  void note_stale_timer(Fiber& f);
+  /// Rebuild the heap without stale entries once they dominate it.
+  void maybe_purge_timers();
+  /// Return a Done fiber's stack to the pool (scheduler stack only).
+  void reclaim_stack(Fiber& f);
 
   /// Fire every due fault of the installed plan. Crashes unwind the
   /// victim synchronously (see kill_now); returns true if anything
@@ -238,6 +280,13 @@ class Scheduler {
     }
   };
 
+  /// priority_queue with access to the backing vector, so the stale
+  /// purge can filter in place and re-heapify instead of copying.
+  struct TimerHeap
+      : std::priority_queue<Timer, std::vector<Timer>, std::greater<>> {
+    std::vector<Timer>& raw() { return c; }
+  };
+
   SchedulerOptions opts_;
   support::Rng rng_;
   support::TraceLog trace_;
@@ -246,14 +295,21 @@ class Scheduler {
   std::unique_ptr<obs::CausalTracker> causal_;
   std::string trace_path_;  // from $SCRIPT_TRACE; written in the dtor
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  std::deque<ProcessId> ready_;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  ReadyQueueT<ProcessId, kNoProcess> ready_;
+  TimerHeap timers_;
+  std::size_t stale_timers_ = 0;  // heap entries made stale by early wakes
+  StackPool stack_pool_;
   std::vector<std::vector<ProcessId>> joiners_;  // per-fiber join waiters
+  std::size_t live_ = 0;  // fibers not yet Done (cached for live_count)
   std::uint64_t now_ = 0;
   std::uint64_t timer_seq_ = 0;
   std::uint64_t steps_ = 0;
   ProcessId current_ = kNoProcess;
   ucontext_t main_context_{};
+  // ---- sanitizer fiber-switch bookkeeping (unused outside ASan) ----
+  void* main_fake_stack_ = nullptr;  // scheduler context's fake stack
+  const void* main_stack_bottom_ = nullptr;  // learned at first fiber entry
+  std::size_t main_stack_size_ = 0;
   bool running_ = false;
   std::unique_ptr<FaultPlan> fault_plan_;
   std::vector<std::pair<std::uint64_t, std::function<void(ProcessId)>>>

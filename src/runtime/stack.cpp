@@ -7,6 +7,18 @@
 
 #include "support/panic.hpp"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define SCRIPT_STACK_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCRIPT_STACK_ASAN 1
+#endif
+#endif
+
+#ifdef SCRIPT_STACK_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace script::runtime {
 
 namespace {
@@ -17,6 +29,19 @@ std::size_t page_size() {
 
 std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
+}
+
+// ASan tracks stack frames in shadow memory it never clears on
+// madvise/munmap, so a recycled (or re-mmapped) stack region still
+// carries the previous fiber's use-after-scope poison. Clear it at
+// every point the region's contents stop mattering.
+void unpoison(void* p, std::size_t n) {
+#ifdef SCRIPT_STACK_ASAN
+  if (p != nullptr && n != 0) __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
 }
 }  // namespace
 
@@ -30,6 +55,7 @@ Stack::Stack(std::size_t usable_size) {
   if (mprotect(mapping_, ps, PROT_NONE) != 0)
     SCRIPT_PANIC("fiber stack guard mprotect failed");
   usable_ = static_cast<char*>(mapping_) + ps;
+  unpoison(usable_, usable_size_);
 }
 
 Stack::~Stack() { release(); }
@@ -51,8 +77,16 @@ Stack& Stack::operator=(Stack&& other) noexcept {
   return *this;
 }
 
+void Stack::decommit() noexcept {
+  if (usable_ != nullptr) {
+    madvise(usable_, usable_size_, MADV_DONTNEED);
+    unpoison(usable_, usable_size_);
+  }
+}
+
 void Stack::release() noexcept {
   if (mapping_ != nullptr) {
+    unpoison(usable_, usable_size_);
     munmap(mapping_, mapping_size_);
     mapping_ = nullptr;
   }

@@ -22,6 +22,13 @@ class Stack {
   /// Lowest usable address (above the guard page).
   void* base() const { return usable_; }
   std::size_t size() const { return usable_size_; }
+  bool valid() const { return mapping_ != nullptr; }
+
+  /// Return the usable pages to the OS (madvise DONTNEED) while keeping
+  /// the mapping and the guard page intact: the physical memory is
+  /// dropped, the next touch faults in zero pages. Best effort — a
+  /// pooled stack that could not be decommitted is still reusable.
+  void decommit() noexcept;
 
  private:
   void release() noexcept;

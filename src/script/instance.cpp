@@ -11,7 +11,10 @@ using detail::RequestView;
 
 ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec,
                                std::string instance_name)
-    : net_(&net), spec_(std::move(spec)), name_(std::move(instance_name)) {
+    : net_(&net),
+      sched_(&net.scheduler()),
+      spec_(std::move(spec)),
+      name_(std::move(instance_name)) {
   // A crashed enrollee's role fails. The hook runs after the fiber has
   // fully unwound (and after the Net's own hook has failed its parked
   // rendezvous), so the instance sees consistent state.
@@ -26,6 +29,55 @@ ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
 
 ScriptInstance::~ScriptInstance() {
   scheduler().remove_crash_hook(crash_hook_id_);
+}
+
+void ScriptInstance::enqueue(Request& req) {
+  req.queue_pos = queue_.insert(queue_.end(), &req);
+  req.queued = true;
+  ++queued_by_role_[req.requested.name];
+}
+
+void ScriptInstance::dequeue(Request& req) {
+  if (!req.queued) return;
+  queue_.erase(req.queue_pos);
+  req.queued = false;
+  const auto it = queued_by_role_.find(req.requested.name);
+  SCRIPT_ASSERT(it != queued_by_role_.end() && it->second > 0,
+                "waiter index out of sync for role " + req.requested.name);
+  if (--it->second == 0) queued_by_role_.erase(it);
+}
+
+bool ScriptInstance::queued_covers_critical() const {
+  for (const CriticalSet& cs : spec_.critical_sets()) {
+    bool ok = true;
+    for (const auto& [name, needed] : cs) {
+      const auto it = queued_by_role_.find(name);
+      if ((it == queued_by_role_.end() ? 0 : it->second) < needed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool ScriptInstance::admission_possible() const {
+  if (queued_by_role_.empty()) return false;
+  // Out roles consume capacity just like bound ones: an admission into
+  // them is excluded. Count them per family once.
+  std::map<std::string, std::size_t> out_by_name;
+  for (const RoleId& r : active_->out) ++out_by_name[r.name];
+  for (const auto& [name, waiting] : queued_by_role_) {
+    const RoleDecl& d = spec_.decl(name);
+    if (d.open_ended) return true;  // open families always have room
+    const auto out_it = out_by_name.find(name);
+    const std::size_t used =
+        active_->state.bound_count(name) +
+        (out_it == out_by_name.end() ? 0 : out_it->second);
+    if (used < d.count) return true;
+  }
+  return false;
 }
 
 ScriptInstance& ScriptInstance::on_role(const std::string& role_name,
@@ -49,7 +101,7 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
   req.pid = sched.current();
   req.requested = role;
   req.partners = &partners;
-  queue_.push_back(&req);
+  enqueue(req);
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt", role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
@@ -60,8 +112,7 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
   } catch (...) {
     // Crashed while queued: withdraw so the matcher never binds a dead
     // process. (A crash after admission is the crash hook's business.)
-    const auto it = std::find(queue_.begin(), queue_.end(), &req);
-    if (it != queue_.end()) queue_.erase(it);
+    dequeue(req);
     throw;
   }
 
@@ -80,14 +131,14 @@ std::optional<EnrollResult> ScriptInstance::try_enroll(
   req.pid = sched.current();
   req.requested = role;
   req.partners = &partners;
-  queue_.push_back(&req);
+  enqueue(req);
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt.guarded",
           role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
 
   try_advance();
   if (!req.admitted) {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), &req));
+    dequeue(req);
     publish(obs::EventKind::Instant, req.pid, "enroll.fail.guarded",
             role.str());
     return std::nullopt;
@@ -108,7 +159,7 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   req.pid = sched.current();
   req.requested = role;
   req.partners = &partners;
-  queue_.push_back(&req);
+  enqueue(req);
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt.timed",
           role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
@@ -118,10 +169,7 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   // The request self-cleans when the timeout fires: the scheduler runs
   // the hook at the firing instant, before any other fiber can admit a
   // request that is no longer waiting.
-  const auto withdraw = [this, &req] {
-    const auto it = std::find(queue_.begin(), queue_.end(), &req);
-    if (it != queue_.end()) queue_.erase(it);
-  };
+  const auto withdraw = [this, &req] { dequeue(req); };
   while (!req.admitted) {
     const std::uint64_t now = sched.now();
     const bool timed_out =
@@ -213,11 +261,27 @@ void ScriptInstance::try_advance() {
   }
 
   // Delayed initiation: joint formation via the backtracking matcher.
+  // The waiter index gates the attempt first — while a cast is still
+  // assembling, no critical set's per-role counts are covered and the
+  // matcher (and the view materialization) is skipped outright.
   // (The matcher prefers earlier positions, so shuffling the view order
   // realizes the paper's nondeterministic choice among contenders.)
+  const bool nondet = spec_.contention_is_nondeterministic();
+  if (!nondet && !queued_covers_critical()) {
+    ++matcher_index_hits_;
+    return;
+  }
   std::vector<Request*> order(queue_.begin(), queue_.end());
-  if (spec_.contention_is_nondeterministic())
+  if (nondet) {
+    // Shuffle BEFORE gating so the seeded rng stream is identical
+    // whether or not the gate fires (replay stability).
     scheduler().rng().shuffle(order);
+    if (!queued_covers_critical()) {
+      ++matcher_index_hits_;
+      return;
+    }
+  }
+  ++matcher_runs_;
   std::vector<RequestView> views;
   views.reserve(order.size());
   for (const Request* r : order)
@@ -251,7 +315,7 @@ void ScriptInstance::try_advance() {
     emit(ScriptEvent::Kind::Enrolled, r->pid, concrete, active_->number);
   }
   for (Request* r : admitted) {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), r));
+    dequeue(*r);
     if (scheduler().state_of(r->pid) == runtime::FiberState::Blocked)
       scheduler().unblock(r->pid);
   }
@@ -260,14 +324,29 @@ void ScriptInstance::try_advance() {
 
 void ScriptInstance::admission_pass() {
   SCRIPT_ASSERT(active_ != nullptr, "admission pass without performance");
+  // Capacity gate from the waiter index: when every queued role name is
+  // already full (bound + out) in the active performance, the pass
+  // cannot admit anyone — skip the per-request matcher work.
+  const bool nondet = spec_.contention_is_nondeterministic();
+  if (!nondet && !admission_possible()) {
+    ++matcher_index_hits_;
+    return;
+  }
   // Arrival order by default; a single pass suffices because admission
   // is monotone (bindings only accumulate, constraints only tighten).
   // Under nondeterministic contention the pass order is shuffled
   // (seeded), so competing requests for one role win randomly — the
   // paper's §II choice rule.
   std::vector<Request*> order(queue_.begin(), queue_.end());
-  if (spec_.contention_is_nondeterministic())
+  if (nondet) {
+    // Shuffle before gating: keeps the rng stream identical either way.
     scheduler().rng().shuffle(order);
+    if (!admission_possible()) {
+      ++matcher_index_hits_;
+      return;
+    }
+  }
+  ++matcher_runs_;
   std::vector<Request*> admitted;
   for (Request* r : order) {
     const RequestView view{r->pid, r->requested, r->partners};
@@ -284,7 +363,7 @@ void ScriptInstance::admission_pass() {
     }
   }
   for (Request* r : admitted) {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), r));
+    dequeue(*r);
     if (scheduler().state_of(r->pid) == runtime::FiberState::Blocked)
       scheduler().unblock(r->pid);
   }

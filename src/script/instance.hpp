@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <set>
@@ -125,7 +126,17 @@ class ScriptInstance {
   std::uint64_t performances_aborted() const { return aborted_perfs_; }
   /// Requests waiting for a future performance.
   std::size_t queue_length() const { return queue_.size(); }
-  runtime::Scheduler& scheduler() { return net_->scheduler(); }
+  /// How often the per-role waiter index let the instance skip the
+  /// matcher outright (formation impossible / no admission capacity).
+  std::uint64_t matcher_index_hits() const { return matcher_index_hits_; }
+  /// How often the matcher actually ran (formation or admission pass).
+  std::uint64_t matcher_runs() const { return matcher_runs_; }
+  /// Cached at construction rather than read through net_: the
+  /// scheduler is the root object here (the Net holds a reference to
+  /// it), so the destructor can deregister its crash hook even when the
+  /// instance's last owner happens to outlive the Net's (e.g. a fiber
+  /// body's captures being torn down in an unlucky order).
+  runtime::Scheduler& scheduler() { return *sched_; }
   csp::Net& net() { return *net_; }
 
   /// This instance's lane on the scheduler's EventBus (registered on
@@ -155,7 +166,22 @@ class ScriptInstance {
     bool admitted = false;
     RoleId assigned;
     Performance* perf = nullptr;  // set at admission
+    bool queued = false;
+    std::list<Request*>::iterator queue_pos;  // valid while queued
   };
+
+  /// Append to the waiter queue (FIFO) and the per-role-name index.
+  void enqueue(Request& req);
+  /// O(1) removal via the request's stored queue position. Safe to call
+  /// on an already-dequeued request (withdraw paths can race admission).
+  void dequeue(Request& req);
+  /// Necessary condition for delayed formation: SOME critical set has,
+  /// per role name, enough queued requests. O(critical sets) from the
+  /// waiter index — no queue scan, no matcher call.
+  bool queued_covers_critical() const;
+  /// Necessary condition for an admission pass to admit anything: some
+  /// queued role name still has free capacity in the active performance.
+  bool admission_possible() const;
 
   /// Run the matching machinery: form a performance if none is active,
   /// admit queued requests into an active one (immediate initiation),
@@ -194,10 +220,18 @@ class ScriptInstance {
             std::uint64_t performance);
 
   csp::Net* net_;
+  runtime::Scheduler* sched_;  // == net_->scheduler(); see scheduler()
   ScriptSpec spec_;
   std::string name_;
   std::map<std::string, RoleBody> bodies_;
-  std::vector<Request*> queue_;  // requests live on enrollers' stacks
+  // Requests live on enrollers' stacks; a list gives O(1) withdrawal
+  // via the iterator stored in each Request while keeping FIFO order.
+  std::list<Request*> queue_;
+  /// Waiter index: queued requests per role name (families counted
+  /// under their family name). The formation/admission gates read this.
+  std::map<std::string, std::size_t> queued_by_role_;
+  std::uint64_t matcher_index_hits_ = 0;
+  std::uint64_t matcher_runs_ = 0;
   std::unique_ptr<Performance> active_;
   // Finished performances are kept: returning enrollees and contexts
   // still reference them (cheap — bookkeeping only, no payloads).

@@ -23,13 +23,25 @@ void restrict_allowed(MatchState& st, const RoleId& r,
   it->second = std::move(next);
 }
 
+/// First-time fill of a state's critical fill counters from its current
+/// bindings; afterwards try_admit keeps them current incrementally.
+void init_critical_counters(const ScriptSpec& spec, const MatchState& st) {
+  const auto& sets = spec.critical_sets();
+  st.cs_met.assign(sets.size(), 0);
+  st.cs_satisfied = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (const auto& [role_name, needed] : sets[i])
+      if (st.bound_count(role_name) >= needed) ++st.cs_met[i];
+    if (st.cs_met[i] == sets[i].size()) ++st.cs_satisfied;
+  }
+  st.cs_ready = true;
+}
+
 }  // namespace
 
 std::size_t MatchState::bound_count(const std::string& role_name) const {
-  std::size_t n = 0;
-  for (const auto& [r, pid] : bindings)
-    if (r.name == role_name) ++n;
-  return n;
+  const auto it = bound_by_name.find(role_name);
+  return it == bound_by_name.end() ? 0 : it->second;
 }
 
 bool MatchState::permits(const RoleId& r, ProcessId pid) const {
@@ -53,8 +65,14 @@ std::optional<RoleId> resolve_index(const ScriptSpec& spec,
   }
   // Lowest free index whose accumulated naming constraints accept this
   // process (an index pinned to someone else by an earlier member's
-  // PartnerSpec must be left for them).
-  for (std::size_t i = 0; i < d.count; ++i) {
+  // PartnerSpec must be left for them). Start at the family's scan
+  // floor — bindings are monotone, so indices below it stay bound
+  // forever and never need re-checking.
+  std::size_t& floor = st.index_floor[requested.name];
+  while (floor < d.count &&
+         st.is_bound(RoleId(requested.name, static_cast<int>(floor))))
+    ++floor;
+  for (std::size_t i = floor; i < d.count; ++i) {
     RoleId r(requested.name, static_cast<int>(i));
     if (!st.is_bound(r) && !excluded.count(r) && st.permits(r, pid))
       return r;
@@ -95,6 +113,20 @@ std::optional<RoleId> try_admit(const ScriptSpec& spec, MatchState& st,
 
   // Commit.
   st.bindings.emplace(r, req.pid);
+  const std::size_t now_bound = ++st.bound_by_name[r.name];
+  if (st.cs_ready) {
+    // Keep the per-set fill counters current: this binding may push a
+    // requirement over its threshold (crossing exactly `needed`).
+    const auto& needs = spec.critical_needs();
+    const auto it = needs.find(r.name);
+    if (it != needs.end()) {
+      const auto& sizes = spec.critical_set_sizes();
+      for (const CriticalNeed& need : it->second)
+        if (now_bound == need.needed &&
+            ++st.cs_met[need.set_index] == sizes[need.set_index])
+          ++st.cs_satisfied;
+    }
+  }
   if (req.partners != nullptr)
     for (const auto& [partner_role, pids] : req.partners->constraints())
       restrict_allowed(st, partner_role, pids);
@@ -107,17 +139,8 @@ std::optional<RoleId> try_admit(const ScriptSpec& spec, MatchState& st,
 }
 
 bool critical_satisfied(const ScriptSpec& spec, const MatchState& st) {
-  for (const CriticalSet& cs : spec.critical_sets()) {
-    bool ok = true;
-    for (const auto& [role_name, needed] : cs) {
-      if (st.bound_count(role_name) < needed) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) return true;
-  }
-  return false;
+  if (!st.cs_ready) init_critical_counters(spec, st);
+  return st.cs_satisfied > 0;
 }
 
 namespace {
@@ -219,9 +242,30 @@ struct Former {
 
 std::optional<FormResult> form_delayed(const ScriptSpec& spec,
                                        const std::vector<RequestView>& queue) {
-  Former f{spec, queue, {}, {}, 0};
-  f.build_suffix_bounds();
-  if (!f.reachable(0, MatchState{})) return std::nullopt;
+  // Counting gate: no critical set can be met unless, per role name,
+  // the whole queue offers enough requests. One O(queue + sets) pass —
+  // the common "cast still assembling" case stops here without touching
+  // the matcher proper.
+  {
+    std::map<std::string, std::size_t> totals;
+    for (const RequestView& req : queue) ++totals[req.requested.name];
+    bool any_reachable = false;
+    for (const CriticalSet& cs : spec.critical_sets()) {
+      bool ok = true;
+      for (const auto& [name, needed] : cs) {
+        const auto it = totals.find(name);
+        if ((it == totals.end() ? 0 : it->second) < needed) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        any_reachable = true;
+        break;
+      }
+    }
+    if (!any_reachable) return std::nullopt;
+  }
 
   // Fast path: plain greedy admission in arrival order. This settles
   // the overwhelmingly common case (lightly-constrained casts, however
@@ -229,9 +273,10 @@ std::optional<FormResult> form_delayed(const ScriptSpec& spec,
   // must stay reserved for small, constraint-heavy formations.
   {
     MatchState st;
+    const std::set<RoleId> no_excluded;
     std::vector<std::pair<std::size_t, RoleId>> admitted;
     for (std::size_t i = 0; i < queue.size(); ++i)
-      if (auto r = try_admit(spec, st, {}, queue[i]))
+      if (auto r = try_admit(spec, st, no_excluded, queue[i]))
         admitted.emplace_back(i, *r);
     if (critical_satisfied(spec, st))
       return FormResult{std::move(st), std::move(admitted)};
@@ -240,7 +285,11 @@ std::optional<FormResult> form_delayed(const ScriptSpec& spec,
   // Slow path: backtracking over inclusion and index choices. Guard
   // against fiber-stack exhaustion on absurdly long queues (greedy
   // above already failed, so a consistent cast is unlikely anyway).
+  // The per-position suffix bounds that prune the search are only built
+  // here — the fast paths above never pay for them.
   if (queue.size() > 200) return std::nullopt;
+  Former f{spec, queue, {}, {}, 0};
+  f.build_suffix_bounds();
   return f.dfs(0, MatchState{}, {});
 }
 

@@ -52,6 +52,28 @@ struct MatchState {
   bool is_bound(const RoleId& r) const { return bindings.count(r) > 0; }
   std::size_t bound_count(const std::string& role_name) const;
   bool permits(const RoleId& r, ProcessId pid) const;
+
+  // ---- Role-indexed bookkeeping, maintained by try_admit ----
+  // Bindings are only ever ADDED to a MatchState (backtracking copies
+  // states instead of undoing), which is what makes the caches below
+  // monotone and cheap to keep.
+
+  /// Members bound per role name; bound_count() reads this instead of
+  /// rescanning `bindings`.
+  std::map<std::string, std::size_t> bound_by_name;
+  /// Per-family scan floor for resolve_index: every index below the
+  /// floor is bound, so filling a family costs O(count) total rather
+  /// than O(count) per admission. mutable: advancing the floor is a
+  /// cache refresh, not a state change.
+  mutable std::map<std::string, std::size_t> index_floor;
+  /// Per-critical-set fill counters (indexed like
+  /// ScriptSpec::critical_sets()): how many of each set's requirements
+  /// are met, and how many sets are fully met. Initialized lazily on
+  /// the first critical_satisfied() call, then kept current by
+  /// try_admit, making the satisfaction test O(1) on the hot path.
+  mutable std::vector<std::size_t> cs_met;
+  mutable std::size_t cs_satisfied = 0;
+  mutable bool cs_ready = false;
 };
 
 /// Resolve an any-index request to a concrete role: the lowest unbound,

@@ -7,6 +7,7 @@ namespace script::core {
 ScriptSpec& ScriptSpec::role(const std::string& role_name) {
   SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
   roles_.push_back(RoleDecl{role_name, 1, false, false, 0});
+  critical_cache_built_ = false;
   return *this;
 }
 
@@ -15,6 +16,7 @@ ScriptSpec& ScriptSpec::role_family(const std::string& role_name,
   SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
   SCRIPT_ASSERT(count > 0, "empty role family " + role_name);
   roles_.push_back(RoleDecl{role_name, count, true, false, 0});
+  critical_cache_built_ = false;
   return *this;
 }
 
@@ -22,6 +24,7 @@ ScriptSpec& ScriptSpec::open_role_family(const std::string& role_name,
                                          std::size_t min_count) {
   SCRIPT_ASSERT(!has_role(role_name), "duplicate role " + role_name);
   roles_.push_back(RoleDecl{role_name, 0, true, true, min_count});
+  critical_cache_built_ = false;
   return *this;
 }
 
@@ -54,6 +57,7 @@ ScriptSpec& ScriptSpec::critical(CriticalSet set) {
                   "critical count exceeds family size for " + role_name);
   }
   criticals_.push_back(std::move(set));
+  critical_cache_built_ = false;
   return *this;
 }
 
@@ -92,12 +96,42 @@ std::vector<RoleId> ScriptSpec::fixed_roles() const {
   return out;
 }
 
-std::vector<CriticalSet> ScriptSpec::critical_sets() const {
-  if (!criticals_.empty()) return criticals_;
-  CriticalSet everything;
-  for (const auto& d : roles_)
-    everything[d.name] = d.open_ended ? d.min_count : d.count;
-  return {everything};
+void ScriptSpec::build_critical_cache() const {
+  critical_cache_.clear();
+  critical_needs_.clear();
+  critical_set_sizes_.clear();
+  if (!criticals_.empty()) {
+    critical_cache_ = criticals_;
+  } else {
+    // "It is taken to mean that the entire collection of roles is
+    // critical" (§II).
+    CriticalSet everything;
+    for (const auto& d : roles_)
+      everything[d.name] = d.open_ended ? d.min_count : d.count;
+    critical_cache_.push_back(std::move(everything));
+  }
+  for (std::size_t i = 0; i < critical_cache_.size(); ++i) {
+    critical_set_sizes_.push_back(critical_cache_[i].size());
+    for (const auto& [role_name, needed] : critical_cache_[i])
+      critical_needs_[role_name].push_back(CriticalNeed{i, needed});
+  }
+  critical_cache_built_ = true;
+}
+
+const std::vector<CriticalSet>& ScriptSpec::critical_sets() const {
+  if (!critical_cache_built_) build_critical_cache();
+  return critical_cache_;
+}
+
+const std::map<std::string, std::vector<CriticalNeed>>&
+ScriptSpec::critical_needs() const {
+  if (!critical_cache_built_) build_critical_cache();
+  return critical_needs_;
+}
+
+const std::vector<std::size_t>& ScriptSpec::critical_set_sizes() const {
+  if (!critical_cache_built_) build_critical_cache();
+  return critical_set_sizes_;
 }
 
 }  // namespace script::core

@@ -55,6 +55,14 @@ struct RoleDecl {
 /// One critical role set: role name → required enrolled count.
 using CriticalSet = std::map<std::string, std::size_t>;
 
+/// One critical-set requirement as seen from a single role: "critical
+/// set #set_index needs `needed` members of this role". The matcher's
+/// per-set fill counters key off the inverted index built from these.
+struct CriticalNeed {
+  std::size_t set_index = 0;
+  std::size_t needed = 0;
+};
+
 class ScriptSpec {
  public:
   explicit ScriptSpec(std::string name) : name_(std::move(name)) {}
@@ -104,10 +112,24 @@ class ScriptSpec {
   std::vector<RoleId> fixed_roles() const;
 
   /// The critical sets in force: the declared ones, or the implicit
-  /// "everything" set when none were declared.
-  std::vector<CriticalSet> critical_sets() const;
+  /// "everything" set when none were declared. Cached; the reference
+  /// stays valid until the next builder call.
+  const std::vector<CriticalSet>& critical_sets() const;
+
+  /// Inverted critical index: role name → the critical sets that
+  /// mention it and how many members each needs. Cached alongside
+  /// critical_sets(); set indices refer into that vector.
+  const std::map<std::string, std::vector<CriticalNeed>>& critical_needs()
+      const;
+
+  /// Number of (role, count) requirements in each critical set, indexed
+  /// like critical_sets(). A set is met once that many of its
+  /// requirements are individually met.
+  const std::vector<std::size_t>& critical_set_sizes() const;
 
  private:
+  void build_critical_cache() const;
+
   std::string name_;
   std::vector<RoleDecl> roles_;
   std::vector<CriticalSet> criticals_;
@@ -115,6 +137,12 @@ class ScriptSpec {
   Termination termination_ = Termination::Delayed;
   bool nondet_contention_ = false;
   FailurePolicy failure_policy_ = FailurePolicy::Abort;
+
+  // Lazily built, invalidated by the builder methods above.
+  mutable bool critical_cache_built_ = false;
+  mutable std::vector<CriticalSet> critical_cache_;
+  mutable std::map<std::string, std::vector<CriticalNeed>> critical_needs_;
+  mutable std::vector<std::size_t> critical_set_sizes_;
 };
 
 }  // namespace script::core

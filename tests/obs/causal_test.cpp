@@ -282,6 +282,43 @@ TEST(CausalAnalyzerTest, KilledFiberClosesItsParkSpan) {
   EXPECT_EQ(analysis.blocked_ticks(rx), 3u);  // parked t=0..3, then killed
 }
 
+/// A fiber killed while SLEEPING (not blocked) must accrue the elapsed
+/// part of its sleep on both sides of the ledger. Before the fix the
+/// scheduler's kill path only closed Blocked parks, so a killed sleeper
+/// reported zero slept ticks while the analyzer clamped its open span —
+/// the two books disagreed.
+TEST(CausalAnalyzerTest, KilledSleeperAccruesElapsedSleep) {
+  Scheduler sched;
+  TraceExporter& exporter = sched.enable_tracing();
+
+  const ProcessId sleeper =
+      sched.spawn("sleeper", [&] { sched.sleep_for(10); });
+  sched.spawn("survivor", [&] { sched.sleep_for(20); });
+  FaultPlan plan;
+  plan.crash_at_time(sleeper, 3);
+  sched.install_fault_plan(plan);
+  ASSERT_TRUE(sched.run().ok());
+
+  // The kill closed the sleeping span with the kill marker.
+  bool closed_by_kill = false;
+  for (const Event& e : exporter.events())
+    if (e.kind == EventKind::SpanEnd && e.pid == sleeper &&
+        e.name == "sleeping" && e.detail == "(killed)")
+      closed_by_kill = true;
+  EXPECT_TRUE(closed_by_kill);
+
+  // Scheduler ledger: slept t=0..3, then killed mid-sleep.
+  EXPECT_EQ(sched.slept_ticks(sleeper), 3u);
+
+  // Analyzer ledger agrees tick for tick.
+  CausalAnalyzer analysis(exporter.events(), exporter.fiber_names(),
+                          exporter.lane_names());
+  EXPECT_EQ(analysis.self_check(), "");
+  EXPECT_EQ(analysis.slept_ticks(sleeper), sched.slept_ticks(sleeper));
+  EXPECT_EQ(analysis.blocked_ticks(sleeper), sched.blocked_ticks(sleeper));
+  EXPECT_EQ(analysis.blocked_ticks(sleeper), 0u);
+}
+
 /// Deadlock reports now explain WHO each stuck fiber waits for — the
 /// wait-for chain with cycle detection — instead of a flat event dump.
 TEST(CausalSchedulerTest, DeadlockReportWalksWaitForChain) {

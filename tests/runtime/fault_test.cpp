@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,75 @@ TEST(Fault, CrashHooksSeeTheVictimAfterUnwind) {
   EXPECT_TRUE(sched.run().ok());
   EXPECT_EQ(notified, std::vector<ProcessId>{victim});
   sched.remove_crash_hook(hook);
+}
+
+TEST(Fault, CrashHookMayRemoveItselfAndAPredecessor) {
+  // Regression: finish_crash used to walk the hook vector by index, so
+  // a hook erasing itself and an earlier entry shifted the vector out
+  // from under the loop and silently skipped the next hook.
+  Scheduler sched;
+  std::vector<int> ran;
+  std::uint64_t h1 = 0, h2 = 0;
+  h1 = sched.add_crash_hook([&](ProcessId) { ran.push_back(1); });
+  h2 = sched.add_crash_hook([&](ProcessId) {
+    ran.push_back(2);
+    sched.remove_crash_hook(h1);
+    sched.remove_crash_hook(h2);
+  });
+  sched.add_crash_hook([&](ProcessId) { ran.push_back(3); });
+  const ProcessId victim =
+      sched.spawn("victim", [&] { sched.block("parked"); });
+  sched.spawn("bystander", [] {});
+  FaultPlan plan;
+  plan.crash_at_step(victim, 2);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_EQ(ran, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fault, CrashHookRemovingASuccessorSuppressesIt) {
+  // The complementary hazard of the index walk: erasing a LATER entry
+  // could double-run or misattribute hooks. Contract now: a hook
+  // deregistered mid-notification (by id) simply does not run.
+  Scheduler sched;
+  std::vector<int> ran;
+  std::uint64_t h2 = 0;
+  sched.add_crash_hook([&](ProcessId) {
+    ran.push_back(1);
+    sched.remove_crash_hook(h2);
+  });
+  h2 = sched.add_crash_hook([&](ProcessId) { ran.push_back(2); });
+  sched.add_crash_hook([&](ProcessId) { ran.push_back(3); });
+  const ProcessId victim =
+      sched.spawn("victim", [&] { sched.block("parked"); });
+  sched.spawn("bystander", [] {});
+  FaultPlan plan;
+  plan.crash_at_step(victim, 2);
+  sched.install_fault_plan(plan);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_EQ(ran, (std::vector<int>{1, 3}));
+}
+
+TEST(Fault, CrashHookRemovalDuringSchedulerTeardownIsSafe) {
+  // Regression: ~Scheduler let members tear down in reverse declaration
+  // order, destroying the crash-hook list BEFORE the fibers. A fiber
+  // body owning the last reference to an object whose destructor
+  // deregisters a crash hook (csp::Net does exactly this) then read a
+  // freed vector. ASan over this test pins the fixed teardown order.
+  struct HookOwner {
+    Scheduler* sched;
+    std::uint64_t id;
+    ~HookOwner() { sched->remove_crash_hook(id); }
+  };
+  auto sched = std::make_unique<Scheduler>();
+  auto owner = std::make_shared<HookOwner>();
+  owner->sched = sched.get();
+  owner->id = sched->add_crash_hook([](ProcessId) {});
+  // The fiber never runs; its body keeps the owner alive until the
+  // scheduler destroys its fibers.
+  sched->spawn("holder", [owner] { (void)owner; });
+  owner.reset();
+  sched.reset();  // must deregister against a still-live hook list
 }
 
 TEST(Fault, CrashedFiberIsNotAFailure) {

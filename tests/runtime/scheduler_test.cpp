@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "runtime/wait_queue.hpp"
 
 namespace {
 
@@ -217,6 +220,33 @@ TEST(Scheduler, RunAgainAfterNewSpawns) {
   sched.spawn("second", [&] { ++runs; });
   ASSERT_TRUE(sched.run().ok());
   EXPECT_EQ(runs, 2);
+}
+
+TEST(Scheduler, StaleTimerHeapStaysBounded) {
+  // Every park_for that is woken early strands a timer in the heap;
+  // before the lazy purge, 10k arm/early-wake cycles meant 10k dead
+  // entries held until their (distant) due times. The purge must keep
+  // the heap proportional to the stale floor, not the cycle count.
+  Scheduler sched;
+  script::runtime::WaitQueue q(sched);
+  constexpr int kCycles = 10000;
+  std::size_t heap_high_water = 0;
+  sched.spawn("waiter", [&] {
+    for (int i = 0; i < kCycles; ++i) {
+      const bool timed_out = q.park_for("cycling", 1000000);
+      EXPECT_FALSE(timed_out);
+      heap_high_water = std::max(heap_high_water, sched.timer_heap_size());
+    }
+  });
+  sched.spawn("waker", [&] {
+    for (int i = 0; i < kCycles; ++i) {
+      while (!q.notify_one()) sched.yield();
+    }
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_LT(heap_high_water, 300u);
+  EXPECT_LT(sched.timer_heap_size(), 300u);
+  EXPECT_LT(sched.stale_timer_count(), 300u);
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+// StackPool: fiber stacks are recycled across spawns instead of paying
+// an mmap/munmap pair per fiber. The contract under test: a released
+// stack comes back with its mapping (and guard page) intact, the idle
+// set is bounded, and a scheduler churning fibers actually reuses.
+#include "runtime/stack_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+using script::runtime::Stack;
+using script::runtime::StackPool;
+
+constexpr std::size_t kSmall = 64 * 1024;
+constexpr std::size_t kLarge = 256 * 1024;
+
+TEST(StackPool, ReusesReleasedStack) {
+  StackPool pool;
+  Stack s(kSmall);
+  void* const base = s.base();
+  pool.release(std::move(s));
+  EXPECT_EQ(pool.stats().idle, 1u);
+
+  const Stack t = pool.acquire(kSmall);
+  EXPECT_EQ(t.base(), base);  // same mapping came back
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().created, 0u);
+  EXPECT_EQ(pool.stats().idle, 0u);
+}
+
+TEST(StackPool, ReusedStackIsWritableAfterDecommit) {
+  StackPool pool;
+  {
+    Stack s(kSmall);
+    std::memset(s.base(), 0xAB, s.size());
+    pool.release(std::move(s));  // release decommits the pages
+  }
+  const Stack t = pool.acquire(kSmall);
+  // Decommitted pages must fault back in writable; contents are not
+  // part of the contract (a fiber initializes its own frame).
+  std::memset(t.base(), 0x5A, t.size());
+  EXPECT_EQ(static_cast<unsigned char*>(t.base())[0], 0x5A);
+  EXPECT_EQ(static_cast<unsigned char*>(t.base())[t.size() - 1], 0x5A);
+}
+
+TEST(StackPool, MaxIdleBoundsRetention) {
+  StackPool pool(2);
+  for (int i = 0; i < 4; ++i) pool.release(Stack(kSmall));
+  EXPECT_EQ(pool.stats().idle, 2u);
+  EXPECT_EQ(pool.stats().dropped, 2u);  // overflow unmapped immediately
+  EXPECT_EQ(pool.stats().idle_high_water, 2u);
+}
+
+TEST(StackPool, SmallerRequestServedByLargerIdleStack) {
+  StackPool pool;
+  pool.release(Stack(kLarge));
+  const Stack t = pool.acquire(kSmall);
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_GE(t.size(), kLarge);
+}
+
+TEST(StackPool, LargerRequestCreatesFreshStack) {
+  StackPool pool;
+  pool.release(Stack(kSmall));
+  const Stack t = pool.acquire(kLarge);
+  EXPECT_EQ(pool.stats().created, 1u);
+  EXPECT_GE(t.size(), kLarge);
+  EXPECT_EQ(pool.stats().idle, 1u);  // the small one stays pooled
+}
+
+TEST(StackPool, InvalidStackReleaseIsANoOp) {
+  StackPool pool;
+  Stack s(kSmall);
+  const Stack moved = std::move(s);
+  EXPECT_TRUE(moved.valid());
+  pool.release(std::move(s));  // moved-from: nothing to pool
+  EXPECT_EQ(pool.stats().idle, 0u);
+  EXPECT_EQ(pool.stats().dropped, 0u);
+}
+
+TEST(StackPool, SchedulerRecyclesFiberStacksAcrossWaves) {
+  Scheduler sched;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 8; ++i) sched.spawn("worker", [] {});
+    ASSERT_TRUE(sched.run().ok());
+  }
+  const StackPool::Stats& st = sched.stack_pool_stats();
+  // Wave 1 pays the mmaps; waves 2 and 3 must ride the pool.
+  EXPECT_EQ(st.created, 8u);
+  EXPECT_EQ(st.reused, 16u);
+  EXPECT_GT(st.reuse_ratio(), 0.5);
+}
+
+TEST(StackPool, SchedulerHonorsConfiguredIdleBound) {
+  SchedulerOptions opts;
+  opts.stack_pool_max_idle = 4;
+  Scheduler sched(opts);
+  for (int i = 0; i < 16; ++i) sched.spawn("burst", [] {});
+  ASSERT_TRUE(sched.run().ok());
+  const StackPool::Stats& st = sched.stack_pool_stats();
+  EXPECT_LE(st.idle, 4u);
+  EXPECT_LE(st.idle_high_water, 4u);
+}
+
+}  // namespace

@@ -215,6 +215,44 @@ TEST(Matching, OpenFamilyGrowsOnDemand) {
   EXPECT_FALSE(critical_satisfied(s, st) == false);  // 3 >= min 2
 }
 
+TEST(Matching, FifoFairnessAcrossCompetingCriticalSets) {
+  // Two alternative critical sets share the contended role r. The
+  // enrollee that asked for r FIRST must get it, even though the
+  // performance only becomes formable when a later r-requester is also
+  // in the queue — the matcher may not starve the head of the line.
+  ScriptSpec s("gate");
+  s.role("r").role("a").role("b");
+  s.critical(CriticalSet{{"r", 1}, {"a", 1}});
+  s.critical(CriticalSet{{"r", 1}, {"b", 1}});
+  std::vector<RequestView> queue{
+      {1, RoleId("r"), nullptr},
+      {2, RoleId("b"), nullptr},
+      {3, RoleId("r"), nullptr},
+  };
+  const auto res = form_delayed(s, queue);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->state.bindings.at(RoleId("r")), 1u);
+  EXPECT_EQ(res->state.bindings.at(RoleId("b")), 2u);
+}
+
+TEST(Matching, FifoFairnessWhenBothSetsFillInOneStep) {
+  // Same shape, but the arrival that completes a set is the LAST
+  // r-requester: formation still binds r to the oldest request.
+  ScriptSpec s("gate");
+  s.role("r").role("a").role("b");
+  s.critical(CriticalSet{{"r", 1}, {"a", 1}});
+  s.critical(CriticalSet{{"r", 1}, {"b", 1}});
+  std::vector<RequestView> queue{
+      {1, RoleId("r"), nullptr},
+      {2, RoleId("r"), nullptr},
+      {3, RoleId("a"), nullptr},
+  };
+  const auto res = form_delayed(s, queue);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->state.bindings.at(RoleId("r")), 1u);
+  EXPECT_EQ(res->state.bindings.at(RoleId("a")), 3u);
+}
+
 TEST(Matching, MutualNamingPairsJointly) {
   // T enrolls as transmitter naming P,Q as recipients; P and Q each
   // name T back. All three must land in one consistent assignment.

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate bench telemetry against the committed baselines.
+
+Usage:
+    check_bench_regression.py --fresh DIR [--fresh DIR ...] --baseline DIR
+                              [--threshold 0.20] [names...]
+
+Compares BENCH_<name>.json files produced by a fresh bench run (--fresh)
+against the committed ones (--baseline). Only *time-like* gauges are
+gated — keys ending in one of the COST_SUFFIXES, where bigger means
+slower. Throughput-like keys (msgs_per_ms, reuse_ratio, index hits) and
+semantic counters (violations, ticks_per_perf) are informational: they
+are printed but never fail the gate, since they are either asserted
+exactly by the benches themselves or not monotone in "better".
+
+Wall-clock numbers on shared CI runners are noisy, so the default gate
+is deliberately loose (20%) and only ever fires on a REGRESSION (fresh
+slower than baseline), never on an improvement. Noise on a busy host is
+purely additive, which makes the per-gauge MINIMUM the stable
+estimator: pass --fresh several times (one directory per repeat run)
+and each cost gauge is taken as the min across repeats before the
+comparison. The committed baselines are produced the same way
+(min-of-N), so both sides of the gate estimate the same quantity.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+COST_SUFFIXES = (
+    "ns_per_op",
+    "us_per_fiber",
+    "us_per_perf",
+    "ms_per_perf",
+    "wall_us_per_perf",
+)
+
+
+def load_gauges(path):
+    with open(path) as f:
+        return json.load(f).get("gauges", {})
+
+
+def is_cost_key(key):
+    return any(key.endswith(s) for s in COST_SUFFIXES)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, action="append",
+                    help="directory with freshly produced BENCH_*.json; "
+                         "repeat the flag for min-of-N across runs")
+    ap.add_argument("--baseline", required=True,
+                    help="directory with committed BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("names", nargs="*",
+                    help="bench names (e.g. c6_matcher); default: every "
+                         "BENCH_*.json present in --baseline")
+    args = ap.parse_args()
+
+    names = args.names
+    if not names:
+        names = sorted(
+            f[len("BENCH_"):-len(".json")]
+            for f in os.listdir(args.baseline)
+            if f.startswith("BENCH_") and f.endswith(".json"))
+
+    failures = []
+    for name in names:
+        fname = "BENCH_%s.json" % name
+        fresh_paths = [os.path.join(d, fname) for d in args.fresh]
+        fresh_paths = [p for p in fresh_paths if os.path.exists(p)]
+        base_path = os.path.join(args.baseline, fname)
+        if not fresh_paths:
+            failures.append("%s: fresh run produced no %s" % (name, fname))
+            continue
+        if not os.path.exists(base_path):
+            print("%-24s NEW (no committed baseline, skipping)" % name)
+            continue
+        runs = [load_gauges(p) for p in fresh_paths]
+        # min across repeats for cost gauges (noise is additive); the
+        # last run's value for informational ones.
+        fresh = dict(runs[-1])
+        for key in fresh:
+            if is_cost_key(key):
+                vals = [r[key] for r in runs if key in r]
+                fresh[key] = min(vals)
+        base = load_gauges(base_path)
+        for key in sorted(base):
+            if key not in fresh:
+                failures.append("%s: gauge %r vanished" % (name, key))
+                continue
+            b, f = base[key], fresh[key]
+            if not is_cost_key(key):
+                print("%-24s %-36s %12g (info)" % (name, key, f))
+                continue
+            delta = (f - b) / b if b > 0 else 0.0
+            verdict = "ok"
+            if delta > args.threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    "%s: %s went %g -> %g (%+.1f%%, limit +%.0f%%)"
+                    % (name, key, b, f, delta * 100,
+                       args.threshold * 100))
+            print("%-24s %-36s %12g -> %-12g %+6.1f%%  %s"
+                  % (name, key, b, f, delta * 100, verdict))
+
+    if failures:
+        print("\nFAILED bench regression gate:", file=sys.stderr)
+        for msg in failures:
+            print("  " + msg, file=sys.stderr)
+        return 1
+    print("\nbench regression gate: all cost gauges within "
+          "+%.0f%% of baseline" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
