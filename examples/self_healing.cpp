@@ -1,0 +1,93 @@
+// Self-healing runtime example (docs/ROBUSTNESS.md "Recovery").
+//
+// A supervised 2PC coordinator is crashed mid-protocol by a fault
+// plan. The supervisor restarts it after a backoff; the restarted
+// incarnation re-enrolls, is readmitted into the LIVE performance
+// (FailurePolicy::Replace), and replays its write-ahead log — an
+// in-doubt transaction is presumed aborted, a logged decision is
+// re-driven. The client rides out the aborted round with
+// enroll_with_retry-style retry at the pattern level: a second
+// transaction then commits cleanly through the same coordinator.
+//
+// Build & run:  ./build/examples/self_healing
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "csp/net.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_log.hpp"
+#include "runtime/supervisor.hpp"
+#include "scripts/two_phase_commit.hpp"
+
+int main() {
+  using script::csp::Net;
+  using script::patterns::TwoPhaseCommit;
+  using script::patterns::TwoPhaseCommitOptions;
+  using script::runtime::FaultPlan;
+  using script::runtime::ProcessId;
+  using script::runtime::Scheduler;
+  using script::runtime::SimLogStore;
+  using script::runtime::Supervisor;
+
+  Scheduler sched;
+  Net net(sched);
+  SimLogStore wal;
+
+  TwoPhaseCommitOptions opts;
+  opts.wal = &wal;
+  opts.replace_coordinator = true;
+  opts.takeover_deadline = 200;
+  TwoPhaseCommit tpc(net, 2, "bank", opts);
+
+  Supervisor sup(sched);
+  sup.set_spawner([&](std::string name, std::function<void()> body) {
+    return net.spawn_process(std::move(name), std::move(body));
+  });
+  sup.on_restart([&](std::uint64_t, ProcessId old_pid, ProcessId fresh) {
+    std::printf("[supervisor] t=%llu restarted coordinator (pid %llu -> %llu)\n",
+                static_cast<unsigned long long>(sched.now()),
+                static_cast<unsigned long long>(old_pid),
+                static_cast<unsigned long long>(fresh));
+  });
+
+  // Two transactions; the factory keeps count so a restart resumes at
+  // the round the crash interrupted instead of starting over.
+  int rounds_done = 0;
+  auto factory = [&] {
+    return [&] {
+      while (rounds_done < 2) {
+        const bool committed = tpc.coordinate();
+        ++rounds_done;
+        std::printf("[coordinator] txn %d %s\n", rounds_done,
+                    committed ? "COMMITTED" : "ABORTED (presumed)");
+      }
+    };
+  };
+  const ProcessId coord = net.spawn_process("coordinator", factory());
+  sup.supervise(coord, "coordinator", factory);
+
+  for (int i = 0; i < 2; ++i) {
+    net.spawn_process("participant" + std::to_string(i), [&tpc, i] {
+      for (int round = 0; round < 2; ++round) {
+        const bool committed = tpc.participate(i, [] { return true; });
+        std::printf("[participant%d] txn %d %s\n", i, round + 1,
+                    committed ? "committed" : "aborted");
+      }
+    });
+  }
+
+  // Kill the coordinator mid-protocol: the first transaction becomes
+  // in-doubt and the replayed WAL presumes abort for it.
+  FaultPlan plan;
+  plan.crash_at_step(coord, 6);
+  sched.install_fault_plan(plan);
+
+  const auto result = sched.run();
+  std::printf("run %s at t=%llu; WAL:\n", result.ok() ? "ok" : "WEDGED",
+              static_cast<unsigned long long>(result.final_time));
+  for (const auto& rec : wal.open("bank.coordinator").records())
+    std::printf("  %s = %s\n", rec.key.c_str(), rec.value.c_str());
+  return result.ok() ? 0 : 1;
+}

@@ -138,6 +138,47 @@ void Net::fail_tagged(const std::string& prefix) {
   }
 }
 
+void Net::rebind_peer(ProcessId old_peer, ProcessId fresh,
+                      const std::string& prefix) {
+  for (auto it = pending_.lower_bound(prefix);
+       it != pending_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    for (const auto& [owner, ops] : it->second) {
+      for (PendingOp* op : ops) {
+        if (op->ghost) continue;
+        if (op->peer == old_peer) op->peer = fresh;
+        std::replace(op->peer_set.begin(), op->peer_set.end(), old_peer,
+                     fresh);
+      }
+    }
+  }
+}
+
+void Net::retire_peer(ProcessId peer, const std::string& prefix) {
+  // Snapshot first: fail_op unlinks, which mutates the buckets.
+  std::vector<PendingOp*> snapshot;
+  for (auto it = pending_.lower_bound(prefix);
+       it != pending_.end() &&
+       it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    for (const auto& [owner, ops] : it->second)
+      snapshot.insert(snapshot.end(), ops.begin(), ops.end());
+  for (PendingOp* op : snapshot) {
+    if (!op->linked || op->ghost) continue;
+    if (op->owner == peer) continue;
+    if (op->peer == peer) {
+      fail_op(op);
+      continue;
+    }
+    const auto member =
+        std::find(op->peer_set.begin(), op->peer_set.end(), peer);
+    if (member == op->peer_set.end()) continue;
+    op->peer_set.erase(member);
+    if (op->peer_set.empty()) fail_op(op);
+  }
+}
+
 void Net::add_ghost(ProcessId sender, ProcessId receiver,
                     const std::string& tag, std::type_index type,
                     Message value) {

@@ -204,6 +204,26 @@ class Net {
   /// namespace "<script>#<perf>/" in one sweep.
   void fail_tagged(const std::string& prefix);
 
+  /// Re-point every parked offer under `prefix` that names `old_peer`
+  /// (as sole partner or peer-set member) at `fresh` instead. Role
+  /// takeover (FailurePolicy::Replace) uses this so survivors parked on
+  /// the crashed incarnation's pid rendezvous with its replacement —
+  /// offers stay linked under their tag and owner, so no re-bucketing
+  /// is needed. Ghosts FROM the old pid are left alone (a dead sender's
+  /// in-flight duplicate never delivers anyway).
+  void rebind_peer(ProcessId old_peer, ProcessId fresh,
+                   const std::string& prefix);
+
+  /// Declare that `peer` will post no further offers under `prefix`:
+  /// every parked offer there naming it as sole partner fails, and it is
+  /// struck from peer sets (failing offers whose set empties out).
+  /// script::Instance retires a COMPLETED role's pid this way under the
+  /// Replace policy — a replacement incarnation may have re-posted an
+  /// exchange its predecessor already concluded, and without this the
+  /// orphaned offer would pend forever (the role's fiber is done, but
+  /// not Net-terminated until the performance releases it).
+  void retire_peer(ProcessId peer, const std::string& prefix);
+
   // ---- Introspection for tests and benches ----
 
   std::uint64_t rendezvous_count() const { return rendezvous_count_; }

@@ -36,6 +36,10 @@ bool LockTable::can_acquire(const std::string& item, LockMode mode,
 
 bool LockTable::acquire(const std::string& item, LockMode mode,
                         OwnerId owner) {
+  // With a clock installed, expired leases are reclaimed before the
+  // compatibility test: a crashed client's stale grant never blocks a
+  // live one past its lease.
+  if (clock_) reap_expired(clock_());
   if (!can_acquire(item, mode, owner)) return false;
   Entry& e = entries_[item];
   e.owners.insert(owner);
@@ -46,9 +50,48 @@ bool LockTable::acquire(const std::string& item, LockMode mode,
   return true;
 }
 
+bool LockTable::acquire_leased(const std::string& item, LockMode mode,
+                               OwnerId owner, std::uint64_t expires_at) {
+  if (!acquire(item, mode, owner)) return false;
+  entries_[item].leases[owner] = expires_at;  // fresh grant or renewal
+  return true;
+}
+
+std::size_t LockTable::reap_expired(std::uint64_t now) {
+  std::size_t reaped = 0;
+  const bool observed = bus_ != nullptr && bus_->wants(obs::Subsystem::Lock);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    for (auto lit = e.leases.begin(); lit != e.leases.end();) {
+      if (lit->second <= now) {
+        e.owners.erase(lit->first);
+        ++reaped;
+        if (observed)
+          publish("lock.lease_expired", it->first, e.mode, lit->first);
+        lit = e.leases.erase(lit);
+      } else {
+        ++lit;
+      }
+    }
+    if (e.owners.empty())
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+  leases_reaped_ += reaped;
+  return reaped;
+}
+
+std::size_t LockTable::leased_count() const {
+  std::size_t n = 0;
+  for (const auto& [item, e] : entries_) n += e.leases.size();
+  return n;
+}
+
 void LockTable::release(const std::string& item, OwnerId owner) {
   const auto it = entries_.find(item);
   if (it == entries_.end()) return;
+  it->second.leases.erase(owner);
   if (it->second.owners.erase(owner) > 0 && bus_ != nullptr &&
       bus_->wants(obs::Subsystem::Lock))
     publish("lock.release", item, it->second.mode, owner);
@@ -59,6 +102,7 @@ std::size_t LockTable::release_all(OwnerId owner) {
   std::size_t dropped = 0;
   const bool observed = bus_ != nullptr && bus_->wants(obs::Subsystem::Lock);
   for (auto it = entries_.begin(); it != entries_.end();) {
+    it->second.leases.erase(owner);
     if (it->second.owners.erase(owner) > 0) {
       ++dropped;
       if (observed)

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -31,6 +32,33 @@ class LockTable {
   /// Try to acquire; returns false (table unchanged) if incompatible.
   bool acquire(const std::string& item, LockMode mode, OwnerId owner);
 
+  // ---- Lease-based grants (docs/ROBUSTNESS.md "Recovery") ----
+  // A leased grant expires at `expires_at` (virtual time) unless
+  // released or re-acquired (renewal) first. Locks held by crashed
+  // clients are thereby reclaimed instead of leaking: a manager that
+  // lost its in-memory grant bookkeeping across a restart only needs
+  // the clock to keep the table safe. lockdb has no scheduler, so the
+  // owner wires a clock in (set_clock); with one installed, acquire()
+  // reaps expired grants before testing compatibility.
+
+  /// acquire() plus a lease. Re-acquisition by the same owner renews.
+  bool acquire_leased(const std::string& item, LockMode mode,
+                      OwnerId owner, std::uint64_t expires_at);
+
+  /// Drop every grant whose lease expired at or before `now`. Returns
+  /// how many grants were reclaimed (publishes lock.lease_expired).
+  std::size_t reap_expired(std::uint64_t now);
+
+  /// Virtual-time source for the automatic reap in acquire(). nullptr
+  /// (the default) disables automatic reaping.
+  void set_clock(std::function<std::uint64_t()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  std::uint64_t leases_reaped() const { return leases_reaped_; }
+  /// Outstanding leased grants (for leak assertions in tests).
+  std::size_t leased_count() const;
+
   /// Drop owner's lock on item. No-op if absent.
   void release(const std::string& item, OwnerId owner);
 
@@ -54,6 +82,8 @@ class LockTable {
   struct Entry {
     LockMode mode = LockMode::Shared;
     std::set<OwnerId> owners;
+    /// Expiry per leased owner; owners absent here hold forever.
+    std::map<OwnerId, std::uint64_t> leases;
   };
 
   void publish(const char* name, const std::string& item, LockMode mode,
@@ -62,6 +92,8 @@ class LockTable {
   std::map<std::string, Entry> entries_;
   std::uint64_t grants_ = 0;
   mutable std::uint64_t denials_ = 0;
+  std::uint64_t leases_reaped_ = 0;
+  std::function<std::uint64_t()> clock_;
   obs::EventBus* bus_ = nullptr;
 };
 

@@ -51,6 +51,7 @@ enum class Subsystem : std::uint8_t {
   User,       // application-defined events
   Fault,      // injected faults: crashes, stalls, message drop/dup/delay
   Causal,     // happens-before edges between fibers (flow.s / flow.f)
+  Recovery,   // supervisor restarts, role takeover, WAL replay, leases
   kCount,
 };
 

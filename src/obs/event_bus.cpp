@@ -18,6 +18,7 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::User: return "user";
     case Subsystem::Fault: return "fault";
     case Subsystem::Causal: return "causal";
+    case Subsystem::Recovery: return "recovery";
     case Subsystem::kCount: break;
   }
   return "unknown";

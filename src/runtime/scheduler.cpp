@@ -55,6 +55,17 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
       }
     }
   }
+  if (result.outcome != RunResult::Outcome::AllDone) {
+    const std::string sections = sched.report_sections();
+    if (!sections.empty()) {
+      // Indent each section line under the report body.
+      out += "\n  ";
+      for (const char c : sections) {
+        out += c;
+        if (c == '\n') out += "  ";
+      }
+    }
+  }
   return out;
 }
 
@@ -461,6 +472,34 @@ void Scheduler::remove_crash_hook(std::uint64_t id) {
       return;
     }
   }
+}
+
+std::uint64_t Scheduler::add_report_section(
+    std::function<std::string()> fn) {
+  const std::uint64_t id = next_report_section_id_++;
+  report_sections_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Scheduler::remove_report_section(std::uint64_t id) {
+  for (auto it = report_sections_.begin(); it != report_sections_.end();
+       ++it) {
+    if (it->first == id) {
+      report_sections_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string Scheduler::report_sections() const {
+  std::string out;
+  for (const auto& [id, fn] : report_sections_) {
+    std::string text = fn();
+    if (text.empty()) continue;
+    if (!out.empty()) out += "\n";
+    out += text;
+  }
+  return out;
 }
 
 bool Scheduler::fire_due_faults() {

@@ -183,6 +183,16 @@ class Scheduler {
   std::uint64_t add_crash_hook(std::function<void(ProcessId)> fn);
   void remove_crash_hook(std::uint64_t id);
 
+  /// Register a diagnostic section for describe()'s Deadlock/StepLimit
+  /// reports: the callback returns prose (possibly multi-line) or ""
+  /// when it has nothing to say. Supervisors and script instances
+  /// report restart counts / roles awaiting takeover through these, so
+  /// a stuck recovery is diagnosable from the report alone.
+  std::uint64_t add_report_section(std::function<std::string()> fn);
+  void remove_report_section(std::uint64_t id);
+  /// Concatenation of all non-empty sections ("" when silent).
+  std::string report_sections() const;
+
   /// Current timer-heap size, stale entries included. Tests assert it
   /// stays bounded under arm/early-wake churn (lazy purging).
   std::size_t timer_heap_size() const { return timers_.size(); }
@@ -315,6 +325,9 @@ class Scheduler {
   std::vector<std::pair<std::uint64_t, std::function<void(ProcessId)>>>
       crash_hooks_;
   std::uint64_t next_crash_hook_id_ = 1;
+  std::vector<std::pair<std::uint64_t, std::function<std::string()>>>
+      report_sections_;
+  std::uint64_t next_report_section_id_ = 1;
 };
 
 }  // namespace script::runtime

@@ -1,0 +1,33 @@
+#include "runtime/sim_log.hpp"
+
+namespace script::runtime {
+
+void SimLog::append(std::string key, std::string value) {
+  records_.push_back(SimLogRecord{std::move(key), std::move(value)});
+  store_->note_append(*this, records_.back());
+}
+
+std::optional<std::string> SimLog::last(const std::string& key) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (it->key == key) return it->value;
+  return std::nullopt;
+}
+
+SimLog& SimLogStore::open(const std::string& name) {
+  auto it = logs_.find(name);
+  if (it == logs_.end()) {
+    it = logs_.emplace(name, std::unique_ptr<SimLog>(new SimLog(this, name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void SimLogStore::note_append(const SimLog& log, const SimLogRecord& rec) {
+  ++total_appends_;
+  if (bus_ != nullptr && bus_->wants(obs::Subsystem::Recovery))
+    bus_->publish({obs::EventKind::Instant, obs::Subsystem::Recovery,
+                   obs::kAutoTime, obs::kNoPid, obs::kNoLane, "wal.append",
+                   log.name() + " " + rec.key + "=" + rec.value});
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,91 @@
+// SimLog — a simulated write-ahead log for recoverable services.
+//
+// The runtime has no real disk: persistence is modelled as a store
+// (SimLogStore) that OUTLIVES the fibers writing to it. A service
+// appends records before acting on them; after a crash, the
+// supervisor-restarted incarnation reopens the same named log and
+// replays what its predecessor managed to write — exactly the recovery
+// contract of a database WAL, minus the I/O. Everything is
+// deterministic (no wall clock, no randomness), so recovery schedules
+// replay byte-identically under explore_fault_schedules.
+//
+// Records are (key, value) string pairs. Services encode their own
+// protocol on top; the 2PC coordinator writes "decision.<txn>" =
+// "commit"/"abort" before telling any participant, making in-doubt
+// transactions resolvable by replay (docs/ROBUSTNESS.md "Recovery").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace script::runtime {
+
+struct SimLogRecord {
+  std::string key;
+  std::string value;
+};
+
+class SimLogStore;
+
+/// One named log. Append-only; records survive as long as the store.
+class SimLog {
+ public:
+  const std::string& name() const { return name_; }
+
+  /// Append a record. Durable immediately (the model has no buffer
+  /// cache — a record appended before a crash is always replayable).
+  void append(std::string key, std::string value);
+
+  /// The value of the LAST record with `key`, or nullopt. Recovery
+  /// protocols want last-writer-wins semantics.
+  std::optional<std::string> last(const std::string& key) const;
+
+  const std::vector<SimLogRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  friend class SimLogStore;
+  SimLog(SimLogStore* store, std::string name)
+      : store_(store), name_(std::move(name)) {}
+
+  SimLogStore* store_;
+  std::string name_;
+  std::vector<SimLogRecord> records_;
+};
+
+/// The "stable storage" holding every named log. Create it where it
+/// outlives the crashing fibers (the test/bench body, next to the
+/// Scheduler); a restarted service calls open() with the same name and
+/// finds its predecessor's records.
+class SimLogStore {
+ public:
+  /// Open `name`, creating it empty on first use. The reference stays
+  /// valid for the store's lifetime.
+  SimLog& open(const std::string& name);
+  bool exists(const std::string& name) const {
+    return logs_.count(name) > 0;
+  }
+
+  std::uint64_t total_appends() const { return total_appends_; }
+  std::size_t log_count() const { return logs_.size(); }
+
+  /// Publish wal.append events (Subsystem::Recovery) on `bus` so log
+  /// writes show up in traces. nullptr detaches.
+  void attach_bus(obs::EventBus* bus) { bus_ = bus; }
+
+ private:
+  friend class SimLog;
+  void note_append(const SimLog& log, const SimLogRecord& rec);
+
+  std::map<std::string, std::unique_ptr<SimLog>> logs_;
+  std::uint64_t total_appends_ = 0;
+  obs::EventBus* bus_ = nullptr;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,182 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+namespace {
+
+const char* state_name(Supervisor::ChildState s) {
+  switch (s) {
+    case Supervisor::ChildState::Running: return "running";
+    case Supervisor::ChildState::BackingOff: return "backing-off";
+    case Supervisor::ChildState::Failed: return "FAILED";
+    case Supervisor::ChildState::Done: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Supervisor::Supervisor(Scheduler& sched, std::string name)
+    : sched_(&sched), name_(std::move(name)) {
+  spawner_ = [this](std::string n, std::function<void()> body) {
+    return sched_->spawn(std::move(n), std::move(body));
+  };
+  crash_hook_id_ =
+      sched_->add_crash_hook([this](ProcessId pid) { on_crash(pid); });
+  report_section_id_ =
+      sched_->add_report_section([this] { return report(); });
+}
+
+Supervisor::~Supervisor() {
+  sched_->remove_report_section(report_section_id_);
+  sched_->remove_crash_hook(crash_hook_id_);
+}
+
+std::uint64_t Supervisor::supervise(ProcessId pid, std::string name,
+                                    Factory factory, ChildOptions opts) {
+  SCRIPT_ASSERT(factory != nullptr, "supervised child needs a factory");
+  const std::uint64_t id = next_child_id_++;
+  Child c;
+  c.id = id;
+  c.name = std::move(name);
+  c.factory = std::move(factory);
+  c.opts = opts;
+  c.pid = pid;
+  children_.emplace(id, std::move(c));
+  by_pid_[pid] = id;
+  return id;
+}
+
+void Supervisor::forget(std::uint64_t child) {
+  const auto it = children_.find(child);
+  if (it == children_.end()) return;
+  by_pid_.erase(it->second.pid);
+  it->second.state = ChildState::Done;
+}
+
+void Supervisor::on_crash(ProcessId pid) {
+  const auto by = by_pid_.find(pid);
+  if (by == by_pid_.end()) return;
+  Child& c = children_.at(by->second);
+  by_pid_.erase(by);
+  if (c.state != ChildState::Running) return;
+
+  if (c.opts.policy == RestartPolicy::Escalate) {
+    give_up(c, "policy escalates");
+    return;
+  }
+  // Restart intensity: crashes inside the sliding window, this one
+  // included. Exceeding max_restarts means the child is not recovering
+  // — restarting it forever would just mask the fault.
+  const std::uint64_t now = sched_->now();
+  std::vector<std::uint64_t> recent;
+  for (const std::uint64_t t : c.crash_times)
+    if (t + c.opts.restart_window > now) recent.push_back(t);
+  recent.push_back(now);
+  c.crash_times = std::move(recent);
+  if (c.crash_times.size() > c.opts.max_restarts) {
+    give_up(c, "restart intensity exceeded");
+    return;
+  }
+  restart_later(c, pid);
+}
+
+void Supervisor::restart_later(Child& child, ProcessId crashed) {
+  // Capped exponential backoff keyed to the crash count in the current
+  // window (a child that was healthy for a full window starts over at
+  // the initial backoff). Loop multiplication, not pow(): bit-exact on
+  // every libm, so recovery schedules replay byte-identically.
+  double b = static_cast<double>(child.opts.backoff_initial);
+  for (std::size_t k = 1; k < child.crash_times.size(); ++k)
+    b *= child.opts.backoff_factor;
+  const auto backoff = std::min(
+      child.opts.backoff_max,
+      static_cast<std::uint64_t>(b));
+  child.state = ChildState::BackingOff;
+  child.last_backoff = backoff;
+  publish("supervisor.backoff", child.name, crashed,
+          static_cast<double>(backoff));
+
+  // The restart agent is a throwaway fiber: it makes virtual time
+  // advance to the restart instant even when everything else is parked
+  // waiting for the child to come back.
+  const std::uint64_t id = child.id;
+  sched_->spawn(child.name + ".restart", [this, id, crashed, backoff] {
+    sched_->sleep_for(backoff);
+    const auto it = children_.find(id);
+    if (it == children_.end()) return;
+    Child& c = it->second;
+    if (c.state != ChildState::BackingOff) return;  // forgotten meanwhile
+    const ProcessId fresh =
+        spawner_(c.name + "#" + std::to_string(c.restarts + 1),
+                 c.factory());
+    c.pid = fresh;
+    c.state = ChildState::Running;
+    ++c.restarts;
+    ++total_restarts_;
+    by_pid_[fresh] = id;
+    publish("supervisor.restart", c.name, fresh,
+            static_cast<double>(c.restarts));
+    // The new incarnation causally follows the crashed one: recovery
+    // shows up as a happens-before arrow across the restart.
+    sched_->causal_edge(crashed, fresh, "restart");
+    for (const auto& fn : restart_callbacks_) fn(id, crashed, fresh);
+  });
+}
+
+void Supervisor::give_up(Child& child, const char* why) {
+  child.state = ChildState::Failed;
+  ++gave_up_;
+  publish("supervisor.give_up", child.name + ": " + why, child.pid,
+          static_cast<double>(child.restarts));
+}
+
+void Supervisor::publish(const char* name, std::string detail,
+                         ProcessId pid, double value) {
+  obs::EventBus& bus = sched_->bus();
+  if (!bus.wants(obs::Subsystem::Recovery)) return;
+  bus.publish({obs::EventKind::Instant, obs::Subsystem::Recovery,
+               obs::kAutoTime, static_cast<obs::Pid>(pid), lane(), name,
+               std::move(detail), value});
+}
+
+std::int32_t Supervisor::lane() {
+  if (obs_lane_ == obs::kNoLane)
+    obs_lane_ = sched_->bus().add_lane(name_);
+  return obs_lane_;
+}
+
+Supervisor::ChildState Supervisor::state(std::uint64_t child) const {
+  return children_.at(child).state;
+}
+
+ProcessId Supervisor::pid_of(std::uint64_t child) const {
+  return children_.at(child).pid;
+}
+
+std::uint64_t Supervisor::restarts(std::uint64_t child) const {
+  return children_.at(child).restarts;
+}
+
+std::uint64_t Supervisor::last_backoff(std::uint64_t child) const {
+  return children_.at(child).last_backoff;
+}
+
+std::string Supervisor::report() const {
+  std::string out;
+  for (const auto& [id, c] : children_) {
+    if (c.state == ChildState::Running && c.restarts == 0) continue;
+    if (c.state == ChildState::Done) continue;
+    if (!out.empty()) out += "\n";
+    out += name_ + ": child " + c.name + " [" + state_name(c.state) +
+           "] restarts=" + std::to_string(c.restarts) +
+           " last_backoff=" + std::to_string(c.last_backoff);
+  }
+  return out;
+}
+
+}  // namespace script::runtime

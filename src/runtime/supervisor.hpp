@@ -1,0 +1,140 @@
+// Supervisor — actor-style supervised restart over the fiber runtime.
+//
+// Register a fiber with a body factory and a restart policy; when the
+// fiber crashes (FaultPlan kill or an escaped exception turned into a
+// crash), the supervisor waits out a capped exponential backoff on the
+// VIRTUAL clock, then respawns the body as a fresh fiber. Restart
+// intensity is bounded: more than `max_restarts` crashes inside
+// `restart_window` ticks escalates to permanent failure (the child
+// stays down and the report section says why). Everything is driven
+// off the scheduler's crash hooks, so supervision composes with
+// deterministic fault injection: a given FaultPlan yields the same
+// restart schedule on every run.
+//
+// Observability: restarts publish typed Recovery events on the
+// scheduler's bus (their own "supervisor" lane in Perfetto exports) and
+// a causal restart edge old_pid -> new_pid, so traces show recovery as
+// a happens-before arrow across incarnations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace script::runtime {
+
+/// What to do when a supervised child crashes.
+enum class RestartPolicy : std::uint8_t {
+  OneForOne,  // restart just this child (after backoff)
+  Escalate,   // do not restart: mark the child permanently failed
+};
+
+struct ChildOptions {
+  RestartPolicy policy = RestartPolicy::OneForOne;
+  /// Backoff before restart attempt k (1-based) is
+  /// min(backoff_initial * backoff_factor^(k-1), backoff_max) ticks.
+  std::uint64_t backoff_initial = 1;
+  double backoff_factor = 2.0;
+  std::uint64_t backoff_max = 64;
+  /// More than `max_restarts` crashes within `restart_window` ticks
+  /// escalate to permanent failure (Erlang's restart intensity).
+  std::size_t max_restarts = 5;
+  std::uint64_t restart_window = 1000;
+};
+
+class Supervisor {
+ public:
+  /// A child's body per incarnation. The factory runs once per restart
+  /// (fresh captures = fresh state); its result is the fiber body.
+  using Factory = std::function<std::function<void()>()>;
+  /// How fibers are created. Defaults to Scheduler::spawn; programs on
+  /// a csp::Net pass net.spawn_process so replacement incarnations are
+  /// registered with the Net (termination detection).
+  using Spawner =
+      std::function<ProcessId(std::string, std::function<void()>)>;
+
+  enum class ChildState : std::uint8_t {
+    Running,
+    BackingOff,  // crashed; restart agent sleeping out the backoff
+    Failed,      // escalated / intensity exceeded: stays down
+    Done,        // detached (forget()) — no longer watched
+  };
+
+  explicit Supervisor(Scheduler& sched, std::string name = "supervisor");
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// All children are (re)spawned through `s` instead of
+  /// Scheduler::spawn. Set before the first crash.
+  void set_spawner(Spawner s) { spawner_ = std::move(s); }
+
+  /// Watch `pid` (already spawned, its body made by `factory`). On
+  /// crash the factory's product is respawned as "<name>#<attempt>".
+  /// Returns a child id for the introspection calls below.
+  std::uint64_t supervise(ProcessId pid, std::string name, Factory factory,
+                          ChildOptions opts = {});
+
+  /// Stop watching a child (e.g. it completed its mission).
+  void forget(std::uint64_t child);
+
+  /// Called after every successful restart with (child, old, fresh).
+  void on_restart(
+      std::function<void(std::uint64_t, ProcessId, ProcessId)> fn) {
+    restart_callbacks_.push_back(std::move(fn));
+  }
+
+  // ---- Introspection ----
+  ChildState state(std::uint64_t child) const;
+  /// Current incarnation's pid (the crashed one while backing off).
+  ProcessId pid_of(std::uint64_t child) const;
+  std::uint64_t restarts(std::uint64_t child) const;
+  std::uint64_t last_backoff(std::uint64_t child) const;
+  std::uint64_t total_restarts() const { return total_restarts_; }
+  std::uint64_t gave_up_count() const { return gave_up_; }
+
+  /// The deadlock-report section text (also registered with the
+  /// scheduler automatically): one line per non-Running child.
+  std::string report() const;
+
+ private:
+  struct Child {
+    std::uint64_t id = 0;
+    std::string name;
+    Factory factory;
+    ChildOptions opts;
+    ProcessId pid = kNoProcess;
+    ChildState state = ChildState::Running;
+    std::uint64_t restarts = 0;       // successful respawns, ever
+    std::uint64_t last_backoff = 0;   // ticks slept before the last one
+    std::vector<std::uint64_t> crash_times;  // within the current window
+  };
+
+  void on_crash(ProcessId pid);
+  void restart_later(Child& child, ProcessId crashed);
+  void give_up(Child& child, const char* why);
+  void publish(const char* name, std::string detail, ProcessId pid,
+               double value = 0);
+  std::int32_t lane();
+
+  Scheduler* sched_;
+  std::string name_;
+  Spawner spawner_;
+  std::map<std::uint64_t, Child> children_;
+  std::map<ProcessId, std::uint64_t> by_pid_;
+  std::vector<std::function<void(std::uint64_t, ProcessId, ProcessId)>>
+      restart_callbacks_;
+  std::uint64_t next_child_id_ = 1;
+  std::uint64_t total_restarts_ = 0;
+  std::uint64_t gave_up_ = 0;
+  std::uint64_t crash_hook_id_ = 0;
+  std::uint64_t report_section_id_ = 0;
+  std::int32_t obs_lane_ = obs::kNoLane;
+};
+
+}  // namespace script::runtime

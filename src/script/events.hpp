@@ -20,6 +20,9 @@ struct ScriptEvent {
     PerformanceEnded,   // pid is kNoProcess
     RoleCrashed,        // the enrolled process died mid-performance
     PerformanceAborted, // a crash voided the performance (pid kNoProcess)
+    TakeoverBegan,      // Replace: role awaits a replacement (pid = dead)
+    RoleTakenOver,      // a replacement was admitted (pid = replacement)
+    TakeoverFailed,     // deadline expired; fell back to Abort/Degrade
   };
 
   Kind kind;

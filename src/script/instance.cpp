@@ -20,6 +20,8 @@ ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec,
   // rendezvous), so the instance sees consistent state.
   crash_hook_id_ = scheduler().add_crash_hook(
       [this](ProcessId pid) { on_process_crashed(pid); });
+  report_section_id_ =
+      scheduler().add_report_section([this] { return report(); });
 }
 
 ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
@@ -28,7 +30,22 @@ ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
 }
 
 ScriptInstance::~ScriptInstance() {
+  scheduler().remove_report_section(report_section_id_);
   scheduler().remove_crash_hook(crash_hook_id_);
+}
+
+std::string ScriptInstance::report() const {
+  if (active_ == nullptr || active_->done) return "";
+  const Performance& p = *active_;
+  if (p.awaiting_takeover.empty() && !p.aborted) return "";
+  std::string out = "script " + name_ + " perf#" + std::to_string(p.number);
+  if (p.aborted) out += " (aborted, winding down)";
+  for (const auto& [r, st] : p.awaiting_takeover)
+    out += "\n  awaiting takeover of " + r.str() + " (was " +
+           sched_->name_of(st.old_pid) + ", deadline t=" +
+           std::to_string(st.deadline) + ")";
+  out += "\n  queued requests: " + std::to_string(queue_.size());
+  return out;
 }
 
 void ScriptInstance::enqueue(Request& req) {
@@ -187,6 +204,24 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   return run_admitted(req, params);
 }
 
+EnrollResult ScriptInstance::enroll_with_retry(const RoleId& role,
+                                               const PartnerSpec& partners,
+                                               Params params,
+                                               RetryOptions retry) {
+  SCRIPT_ASSERT(retry.max_attempts > 0, "enroll_with_retry needs attempts");
+  std::uint64_t backoff = retry.backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    Params copy = params;  // each attempt gets pristine parameters
+    EnrollResult r = enroll(role, partners, std::move(copy));
+    if (!r.aborted || attempt >= retry.max_attempts) return r;
+    scheduler().sleep_for(std::max<std::uint64_t>(r.retry_after, backoff));
+    backoff = std::min<std::uint64_t>(
+        retry.max_backoff,
+        static_cast<std::uint64_t>(static_cast<double>(backoff) *
+                                   retry.factor));
+  }
+}
+
 EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   runtime::Scheduler& sched = scheduler();
   // Admitted: this fiber now IS the role (logical continuation).
@@ -195,7 +230,17 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   publish(obs::EventKind::SpanBegin, req.pid, "role", req.assigned.str(),
           static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::RoleBegan, req.pid, req.assigned, perf.number);
-  RoleContext ctx(this, &perf, req.assigned, &params);
+  Params* effective = &params;
+  if (spec_.failure_policy() == FailurePolicy::Replace) {
+    // Keep the role's parameters off the enroller's stack so a crash
+    // (which unwinds that stack) cannot dangle them; a replacement then
+    // inherits the previous incarnation's values (writers dropped by
+    // begin_takeover, so nothing writes into the dead frame).
+    if (req.resumed) params.adopt_missing(perf.params_store[req.assigned]);
+    perf.params_store[req.assigned] = std::move(params);
+    effective = &perf.params_store[req.assigned];
+  }
+  RoleContext ctx(this, &perf, req.assigned, effective, req.resumed);
   bool unwound = false;
   try {
     bodies_.at(req.assigned.name)(ctx);
@@ -232,16 +277,22 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   publish(obs::EventKind::Instant, req.pid, "release", "",
           static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::Released, req.pid, req.assigned, perf.number);
-  return EnrollResult{perf.number, req.assigned, unwound || perf.aborted};
+  EnrollResult result{perf.number, req.assigned, unwound || perf.aborted};
+  result.resumed = req.resumed;
+  if (result.aborted) result.retry_after = 1;  // next generation can form
+  return result;
 }
 
 void ScriptInstance::try_advance() {
   if (active_ != nullptr && !active_->done) {
     // No admissions into a performance that is winding down after an
     // abort; new requests queue for the next generation.
-    if (!active_->aborted && spec_.initiation() == Initiation::Immediate) {
-      admission_pass();
-      after_state_change();
+    if (!active_->aborted) {
+      takeover_pass();  // no-op unless roles await replacement
+      if (spec_.initiation() == Initiation::Immediate) {
+        admission_pass();
+        after_state_change();
+      }
     }
     return;
   }
@@ -402,6 +453,9 @@ bool ScriptInstance::performance_can_end() const {
 void ScriptInstance::finish_performance() {
   Performance& p = *active_;
   p.done = true;
+  // Stored parameters outlive their enrollers' frames; make sure no
+  // writer can fire into a popped stack after the performance ends.
+  for (auto& [r, stored] : p.params_store) stored.drop_writers();
   if (!p.aborted) ++completed_perfs_;
   publish(obs::EventKind::SpanEnd, kNoProcess, "performance",
           p.aborted ? "(aborted)" : "", static_cast<double>(p.number));
@@ -425,7 +479,15 @@ void ScriptInstance::finish_performance() {
 void ScriptInstance::role_done(const RoleId& r) {
   SCRIPT_ASSERT(active_ != nullptr && active_->state.is_bound(r),
                 "role_done for unbound role " + r.str());
+  const ProcessId pid = active_->state.bindings.find(r)->second;
   active_->completed.insert(r);
+  if (spec_.failure_policy() == FailurePolicy::Replace) {
+    // A replacement incarnation may have re-posted an exchange this role
+    // already concluded with its predecessor; the done role will never
+    // answer, so retire its pid from the performance's namespace.
+    net_->retire_peer(pid,
+                      name_ + "#" + std::to_string(active_->number) + "/");
+  }
   notify_state_change();
   after_state_change();
 }
@@ -441,11 +503,24 @@ void ScriptInstance::on_process_crashed(ProcessId pid) {
 
 void ScriptInstance::handle_role_crash(Performance& perf, const RoleId& r,
                                        ProcessId pid) {
-  perf.failed.insert(r);
+  const bool takeover = spec_.failure_policy() == FailurePolicy::Replace &&
+                        spec_.takeover_allowed(r) && !perf.aborted &&
+                        &perf == active_.get();
+  if (!takeover) perf.failed.insert(r);
   publish(obs::EventKind::Instant, pid, "role.crashed", r.str(),
           static_cast<double>(perf.number));
   emit(ScriptEvent::Kind::RoleCrashed, pid, r, perf.number);
-  if (!perf.aborted && spec_.failure_policy() == FailurePolicy::Abort)
+  if (takeover) {
+    begin_takeover(perf, r, pid);
+    return;
+  }
+  // A Replace script whose crashed role is not replaceable skips the
+  // window and applies the fallback policy directly.
+  const FailurePolicy effective =
+      spec_.failure_policy() == FailurePolicy::Replace
+          ? spec_.takeover_fallback()
+          : spec_.failure_policy();
+  if (!perf.aborted && effective == FailurePolicy::Abort)
     abort_performance(perf);
   notify_state_change();
   if (&perf == active_.get()) after_state_change();
@@ -454,6 +529,7 @@ void ScriptInstance::handle_role_crash(Performance& perf, const RoleId& r,
 void ScriptInstance::abort_performance(Performance& perf) {
   perf.aborted = true;
   ++aborted_perfs_;
+  cancel_takeovers(perf);
   if (!perf.critical_hit) {
     // The cast will never complete: stop waiting for more enrollees.
     perf.critical_hit = true;
@@ -475,6 +551,172 @@ void ScriptInstance::mark_role_unwound(Performance& perf, const RoleId& r) {
   perf.failed.insert(r);
   notify_state_change();
   if (&perf == active_.get()) after_state_change();
+}
+
+// ---- Role takeover (FailurePolicy::Replace) ----
+
+void ScriptInstance::begin_takeover(Performance& perf, const RoleId& r,
+                                    ProcessId pid) {
+  const std::uint64_t deadline = sched_->now() + spec_.takeover_deadline();
+  perf.awaiting_takeover[r] = TakeoverState{pid, deadline, kNoProcess};
+  // The crashed incarnation's out-writers point into its unwound stack;
+  // the stored values survive for the replacement, the writers must not.
+  const auto stored = perf.params_store.find(r);
+  if (stored != perf.params_store.end()) stored->second.drop_writers();
+  publish(obs::EventKind::Instant, pid, "takeover.begin", r.str(),
+          static_cast<double>(perf.number));
+  publish_recovery("takeover.begin", pid,
+                   name_ + " " + r.str() + " deadline=" +
+                       std::to_string(deadline));
+  emit(ScriptEvent::Kind::TakeoverBegan, pid, r, perf.number);
+  // A deadline watcher keeps virtual time moving even when every
+  // survivor is parked on the awaiting role, and bounds the window.
+  Performance* p = &perf;  // stable: performances live in unique_ptrs
+  sched_->spawn(name_ + ".takeover." + r.str(), [this, p, r] {
+    for (;;) {
+      if (p->done) return;
+      const auto it = p->awaiting_takeover.find(r);
+      if (it == p->awaiting_takeover.end()) return;  // resolved
+      const std::uint64_t now = sched_->now();
+      if (it->second.deadline <= now) {
+        takeover_timeout(*p, r);
+        return;
+      }
+      it->second.watcher = sched_->current();
+      (void)sched_->block_with_timeout(
+          "takeover window for " + r.str() + " in " + name_,
+          it->second.deadline - now);
+    }
+  });
+  notify_state_change();
+  takeover_pass();  // a queued request may already fit the role
+}
+
+void ScriptInstance::takeover_pass() {
+  if (active_ == nullptr || active_->done || active_->aborted) return;
+  Performance& perf = *active_;
+  if (perf.awaiting_takeover.empty() || queue_.empty()) return;
+  std::vector<RoleId> waiting;
+  waiting.reserve(perf.awaiting_takeover.size());
+  for (const auto& [r, st] : perf.awaiting_takeover) waiting.push_back(r);
+  std::vector<Request*> admitted;
+  for (const RoleId& r : waiting) {
+    if (queued_by_role_.find(r.name) == queued_by_role_.end()) continue;
+    // First compatible queued request takes over (FIFO — deterministic).
+    for (Request* q : queue_) {
+      if (q->admitted) continue;  // claimed by an earlier role this pass
+      if (!takeover_compatible(perf, r, *q)) continue;
+      complete_takeover(perf, r, *q);
+      admitted.push_back(q);
+      break;
+    }
+  }
+  for (Request* q : admitted) {
+    dequeue(*q);
+    if (sched_->state_of(q->pid) == runtime::FiberState::Blocked)
+      sched_->unblock(q->pid);
+  }
+  if (!admitted.empty()) notify_state_change();
+}
+
+bool ScriptInstance::takeover_compatible(const Performance& perf,
+                                         const RoleId& r,
+                                         const Request& req) const {
+  if (req.requested.is_any_index()) {
+    if (req.requested.name != r.name) return false;
+  } else if (req.requested != r) {
+    return false;
+  }
+  // Existing members' accumulated partner constraints on this role.
+  if (!perf.state.permits(r, req.pid)) return false;
+  // The newcomer's own constraints against what is already bound. (They
+  // are checked, not persisted: roles bound after the takeover are not
+  // re-restricted by a replacement's WITH clause.)
+  if (req.partners != nullptr) {
+    for (const auto& [role_id, pids] : req.partners->constraints()) {
+      if (role_id == r) continue;
+      const auto b = perf.state.bindings.find(role_id);
+      if (b == perf.state.bindings.end()) continue;  // unbound: vacuous
+      if (std::find(pids.begin(), pids.end(), b->second) == pids.end())
+        return false;
+    }
+  }
+  return true;
+}
+
+void ScriptInstance::complete_takeover(Performance& perf, const RoleId& r,
+                                       Request& req) {
+  const auto it = perf.awaiting_takeover.find(r);
+  SCRIPT_ASSERT(it != perf.awaiting_takeover.end(),
+                "takeover completion for a role not awaiting one");
+  const ProcessId old_pid = it->second.old_pid;
+  const ProcessId watcher = it->second.watcher;
+  perf.awaiting_takeover.erase(it);
+  // Rebind IN PLACE: the monotone match-state counters (bound_by_name,
+  // critical fills) describe the role, not the process, and stay valid.
+  perf.state.bindings[r] = req.pid;
+  req.admitted = true;
+  req.resumed = true;
+  req.assigned = r;
+  req.perf = &perf;
+  ++takeovers_completed_;
+  ++perf.incarnations[r];
+  // Survivors parked in a rendezvous addressed at the dead process are
+  // repointed at the replacement — their posted ops complete normally.
+  net_->rebind_peer(old_pid, req.pid,
+                    name_ + "#" + std::to_string(perf.number) + "/");
+  sched_->causal_edge(old_pid, req.pid, "takeover");
+  publish(obs::EventKind::Instant, req.pid, "takeover.complete", r.str(),
+          static_cast<double>(perf.number));
+  publish_recovery("takeover.complete", req.pid,
+                   name_ + " " + r.str() + " from " +
+                       sched_->name_of(old_pid));
+  emit(ScriptEvent::Kind::RoleTakenOver, req.pid, r, perf.number);
+  if (watcher != kNoProcess &&
+      sched_->state_of(watcher) == runtime::FiberState::Blocked)
+    sched_->unblock(watcher);
+}
+
+void ScriptInstance::takeover_timeout(Performance& perf, const RoleId& r) {
+  const auto it = perf.awaiting_takeover.find(r);
+  if (it == perf.awaiting_takeover.end() || perf.done) return;
+  const ProcessId old_pid = it->second.old_pid;
+  perf.awaiting_takeover.erase(it);
+  perf.failed.insert(r);
+  ++takeovers_failed_;
+  publish(obs::EventKind::Instant, old_pid, "takeover.timeout", r.str(),
+          static_cast<double>(perf.number));
+  publish_recovery("takeover.timeout", old_pid, name_ + " " + r.str());
+  emit(ScriptEvent::Kind::TakeoverFailed, old_pid, r, perf.number);
+  if (!perf.aborted && spec_.takeover_fallback() == FailurePolicy::Abort)
+    abort_performance(perf);
+  notify_state_change();
+  if (&perf == active_.get()) after_state_change();
+}
+
+void ScriptInstance::cancel_takeovers(Performance& perf) {
+  while (!perf.awaiting_takeover.empty()) {
+    const auto it = perf.awaiting_takeover.begin();
+    const RoleId r = it->first;
+    const ProcessId old_pid = it->second.old_pid;
+    const ProcessId watcher = it->second.watcher;
+    perf.awaiting_takeover.erase(it);
+    perf.failed.insert(r);
+    ++takeovers_failed_;
+    emit(ScriptEvent::Kind::TakeoverFailed, old_pid, r, perf.number);
+    if (watcher != kNoProcess &&
+        sched_->state_of(watcher) == runtime::FiberState::Blocked)
+      sched_->unblock(watcher);
+  }
+}
+
+void ScriptInstance::publish_recovery(const char* name, ProcessId pid,
+                                      std::string detail, double value) {
+  obs::EventBus& bus = scheduler().bus();
+  if (!bus.wants(obs::Subsystem::Recovery)) return;
+  bus.publish({obs::EventKind::Instant, obs::Subsystem::Recovery,
+               obs::kAutoTime, static_cast<obs::Pid>(pid), obs_lane(), name,
+               std::move(detail), value});
 }
 
 void ScriptInstance::wait_state_change(const std::string& why) {
@@ -566,12 +808,36 @@ RoleResult<ProcessId> RoleContext::await_role(const RoleId& r) {
     if (perf_->completed.count(r) || perf_->out.count(r) ||
         perf_->failed.count(r))
       return support::make_unexpected(RoleCommError::Unavailable);
+    if (perf_->awaiting_takeover.count(r)) {
+      // Bound to a dead process until a replacement rebinds it; park
+      // rather than hand out the stale pid.
+      inst_->wait_state_change("role " + self_.str() +
+                               " awaiting takeover of " + r.str() + " in " +
+                               inst_->name_);
+      continue;
+    }
     const auto it = perf_->state.bindings.find(r);
     if (it != perf_->state.bindings.end()) return it->second;
     if (perf_->done)
       return support::make_unexpected(RoleCommError::Unavailable);
     inst_->wait_state_change("role " + self_.str() + " awaiting partner " +
                              r.str() + " in " + inst_->name_);
+  }
+}
+
+bool RoleContext::await_takeover(const RoleId& r) {
+  for (;;) {
+    // "Gone for good" outranks the abort: when the fallback policy voids
+    // the performance, the caller still learns the takeover failed and
+    // can clean up; the abort surfaces at its next communication.
+    if (perf_->completed.count(r) || perf_->out.count(r) ||
+        perf_->failed.count(r))
+      return false;
+    check_abort();
+    if (!perf_->awaiting_takeover.count(r)) return true;
+    inst_->wait_state_change("role " + self_.str() +
+                             " awaiting takeover of " + r.str() + " in " +
+                             inst_->name_);
   }
 }
 

@@ -66,6 +66,20 @@ struct EnrollResult {
   std::uint64_t performance = 0;
   RoleId played;  // concrete role (index resolved for families)
   bool aborted = false;  // a partner crashed and the performance was voided
+  /// This enrollment refilled a crashed role mid-performance
+  /// (FailurePolicy::Replace); the body saw ctx.resumed() == true.
+  bool resumed = false;
+  /// Hint for retry loops: how many virtual ticks to wait before
+  /// re-enrolling makes sense (0 when there is nothing to wait out).
+  std::uint64_t retry_after = 0;
+};
+
+/// Backoff schedule for ScriptInstance::enroll_with_retry.
+struct RetryOptions {
+  std::size_t max_attempts = 4;
+  std::uint64_t backoff = 8;  // ticks before the second attempt
+  double factor = 2.0;
+  std::uint64_t max_backoff = 256;
 };
 
 class ScriptInstance {
@@ -111,6 +125,16 @@ class ScriptInstance {
                                          const PartnerSpec& partners = {},
                                          Params params = {});
 
+  /// enroll() with bounded-backoff retry on `aborted` results, so a
+  /// client racing an aborting performance doesn't hand-roll the loop.
+  /// Each attempt enrolls with a fresh copy of `params`; between
+  /// attempts the fiber sleeps max(retry_after hint, current backoff).
+  /// Returns the last attempt's result (possibly still aborted).
+  EnrollResult enroll_with_retry(const RoleId& role,
+                                 const PartnerSpec& partners = {},
+                                 Params params = {},
+                                 RetryOptions retry = {});
+
   /// Register an observer for structured lifecycle events (metrics,
   /// runtime verification). Observers run synchronously at the event
   /// site and must not block.
@@ -131,6 +155,13 @@ class ScriptInstance {
   std::uint64_t matcher_index_hits() const { return matcher_index_hits_; }
   /// How often the matcher actually ran (formation or admission pass).
   std::uint64_t matcher_runs() const { return matcher_runs_; }
+  /// Role takeovers (FailurePolicy::Replace) completed / fallen back.
+  std::uint64_t takeovers_completed() const { return takeovers_completed_; }
+  std::uint64_t takeovers_failed() const { return takeovers_failed_; }
+  /// Diagnostic line(s) for deadlock reports: aborted state and roles
+  /// awaiting takeover of the active performance; "" when unremarkable.
+  /// Registered with the scheduler's report sections automatically.
+  std::string report() const;
   /// Cached at construction rather than read through net_: the
   /// scheduler is the root object here (the Net holds a reference to
   /// it), so the destructor can deregister its crash hook even when the
@@ -147,6 +178,13 @@ class ScriptInstance {
  private:
   friend class RoleContext;
 
+  /// A crashed role waiting for a replacement (FailurePolicy::Replace).
+  struct TakeoverState {
+    ProcessId old_pid = kNoProcess;
+    std::uint64_t deadline = 0;       // virtual time of fallback
+    ProcessId watcher = kNoProcess;   // deadline-watcher fiber, once parked
+  };
+
   struct Performance {
     std::uint64_t number = 0;
     bool done = false;
@@ -156,6 +194,18 @@ class ScriptInstance {
     std::set<RoleId> failed;     // roles whose process crashed / unwound
     bool critical_hit = false;   // outs have been marked
     bool aborted = false;        // a crash voided this performance
+    /// Replace policy: crashed roles whose takeover window is open.
+    /// Such a role is neither failed nor usable — bindings still hold
+    /// the dead pid until a replacement rebinds it.
+    std::map<RoleId, TakeoverState> awaiting_takeover;
+    /// Replace policy: each role's data parameters, moved off the
+    /// enroller's stack so they survive its crash. A replacement
+    /// adopts the previous incarnation's values (writers dropped).
+    std::map<RoleId, Params> params_store;
+    /// Replace policy: how many takeovers each role has been through
+    /// (absent = 0, the original cast). Partners compare this across
+    /// an exchange to learn they now face a different incarnation.
+    std::map<RoleId, std::uint64_t> incarnations;
     std::map<RoleId, ProcessId>::const_iterator find_role(ProcessId) const;
   };
 
@@ -167,6 +217,7 @@ class ScriptInstance {
     RoleId assigned;
     Performance* perf = nullptr;  // set at admission
     bool queued = false;
+    bool resumed = false;  // admitted as a takeover replacement
     std::list<Request*>::iterator queue_pos;  // valid while queued
   };
 
@@ -207,6 +258,29 @@ class ScriptInstance {
   /// failed (not completed) so the performance can still end.
   void mark_role_unwound(Performance& perf, const RoleId& r);
 
+  // ---- Role takeover (FailurePolicy::Replace, docs/SEMANTICS.md §10) ----
+  /// Open a takeover window for a crashed role: park survivors, start a
+  /// deadline watcher, and try the queue for an immediate replacement.
+  void begin_takeover(Performance& perf, const RoleId& r, ProcessId pid);
+  /// Match queued requests against roles awaiting takeover (FIFO).
+  void takeover_pass();
+  /// May `req` refill awaiting role `r` without violating the existing
+  /// members' partner constraints or the request's own?
+  bool takeover_compatible(const Performance& perf, const RoleId& r,
+                           const Request& req) const;
+  /// Rebind `r` to req.pid in place (monotone match-state preserved),
+  /// repoint parked rendezvous at the replacement, record causality.
+  void complete_takeover(Performance& perf, const RoleId& r, Request& req);
+  /// Deadline expired with no replacement: the role is failed after all;
+  /// apply the spec's takeover fallback (Abort or Degrade).
+  void takeover_timeout(Performance& perf, const RoleId& r);
+  /// Abort while windows are open: awaiting roles become failed, their
+  /// watchers are released.
+  void cancel_takeovers(Performance& perf);
+  /// Publish on the Recovery subsystem (takeover milestones).
+  void publish_recovery(const char* name, ProcessId pid, std::string detail,
+                        double value = 0);
+
   /// Block the calling fiber until the instance's state changes
   /// (binding, out, completion, performance end).
   void wait_state_change(const std::string& why);
@@ -240,6 +314,9 @@ class ScriptInstance {
   std::uint64_t completed_perfs_ = 0;
   std::uint64_t aborted_perfs_ = 0;
   std::uint64_t crash_hook_id_ = 0;
+  std::uint64_t report_section_id_ = 0;
+  std::uint64_t takeovers_completed_ = 0;
+  std::uint64_t takeovers_failed_ = 0;
   std::vector<ProcessId> end_waiters_;    // delayed-termination holdees
   std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
   std::vector<std::function<void(const ScriptEvent&)>> observers_;
@@ -281,6 +358,27 @@ class RoleContext {
   /// True once a partner's crash voided the performance (Abort policy).
   /// Communication calls made after this point throw PerformanceAborted.
   bool aborted() const { return perf_->aborted; }
+  /// True when this body refilled a crashed role (Replace policy): the
+  /// previous incarnation may have already exchanged messages and
+  /// updated parameters — resync the protocol instead of starting over.
+  bool resumed() const { return resumed_; }
+  /// True while role `r` has crashed and awaits a replacement.
+  bool takeover_pending(const RoleId& r) const {
+    return perf_->awaiting_takeover.count(r) > 0;
+  }
+  /// How many takeovers role `r` has been through in this performance
+  /// (0 = original cast). Reading it before and after an exchange
+  /// tells a partner whether it now faces a different incarnation.
+  std::uint64_t incarnation(const RoleId& r) const {
+    const auto it = perf_->incarnations.find(r);
+    return it == perf_->incarnations.end() ? 0 : it->second;
+  }
+  /// Park until role `r`'s takeover window resolves. Returns true when
+  /// the role is (again) played by a live process — retry the failed
+  /// exchange; false when it is gone for good (failed/out/completed).
+  /// Returns true immediately if no window is open. Throws
+  /// PerformanceAborted if the fallback voided the performance.
+  bool await_takeover(const RoleId& r);
   /// Current member count of a role family this performance.
   std::size_t family_size(const std::string& role_name) const;
 
@@ -343,6 +441,12 @@ class RoleContext {
         if (perf_->completed.count(r) || perf_->out.count(r) ||
             perf_->failed.count(r))
           continue;
+        if (perf_->awaiting_takeover.count(r)) {
+          // Bound to a dead pid until a replacement rebinds it — treat
+          // like an unbound role that may still fill.
+          might_bind = true;
+          continue;
+        }
         const auto it = perf_->state.bindings.find(r);
         if (it != perf_->state.bindings.end())
           candidates.push_back(it->second);
@@ -382,8 +486,12 @@ class RoleContext {
  private:
   friend class ScriptInstance;
   RoleContext(ScriptInstance* inst, ScriptInstance::Performance* perf,
-              RoleId self, Params* params)
-      : inst_(inst), perf_(perf), self_(std::move(self)), params_(params) {}
+              RoleId self, Params* params, bool resumed = false)
+      : inst_(inst),
+        perf_(perf),
+        self_(std::move(self)),
+        params_(params),
+        resumed_(resumed) {}
 
   /// Resolve a partner role to its process, blocking while the role is
   /// unbound but might still be filled. Distinguished error once the
@@ -398,6 +506,7 @@ class RoleContext {
   ScriptInstance::Performance* perf_;
   RoleId self_;
   Params* params_;
+  bool resumed_ = false;
 };
 
 }  // namespace script::core

@@ -75,6 +75,24 @@ class Params {
 
   bool has(const std::string& name) const { return slots_.count(name) > 0; }
 
+  // ---- Role takeover support (FailurePolicy::Replace) ----
+
+  /// Null every out-writer. A crashed enroller's writers point into its
+  /// unwound stack frame; the stored copy of its parameters keeps the
+  /// VALUES for the replacement but must never write back.
+  void drop_writers() {
+    for (auto& [name, s] : slots_) s.writer = nullptr;
+  }
+
+  /// Copy from `donor` every slot this Params lacks. A replacement
+  /// enrollment inherits the crashed incarnation's data parameters
+  /// (current values included — set_param updates the stored copy) while
+  /// its own slots, writers included, take precedence.
+  void adopt_missing(const Params& donor) {
+    for (const auto& [name, s] : donor.slots_)
+      slots_.emplace(name, s);
+  }
+
  private:
   struct Slot {
     std::any value;

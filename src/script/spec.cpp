@@ -48,6 +48,33 @@ ScriptSpec& ScriptSpec::on_failure(FailurePolicy p) {
   return *this;
 }
 
+ScriptSpec& ScriptSpec::takeover_deadline(std::uint64_t ticks) {
+  SCRIPT_ASSERT(ticks > 0, "takeover deadline must be positive");
+  takeover_deadline_ = ticks;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::takeover_fallback(FailurePolicy p) {
+  SCRIPT_ASSERT(p != FailurePolicy::Replace,
+                "takeover fallback cannot itself be Replace");
+  takeover_fallback_ = p;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::takeover_roles(std::vector<std::string> names) {
+  for (const auto& n : names)
+    SCRIPT_ASSERT(has_role(n), "takeover_roles names unknown role " + n);
+  takeover_roles_ = std::move(names);
+  return *this;
+}
+
+bool ScriptSpec::takeover_allowed(const RoleId& r) const {
+  if (takeover_roles_.empty()) return true;
+  for (const auto& n : takeover_roles_)
+    if (n == r.name) return true;
+  return false;
+}
+
 ScriptSpec& ScriptSpec::critical(CriticalSet set) {
   for (const auto& [role_name, count] : set) {
     SCRIPT_ASSERT(has_role(role_name),

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,14 @@ enum class FailurePolicy : std::uint8_t {
   /// communication with it yields the distinguished value, exactly as
   /// if the role had never been filled (§II).
   Degrade,
+  /// Role takeover: survivors park while the crashed role awaits a
+  /// replacement enrollment. A request for the role arriving within
+  /// `takeover_deadline()` ticks is admitted into the LIVE performance
+  /// (rebinding the role, inheriting its data parameters, its context
+  /// reporting resumed() == true — the §II unfilled-role semantics
+  /// generalized to refilled roles). Past the deadline the performance
+  /// falls back to `takeover_fallback()` (Abort or Degrade).
+  Replace,
 };
 
 struct RoleDecl {
@@ -89,6 +98,19 @@ class ScriptSpec {
   ScriptSpec& critical(CriticalSet set);
   /// Reaction to a role crashing mid-performance (default Abort).
   ScriptSpec& on_failure(FailurePolicy p);
+  /// Replace policy: how long (virtual ticks) a crashed role may await
+  /// a replacement before the performance falls back. Default 64.
+  ScriptSpec& takeover_deadline(std::uint64_t ticks);
+  /// Replace policy: what happens when the deadline expires with no
+  /// replacement (Abort or Degrade — never Replace). Default Abort.
+  ScriptSpec& takeover_fallback(FailurePolicy p);
+  /// Replace policy: restrict takeover to the named roles. A role is
+  /// replaceable only if its body can be re-run against partners that
+  /// may already hold messages from its previous incarnation (stateless,
+  /// or replayable from a log — see docs/SEMANTICS.md §10). Crashes of
+  /// roles NOT listed here fall back immediately (no takeover window).
+  /// Default: empty, meaning every role is replaceable.
+  ScriptSpec& takeover_roles(std::vector<std::string> names);
 
   // ---- Queries ----
 
@@ -99,6 +121,10 @@ class ScriptSpec {
     return nondet_contention_;
   }
   FailurePolicy failure_policy() const { return failure_policy_; }
+  std::uint64_t takeover_deadline() const { return takeover_deadline_; }
+  FailurePolicy takeover_fallback() const { return takeover_fallback_; }
+  /// Whether a crash of `r` opens a takeover window (Replace policy).
+  bool takeover_allowed(const RoleId& r) const;
   const std::vector<RoleDecl>& roles() const { return roles_; }
 
   bool has_role(const std::string& role_name) const;
@@ -137,6 +163,9 @@ class ScriptSpec {
   Termination termination_ = Termination::Delayed;
   bool nondet_contention_ = false;
   FailurePolicy failure_policy_ = FailurePolicy::Abort;
+  std::uint64_t takeover_deadline_ = 64;
+  FailurePolicy takeover_fallback_ = FailurePolicy::Abort;
+  std::vector<std::string> takeover_roles_;  // empty: all replaceable
 
   // Lazily built, invalidated by the builder methods above.
   mutable bool critical_cache_built_ = false;

@@ -16,22 +16,52 @@ using core::Termination;
 
 namespace {
 
-ScriptSpec auction_spec(const std::string& name, std::size_t n) {
+ScriptSpec auction_spec(const std::string& name, std::size_t n,
+                        core::FailurePolicy on_failure,
+                        std::uint64_t takeover_deadline) {
   SCRIPT_ASSERT(n >= 2, "an auction needs room for at least two bidders");
   ScriptSpec s(name);
   s.role("auctioneer").role_family("bidder", n);
   s.initiation(Initiation::Delayed).termination(Termination::Delayed);
   s.critical(CriticalSet{{"auctioneer", 1}, {"bidder", 2}});
+  s.on_failure(on_failure);
+  if (on_failure == core::FailurePolicy::Replace) {
+    // Only the auctioneer is replaceable: a spare bidder could never
+    // learn where its predecessor left off mid-round. A crashed bidder
+    // aborts the round (the fallback stays Abort).
+    s.takeover_deadline(takeover_deadline)
+        .takeover_roles({"auctioneer"});
+  }
   return s;
 }
 
 }  // namespace
 
-Auction::Auction(csp::Net& net, std::size_t max_bidders, std::string name)
-    : inst_(net, auction_spec(name, max_bidders), name), n_(max_bidders) {
+Auction::Auction(csp::Net& net, std::size_t max_bidders, std::string name,
+                 core::FailurePolicy on_failure,
+                 std::uint64_t takeover_deadline)
+    : inst_(net,
+            auction_spec(name, max_bidders, on_failure, takeover_deadline),
+            name),
+      n_(max_bidders) {
+  const bool replace = on_failure == core::FailurePolicy::Replace;
   inst_.on_role("auctioneer", [n = n_](RoleContext& ctx) {
-    const long reserve = ctx.param<long>("reserve");
     AuctionResult result;
+    if (ctx.resumed()) {
+      // A replacement auctioneer has no bid state, so it voids the
+      // round — presumed no-sale, the auction's analogue of 2PC's
+      // presumed abort — and drives only the award phase so every
+      // surviving bidder is released.
+      for (std::size_t i = 0; i < n; ++i) {
+        const RoleId b = role("bidder", static_cast<int>(i));
+        if (ctx.terminated(b)) continue;
+        ++result.bidders;
+        (void)ctx.send(b, false, "award");
+      }
+      ctx.set_param("result", result);
+      return;
+    }
+    const long reserve = ctx.param<long>("reserve");
     // Round 1: announce to every present bidder (absent roles are
     // `terminated` once the critical set filled — skip them).
     for (std::size_t i = 0; i < n; ++i) {
@@ -62,14 +92,41 @@ Auction::Auction(csp::Net& net, std::size_t max_bidders, std::string name)
     }
     ctx.set_param("result", result);
   });
-  inst_.on_role("bidder", [](RoleContext& ctx) {
-    auto reserve = ctx.recv<long>(RoleId("auctioneer"), "announce");
-    SCRIPT_ASSERT(reserve.has_value(), "bidder: auctioneer vanished");
-    auto s = ctx.send(RoleId("auctioneer"), ctx.param<long>("bid"), "bid");
-    SCRIPT_ASSERT(s.has_value(), "bidder: auctioneer vanished");
-    auto won = ctx.recv<bool>(RoleId("auctioneer"), "award");
-    SCRIPT_ASSERT(won.has_value(), "bidder: auctioneer vanished");
-    ctx.set_param("won", *won);
+  inst_.on_role("bidder", [replace](RoleContext& ctx) {
+    const RoleId auc("auctioneer");
+    // A replacement auctioneer voids the round and jumps to the award
+    // phase, so on any sign of a handoff the bidder skips there too.
+    bool voided = false;
+    if (replace && ctx.takeover_pending(auc))
+      voided = ctx.await_takeover(auc);
+    if (!voided) {
+      auto reserve = ctx.recv<long>(auc, "announce");
+      if (!reserve.has_value()) {
+        SCRIPT_ASSERT(replace, "bidder: auctioneer vanished");
+        if (!ctx.await_takeover(auc)) {
+          ctx.set_param("won", false);
+          return;
+        }
+        voided = true;
+      }
+    }
+    if (!voided && replace && ctx.takeover_pending(auc))
+      voided = ctx.await_takeover(auc);  // died after announcing
+    if (!voided) {
+      auto s = ctx.send(auc, ctx.param<long>("bid"), "bid");
+      if (!s.has_value()) {
+        SCRIPT_ASSERT(replace, "bidder: auctioneer vanished");
+        if (!ctx.await_takeover(auc)) {
+          ctx.set_param("won", false);
+          return;
+        }
+      }
+    }
+    auto won = ctx.recv<bool>(auc, "award");
+    if (!won.has_value() && replace && ctx.await_takeover(auc))
+      won = ctx.recv<bool>(auc, "award");
+    SCRIPT_ASSERT(won.has_value() || replace, "bidder: auctioneer vanished");
+    ctx.set_param("won", won.has_value() && *won);
   });
 }
 

@@ -29,8 +29,13 @@ struct AuctionResult {
 
 class Auction {
  public:
+  /// `on_failure` Replace holds a crashed role open `takeover_deadline`
+  /// ticks; the fallback stays Abort (the bodies assume a voided
+  /// performance unwinds them, never a silent distinguished value).
   Auction(csp::Net& net, std::size_t max_bidders,
-          std::string name = "auction");
+          std::string name = "auction",
+          core::FailurePolicy on_failure = core::FailurePolicy::Abort,
+          std::uint64_t takeover_deadline = 16);
 
   /// Enroll as the auctioneer with a reserve price.
   AuctionResult sell(long reserve);

@@ -4,18 +4,27 @@ namespace script::patterns {
 
 namespace {
 
-core::ScriptSpec barrier_spec(const std::string& name, std::size_t n) {
+core::ScriptSpec barrier_spec(const std::string& name, std::size_t n,
+                              core::FailurePolicy on_failure,
+                              std::uint64_t takeover_deadline) {
   core::ScriptSpec s(name);
   s.role_family("member", n);
   s.initiation(core::Initiation::Delayed)
       .termination(core::Termination::Delayed);
+  s.on_failure(on_failure);
+  if (on_failure == core::FailurePolicy::Replace)
+    s.takeover_deadline(takeover_deadline);
   return s;
 }
 
 }  // namespace
 
-Barrier::Barrier(csp::Net& net, std::size_t n, std::string name)
-    : inst_(net, barrier_spec(name, n), name), n_(n) {
+Barrier::Barrier(csp::Net& net, std::size_t n, std::string name,
+                 core::FailurePolicy on_failure,
+                 std::uint64_t takeover_deadline)
+    : inst_(net, barrier_spec(name, n, on_failure, takeover_deadline),
+            name),
+      n_(n) {
   inst_.on_role("member", [](core::RoleContext&) {
     // Arrival is the whole job: delayed initiation gathers everyone,
     // delayed termination releases everyone.

@@ -15,7 +15,12 @@ namespace script::patterns {
 
 class Barrier {
  public:
-  Barrier(csp::Net& net, std::size_t n, std::string name = "barrier");
+  /// `on_failure` governs a member crashing between formation and
+  /// release: Abort (default) voids the generation, Replace holds it
+  /// open `takeover_deadline` ticks for a late replacement arrival.
+  Barrier(csp::Net& net, std::size_t n, std::string name = "barrier",
+          core::FailurePolicy on_failure = core::FailurePolicy::Abort,
+          std::uint64_t takeover_deadline = 16);
 
   /// Enroll into any free member slot; returns once all n are present
   /// (and, by delayed termination, released together). The returned

@@ -3,10 +3,15 @@
 namespace script::patterns {
 
 ScriptSpec broadcast_spec(const std::string& name, std::size_t n,
-                          Initiation init, Termination term) {
+                          Initiation init, Termination term,
+                          core::FailurePolicy on_failure,
+                          std::uint64_t takeover_deadline) {
   ScriptSpec s(name);
   s.role("sender").role_family("recipient", n);
   s.initiation(init).termination(term);
+  s.on_failure(on_failure);
+  if (on_failure == core::FailurePolicy::Replace)
+    s.takeover_deadline(takeover_deadline);
   return s;
 }
 

@@ -34,30 +34,47 @@ using core::ScriptSpec;
 using core::Termination;
 
 /// Roles: sender + recipient[n]. Policies per the figure being modelled.
-ScriptSpec broadcast_spec(const std::string& name, std::size_t n,
-                          Initiation init, Termination term);
+/// Replace policy holds a crashed role open `takeover_deadline` ticks
+/// for a replacement (fallback: Abort).
+ScriptSpec broadcast_spec(
+    const std::string& name, std::size_t n, Initiation init,
+    Termination term,
+    core::FailurePolicy on_failure = core::FailurePolicy::Abort,
+    std::uint64_t takeover_deadline = 16);
 
 template <typename T>
 class StarBroadcast {
  public:
   StarBroadcast(csp::Net& net, std::size_t n,
-                std::string name = "star_broadcast")
+                std::string name = "star_broadcast",
+                core::FailurePolicy on_failure = core::FailurePolicy::Abort,
+                std::uint64_t takeover_deadline = 16)
       : inst_(net,
               broadcast_spec(name, n, Initiation::Delayed,
-                             Termination::Delayed),
+                             Termination::Delayed, on_failure,
+                             takeover_deadline),
               name),
         n_(n) {
-    inst_.on_role("sender", [n](RoleContext& ctx) {
+    const bool replace = on_failure == core::FailurePolicy::Replace;
+    inst_.on_role("sender", [n, replace](RoleContext& ctx) {
       const T data = ctx.param<T>("data");
       for (std::size_t i = 0; i < n; ++i) {
-        auto r = ctx.send(role("recipient", static_cast<int>(i)), data);
-        SCRIPT_ASSERT(r.has_value(), "star broadcast: recipient vanished");
+        const RoleId to = role("recipient", static_cast<int>(i));
+        auto r = ctx.send(to, data);
+        if (!r.has_value() && replace && ctx.await_takeover(to))
+          r = ctx.send(to, data);  // replacement recipient resumed
+        SCRIPT_ASSERT(r.has_value() || replace,
+                      "star broadcast: recipient vanished");
       }
     });
-    inst_.on_role("recipient", [](RoleContext& ctx) {
+    inst_.on_role("recipient", [replace](RoleContext& ctx) {
       auto v = ctx.template recv<T>(RoleId("sender"));
-      SCRIPT_ASSERT(v.has_value(), "star broadcast: sender vanished");
-      ctx.set_param("data", *v);
+      if (!v.has_value() && replace &&
+          ctx.await_takeover(RoleId("sender")))
+        v = ctx.template recv<T>(RoleId("sender"));
+      SCRIPT_ASSERT(v.has_value() || replace,
+                    "star broadcast: sender vanished");
+      if (v.has_value()) ctx.set_param("data", *v);
     });
   }
 

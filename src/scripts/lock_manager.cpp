@@ -1,7 +1,9 @@
 #include "scripts/lock_manager.hpp"
 
+#include <optional>
 #include <set>
 
+#include "runtime/scheduler.hpp"
 #include "support/panic.hpp"
 
 namespace script::patterns {
@@ -19,29 +21,95 @@ using lockdb::LockMode;
 
 namespace {
 
-ScriptSpec lock_spec(const std::string& name, std::size_t k) {
+ScriptSpec lock_spec(const std::string& name, std::size_t k,
+                     const LockManagerOptions& opts) {
   ScriptSpec s(name);
   s.role_family("manager", k).role("reader").role("writer");
   s.initiation(Initiation::Delayed).termination(Termination::Delayed);
   s.critical(CriticalSet{{"manager", k}, {"reader", 1}});
   s.critical(CriticalSet{{"manager", k}, {"writer", 1}});
-  // A crashed client must not wedge the managers: the performance
-  // degrades and the manager body reaps the dead client's grants.
-  s.on_failure(core::FailurePolicy::Degrade);
+  if (opts.replace_on_failure) {
+    // A crashed manager awaits a replacement (the lock tables persist in
+    // the script object, so a fresh fiber picks up where it left off);
+    // past the deadline the performance degrades as before.
+    s.on_failure(core::FailurePolicy::Replace)
+        .takeover_deadline(opts.takeover_deadline)
+        .takeover_fallback(core::FailurePolicy::Degrade)
+        // Clients are not replayable mid-exchange: a crashed reader or
+        // writer degrades at once and its grants wait out their leases.
+        .takeover_roles({"manager"});
+  } else {
+    // A crashed client must not wedge the managers: the performance
+    // degrades and the manager body reaps the dead client's grants.
+    s.on_failure(core::FailurePolicy::Degrade);
+  }
   return s;
+}
+
+// One Lock round-trip with manager `mi`, takeover-aware: when the
+// manager crashes mid-exchange and a replacement takes over, the
+// request is RESENT — acquire is idempotent for the same owner, and the
+// pending exchange died with the old incarnation. nullopt once the
+// manager is gone for good (no replacement within the deadline).
+std::optional<LockStatus> lock_round_trip(RoleContext& ctx, const RoleId& mi,
+                                          const std::string& item,
+                                          lockdb::OwnerId id, bool replace) {
+  for (;;) {
+    if (replace && ctx.takeover_pending(mi) && !ctx.await_takeover(mi))
+      return std::nullopt;
+    auto s = ctx.send(mi, LockRequest{LockRequest::Kind::Lock, item, id});
+    if (!s.has_value()) {
+      if (replace && ctx.await_takeover(mi)) continue;
+      return std::nullopt;
+    }
+    if (replace && ctx.takeover_pending(mi)) {
+      // The manager died right after taking the request; a replacement
+      // knows nothing of it — resend rather than await a reply that
+      // can never come.
+      if (!ctx.await_takeover(mi)) return std::nullopt;
+      continue;
+    }
+    auto reply = ctx.recv<LockStatus>(mi, "reply");
+    if (!reply.has_value()) {
+      if (replace && ctx.await_takeover(mi)) continue;
+      return std::nullopt;
+    }
+    return *reply;
+  }
+}
+
+// Fire-and-forget Release/Done, retried across manager takeovers so the
+// resumed incarnation still learns the client is finished.
+void post_to_manager(RoleContext& ctx, const RoleId& mi,
+                     const LockRequest& rq, bool replace) {
+  for (;;) {
+    auto s = ctx.send(mi, rq);
+    if (s.has_value() || !replace || !ctx.await_takeover(mi)) return;
+  }
 }
 
 }  // namespace
 
 LockManagerScript::LockManagerScript(csp::Net& net,
                                      lockdb::ReplicaSet& replicas,
-                                     std::string name)
-    : inst_(net, lock_spec(name, replicas.active_count()), name),
+                                     std::string name,
+                                     LockManagerOptions options)
+    : inst_(net, lock_spec(name, replicas.active_count(), options), name),
       replicas_(&replicas),
-      k_(replicas.active_count()) {
+      k_(replicas.active_count()),
+      opts_(options) {
+  if (opts_.lease_ticks != 0) {
+    // Leased grants expire on the virtual clock; wire it into every
+    // active table so plain acquire() reaps opportunistically too.
+    runtime::Scheduler* sched = &net.scheduler();
+    for (const lockdb::NodeId node : replicas.active())
+      replicas.table(node).set_clock([sched] { return sched->now(); });
+  }
   inst_.on_role("manager", [this](RoleContext& ctx) {
     lockdb::LockTable& table = replicas_->table(
         replicas_->active()[static_cast<std::size_t>(ctx.index())]);
+    const std::uint64_t lease = opts_.lease_ticks;
+    runtime::Scheduler& sched = ctx.scheduler();
     // Which clients joined this performance? (Cast is frozen under
     // delayed initiation; unfilled client roles are `terminated`.)
     std::set<std::string> pending;
@@ -52,6 +120,10 @@ LockManagerScript::LockManagerScript(csp::Net& net,
     std::map<std::string, std::set<std::pair<std::string, lockdb::OwnerId>>>
         held;
     while (!pending.empty()) {
+      // Expired leases first: grants whose holder stopped renewing
+      // (crashed client, or state lost with a dead manager incarnation)
+      // are reclaimed no matter how they were lost.
+      if (lease != 0) table.reap_expired(sched.now());
       // Reap terminated clients first: a crashed client never sends
       // Release/Done, so its grants are released on its behalf.
       for (auto it = pending.begin(); it != pending.end();) {
@@ -75,7 +147,10 @@ LockManagerScript::LockManagerScript(csp::Net& net,
           const LockMode mode = from.name == "reader"
                                     ? LockMode::Shared
                                     : LockMode::Exclusive;
-          const bool ok = table.acquire(req.item, mode, req.owner);
+          const bool ok =
+              lease != 0 ? table.acquire_leased(req.item, mode, req.owner,
+                                                sched.now() + lease)
+                         : table.acquire(req.item, mode, req.owner);
           if (ok) held[from.name].insert({req.item, req.owner});
           // A failed reply means the client died after asking; keep the
           // grant in `held` and let the reap release it.
@@ -98,25 +173,23 @@ LockManagerScript::LockManagerScript(csp::Net& net,
 
   // Figure 5b: the reader needs one grant; on full denial nothing is
   // held (its `who` set is empty), matching the paper's release loop.
-  inst_.on_role("reader", [k = k_](RoleContext& ctx) {
+  inst_.on_role("reader", [this, k = k_](RoleContext& ctx) {
+    const bool replace = opts_.replace_on_failure;
     const auto kind = ctx.param<LockRequest::Kind>("kind");
     const auto item = ctx.param<std::string>("item");
     const auto id = ctx.param<lockdb::OwnerId>("id");
     LockStatus status = LockStatus::Denied;
     if (kind == LockRequest::Kind::Release) {
       for (std::size_t i = 0; i < k; ++i)
-        (void)ctx.send(role("manager", static_cast<int>(i)),
-                       LockRequest{kind, item, id});
+        post_to_manager(ctx, role("manager", static_cast<int>(i)),
+                        LockRequest{kind, item, id}, replace);
       status = LockStatus::Granted;
     } else {
       for (std::size_t i = 0; i < k; ++i) {
         // A dead manager replica answers nothing: treat it as a denial
         // and try the next one (the reader needs only one grant).
-        auto s = ctx.send(role("manager", static_cast<int>(i)),
-                          LockRequest{LockRequest::Kind::Lock, item, id});
-        if (!s.has_value()) continue;
-        auto reply = ctx.recv<LockStatus>(
-            role("manager", static_cast<int>(i)), "reply");
+        auto reply = lock_round_trip(
+            ctx, role("manager", static_cast<int>(i)), item, id, replace);
         if (reply.has_value() && *reply == LockStatus::Granted) {
           status = LockStatus::Granted;
           break;
@@ -124,22 +197,23 @@ LockManagerScript::LockManagerScript(csp::Net& net,
       }
     }
     for (std::size_t i = 0; i < k; ++i)
-      (void)ctx.send(role("manager", static_cast<int>(i)),
-                     LockRequest{LockRequest::Kind::Done, "", id});
+      post_to_manager(ctx, role("manager", static_cast<int>(i)),
+                      LockRequest{LockRequest::Kind::Done, "", id}, replace);
     ctx.set_param("status", status);
   });
 
   // Figure 5c: the writer needs every manager; a single denial aborts
   // and releases the grants collected so far.
-  inst_.on_role("writer", [k = k_](RoleContext& ctx) {
+  inst_.on_role("writer", [this, k = k_](RoleContext& ctx) {
+    const bool replace = opts_.replace_on_failure;
     const auto kind = ctx.param<LockRequest::Kind>("kind");
     const auto item = ctx.param<std::string>("item");
     const auto id = ctx.param<lockdb::OwnerId>("id");
     LockStatus status = LockStatus::Denied;
     if (kind == LockRequest::Kind::Release) {
       for (std::size_t i = 0; i < k; ++i)
-        (void)ctx.send(role("manager", static_cast<int>(i)),
-                       LockRequest{kind, item, id});
+        post_to_manager(ctx, role("manager", static_cast<int>(i)),
+                        LockRequest{kind, item, id}, replace);
       status = LockStatus::Granted;
     } else {
       std::set<std::size_t> who;
@@ -147,14 +221,8 @@ LockManagerScript::LockManagerScript(csp::Net& net,
       for (std::size_t i = 0; i < k; ++i) {
         // The writer needs EVERY manager; a dead one counts as a denial
         // and the grants collected so far are rolled back below.
-        auto s = ctx.send(role("manager", static_cast<int>(i)),
-                          LockRequest{LockRequest::Kind::Lock, item, id});
-        if (!s.has_value()) {
-          denied = true;
-          break;
-        }
-        auto reply = ctx.recv<LockStatus>(
-            role("manager", static_cast<int>(i)), "reply");
+        auto reply = lock_round_trip(
+            ctx, role("manager", static_cast<int>(i)), item, id, replace);
         if (reply.has_value() && *reply == LockStatus::Granted) {
           who.insert(i);
         } else {
@@ -166,13 +234,14 @@ LockManagerScript::LockManagerScript(csp::Net& net,
         status = LockStatus::Granted;
       } else {
         for (const std::size_t i : who)
-          (void)ctx.send(role("manager", static_cast<int>(i)),
-                         LockRequest{LockRequest::Kind::Release, item, id});
+          post_to_manager(ctx, role("manager", static_cast<int>(i)),
+                          LockRequest{LockRequest::Kind::Release, item, id},
+                          replace);
       }
     }
     for (std::size_t i = 0; i < k; ++i)
-      (void)ctx.send(role("manager", static_cast<int>(i)),
-                     LockRequest{LockRequest::Kind::Done, "", id});
+      post_to_manager(ctx, role("manager", static_cast<int>(i)),
+                      LockRequest{LockRequest::Kind::Done, "", id}, replace);
     ctx.set_param("status", status);
   });
 }

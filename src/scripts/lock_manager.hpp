@@ -42,10 +42,26 @@ struct LockRequest {
   lockdb::OwnerId owner = 0;
 };
 
+struct LockManagerOptions {
+  /// Crashed roles await a replacement (FailurePolicy::Replace) instead
+  /// of degrading: clients retry against a resumed manager (the lock
+  /// request is idempotent), a replacement manager rebuilds its view
+  /// from probes and the lease backstop below.
+  bool replace_on_failure = false;
+  /// Ticks a crashed role stays open for takeover (fallback Degrade).
+  std::uint64_t takeover_deadline = 64;
+  /// Nonzero: grants carry a lease of this many virtual ticks, renewed
+  /// per acquire. A crashed client's grants expire and are reclaimed by
+  /// the table (docs/ROBUSTNESS.md "Recovery") — the recovery path for
+  /// held-lock state that dies with a manager or client incarnation.
+  std::uint64_t lease_ticks = 0;
+};
+
 class LockManagerScript {
  public:
   LockManagerScript(csp::Net& net, lockdb::ReplicaSet& replicas,
-                    std::string name = "lock_script");
+                    std::string name = "lock_script",
+                    LockManagerOptions options = {});
 
   /// Enroll as manager[index] for one performance: serve the enrolled
   /// clients' requests against replica table `index`, then return.
@@ -61,6 +77,7 @@ class LockManagerScript {
   void writer_release(const std::string& item, lockdb::OwnerId id);
 
   std::size_t managers() const { return k_; }
+  const LockManagerOptions& options() const { return opts_; }
   core::ScriptInstance& instance() { return inst_; }
 
  private:
@@ -70,6 +87,7 @@ class LockManagerScript {
   core::ScriptInstance inst_;
   lockdb::ReplicaSet* replicas_;
   std::size_t k_;
+  LockManagerOptions opts_;
 };
 
 /// The membership-change negotiation the paper defers to "a separate

@@ -1,70 +1,188 @@
 #include "scripts/two_phase_commit.hpp"
 
+#include <cstdint>
+#include <utility>
+
 #include "support/panic.hpp"
 
 namespace script::patterns {
 
 namespace {
 
-core::ScriptSpec tpc_spec(const std::string& name, std::size_t n) {
+core::ScriptSpec tpc_spec(const std::string& name, std::size_t n,
+                          const TwoPhaseCommitOptions& opts) {
   core::ScriptSpec s(name);
   s.role("coordinator").role_family("participant", n);
   s.initiation(core::Initiation::Delayed)
       .termination(core::Termination::Delayed);
-  // Crash recovery is the protocol's own job (presumed abort), so the
-  // performance degrades instead of aborting the survivors.
-  s.on_failure(core::FailurePolicy::Degrade);
+  if (opts.replace_coordinator) {
+    // A crashed coordinator awaits a replacement; if none arrives the
+    // performance degrades (presumed abort at the survivors).
+    s.on_failure(core::FailurePolicy::Replace)
+        .takeover_deadline(opts.takeover_deadline)
+        .takeover_fallback(core::FailurePolicy::Degrade)
+        // Only the coordinator is replayable (from its WAL); a crashed
+        // participant degrades immediately (counts as a NO vote).
+        .takeover_roles({"coordinator"});
+  } else {
+    // Crash recovery is the protocol's own job (presumed abort), so the
+    // performance degrades instead of aborting the survivors.
+    s.on_failure(core::FailurePolicy::Degrade);
+  }
   return s;
 }
 
 }  // namespace
 
 TwoPhaseCommit::TwoPhaseCommit(csp::Net& net, std::size_t participants,
-                               std::string name)
-    : inst_(net, tpc_spec(name, participants), name), n_(participants) {
-  inst_.on_role("coordinator", [n = n_](core::RoleContext& ctx) {
-    // Recovery rule: a participant that dies anywhere before voting
-    // counts as a NO vote — the transaction aborts (presumed abort).
+                               std::string name,
+                               TwoPhaseCommitOptions options)
+    : inst_(net, tpc_spec(name, participants, options), name),
+      n_(participants),
+      opts_(options) {
+  const std::string log_name = inst_.instance_name() + ".coordinator";
+  inst_.on_role("coordinator", [this, log_name,
+                                n = n_](core::RoleContext& ctx) {
+    runtime::SimLog* log =
+        opts_.wal != nullptr ? &opts_.wal->open(log_name) : nullptr;
+    const std::string txn = std::to_string(ctx.performance());
     bool all_yes = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      auto s = ctx.send(core::role("participant", static_cast<int>(i)),
-                        true, "prepare");
-      if (!s.has_value()) all_yes = false;
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      auto vote = ctx.recv<bool>(
-          core::role("participant", static_cast<int>(i)), "vote");
-      all_yes = all_yes && vote.has_value() && *vote;
+    if (ctx.resumed()) {
+      // WAL replay: a logged decision is re-driven; an in-doubt
+      // transaction (crash before the decision record) is presumed
+      // aborted. Votes are never re-collected.
+      bool decided = false;
+      if (log != nullptr) {
+        if (const auto d = log->last("decision." + txn)) {
+          all_yes = (*d == "commit");
+          decided = true;
+        }
+      }
+      if (!decided) {
+        all_yes = false;
+        if (log != nullptr) log->append("decision." + txn, "abort");
+      }
+    } else {
+      if (log != nullptr) log->append("begin." + txn, "prepare");
+      // Recovery rule: a participant that dies anywhere before voting
+      // counts as a NO vote — the transaction aborts (presumed abort).
+      for (std::size_t i = 0; i < n; ++i) {
+        auto s = ctx.send(core::role("participant", static_cast<int>(i)),
+                          true, "prepare");
+        if (!s.has_value()) all_yes = false;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        auto vote = ctx.recv<bool>(
+            core::role("participant", static_cast<int>(i)), "vote");
+        const bool yes = vote.has_value() && *vote;
+        all_yes = all_yes && yes;
+        if (log != nullptr)
+          log->append("vote." + txn + "." + std::to_string(i),
+                      yes ? "yes" : "no");
+      }
+      // Write-ahead: the decision is durable BEFORE any participant
+      // learns it, so a restarted coordinator re-drives the same one.
+      if (log != nullptr)
+        log->append("decision." + txn, all_yes ? "commit" : "abort");
     }
     // Survivors still get the decision; acks from the dead are forgone
-    // (a real participant would learn the outcome on recovery).
+    // (a real participant would learn the outcome on recovery). Sends
+    // to already-finished participants yield the distinguished value.
+    // The decision is stamped with this coordinator's incarnation so a
+    // participant knows when a REPLACEMENT's re-driven copy is owed.
+    const std::uint64_t inc = ctx.incarnation(core::RoleId("coordinator"));
     for (std::size_t i = 0; i < n; ++i)
       (void)ctx.send(core::role("participant", static_cast<int>(i)),
-                     all_yes, "decision");
+                     std::make_pair(inc, all_yes), "decision");
     for (std::size_t i = 0; i < n; ++i)
       (void)ctx.recv<bool>(core::role("participant", static_cast<int>(i)),
                            "ack");
     ctx.set_param("decision", all_yes);
   });
-  inst_.on_role("participant", [](core::RoleContext& ctx) {
-    // Recovery rule: a dead coordinator means the decision never
-    // arrives — presume abort rather than block forever.
-    auto prep = ctx.recv<bool>(core::RoleId("coordinator"), "prepare");
-    if (!prep.has_value()) {
-      ctx.set_param("decision", false);
-      return;
+  inst_.on_role("participant", [replace = options.replace_coordinator](
+                                   core::RoleContext& ctx) {
+    const core::RoleId coord("coordinator");
+    using Decision = std::pair<std::uint64_t, bool>;
+    // Whether this participant still owes the ORIGINAL coordinator its
+    // vote. A replacement never collects votes (it presumes abort or
+    // replays its log), so any takeover observed before the vote is
+    // delivered skips straight to the decision phase. The incarnation
+    // counter catches takeovers that complete while we are parked —
+    // takeover_pending alone misses a window that opened and closed.
+    bool vote_phase = true;
+    if (replace &&
+        (ctx.takeover_pending(coord) || ctx.incarnation(coord) > 0)) {
+      // Crashed before delivering our prepare; the replacement will not
+      // re-send it. Wait out any open window, then await its decision.
+      if (ctx.takeover_pending(coord) && !ctx.await_takeover(coord)) {
+        ctx.set_param("decision", false);
+        return;
+      }
+      vote_phase = false;
+    } else {
+      const std::uint64_t inc0 = ctx.incarnation(coord);
+      auto prep = ctx.recv<bool>(coord, "prepare");
+      if (!prep.has_value()) {
+        // Recovery rule: a dead coordinator means the decision never
+        // arrives — presume abort rather than block forever. Under
+        // coordinator takeover, park for the replacement instead.
+        if (!(replace && ctx.await_takeover(coord))) {
+          ctx.set_param("decision", false);
+          return;
+        }
+        vote_phase = false;
+      } else if (replace && (ctx.takeover_pending(coord) ||
+                             ctx.incarnation(coord) != inc0)) {
+        // Died right after delivering prepare: a vote posted now would
+        // wedge against the replacement's decision send.
+        if (ctx.takeover_pending(coord) && !ctx.await_takeover(coord)) {
+          ctx.set_param("decision", false);
+          return;
+        }
+        vote_phase = false;
+      }
     }
-    const auto voter = ctx.param<std::function<bool()>>("voter");
-    auto sv = ctx.send(core::RoleId("coordinator"), voter(), "vote");
-    if (!sv.has_value()) {
-      ctx.set_param("decision", false);
-      return;
+    if (vote_phase) {
+      const auto voter = ctx.param<std::function<bool()>>("voter");
+      auto sv = ctx.send(coord, voter(), "vote");
+      if (!sv.has_value() && !(replace && ctx.await_takeover(coord))) {
+        ctx.set_param("decision", false);
+        return;
+      }
+      // A vote that died with the old coordinator is NOT re-sent; the
+      // replacement presumes abort for this transaction.
     }
-    auto decision = ctx.recv<bool>(core::RoleId("coordinator"), "decision");
+    // Decision phase: every coordinator incarnation sends one stamped
+    // decision (write-ahead keeps the value identical across restarts).
+    // Keep receiving until the copy in hand is the CURRENT incarnation's
+    // and no window is open — only then is it safe to post the ack
+    // (otherwise it would wedge against a replacement's decision send).
+    std::optional<bool> decision;
+    std::uint64_t served_inc = 0;
+    for (;;) {
+      if (replace && ctx.takeover_pending(coord) &&
+          !ctx.await_takeover(coord))
+        break;  // no replacement came: presume abort below
+      if (decision.has_value() &&
+          (!replace || served_inc == ctx.incarnation(coord)))
+        break;
+      auto d = ctx.recv<Decision>(coord, "decision");
+      if (!d.has_value()) {
+        if (!(replace && ctx.await_takeover(coord))) break;
+        continue;  // the replacement re-drives the decision
+      }
+      served_inc = d->first;
+      decision = d->second;
+    }
     const bool outcome = decision.has_value() && *decision;
-    (void)ctx.send(core::RoleId("coordinator"), true, "ack");
+    (void)ctx.send(coord, true, "ack");
     ctx.set_param("decision", outcome);
   });
+}
+
+runtime::SimLog* TwoPhaseCommit::wal_log() {
+  if (opts_.wal == nullptr) return nullptr;
+  return &opts_.wal->open(inst_.instance_name() + ".coordinator");
 }
 
 bool TwoPhaseCommit::coordinate() {

@@ -8,21 +8,46 @@
 //
 // The whole protocol — message pattern, vote aggregation, decision
 // distribution — lives in the script; enrollers only supply a voter.
+//
+// Recoverable variant (docs/ROBUSTNESS.md "Recovery"): give the options
+// a SimLogStore and enable replace_coordinator, and the coordinator
+// role keeps a write-ahead log. A crashed coordinator's role stays open
+// for takeover_deadline ticks; a replacement enrollment (typically a
+// supervisor-restarted fiber calling coordinate() again) resumes from
+// the log — a logged decision is re-driven, an in-doubt transaction is
+// presumed aborted. Votes are NEVER re-collected: a vote that only the
+// dead incarnation saw is lost, and presumption fills the gap.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
+#include "runtime/sim_log.hpp"
 #include "script/instance.hpp"
 
 namespace script::patterns {
 
+struct TwoPhaseCommitOptions {
+  /// Write-ahead log store for the coordinator role (nullptr: no WAL,
+  /// a replacement coordinator presumes abort for everything).
+  runtime::SimLogStore* wal = nullptr;
+  /// Crashed coordinator awaits a replacement instead of degrading.
+  bool replace_coordinator = false;
+  /// Ticks the coordinator role stays open for takeover (fallback:
+  /// Degrade — survivors then see the distinguished value, §II).
+  std::uint64_t takeover_deadline = 32;
+};
+
 class TwoPhaseCommit {
  public:
   TwoPhaseCommit(csp::Net& net, std::size_t participants,
-                 std::string name = "two_phase_commit");
+                 std::string name = "two_phase_commit",
+                 TwoPhaseCommitOptions options = {});
 
   /// Enroll as the coordinator; returns the decision (true = commit).
+  /// A replacement coordinator (role takeover) replays the WAL instead
+  /// of collecting votes.
   bool coordinate();
 
   /// Enroll as participant[index]; `voter` is consulted in phase 1.
@@ -30,11 +55,15 @@ class TwoPhaseCommit {
   bool participate(int index, std::function<bool()> voter);
 
   std::size_t participants() const { return n_; }
+  const TwoPhaseCommitOptions& options() const { return opts_; }
+  /// The coordinator's WAL ("<name>.coordinator"), or nullptr.
+  runtime::SimLog* wal_log();
   core::ScriptInstance& instance() { return inst_; }
 
  private:
   core::ScriptInstance inst_;
   std::size_t n_;
+  TwoPhaseCommitOptions opts_;
 };
 
 }  // namespace script::patterns

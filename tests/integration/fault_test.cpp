@@ -13,6 +13,8 @@
 //    timer-vs-crash same-instant regressions.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "ada/task.hpp"
 #include "monitor/monitor.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/sim_log.hpp"
 #include "script/distributed.hpp"
 #include "script/instance.hpp"
 #include "scripts/auction.hpp"
@@ -204,6 +207,181 @@ TEST(FaultMatrix, TwoPhaseCommitSurvivesEveryMidProtocolCrash) {
       if (victim != 0) {
         EXPECT_TRUE(coord_done || sched.has_crashed(pids[0]));
       }
+    }
+  }
+}
+
+// ---- Replace-policy fault matrix (docs/ROBUSTNESS.md "Recovery") ----
+//
+// The same determinism oracle, but the scripts hold crashed roles open
+// for takeover and a SPARE process stands by: when the instance
+// announces TakeoverBegan, the spare enrolls for the vacated role and
+// is readmitted into the live performance. Whatever a (victim, step)
+// cell produces — takeover, deadline fallback, or a pre-formation
+// wedge — the replay must be byte-identical.
+
+void spawn_spare(Net& net, ScriptInstance& inst,
+                 std::function<void(const RoleId&)> enroll) {
+  auto vacated = std::make_shared<std::optional<RoleId>>();
+  inst.observe([vacated](const script::core::ScriptEvent& e) {
+    if (e.kind == script::core::ScriptEvent::Kind::TakeoverBegan)
+      *vacated = e.role;
+  });
+  Scheduler* sched = &net.scheduler();
+  net.spawn_process("spare",
+                    [sched, vacated, enroll = std::move(enroll)] {
+                      // Bounded watch, well inside the 64-tick takeover
+                      // deadline; exits (instead of wedging the run)
+                      // when no takeover ever opens.
+                      for (int i = 0; i < 12; ++i) {
+                        if (vacated->has_value()) {
+                          enroll(**vacated);
+                          return;
+                        }
+                        sched->sleep_for(4);
+                      }
+                    });
+}
+
+TEST(ReplaceMatrix, BarrierTakeoverSweepIsDeterministic) {
+  sweep(
+      [](std::size_t victim, std::uint64_t step) {
+        Scheduler sched(seeded(21));
+        Net net(sched);
+        script::patterns::Barrier barrier(net, 3, "barrier",
+                                          FailurePolicy::Replace, 64);
+        std::vector<ProcessId> pids;
+        for (int i = 0; i < 3; ++i)
+          pids.push_back(net.spawn_process(
+              "m" + std::to_string(i), [&] { barrier.arrive_and_wait(); }));
+        spawn_spare(net, barrier.instance(),
+                    [&](const RoleId&) { barrier.arrive_and_wait(); });
+        FaultPlan plan;
+        plan.crash_at_step(pids[victim], step);
+        sched.install_fault_plan(plan);
+        const RunResult result = sched.run();
+        return fingerprint(sched, result);
+      },
+      3);
+}
+
+TEST(ReplaceMatrix, BroadcastTakeoverSweepIsDeterministic) {
+  sweep(
+      [](std::size_t victim, std::uint64_t step) {
+        Scheduler sched(seeded(22));
+        Net net(sched);
+        script::patterns::StarBroadcast<int> bc(
+            net, 2, "star", FailurePolicy::Replace, 64);
+        std::vector<ProcessId> pids;
+        pids.push_back(net.spawn_process("sender", [&] { bc.send(99); }));
+        for (int i = 0; i < 2; ++i)
+          pids.push_back(net.spawn_process("recv" + std::to_string(i),
+                                           [&, i] { (void)bc.receive(i); }));
+        spawn_spare(net, bc.instance(), [&](const RoleId& r) {
+          if (r.name == "sender")
+            bc.send(99);
+          else
+            (void)bc.receive(r.index);
+        });
+        FaultPlan plan;
+        plan.crash_at_step(pids[victim], step);
+        sched.install_fault_plan(plan);
+        const RunResult result = sched.run();
+        return fingerprint(sched, result);
+      },
+      3);
+}
+
+TEST(ReplaceMatrix, AuctionTakeoverSweepIsDeterministic) {
+  sweep(
+      [](std::size_t victim, std::uint64_t step) {
+        Scheduler sched(seeded(23));
+        Net net(sched);
+        script::patterns::Auction auction(net, 2, "auction",
+                                          FailurePolicy::Replace, 64);
+        std::vector<ProcessId> pids;
+        pids.push_back(
+            net.spawn_process("seller", [&] { auction.sell(10); }));
+        pids.push_back(
+            net.spawn_process("bid0", [&] { auction.bid(0, 15); }));
+        pids.push_back(
+            net.spawn_process("bid1", [&] { auction.bid(1, 20); }));
+        // Only the auctioneer is replaceable; a replacement voids the
+        // round (presumed no-sale) and releases the bidders.
+        spawn_spare(net, auction.instance(),
+                    [&](const RoleId&) { auction.sell(10); });
+        FaultPlan plan;
+        plan.crash_at_step(pids[victim], step);
+        sched.install_fault_plan(plan);
+        const RunResult result = sched.run();
+        return fingerprint(sched, result);
+      },
+      3);
+}
+
+TEST(ReplaceMatrix, TwoPhaseCommitTakeoverSweepIsDeterministic) {
+  sweep(
+      [](std::size_t victim, std::uint64_t step) {
+        Scheduler sched(seeded(24));
+        Net net(sched);
+        script::patterns::TwoPhaseCommitOptions opts;
+        opts.replace_coordinator = true;
+        opts.takeover_deadline = 64;
+        script::patterns::TwoPhaseCommit tpc(net, 2, "tpc", opts);
+        std::vector<ProcessId> pids;
+        pids.push_back(
+            net.spawn_process("coord", [&] { tpc.coordinate(); }));
+        for (int i = 0; i < 2; ++i)
+          pids.push_back(net.spawn_process(
+              "part" + std::to_string(i),
+              [&, i] { tpc.participate(i, [] { return true; }); }));
+        spawn_spare(net, tpc.instance(),
+                    [&](const RoleId&) { tpc.coordinate(); });
+        FaultPlan plan;
+        plan.crash_at_step(pids[victim], step);
+        sched.install_fault_plan(plan);
+        const RunResult result = sched.run();
+        return fingerprint(sched, result);
+      },
+      3);
+}
+
+TEST(ReplaceMatrix, TwoPhaseCommitReplaceSurvivesMidProtocolCrashes) {
+  // Liveness on top of determinism: past formation, every crash cell
+  // must resolve — a crashed coordinator is replaced by the spare
+  // (replaying its WAL: in-doubt presumes abort, a logged decision is
+  // re-driven) or the deadline degrades the survivors; a crashed
+  // participant degrades immediately.
+  for (std::size_t victim = 0; victim < 3; ++victim) {
+    // Step 4 is past formation for this cast under the fixed seed.
+    for (std::uint64_t step = 4; step <= 30; ++step) {
+      Scheduler sched(seeded(24));
+      Net net(sched);
+      script::runtime::SimLogStore store;
+      script::patterns::TwoPhaseCommitOptions opts;
+      opts.wal = &store;
+      opts.replace_coordinator = true;
+      opts.takeover_deadline = 64;
+      script::patterns::TwoPhaseCommit tpc(net, 2, "tpc", opts);
+      std::vector<ProcessId> pids;
+      pids.push_back(
+          net.spawn_process("coord", [&] { tpc.coordinate(); }));
+      bool p0 = false, p1 = false;
+      pids.push_back(net.spawn_process(
+          "part0", [&] { p0 = tpc.participate(0, [] { return true; }); }));
+      pids.push_back(net.spawn_process(
+          "part1", [&] { p1 = tpc.participate(1, [] { return true; }); }));
+      spawn_spare(net, tpc.instance(),
+                  [&](const RoleId&) { tpc.coordinate(); });
+      FaultPlan plan;
+      plan.crash_at_step(pids[victim], step);
+      sched.install_fault_plan(plan);
+      const RunResult result = sched.run();
+      ASSERT_TRUE(result.ok())
+          << "victim=" << victim << " step=" << step << "\n"
+          << script::runtime::describe(result, sched);
+      // Atomicity holds in every cell: surviving participants agree.
+      if (victim != 1 && victim != 2) EXPECT_EQ(p0, p1);
     }
   }
 }

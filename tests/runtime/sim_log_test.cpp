@@ -1,0 +1,85 @@
+// SimLog / SimLogStore: the simulated write-ahead log recoverable
+// services replay after a crash (docs/ROBUSTNESS.md "Recovery").
+#include "runtime/sim_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::Subsystem;
+using script::runtime::SimLog;
+using script::runtime::SimLogStore;
+
+TEST(SimLogTest, AppendIsDurableAndOrdered) {
+  SimLogStore store;
+  SimLog& log = store.open("svc");
+  log.append("begin.1", "prepare");
+  log.append("vote.1.0", "yes");
+  log.append("decision.1", "commit");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].key, "begin.1");
+  EXPECT_EQ(log.records()[2].value, "commit");
+  EXPECT_EQ(store.total_appends(), 3u);
+}
+
+TEST(SimLogTest, LastIsLastWriterWins) {
+  SimLogStore store;
+  SimLog& log = store.open("svc");
+  EXPECT_FALSE(log.last("state").has_value());
+  log.append("state", "a");
+  log.append("other", "x");
+  log.append("state", "b");
+  ASSERT_TRUE(log.last("state").has_value());
+  EXPECT_EQ(*log.last("state"), "b");
+  EXPECT_EQ(*log.last("other"), "x");
+  EXPECT_FALSE(log.last("missing").has_value());
+}
+
+TEST(SimLogTest, ReopenFindsThePredecessorsRecords) {
+  // The recovery contract: a restarted incarnation opens the same name
+  // and reads what the crashed one managed to write.
+  SimLogStore store;
+  store.open("svc").append("decision.7", "abort");
+  SimLog& again = store.open("svc");
+  ASSERT_TRUE(again.last("decision.7").has_value());
+  EXPECT_EQ(*again.last("decision.7"), "abort");
+  EXPECT_EQ(store.log_count(), 1u);  // same log, not a new one
+  EXPECT_TRUE(store.exists("svc"));
+  EXPECT_FALSE(store.exists("other"));
+}
+
+TEST(SimLogTest, LogsAreIsolatedByName) {
+  SimLogStore store;
+  store.open("a").append("k", "va");
+  store.open("b").append("k", "vb");
+  EXPECT_EQ(*store.open("a").last("k"), "va");
+  EXPECT_EQ(*store.open("b").last("k"), "vb");
+  EXPECT_EQ(store.log_count(), 2u);
+  EXPECT_EQ(store.total_appends(), 2u);
+}
+
+TEST(SimLogTest, AttachedBusSeesEveryAppendAsRecoveryEvent) {
+  SimLogStore store;
+  EventBus bus;
+  std::vector<Event> seen;
+  bus.subscribe(EventBus::mask_of(Subsystem::Recovery),
+                [&](const Event& e) { seen.push_back(e); });
+  store.attach_bus(&bus);
+  store.open("svc").append("decision.1", "commit");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].name, "wal.append");
+  EXPECT_NE(seen[0].detail.find("decision.1"), std::string::npos);
+  // Detached: appends go silent again.
+  store.attach_bus(nullptr);
+  store.open("svc").append("decision.2", "abort");
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+}  // namespace

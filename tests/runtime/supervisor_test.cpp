@@ -1,0 +1,264 @@
+// Supervisor: supervised restart over the fiber runtime
+// (docs/ROBUSTNESS.md "Recovery"). Children crash either by FaultPlan
+// or by throwing FiberKilled themselves (the trampoline records both as
+// a crash, not a failure); the supervisor must respawn them after the
+// configured backoff, bound restart intensity, and surface everything
+// through introspection, Recovery events, and the deadlock report.
+#include "runtime/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "obs/event_bus.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using script::csp::Net;
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::Subsystem;
+using script::runtime::ChildOptions;
+using script::runtime::FaultPlan;
+using script::runtime::FiberKilled;
+using script::runtime::ProcessId;
+using script::runtime::RestartPolicy;
+using script::runtime::RunResult;
+using script::runtime::Scheduler;
+using script::runtime::Supervisor;
+
+TEST(SupervisorTest, RestartsCrashedChildWithFreshState) {
+  Scheduler sched;
+  Supervisor sup(sched);
+  int runs = 0;
+  bool completed = false;
+  auto factory = [&] {
+    return [&] {
+      ++runs;
+      if (runs == 1) throw FiberKilled{};  // first incarnation dies
+      completed = true;
+    };
+  };
+  const ProcessId first = sched.spawn("svc", factory());
+  const std::uint64_t child = sup.supervise(first, "svc", factory);
+
+  std::vector<std::pair<ProcessId, ProcessId>> restarts;
+  sup.on_restart([&](std::uint64_t id, ProcessId old_pid, ProcessId fresh) {
+    EXPECT_EQ(id, child);
+    restarts.emplace_back(old_pid, fresh);
+  });
+
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(sup.restarts(child), 1u);
+  EXPECT_EQ(sup.total_restarts(), 1u);
+  EXPECT_EQ(sup.gave_up_count(), 0u);
+  ASSERT_EQ(restarts.size(), 1u);
+  EXPECT_EQ(restarts[0].first, first);
+  EXPECT_NE(restarts[0].second, first);
+  EXPECT_EQ(sup.pid_of(child), restarts[0].second);
+}
+
+TEST(SupervisorTest, FaultPlanCrashIsAlsoSupervised) {
+  // The same recovery path fires when the crash comes from a FaultPlan
+  // rather than the body itself.
+  Scheduler sched;
+  Supervisor sup(sched);
+  int runs = 0;
+  auto factory = [&] {
+    return [&] {
+      ++runs;
+      if (runs == 1) sched.sleep_for(1000);  // killed during this nap
+    };
+  };
+  const ProcessId first = sched.spawn("svc", factory());
+  const std::uint64_t child = sup.supervise(first, "svc", factory);
+  FaultPlan plan;
+  plan.crash_at_time(first, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(sup.restarts(child), 1u);
+}
+
+TEST(SupervisorTest, BackoffIsCappedExponentialOnVirtualTime) {
+  Scheduler sched;
+  Supervisor sup(sched);
+  int runs = 0;
+  std::vector<std::uint64_t> restart_times;
+  auto factory = [&] {
+    return [&] {
+      ++runs;
+      restart_times.push_back(sched.now());
+      throw FiberKilled{};  // every incarnation dies immediately
+    };
+  };
+  ChildOptions opts;
+  opts.backoff_initial = 2;
+  opts.backoff_factor = 2.0;
+  opts.backoff_max = 8;
+  opts.max_restarts = 3;  // the 4th crash in the window escalates
+  const ProcessId first = sched.spawn("svc", factory());
+  const std::uint64_t child = sup.supervise(first, "svc", factory, opts);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+
+  // Incarnations: initial + 3 restarts; then intensity exceeded.
+  EXPECT_EQ(runs, 4);
+  EXPECT_EQ(sup.restarts(child), 3u);
+  EXPECT_EQ(sup.state(child), Supervisor::ChildState::Failed);
+  EXPECT_EQ(sup.gave_up_count(), 1u);
+  // Backoffs 2, 4, 8 (capped): restarts at t = 2, 6, 14.
+  ASSERT_EQ(restart_times.size(), 4u);
+  EXPECT_EQ(restart_times[1] - restart_times[0], 2u);
+  EXPECT_EQ(restart_times[2] - restart_times[1], 4u);
+  EXPECT_EQ(restart_times[3] - restart_times[2], 8u);
+  EXPECT_EQ(sup.last_backoff(child), 8u);
+}
+
+TEST(SupervisorTest, EscalatePolicyNeverRestarts) {
+  Scheduler sched;
+  Supervisor sup(sched);
+  int runs = 0;
+  auto factory = [&] {
+    return [&] {
+      ++runs;
+      throw FiberKilled{};
+    };
+  };
+  ChildOptions opts;
+  opts.policy = RestartPolicy::Escalate;
+  const ProcessId first = sched.spawn("svc", factory());
+  const std::uint64_t child = sup.supervise(first, "svc", factory, opts);
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sup.restarts(child), 0u);
+  EXPECT_EQ(sup.state(child), Supervisor::ChildState::Failed);
+  EXPECT_EQ(sup.gave_up_count(), 1u);
+}
+
+TEST(SupervisorTest, ForgetDetachesTheChild) {
+  Scheduler sched;
+  Supervisor sup(sched);
+  int runs = 0;
+  auto factory = [&] {
+    return [&] {
+      ++runs;
+      throw FiberKilled{};
+    };
+  };
+  const ProcessId first = sched.spawn("svc", factory());
+  const std::uint64_t child = sup.supervise(first, "svc", factory);
+  sup.forget(child);
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(runs, 1);  // crash after forget: nobody restarts it
+  EXPECT_EQ(sup.total_restarts(), 0u);
+  EXPECT_EQ(sup.state(child), Supervisor::ChildState::Done);
+}
+
+TEST(SupervisorTest, PublishesRecoveryEventsAndRestartEdge) {
+  Scheduler sched;
+  sched.enable_causal_tracking();
+  Supervisor sup(sched);
+  std::vector<std::string> recovery_names;
+  sched.bus().subscribe(EventBus::mask_of(Subsystem::Recovery),
+                        [&](const Event& e) {
+                          recovery_names.push_back(e.name);
+                        });
+  std::vector<std::string> causal_edges;
+  sched.bus().subscribe(EventBus::mask_of(Subsystem::Causal),
+                        [&](const Event& e) {
+                          if (e.name == "flow.s")
+                            causal_edges.push_back(e.detail);
+                        });
+  int runs = 0;
+  auto factory = [&] {
+    return [&] {
+      if (++runs == 1) throw FiberKilled{};
+    };
+  };
+  const ProcessId first = sched.spawn("svc", factory());
+  sup.supervise(first, "svc", factory);
+  ASSERT_TRUE(sched.run().ok());
+  // backoff then restart, each announced on the Recovery subsystem.
+  EXPECT_NE(std::find(recovery_names.begin(), recovery_names.end(),
+                      "supervisor.backoff"),
+            recovery_names.end());
+  EXPECT_NE(std::find(recovery_names.begin(), recovery_names.end(),
+                      "supervisor.restart"),
+            recovery_names.end());
+  // The restart is a happens-before edge old → fresh.
+  EXPECT_NE(std::find(causal_edges.begin(), causal_edges.end(), "restart"),
+            causal_edges.end());
+}
+
+TEST(SupervisorTest, FailedChildShowsUpInTheDeadlockReport) {
+  // A permanently-failed child is exactly the kind of fact a wedged-run
+  // report needs: the supervisor's section rides along in describe().
+  Scheduler sched;
+  Net net(sched);
+  Supervisor sup(sched);
+  auto factory = [&] {
+    return [&] { throw FiberKilled{}; };
+  };
+  ChildOptions opts;
+  opts.policy = RestartPolicy::Escalate;
+  const ProcessId first = sched.spawn("flaky-svc", factory());
+  const std::uint64_t child = sup.supervise(first, "flaky-svc", factory, opts);
+  // Two mutually-waiting fibers turn the run into a deadlock outcome.
+  ProcessId a = script::runtime::kNoProcess;
+  ProcessId b = script::runtime::kNoProcess;
+  a = net.spawn_process("stuck-a", [&] { (void)net.recv<int>(b, "never"); });
+  b = net.spawn_process("stuck-b", [&] { (void)net.recv<int>(a, "never"); });
+  const RunResult result = sched.run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(sup.state(child), Supervisor::ChildState::Failed);
+  const std::string report = script::runtime::describe(result, sched);
+  EXPECT_NE(report.find("flaky-svc"), std::string::npos) << report;
+  // And the section text itself names the non-running child.
+  EXPECT_NE(sup.report().find("flaky-svc"), std::string::npos);
+}
+
+TEST(SupervisorTest, SpawnerRoutesReplacementIncarnations) {
+  // Programs on a Net pass net.spawn_process so fresh incarnations are
+  // registered with the Net (termination detection keeps working).
+  Scheduler sched;
+  Net net(sched);
+  Supervisor sup(sched);
+  sup.set_spawner([&](std::string name, std::function<void()> body) {
+    return net.spawn_process(std::move(name), std::move(body));
+  });
+  ProcessId fresh = script::runtime::kNoProcess;
+  sup.on_restart(
+      [&](std::uint64_t, ProcessId, ProcessId f) { fresh = f; });
+  int runs = 0;
+  int got = 0;
+  const ProcessId rx = net.spawn_process("rx", [&] {
+    sched.sleep_for(100);  // well past the default backoff
+    ASSERT_NE(fresh, script::runtime::kNoProcess);
+    got = net.recv<int>(fresh, "ping").value_or(-1);
+  });
+  auto factory = [&] {
+    return [&] {
+      if (++runs == 1) throw FiberKilled{};
+      // The replacement can use the Net: its pid is registered there.
+      ASSERT_TRUE(net.send(rx, "ping", 7).has_value());
+    };
+  };
+  const ProcessId first = net.spawn_process("svc", factory());
+  sup.supervise(first, "svc", factory);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(got, 7);
+}
+
+}  // namespace

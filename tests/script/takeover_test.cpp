@@ -1,0 +1,342 @@
+// FailurePolicy::Replace — role takeover (docs/SEMANTICS.md §10).
+//
+// A crashed role parks its survivors instead of voiding the
+// performance; a queued (or late-arriving) compatible enrollment is
+// readmitted INTO the live performance with the crashed role's data
+// parameters and ctx.resumed() == true. No replacement within the
+// takeover deadline falls back to the spec's fallback policy. The
+// kill-during-takeover sweep at the bottom is the regression for the
+// recovery machinery itself: crashing the replacement at every
+// schedule point must still resolve every run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "runtime/explore.hpp"
+#include "runtime/fault.hpp"
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::EnrollResult;
+using script::core::FailurePolicy;
+using script::core::Initiation;
+using script::core::Params;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::runtime::FaultPlan;
+using script::runtime::FiberKilled;
+using script::runtime::ProcessId;
+using script::runtime::RunResult;
+using script::runtime::Scheduler;
+
+ScriptSpec replace_pair(std::uint64_t deadline,
+                        FailurePolicy fallback = FailurePolicy::Abort) {
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  spec.on_failure(FailurePolicy::Replace)
+      .takeover_deadline(deadline)
+      .takeover_fallback(fallback);
+  return spec;
+}
+
+TEST(TakeoverTest, ReplacementResumesTheCrashedRole) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, replace_pair(500));
+  std::vector<int> got;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    for (int i = 0; i < 2; ++i) {
+      auto r = ctx.recv<int>(RoleId("b"));
+      if (!r.has_value()) {
+        // The takeover idiom: park for the replacement, then retry.
+        ASSERT_TRUE(ctx.await_takeover(RoleId("b")));
+        r = ctx.recv<int>(RoleId("b"));
+      }
+      ASSERT_TRUE(r.has_value());
+      got.push_back(*r);
+    }
+  });
+  inst.on_role("b", [&](RoleContext& ctx) {
+    if (!ctx.resumed()) {
+      ASSERT_TRUE(ctx.send(RoleId("a"), 1).has_value());
+      ctx.scheduler().sleep_for(1000);  // killed during this nap
+      (void)ctx.send(RoleId("a"), 2);
+    } else {
+      // The crashed incarnation's in-parameters were adopted.
+      EXPECT_EQ(ctx.param<int>("token"), 7);
+      ASSERT_TRUE(ctx.send(RoleId("a"), 2).has_value());
+      ctx.set_param("done", true);
+    }
+  });
+
+  EnrollResult a_res;
+  net.spawn_process("A", [&] { a_res = inst.enroll(RoleId("a")); });
+  const ProcessId doomed = net.spawn_process("B1", [&] {
+    inst.enroll(RoleId("b"), {}, Params().in("token", 7));
+  });
+  bool b2_done = false;
+  EnrollResult b2_res;
+  net.spawn_process("B2", [&] {
+    sched.sleep_for(100);  // arrives after the crash, inside the window
+    b2_res = inst.enroll(RoleId("b"), {}, Params().out("done", &b2_done));
+  });
+  FaultPlan plan;
+  plan.crash_at_time(doomed, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(a_res.aborted);
+  EXPECT_TRUE(b2_res.resumed);
+  EXPECT_EQ(b2_res.performance, a_res.performance);
+  EXPECT_TRUE(b2_done);
+  EXPECT_EQ(inst.takeovers_completed(), 1u);
+  EXPECT_EQ(inst.takeovers_failed(), 0u);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+  EXPECT_EQ(inst.performances_aborted(), 0u);
+  EXPECT_EQ(inst.queue_length(), 0u);
+}
+
+TEST(TakeoverTest, QueuedRequestIsAdmittedAsReplacement) {
+  // The replacement need not arrive after the crash: a request already
+  // queued (the role was occupied) is readmitted when the role opens.
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, replace_pair(500));
+  inst.on_role("a", [&](RoleContext& ctx) {
+    auto r = ctx.recv<int>(RoleId("b"));
+    if (!r.has_value() && ctx.await_takeover(RoleId("b")))
+      r = ctx.recv<int>(RoleId("b"));
+    EXPECT_TRUE(r.has_value());
+  });
+  inst.on_role("b", [&](RoleContext& ctx) {
+    if (ctx.resumed()) {
+      ASSERT_TRUE(ctx.send(RoleId("a"), 2).has_value());
+      return;
+    }
+    ctx.scheduler().sleep_for(1000);  // killed before sending anything
+    (void)ctx.send(RoleId("a"), 1);
+  });
+  net.spawn_process("A", [&] { inst.enroll(RoleId("a")); });
+  const ProcessId doomed =
+      net.spawn_process("B1", [&] { inst.enroll(RoleId("b")); });
+  EnrollResult b2_res;
+  net.spawn_process("B2", [&] { b2_res = inst.enroll(RoleId("b")); });
+  FaultPlan plan;
+  plan.crash_at_time(doomed, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_TRUE(b2_res.resumed);
+  EXPECT_EQ(inst.takeovers_completed(), 1u);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+}
+
+TEST(TakeoverTest, NoReplacementFallsBackToAbort) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, replace_pair(30, FailurePolicy::Abort));
+  bool await_said_no = false;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    auto r = ctx.recv<int>(RoleId("b"));
+    EXPECT_FALSE(r.has_value());
+    await_said_no = !ctx.await_takeover(RoleId("b"));
+  });
+  inst.on_role("b", [](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(1000);
+    (void)ctx.send(RoleId("a"), 1);
+  });
+  EnrollResult a_res;
+  net.spawn_process("A", [&] { a_res = inst.enroll(RoleId("a")); });
+  const ProcessId doomed =
+      net.spawn_process("B", [&] { inst.enroll(RoleId("b")); });
+  // Probe the mid-takeover introspection from a third fiber.
+  std::string mid_report;
+  net.spawn_process("probe", [&] {
+    sched.sleep_for(60);  // crash at 50, deadline 30 ends at 80
+    mid_report = inst.report();
+  });
+  FaultPlan plan;
+  plan.crash_at_time(doomed, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_TRUE(a_res.aborted);
+  EXPECT_GE(a_res.retry_after, 1u);
+  EXPECT_TRUE(await_said_no);
+  EXPECT_EQ(inst.takeovers_failed(), 1u);
+  EXPECT_EQ(inst.takeovers_completed(), 0u);
+  EXPECT_EQ(inst.performances_aborted(), 1u);
+  // While the role was open the report names it.
+  EXPECT_NE(mid_report.find("b"), std::string::npos) << mid_report;
+}
+
+TEST(TakeoverTest, NoReplacementFallsBackToDegrade) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, replace_pair(30, FailurePolicy::Degrade));
+  bool saw_failed = false;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    auto r = ctx.recv<int>(RoleId("b"));
+    EXPECT_FALSE(r.has_value());
+    if (!ctx.await_takeover(RoleId("b"))) {
+      // Degraded: the dead role reads like one that was never filled.
+      saw_failed = ctx.failed(RoleId("b"));
+      return;
+    }
+  });
+  inst.on_role("b", [](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(1000);
+    (void)ctx.send(RoleId("a"), 1);
+  });
+  EnrollResult a_res;
+  net.spawn_process("A", [&] { a_res = inst.enroll(RoleId("a")); });
+  const ProcessId doomed =
+      net.spawn_process("B", [&] { inst.enroll(RoleId("b")); });
+  FaultPlan plan;
+  plan.crash_at_time(doomed, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_FALSE(a_res.aborted);
+  EXPECT_TRUE(saw_failed);
+  EXPECT_EQ(inst.takeovers_failed(), 1u);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+  EXPECT_EQ(inst.performances_aborted(), 0u);
+}
+
+TEST(TakeoverTest, EnrollWithRetryRidesOutAnAbortedPerformance) {
+  // Default Abort policy: the helper turns "my performance was voided"
+  // into a fresh attempt after a backoff, no hand-rolled loop.
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  ScriptInstance inst(net, spec);
+  int b_runs = 0;
+  int a_got = -1;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    auto r = ctx.recv<int>(RoleId("b"));
+    if (r.has_value()) a_got = *r;
+  });
+  inst.on_role("b", [&](RoleContext& ctx) {
+    if (++b_runs == 1) {
+      ctx.scheduler().sleep_for(1000);  // killed; performance aborts
+      return;
+    }
+    ASSERT_TRUE(ctx.send(RoleId("a"), 42).has_value());
+  });
+  EnrollResult a_res;
+  net.spawn_process("A", [&] {
+    a_res = inst.enroll_with_retry(RoleId("a"));
+  });
+  const ProcessId doomed =
+      net.spawn_process("B1", [&] { inst.enroll(RoleId("b")); });
+  net.spawn_process("B2", [&] {
+    sched.sleep_for(100);
+    inst.enroll(RoleId("b"));
+  });
+  FaultPlan plan;
+  plan.crash_at_time(doomed, 50);
+  sched.install_fault_plan(plan);
+  const RunResult result = sched.run();
+  ASSERT_TRUE(result.ok()) << script::runtime::describe(result, sched);
+  EXPECT_FALSE(a_res.aborted);
+  EXPECT_EQ(a_res.performance, 2u);
+  EXPECT_EQ(a_got, 42);
+  EXPECT_EQ(inst.performances_aborted(), 1u);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+}
+
+// ---- Satellite: kill-during-takeover, exhaustively ----
+//
+// Two candidate b-players; whichever enrolls first self-crashes mid-
+// performance, opening a takeover window for the other. The explorer
+// additionally crashes either candidate at every dispatch step — so
+// some schedules kill the replacement while it is queued, some after
+// it was readmitted, some during the handoff itself. EVERY schedule
+// must resolve (takeover completes, or the deadline fires and the
+// fallback aborts); nothing may wedge or leak a queued request.
+TEST(TakeoverTest, KillDuringTakeoverResolvesEverySchedule) {
+  struct World {
+    std::unique_ptr<Net> net;
+    std::unique_ptr<ScriptInstance> inst;
+    bool a_returned = false;
+  };
+  auto w = std::make_shared<World>();
+
+  script::runtime::FaultExploreOptions opts;
+  opts.max_crash_step = 10;
+  opts.candidate_pids = {1, 2};  // the two b-players (spawn order)
+  opts.base.max_runs = 20000;
+
+  const auto stats = script::runtime::explore_fault_schedules(
+      [w](Scheduler& sched) {
+        w->net = std::make_unique<Net>(sched);
+        w->inst =
+            std::make_unique<ScriptInstance>(*w->net, replace_pair(40));
+        w->a_returned = false;
+        w->inst->on_role("a", [](RoleContext& ctx) {
+          int needed = 2;
+          while (needed > 0) {
+            auto r = ctx.recv<int>(RoleId("b"));
+            if (r.has_value()) {
+              --needed;
+              continue;
+            }
+            if (!ctx.await_takeover(RoleId("b"))) return;  // gone for good
+          }
+        });
+        w->inst->on_role("b", [](RoleContext& ctx) {
+          if (!ctx.resumed()) {
+            (void)ctx.send(RoleId("a"), 1);
+            throw FiberKilled{};  // the takeover trigger
+          }
+          (void)ctx.send(RoleId("a"), 2);
+        });
+        w->net->spawn_process("A", [w] {
+          (void)w->inst->enroll(RoleId("a"));
+          w->a_returned = true;
+        });
+        w->net->spawn_process("B1",
+                              [w] { (void)w->inst->enroll(RoleId("b")); });
+        w->net->spawn_process("B2",
+                              [w] { (void)w->inst->enroll(RoleId("b")); });
+      },
+      [w](Scheduler& sched, const RunResult& r, const FaultPlan&) {
+        // The instance deregisters its crash hook from the scheduler it
+        // was built on; that scheduler dies with this run, so tear the
+        // world down now — not inside the next build.
+        struct Teardown {
+          std::shared_ptr<World> w;
+          ~Teardown() {
+            w->inst.reset();
+            w->net.reset();
+          }
+        } teardown{w};
+        if (r.outcome == script::runtime::RunResult::Outcome::StepLimit)
+          return;  // truncated schedule: nothing to assert
+        ASSERT_TRUE(r.ok()) << script::runtime::describe(r, sched);
+        // However the schedule went, nothing is left queued and the one
+        // performance either completed or aborted.
+        EXPECT_EQ(w->inst->queue_length(), 0u);
+        EXPECT_EQ(w->inst->performances_completed() +
+                      w->inst->performances_aborted(),
+                  1u);
+      },
+      opts);
+  EXPECT_GT(stats.interleavings, 0u);
+}
+
+}  // namespace
