@@ -1,5 +1,8 @@
 #include "lockdb/lock_table.hpp"
 
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
+
 namespace script::lockdb {
 
 void LockTable::publish(const char* name, const std::string& item,
@@ -124,6 +127,38 @@ bool LockTable::holds(const std::string& item, OwnerId owner) const {
 std::size_t LockTable::holder_count(const std::string& item) const {
   const auto it = entries_.find(item);
   return it == entries_.end() ? 0 : it->second.owners.size();
+}
+
+std::string LockTable::snapshot_json() const {
+  obs::json::Writer w;
+  w.object();
+  w.key("held").value(static_cast<std::uint64_t>(entries_.size()));
+  w.key("grants").value(grants_);
+  w.key("denials").value(denials_);
+  w.key("leases_reaped").value(leases_reaped_);
+  w.key("items").array();
+  for (const auto& [item, e] : entries_) {
+    w.object();
+    w.key("item").value(item);
+    w.key("mode").value(e.mode == LockMode::Exclusive ? "exclusive"
+                                                      : "shared");
+    w.key("owners").array();
+    for (const OwnerId o : e.owners) {
+      w.object();
+      w.key("owner").value(static_cast<std::uint64_t>(o));
+      const auto lease = e.leases.find(o);
+      if (lease != e.leases.end())
+        w.key("lease_expiry").value(lease->second);
+      w.end();
+    }
+    w.end().end();
+  }
+  w.end().end();
+  return w.str();
+}
+
+std::size_t LockTable::attach_inspector(obs::Inspector& inspector) {
+  return inspector.attach("locks", [this] { return snapshot_json(); });
 }
 
 }  // namespace script::lockdb

@@ -14,6 +14,10 @@
 
 #include "obs/event_bus.hpp"
 
+namespace script::obs {
+class Inspector;
+}  // namespace script::obs
+
 namespace script::lockdb {
 
 /// A lock requester (the paper's "unique processor identifier").
@@ -77,6 +81,12 @@ class LockTable {
   /// `bus` (Subsystem::Lock). lockdb has no scheduler of its own, so
   /// the owner wires a bus in (nullptr detaches).
   void attach_bus(obs::EventBus* bus) { bus_ = bus; }
+
+  /// Structured snapshot: every locked item with its mode, owners, and
+  /// lease expiries, plus the grant/denial counters.
+  std::string snapshot_json() const;
+  /// Register the snapshot as a "locks" Inspector section.
+  std::size_t attach_inspector(obs::Inspector& inspector);
 
  private:
   struct Entry {

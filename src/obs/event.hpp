@@ -52,6 +52,7 @@ enum class Subsystem : std::uint8_t {
   Fault,      // injected faults: crashes, stalls, message drop/dup/delay
   Causal,     // happens-before edges between fibers (flow.s / flow.f)
   Recovery,   // supervisor restarts, role takeover, WAL replay, leases
+  Health,     // SLO violations and watchdog alarms (HealthMonitor)
   kCount,
 };
 

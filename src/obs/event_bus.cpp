@@ -19,6 +19,7 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::Fault: return "fault";
     case Subsystem::Causal: return "causal";
     case Subsystem::Recovery: return "recovery";
+    case Subsystem::Health: return "health";
     case Subsystem::kCount: break;
   }
   return "unknown";
@@ -39,17 +40,33 @@ bool vclock_less(const std::vector<std::uint64_t>& a,
 EventBus::SubId EventBus::subscribe(Mask mask, Subscriber fn) {
   SCRIPT_ASSERT(fn != nullptr, "EventBus::subscribe with null subscriber");
   const SubId id = next_id_++;
-  subs_.push_back(Sub{id, mask, std::move(fn)});
+  subs_.push_back(std::make_unique<Sub>(Sub{id, mask, std::move(fn), false}));
   recompute_wants();
   return id;
 }
 
 void EventBus::unsubscribe(SubId id) {
-  const auto it = std::find_if(subs_.begin(), subs_.end(),
-                               [id](const Sub& s) { return s.id == id; });
+  const auto it = std::find_if(
+      subs_.begin(), subs_.end(),
+      [id](const std::unique_ptr<Sub>& s) { return s->id == id && !s->dead; });
   SCRIPT_ASSERT(it != subs_.end(), "EventBus::unsubscribe: unknown id");
-  subs_.erase(it);
+  if (publish_depth_ > 0) {
+    // Called from inside a subscriber: tombstone now, compact later.
+    (*it)->dead = true;
+    has_dead_ = true;
+  } else {
+    subs_.erase(it);
+  }
   recompute_wants();
+}
+
+void EventBus::compact_subs() {
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [](const std::unique_ptr<Sub>& s) {
+                               return s->dead;
+                             }),
+              subs_.end());
+  has_dead_ = false;
 }
 
 void EventBus::publish(Event e) {
@@ -57,8 +74,16 @@ void EventBus::publish(Event e) {
   if (stamper_) stamper_(e);
   ++published_;
   const Mask bit = mask_of(e.subsystem);
-  for (const Sub& s : subs_)
-    if (s.mask & bit) s.fn(e);
+  // Index loop with a size snapshot: subscribers added during this
+  // publish (indexes >= n) first see the next event, and the stable
+  // unique_ptr storage keeps `s` valid across a reallocating subscribe.
+  ++publish_depth_;
+  const std::size_t n = subs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Sub* s = subs_[i].get();
+    if (!s->dead && (s->mask & bit)) s->fn(e);
+  }
+  if (--publish_depth_ == 0 && has_dead_) compact_subs();
   if (history_cap_ != 0 && e.pid != kNoPid) {
     auto& ring = history_[e.pid];
     ring.push_back(std::move(e));
@@ -91,7 +116,8 @@ const std::deque<Event>* EventBus::history_for(Pid pid) const {
 
 void EventBus::recompute_wants() {
   wants_ = history_cap_ != 0 ? kAllSubsystems : 0;
-  for (const Sub& s : subs_) wants_ |= s.mask;
+  for (const auto& s : subs_)
+    if (!s->dead) wants_ |= s->mask;
 }
 
 }  // namespace script::obs

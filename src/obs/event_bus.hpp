@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ class EventBus {
   /// Register `fn` for every event whose subsystem is in `mask`.
   /// Subscribers run synchronously, in subscription order, and must not
   /// block. Returns an id for unsubscribe().
+  ///
+  /// Both calls are reentrancy-safe: a subscriber may subscribe or
+  /// unsubscribe (itself or others) from inside publish(). A subscriber
+  /// added during a publish first sees the *next* event; one removed
+  /// during a publish receives no further events, including the one in
+  /// flight if its turn had not yet come.
   SubId subscribe(Mask mask, Subscriber fn);
   void unsubscribe(SubId id);
 
@@ -83,17 +90,26 @@ class EventBus {
   const std::deque<Event>* history_for(Pid pid) const;
 
  private:
+  // Subs live behind unique_ptr so publish() can hold a stable pointer
+  // across a reentrant subscribe() (vector reallocation). Unsubscribing
+  // mid-publish tombstones the entry (`dead`); the vector is compacted
+  // once the outermost publish returns, so iteration indexes stay valid
+  // and the executing std::function is never destroyed under itself.
   struct Sub {
     SubId id;
     Mask mask;
     Subscriber fn;
+    bool dead = false;
   };
 
   void recompute_wants();
+  void compact_subs();
 
-  std::vector<Sub> subs_;
+  std::vector<std::unique_ptr<Sub>> subs_;
   Mask wants_ = 0;
   SubId next_id_ = 1;
+  int publish_depth_ = 0;
+  bool has_dead_ = false;
   std::uint64_t published_ = 0;
   std::function<std::uint64_t()> clock_;
   std::function<void(Event&)> stamper_;

@@ -1,0 +1,244 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace script::obs {
+
+void RollingHistogram::rotate_to(std::uint64_t epoch) {
+  if (epoch == epoch_) return;
+  if (epoch == epoch_ + 1) {
+    prev_ = cur_;
+  } else {
+    prev_ = Histogram{};  // gap longer than a window: nothing carries over
+  }
+  cur_ = Histogram{};
+  epoch_ = epoch;
+}
+
+void RollingHistogram::observe(std::uint64_t now, double v) {
+  if (window_ != 0) rotate_to(now / window_);
+  cur_.observe(v);
+}
+
+Histogram RollingHistogram::merged() const {
+  Histogram m = prev_;
+  m.absorb(cur_);
+  return m;
+}
+
+HealthMonitor::HealthMonitor(EventBus& bus) : bus_(&bus) {
+  // Script events are already hot (the TraceLog bridge subscribes to
+  // them); adding Recovery costs only the supervisor/takeover paths.
+  sub_ = bus_->subscribe(EventBus::mask_of(Subsystem::Script) |
+                             EventBus::mask_of(Subsystem::Recovery),
+                         [this](const Event& e) { on_event(e); });
+}
+
+HealthMonitor::~HealthMonitor() { bus_->unsubscribe(sub_); }
+
+void HealthMonitor::watch_script(std::int32_t lane, std::string name,
+                                 SloConfig slo,
+                                 std::function<std::size_t()> queue_depth_fn) {
+  const std::uint64_t window = slo.window != 0 ? slo.window : 4096;
+  Watch w{std::move(name),
+          slo,
+          std::move(queue_depth_fn),
+          RollingHistogram(window),
+          RollingHistogram(window),
+          {},
+          {},
+          now_,
+          false,
+          false};
+  watches_.insert_or_assign(lane, std::move(w));
+}
+
+void HealthMonitor::unwatch_script(std::int32_t lane) {
+  watches_.erase(lane);
+}
+
+std::size_t HealthMonitor::watch_restarts(
+    std::string name, std::function<std::vector<RestartPressure>()> provider) {
+  const std::size_t id = next_sup_id_++;
+  sup_watches_.push_back(
+      SupWatch{id, std::move(name), std::move(provider), {}});
+  return id;
+}
+
+void HealthMonitor::unwatch_restarts(std::size_t id) {
+  sup_watches_.erase(
+      std::remove_if(sup_watches_.begin(), sup_watches_.end(),
+                     [id](const SupWatch& w) { return w.id == id; }),
+      sup_watches_.end());
+}
+
+void HealthMonitor::raise(const char* name, std::int32_t lane,
+                          std::string detail, double value) {
+  ++violations_;
+  ++by_name_[name];
+  if (raising_ || !bus_->wants(Subsystem::Health)) return;
+  raising_ = true;
+  Event e;
+  e.kind = EventKind::Instant;
+  e.subsystem = Subsystem::Health;
+  e.time = now_;
+  e.lane = lane;
+  e.name = name;
+  e.detail = std::move(detail);
+  e.value = value;
+  bus_->publish(std::move(e));
+  raising_ = false;
+}
+
+void HealthMonitor::on_event(const Event& e) {
+  if (raising_) return;  // our own Health events loop back via Recovery? no —
+                         // defensive anyway against future mask widening
+  if (e.time != kAutoTime && e.time > now_) now_ = e.time;
+
+  const auto it = watches_.find(e.lane);
+  if (it != watches_.end()) {
+    Watch& w = it->second;
+    w.last_progress = std::max(w.last_progress, e.time);
+    if (e.subsystem == Subsystem::Script) {
+      if (e.name.rfind("enroll.attempt", 0) == 0) {
+        if (e.pid != kNoPid) w.enroll_started[e.pid] = e.time;
+      } else if (e.name == "enroll.ok") {
+        const auto started = w.enroll_started.find(e.pid);
+        if (started != w.enroll_started.end()) {
+          const auto latency =
+              static_cast<double>(e.time - started->second);
+          w.enroll_started.erase(started);
+          w.enroll.observe(e.time, latency);
+          if (w.slo.enroll_latency != 0 &&
+              latency > static_cast<double>(w.slo.enroll_latency))
+            raise("health.slo.enroll", e.lane,
+                  w.name + ": enroll latency " + json::num(latency) +
+                      " > slo " + std::to_string(w.slo.enroll_latency),
+                  latency);
+        }
+      } else if (e.name.rfind("enroll.fail", 0) == 0) {
+        if (e.pid != kNoPid) w.enroll_started.erase(e.pid);
+      } else if (e.name == "performance") {
+        const auto number = static_cast<std::uint64_t>(e.value);
+        if (e.kind == EventKind::SpanBegin) {
+          w.perf_open[number] = e.time;
+          w.stuck_latched = false;
+        } else if (e.kind == EventKind::SpanEnd) {
+          const auto begin = w.perf_open.find(number);
+          if (begin != w.perf_open.end()) {
+            const auto span = static_cast<double>(e.time - begin->second);
+            w.perf_open.erase(begin);
+            w.makespan.observe(e.time, span);
+            if (w.slo.makespan != 0 &&
+                span > static_cast<double>(w.slo.makespan))
+              raise("health.slo.makespan", e.lane,
+                    w.name + ": performance #" + std::to_string(number) +
+                        " makespan " + json::num(span) + " > slo " +
+                        std::to_string(w.slo.makespan),
+                    span);
+          }
+          if (w.perf_open.empty()) w.stuck_latched = false;
+        }
+      }
+    }
+  }
+
+  poll(now_);
+}
+
+void HealthMonitor::poll(std::uint64_t now) {
+  if (now > now_) now_ = now;
+  if (now_ == last_poll_) return;
+  last_poll_ = now_;
+
+  for (auto& [lane, w] : watches_) {
+    if (w.slo.stuck_after != 0 && !w.perf_open.empty() && !w.stuck_latched &&
+        now_ - w.last_progress >= w.slo.stuck_after) {
+      w.stuck_latched = true;
+      std::uint64_t oldest = now_;
+      for (const auto& [number, begin] : w.perf_open)
+        oldest = std::min(oldest, begin);
+      raise("health.stuck", lane,
+            w.name + ": no progress for " +
+                std::to_string(now_ - w.last_progress) +
+                " ticks (performance open since " + std::to_string(oldest) +
+                ")",
+            static_cast<double>(now_ - w.last_progress));
+    }
+    if (w.slo.queue_depth != 0 && w.queue_depth_fn) {
+      const std::size_t depth = w.queue_depth_fn();
+      if (depth > w.slo.queue_depth) {
+        if (!w.queue_latched) {
+          w.queue_latched = true;
+          raise("health.queue_depth", lane,
+                w.name + ": role queue depth " + std::to_string(depth) +
+                    " > slo " + std::to_string(w.slo.queue_depth),
+                static_cast<double>(depth));
+        }
+      } else {
+        w.queue_latched = false;
+      }
+    }
+  }
+
+  for (SupWatch& sw : sup_watches_) {
+    for (const RestartPressure& rp : sw.provider()) {
+      const bool near = rp.max_restarts != 0 &&
+                        rp.crashes_in_window + 1 >= rp.max_restarts;
+      bool& latched = sw.latched[rp.child];
+      if (near && !latched) {
+        latched = true;
+        raise("health.restart_pressure", kNoLane,
+              sw.name + "/" + rp.child + ": " +
+                  std::to_string(rp.crashes_in_window) + " crash(es) in " +
+                  "window, budget " + std::to_string(rp.max_restarts),
+              static_cast<double>(rp.crashes_in_window));
+      } else if (!near) {
+        latched = false;
+      }
+    }
+  }
+}
+
+Histogram HealthMonitor::enroll_latency(std::int32_t lane) const {
+  const auto it = watches_.find(lane);
+  return it == watches_.end() ? Histogram{} : it->second.enroll.merged();
+}
+
+Histogram HealthMonitor::makespan(std::int32_t lane) const {
+  const auto it = watches_.find(lane);
+  return it == watches_.end() ? Histogram{} : it->second.makespan.merged();
+}
+
+std::uint64_t HealthMonitor::violations(const std::string& event_name) const {
+  const auto it = by_name_.find(event_name);
+  return it == by_name_.end() ? 0 : it->second;
+}
+
+std::string HealthMonitor::report() const {
+  if (violations_ == 0) return {};
+  std::string out = "health: " + std::to_string(violations_) +
+                    " condition(s) raised\n";
+  for (const auto& [name, count] : by_name_)
+    out += "  " + name + ": " + std::to_string(count) + "\n";
+  for (const auto& [lane, w] : watches_) {
+    const Histogram enroll = w.enroll.merged();
+    const Histogram span = w.makespan.merged();
+    if (enroll.count() == 0 && span.count() == 0) continue;
+    out += "  [" + w.name + "]";
+    if (enroll.count() != 0)
+      out += " enroll p50/p99 " + json::num(enroll.quantile(0.5)) + "/" +
+             json::num(enroll.quantile(0.99));
+    if (span.count() != 0)
+      out += " makespan p50/p99 " + json::num(span.quantile(0.5)) + "/" +
+             json::num(span.quantile(0.99));
+    out += "\n";
+  }
+  // Report sections are newline-joined by the scheduler; no trailer.
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace script::obs

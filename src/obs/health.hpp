@@ -1,0 +1,156 @@
+// HealthMonitor — rolling SLO histograms and watchdog detectors.
+//
+// Listens to the Script/Recovery event streams (which the TraceLog
+// bridge keeps hot anyway) and maintains, per watched script instance:
+//   * a rolling-window histogram of enroll→admit latency
+//     (enroll.attempt → enroll.ok per enrolling fiber), and
+//   * a rolling-window histogram of performance makespan
+//     (performance SpanBegin → SpanEnd per performance number).
+// Each watch carries an SloConfig; crossing a threshold publishes a
+// typed event on Subsystem::Health, so SLO violations ride the same
+// bus as everything else — the flight recorder black-boxes them, trace
+// exports show them, and metrics can count them.
+//
+// Watchdogs run from poll() (the Scheduler calls it on every virtual
+// clock advance) and detect conditions no single event announces:
+//   * health.stuck          — a performance in flight with no event on
+//                             its lane for `stuck_after` ticks,
+//   * health.queue_depth    — role queue length above `queue_depth`,
+//   * health.restart_pressure — a supervised child one crash away from
+//                             its restart budget (give-up imminent).
+// Detectors latch until the condition clears, so a stuck performance
+// alarms once rather than every tick.
+//
+// Layering: obs cannot see runtime/script types, so depth and restart
+// probes are pulled through std::function providers the owners hand in
+// (ScriptInstance::enable_health / Supervisor::enable_health).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+
+namespace script::obs {
+
+/// Per-script SLO thresholds, in virtual ticks. 0 disables a check.
+/// Carried by ScriptSpec::slo() and handed to the monitor when the
+/// instance enables health tracking.
+struct SloConfig {
+  std::uint64_t enroll_latency = 0;  // max enroll.attempt → enroll.ok
+  std::uint64_t makespan = 0;        // max performance duration
+  std::uint64_t stuck_after = 0;     // watchdog: lane silent this long
+  std::size_t queue_depth = 0;       // watchdog: queued enrollments
+  std::uint64_t window = 4096;       // rolling-histogram epoch length
+
+  bool any() const {
+    return enroll_latency != 0 || makespan != 0 || stuck_after != 0 ||
+           queue_depth != 0;
+  }
+};
+
+/// Two-epoch rolling histogram: observations land in the current
+/// epoch (floor(now / window)); merged() combines the current and
+/// previous epochs, so the view always covers between one and two
+/// windows of history and old samples age out in O(1).
+class RollingHistogram {
+ public:
+  explicit RollingHistogram(std::uint64_t window) : window_(window) {}
+
+  void observe(std::uint64_t now, double v);
+  Histogram merged() const;
+  std::uint64_t window() const { return window_; }
+
+ private:
+  void rotate_to(std::uint64_t epoch);
+  std::uint64_t window_;
+  std::uint64_t epoch_ = 0;
+  Histogram cur_;
+  Histogram prev_;
+};
+
+class HealthMonitor {
+ public:
+  /// A supervised child's standing against its restart budget, as
+  /// reported by a restart-pressure provider.
+  struct RestartPressure {
+    std::string child;
+    std::size_t crashes_in_window = 0;
+    std::size_t max_restarts = 0;
+  };
+
+  explicit HealthMonitor(EventBus& bus);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Track the script instance publishing on `lane`. `queue_depth_fn`
+  /// (optional) samples its role-queue length for the queue watchdog.
+  void watch_script(std::int32_t lane, std::string name, SloConfig slo,
+                    std::function<std::size_t()> queue_depth_fn = {});
+  void unwatch_script(std::int32_t lane);
+
+  /// Track a supervisor via a provider returning each child's crash
+  /// count inside the current restart window. Returns an id for
+  /// unwatch_restarts().
+  std::size_t watch_restarts(
+      std::string name,
+      std::function<std::vector<RestartPressure>()> provider);
+  void unwatch_restarts(std::size_t id);
+
+  /// Run the watchdogs as of `now`. The Scheduler calls this whenever
+  /// the virtual clock advances; event arrival also polls.
+  void poll(std::uint64_t now);
+
+  // ---- Queries ----
+  Histogram enroll_latency(std::int32_t lane) const;
+  Histogram makespan(std::int32_t lane) const;
+  /// Total Health conditions raised (latched re-raises not counted).
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t violations(const std::string& event_name) const;
+  /// Human summary for deadlock/abort reports; empty when healthy.
+  std::string report() const;
+
+ private:
+  struct Watch {
+    std::string name;
+    SloConfig slo;
+    std::function<std::size_t()> queue_depth_fn;
+    RollingHistogram enroll;
+    RollingHistogram makespan;
+    std::map<Pid, std::uint64_t> enroll_started;      // attempt time
+    std::map<std::uint64_t, std::uint64_t> perf_open; // number → begin
+    std::uint64_t last_progress = 0;
+    bool stuck_latched = false;
+    bool queue_latched = false;
+  };
+
+  struct SupWatch {
+    std::size_t id;
+    std::string name;
+    std::function<std::vector<RestartPressure>()> provider;
+    std::map<std::string, bool> latched;  // child → alarm standing
+  };
+
+  void on_event(const Event& e);
+  void raise(const char* name, std::int32_t lane, std::string detail,
+             double value);
+
+  EventBus* bus_;
+  EventBus::SubId sub_;
+  std::map<std::int32_t, Watch> watches_;
+  std::vector<SupWatch> sup_watches_;
+  std::size_t next_sup_id_ = 1;
+  std::uint64_t now_ = 0;
+  std::uint64_t last_poll_ = static_cast<std::uint64_t>(-1);
+  std::uint64_t violations_ = 0;
+  std::map<std::string, std::uint64_t> by_name_;
+  bool raising_ = false;
+};
+
+}  // namespace script::obs

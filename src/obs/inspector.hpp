@@ -1,0 +1,77 @@
+// Inspector — live structured snapshots of the running system.
+//
+// Components that know how to describe themselves (Scheduler,
+// ScriptInstance, Supervisor, LockTable — each has a snapshot_json())
+// attach a provider; Inspector::snapshot_json() pulls them all and
+// assembles one document:
+//
+//   {"virtual_time": 42,
+//    "sections": {"scheduler": [...], "script": [...],
+//                 "supervisor": [...], "locks": [...]}}
+//
+// Snapshots are safe to take from inside a fiber (providers only read)
+// and are plain JSON, so they can be written to disk for `scriptctl
+// inspect`, asserted on in tests, or — later — served over a socket by
+// a network layer. This is the "what is every role doing right now"
+// query the ROADMAP's serving direction needs answered without
+// stopping the world.
+//
+// Lifetime: providers capture the component by reference; detach (or
+// destroy the Inspector) before destroying the component.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace script::obs {
+
+namespace json {
+struct Value;
+}
+
+class Inspector {
+ public:
+  /// Returns a rendered JSON object describing the component now.
+  using Provider = std::function<std::string()>;
+
+  /// Attach a provider under `kind` (e.g. "scheduler", "script").
+  /// Sections of the same kind group into one array, in attach order.
+  /// Returns an id for detach().
+  std::size_t attach(std::string kind, Provider provider);
+  void detach(std::size_t id);
+  std::size_t section_count() const { return sections_.size(); }
+
+  /// Virtual-time source stamped into each snapshot (the Scheduler
+  /// wires its clock when it attaches).
+  void set_clock(std::function<std::uint64_t()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  std::string snapshot_json() const;
+  bool write_snapshot(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::size_t id;
+    std::string kind;
+    Provider provider;
+  };
+  std::vector<Section> sections_;
+  std::size_t next_id_ = 1;
+  std::function<std::uint64_t()> clock_;
+};
+
+/// Human-readable report from a parsed Inspector snapshot — the
+/// rendering behind `scriptctl inspect`, factored out so tests can pin
+/// it without exec'ing the binary.
+std::string render_inspect_report(const json::Value& snapshot);
+
+/// Summary of a flight-recorder dump (parsed with trace_read):
+/// per-subsystem record counts, drop accounting, time range, and the
+/// last `tail` events. Behind `scriptctl flight`.
+struct TraceFile;
+std::string render_flight_report(const TraceFile& dump, std::size_t tail);
+
+}  // namespace script::obs

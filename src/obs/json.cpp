@@ -1,0 +1,335 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/panic.hpp"
+
+namespace script::obs::json {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// ---- Writer ----
+
+void Writer::before_value() {
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.array) {
+    if (top.count++ != 0) out_ += ", ";
+  } else {
+    SCRIPT_ASSERT(top.key_pending, "json::Writer: value without key");
+    top.key_pending = false;
+  }
+}
+
+Writer& Writer::object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Level{false});
+  return *this;
+}
+
+Writer& Writer::array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Level{true});
+  return *this;
+}
+
+Writer& Writer::end() {
+  SCRIPT_ASSERT(!stack_.empty(), "json::Writer: end() with nothing open");
+  SCRIPT_ASSERT(!stack_.back().key_pending,
+                "json::Writer: end() with dangling key");
+  out_ += stack_.back().array ? ']' : '}';
+  stack_.pop_back();
+  return *this;
+}
+
+Writer& Writer::key(const std::string& k) {
+  SCRIPT_ASSERT(!stack_.empty() && !stack_.back().array,
+                "json::Writer: key() outside object");
+  Level& top = stack_.back();
+  SCRIPT_ASSERT(!top.key_pending, "json::Writer: two keys in a row");
+  if (top.count++ != 0) out_ += ", ";
+  append_escaped(out_, k);
+  out_ += ": ";
+  top.key_pending = true;
+  return *this;
+}
+
+Writer& Writer::value(const std::string& v) {
+  before_value();
+  append_escaped(out_, v);
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(double v) {
+  before_value();
+  out_ += num(v);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+Writer& Writer::raw(const std::string& rendered) {
+  before_value();
+  out_ += rendered;
+  return *this;
+}
+
+const std::string& Writer::str() const {
+  SCRIPT_ASSERT(stack_.empty(), "json::Writer: unbalanced document");
+  return out_;
+}
+
+// ---- Value / parser ----
+
+const Value* Value::get(const std::string& key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double Value::num_or(const std::string& key, double fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+}
+
+std::string Value::str_or(const std::string& key, std::string fallback) const {
+  const Value* v = get(key);
+  return v != nullptr && v->kind == Kind::String ? v->string
+                                                 : std::move(fallback);
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const char* why) {
+    if (err.empty()) err = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::char_traits<char>::compare(p, word, n) != 0)
+      return fail("bad literal");
+    p += n;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("truncated escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("truncated \\u escape");
+            char buf[5] = {p[1], p[2], p[3], p[4], 0};
+            char* stop = nullptr;
+            const long code = std::strtol(buf, &stop, 16);
+            if (stop != buf + 4) return fail("bad \\u escape");
+            // Encode as UTF-8; surrogate pairs pass through unpaired
+            // (our own writer only emits \u for control characters).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        out.kind = Value::Kind::Object;
+        ++p;
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          Value member;
+          if (!parse_value(member)) return false;
+          out.object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out.kind = Value::Kind::Array;
+        ++p;
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        while (true) {
+          Value elem;
+          if (!parse_value(elem)) return false;
+          out.array.push_back(std::move(elem));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind = Value::Kind::String;
+        return parse_string(out.string);
+      case 't':
+        out.kind = Value::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = Value::Kind::Null;
+        return literal("null");
+      default: {
+        char* stop = nullptr;
+        const double v = std::strtod(p, &stop);
+        if (stop == p) return fail("expected value");
+        out.kind = Value::Kind::Number;
+        out.number = v;
+        p = stop;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* err) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  Value root;
+  if (!parser.parse_value(root)) {
+    if (err != nullptr) *err = parser.err;
+    return std::nullopt;
+  }
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    if (err != nullptr) *err = "trailing characters";
+    return std::nullopt;
+  }
+  return root;
+}
+
+}  // namespace script::obs::json

@@ -1,0 +1,88 @@
+// Small JSON building/parsing helpers for snapshot plumbing.
+//
+// The Inspector serializes runtime state to JSON, scriptctl reads it
+// back, and tests assert on individual fields — so obs needs both
+// directions without an external dependency. Writer is a streaming
+// emitter with automatic comma/escape handling; Value is a minimal
+// recursive-descent DOM parser sufficient for the documents this
+// library itself produces (and for any well-formed JSON without
+// \u-escape surrogate pairs, which it keeps as-is).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace script::obs::json {
+
+/// Append `s` to `out` as a quoted, escaped JSON string literal.
+void append_escaped(std::string& out, const std::string& s);
+
+/// Render a double the way our snapshots do: integral values without a
+/// fraction, others with up to 6 significant digits.
+std::string num(double v);
+
+/// Streaming JSON writer. Usage:
+///   Writer w;
+///   w.object().key("fibers").array(); ... w.end(); w.end();
+///   std::string doc = w.str();
+/// The writer tracks container nesting and emits separators itself;
+/// str() asserts the document is balanced.
+class Writer {
+ public:
+  Writer& object();  // open '{'
+  Writer& array();   // open '['
+  Writer& end();     // close the innermost container
+  Writer& key(const std::string& k);
+  Writer& value(const std::string& v);
+  Writer& value(const char* v);
+  Writer& value(double v);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+  /// Splice pre-rendered JSON in value position (e.g. a nested
+  /// snapshot fragment another component produced).
+  Writer& raw(const std::string& rendered);
+  const std::string& str() const;
+
+ private:
+  void before_value();
+  std::string out_;
+  struct Level {
+    bool array;
+    std::size_t count = 0;
+    bool key_pending = false;
+  };
+  std::vector<Level> stack_;
+};
+
+/// Parsed JSON value. Object member order is preserved.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+  /// Convenience accessors with defaults for absent/mistyped members.
+  double num_or(const std::string& key, double fallback) const;
+  std::string str_or(const std::string& key, std::string fallback) const;
+};
+
+/// Parse a complete JSON document. Returns nullopt on malformed input
+/// (and fills *err with a short reason when provided).
+std::optional<Value> parse(const std::string& text, std::string* err = nullptr);
+
+}  // namespace script::obs::json

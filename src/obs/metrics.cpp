@@ -43,17 +43,43 @@ double Histogram::mean() const {
 }
 
 double Histogram::quantile(double q) const {
-  SCRIPT_ASSERT(count_ > 0, "Histogram::quantile on empty histogram");
   SCRIPT_ASSERT(q >= 0 && q <= 1, "quantile q out of [0,1]");
-  const auto rank = static_cast<std::uint64_t>(
-      q * static_cast<double>(count_ - 1));
-  std::uint64_t seen = 0;
+  if (count_ == 0) return 0;
+  // The extreme quantiles are known exactly; interpolation would hand
+  // back a bucket bound instead.
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+  const double rank = q * static_cast<double>(count_ - 1);
+  std::uint64_t before = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen > rank)
-      return std::min(std::ldexp(1.0, static_cast<int>(b) + 1), max_);
+    const std::uint64_t in_bucket = buckets_[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(before + in_bucket) > rank) {
+      // Interpolate by the rank's position among this bucket's samples,
+      // assuming they spread uniformly across the bucket's bounds.
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    before += in_bucket;
   }
   return max_;
+}
+
+void Histogram::absorb(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -116,12 +142,14 @@ std::string num(double v) {
 
 }  // namespace
 
-std::string MetricsRegistry::json(int indent) const {
+std::string MetricsRegistry::snapshot_json(int indent) const {
   const std::string nl = indent > 0 ? "\n" : "";
   const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0,
                         ' ');
   const std::string pad2 = pad + pad;
   std::string out = "{" + nl;
+  out += pad + "\"schema_version\": " + std::to_string(kSchemaVersion) + "," +
+         nl;
 
   auto section = [&](const char* key, auto&& body, bool last) {
     out += pad;
@@ -188,10 +216,63 @@ std::string MetricsRegistry::json(int indent) const {
   return out;
 }
 
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (our
+// namespace separator) and anything else exotic become underscores.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string prom_num(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return num(v);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::expose_prometheus() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + prom_num(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets()[b] == 0) continue;
+      cumulative += h.buckets()[b];
+      out += n + "_bucket{le=\"" +
+             prom_num(std::ldexp(1.0, static_cast<int>(b) + 1)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+    out += n + "_sum " + prom_num(h.sum()) + "\n";
+    out += n + "_count " + std::to_string(h.count()) + "\n";
+  }
+  return out;
+}
+
 bool MetricsRegistry::write_json(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string body = json(2);
+  const std::string body = snapshot_json(2);
   const bool ok =
       std::fwrite(body.data(), 1, body.size(), f) == body.size();
   return std::fclose(f) == 0 && ok;

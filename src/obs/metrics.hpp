@@ -46,8 +46,17 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
-  /// q in [0,1]; upper bound of the bucket holding the q-quantile.
+  /// q in [0,1]. q=0 and q=1 return the observed min and max exactly;
+  /// in between, locates the bucket holding rank q*(count-1) and
+  /// interpolates linearly between the bucket's bounds [2^b, 2^(b+1))
+  /// (bucket 0 spans [0, 2)) by the rank's position inside the bucket,
+  /// then clamps to the observed [min, max] — so a saturating top
+  /// bucket or a single-value bucket never reports a value outside
+  /// what was actually seen. Returns 0 on an empty histogram.
   double quantile(double q) const;
+  /// Merge another histogram's observations into this one (used by the
+  /// HealthMonitor's rolling windows to combine epoch halves).
+  void absorb(const Histogram& other);
   const std::array<std::uint64_t, kBuckets>& buckets() const {
     return buckets_;
   }
@@ -89,11 +98,24 @@ class MetricsRegistry {
   /// metrics rather than silently passing as complete. Idempotent.
   void import_tracelog_truncation(const support::TraceLog& log);
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} —
-  /// histograms carry count/sum/min/max/mean/p50/p90/p99 plus the
-  /// non-empty buckets as [lower-bound, count] pairs.
-  std::string json(int indent = 0) const;
+  /// {"schema_version": N, "counters": {...}, "gauges": {...},
+  /// "histograms": {...}} — histograms carry count/sum/min/max/mean/
+  /// p50/p90/p99 plus the non-empty buckets as [lower-bound, count]
+  /// pairs. Metric names are JSON-escaped and each section's keys are
+  /// emitted in deterministic (lexicographic) order, so snapshots diff
+  /// cleanly. schema_version lets check_bench_regression.py evolve the
+  /// format without breaking older baselines.
+  static constexpr int kSchemaVersion = 2;
+  std::string snapshot_json(int indent = 0) const;
+  /// Back-compat alias for snapshot_json().
+  std::string json(int indent = 0) const { return snapshot_json(indent); }
   bool write_json(const std::string& path) const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// single samples, histograms as cumulative `_bucket{le="..."}` series
+  /// plus `_sum`/`_count`. Names are sanitized to [a-zA-Z0-9_:] and
+  /// emitted in deterministic order.
+  std::string expose_prometheus() const;
 
  private:
   std::map<std::string, Counter> counters_;

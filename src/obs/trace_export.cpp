@@ -116,31 +116,30 @@ void TraceExporter::set_metadata(const std::string& key,
   upsert_metadata(metadata_, key, std::move(rendered));
 }
 
-std::string TraceExporter::json() const {
+std::string render_chrome_trace(
+    const std::vector<Event>& events,
+    const std::map<Pid, std::string>& fiber_names,
+    const std::vector<std::string>& lane_names,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
   std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
 
   // Metadata: name the trace processes and every lane we will emit on.
-  std::set<Pid> fibers;
-  for (const Event& e : events_)
-    if (e.pid != kNoPid) fibers.insert(e.pid);
   append_record(out, {0, 0}, "M", 0, "process_name",
                 "{\"name\": \"global\"}", first);
   append_record(out, {1, 0}, "M", 0, "process_name",
                 "{\"name\": \"fibers\"}", first);
   append_record(out, {2, 0}, "M", 0, "process_name",
                 "{\"name\": \"script instances\"}", first);
-  for (const Pid pid : fibers) {
-    const std::string name =
-        fiber_namer_ ? fiber_namer_(pid) : "fiber " + std::to_string(pid);
+  for (const auto& [pid, name] : fiber_names) {
     std::string args = "{\"name\": ";
     append_escaped(args, name);
     args += "}";
     append_record(out, {1, pid}, "M", 0, "thread_name", args, first);
   }
-  for (std::size_t lane = 0; lane < bus_->lane_count(); ++lane) {
+  for (std::size_t lane = 0; lane < lane_names.size(); ++lane) {
     std::string args = "{\"name\": ";
-    append_escaped(args, bus_->lane_name(static_cast<std::int32_t>(lane)));
+    append_escaped(args, lane_names[lane]);
     args += "}";
     append_record(out, {2, lane}, "M", 0, "thread_name", args, first);
   }
@@ -171,7 +170,7 @@ std::string TraceExporter::json() const {
     return extra;
   };
 
-  for (const Event& e : events_) {
+  for (const Event& e : events) {
     const LaneKey lane = lane_of(e);
     last_ts = e.time;  // bus publishes in nondecreasing virtual time
 
@@ -238,10 +237,10 @@ std::string TraceExporter::json() const {
     }
 
   out += "\n]";
-  if (!metadata_.empty()) {
+  if (!metadata.empty()) {
     out += ",\n\"metadata\": {";
     bool mfirst = true;
-    for (const auto& [key, value] : metadata_) {
+    for (const auto& [key, value] : metadata) {
       if (!mfirst) out += ", ";
       mfirst = false;
       append_escaped(out, key);
@@ -251,6 +250,10 @@ std::string TraceExporter::json() const {
   }
   out += "}\n";
   return out;
+}
+
+std::string TraceExporter::json() const {
+  return render_chrome_trace(events_, fiber_names(), lane_names(), metadata_);
 }
 
 bool TraceExporter::write(const std::string& path) const {

@@ -29,6 +29,18 @@
 
 namespace script::obs {
 
+/// Render a Chrome trace-event JSON document from a captured event
+/// sequence. This is the single renderer behind TraceExporter::json()
+/// and FlightRecorder dumps, so every artifact the runtime can emit
+/// loads in Perfetto and round-trips through trace_read identically.
+/// `metadata` values must be pre-rendered JSON (use a quoted string for
+/// text); they land in the document's top-level "metadata" object.
+std::string render_chrome_trace(
+    const std::vector<Event>& events,
+    const std::map<Pid, std::string>& fiber_names,
+    const std::vector<std::string>& lane_names,
+    const std::vector<std::pair<std::string, std::string>>& metadata);
+
 class TraceExporter {
  public:
   /// Starts capturing immediately. `mask` selects subsystems.

@@ -30,6 +30,17 @@ enum class FiberState : std::uint8_t {
   Done,      // body returned (or threw)
 };
 
+inline const char* fiber_state_name(FiberState s) {
+  switch (s) {
+    case FiberState::Ready: return "Ready";
+    case FiberState::Running: return "Running";
+    case FiberState::Blocked: return "Blocked";
+    case FiberState::Sleeping: return "Sleeping";
+    case FiberState::Done: return "Done";
+  }
+  return "?";
+}
+
 class Scheduler;
 
 class Fiber {

@@ -5,7 +5,13 @@
 #include <cstdlib>
 #include <utility>
 
+#include <unistd.h>
+
 #include "obs/causal.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/health.hpp"
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
 #include "obs/log_bridge.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/sanitizer_fiber.hpp"
@@ -82,6 +88,16 @@ Scheduler::Scheduler(SchedulerOptions opts)
     enable_tracing();
     trace_path_ = path;
   }
+  if (const char* base = std::getenv("SCRIPT_FLIGHT");
+      base != nullptr && *base != '\0') {
+    // Parallel test shards share the env var: suffix the dump base with
+    // pid and a per-process sequence so artifacts never collide.
+    static int flight_seq = 0;
+    obs::FlightRecorderOptions fopts;
+    fopts.dump_path = std::string(base) + "-" + std::to_string(getpid()) +
+                      "-" + std::to_string(flight_seq++);
+    arm_flight_recorder(std::move(fopts));
+  }
 }
 
 Scheduler::~Scheduler() {
@@ -123,6 +139,66 @@ void Scheduler::enable_causal_tracking() {
 void Scheduler::causal_edge(ProcessId from, ProcessId to,
                             const char* what) {
   if (causal_ != nullptr) causal_->on_edge(from, to, what);
+}
+
+obs::FlightRecorder& Scheduler::arm_flight_recorder() {
+  return arm_flight_recorder(obs::FlightRecorderOptions{});
+}
+
+obs::FlightRecorder& Scheduler::arm_flight_recorder(
+    obs::FlightRecorderOptions opts) {
+  if (flight_ == nullptr) {
+    flight_ = std::make_unique<obs::FlightRecorder>(bus_, std::move(opts));
+    flight_->set_fiber_namer([this](obs::Pid p) { return name_of(p); });
+  }
+  return *flight_;
+}
+
+obs::HealthMonitor& Scheduler::enable_health() {
+  if (health_ == nullptr) {
+    health_ = std::make_unique<obs::HealthMonitor>(bus_);
+    add_report_section([this] { return health_->report(); });
+  }
+  return *health_;
+}
+
+std::string Scheduler::snapshot_json() const {
+  obs::json::Writer w;
+  w.object();
+  w.key("now").value(now_);
+  w.key("steps").value(steps_);
+  w.key("spawned").value(static_cast<std::uint64_t>(fibers_.size()));
+  w.key("live").value(static_cast<std::uint64_t>(live_));
+  w.key("ready").value(static_cast<std::uint64_t>(ready_.size()));
+  w.key("timers").value(static_cast<std::uint64_t>(timers_.size()));
+  w.key("stale_timers").value(static_cast<std::uint64_t>(stale_timers_));
+  w.key("fibers").array();
+  for (const auto& fp : fibers_) {
+    const Fiber& f = *fp;
+    // Finished fibers say nothing about what the system is doing now —
+    // except crashed ones, which are exactly what an inspector wants.
+    if (f.state() == FiberState::Done && !f.crashed()) continue;
+    w.object();
+    w.key("pid").value(static_cast<std::uint64_t>(f.id()));
+    w.key("name").value(f.name());
+    w.key("state").value(fiber_state_name(f.state()));
+    if (!f.block_reason().empty()) w.key("reason").value(f.block_reason());
+    if (f.waiting_on() != kNoProcess)
+      w.key("waiting_on").value(static_cast<std::uint64_t>(f.waiting_on()));
+    w.key("last_progress").value(f.last_progress());
+    w.key("blocked_ticks").value(f.blocked_ticks());
+    w.key("slept_ticks").value(f.slept_ticks());
+    if (f.crashed()) w.key("crashed").value(true);
+    w.end();
+  }
+  w.end().end();
+  return w.str();
+}
+
+std::size_t Scheduler::attach_inspector(obs::Inspector& inspector) {
+  inspector.set_clock([this] { return now_; });
+  return inspector.attach("scheduler",
+                          [this] { return snapshot_json(); });
 }
 
 bool Scheduler::write_trace(const std::string& path) const {
@@ -227,6 +303,14 @@ RunResult Scheduler::run() {
   }
   result.outcome = result.blocked.empty() ? RunResult::Outcome::AllDone
                                           : RunResult::Outcome::Deadlock;
+  if (result.outcome == RunResult::Outcome::Deadlock) {
+    // Announce before dumping so the marker lands in the black box.
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, obs::kNoPid, obs::kNoLane, "deadlock",
+                    "", static_cast<double>(result.blocked.size())});
+    if (flight_ != nullptr) flight_->trigger_dump("deadlock");
+  }
   return result;
 }
 
@@ -647,6 +731,7 @@ bool Scheduler::advance_clock() {
       bus_.publish({obs::EventKind::Counter, obs::Subsystem::Scheduler,
                     now_, obs::kNoPid, obs::kNoLane, "virtual_time", "",
                     static_cast<double>(now_)});
+    if (now_ != before && health_ != nullptr) health_->poll(now_);
     while (!timers_.empty() && timers_.top().due <= now_) {
       const Timer t = timers_.top();
       timers_.pop();

@@ -29,6 +29,10 @@
 
 namespace script::obs {
 class CausalTracker;
+class FlightRecorder;
+struct FlightRecorderOptions;
+class HealthMonitor;
+class Inspector;
 class TraceExporter;
 }
 
@@ -240,6 +244,39 @@ class Scheduler {
   /// when causal tracking is off.
   void causal_edge(ProcessId from, ProcessId to, const char* what);
 
+  // ---- Always-on observability (obs::FlightRecorder / Inspector /
+  //      HealthMonitor) ----
+
+  /// Arm the black-box flight recorder: a fixed-size binary ring of
+  /// recent events that auto-dumps a Perfetto-compatible post-mortem
+  /// artifact on failure escalations (performance aborts, supervisor
+  /// give-ups, deadlock). Idempotent; the no-arg overload uses default
+  /// options. Setting $SCRIPT_FLIGHT=<base path> arms at construction
+  /// (dump files are suffixed with the process id and a sequence number
+  /// so parallel test shards never collide).
+  obs::FlightRecorder& arm_flight_recorder();
+  obs::FlightRecorder& arm_flight_recorder(obs::FlightRecorderOptions opts);
+  bool flight_recorder_armed() const { return flight_ != nullptr; }
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+
+  /// Enable SLO/watchdog monitoring. The monitor is polled on every
+  /// virtual-clock advance; script instances and supervisors register
+  /// their SLOs via their own enable_health() glue. Its findings join
+  /// describe()'s deadlock/abort reports. Idempotent.
+  obs::HealthMonitor& enable_health();
+  bool health_enabled() const { return health_ != nullptr; }
+  obs::HealthMonitor* health_monitor() { return health_.get(); }
+
+  /// Live structured snapshot of the scheduler: clock, queue depths,
+  /// and per-fiber state (Done fibers are elided unless crashed).
+  std::string snapshot_json() const;
+  /// Register this scheduler's snapshot section (and clock) with an
+  /// Inspector. Returns the section id (Inspector::detach).
+  std::size_t attach_inspector(obs::Inspector& inspector);
+
+  /// Fibers currently runnable (ready-queue depth).
+  std::size_t ready_count() const { return ready_.size(); }
+
  private:
   friend class Fiber;
 
@@ -303,6 +340,8 @@ class Scheduler {
   obs::EventBus bus_;
   std::unique_ptr<obs::TraceExporter> exporter_;
   std::unique_ptr<obs::CausalTracker> causal_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::HealthMonitor> health_;
   std::string trace_path_;  // from $SCRIPT_TRACE; written in the dtor
   std::vector<std::unique_ptr<Fiber>> fibers_;
   ReadyQueueT<ProcessId, kNoProcess> ready_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/health.hpp"
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
 #include "support/panic.hpp"
 
 namespace script::runtime {
@@ -32,6 +35,7 @@ Supervisor::Supervisor(Scheduler& sched, std::string name)
 }
 
 Supervisor::~Supervisor() {
+  if (health_ != nullptr) health_->unwatch_restarts(health_watch_id_);
   sched_->remove_report_section(report_section_id_);
   sched_->remove_crash_hook(crash_hook_id_);
 }
@@ -164,6 +168,72 @@ std::uint64_t Supervisor::restarts(std::uint64_t child) const {
 
 std::uint64_t Supervisor::last_backoff(std::uint64_t child) const {
   return children_.at(child).last_backoff;
+}
+
+namespace {
+
+std::size_t crashes_in_window_at(const std::vector<std::uint64_t>& times,
+                                 std::uint64_t window, std::uint64_t now) {
+  std::size_t n = 0;
+  for (const std::uint64_t t : times)
+    if (t + window > now) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::size_t Supervisor::crashes_in_window(std::uint64_t child) const {
+  const Child& c = children_.at(child);
+  return crashes_in_window_at(c.crash_times, c.opts.restart_window,
+                              sched_->now());
+}
+
+std::string Supervisor::snapshot_json() const {
+  obs::json::Writer w;
+  w.object();
+  w.key("supervisor").value(name_);
+  w.key("total_restarts").value(total_restarts_);
+  w.key("gave_up").value(gave_up_);
+  w.key("children").array();
+  for (const auto& [id, c] : children_) {
+    w.object();
+    w.key("name").value(c.name);
+    w.key("state").value(state_name(c.state));
+    if (c.pid != kNoProcess)
+      w.key("pid").value(static_cast<std::uint64_t>(c.pid));
+    w.key("restarts").value(c.restarts);
+    w.key("crashes_in_window")
+        .value(static_cast<std::uint64_t>(crashes_in_window_at(
+            c.crash_times, c.opts.restart_window, sched_->now())));
+    w.key("max_restarts")
+        .value(static_cast<std::uint64_t>(c.opts.max_restarts));
+    w.key("last_backoff").value(c.last_backoff);
+    w.end();
+  }
+  w.end().end();
+  return w.str();
+}
+
+std::size_t Supervisor::attach_inspector(obs::Inspector& inspector) {
+  return inspector.attach("supervisor",
+                          [this] { return snapshot_json(); });
+}
+
+void Supervisor::enable_health(obs::HealthMonitor& monitor) {
+  if (health_ != nullptr) return;
+  health_ = &monitor;
+  health_watch_id_ = monitor.watch_restarts(name_, [this] {
+    std::vector<obs::HealthMonitor::RestartPressure> out;
+    const std::uint64_t now = sched_->now();
+    for (const auto& [id, c] : children_) {
+      if (c.state == ChildState::Done) continue;
+      out.push_back({c.name,
+                     crashes_in_window_at(c.crash_times,
+                                          c.opts.restart_window, now),
+                     c.opts.max_restarts});
+    }
+    return out;
+  });
 }
 
 std::string Supervisor::report() const {

@@ -102,6 +102,19 @@ class Supervisor {
   /// scheduler automatically): one line per non-Running child.
   std::string report() const;
 
+  /// Crashes of `child` inside its current restart window, as of now.
+  std::size_t crashes_in_window(std::uint64_t child) const;
+
+  /// Structured snapshot: child states, pids, restart budgets.
+  std::string snapshot_json() const;
+  /// Register the snapshot as a "supervisor" Inspector section.
+  std::size_t attach_inspector(obs::Inspector& inspector);
+
+  /// Report every child's restart pressure to `monitor`: when a child
+  /// is one in-window crash away from give-up, the monitor raises
+  /// health.restart_pressure. Unregistered automatically in the dtor.
+  void enable_health(obs::HealthMonitor& monitor);
+
  private:
   struct Child {
     std::uint64_t id = 0;
@@ -135,6 +148,8 @@ class Supervisor {
   std::uint64_t crash_hook_id_ = 0;
   std::uint64_t report_section_id_ = 0;
   std::int32_t obs_lane_ = obs::kNoLane;
+  obs::HealthMonitor* health_ = nullptr;
+  std::size_t health_watch_id_ = 0;
 };
 
 }  // namespace script::runtime

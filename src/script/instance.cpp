@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/health.hpp"
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
 #include "support/panic.hpp"
 
 namespace script::core {
@@ -30,6 +33,8 @@ ScriptInstance::ScriptInstance(csp::Net& net, ScriptSpec spec)
 }
 
 ScriptInstance::~ScriptInstance() {
+  if (health_ != nullptr && obs_lane_ != obs::kNoLane)
+    health_->unwatch_script(obs_lane_);
   scheduler().remove_report_section(report_section_id_);
   scheduler().remove_crash_hook(crash_hook_id_);
 }
@@ -46,6 +51,74 @@ std::string ScriptInstance::report() const {
            std::to_string(st.deadline) + ")";
   out += "\n  queued requests: " + std::to_string(queue_.size());
   return out;
+}
+
+std::string ScriptInstance::snapshot_json() const {
+  obs::json::Writer w;
+  w.object();
+  w.key("script").value(name_);
+  w.key("completed").value(completed_perfs_);
+  w.key("aborted").value(aborted_perfs_);
+  w.key("queue_length").value(static_cast<std::uint64_t>(queue_.size()));
+  w.key("waiting").array();
+  for (const auto& [role, queued] : queued_by_role_) {
+    w.object();
+    w.key("role").value(role);
+    w.key("queued").value(static_cast<std::uint64_t>(queued));
+    w.end();
+  }
+  w.end();
+  w.key("performance");
+  if (active_ == nullptr || active_->done) {
+    w.null();
+  } else {
+    const Performance& p = *active_;
+    w.object();
+    w.key("number").value(p.number);
+    w.key("roles").array();
+    for (const auto& [r, pid] : p.state.bindings) {
+      w.object();
+      w.key("role").value(r.str());
+      w.key("pid").value(static_cast<std::uint64_t>(pid));
+      w.key("process").value(sched_->name_of(pid));
+      w.key("done").value(p.completed.count(r) > 0);
+      const auto inc = p.incarnations.find(r);
+      if (inc != p.incarnations.end())
+        w.key("incarnation").value(inc->second);
+      w.end();
+    }
+    w.end();
+    w.key("out").array();
+    for (const RoleId& r : p.out) w.value(r.str());
+    w.end();
+    w.key("failed").array();
+    for (const RoleId& r : p.failed) w.value(r.str());
+    w.end();
+    if (p.aborted) w.key("aborted").value(true);
+    w.key("awaiting_takeover").array();
+    for (const auto& [r, st] : p.awaiting_takeover) {
+      w.object();
+      w.key("role").value(r.str());
+      w.key("old_pid").value(static_cast<std::uint64_t>(st.old_pid));
+      w.key("deadline").value(st.deadline);
+      w.end();
+    }
+    w.end();
+    w.end();
+  }
+  w.end();
+  return w.str();
+}
+
+std::size_t ScriptInstance::attach_inspector(obs::Inspector& inspector) {
+  return inspector.attach("script", [this] { return snapshot_json(); });
+}
+
+void ScriptInstance::enable_health(obs::HealthMonitor& monitor) {
+  if (health_ != nullptr) return;
+  health_ = &monitor;
+  monitor.watch_script(obs_lane(), name_, spec_.slo(),
+                       [this] { return queue_.size(); });
 }
 
 void ScriptInstance::enqueue(Request& req) {

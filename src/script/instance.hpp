@@ -37,6 +37,10 @@
 #include "script/spec.hpp"
 #include "support/expected.hpp"
 
+namespace script::obs {
+class Inspector;
+}  // namespace script::obs
+
 namespace script::core {
 
 class RoleContext;
@@ -162,6 +166,15 @@ class ScriptInstance {
   /// awaiting takeover of the active performance; "" when unremarkable.
   /// Registered with the scheduler's report sections automatically.
   std::string report() const;
+  /// Structured snapshot: queue, waiting roles, and the performance in
+  /// flight with its cast, completions, and open takeover windows.
+  std::string snapshot_json() const;
+  /// Register the snapshot as a "script" Inspector section.
+  std::size_t attach_inspector(obs::Inspector& inspector);
+  /// Start SLO/watchdog tracking of this instance under the spec's
+  /// slo() config (plus the queue-depth probe). Unregistered in the
+  /// destructor.
+  void enable_health(obs::HealthMonitor& monitor);
   /// Cached at construction rather than read through net_: the
   /// scheduler is the root object here (the Net holds a reference to
   /// it), so the destructor can deregister its crash hook even when the
@@ -321,6 +334,7 @@ class ScriptInstance {
   std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
   std::vector<std::function<void(const ScriptEvent&)>> observers_;
   std::int32_t obs_lane_ = obs::kNoLane;
+  obs::HealthMonitor* health_ = nullptr;
 };
 
 /// Handle given to a running role body: identity, data parameters,

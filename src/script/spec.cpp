@@ -68,6 +68,11 @@ ScriptSpec& ScriptSpec::takeover_roles(std::vector<std::string> names) {
   return *this;
 }
 
+ScriptSpec& ScriptSpec::slo(obs::SloConfig cfg) {
+  slo_ = cfg;
+  return *this;
+}
+
 bool ScriptSpec::takeover_allowed(const RoleId& r) const {
   if (takeover_roles_.empty()) return true;
   for (const auto& n : takeover_roles_)

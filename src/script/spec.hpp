@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/health.hpp"
 #include "script/ids.hpp"
 
 namespace script::core {
@@ -111,6 +112,9 @@ class ScriptSpec {
   /// roles NOT listed here fall back immediately (no takeover window).
   /// Default: empty, meaning every role is replaceable.
   ScriptSpec& takeover_roles(std::vector<std::string> names);
+  /// SLO thresholds for health monitoring (virtual ticks; 0 disables a
+  /// check). Takes effect when the instance calls enable_health().
+  ScriptSpec& slo(obs::SloConfig cfg);
 
   // ---- Queries ----
 
@@ -125,6 +129,7 @@ class ScriptSpec {
   FailurePolicy takeover_fallback() const { return takeover_fallback_; }
   /// Whether a crash of `r` opens a takeover window (Replace policy).
   bool takeover_allowed(const RoleId& r) const;
+  const obs::SloConfig& slo() const { return slo_; }
   const std::vector<RoleDecl>& roles() const { return roles_; }
 
   bool has_role(const std::string& role_name) const;
@@ -166,6 +171,7 @@ class ScriptSpec {
   std::uint64_t takeover_deadline_ = 64;
   FailurePolicy takeover_fallback_ = FailurePolicy::Abort;
   std::vector<std::string> takeover_roles_;  // empty: all replaceable
+  obs::SloConfig slo_;
 
   // Lazily built, invalidated by the builder methods above.
   mutable bool critical_cache_built_ = false;

@@ -101,6 +101,83 @@ TEST(EventBusTest, LanesAreNamedAndSequential) {
   EXPECT_EQ(bus.lane_name(1), "beta");
 }
 
+TEST(EventBusTest, SubscribeDuringPublishSeesOnlyLaterEvents) {
+  // A subscriber added from inside a callback must not observe the
+  // event being dispatched (its iteration snapshot predates it), but
+  // must get everything published afterwards.
+  EventBus bus;
+  std::vector<std::string> late;
+  bool added = false;
+  bus.subscribe(EventBus::kAllSubsystems, [&](const Event&) {
+    if (added) return;
+    added = true;
+    bus.subscribe(EventBus::kAllSubsystems,
+                  [&](const Event& e) { late.push_back(e.name); });
+  });
+  bus.publish(make(Subsystem::User, "first"));
+  EXPECT_TRUE(late.empty());
+  bus.publish(make(Subsystem::User, "second"));
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0], "second");
+}
+
+TEST(EventBusTest, SelfUnsubscribeDuringPublishIsSafe) {
+  EventBus bus;
+  int self_calls = 0;
+  int later_calls = 0;
+  EventBus::SubId self_id = 0;
+  self_id = bus.subscribe(EventBus::kAllSubsystems, [&](const Event&) {
+    ++self_calls;
+    bus.unsubscribe(self_id);
+  });
+  // A subscriber after the self-remover still runs for the same event.
+  bus.subscribe(EventBus::kAllSubsystems,
+                [&](const Event&) { ++later_calls; });
+  bus.publish(make(Subsystem::User, "a"));
+  bus.publish(make(Subsystem::User, "b"));
+  EXPECT_EQ(self_calls, 1);
+  EXPECT_EQ(later_calls, 2);
+  EXPECT_TRUE(bus.wants(Subsystem::User));  // the survivor keeps it hot
+}
+
+TEST(EventBusTest, UnsubscribeLaterSubscriberDuringPublishSkipsIt) {
+  // Removing a subscriber that has not yet run this publish must stop
+  // it from receiving the in-flight event — tombstoned, not erased, so
+  // the dispatch loop's indices stay valid.
+  EventBus bus;
+  int victim_calls = 0;
+  EventBus::SubId victim = 0;
+  bus.subscribe(EventBus::kAllSubsystems, [&](const Event&) {
+    if (victim != 0) {
+      bus.unsubscribe(victim);
+      victim = 0;
+    }
+  });
+  victim = bus.subscribe(EventBus::kAllSubsystems,
+                         [&](const Event&) { ++victim_calls; });
+  bus.publish(make(Subsystem::User, "x"));
+  EXPECT_EQ(victim_calls, 0);
+  bus.publish(make(Subsystem::User, "y"));
+  EXPECT_EQ(victim_calls, 0);
+}
+
+TEST(EventBusTest, NestedPublishFromSubscriberDelivers) {
+  // Publishing from inside a callback (e.g. the HealthMonitor raising
+  // a Health event while consuming a Script one) re-enters publish();
+  // both events must reach every interested subscriber exactly once.
+  EventBus bus;
+  std::vector<std::string> seen;
+  bus.subscribe(EventBus::mask_of(Subsystem::User), [&](const Event& e) {
+    if (e.name == "outer") bus.publish(make(Subsystem::User, "inner"));
+  });
+  bus.subscribe(EventBus::mask_of(Subsystem::User),
+                [&](const Event& e) { seen.push_back(e.name); });
+  bus.publish(make(Subsystem::User, "outer"));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "inner");  // nested dispatch completes first
+  EXPECT_EQ(seen[1], "outer");
+}
+
 TEST(EventBusTest, HistoryRingKeepsLastNPerFiber) {
   EventBus bus;
   bus.set_history(2);

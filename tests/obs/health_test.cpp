@@ -1,0 +1,239 @@
+// HealthMonitor: rolling SLO histograms, the stuck/queue/restart
+// watchdogs, latching, and Health-event publication on the bus.
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventBus;
+using script::obs::EventKind;
+using script::obs::HealthMonitor;
+using script::obs::RollingHistogram;
+using script::obs::SloConfig;
+using script::obs::Subsystem;
+
+Event script_event(const std::string& name, std::uint64_t t,
+                   script::obs::Pid pid = 3, std::int32_t lane = 0) {
+  Event e;
+  e.kind = EventKind::Instant;
+  e.subsystem = Subsystem::Script;
+  e.time = t;
+  e.pid = pid;
+  e.lane = lane;
+  e.name = name;
+  return e;
+}
+
+Event perf_event(EventKind kind, std::uint64_t t, std::uint64_t number,
+                 std::int32_t lane = 0) {
+  Event e = script_event("performance", t, 3, lane);
+  e.kind = kind;
+  e.value = static_cast<double>(number);
+  return e;
+}
+
+TEST(RollingHistogramTest, TwoEpochRotationAgesOutOldSamples) {
+  RollingHistogram rh(100);
+  rh.observe(10, 1);
+  rh.observe(50, 2);
+  EXPECT_EQ(rh.merged().count(), 2u);
+
+  rh.observe(150, 5);  // epoch 1: previous epoch carries over
+  EXPECT_EQ(rh.merged().count(), 3u);
+
+  rh.observe(250, 7);  // epoch 2: the epoch-0 samples age out
+  EXPECT_EQ(rh.merged().count(), 2u);
+  EXPECT_DOUBLE_EQ(rh.merged().min(), 5.0);
+
+  rh.observe(600, 9);  // gap of several epochs: nothing carries over
+  EXPECT_EQ(rh.merged().count(), 1u);
+  EXPECT_DOUBLE_EQ(rh.merged().max(), 9.0);
+}
+
+TEST(HealthMonitorTest, EnrollLatencyAboveSloRaises) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.enroll_latency = 5;
+  hm.watch_script(0, "pay", slo);
+
+  // Within SLO: recorded but no violation.
+  bus.publish(script_event("enroll.attempt", 10, 3));
+  bus.publish(script_event("enroll.ok", 13, 3));
+  EXPECT_EQ(hm.violations(), 0u);
+  EXPECT_EQ(hm.enroll_latency(0).count(), 1u);
+
+  // 9 ticks > 5: violation, tagged with the event name.
+  bus.publish(script_event("enroll.attempt", 20, 4));
+  bus.publish(script_event("enroll.ok", 29, 4));
+  EXPECT_EQ(hm.violations(), 1u);
+  EXPECT_EQ(hm.violations("health.slo.enroll"), 1u);
+  EXPECT_EQ(hm.enroll_latency(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(hm.enroll_latency(0).max(), 9.0);
+}
+
+TEST(HealthMonitorTest, EnrollFailureDiscardsThePendingAttempt) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.enroll_latency = 1;
+  hm.watch_script(0, "pay", slo);
+
+  bus.publish(script_event("enroll.attempt.guarded", 10, 3));
+  bus.publish(script_event("enroll.fail.guarded", 11, 3));
+  // A later enroll.ok with no open attempt must not fabricate latency.
+  bus.publish(script_event("enroll.ok", 99, 3));
+  EXPECT_EQ(hm.enroll_latency(0).count(), 0u);
+  EXPECT_EQ(hm.violations(), 0u);
+}
+
+TEST(HealthMonitorTest, MakespanAboveSloRaises) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.makespan = 20;
+  hm.watch_script(0, "pay", slo);
+
+  bus.publish(perf_event(EventKind::SpanBegin, 0, 1));
+  bus.publish(perf_event(EventKind::SpanEnd, 15, 1));  // within SLO
+  bus.publish(perf_event(EventKind::SpanBegin, 20, 2));
+  bus.publish(perf_event(EventKind::SpanEnd, 70, 2));  // 50 > 20
+  EXPECT_EQ(hm.violations("health.slo.makespan"), 1u);
+  EXPECT_EQ(hm.makespan(0).count(), 2u);
+  EXPECT_DOUBLE_EQ(hm.makespan(0).max(), 50.0);
+}
+
+TEST(HealthMonitorTest, StuckWatchdogLatchesUntilProgress) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.stuck_after = 10;
+  hm.watch_script(0, "pay", slo);
+
+  bus.publish(perf_event(EventKind::SpanBegin, 5, 1));
+  hm.poll(9);  // only 4 silent ticks
+  EXPECT_EQ(hm.violations("health.stuck"), 0u);
+
+  hm.poll(20);  // 15 silent ticks with a performance open
+  EXPECT_EQ(hm.violations("health.stuck"), 1u);
+  hm.poll(40);  // latched: no re-raise while still stuck
+  EXPECT_EQ(hm.violations("health.stuck"), 1u);
+
+  // Progress clears the latch; going silent again re-alarms.
+  bus.publish(perf_event(EventKind::SpanEnd, 41, 1));
+  bus.publish(perf_event(EventKind::SpanBegin, 42, 2));
+  hm.poll(60);
+  EXPECT_EQ(hm.violations("health.stuck"), 2u);
+}
+
+TEST(HealthMonitorTest, QueueDepthWatchdogLatchesAndClears) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.queue_depth = 2;
+  std::size_t depth = 5;
+  hm.watch_script(0, "pay", slo, [&] { return depth; });
+
+  hm.poll(1);
+  EXPECT_EQ(hm.violations("health.queue_depth"), 1u);
+  hm.poll(2);  // still deep, still latched
+  EXPECT_EQ(hm.violations("health.queue_depth"), 1u);
+
+  depth = 1;  // drains below the threshold: latch clears
+  hm.poll(3);
+  depth = 4;  // grows again: fresh alarm
+  hm.poll(4);
+  EXPECT_EQ(hm.violations("health.queue_depth"), 2u);
+}
+
+TEST(HealthMonitorTest, RestartPressureFlagsChildrenNearBudget) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  std::vector<HealthMonitor::RestartPressure> pressure = {
+      {"worker", 2, 3},  // one more crash exhausts the budget
+      {"stable", 0, 3},
+  };
+  hm.watch_restarts("sup", [&] { return pressure; });
+
+  hm.poll(1);
+  EXPECT_EQ(hm.violations("health.restart_pressure"), 1u);
+  hm.poll(2);  // latched
+  EXPECT_EQ(hm.violations("health.restart_pressure"), 1u);
+
+  pressure[0].crashes_in_window = 0;  // window rolled over: calm again
+  hm.poll(3);
+  pressure[0].crashes_in_window = 2;
+  hm.poll(4);
+  EXPECT_EQ(hm.violations("health.restart_pressure"), 2u);
+}
+
+TEST(HealthMonitorTest, ViolationsCountEvenWithNoHealthSubscriber) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.enroll_latency = 1;
+  hm.watch_script(0, "pay", slo);
+  EXPECT_FALSE(bus.wants(Subsystem::Health));
+  bus.publish(script_event("enroll.attempt", 0, 3));
+  bus.publish(script_event("enroll.ok", 50, 3));
+  EXPECT_EQ(hm.violations(), 1u);
+}
+
+TEST(HealthMonitorTest, HealthEventsRideTheBusWhenWanted) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  std::vector<Event> health;
+  bus.subscribe(EventBus::mask_of(Subsystem::Health),
+                [&](const Event& e) { health.push_back(e); });
+
+  SloConfig slo;
+  slo.enroll_latency = 5;
+  hm.watch_script(7, "pay", slo);
+  bus.publish(script_event("enroll.attempt", 0, 3, 7));
+  bus.publish(script_event("enroll.ok", 9, 3, 7));
+
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].name, "health.slo.enroll");
+  EXPECT_EQ(health[0].subsystem, Subsystem::Health);
+  EXPECT_EQ(health[0].lane, 7);
+  EXPECT_DOUBLE_EQ(health[0].value, 9.0);
+  EXPECT_NE(health[0].detail.find("> slo 5"), std::string::npos);
+}
+
+TEST(HealthMonitorTest, ReportIsEmptyWhenHealthyAndSummarizesOtherwise) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.enroll_latency = 1;
+  hm.watch_script(0, "pay", slo);
+  EXPECT_TRUE(hm.report().empty());
+
+  bus.publish(script_event("enroll.attempt", 0, 3));
+  bus.publish(script_event("enroll.ok", 10, 3));
+  const std::string report = hm.report();
+  EXPECT_NE(report.find("health: 1 condition(s) raised"), std::string::npos);
+  EXPECT_NE(report.find("  health.slo.enroll: 1"), std::string::npos);
+  EXPECT_NE(report.find("[pay] enroll p50/p99"), std::string::npos);
+  EXPECT_FALSE(report.empty());
+  EXPECT_NE(report.back(), '\n');  // sections are joined by the caller
+}
+
+TEST(HealthMonitorTest, UnwatchStopsTracking) {
+  EventBus bus;
+  HealthMonitor hm(bus);
+  SloConfig slo;
+  slo.enroll_latency = 1;
+  hm.watch_script(0, "pay", slo);
+  hm.unwatch_script(0);
+  bus.publish(script_event("enroll.attempt", 0, 3));
+  bus.publish(script_event("enroll.ok", 50, 3));
+  EXPECT_EQ(hm.violations(), 0u);
+  EXPECT_EQ(hm.enroll_latency(0).count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Inspector: snapshot assembly from attached providers, plus the two
+// text renderers behind `scriptctl inspect` / `scriptctl flight`.
+#include "obs/inspector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace_read.hpp"
+
+namespace {
+
+using script::obs::Event;
+using script::obs::EventKind;
+using script::obs::Inspector;
+using script::obs::Subsystem;
+using script::obs::TraceFile;
+namespace json = script::obs::json;
+
+TEST(InspectorTest, SnapshotGroupsSectionsByKindInAttachOrder) {
+  Inspector ins;
+  ins.attach("script", [] { return std::string("{\"script\": \"a\"}"); });
+  ins.attach("scheduler", [] { return std::string("{\"live\": 2}"); });
+  ins.attach("script", [] { return std::string("{\"script\": \"b\"}"); });
+  EXPECT_EQ(ins.section_count(), 3u);
+
+  EXPECT_EQ(ins.snapshot_json(),
+            "{\"virtual_time\": 0, \"sections\": "
+            "{\"script\": [{\"script\": \"a\"}, {\"script\": \"b\"}], "
+            "\"scheduler\": [{\"live\": 2}]}}");
+}
+
+TEST(InspectorTest, ClockStampsVirtualTime) {
+  Inspector ins;
+  std::uint64_t now = 99;
+  ins.set_clock([&] { return now; });
+  const auto doc = json::parse(ins.snapshot_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->num_or("virtual_time", 0), 99.0);
+}
+
+TEST(InspectorTest, DetachRemovesSection) {
+  Inspector ins;
+  const auto id = ins.attach("locks", [] { return std::string("{}"); });
+  ins.attach("locks", [] { return std::string("{\"held\": 1}"); });
+  ins.detach(id);
+  EXPECT_EQ(ins.section_count(), 1u);
+  EXPECT_NE(ins.snapshot_json().find("\"held\": 1"), std::string::npos);
+}
+
+TEST(InspectorTest, WriteSnapshotRoundTrips) {
+  Inspector ins;
+  ins.attach("scheduler", [] { return std::string("{\"live\": 1}"); });
+  const std::string path = ::testing::TempDir() + "inspector_snap.json";
+  ASSERT_TRUE(ins.write_snapshot(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const std::string body(buf, n);
+  EXPECT_EQ(body, ins.snapshot_json() + "\n");
+}
+
+TEST(InspectorRenderTest, InspectReportCoversAllSectionKinds) {
+  const std::string snapshot =
+      "{\"virtual_time\": 17, \"sections\": {"
+      "\"scheduler\": [{\"live\": 2, \"ready\": 1, \"timers\": 0, "
+      "\"steps\": 40, \"fibers\": ["
+      "{\"pid\": 3, \"name\": \"alice\", \"state\": \"running\"}, "
+      "{\"pid\": 4, \"name\": \"bob\", \"state\": \"blocked\", "
+      "\"reason\": \"enroll\", \"crashed\": true}]}], "
+      "\"script\": [{\"script\": \"transfer\", \"completed\": 5, "
+      "\"aborted\": 1, \"performance\": {\"number\": 6, \"roles\": ["
+      "{\"role\": \"payer\", \"pid\": 3, \"process\": \"alice\", "
+      "\"done\": true}]}, "
+      "\"waiting\": [{\"role\": \"payee\", \"queued\": 2}]}], "
+      "\"locks\": [{\"held\": 1, \"grants\": 9, \"denials\": 2, "
+      "\"items\": [{\"item\": \"acct\", \"mode\": \"exclusive\", "
+      "\"owners\": [{\"owner\": \"alice\", \"lease_expiry\": 30}]}]}], "
+      "\"supervisor\": [{\"total_restarts\": 2, \"gave_up\": 0, "
+      "\"children\": [{\"name\": \"worker\", \"state\": \"running\", "
+      "\"pid\": 5, \"restarts\": 2, \"max_restarts\": 3}]}]}}";
+  const auto doc = json::parse(snapshot);
+  ASSERT_TRUE(doc.has_value());
+
+  const std::string report = script::obs::render_inspect_report(*doc);
+  EXPECT_NE(report.find("inspector snapshot @ t=17"), std::string::npos);
+  EXPECT_NE(report.find("scheduler: 2 live, 1 ready, 0 timer(s), 40 step(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  [3] alice  running"), std::string::npos);
+  EXPECT_NE(report.find("  [4] bob  blocked (enroll) CRASHED"),
+            std::string::npos);
+  EXPECT_NE(report.find(
+                "script \"transfer\": performance #6 in flight; "
+                "5 completed, 1 aborted"),
+            std::string::npos);
+  EXPECT_NE(report.find("  role payer <- [3] alice (done)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  waiting: payee (2 queued)"), std::string::npos);
+  EXPECT_NE(report.find("locks: 1 item(s) held; 9 grant(s), 2 denial(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  acct: exclusive by {alice (lease t=30)}"),
+            std::string::npos);
+  EXPECT_NE(report.find("supervisor: 2 restart(s), 0 give-up(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  worker running [5] restarts 2/3"),
+            std::string::npos);
+}
+
+TEST(InspectorRenderTest, InspectReportHandlesEmptySnapshot) {
+  const auto doc = json::parse("{\"virtual_time\": 0}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(script::obs::render_inspect_report(*doc),
+            "inspector snapshot @ t=0\n(no sections)\n");
+}
+
+TEST(InspectorRenderTest, UnknownSectionKindStillGetsALine) {
+  const auto doc = json::parse(
+      "{\"virtual_time\": 1, \"sections\": {\"mystery\": [{}]}}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_NE(script::obs::render_inspect_report(*doc).find(
+                "mystery: (unrecognized section kind)"),
+            std::string::npos);
+}
+
+TEST(InspectorRenderTest, FlightReportSummarizesDump) {
+  TraceFile dump;
+  dump.metadata["dropped_events"] = "3";
+  dump.metadata["trigger"] = "performance.abort";
+  const auto add = [&dump](std::uint64_t t, Subsystem s, EventKind k,
+                           const std::string& name, const std::string& detail,
+                           script::obs::Pid pid) {
+    Event e;
+    e.time = t;
+    e.subsystem = s;
+    e.kind = k;
+    e.name = name;
+    e.detail = detail;
+    e.pid = pid;
+    dump.events.push_back(e);
+  };
+  add(2, Subsystem::Script, EventKind::SpanBegin, "performance", "p#1", 3);
+  add(4, Subsystem::Lock, EventKind::Instant, "grant", "acct", 3);
+  add(9, Subsystem::Script, EventKind::Instant, "performance.abort", "", 3);
+
+  const std::string report = script::obs::render_flight_report(dump, 2);
+  EXPECT_NE(report.find("flight dump: 3 event(s), 3 dropped (ring wrap), "
+                        "trigger: performance.abort"),
+            std::string::npos);
+  EXPECT_NE(report.find("  time range: t=2 .. t=9"), std::string::npos);
+  EXPECT_NE(report.find("  by subsystem: lock=1 script=2"),
+            std::string::npos);
+  EXPECT_NE(report.find("  last 2 event(s):"), std::string::npos);
+  // The tail drops the earliest event and renders kind glyphs.
+  EXPECT_EQ(report.find("t=2 [script] B performance"), std::string::npos);
+  EXPECT_NE(report.find("    t=4 [lock] i grant acct pid=3"),
+            std::string::npos);
+  EXPECT_NE(report.find("    t=9 [script] i performance.abort pid=3"),
+            std::string::npos);
+}
+
+TEST(InspectorRenderTest, FlightReportOnEmptyDumpIsJustTheHeader) {
+  TraceFile dump;
+  EXPECT_EQ(script::obs::render_flight_report(dump, 5),
+            "flight dump: 0 event(s)\n");
+}
+
+}  // namespace

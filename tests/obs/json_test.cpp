@@ -1,0 +1,81 @@
+// json::Writer / json::parse — the snapshot plumbing both scriptctl
+// and the Inspector tests lean on.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+namespace json = script::obs::json;
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  json::Writer w;
+  w.object();
+  w.key("name").value("a\"b");
+  w.key("n").value(static_cast<std::uint64_t>(42));
+  w.key("list").array().value(1).value(2.5).value(true).null().end();
+  w.key("nested").object().key("x").value(-1).end();
+  w.end();
+  EXPECT_EQ(w.str(),
+            "{\"name\": \"a\\\"b\", \"n\": 42, "
+            "\"list\": [1, 2.5, true, null], \"nested\": {\"x\": -1}}");
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedFragments) {
+  json::Writer w;
+  w.object().key("parts").array();
+  w.raw("{\"a\":1}");
+  w.raw("{\"b\":2}");
+  w.end().end();
+  EXPECT_EQ(w.str(), "{\"parts\": [{\"a\":1}, {\"b\":2}]}");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  json::Writer w;
+  w.object();
+  w.key("s").value("tab\there");
+  w.key("f").value(1.5);
+  w.key("flag").value(false);
+  w.key("arr").array().value(1).value(2).end();
+  w.end();
+
+  const auto doc = json::parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->str_or("s", ""), "tab\there");
+  EXPECT_DOUBLE_EQ(doc->num_or("f", 0), 1.5);
+  const json::Value* flag = doc->get("flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->kind, json::Value::Kind::Bool);
+  EXPECT_FALSE(flag->boolean);
+  const json::Value* arr = doc->get("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(arr->array[1].number, 2.0);
+}
+
+TEST(JsonParseTest, UnicodeEscapesDecodeToUtf8) {
+  const auto doc = json::parse("{\"s\": \"\\u0041\\u00e9\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str_or("s", ""), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, MalformedInputsReturnNullopt) {
+  std::string err;
+  EXPECT_FALSE(json::parse("{", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(json::parse("{\"a\":}", nullptr).has_value());
+  EXPECT_FALSE(json::parse("[1,2] trailing", nullptr).has_value());
+  EXPECT_FALSE(json::parse("", nullptr).has_value());
+}
+
+TEST(JsonNumTest, IntegralValuesHaveNoFraction) {
+  EXPECT_EQ(json::num(3.0), "3");
+  EXPECT_EQ(json::num(-7.0), "-7");
+  EXPECT_EQ(json::num(2.5), "2.5");
+}
+
+}  // namespace

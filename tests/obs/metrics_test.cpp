@@ -36,22 +36,79 @@ TEST(HistogramTest, PowerOfTwoBucketing) {
   EXPECT_DOUBLE_EQ(h.sum(), 1034.5);
 }
 
-TEST(HistogramTest, QuantilesAreBucketUpperBoundsClampedToMax) {
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
   Histogram h;
-  for (int i = 0; i < 99; ++i) h.observe(1);  // bucket 0
+  for (int i = 0; i < 99; ++i) h.observe(1);  // bucket 0: [0, 2)
   h.observe(1000);                            // bucket 9: [512, 1024)
 
-  // p50 falls in bucket 0 — upper bound 2.
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
-  // The top sample is in the [512, 1024) bucket; clamped to the
-  // observed max rather than the bucket bound.
+  // p50 is rank 49.5 of 99 bucket-0 samples: 0 + (49.5/99) * 2 = 1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // The extremes are known exactly, not interpolated.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  // p99 is rank 98.01, still among the 99 ones: (98.01/99) * 2 ≈ 1.98.
+  EXPECT_NEAR(h.quantile(0.99), 1.98, 0.01);
+
+  // A split that reaches the high bucket: rank 74.25 of 50+50 lands
+  // 24.25/50 of the way through [512, 1024).
+  Histogram g;
+  for (int i = 0; i < 50; ++i) g.observe(1);
+  for (int i = 0; i < 50; ++i) g.observe(1000);
+  EXPECT_NEAR(g.quantile(0.75), 512.0 + (24.25 / 50.0) * 512.0, 1.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValueBucketClampsToObservedValue) {
+  // All samples equal: interpolation across the bucket would spread
+  // [0, 2), but the clamp to [min, max] pins every quantile to 1.
+  Histogram h;
+  for (int i = 0; i < 7; ++i) h.observe(1);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, SaturatingTopBucketStaysWithinObservedRange) {
+  // Values beyond 2^63 all land in the last bucket; quantiles must
+  // still come back clamped to what was actually seen.
+  Histogram h;
+  const double huge = 1e300;
+  h.observe(huge);
+  h.observe(huge * 2);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 2u);
+  EXPECT_GE(h.quantile(0.5), huge);
+  EXPECT_LE(h.quantile(0.5), huge * 2);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), huge * 2);
 }
 
 TEST(HistogramTest, EmptyHistogramReportsZeroCount) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, AbsorbMergesBucketsAndExtremes) {
+  Histogram a;
+  a.observe(1);
+  a.observe(3);
+  Histogram b;
+  b.observe(100);
+  a.absorb(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 104.0);
+  Histogram empty;
+  a.absorb(empty);  // no-op
+  EXPECT_EQ(a.count(), 3u);
 }
 
 TEST(MetricsRegistryTest, CountersAndGaugesFindOrCreate) {
@@ -99,6 +156,53 @@ TEST(MetricsRegistryTest, JsonHasAllThreeSections) {
   EXPECT_NE(j.find("\"gauges\""), std::string::npos);
   EXPECT_NE(j.find("\"histograms\""), std::string::npos);
   EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonLeadsWithSchemaVersion) {
+  MetricsRegistry reg;
+  reg.counter("c").inc();
+  const std::string j = reg.snapshot_json();
+  const auto version_at = j.find("\"schema_version\": " +
+                                 std::to_string(MetricsRegistry::kSchemaVersion));
+  const auto counters_at = j.find("\"counters\"");
+  ASSERT_NE(version_at, std::string::npos);
+  ASSERT_NE(counters_at, std::string::npos);
+  // Consumers sniff the version before anything else: it comes first.
+  EXPECT_LT(version_at, counters_at);
+  // json() remains an alias for callers predating the rename.
+  EXPECT_EQ(reg.json(2), reg.snapshot_json(2));
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonEscapesAwkwardNames) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\ttabs").inc();
+  const std::string j = reg.snapshot_json();
+  EXPECT_NE(j.find("weird\\\"name\\\\with\\ttabs"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("csp.rendezvous").inc(3);
+  reg.gauge("queue.depth", 7.5);
+  reg.histogram("enroll.latency").observe(1);
+  reg.histogram("enroll.latency").observe(3);
+
+  const std::string text = reg.expose_prometheus();
+  // Names are sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("# TYPE csp_rendezvous counter"), std::string::npos);
+  EXPECT_NE(text.find("csp_rendezvous 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7.5"), std::string::npos);
+  // Histograms expose cumulative buckets plus +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE enroll_latency histogram"), std::string::npos);
+  EXPECT_NE(text.find("enroll_latency_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("enroll_latency_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("enroll_latency_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("enroll_latency_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("enroll_latency_count 2"), std::string::npos);
 }
 
 }  // namespace

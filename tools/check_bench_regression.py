@@ -36,10 +36,23 @@ COST_SUFFIXES = (
     "wall_us_per_perf",
 )
 
+# Absolute ceilings, in gauge units. Unlike the relative cost gate,
+# these fail whenever the fresh value (min across --fresh repeats)
+# exceeds the limit, baseline or no baseline: they encode documented
+# guarantees rather than "no slower than last time".
+ABS_LIMITS = {
+    # docs/OBSERVABILITY.md: an armed flight recorder stays under 3%
+    # on the C7 churn workload.
+    "flight.overhead_pct": 3.0,
+}
+
 
 def load_gauges(path):
+    """Returns (schema_version, gauges). Files written before the
+    registry stamped a schema_version are treated as version 1."""
     with open(path) as f:
-        return json.load(f).get("gauges", {})
+        doc = json.load(f)
+    return doc.get("schema_version", 1), doc.get("gauges", {})
 
 
 def is_cost_key(key):
@@ -79,19 +92,36 @@ def main():
         if not os.path.exists(base_path):
             print("%-24s NEW (no committed baseline, skipping)" % name)
             continue
-        runs = [load_gauges(p) for p in fresh_paths]
-        # min across repeats for cost gauges (noise is additive); the
-        # last run's value for informational ones.
+        loaded = [load_gauges(p) for p in fresh_paths]
+        runs = [gauges for _, gauges in loaded]
+        # min across repeats for cost/limit gauges (noise is additive);
+        # the last run's value for informational ones.
         fresh = dict(runs[-1])
         for key in fresh:
-            if is_cost_key(key):
+            if is_cost_key(key) or key in ABS_LIMITS:
                 vals = [r[key] for r in runs if key in r]
                 fresh[key] = min(vals)
-        base = load_gauges(base_path)
+        base_version, base = load_gauges(base_path)
+        fresh_version = loaded[-1][0]
+        if fresh_version != base_version:
+            print("%-24s schema v%d baseline vs v%d fresh (tolerated)"
+                  % (name, base_version, fresh_version))
+        for key, limit in sorted(ABS_LIMITS.items()):
+            if key not in fresh:
+                continue
+            f = fresh[key]
+            if f > limit:
+                failures.append("%s: %s is %g, above the absolute limit %g"
+                                % (name, key, f, limit))
+            print("%-24s %-36s %12g (limit %g)  %s"
+                  % (name, key, f, limit,
+                     "ABOVE LIMIT" if f > limit else "ok"))
         for key in sorted(base):
             if key not in fresh:
                 failures.append("%s: gauge %r vanished" % (name, key))
                 continue
+            if key in ABS_LIMITS:
+                continue  # already gated against its absolute ceiling
             b, f = base[key], fresh[key]
             if not is_cost_key(key):
                 print("%-24s %-36s %12g (info)" % (name, key, f))

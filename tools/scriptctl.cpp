@@ -1,0 +1,113 @@
+// scriptctl — inspect a Script runtime from the command line.
+//
+//   scriptctl inspect <snapshot.json> [--raw]   render an Inspector
+//                                               snapshot (Scheduler::
+//                                               attach_inspector +
+//                                               Inspector::write_snapshot)
+//                                               as a human report; --raw
+//                                               prints the JSON verbatim
+//   scriptctl flight <dump.flight.json> [--tail N]
+//                                               summarize a flight-
+//                                               recorder dump: counts,
+//                                               drops, trigger, and the
+//                                               last N events (default 20)
+//
+// Snapshots come from Inspector::write_snapshot() (programs typically
+// expose a debug hook or write one on SIGUSR-style commands); flight
+// dumps are written automatically on crash escalation, deadlock, and
+// supervisor give-up, or by $SCRIPT_FLIGHT=<base>. Both renderings are
+// library functions (render_inspect_report / render_flight_report), so
+// tests pin them without exec'ing this binary.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_read.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: scriptctl inspect <snapshot.json> [--raw]\n"
+               "       scriptctl flight <dump.flight.json> [--tail N]\n");
+  return 2;
+}
+
+bool slurp(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* path = argv[0];
+  bool raw = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--raw") == 0)
+      raw = true;
+    else
+      return usage();
+  }
+  std::string text;
+  if (!slurp(path, text)) {
+    std::fprintf(stderr, "scriptctl: cannot open %s\n", path);
+    return 2;
+  }
+  if (raw) {
+    std::fputs(text.c_str(), stdout);
+    if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+  std::string err;
+  const auto doc = script::obs::json::parse(text, &err);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "scriptctl: %s is not valid JSON: %s\n", path,
+                 err.c_str());
+    return 1;
+  }
+  std::fputs(script::obs::render_inspect_report(*doc).c_str(), stdout);
+  return 0;
+}
+
+int cmd_flight(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* path = argv[0];
+  std::size_t tail = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tail") == 0 && i + 1 < argc)
+      tail = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else
+      return usage();
+  }
+  const auto dump = script::obs::read_trace_file(path);
+  if (!dump.has_value()) {
+    std::fprintf(stderr, "scriptctl: cannot open %s\n", path);
+    return 2;
+  }
+  if (dump->events.empty()) {
+    std::fprintf(stderr, "scriptctl: no trace records in %s\n", path);
+    return 1;
+  }
+  std::fputs(script::obs::render_flight_report(*dump, tail).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "inspect") == 0)
+    return cmd_inspect(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "flight") == 0)
+    return cmd_flight(argc - 2, argv + 2);
+  return usage();
+}
