@@ -60,6 +60,30 @@ bool LockTable::acquire_leased(const std::string& item, LockMode mode,
   return true;
 }
 
+AcquireOutcome LockTable::acquire(const std::string& item, LockMode mode,
+                                  OwnerId owner, std::uint64_t now,
+                                  std::uint64_t deadline) {
+  if (now >= deadline) {
+    ++deadline_expiries_;
+    if (bus_ != nullptr && bus_->wants(obs::Subsystem::Lock))
+      publish("lock.deadline_expired", item, mode, owner);
+    return AcquireOutcome::DeadlineExpired;
+  }
+  return acquire(item, mode, owner) ? AcquireOutcome::Granted
+                                    : AcquireOutcome::Denied;
+}
+
+AcquireOutcome LockTable::acquire_leased(const std::string& item,
+                                         LockMode mode, OwnerId owner,
+                                         std::uint64_t expires_at,
+                                         std::uint64_t now,
+                                         std::uint64_t deadline) {
+  const AcquireOutcome out = acquire(item, mode, owner, now, deadline);
+  if (out == AcquireOutcome::Granted)
+    entries_[item].leases[owner] = expires_at;  // fresh grant or renewal
+  return out;
+}
+
 std::size_t LockTable::reap_expired(std::uint64_t now) {
   std::size_t reaped = 0;
   const bool observed = bus_ != nullptr && bus_->wants(obs::Subsystem::Lock);
@@ -136,6 +160,10 @@ std::string LockTable::snapshot_json() const {
   w.key("grants").value(grants_);
   w.key("denials").value(denials_);
   w.key("leases_reaped").value(leases_reaped_);
+  // Appears only once a deadline has actually expired, so snapshots of
+  // deadline-free runs stay byte-identical.
+  if (deadline_expiries_ > 0)
+    w.key("deadline_expiries").value(deadline_expiries_);
   w.key("items").array();
   for (const auto& [item, e] : entries_) {
     w.object();

@@ -25,6 +25,18 @@ using OwnerId = std::uint32_t;
 
 enum class LockMode : std::uint8_t { Shared, Exclusive };
 
+/// "No deadline" for the deadline-aware acquire overloads. Matches the
+/// runtime's sentinel bit-for-bit, so a RoleContext::deadline_at() can
+/// be forwarded without translation (lockdb cannot see runtime types).
+inline constexpr std::uint64_t kNoDeadline = static_cast<std::uint64_t>(-1);
+
+/// Typed result of a deadline-aware acquire: a request that arrives at
+/// or past its deadline is refused as DeadlineExpired WITHOUT touching
+/// the table — the caller can tell "too late" (give up, the requester
+/// has already been cancelled or soon will be) from "contended" (Denied
+/// — retrying can help).
+enum class AcquireOutcome : std::uint8_t { Granted, Denied, DeadlineExpired };
+
 class LockTable {
  public:
   /// May `owner` add a lock of `mode` on `item` right now?
@@ -48,6 +60,27 @@ class LockTable {
   /// acquire() plus a lease. Re-acquisition by the same owner renews.
   bool acquire_leased(const std::string& item, LockMode mode,
                       OwnerId owner, std::uint64_t expires_at);
+
+  // ---- Deadline-aware acquires (docs/ROBUSTNESS.md "Overload") ----
+  // The requester's remaining deadline travels with the lock request
+  // (Fig 5 managers forward RoleContext::deadline_at()); a request
+  // whose deadline has passed by the time the manager serves it must
+  // not be granted — the requester is being cancelled, and a grant
+  // would only sit there until its lease reaps it.
+
+  /// acquire() that honors the requester's deadline: when `now` has
+  /// reached `deadline`, returns DeadlineExpired (table untouched,
+  /// publishes lock.deadline_expired). kNoDeadline never expires.
+  AcquireOutcome acquire(const std::string& item, LockMode mode,
+                         OwnerId owner, std::uint64_t now,
+                         std::uint64_t deadline);
+  /// acquire_leased() with the same deadline contract.
+  AcquireOutcome acquire_leased(const std::string& item, LockMode mode,
+                                OwnerId owner, std::uint64_t expires_at,
+                                std::uint64_t now, std::uint64_t deadline);
+
+  /// Requests refused because their deadline had already passed.
+  std::uint64_t deadline_expiries() const { return deadline_expiries_; }
 
   /// Drop every grant whose lease expired at or before `now`. Returns
   /// how many grants were reclaimed (publishes lock.lease_expired).
@@ -103,6 +136,7 @@ class LockTable {
   std::uint64_t grants_ = 0;
   mutable std::uint64_t denials_ = 0;
   std::uint64_t leases_reaped_ = 0;
+  std::uint64_t deadline_expiries_ = 0;
   std::function<std::uint64_t()> clock_;
   obs::EventBus* bus_ = nullptr;
 };

@@ -8,13 +8,21 @@
 //
 // Both charge an optional `access_cost` of virtual time while holding
 // their monitor, so the serialization difference is measurable.
+// BoundedMailbox<T> extends the single-slot design to a bounded queue
+// with an overflow policy (runtime::OverflowPolicy), the monitor-side
+// leg of the runtime's backpressure story: Block parks producers
+// (classic), ShedNewest refuses the arrival, ShedOldest evicts the
+// queue head to make room.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "monitor/monitor.hpp"
+#include "runtime/overload.hpp"
+#include "support/panic.hpp"
 
 namespace script::monitor {
 
@@ -53,6 +61,92 @@ class Mailbox {
   Monitor mon_;
   std::optional<T> slot_;
   std::uint64_t cost_;
+};
+
+/// Bounded multi-slot mailbox with an overflow policy — the monitor
+/// packaging of the runtime's backpressure semantics. A full queue:
+///   * Block      — put() parks until a get() frees a slot (classic
+///                  producer backpressure; put() always returns true);
+///   * ShedNewest — put() refuses the arrival and returns false;
+///   * ShedOldest — put() evicts the queue head (the oldest undelivered
+///                  message), enqueues the newcomer, and returns true.
+/// shed_count() says how many messages were refused or evicted.
+template <typename T>
+class BoundedMailbox {
+ public:
+  BoundedMailbox(runtime::Scheduler& sched, std::string name,
+                 std::size_t capacity,
+                 runtime::OverflowPolicy policy = runtime::OverflowPolicy::Block,
+                 std::uint64_t access_cost = 0)
+      : mon_(sched, std::move(name)),
+        cap_(capacity),
+        policy_(policy),
+        cost_(access_cost) {
+    SCRIPT_ASSERT(cap_ > 0, "BoundedMailbox needs capacity > 0");
+  }
+
+  /// Deliver per the overflow policy. False = the message was shed
+  /// (ShedNewest refused it); true = it sits in the queue (though
+  /// ShedOldest may later evict it for a newer arrival).
+  bool put(T value) {
+    mon_.enter();
+    if (queue_.size() >= cap_) {
+      switch (policy_) {
+        case runtime::OverflowPolicy::Block:
+          mon_.wait_until([this] { return queue_.size() < cap_; });
+          break;
+        case runtime::OverflowPolicy::ShedNewest:
+          ++shed_;
+          mon_.leave();
+          return false;
+        case runtime::OverflowPolicy::ShedOldest:
+          queue_.pop_front();
+          ++shed_;
+          break;
+      }
+    }
+    if (cost_ > 0) mon_.occupy(cost_);
+    queue_.push_back(std::move(value));
+    mon_.leave();
+    return true;
+  }
+
+  /// WAIT UNTIL the queue is non-empty; pop the head.
+  T get() {
+    mon_.enter();
+    mon_.wait_until([this] { return !queue_.empty(); });
+    if (cost_ > 0) mon_.occupy(cost_);
+    T out = std::move(queue_.front());
+    queue_.pop_front();
+    mon_.leave();
+    return out;
+  }
+
+  /// Non-blocking probe: the head if one is ready.
+  std::optional<T> try_get() {
+    mon_.enter();
+    std::optional<T> out;
+    if (!queue_.empty()) {
+      if (cost_ > 0) mon_.occupy(cost_);
+      out = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    mon_.leave();
+    return out;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return cap_; }
+  std::uint64_t shed_count() const { return shed_; }
+  Monitor& monitor() { return mon_; }
+
+ private:
+  Monitor mon_;
+  std::deque<T> queue_;
+  std::size_t cap_;
+  runtime::OverflowPolicy policy_;
+  std::uint64_t cost_;
+  std::uint64_t shed_ = 0;
 };
 
 /// All mailboxes behind ONE monitor — the "unified abstraction, all

@@ -53,6 +53,7 @@ enum class Subsystem : std::uint8_t {
   Causal,     // happens-before edges between fibers (flow.s / flow.f)
   Recovery,   // supervisor restarts, role takeover, WAL replay, leases
   Health,     // SLO violations and watchdog alarms (HealthMonitor)
+  Overload,   // deadline/budget cancellations, sheds, circuit breaker
   kCount,
 };
 

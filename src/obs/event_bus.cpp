@@ -20,6 +20,7 @@ const char* subsystem_name(Subsystem s) {
     case Subsystem::Causal: return "causal";
     case Subsystem::Recovery: return "recovery";
     case Subsystem::Health: return "health";
+    case Subsystem::Overload: return "overload";
     case Subsystem::kCount: break;
   }
   return "unknown";

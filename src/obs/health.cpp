@@ -217,6 +217,23 @@ std::uint64_t HealthMonitor::violations(const std::string& event_name) const {
   return it == by_name_.end() ? 0 : it->second;
 }
 
+bool HealthMonitor::queue_latched(std::int32_t lane) const {
+  const auto it = watches_.find(lane);
+  return it != watches_.end() && it->second.queue_latched;
+}
+
+bool HealthMonitor::stuck_latched(std::int32_t lane) const {
+  const auto it = watches_.find(lane);
+  return it != watches_.end() && it->second.stuck_latched;
+}
+
+bool HealthMonitor::restart_pressure() const {
+  for (const SupWatch& sw : sup_watches_)
+    for (const auto& [child, latched] : sw.latched)
+      if (latched) return true;
+  return false;
+}
+
 std::string HealthMonitor::report() const {
   if (violations_ == 0) return {};
   std::string out = "health: " + std::to_string(violations_) +

@@ -113,6 +113,13 @@ class HealthMonitor {
   /// Total Health conditions raised (latched re-raises not counted).
   std::uint64_t violations() const { return violations_; }
   std::uint64_t violations(const std::string& event_name) const;
+  /// Watchdog latch standings, for admission controllers that want to
+  /// shed load while a condition holds (false for unwatched lanes).
+  bool queue_latched(std::int32_t lane) const;
+  bool stuck_latched(std::int32_t lane) const;
+  /// True while any supervised child sits one crash away from its
+  /// restart budget (a health.restart_pressure alarm is standing).
+  bool restart_pressure() const;
   /// Human summary for deadlock/abort reports; empty when healthy.
   std::string report() const;
 

@@ -73,6 +73,10 @@ void render_scheduler(std::string& out, const json::Value& s) {
       out += " waiting_on=" + json::num(f.num_or("waiting_on", -1));
     const json::Value* crashed = f.get("crashed");
     if (crashed != nullptr && crashed->boolean) out += " CRASHED";
+    const json::Value* cancelled = f.get("cancelled");
+    if (cancelled != nullptr && cancelled->boolean) out += " (cancelled)";
+    if (f.get("deadline") != nullptr)
+      out += " deadline=" + ticks(f.num_or("deadline", 0));
     out += "\n";
   }
 }
@@ -108,12 +112,29 @@ void render_script(std::string& out, const json::Value& s) {
     for (const json::Value& q : waiting->array)
       out += "  waiting: " + q.str_or("role", "?") + " (" +
              json::num(q.num_or("queued", 0)) + " queued)\n";
+  // Overload state: why `enroll` keeps coming back shed.
+  const json::Value* breaker = s.get("breaker");
+  if (breaker != nullptr && breaker->is_object()) {
+    out += "  admission breaker " + breaker->str_or("state", "?");
+    if (breaker->get("open_until") != nullptr)
+      out += " (reopens " + ticks(breaker->num_or("open_until", 0)) + ")";
+    if (breaker->get("probes_left") != nullptr)
+      out += " (" + json::num(breaker->num_or("probes_left", 0)) +
+             " probe(s) left)";
+    out += ", " + json::num(breaker->num_or("trips", 0)) + " trip(s)\n";
+  }
+  if (s.get("sheds") != nullptr)
+    out += "  shed enrollments: " + json::num(s.num_or("sheds", 0)) + "\n";
 }
 
-void render_locks(std::string& out, const json::Value& s) {
+void render_locks(std::string& out, const json::Value& s, double now) {
   out += "locks: " + json::num(s.num_or("held", 0)) + " item(s) held; " +
          json::num(s.num_or("grants", 0)) + " grant(s), " +
-         json::num(s.num_or("denials", 0)) + " denial(s)\n";
+         json::num(s.num_or("denials", 0)) + " denial(s)";
+  if (s.get("deadline_expiries") != nullptr)
+    out += ", " + json::num(s.num_or("deadline_expiries", 0)) +
+           " deadline-expired";
+  out += "\n";
   const json::Value* items = s.get("items");
   if (items == nullptr || !items->is_array()) return;
   for (const json::Value& item : items->array) {
@@ -131,8 +152,15 @@ void render_locks(std::string& out, const json::Value& s) {
           out += json::num(id->number);
         else
           out += o.str_or("owner", "?");
-        if (o.get("lease_expiry") != nullptr)
-          out += " (lease " + ticks(o.num_or("lease_expiry", 0)) + ")";
+        if (o.get("lease_expiry") != nullptr) {
+          const double expiry = o.num_or("lease_expiry", 0);
+          out += " (lease " + ticks(expiry);
+          // Remaining lease against the snapshot's clock — the operator
+          // wants "how long until this grant frees up", not an absolute.
+          out += expiry > now ? ", " + json::num(expiry - now) + " left"
+                              : ", expired";
+          out += ")";
+        }
       }
     out += "}\n";
   }
@@ -171,7 +199,7 @@ std::string render_inspect_report(const json::Value& snapshot) {
       } else if (kind == "script") {
         render_script(out, entry);
       } else if (kind == "locks") {
-        render_locks(out, entry);
+        render_locks(out, entry, snapshot.num_or("virtual_time", 0));
       } else if (kind == "supervisor") {
         render_supervisor(out, entry);
       } else {

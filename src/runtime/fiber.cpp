@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "runtime/fault.hpp"
+#include "runtime/overload.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/panic.hpp"
 
@@ -41,11 +42,26 @@ void Fiber::run_body() {
       // Killed before ever being dispatched: the body never starts.
       kill_pending_ = false;
       crashed_ = true;
+    } else if (cancel_pending_ != PendingCancel::None) {
+      // Cancelled before ever being dispatched (a step budget of zero,
+      // or a deadline already past at spawn): the body never starts.
+      cancel_pending_ = PendingCancel::None;
+      crashed_ = true;
+      cancelled_ = true;
     } else {
       body_();
     }
   } catch (const FiberKilled&) {
     crashed_ = true;  // a crash is not a failure; nothing to rethrow
+  } catch (const DeadlineExceeded&) {
+    // An uncaught cancellation terminates the fiber as a crash (the
+    // hooks and FailurePolicy machinery react identically); cancelled_
+    // records the distinction for reports and snapshots.
+    crashed_ = true;
+    cancelled_ = true;
+  } catch (const BudgetExceeded&) {
+    crashed_ = true;
+    cancelled_ = true;
   } catch (...) {
     failure_ = std::current_exception();
   }

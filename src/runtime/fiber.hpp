@@ -73,6 +73,16 @@ class Fiber {
   /// FiberKilled; never reported through failure()).
   bool crashed() const { return crashed_; }
 
+  /// True once a deadline or budget cancellation unwound this fiber's
+  /// body (DeadlineExceeded / BudgetExceeded escaped uncaught). Such a
+  /// fiber also reads as crashed() — cancellation feeds the same crash
+  /// hooks and FailurePolicy — but cancelled() says *why*.
+  bool cancelled() const { return cancelled_; }
+
+  /// Absolute virtual-time deadline installed on this fiber, or
+  /// kNoDeadline (runtime/overload.hpp) when none.
+  std::uint64_t deadline() const { return deadline_; }
+
   /// Virtual time at which this fiber last ran (dispatch instant).
   std::uint64_t last_progress() const { return last_progress_; }
 
@@ -129,6 +139,24 @@ class Fiber {
   bool kill_pending_ = false;   // next switch-in throws FiberKilled
   bool crashed_ = false;        // body unwound by FiberKilled
   bool crash_notified_ = false;  // crash hooks already ran
+  // ---- Overload-protection state (runtime/overload.hpp) ----
+  // A due deadline/budget sets a pending cancel; the next switch-in (or
+  // the next blocking-primitive entry, for a fiber that was Ready when
+  // it fired) throws the matching typed exception.
+  enum class PendingCancel : std::uint8_t {
+    None,
+    Deadline,    // throws DeadlineExceeded
+    StepBudget,  // throws BudgetExceeded{DispatchSteps}
+    TickBudget,  // throws BudgetExceeded{VirtualTicks}
+  };
+  PendingCancel cancel_pending_ = PendingCancel::None;
+  std::uint64_t cancel_payload_ = 0;  // expired deadline / blown limit
+  bool cancelled_ = false;  // body unwound by DeadlineExceeded/BudgetExceeded
+  std::uint64_t deadline_ = static_cast<std::uint64_t>(-1);      // kNoDeadline
+  std::uint64_t tick_budget_due_ = static_cast<std::uint64_t>(-1);
+  std::uint64_t tick_budget_limit_ = 0;  // configured ticks (for the payload)
+  std::uint64_t steps_left_ = static_cast<std::uint64_t>(-1);  // step budget
+  std::uint64_t step_limit_ = 0;         // configured steps (for the payload)
   std::uint64_t pending_stall_ticks_ = 0;  // consumed at next dispatch
   std::uint64_t last_progress_ = 0;        // virtual time last dispatched
   // ---- Causal accounting (always on; plain arithmetic per park) ----

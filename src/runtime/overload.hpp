@@ -1,0 +1,87 @@
+// Overload-protection primitives: typed cancellation and backpressure.
+//
+// Deadlines and execution budgets are the runtime's defense against
+// work that never finishes; overflow policies are its defense against
+// queues that never drain. All three live on the virtual clock and the
+// dispatch counter, so an overloaded run is as deterministic and
+// replay-exact as a healthy one — the same seed reproduces the same
+// sheds, the same cancellations, at the same instants.
+//
+// Cancellation semantics: expiry unwinds the victim like FiberKilled
+// (synchronously, so every RAII registration guard deregisters before
+// another fiber can observe stale state) but, unlike a crash, the
+// exceptions below are *catchable* — a role body may catch
+// DeadlineExceeded, release what it holds, and return a degraded
+// answer. Uncaught, they terminate the fiber as a crash and feed
+// FailurePolicy exactly like an injected fault.
+//
+// Same-instant ordering: timers fire before deadlines, deadlines
+// before faults — "timeout beats cancel beats crash".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "runtime/fiber.hpp"
+
+namespace script::runtime {
+
+/// Absent deadline / unlimited budget sentinel.
+inline constexpr std::uint64_t kNoDeadline =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Thrown inside a fiber whose deadline (Scheduler::set_deadline,
+/// RoleContext::deadline) expired. Deliberately NOT derived from
+/// std::exception, mirroring FiberKilled: the scheduler records the
+/// fiber as cancelled, not failed, when it escapes the body.
+struct DeadlineExceeded {
+  ProcessId pid = kNoProcess;
+  /// The absolute virtual-time deadline that expired.
+  std::uint64_t deadline = 0;
+};
+
+/// Which execution bound was blown — volo's panic-kind taxonomy
+/// (ExecutionLimitExceeded / QueryLimitExceeded) adapted to the
+/// scheduler's two currencies plus the admission queue.
+enum class BudgetKind : std::uint8_t {
+  DispatchSteps,  // ScriptSpec budget: max_dispatch_steps
+  VirtualTicks,   // ScriptSpec budget: max_virtual_ticks
+  QueueDepth,     // ScriptSpec budget: max_queue_depth (shed, never thrown)
+};
+
+inline const char* budget_kind_name(BudgetKind k) {
+  switch (k) {
+    case BudgetKind::DispatchSteps: return "dispatch_steps";
+    case BudgetKind::VirtualTicks: return "virtual_ticks";
+    case BudgetKind::QueueDepth: return "queue_depth";
+  }
+  return "?";
+}
+
+/// Thrown inside a fiber that exhausted an execution budget. Catchable
+/// like DeadlineExceeded; uncaught it terminates the fiber as a crash.
+struct BudgetExceeded {
+  BudgetKind kind = BudgetKind::DispatchSteps;
+  ProcessId pid = kNoProcess;
+  /// The configured bound that was hit.
+  std::uint64_t limit = 0;
+};
+
+/// What a bounded queue (enroll queue, monitor mailbox) does when an
+/// arrival would exceed its capacity.
+enum class OverflowPolicy : std::uint8_t {
+  Block,      // classic behavior: the producer waits (or queues) unbounded
+  ShedNewest, // refuse the arriving request; tell it when to retry
+  ShedOldest, // evict the longest-queued request to make room
+};
+
+inline const char* overflow_policy_name(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::Block: return "block";
+    case OverflowPolicy::ShedNewest: return "shed_newest";
+    case OverflowPolicy::ShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+}  // namespace script::runtime

@@ -172,6 +172,11 @@ std::string Scheduler::snapshot_json() const {
   w.key("ready").value(static_cast<std::uint64_t>(ready_.size()));
   w.key("timers").value(static_cast<std::uint64_t>(timers_.size()));
   w.key("stale_timers").value(static_cast<std::uint64_t>(stale_timers_));
+  // Overload counters appear only once the machinery has fired, so
+  // snapshots of runs that never arm it are unchanged.
+  if (deadline_cancels_ != 0)
+    w.key("deadline_cancels").value(deadline_cancels_);
+  if (budget_cancels_ != 0) w.key("budget_cancels").value(budget_cancels_);
   w.key("fibers").array();
   for (const auto& fp : fibers_) {
     const Fiber& f = *fp;
@@ -189,6 +194,14 @@ std::string Scheduler::snapshot_json() const {
     w.key("blocked_ticks").value(f.blocked_ticks());
     w.key("slept_ticks").value(f.slept_ticks());
     if (f.crashed()) w.key("crashed").value(true);
+    if (f.cancelled()) w.key("cancelled").value(true);
+    if (f.deadline() != kNoDeadline) w.key("deadline").value(f.deadline());
+    // Remaining budgets, present only while armed (run_admitted clears
+    // them when the role body ends).
+    if (f.steps_left_ != kNoDeadline)
+      w.key("steps_left").value(f.steps_left_);
+    if (f.tick_budget_due_ != kNoDeadline)
+      w.key("tick_budget_due").value(f.tick_budget_due_);
     w.end();
   }
   w.end().end();
@@ -236,6 +249,10 @@ RunResult Scheduler::run() {
   std::uint64_t dispatched = 0;
 
   for (;;) {
+    // Same-instant ordering: deadlines before faults ("cancel beats
+    // crash"); timers already beat both because advance_clock pops them
+    // before firing either.
+    if (!deadlines_.empty()) fire_due_deadlines();
     if (fault_plan_ != nullptr) fire_due_faults();
     if (opts_.max_steps_per_run != 0 &&
         dispatched >= opts_.max_steps_per_run) {
@@ -264,6 +281,20 @@ RunResult Scheduler::run() {
                       obs::kAutoTime, pid, obs::kNoLane, "sleeping",
                       "(stalled)", static_cast<double>(ticks)});
       continue;
+    }
+    if (f.steps_left_ != kNoDeadline) {
+      if (f.steps_left_ == 0) {
+        // Step budget spent: this dispatch delivers BudgetExceeded
+        // (thrown from switch_out on the fiber's own stack) instead of
+        // running the body.
+        f.steps_left_ = kNoDeadline;
+        f.cancel_pending_ = Fiber::PendingCancel::StepBudget;
+        f.cancel_payload_ = f.step_limit_;
+        note_cancel_fired(f, Fiber::PendingCancel::StepBudget,
+                          f.step_limit_);
+      } else {
+        --f.steps_left_;
+      }
     }
     f.set_state(FiberState::Running);
     f.last_progress_ = now_;
@@ -323,6 +354,7 @@ void Scheduler::yield() {
 
 void Scheduler::block(const std::string& reason, ProcessId waiting_on) {
   Fiber& f = fiber(current());
+  check_cancel(f);  // blocking primitives are cancellation points
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
   f.block_start_ = now_;
@@ -335,6 +367,7 @@ void Scheduler::block(const std::string& reason, ProcessId waiting_on) {
 
 void Scheduler::sleep_for(std::uint64_t ticks) {
   Fiber& f = fiber(current());
+  check_cancel(f);
   if (ticks == 0) {
     yield();
     return;
@@ -354,6 +387,14 @@ bool Scheduler::block_with_timeout(const std::string& reason,
                                    std::function<void()> on_timeout,
                                    ProcessId waiting_on) {
   Fiber& f = fiber(current());
+  if (f.cancel_pending_ != Fiber::PendingCancel::None ||
+      now_ >= f.deadline_ || now_ >= f.tick_budget_due_) {
+    // Cancelling at entry: run the caller's self-clean hook first, just
+    // as a timeout or kill firing an instant after the park would, so
+    // the wait-list registration never outlives the wait.
+    if (on_timeout) on_timeout();
+    check_cancel(f);  // throws
+  }
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
   f.block_start_ = now_;
@@ -372,6 +413,10 @@ bool Scheduler::block_with_timeout(const std::string& reason,
 void Scheduler::join(ProcessId pid) {
   SCRIPT_ASSERT(pid < fibers_.size(), "join: unknown process");
   if (fiber(pid).state() == FiberState::Done) return;
+  // Cancel before registering: a joiner that unwound at block() entry
+  // would leave a joiners_ entry behind, and a caught cancellation
+  // could re-block the fiber elsewhere before the target finishes.
+  check_cancel(fiber(current()));
   joiners_[pid].push_back(current());
   block("joining " + fiber(pid).name(), pid);
 }
@@ -489,6 +534,12 @@ void Scheduler::switch_out() {
     // stack so every RAII registration guard deregisters.
     f.kill_pending_ = false;
     throw FiberKilled{f.id()};
+  }
+  if (f.cancel_pending_ != Fiber::PendingCancel::None) {
+    // A deadline/budget cancellation fired while we were parked (or a
+    // step budget expired at this dispatch): unwind like a kill, but
+    // with the catchable typed exception.
+    throw_cancel(f);
   }
 }
 
@@ -692,6 +743,200 @@ void Scheduler::finish_crash(Fiber& f) {
   }
 }
 
+void Scheduler::set_deadline(ProcessId pid, std::uint64_t when) {
+  Fiber& f = fiber(pid);
+  f.deadline_ = when;
+  // Clearing (or replacing) leaves any older heap entry stale; it is
+  // discarded when it surfaces, like a stale timer.
+  if (when != kNoDeadline)
+    deadlines_.push(DeadlineEntry{when, deadline_seq_++, pid, false});
+}
+
+void Scheduler::set_step_budget(ProcessId pid, std::uint64_t steps) {
+  SCRIPT_ASSERT(steps != kNoDeadline, "set_step_budget: reserved sentinel");
+  Fiber& f = fiber(pid);
+  f.steps_left_ = steps;
+  f.step_limit_ = steps;
+}
+
+void Scheduler::clear_step_budget(ProcessId pid) {
+  Fiber& f = fiber(pid);
+  f.steps_left_ = kNoDeadline;
+  f.step_limit_ = 0;
+}
+
+void Scheduler::set_tick_budget(ProcessId pid, std::uint64_t when,
+                                std::uint64_t limit) {
+  Fiber& f = fiber(pid);
+  f.tick_budget_due_ = when;
+  f.tick_budget_limit_ = limit;
+  if (when != kNoDeadline)
+    deadlines_.push(DeadlineEntry{when, deadline_seq_++, pid, true});
+}
+
+void Scheduler::clear_tick_budget(ProcessId pid) {
+  Fiber& f = fiber(pid);
+  f.tick_budget_due_ = kNoDeadline;
+  f.tick_budget_limit_ = 0;
+}
+
+bool Scheduler::deadline_entry_live(const DeadlineEntry& e) const {
+  const Fiber& f = fiber(e.pid);
+  if (f.state() == FiberState::Done) return false;
+  return (e.tick_budget ? f.tick_budget_due_ : f.deadline_) == e.due;
+}
+
+std::uint64_t Scheduler::next_deadline_due() {
+  // Purge stale tops BEFORE reporting a due time: advancing the clock
+  // to a cleared deadline would perturb health polls and virtual_time
+  // events, breaking replay identity.
+  while (!deadlines_.empty() && !deadline_entry_live(deadlines_.top()))
+    deadlines_.pop();
+  return deadlines_.empty() ? kNoTrigger : deadlines_.top().due;
+}
+
+bool Scheduler::fire_due_deadlines() {
+  bool fired_any = false;
+  while (!deadlines_.empty()) {
+    const DeadlineEntry e = deadlines_.top();
+    if (!deadline_entry_live(e)) {
+      deadlines_.pop();
+      continue;
+    }
+    if (e.due > now_) break;
+    deadlines_.pop();
+    Fiber& f = fiber(e.pid);
+    if (f.state() == FiberState::Blocked ||
+        f.state() == FiberState::Sleeping) {
+      const auto kind = e.tick_budget ? Fiber::PendingCancel::TickBudget
+                                      : Fiber::PendingCancel::Deadline;
+      const std::uint64_t payload =
+          e.tick_budget ? f.tick_budget_limit_ : e.due;
+      if (e.tick_budget)
+        f.tick_budget_due_ = kNoDeadline;
+      else
+        f.deadline_ = kNoDeadline;  // consumed
+      note_cancel_fired(f, kind, payload);
+      cancel_now(f, kind, payload);
+      fired_any = true;
+    }
+    // else Ready: a same-instant wake (e.g. a rendezvous commit) beat
+    // the deadline — the committed work wins. The fiber's slot stays
+    // armed, so its next blocking-primitive entry delivers the
+    // cancellation instead (exactly-one-winner, deterministically).
+  }
+  return fired_any;
+}
+
+void Scheduler::cancel_now(Fiber& f, Fiber::PendingCancel kind,
+                           std::uint64_t payload) {
+  SCRIPT_ASSERT(current_ == kNoProcess,
+                "cancel_now must run from the scheduler loop");
+  SCRIPT_ASSERT(f.state() == FiberState::Blocked ||
+                    f.state() == FiberState::Sleeping,
+                "cancel_now on a non-parked fiber");
+  // Self-clean any timed-wait registration exactly as a timeout would.
+  if (f.timeout_cleanup_) {
+    auto cleanup = std::move(f.timeout_cleanup_);
+    f.timeout_cleanup_ = nullptr;
+    cleanup();
+  }
+  // Close the open park span and accrue its elapsed part to the wait
+  // ledger, so causal attribution agrees on cancel paths (the kill_now
+  // discipline with a "(cancelled)" marker).
+  if (f.state() == FiberState::Blocked) {
+    f.blocked_ticks_ += now_ - f.block_start_;
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, f.id(), obs::kNoLane, "blocked",
+                    "(cancelled)"});
+  } else {
+    f.slept_ticks_ += now_ - f.sleep_start_;
+    if (bus_.wants(obs::Subsystem::Scheduler))
+      bus_.publish({obs::EventKind::SpanEnd, obs::Subsystem::Scheduler,
+                    obs::kAutoTime, f.id(), obs::kNoLane, "sleeping",
+                    "(cancelled)"});
+  }
+  f.waiting_on_ = kNoProcess;
+  note_stale_timer(f);
+  ++f.wake_gen_;  // any armed timer is now stale
+  f.set_block_reason("");
+  f.cancel_pending_ = kind;
+  f.cancel_payload_ = payload;
+  f.set_state(FiberState::Running);
+  current_ = f.id();
+  if (causal_ != nullptr) causal_->on_dispatch(f.id());
+  // Switch in so the victim unwinds (or catches) NOW — before any other
+  // fiber can observe its stale rendezvous registrations.
+  switch_to(f);
+  current_ = kNoProcess;
+  if (causal_ != nullptr) causal_->on_scheduler_loop();
+  if (f.state() == FiberState::Done) {
+    if (f.crashed()) finish_crash(f);
+    reclaim_stack(f);
+  }
+  // else: the fiber caught the cancellation and re-parked (or went
+  // Ready); it simply continues.
+}
+
+void Scheduler::check_cancel(Fiber& f) {
+  if (f.cancel_pending_ != Fiber::PendingCancel::None) throw_cancel(f);
+  if (now_ >= f.deadline_) {
+    const std::uint64_t due = f.deadline_;
+    f.deadline_ = kNoDeadline;  // consumed; heap entry goes stale
+    f.cancel_pending_ = Fiber::PendingCancel::Deadline;
+    f.cancel_payload_ = due;
+    note_cancel_fired(f, Fiber::PendingCancel::Deadline, due);
+    throw_cancel(f);
+  }
+  if (now_ >= f.tick_budget_due_) {
+    const std::uint64_t limit = f.tick_budget_limit_;
+    f.tick_budget_due_ = kNoDeadline;
+    f.cancel_pending_ = Fiber::PendingCancel::TickBudget;
+    f.cancel_payload_ = limit;
+    note_cancel_fired(f, Fiber::PendingCancel::TickBudget, limit);
+    throw_cancel(f);
+  }
+}
+
+void Scheduler::throw_cancel(Fiber& f) {
+  const auto kind = f.cancel_pending_;
+  const std::uint64_t payload = f.cancel_payload_;
+  f.cancel_pending_ = Fiber::PendingCancel::None;
+  f.cancel_payload_ = 0;
+  switch (kind) {
+    case Fiber::PendingCancel::Deadline:
+      throw DeadlineExceeded{f.id(), payload};
+    case Fiber::PendingCancel::StepBudget:
+      throw BudgetExceeded{BudgetKind::DispatchSteps, f.id(), payload};
+    case Fiber::PendingCancel::TickBudget:
+      throw BudgetExceeded{BudgetKind::VirtualTicks, f.id(), payload};
+    case Fiber::PendingCancel::None:
+      break;
+  }
+  SCRIPT_PANIC("throw_cancel without a pending cancel");
+}
+
+void Scheduler::note_cancel_fired(const Fiber& f, Fiber::PendingCancel kind,
+                                  std::uint64_t payload) {
+  const bool is_deadline = kind == Fiber::PendingCancel::Deadline;
+  if (is_deadline)
+    ++deadline_cancels_;
+  else
+    ++budget_cancels_;
+  if (!bus_.wants(obs::Subsystem::Overload)) return;
+  bus_.publish(
+      {obs::EventKind::Instant, obs::Subsystem::Overload, obs::kAutoTime,
+       f.id(), obs::kNoLane,
+       is_deadline ? "overload.deadline" : "overload.budget",
+       is_deadline ? f.name()
+                   : std::string(budget_kind_name(
+                         kind == Fiber::PendingCancel::StepBudget
+                             ? BudgetKind::DispatchSteps
+                             : BudgetKind::VirtualTicks)),
+       static_cast<double>(payload)});
+}
+
 ProcessId Scheduler::pick_next() {
   SCRIPT_ASSERT(!ready_.empty(), "pick_next on empty ready queue");
   ProcessId pid = kNoProcess;
@@ -719,11 +964,23 @@ ProcessId Scheduler::pick_next() {
 bool Scheduler::advance_clock() {
   bool woke_any = false;
   while (!woke_any) {
+    // Lazily drop stale entries at the heap top so an already-woken
+    // (or cancelled) fiber's abandoned timer can't drag the clock —
+    // and the trace's virtual_time — past the end of real work.
+    while (!timers_.empty() &&
+           timers_.top().gen != fiber(timers_.top().pid).wake_gen_) {
+      SCRIPT_ASSERT(stale_timers_ > 0, "stale-timer count out of sync");
+      --stale_timers_;
+      timers_.pop();
+    }
     const std::uint64_t timer_due =
         timers_.empty() ? kNoTrigger : timers_.top().due;
+    const std::uint64_t deadline_due =
+        deadlines_.empty() ? kNoTrigger : next_deadline_due();
     const std::uint64_t fault_due =
         fault_plan_ != nullptr ? fault_plan_->next_time_trigger() : kNoTrigger;
-    const std::uint64_t due = std::min(timer_due, fault_due);
+    const std::uint64_t due =
+        std::min(std::min(timer_due, deadline_due), fault_due);
     if (due == kNoTrigger) break;
     const std::uint64_t before = now_;
     now_ = std::max(now_, due);
@@ -773,12 +1030,16 @@ bool Scheduler::advance_clock() {
                       was_sleeping ? "sleeping" : "blocked",
                       was_sleeping ? "" : "timeout"});
     }
-    // Same-instant faults fire after timers: a timeout racing a crash at
-    // the same tick resolves as timeout first (satellite regression).
+    // Same-instant ordering: timers fired above, deadlines next, faults
+    // last — "timeout beats cancel beats crash" (satellite regressions
+    // pin both halves).
+    if (!deadlines_.empty() && fire_due_deadlines()) woke_any = true;
     if (fault_plan_ != nullptr && fire_due_faults()) woke_any = true;
   }
   if (woke_any || !timers_.empty()) return true;
-  // Unfired time-triggered faults keep the clock alive on their own.
+  // Unfired deadlines and time-triggered faults keep the clock alive on
+  // their own.
+  if (next_deadline_due() != kNoTrigger) return true;
   return fault_plan_ != nullptr &&
          fault_plan_->next_time_trigger() != kNoTrigger;
 }

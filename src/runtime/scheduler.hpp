@@ -22,6 +22,7 @@
 #include "obs/event_bus.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/fiber.hpp"
+#include "runtime/overload.hpp"
 #include "runtime/ready_queue.hpp"
 #include "runtime/stack_pool.hpp"
 #include "support/log.hpp"
@@ -181,6 +182,45 @@ class Scheduler {
     return fiber(pid).last_progress();
   }
 
+  // ---- Overload protection (runtime/overload.hpp): deadlines,
+  //      execution budgets, typed cancellation ----
+
+  /// Install an absolute virtual-time deadline on `pid`. When the clock
+  /// reaches it, the fiber is unwound with a catchable DeadlineExceeded:
+  /// synchronously if it is parked (Blocked/Sleeping — its RAII guards
+  /// deregister before any other fiber runs), or at its next blocking-
+  /// primitive entry if it is Ready/Running at that instant. Same-instant
+  /// ordering: timers fire before deadlines, deadlines before faults.
+  /// Passing kNoDeadline clears. Replaces any earlier deadline.
+  void set_deadline(ProcessId pid, std::uint64_t when);
+  void clear_deadline(ProcessId pid) { set_deadline(pid, kNoDeadline); }
+  /// The installed deadline, or kNoDeadline.
+  std::uint64_t deadline_of(ProcessId pid) const {
+    return fiber(pid).deadline();
+  }
+
+  /// Allow `pid` at most `steps` further dispatches; the dispatch after
+  /// the last one unwinds it with BudgetExceeded{DispatchSteps}.
+  /// ScriptInstance arms this per role from ScriptSpec::budget.
+  void set_step_budget(ProcessId pid, std::uint64_t steps);
+  void clear_step_budget(ProcessId pid);
+
+  /// Like a deadline, but expiry throws BudgetExceeded{VirtualTicks}
+  /// carrying `limit` (the configured tick budget). `when` is absolute.
+  void set_tick_budget(ProcessId pid, std::uint64_t when,
+                       std::uint64_t limit);
+  void clear_tick_budget(ProcessId pid);
+
+  /// True once a deadline/budget cancellation unwound `pid`'s body.
+  bool was_cancelled(ProcessId pid) const {
+    return fiber(pid).cancelled();
+  }
+  /// Lifetime counts of fibers unwound by each cancellation flavor.
+  std::uint64_t deadline_cancels() const { return deadline_cancels_; }
+  std::uint64_t budget_cancels() const { return budget_cancels_; }
+  /// Deadline-heap depth (deadlines + tick budgets, stale included).
+  std::size_t deadline_heap_size() const { return deadlines_.size(); }
+
   /// Register a hook that runs after a crashed fiber has fully unwound
   /// (csp::Net fails the dead process's peers through one). Returns an
   /// id for remove_crash_hook().
@@ -317,6 +357,28 @@ class Scheduler {
   /// Run the registered crash hooks for a fully-unwound crashed fiber.
   void finish_crash(Fiber& f);
 
+  /// Switch into a parked `f` with a cancel pending so it unwinds NOW
+  /// with DeadlineExceeded/BudgetExceeded — the kill_now discipline,
+  /// but catchable.
+  void cancel_now(Fiber& f, Fiber::PendingCancel kind,
+                  std::uint64_t payload);
+  /// Earliest live deadline/tick-budget due, or kNoTrigger. Purges
+  /// stale heap tops so the clock never advances to a cleared deadline.
+  std::uint64_t next_deadline_due();
+  /// Fire every deadline/tick-budget due at now_. Parked victims unwind
+  /// synchronously; Ready victims get a pending cancel delivered at
+  /// their next park. True if anything fired.
+  bool fire_due_deadlines();
+  /// Entry check at every blocking primitive: a pending cancel (or a
+  /// deadline the clock already passed) throws here, on the fiber's own
+  /// stack, before it parks.
+  void check_cancel(Fiber& f);
+  /// Throw the typed exception for a pending cancel kind (never returns).
+  [[noreturn]] void throw_cancel(Fiber& f);
+  /// Count a delivered cancellation and publish its overload.* event.
+  void note_cancel_fired(const Fiber& f, Fiber::PendingCancel kind,
+                         std::uint64_t payload);
+
   struct Timer {
     std::uint64_t due;
     std::uint64_t seq;  // tie-break for determinism
@@ -334,6 +396,26 @@ class Scheduler {
     std::vector<Timer>& raw() { return c; }
   };
 
+  /// One armed deadline or tick budget. An entry is live only while the
+  /// fiber's matching slot still holds `due` — clearing or replacing a
+  /// deadline leaves the old entry stale on the heap, discarded when it
+  /// surfaces (the lazy-purge discipline the timer heap uses).
+  struct DeadlineEntry {
+    std::uint64_t due;
+    std::uint64_t seq;  // tie-break for determinism
+    ProcessId pid;
+    bool tick_budget;  // else a plain deadline
+    bool operator>(const DeadlineEntry& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+  struct DeadlineHeap
+      : std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                            std::greater<>> {
+    std::vector<DeadlineEntry>& raw() { return c; }
+  };
+  bool deadline_entry_live(const DeadlineEntry& e) const;
+
   SchedulerOptions opts_;
   support::Rng rng_;
   support::TraceLog trace_;
@@ -347,6 +429,10 @@ class Scheduler {
   ReadyQueueT<ProcessId, kNoProcess> ready_;
   TimerHeap timers_;
   std::size_t stale_timers_ = 0;  // heap entries made stale by early wakes
+  DeadlineHeap deadlines_;
+  std::uint64_t deadline_seq_ = 0;
+  std::uint64_t deadline_cancels_ = 0;
+  std::uint64_t budget_cancels_ = 0;
   StackPool stack_pool_;
   std::vector<std::vector<ProcessId>> joiners_;  // per-fiber join waiters
   std::size_t live_ = 0;  // fibers not yet Done (cached for live_count)

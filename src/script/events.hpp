@@ -23,6 +23,7 @@ struct ScriptEvent {
     TakeoverBegan,      // Replace: role awaits a replacement (pid = dead)
     RoleTakenOver,      // a replacement was admitted (pid = replacement)
     TakeoverFailed,     // deadline expired; fell back to Abort/Degrade
+    EnrollShed,         // admission control refused the request (overload)
   };
 
   Kind kind;

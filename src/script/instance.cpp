@@ -40,10 +40,24 @@ ScriptInstance::~ScriptInstance() {
 }
 
 std::string ScriptInstance::report() const {
-  if (active_ == nullptr || active_->done) return "";
+  std::string breaker_line;
+  if (breaker_ != BreakerState::Closed) {
+    // Why admission is closed — the deadlock/health report's answer to
+    // "my enrollments keep coming back shed".
+    breaker_line = "script " + name_ + " admission breaker " +
+                   (breaker_ == BreakerState::Open
+                        ? "OPEN (probes at t=" +
+                              std::to_string(breaker_open_until_) + ")"
+                        : "HALF-OPEN (" +
+                              std::to_string(breaker_probes_left_) +
+                              " probe(s) left)") +
+                   ", " + std::to_string(shed_count_) + " shed so far";
+  }
+  if (active_ == nullptr || active_->done) return breaker_line;
   const Performance& p = *active_;
-  if (p.awaiting_takeover.empty() && !p.aborted) return "";
-  std::string out = "script " + name_ + " perf#" + std::to_string(p.number);
+  if (p.awaiting_takeover.empty() && !p.aborted) return breaker_line;
+  std::string out = breaker_line.empty() ? "" : breaker_line + "\n";
+  out += "script " + name_ + " perf#" + std::to_string(p.number);
   if (p.aborted) out += " (aborted, winding down)";
   for (const auto& [r, st] : p.awaiting_takeover)
     out += "\n  awaiting takeover of " + r.str() + " (was " +
@@ -60,6 +74,22 @@ std::string ScriptInstance::snapshot_json() const {
   w.key("completed").value(completed_perfs_);
   w.key("aborted").value(aborted_perfs_);
   w.key("queue_length").value(static_cast<std::uint64_t>(queue_.size()));
+  // Overload state appears only once the admission controller has acted
+  // (keeps pinned snapshots of unconfigured scripts byte-stable).
+  if (shed_count_ > 0) w.key("sheds").value(shed_count_);
+  if (breaker_trips_ > 0 || breaker_ != BreakerState::Closed) {
+    w.key("breaker").object();
+    w.key("state").value(breaker_ == BreakerState::Open       ? "open"
+                         : breaker_ == BreakerState::HalfOpen ? "half_open"
+                                                              : "closed");
+    if (breaker_ == BreakerState::Open)
+      w.key("open_until").value(breaker_open_until_);
+    if (breaker_ == BreakerState::HalfOpen)
+      w.key("probes_left")
+          .value(static_cast<std::uint64_t>(breaker_probes_left_));
+    w.key("trips").value(breaker_trips_);
+    w.end();
+  }
   w.key("waiting").array();
   for (const auto& [role, queued] : queued_by_role_) {
     w.object();
@@ -75,6 +105,7 @@ std::string ScriptInstance::snapshot_json() const {
     const Performance& p = *active_;
     w.object();
     w.key("number").value(p.number);
+    if (spec_.budget().any()) w.key("started_at").value(p.started_at);
     w.key("roles").array();
     for (const auto& [r, pid] : p.state.bindings) {
       w.object();
@@ -194,10 +225,14 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
   enqueue(req);
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt", role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+  if (auto refused = shed_check(role, req.pid)) {
+    dequeue(req);
+    return *refused;
+  }
 
   try_advance();
   try {
-    while (!req.admitted)
+    while (!req.admitted && !req.shed)
       sched.block("enrolling in " + name_ + " as " + role.str());
   } catch (...) {
     // Crashed while queued: withdraw so the matcher never binds a dead
@@ -205,6 +240,8 @@ EnrollResult ScriptInstance::enroll(const RoleId& role,
     dequeue(req);
     throw;
   }
+  if (req.shed)  // evicted by a later arrival under ShedOldest
+    return shed_result(role, req.pid, spec_.overload().shed_retry_after);
 
   return run_admitted(req, params);
 }
@@ -225,6 +262,10 @@ std::optional<EnrollResult> ScriptInstance::try_enroll(
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt.guarded",
           role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+  if (shed_check(role, req.pid)) {  // counted + published; guard just fails
+    dequeue(req);
+    return std::nullopt;
+  }
 
   try_advance();
   if (!req.admitted) {
@@ -253,6 +294,10 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   publish(obs::EventKind::Instant, req.pid, "enroll.attempt.timed",
           role.str());
   emit(ScriptEvent::Kind::EnrollAttempt, req.pid, role, 0);
+  if (auto refused = shed_check(role, req.pid)) {
+    dequeue(req);
+    return *refused;
+  }
 
   try_advance();
   const std::uint64_t deadline = sched.now() + ticks;
@@ -260,20 +305,22 @@ std::optional<EnrollResult> ScriptInstance::enroll_for(
   // the hook at the firing instant, before any other fiber can admit a
   // request that is no longer waiting.
   const auto withdraw = [this, &req] { dequeue(req); };
-  while (!req.admitted) {
+  while (!req.admitted && !req.shed) {
     const std::uint64_t now = sched.now();
     const bool timed_out =
         now >= deadline ||
         sched.block_with_timeout(
             "timed enrollment in " + name_ + " as " + role.str(),
             deadline - now, withdraw);
-    if (timed_out && !req.admitted) {
+    if (timed_out && !req.admitted && !req.shed) {
       withdraw();  // covers the already-past-deadline fast path
       publish(obs::EventKind::Instant, req.pid, "enroll.fail.timed",
               role.str());
       return std::nullopt;
     }
   }
+  if (req.shed)  // evicted by a later arrival under ShedOldest
+    return shed_result(role, req.pid, spec_.overload().shed_retry_after);
   return run_admitted(req, params);
 }
 
@@ -286,13 +333,119 @@ EnrollResult ScriptInstance::enroll_with_retry(const RoleId& role,
   for (std::size_t attempt = 1;; ++attempt) {
     Params copy = params;  // each attempt gets pristine parameters
     EnrollResult r = enroll(role, partners, std::move(copy));
-    if (!r.aborted || attempt >= retry.max_attempts) return r;
-    scheduler().sleep_for(std::max<std::uint64_t>(r.retry_after, backoff));
+    if (!r.aborted && !r.shed) return r;
+    const std::uint64_t wait = std::max<std::uint64_t>(r.retry_after, backoff);
+    if (attempt >= retry.max_attempts) {
+      // Gave up on a transient failure: keep the final attempt's hint
+      // (floored to the backoff this loop would have slept) so callers
+      // can tell "gave up, retry later" from "infeasible" via
+      // EnrollResult::retryable().
+      r.retry_after = wait;
+      return r;
+    }
+    scheduler().sleep_for(wait);
     backoff = std::min<std::uint64_t>(
         retry.max_backoff,
         static_cast<std::uint64_t>(static_cast<double>(backoff) *
                                    retry.factor));
   }
+}
+
+std::optional<EnrollResult> ScriptInstance::shed_check(const RoleId& role,
+                                                       ProcessId pid) {
+  const OverloadConfig& cfg = spec_.overload();
+  if (cfg.breaker_enabled()) {
+    const std::uint64_t now = sched_->now();
+    if (breaker_ == BreakerState::Open && now >= breaker_open_until_) {
+      // Cooldown over: probe. Deterministic — the transition happens at
+      // the first arrival past breaker_open_until_, a pure function of
+      // the virtual clock and arrival order.
+      breaker_ = BreakerState::HalfOpen;
+      breaker_probes_left_ = cfg.half_open_probes;
+      publish_overload("overload.breaker.half_open", pid, name_,
+                       static_cast<double>(breaker_probes_left_));
+    }
+    switch (breaker_) {
+      case BreakerState::Open:
+        return shed_result(role, pid, breaker_open_until_ - now);
+      case BreakerState::HalfOpen:
+        if (breaker_probes_left_ == 0) {
+          // Every probe is in flight and none has completed a
+          // performance yet: still no proven progress. Re-open.
+          trip_breaker("half-open probes exhausted");
+          return shed_result(role, pid, cfg.breaker_cooldown);
+        }
+        --breaker_probes_left_;
+        break;
+      case BreakerState::Closed:
+        // The arrival is already queued, so "depth reached" reads as
+        // strictly-greater. The health watchdogs latching (queue depth
+        // over SLO, a supervised child near its restart budget) trips
+        // the breaker too — admission follows the script's health.
+        if (queue_.size() > cfg.breaker_queue_depth ||
+            (health_ != nullptr && (health_->queue_latched(obs_lane_) ||
+                                    health_->restart_pressure()))) {
+          trip_breaker(queue_.size() > cfg.breaker_queue_depth
+                           ? "queue depth"
+                           : "health watchdog latched");
+          return shed_result(role, pid, cfg.breaker_cooldown);
+        }
+        break;
+    }
+  }
+  const std::size_t cap = spec_.budget().max_queue_depth;
+  if (cap != 0 && queue_.size() > cap) {
+    switch (cfg.overflow) {
+      case OverflowPolicy::Block:
+        break;  // classic unbounded behavior: queue and wait
+      case OverflowPolicy::ShedNewest:
+        return shed_result(role, pid, cfg.shed_retry_after);
+      case OverflowPolicy::ShedOldest:
+        shed_oldest();  // evict the head; this arrival keeps its spot
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+EnrollResult ScriptInstance::shed_result(const RoleId& role, ProcessId pid,
+                                         std::uint64_t retry_after) {
+  ++shed_count_;
+  publish_overload("overload.shed", pid, role.str(),
+                   static_cast<double>(retry_after));
+  emit(ScriptEvent::Kind::EnrollShed, pid, role, 0);
+  EnrollResult r;
+  r.played = role;
+  r.shed = true;
+  r.retry_after = retry_after;
+  return r;
+}
+
+void ScriptInstance::shed_oldest() {
+  SCRIPT_ASSERT(!queue_.empty(), "shed_oldest on an empty queue");
+  Request* victim = queue_.front();
+  dequeue(*victim);
+  victim->shed = true;
+  // The victim's own wait loop exits on `shed` and reports the refusal
+  // (so the shed event carries its pid at the eviction instant).
+  if (sched_->state_of(victim->pid) == runtime::FiberState::Blocked)
+    sched_->unblock(victim->pid);
+}
+
+void ScriptInstance::trip_breaker(const char* why) {
+  breaker_ = BreakerState::Open;
+  breaker_open_until_ = sched_->now() + spec_.overload().breaker_cooldown;
+  breaker_probes_left_ = 0;
+  ++breaker_trips_;
+  publish_overload("overload.breaker.open", kNoProcess, why,
+                   static_cast<double>(breaker_open_until_));
+}
+
+void ScriptInstance::breaker_note_progress() {
+  if (breaker_ == BreakerState::Closed) return;
+  breaker_ = BreakerState::Closed;
+  breaker_probes_left_ = 0;
+  publish_overload("overload.breaker.close", kNoProcess, name_);
 }
 
 EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
@@ -315,18 +468,42 @@ EnrollResult ScriptInstance::run_admitted(Request& req, Params& params) {
   }
   RoleContext ctx(this, &perf, req.assigned, effective, req.resumed);
   bool unwound = false;
-  try {
-    bodies_.at(req.assigned.name)(ctx);
-  } catch (const PerformanceAborted&) {
-    unwound = true;  // a partner crashed; this role survives, undone
-  } catch (...) {
-    // This process is dying (FiberKilled) or the body itself threw: the
-    // role will never finish. The scheduler's crash hook does the
-    // failure bookkeeping after the fiber has fully unwound.
-    publish(obs::EventKind::SpanEnd, req.pid, "role",
-            req.assigned.str() + " (crashed)",
-            static_cast<double>(perf.number));
-    throw;
+  {
+    // Arm the spec's execution budgets for the span of the role body
+    // (the delayed-termination hold is not billed). The guard runs on
+    // every exit — return, crash, abort, cancellation — and also clears
+    // a role-installed deadline so it cannot leak onto the process's
+    // next activity.
+    struct BudgetGuard {
+      runtime::Scheduler& sched;
+      ProcessId pid;
+      RoleContext& ctx;
+      ~BudgetGuard() {
+        sched.clear_step_budget(pid);
+        sched.clear_tick_budget(pid);
+        if (ctx.deadline_installed_) sched.clear_deadline(pid);
+      }
+    } guard{sched, req.pid, ctx};
+    const ExecutionBudget& budget = spec_.budget();
+    if (budget.max_dispatch_steps != 0)
+      sched.set_step_budget(req.pid, budget.max_dispatch_steps);
+    if (budget.max_virtual_ticks != 0)
+      sched.set_tick_budget(req.pid, sched.now() + budget.max_virtual_ticks,
+                            budget.max_virtual_ticks);
+    try {
+      bodies_.at(req.assigned.name)(ctx);
+    } catch (const PerformanceAborted&) {
+      unwound = true;  // a partner crashed; this role survives, undone
+    } catch (...) {
+      // This process is dying (FiberKilled, an uncaught cancellation)
+      // or the body itself threw: the role will never finish. The
+      // scheduler's crash hook does the failure bookkeeping after the
+      // fiber has fully unwound.
+      publish(obs::EventKind::SpanEnd, req.pid, "role",
+              req.assigned.str() + " (crashed)",
+              static_cast<double>(perf.number));
+      throw;
+    }
   }
   if (unwound) {
     publish(obs::EventKind::SpanEnd, req.pid, "role",
@@ -375,6 +552,7 @@ void ScriptInstance::try_advance() {
   if (spec_.initiation() == Initiation::Immediate) {
     active_ = std::make_unique<Performance>();
     active_->number = next_perf_number_++;
+    active_->started_at = sched_->now();
     publish(obs::EventKind::SpanBegin, kNoProcess, "performance", "",
             static_cast<double>(active_->number));
     emit(ScriptEvent::Kind::PerformanceBegan, kNoProcess, RoleId(),
@@ -415,6 +593,7 @@ void ScriptInstance::try_advance() {
 
   active_ = std::make_unique<Performance>();
   active_->number = next_perf_number_++;
+  active_->started_at = sched_->now();
   active_->state = std::move(formed->state);
   // Delayed initiation freezes the cast: unfilled roles are out.
   for (const RoleId& r : spec_.fixed_roles())
@@ -529,7 +708,10 @@ void ScriptInstance::finish_performance() {
   // Stored parameters outlive their enrollers' frames; make sure no
   // writer can fire into a popped stack after the performance ends.
   for (auto& [r, stored] : p.params_store) stored.drop_writers();
-  if (!p.aborted) ++completed_perfs_;
+  if (!p.aborted) {
+    ++completed_perfs_;
+    breaker_note_progress();  // a completed performance is real progress
+  }
   publish(obs::EventKind::SpanEnd, kNoProcess, "performance",
           p.aborted ? "(aborted)" : "", static_cast<double>(p.number));
   emit(ScriptEvent::Kind::PerformanceEnded, kNoProcess, RoleId(), p.number);
@@ -792,6 +974,15 @@ void ScriptInstance::publish_recovery(const char* name, ProcessId pid,
                std::move(detail), value});
 }
 
+void ScriptInstance::publish_overload(const char* name, ProcessId pid,
+                                      std::string detail, double value) {
+  obs::EventBus& bus = scheduler().bus();
+  if (!bus.wants(obs::Subsystem::Overload)) return;
+  bus.publish({obs::EventKind::Instant, obs::Subsystem::Overload,
+               obs::kAutoTime, static_cast<obs::Pid>(pid), obs_lane(), name,
+               std::move(detail), value});
+}
+
 void ScriptInstance::wait_state_change(const std::string& why) {
   const ProcessId me = scheduler().current();
   state_waiters_.push_back(me);
@@ -871,6 +1062,31 @@ std::size_t RoleContext::family_size(const std::string& role_name) const {
   if (!d.open_ended) return d.count;
   const auto it = perf_->state.open_sizes.find(role_name);
   return it == perf_->state.open_sizes.end() ? 0 : it->second;
+}
+
+void RoleContext::deadline(std::uint64_t ticks) {
+  runtime::Scheduler& sched = inst_->scheduler();
+  sched.set_deadline(sched.current(), sched.now() + ticks);
+  deadline_installed_ = true;
+}
+
+std::uint64_t RoleContext::deadline_at() const {
+  runtime::Scheduler& sched = inst_->scheduler();
+  return sched.deadline_of(sched.current());
+}
+
+std::uint64_t RoleContext::remaining_deadline() const {
+  runtime::Scheduler& sched = inst_->scheduler();
+  const std::uint64_t at = sched.deadline_of(sched.current());
+  if (at == runtime::kNoDeadline) return runtime::kNoDeadline;
+  const std::uint64_t now = sched.now();
+  return at <= now ? 0 : at - now;
+}
+
+void RoleContext::clear_deadline() {
+  runtime::Scheduler& sched = inst_->scheduler();
+  sched.clear_deadline(sched.current());
+  deadline_installed_ = false;
 }
 
 RoleResult<ProcessId> RoleContext::await_role(const RoleId& r) {

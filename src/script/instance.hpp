@@ -73,9 +73,19 @@ struct EnrollResult {
   /// This enrollment refilled a crashed role mid-performance
   /// (FailurePolicy::Replace); the body saw ctx.resumed() == true.
   bool resumed = false;
+  /// The admission controller refused this enrollment (bounded queue
+  /// overflow or an open circuit breaker — see ScriptSpec::overload).
+  /// The role body never ran; retry_after says when to come back.
+  bool shed = false;
   /// Hint for retry loops: how many virtual ticks to wait before
   /// re-enrolling makes sense (0 when there is nothing to wait out).
   std::uint64_t retry_after = 0;
+
+  /// The enrollment neither played nor can ever play as-is: aborted or
+  /// shed with no retry hint means only a caller-level change (fewer
+  /// partners, later epoch) could help — "infeasible", as opposed to
+  /// "gave up, retry later" (retry_after > 0).
+  bool retryable() const { return (aborted || shed) && retry_after > 0; }
 };
 
 /// Backoff schedule for ScriptInstance::enroll_with_retry.
@@ -114,7 +124,9 @@ class ScriptInstance {
   /// joined right now (an active performance admits it, or a new one
   /// can form from the already-queued requests). On success the role
   /// runs exactly as with enroll(); on failure nothing is queued and
-  /// std::nullopt returns immediately.
+  /// std::nullopt returns immediately. An admission-control refusal
+  /// (see ScriptSpec::overload) also yields nullopt — it still counts
+  /// as a shed and publishes overload.shed.
   std::optional<EnrollResult> try_enroll(const RoleId& role,
                                          const PartnerSpec& partners = {},
                                          Params params = {});
@@ -123,17 +135,23 @@ class ScriptInstance {
   /// has admitted this request within `ticks` of virtual time, the
   /// request is withdrawn and nullopt returns. Once admitted, the role
   /// runs to completion regardless of the deadline (an accepted
-  /// enrollment, like a started Ada rendezvous, cannot time out).
+  /// enrollment, like a started Ada rendezvous, cannot time out). An
+  /// admission-control refusal returns an ENGAGED result with
+  /// shed = true, distinguishing "shed, retry later" from "timed out".
   std::optional<EnrollResult> enroll_for(const RoleId& role,
                                          std::uint64_t ticks,
                                          const PartnerSpec& partners = {},
                                          Params params = {});
 
-  /// enroll() with bounded-backoff retry on `aborted` results, so a
-  /// client racing an aborting performance doesn't hand-roll the loop.
-  /// Each attempt enrolls with a fresh copy of `params`; between
-  /// attempts the fiber sleeps max(retry_after hint, current backoff).
-  /// Returns the last attempt's result (possibly still aborted).
+  /// enroll() with bounded-backoff retry on `aborted` and `shed`
+  /// results, so a client racing an aborting performance (or a tripped
+  /// admission breaker) doesn't hand-roll the loop. Each attempt
+  /// enrolls with a fresh copy of `params`; between attempts the fiber
+  /// sleeps max(retry_after hint, current backoff). Returns the last
+  /// attempt's result — on give-up it carries that final attempt's
+  /// retry_after hint (floored to the backoff it would have slept), so
+  /// callers can tell "gave up, retry later" (retry_after > 0) from
+  /// "infeasible" (see EnrollResult::retryable).
   EnrollResult enroll_with_retry(const RoleId& role,
                                  const PartnerSpec& partners = {},
                                  Params params = {},
@@ -162,6 +180,20 @@ class ScriptInstance {
   /// Role takeovers (FailurePolicy::Replace) completed / fallen back.
   std::uint64_t takeovers_completed() const { return takeovers_completed_; }
   std::uint64_t takeovers_failed() const { return takeovers_failed_; }
+
+  // ---- Overload / admission control (ScriptSpec::overload) ----
+  /// Admission circuit breaker: Closed admits, Open sheds until the
+  /// cooldown elapses, HalfOpen admits a few probes — a completed
+  /// performance closes it, exhausted probes re-open it. Runs entirely
+  /// on virtual time, so trips and recoveries replay byte-identically.
+  enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+  BreakerState breaker_state() const { return breaker_; }
+  /// Virtual time at which an Open breaker starts probing again.
+  std::uint64_t breaker_open_until() const { return breaker_open_until_; }
+  std::uint64_t breaker_trips() const { return breaker_trips_; }
+  /// Enrollments refused by the admission controller (queue overflow +
+  /// breaker sheds).
+  std::uint64_t sheds() const { return shed_count_; }
   /// Diagnostic line(s) for deadlock reports: aborted state and roles
   /// awaiting takeover of the active performance; "" when unremarkable.
   /// Registered with the scheduler's report sections automatically.
@@ -173,7 +205,7 @@ class ScriptInstance {
   std::size_t attach_inspector(obs::Inspector& inspector);
   /// Start SLO/watchdog tracking of this instance under the spec's
   /// slo() config (plus the queue-depth probe). Unregistered in the
-  /// destructor.
+  /// destructor, so the monitor must outlive this instance.
   void enable_health(obs::HealthMonitor& monitor);
   /// Cached at construction rather than read through net_: the
   /// scheduler is the root object here (the Net holds a reference to
@@ -200,6 +232,7 @@ class ScriptInstance {
 
   struct Performance {
     std::uint64_t number = 0;
+    std::uint64_t started_at = 0;  // virtual time of formation
     bool done = false;
     detail::MatchState state;
     std::set<RoleId> out;        // declared never-filled
@@ -231,6 +264,7 @@ class ScriptInstance {
     Performance* perf = nullptr;  // set at admission
     bool queued = false;
     bool resumed = false;  // admitted as a takeover replacement
+    bool shed = false;     // evicted by ShedOldest; wait loops must exit
     std::list<Request*>::iterator queue_pos;  // valid while queued
   };
 
@@ -246,6 +280,22 @@ class ScriptInstance {
   /// Necessary condition for an admission pass to admit anything: some
   /// queued role name still has free capacity in the active performance.
   bool admission_possible() const;
+
+  // ---- Admission control (ScriptSpec::overload) ----
+  /// Admission gate, run right after the request is enqueued (so the
+  /// queue sizes it reads include the arrival): consult the circuit
+  /// breaker and the queue bound. Returns an engaged shed result when
+  /// the arrival must be refused — the caller dequeues it. ShedOldest
+  /// instead evicts the longest-queued request and keeps this one.
+  std::optional<EnrollResult> shed_check(const RoleId& role, ProcessId pid);
+  /// Build the shed result + overload.shed event for one refusal.
+  EnrollResult shed_result(const RoleId& role, ProcessId pid,
+                           std::uint64_t retry_after);
+  /// Evict the oldest queued request (ShedOldest): mark it shed, wake it.
+  void shed_oldest();
+  /// Breaker transition helpers; publish overload.breaker.* events.
+  void trip_breaker(const char* why);
+  void breaker_note_progress();
 
   /// Run the matching machinery: form a performance if none is active,
   /// admit queued requests into an active one (immediate initiation),
@@ -293,6 +343,9 @@ class ScriptInstance {
   /// Publish on the Recovery subsystem (takeover milestones).
   void publish_recovery(const char* name, ProcessId pid, std::string detail,
                         double value = 0);
+  /// Publish on the Overload subsystem (sheds, breaker transitions).
+  void publish_overload(const char* name, ProcessId pid, std::string detail,
+                        double value = 0);
 
   /// Block the calling fiber until the instance's state changes
   /// (binding, out, completion, performance end).
@@ -330,6 +383,11 @@ class ScriptInstance {
   std::uint64_t report_section_id_ = 0;
   std::uint64_t takeovers_completed_ = 0;
   std::uint64_t takeovers_failed_ = 0;
+  BreakerState breaker_ = BreakerState::Closed;
+  std::uint64_t breaker_open_until_ = 0;
+  std::size_t breaker_probes_left_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t shed_count_ = 0;
   std::vector<ProcessId> end_waiters_;    // delayed-termination holdees
   std::vector<ProcessId> state_waiters_;  // fibers awaiting state changes
   std::vector<std::function<void(const ScriptEvent&)>> observers_;
@@ -395,6 +453,23 @@ class RoleContext {
   bool await_takeover(const RoleId& r);
   /// Current member count of a role family this performance.
   std::size_t family_size(const std::string& role_name) const;
+
+  // ---- Deadlines (runtime/overload.hpp) ----
+  /// Install a deadline `ticks` from now for the remainder of this role.
+  /// It propagates across every blocking edge the body crosses — CSP
+  /// rendezvous, Ada entries, monitor waits, nested enrolls, lock
+  /// round-trips — because all of them park through the scheduler's
+  /// blocking primitives, each a cancellation point. Expiry raises the
+  /// catchable runtime::DeadlineExceeded; uncaught, it unwinds the role
+  /// like a crash and feeds the spec's FailurePolicy. Replaces any
+  /// earlier deadline; cleared automatically when the role ends.
+  void deadline(std::uint64_t ticks);
+  /// The absolute deadline in force (the role's, or one the enrolling
+  /// process installed before enrolling), or runtime::kNoDeadline.
+  std::uint64_t deadline_at() const;
+  /// Ticks left before the deadline (kNoDeadline when none, 0 when due).
+  std::uint64_t remaining_deadline() const;
+  void clear_deadline();
 
   // ---- Role-addressed communication ----
   template <typename T>
@@ -521,6 +596,9 @@ class RoleContext {
   RoleId self_;
   Params* params_;
   bool resumed_ = false;
+  // The role installed its own deadline; run_admitted clears it when
+  // the body ends so it cannot leak onto the process's next activity.
+  bool deadline_installed_ = false;
 };
 
 }  // namespace script::core

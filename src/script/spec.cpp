@@ -73,6 +73,20 @@ ScriptSpec& ScriptSpec::slo(obs::SloConfig cfg) {
   return *this;
 }
 
+ScriptSpec& ScriptSpec::budget(ExecutionBudget b) {
+  budget_ = b;
+  return *this;
+}
+
+ScriptSpec& ScriptSpec::overload(OverloadConfig cfg) {
+  SCRIPT_ASSERT(!cfg.breaker_enabled() || cfg.breaker_cooldown > 0,
+                "breaker cooldown must be positive");
+  SCRIPT_ASSERT(!cfg.breaker_enabled() || cfg.half_open_probes > 0,
+                "half-open probe count must be positive");
+  overload_ = std::move(cfg);
+  return *this;
+}
+
 bool ScriptSpec::takeover_allowed(const RoleId& r) const {
   if (takeover_roles_.empty()) return true;
   for (const auto& n : takeover_roles_)

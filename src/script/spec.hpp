@@ -18,9 +18,55 @@
 #include <vector>
 
 #include "obs/health.hpp"
+#include "runtime/overload.hpp"
 #include "script/ids.hpp"
 
 namespace script::core {
+
+using runtime::OverflowPolicy;
+
+/// Execution bounds for one script's performances (0 = unlimited).
+/// Enforced by the Scheduler per admitted role — the volo panic
+/// taxonomy (ExecutionLimitExceeded / QueryLimitExceeded) recast onto
+/// the virtual clock and dispatch counter, so a blown budget raises the
+/// typed, catchable runtime::BudgetExceeded.
+struct ExecutionBudget {
+  /// Dispatches a single role body may consume before
+  /// BudgetExceeded{DispatchSteps}.
+  std::uint64_t max_dispatch_steps = 0;
+  /// Virtual ticks a role may spend (measured from its admission)
+  /// before BudgetExceeded{VirtualTicks}.
+  std::uint64_t max_virtual_ticks = 0;
+  /// Bound on the enroll queue; arrivals beyond it are handled per
+  /// OverloadConfig::overflow (sheds publish overload.shed and return
+  /// EnrollResult::shed — QueueDepth is never thrown).
+  std::size_t max_queue_depth = 0;
+
+  bool any() const {
+    return max_dispatch_steps != 0 || max_virtual_ticks != 0 ||
+           max_queue_depth != 0;
+  }
+};
+
+/// Backpressure / admission-control tuning for one script instance.
+struct OverloadConfig {
+  /// What a full enroll queue (ExecutionBudget::max_queue_depth) does
+  /// with an arrival. Block keeps the classic unbounded behavior.
+  OverflowPolicy overflow = OverflowPolicy::Block;
+  /// retry_after hint stamped on shed EnrollResults (virtual ticks).
+  std::uint64_t shed_retry_after = 16;
+  /// Queue depth at which the admission circuit breaker trips Open
+  /// (0 disables the breaker). The breaker also trips when the
+  /// HealthMonitor's queue-depth or restart-pressure watchdogs latch.
+  std::size_t breaker_queue_depth = 0;
+  /// Virtual ticks the breaker stays Open before probing (HalfOpen).
+  std::uint64_t breaker_cooldown = 64;
+  /// Enrollments admitted per HalfOpen episode; a performance completing
+  /// closes the breaker, the probes running out re-opens it.
+  std::size_t half_open_probes = 1;
+
+  bool breaker_enabled() const { return breaker_queue_depth != 0; }
+};
 
 enum class Initiation : std::uint8_t {
   Delayed,   // all critical roles enroll, then everyone starts together
@@ -115,6 +161,10 @@ class ScriptSpec {
   /// SLO thresholds for health monitoring (virtual ticks; 0 disables a
   /// check). Takes effect when the instance calls enable_health().
   ScriptSpec& slo(obs::SloConfig cfg);
+  /// Execution budgets enforced per admitted role (default: unlimited).
+  ScriptSpec& budget(ExecutionBudget b);
+  /// Backpressure / circuit-breaker tuning (default: Block, no breaker).
+  ScriptSpec& overload(OverloadConfig cfg);
 
   // ---- Queries ----
 
@@ -130,6 +180,8 @@ class ScriptSpec {
   /// Whether a crash of `r` opens a takeover window (Replace policy).
   bool takeover_allowed(const RoleId& r) const;
   const obs::SloConfig& slo() const { return slo_; }
+  const ExecutionBudget& budget() const { return budget_; }
+  const OverloadConfig& overload() const { return overload_; }
   const std::vector<RoleDecl>& roles() const { return roles_; }
 
   bool has_role(const std::string& role_name) const;
@@ -172,6 +224,8 @@ class ScriptSpec {
   FailurePolicy takeover_fallback_ = FailurePolicy::Abort;
   std::vector<std::string> takeover_roles_;  // empty: all replaceable
   obs::SloConfig slo_;
+  ExecutionBudget budget_;
+  OverloadConfig overload_;
 
   // Lazily built, invalidated by the builder methods above.
   mutable bool critical_cache_built_ = false;

@@ -57,7 +57,8 @@ std::optional<LockStatus> lock_round_trip(RoleContext& ctx, const RoleId& mi,
   for (;;) {
     if (replace && ctx.takeover_pending(mi) && !ctx.await_takeover(mi))
       return std::nullopt;
-    auto s = ctx.send(mi, LockRequest{LockRequest::Kind::Lock, item, id});
+    auto s = ctx.send(mi, LockRequest{LockRequest::Kind::Lock, item, id,
+                                      ctx.deadline_at()});
     if (!s.has_value()) {
       if (replace && ctx.await_takeover(mi)) continue;
       return std::nullopt;
@@ -147,16 +148,26 @@ LockManagerScript::LockManagerScript(csp::Net& net,
           const LockMode mode = from.name == "reader"
                                     ? LockMode::Shared
                                     : LockMode::Exclusive;
-          const bool ok =
-              lease != 0 ? table.acquire_leased(req.item, mode, req.owner,
-                                                sched.now() + lease)
-                         : table.acquire(req.item, mode, req.owner);
-          if (ok) held[from.name].insert({req.item, req.owner});
+          // The typed overloads honor the requester's deadline: a
+          // request served after it has passed is refused Expired
+          // rather than granted to a client that is being cancelled.
+          const lockdb::AcquireOutcome out =
+              lease != 0
+                  ? table.acquire_leased(req.item, mode, req.owner,
+                                         sched.now() + lease, sched.now(),
+                                         req.deadline)
+                  : table.acquire(req.item, mode, req.owner, sched.now(),
+                                  req.deadline);
+          if (out == lockdb::AcquireOutcome::Granted)
+            held[from.name].insert({req.item, req.owner});
+          const LockStatus st =
+              out == lockdb::AcquireOutcome::Granted ? LockStatus::Granted
+              : out == lockdb::AcquireOutcome::DeadlineExpired
+                  ? LockStatus::Expired
+                  : LockStatus::Denied;
           // A failed reply means the client died after asking; keep the
           // grant in `held` and let the reap release it.
-          (void)ctx.send(from,
-                         ok ? LockStatus::Granted : LockStatus::Denied,
-                         "reply");
+          (void)ctx.send(from, st, "reply");
           break;
         }
         case LockRequest::Kind::Release:

@@ -33,13 +33,20 @@
 
 namespace script::patterns {
 
-enum class LockStatus : std::uint8_t { Granted, Denied };
+/// Expired: the request reached the manager after the requester's
+/// deadline had already passed — a typed timeout, distinct from lock
+/// contention (Denied). The table was not touched.
+enum class LockStatus : std::uint8_t { Granted, Denied, Expired };
 
 struct LockRequest {
   enum class Kind : std::uint8_t { Lock, Release, Done };
   Kind kind = Kind::Done;
   std::string item;
   lockdb::OwnerId owner = 0;
+  /// The requester's absolute deadline (RoleContext::deadline_at()),
+  /// forwarded so a manager never grants a lock to a client that is
+  /// already being cancelled. lockdb::kNoDeadline = no deadline.
+  std::uint64_t deadline = lockdb::kNoDeadline;
 };
 
 struct LockManagerOptions {

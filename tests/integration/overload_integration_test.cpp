@@ -1,0 +1,235 @@
+// Acceptance scenario for the overload-protection layer: the Fig 5
+// lock-DB workload driven at 10x oversubscription with execution
+// budgets and shedding armed. The run must complete with a bounded
+// queue, be byte-identical across replays, and surface the
+// DeadlineExceeded / BudgetExceeded / shed evidence in all three
+// observability surfaces — trace, metrics, and the flight recorder.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lockdb/lock_table.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/inspector.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::ExecutionBudget;
+using script::core::Initiation;
+using script::core::OverloadConfig;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::lockdb::AcquireOutcome;
+using script::lockdb::LockMode;
+using script::lockdb::LockTable;
+using script::runtime::OverflowPolicy;
+using script::runtime::Scheduler;
+
+namespace obs = script::obs;
+
+constexpr std::size_t kQueueBound = 4;
+constexpr int kClientsPerRole = 40;  // 10x the depth the script admits
+
+// Everything one run of the workload leaves behind, for comparing
+// replays and asserting over the observability surfaces.
+struct RunArtifacts {
+  bool ok = false;
+  std::uint64_t final_time = 0;
+  std::uint64_t completed = 0, aborted = 0, sheds = 0;
+  std::size_t queue_left = 0;
+  std::uint64_t deadline_cancels = 0, budget_cancels = 0;
+  std::uint64_t lock_expiries = 0;
+  std::vector<std::string> trace_names;
+  std::string flight_json;
+  std::string metrics_json;
+  std::string snapshot_json;
+};
+
+// The Fig 5 database in overload: one writer/reader pair at a time
+// against a shared lock table, with 40 enrollers per role slamming the
+// script at t=0. The spec arms a depth-4 queue with ShedNewest and a
+// 30-tick budget per role; successive writers exercise the three
+// protection mechanisms in turn (lock deadline, role deadline, tick
+// budget). Fully deterministic: fixed spawn order, virtual time only.
+RunArtifacts run_fig5_overloaded() {
+  RunArtifacts art;
+  Scheduler sched;
+  obs::TraceExporter& exporter = sched.enable_tracing();
+  obs::FlightRecorderOptions fopts;
+  fopts.mask = obs::EventBus::kAllSubsystems;
+  obs::FlightRecorder& recorder = sched.arm_flight_recorder(fopts);
+  obs::MetricsRegistry metrics;
+  metrics.attach_event_counters(sched.bus(), obs::EventBus::kAllSubsystems);
+
+  Net net(sched);
+  LockTable locks;
+  locks.attach_bus(&sched.bus());
+  locks.set_clock([&] { return sched.now(); });
+
+  ScriptSpec spec("fig5");
+  spec.role("writer").role("reader");
+  spec.initiation(Initiation::Immediate).termination(Termination::Immediate);
+  ExecutionBudget budget;
+  budget.max_queue_depth = kQueueBound;
+  budget.max_virtual_ticks = 30;
+  spec.budget(budget);
+  OverloadConfig cfg;
+  cfg.overflow = OverflowPolicy::ShedNewest;
+  cfg.shed_retry_after = 8;
+  spec.overload(cfg);
+  ScriptInstance inst(net, spec);
+
+  int writer_no = 0;
+  inst.on_role("writer", [&](RoleContext& ctx) {
+    const int n = writer_no++;
+    Scheduler& s = ctx.scheduler();
+    if (n == 1) {
+      // Second performance: the writer works past its own deadline and
+      // is cancelled (uncaught DeadlineExceeded -> crash -> abort).
+      ctx.deadline(5);
+      s.sleep_for(10);
+      return;
+    }
+    if (n == 2) {
+      // Third performance: a request that arrives already late is a
+      // typed lock refusal, then the role blows its tick budget.
+      EXPECT_EQ(locks.acquire("x", LockMode::Exclusive, 99, s.now(),
+                              /*deadline=*/s.now()),
+                AcquireOutcome::DeadlineExpired);
+      s.sleep_for(100);
+      return;
+    }
+    // The healthy path: exclusive lock with a live deadline, held for
+    // a few ticks of "database work".
+    EXPECT_EQ(locks.acquire("x", LockMode::Exclusive, 1, s.now(),
+                            s.now() + 20),
+              AcquireOutcome::Granted);
+    s.sleep_for(5);
+    locks.release("x", 1);
+  });
+  inst.on_role("reader", [&](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(2);
+  });
+
+  obs::Inspector ins;
+  sched.attach_inspector(ins);
+  inst.attach_inspector(ins);
+  locks.attach_inspector(ins);
+
+  // 10x oversubscription, all arriving in the same instant: the first
+  // pair forms a performance, four more requests fit the queue, and
+  // every later arrival must be refused — never buffered.
+  for (int i = 0; i < kClientsPerRole; ++i) {
+    net.spawn_process("W" + std::to_string(i), [&inst] {
+      (void)inst.enroll_for(RoleId("writer"), 400);
+    });
+    net.spawn_process("R" + std::to_string(i), [&inst] {
+      (void)inst.enroll_for(RoleId("reader"), 400);
+    });
+  }
+
+  const auto result = sched.run();
+  art.ok = result.ok();
+  art.final_time = result.final_time;
+  art.completed = inst.performances_completed();
+  art.aborted = inst.performances_aborted();
+  art.sheds = inst.sheds();
+  art.queue_left = inst.queue_length();
+  art.deadline_cancels = sched.deadline_cancels();
+  art.budget_cancels = sched.budget_cancels();
+  art.lock_expiries = locks.deadline_expiries();
+  for (const obs::Event& e : exporter.events())
+    art.trace_names.push_back(std::to_string(e.time) + "|" + e.name + "|" +
+                              std::to_string(e.pid));
+  art.flight_json = recorder.dump_json();
+  art.metrics_json = metrics.snapshot_json();
+  art.snapshot_json = ins.snapshot_json();
+  return art;
+}
+
+std::uint64_t count_named(const std::vector<std::string>& names,
+                          const std::string& needle) {
+  std::uint64_t n = 0;
+  for (const std::string& s : names)
+    if (s.find(needle) != std::string::npos) ++n;
+  return n;
+}
+
+TEST(OverloadIntegration, TenfoldOversubscriptionCompletesWithBoundedQueue) {
+  const RunArtifacts art = run_fig5_overloaded();
+  ASSERT_TRUE(art.ok);  // no deadlock, no wedged enroller
+
+  // 80 arrivals, 2 admitted on the spot, 4 queued: 74 refusals, and
+  // the queue fully drained by the end of the run.
+  EXPECT_EQ(art.sheds, 74u);
+  EXPECT_EQ(art.queue_left, 0u);
+
+  // The three admitted pairs resolved deterministically: the healthy
+  // writer completed; the deadline and budget writers were cancelled
+  // and took their performances down with them.
+  EXPECT_EQ(art.completed, 1u);
+  EXPECT_EQ(art.aborted, 2u);
+  EXPECT_EQ(art.deadline_cancels, 1u);
+  EXPECT_EQ(art.budget_cancels, 1u);
+  EXPECT_EQ(art.lock_expiries, 1u);
+}
+
+TEST(OverloadIntegration, OverloadEventsVisibleInTraceMetricsAndFlightDump) {
+  const RunArtifacts art = run_fig5_overloaded();
+  ASSERT_TRUE(art.ok);
+
+  // Trace: every protection mechanism left its typed mark.
+  EXPECT_EQ(count_named(art.trace_names, "overload.shed"), 74u);
+  EXPECT_EQ(count_named(art.trace_names, "overload.deadline"), 1u);
+  EXPECT_EQ(count_named(art.trace_names, "overload.budget"), 1u);
+  EXPECT_EQ(count_named(art.trace_names, "lock.deadline_expired"), 1u);
+
+  // Metrics: the event counters agree with the instance's own tallies.
+  const auto doc = obs::json::parse(art.metrics_json);
+  ASSERT_TRUE(doc.has_value());
+  const obs::json::Value* counters = doc->get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->num_or("overload.overload.shed", 0), 74.0);
+  EXPECT_DOUBLE_EQ(counters->num_or("overload.overload.deadline", 0), 1.0);
+  EXPECT_DOUBLE_EQ(counters->num_or("overload.overload.budget", 0), 1.0);
+  EXPECT_DOUBLE_EQ(counters->num_or("lock.lock.deadline_expired", 0), 1.0);
+
+  // Flight recorder: the black box rang the same evidence.
+  EXPECT_NE(art.flight_json.find("overload.shed"), std::string::npos);
+  EXPECT_NE(art.flight_json.find("overload.deadline"), std::string::npos);
+  EXPECT_NE(art.flight_json.find("overload.budget"), std::string::npos);
+
+  // Inspector: shed tally in the script section, expiry count in the
+  // locks section, cancel counters in the scheduler section.
+  EXPECT_NE(art.snapshot_json.find("\"sheds\": 74"), std::string::npos);
+  EXPECT_NE(art.snapshot_json.find("\"deadline_expiries\": 1"),
+            std::string::npos);
+  EXPECT_NE(art.snapshot_json.find("\"deadline_cancels\": 1"),
+            std::string::npos);
+  EXPECT_NE(art.snapshot_json.find("\"budget_cancels\": 1"),
+            std::string::npos);
+}
+
+TEST(OverloadIntegration, OverloadedRunIsByteIdenticalAcrossReplays) {
+  const RunArtifacts first = run_fig5_overloaded();
+  const RunArtifacts second = run_fig5_overloaded();
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.final_time, second.final_time);
+  EXPECT_EQ(first.trace_names, second.trace_names);
+  ASSERT_FALSE(first.flight_json.empty());
+  EXPECT_EQ(first.flight_json, second.flight_json);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.snapshot_json, second.snapshot_json);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 namespace {
 
+using script::lockdb::AcquireOutcome;
 using script::lockdb::LockMode;
 using script::lockdb::LockTable;
 
@@ -89,6 +90,67 @@ TEST(LockTable, GrantAndDenialCounters) {
   ASSERT_FALSE(t.acquire("x", LockMode::Shared, 2));
   EXPECT_EQ(t.grants(), 1u);
   EXPECT_EQ(t.denials(), 1u);
+}
+
+// ---- Deadline-aware acquires (docs/ROBUSTNESS.md "Overload") ----
+
+TEST(LockTableDeadline, ExpiredRequestIsTypedAndLeavesTheTableUntouched) {
+  LockTable t;
+  // now == deadline: already too late — distinct from a Denied.
+  EXPECT_EQ(t.acquire("x", LockMode::Exclusive, 1, /*now=*/10,
+                      /*deadline=*/10),
+            AcquireOutcome::DeadlineExpired);
+  EXPECT_EQ(t.holder_count("x"), 0u);
+  EXPECT_EQ(t.deadline_expiries(), 1u);
+  EXPECT_EQ(t.grants(), 0u);
+  EXPECT_EQ(t.denials(), 0u);
+}
+
+TEST(LockTableDeadline, LiveDeadlineGrantsAndContentionStaysDenied) {
+  LockTable t;
+  EXPECT_EQ(t.acquire("x", LockMode::Exclusive, 1, /*now=*/5,
+                      /*deadline=*/10),
+            AcquireOutcome::Granted);
+  EXPECT_EQ(t.acquire("x", LockMode::Exclusive, 2, /*now=*/6,
+                      /*deadline=*/100),
+            AcquireOutcome::Denied);
+  EXPECT_EQ(t.deadline_expiries(), 0u);
+}
+
+TEST(LockTableDeadline, NoDeadlineNeverExpires) {
+  LockTable t;
+  EXPECT_EQ(t.acquire("x", LockMode::Shared, 1, /*now=*/999999,
+                      script::lockdb::kNoDeadline),
+            AcquireOutcome::Granted);
+}
+
+TEST(LockTableDeadline, LeasedOverloadStampsTheLeaseOnlyOnGrant) {
+  LockTable t;
+  EXPECT_EQ(t.acquire_leased("x", LockMode::Exclusive, 1,
+                             /*expires_at=*/50, /*now=*/0,
+                             /*deadline=*/20),
+            AcquireOutcome::Granted);
+  EXPECT_TRUE(t.holds("x", 1));
+  // Expired request: no lease, no holder, just the typed refusal.
+  EXPECT_EQ(t.acquire_leased("y", LockMode::Exclusive, 2,
+                             /*expires_at=*/50, /*now=*/30,
+                             /*deadline=*/20),
+            AcquireOutcome::DeadlineExpired);
+  EXPECT_FALSE(t.holds("y", 2));
+  EXPECT_EQ(t.deadline_expiries(), 1u);
+}
+
+TEST(LockTableDeadline, SnapshotCarriesExpiryCountOnlyWhenNonzero) {
+  LockTable clean;
+  ASSERT_TRUE(clean.acquire("x", LockMode::Shared, 1));
+  EXPECT_EQ(clean.snapshot_json().find("deadline_expiries"),
+            std::string::npos);
+
+  LockTable t;
+  ASSERT_EQ(t.acquire("x", LockMode::Shared, 1, 10, 10),
+            AcquireOutcome::DeadlineExpired);
+  EXPECT_NE(t.snapshot_json().find("\"deadline_expiries\": 1"),
+            std::string::npos);
 }
 
 }  // namespace

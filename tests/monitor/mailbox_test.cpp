@@ -7,6 +7,7 @@
 
 namespace {
 
+using script::monitor::BoundedMailbox;
 using script::monitor::Mailbox;
 using script::monitor::MailboxBank;
 using script::runtime::Scheduler;
@@ -122,6 +123,75 @@ TEST(MailboxBank, SingleMonitorSerializesAccess) {
 
   EXPECT_EQ(bank_time, 2 * kN * kCost);
   EXPECT_EQ(multi_time, 2 * kCost);
+}
+
+TEST(BoundedMailbox, BlockPolicyParksTheProducerUntilASlotFrees) {
+  Scheduler sched;
+  BoundedMailbox<int> mbox(sched, "mbox", 2);
+  std::uint64_t third_put_done = 0;
+  std::vector<int> got;
+  sched.spawn("producer", [&] {
+    EXPECT_TRUE(mbox.put(1));
+    EXPECT_TRUE(mbox.put(2));
+    EXPECT_TRUE(mbox.put(3));  // full: parks until the consumer drains
+    third_put_done = sched.now();
+  });
+  sched.spawn("consumer", [&] {
+    sched.sleep_for(25);
+    for (int i = 0; i < 3; ++i) got.push_back(mbox.get());
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(third_put_done, 25u);  // classic producer backpressure
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(mbox.shed_count(), 0u);
+}
+
+TEST(BoundedMailbox, ShedNewestRefusesTheArrival) {
+  Scheduler sched;
+  BoundedMailbox<int> mbox(sched, "mbox",
+                           2, script::runtime::OverflowPolicy::ShedNewest);
+  std::vector<bool> accepted;
+  std::vector<int> got;
+  sched.spawn("producer", [&] {
+    for (int i = 1; i <= 4; ++i) accepted.push_back(mbox.put(i));
+  });
+  sched.spawn("consumer", [&] {
+    sched.sleep_for(5);
+    while (auto v = mbox.try_get()) got.push_back(*v);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_EQ(accepted, (std::vector<bool>{true, true, false, false}));
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));  // the newest two were shed
+  EXPECT_EQ(mbox.shed_count(), 2u);
+}
+
+TEST(BoundedMailbox, ShedOldestEvictsTheHeadToMakeRoom) {
+  Scheduler sched;
+  BoundedMailbox<int> mbox(sched, "mbox",
+                           2, script::runtime::OverflowPolicy::ShedOldest);
+  std::vector<int> got;
+  sched.spawn("producer", [&] {
+    for (int i = 1; i <= 4; ++i) EXPECT_TRUE(mbox.put(i));
+  });
+  sched.spawn("consumer", [&] {
+    sched.sleep_for(5);
+    while (auto v = mbox.try_get()) got.push_back(*v);
+  });
+  ASSERT_TRUE(sched.run().ok());
+  // 1 and 2 were evicted by 3 and 4's arrivals.
+  EXPECT_EQ(got, (std::vector<int>{3, 4}));
+  EXPECT_EQ(mbox.shed_count(), 2u);
+}
+
+TEST(BoundedMailbox, TryGetOnEmptyIsDisengaged) {
+  Scheduler sched;
+  BoundedMailbox<int> mbox(sched, "mbox", 1);
+  bool empty_probe = true;
+  sched.spawn("probe", [&] { empty_probe = !mbox.try_get().has_value(); });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(empty_probe);
+  EXPECT_EQ(mbox.size(), 0u);
+  EXPECT_EQ(mbox.capacity(), 1u);
 }
 
 }  // namespace

@@ -104,12 +104,47 @@ TEST(InspectorRenderTest, InspectReportCoversAllSectionKinds) {
   EXPECT_NE(report.find("  waiting: payee (2 queued)"), std::string::npos);
   EXPECT_NE(report.find("locks: 1 item(s) held; 9 grant(s), 2 denial(s)"),
             std::string::npos);
-  EXPECT_NE(report.find("  acct: exclusive by {alice (lease t=30)}"),
+  EXPECT_NE(report.find("  acct: exclusive by {alice (lease t=30, 13 left)}"),
             std::string::npos);
   EXPECT_NE(report.find("supervisor: 2 restart(s), 0 give-up(s)"),
             std::string::npos);
   EXPECT_NE(report.find("  worker running [5] restarts 2/3"),
             std::string::npos);
+}
+
+TEST(InspectorRenderTest, InspectReportShowsOverloadState) {
+  // Breaker state, shed tallies, cancelled fibers with live deadlines,
+  // and deadline-expired lock refusals — the "why is admission closed"
+  // view of `scriptctl inspect`.
+  const std::string snapshot =
+      "{\"virtual_time\": 40, \"sections\": {"
+      "\"scheduler\": [{\"live\": 1, \"ready\": 0, \"timers\": 0, "
+      "\"steps\": 9, \"deadline_cancels\": 2, \"budget_cancels\": 1, "
+      "\"fibers\": ["
+      "{\"pid\": 2, \"name\": \"worker\", \"state\": \"done\", "
+      "\"crashed\": true, \"cancelled\": true}, "
+      "{\"pid\": 5, \"name\": \"slowpoke\", \"state\": \"blocked\", "
+      "\"reason\": \"enroll\", \"deadline\": 64}]}], "
+      "\"script\": [{\"script\": \"lockdb\", \"completed\": 3, "
+      "\"aborted\": 0, \"sheds\": 7, \"breaker\": {\"state\": \"open\", "
+      "\"open_until\": 96, \"trips\": 2}}], "
+      "\"locks\": [{\"held\": 1, \"grants\": 4, \"denials\": 1, "
+      "\"deadline_expiries\": 3, \"items\": []}]}}";
+  const auto doc = json::parse(snapshot);
+  ASSERT_TRUE(doc.has_value());
+
+  const std::string report = script::obs::render_inspect_report(*doc);
+  EXPECT_NE(report.find("  [2] worker  done CRASHED (cancelled)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  [5] slowpoke  blocked (enroll) deadline=t=64"),
+            std::string::npos);
+  EXPECT_NE(report.find("  admission breaker open (reopens t=96), 2 trip(s)"),
+            std::string::npos);
+  EXPECT_NE(report.find("  shed enrollments: 7"), std::string::npos);
+  EXPECT_NE(
+      report.find("locks: 1 item(s) held; 4 grant(s), 1 denial(s), "
+                  "3 deadline-expired"),
+      std::string::npos);
 }
 
 TEST(InspectorRenderTest, InspectReportHandlesEmptySnapshot) {

@@ -1,0 +1,268 @@
+// Overload protection at the scheduler layer: deadlines, execution
+// budgets, typed cancellation, and their same-instant ordering
+// ("timeout beats cancel beats crash"). docs/SEMANTICS.md §11.
+#include "runtime/overload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using script::runtime::BudgetExceeded;
+using script::runtime::BudgetKind;
+using script::runtime::DeadlineExceeded;
+using script::runtime::kNoDeadline;
+using script::runtime::ProcessId;
+using script::runtime::RunResult;
+using script::runtime::Scheduler;
+
+TEST(Deadline, FiresOnParkedFiberAndIsCatchable) {
+  Scheduler sched;
+  bool caught = false;
+  std::uint64_t at = 0, when = 0;
+  const ProcessId pid = sched.spawn("victim", [&] {
+    try {
+      sched.block("waiting forever");
+    } catch (const DeadlineExceeded& e) {
+      caught = true;
+      at = sched.now();
+      when = e.deadline;
+    }
+  });
+  sched.set_deadline(pid, 25);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(at, 25u);
+  EXPECT_EQ(when, 25u);
+  EXPECT_EQ(sched.deadline_cancels(), 1u);
+  // Caught and handled: the fiber finished normally, not cancelled.
+  EXPECT_FALSE(sched.was_cancelled(pid));
+}
+
+TEST(Deadline, UncaughtExpiryRecordsFiberAsCancelled) {
+  Scheduler sched;
+  const ProcessId pid =
+      sched.spawn("victim", [&] { sched.block("waiting forever"); });
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(sched.was_cancelled(pid));
+  EXPECT_TRUE(sched.has_crashed(pid));
+  EXPECT_EQ(sched.deadline_cancels(), 1u);
+}
+
+TEST(Deadline, CancelsASleepingFiberMidSleep) {
+  Scheduler sched;
+  bool caught = false;
+  const ProcessId pid = sched.spawn("sleeper", [&] {
+    try {
+      sched.sleep_for(100);
+    } catch (const DeadlineExceeded&) {
+      caught = true;
+    }
+  });
+  sched.set_deadline(pid, 30);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(caught);
+  // The clock advanced to the deadline, not the timer.
+  EXPECT_EQ(result.final_time, 30u);
+}
+
+TEST(Deadline, ClearDisarms) {
+  Scheduler sched;
+  bool finished = false;
+  ProcessId pid = 0;
+  pid = sched.spawn("p", [&] {
+    sched.clear_deadline(pid);
+    sched.sleep_for(100);  // sails past the stale heap entry
+    finished = true;
+  });
+  sched.set_deadline(pid, 10);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(result.final_time, 100u);
+  EXPECT_EQ(sched.deadline_cancels(), 0u);
+}
+
+TEST(Deadline, ReplacingMovesTheDeadline) {
+  Scheduler sched;
+  std::uint64_t fired_at = 0;
+  ProcessId pid = 0;
+  pid = sched.spawn("p", [&] {
+    sched.set_deadline(pid, 50);  // replaces the earlier t=10
+    try {
+      sched.block("forever");
+    } catch (const DeadlineExceeded&) {
+      fired_at = sched.now();
+    }
+  });
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_EQ(fired_at, 50u);
+  EXPECT_EQ(sched.deadline_cancels(), 1u);
+}
+
+// A fiber that is Ready at the expiry instant (its timer fired in the
+// same clock advance — timers beat deadlines) keeps running; the
+// cancellation is delivered at its next blocking-primitive entry.
+TEST(Deadline, ReadyFiberGetsDeferredDeliveryAtNextBlockingPoint) {
+  Scheduler sched;
+  bool worked_after_wake = false;
+  bool caught = false;
+  const ProcessId pid = sched.spawn("racer", [&] {
+    sched.sleep_for(10);  // timer due exactly at the deadline
+    worked_after_wake = true;  // the committed wake-up wins the instant
+    try {
+      sched.sleep_for(1);  // next cancellation point delivers
+    } catch (const DeadlineExceeded&) {
+      caught = true;
+    }
+  });
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(worked_after_wake);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Deadline, TimedWaitRunsItsCleanupHookWhenCancelledAtEntry) {
+  Scheduler sched;
+  bool cleanup_ran = false;
+  bool caught = false;
+  const ProcessId pid = sched.spawn("p", [&] {
+    sched.sleep_for(10);  // deadline now due; delivery deferred
+    try {
+      sched.block_with_timeout("late wait", 5,
+                               [&] { cleanup_ran = true; });
+    } catch (const DeadlineExceeded&) {
+      caught = true;
+    }
+  });
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(caught);
+  // The self-clean hook ran BEFORE the throw, exactly as a timeout
+  // would have — no wait-list registration outlives the wait.
+  EXPECT_TRUE(cleanup_ran);
+}
+
+TEST(StepBudget, AllowsExactlyNDispatches) {
+  Scheduler sched;
+  int loops = 0;
+  BudgetKind kind = BudgetKind::VirtualTicks;
+  std::uint64_t limit = 0;
+  const ProcessId pid = sched.spawn("spinner", [&] {
+    try {
+      for (;;) {
+        ++loops;
+        sched.yield();
+      }
+    } catch (const BudgetExceeded& e) {
+      kind = e.kind;
+      limit = e.limit;
+    }
+  });
+  sched.set_step_budget(pid, 3);
+  EXPECT_TRUE(sched.run().ok());
+  // Dispatch 1..3 run the body; dispatch 4 is refused.
+  EXPECT_EQ(loops, 3);
+  EXPECT_EQ(kind, BudgetKind::DispatchSteps);
+  EXPECT_EQ(limit, 3u);
+  EXPECT_EQ(sched.budget_cancels(), 1u);
+}
+
+TEST(TickBudget, CancelsWhenTheClockPassesTheBudget) {
+  Scheduler sched;
+  bool caught = false;
+  std::uint64_t limit = 0;
+  const ProcessId pid = sched.spawn("slow", [&] {
+    try {
+      sched.sleep_for(100);
+    } catch (const BudgetExceeded& e) {
+      caught = e.kind == BudgetKind::VirtualTicks;
+      limit = e.limit;
+    }
+  });
+  sched.set_tick_budget(pid, 5, 5);
+  const auto result = sched.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(limit, 5u);
+  EXPECT_EQ(result.final_time, 5u);
+  EXPECT_EQ(sched.budget_cancels(), 1u);
+}
+
+// Same-instant ordering, leg 1: a timer due at the same instant as the
+// deadline fires first. block_with_timeout reports the timeout; the
+// deadline is delivered at the NEXT blocking point, not retroactively.
+TEST(Ordering, TimeoutBeatsDeadlineAtTheSameInstant) {
+  Scheduler sched;
+  bool timed_out = false;
+  bool cancelled_later = false;
+  const ProcessId pid = sched.spawn("p", [&] {
+    timed_out = sched.block_with_timeout("wait", 10, nullptr);
+    try {
+      sched.block("after");
+    } catch (const DeadlineExceeded&) {
+      cancelled_later = true;
+    }
+  });
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(timed_out);
+  EXPECT_TRUE(cancelled_later);
+}
+
+// Same-instant ordering, leg 2: deadlines beat faults. A FaultPlan
+// kill and a deadline both due at t=10 — the victim unwinds with
+// DeadlineExceeded (catchable), not FiberKilled.
+TEST(Ordering, DeadlineBeatsFaultKillAtTheSameInstant) {
+  Scheduler sched;
+  bool deadline_won = false;
+  const ProcessId pid = sched.spawn("victim", [&] {
+    try {
+      sched.block("forever");
+    } catch (const DeadlineExceeded&) {
+      deadline_won = true;
+      // Swallow: with the deadline consumed first, the fault plan's
+      // kill still lands at the same instant once we re-park.
+      sched.block("again");
+    }
+  });
+  script::runtime::FaultPlan plan;
+  plan.crash_at_time(pid, 10);
+  sched.install_fault_plan(plan);
+  sched.set_deadline(pid, 10);
+  EXPECT_TRUE(sched.run().ok());
+  EXPECT_TRUE(deadline_won);
+  EXPECT_TRUE(sched.has_crashed(pid));  // the kill landed afterwards
+}
+
+TEST(Snapshot, CancelCountersAndArmedSlotsAppearOnlyWhenLive) {
+  Scheduler sched;
+  // Plain run: no overload keys at all (golden-snapshot safety).
+  sched.spawn("plain", [] {});
+  EXPECT_TRUE(sched.run().ok());
+  std::string snap = sched.snapshot_json();
+  EXPECT_EQ(snap.find("deadline_cancels"), std::string::npos);
+  EXPECT_EQ(snap.find("budget_cancels"), std::string::npos);
+  EXPECT_EQ(snap.find("steps_left"), std::string::npos);
+
+  Scheduler armed;
+  ProcessId pid = 0;
+  pid = armed.spawn("victim", [&] {
+    armed.block("forever");
+  });
+  armed.set_deadline(pid, 10);
+  EXPECT_TRUE(armed.run().ok());
+  snap = armed.snapshot_json();
+  EXPECT_NE(snap.find("\"deadline_cancels\": 1"), std::string::npos);
+  EXPECT_NE(snap.find("\"cancelled\": true"), std::string::npos);
+}
+
+}  // namespace

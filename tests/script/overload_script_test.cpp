@@ -1,0 +1,462 @@
+// Overload protection at the script layer (ScriptSpec::budget /
+// ScriptSpec::overload): bounded enroll queues with shed policies, the
+// admission circuit breaker, per-role execution budgets, and the
+// RoleContext deadline API. docs/ROBUSTNESS.md "Overload &
+// backpressure".
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "csp/net.hpp"
+#include "obs/health.hpp"
+#include "runtime/overload.hpp"
+#include "script/instance.hpp"
+
+namespace {
+
+using script::core::EnrollResult;
+using script::core::ExecutionBudget;
+using script::core::FailurePolicy;
+using script::core::Initiation;
+using script::core::OverloadConfig;
+using script::core::RetryOptions;
+using script::core::RoleContext;
+using script::core::RoleId;
+using script::core::ScriptInstance;
+using script::core::ScriptSpec;
+using script::core::Termination;
+using script::csp::Net;
+using script::runtime::BudgetExceeded;
+using script::runtime::BudgetKind;
+using script::runtime::DeadlineExceeded;
+using script::runtime::OverflowPolicy;
+using script::runtime::ProcessId;
+using script::runtime::Scheduler;
+
+// Two single roles, both critical: "a" enrollments queue up until a
+// matching "b" arrives, which is exactly what a bounded queue bites on.
+ScriptSpec pair_spec(std::size_t max_queue, OverflowPolicy policy,
+                     std::uint64_t retry_after = 16) {
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  ExecutionBudget budget;
+  budget.max_queue_depth = max_queue;
+  spec.budget(budget);
+  OverloadConfig cfg;
+  cfg.overflow = policy;
+  cfg.shed_retry_after = retry_after;
+  spec.overload(cfg);
+  return spec;
+}
+
+void attach_trivial_bodies(ScriptInstance& inst) {
+  inst.on_role("a", [](RoleContext&) {});
+  inst.on_role("b", [](RoleContext&) {});
+}
+
+TEST(OverloadShed, ShedNewestRefusesArrivalsBeyondTheBound) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(2, OverflowPolicy::ShedNewest, 7));
+  attach_trivial_bodies(inst);
+
+  std::vector<std::optional<EnrollResult>> timed(2);
+  EnrollResult third;
+  net.spawn_process("A1", [&] { timed[0] = inst.enroll_for(RoleId("a"), 50); });
+  net.spawn_process("A2", [&] { timed[1] = inst.enroll_for(RoleId("a"), 50); });
+  net.spawn_process("A3", [&] { third = inst.enroll(RoleId("a")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  // A1/A2 queued and timed out; A3 found the queue full and was shed.
+  EXPECT_FALSE(timed[0].has_value());
+  EXPECT_FALSE(timed[1].has_value());
+  EXPECT_TRUE(third.shed);
+  EXPECT_EQ(third.retry_after, 7u);
+  EXPECT_TRUE(third.retryable());
+  EXPECT_EQ(inst.sheds(), 1u);
+  EXPECT_EQ(inst.queue_length(), 0u);
+  EXPECT_EQ(inst.performances_completed(), 0u);
+}
+
+TEST(OverloadShed, ShedOldestEvictsTheLongestQueuedRequest) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(2, OverflowPolicy::ShedOldest, 9));
+  attach_trivial_bodies(inst);
+
+  EnrollResult oldest;
+  std::optional<EnrollResult> second, newest;
+  net.spawn_process("A1", [&] { oldest = inst.enroll(RoleId("a")); });
+  net.spawn_process("A2", [&] { second = inst.enroll_for(RoleId("a"), 50); });
+  net.spawn_process("A3", [&] { newest = inst.enroll_for(RoleId("a"), 60); });
+  ASSERT_TRUE(sched.run().ok());
+
+  // A3's arrival evicted A1 (the head); A1's blocked enroll() returned
+  // the shed verdict at the eviction instant. A2/A3 stayed queued.
+  EXPECT_TRUE(oldest.shed);
+  EXPECT_EQ(oldest.retry_after, 9u);
+  EXPECT_FALSE(second.has_value());  // timed out later, not shed
+  EXPECT_FALSE(newest.has_value());
+  EXPECT_EQ(inst.sheds(), 1u);
+  EXPECT_EQ(inst.queue_length(), 0u);
+}
+
+TEST(OverloadShed, BlockPolicyKeepsTheClassicUnboundedQueue) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(2, OverflowPolicy::Block));
+  attach_trivial_bodies(inst);
+
+  std::vector<EnrollResult> as(3), bs(3);
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("A" + std::to_string(i),
+                      [&, i] { as[i] = inst.enroll(RoleId("a")); });
+  for (int i = 0; i < 3; ++i)
+    net.spawn_process("B" + std::to_string(i),
+                      [&, i] { bs[i] = inst.enroll(RoleId("b")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_EQ(inst.sheds(), 0u);
+  EXPECT_EQ(inst.performances_completed(), 3u);
+  for (const auto& r : as) EXPECT_FALSE(r.shed);
+  for (const auto& r : bs) EXPECT_FALSE(r.shed);
+}
+
+TEST(OverloadShed, TryEnrollRefusalCountsAsAShed) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(1, OverflowPolicy::ShedNewest));
+  attach_trivial_bodies(inst);
+
+  bool guarded_shed = false;
+  net.spawn_process("A1", [&] { inst.enroll_for(RoleId("a"), 50); });
+  net.spawn_process("A2", [&] {
+    guarded_shed = !inst.try_enroll(RoleId("a")).has_value();
+  });
+  ASSERT_TRUE(sched.run().ok());
+  EXPECT_TRUE(guarded_shed);
+  EXPECT_EQ(inst.sheds(), 1u);
+}
+
+TEST(OverloadShed, EnrollForShedIsDistinctFromTimeout) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(1, OverflowPolicy::ShedNewest, 11));
+  attach_trivial_bodies(inst);
+
+  std::optional<EnrollResult> filler, shed_now;
+  std::uint64_t shed_at = 99;
+  net.spawn_process("A1", [&] { filler = inst.enroll_for(RoleId("a"), 50); });
+  net.spawn_process("A2", [&] {
+    shed_now = inst.enroll_for(RoleId("a"), 40);
+    shed_at = sched.now();
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  // Timeout: nullopt after the wait. Shed: an ENGAGED result, refused
+  // immediately — the caller can tell "come back later" from "waited
+  // in vain".
+  EXPECT_FALSE(filler.has_value());
+  ASSERT_TRUE(shed_now.has_value());
+  EXPECT_TRUE(shed_now->shed);
+  EXPECT_EQ(shed_now->retry_after, 11u);
+  EXPECT_EQ(shed_at, 0u);
+}
+
+TEST(OverloadRetry, EnrollWithRetryKeepsTheFinalHintOnGiveUp) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance inst(net, pair_spec(1, OverflowPolicy::ShedNewest, 3));
+  attach_trivial_bodies(inst);
+
+  EnrollResult r;
+  net.spawn_process("A1", [&] { inst.enroll_for(RoleId("a"), 200); });
+  net.spawn_process("A2", [&] {
+    RetryOptions retry;
+    retry.max_attempts = 2;
+    retry.backoff = 8;
+    r = inst.enroll_with_retry(RoleId("a"), {}, {}, retry);
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  // Both attempts shed (the filler holds the only slot). The final
+  // result keeps a usable hint — floored to the backoff the loop would
+  // have slept (8 * 2.0 = 16 > shed_retry_after 3) — so the caller can
+  // distinguish "gave up, retry later" from "infeasible".
+  EXPECT_TRUE(r.shed);
+  EXPECT_EQ(r.retry_after, 16u);
+  EXPECT_TRUE(r.retryable());
+  EXPECT_EQ(inst.sheds(), 2u);
+}
+
+ScriptSpec breaker_spec(std::size_t trip_depth, std::uint64_t cooldown,
+                        std::size_t probes) {
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  OverloadConfig cfg;
+  cfg.breaker_queue_depth = trip_depth;
+  cfg.breaker_cooldown = cooldown;
+  cfg.half_open_probes = probes;
+  spec.overload(cfg);
+  return spec;
+}
+
+TEST(OverloadBreaker, TripsShedsProbesAndClosesOnProgress) {
+  Scheduler sched;
+  Net net(sched);
+  // Trip above depth 2; 20-tick cooldown; 2 probes so a half-open
+  // performance (one "a" + one "b") can prove progress and close it.
+  ScriptInstance inst(net, breaker_spec(2, 20, 2));
+  attach_trivial_bodies(inst);
+
+  EnrollResult a1, a3, a4, b1, b2;
+  std::optional<EnrollResult> a2;
+  net.spawn_process("A1", [&] { a1 = inst.enroll(RoleId("a")); });
+  net.spawn_process("A2", [&] { a2 = inst.enroll_for(RoleId("a"), 200); });
+  net.spawn_process("A3", [&] {
+    a3 = inst.enroll(RoleId("a"));  // third queued arrival: trips it
+  });
+  net.spawn_process("A4", [&] {
+    a4 = inst.enroll(RoleId("a"));  // breaker already Open
+  });
+  net.spawn_process("B1", [&] {
+    sched.sleep_for(25);  // past the cooldown: the half-open probe
+    EXPECT_EQ(inst.breaker_state(),
+              ScriptInstance::BreakerState::Open);
+    b1 = inst.enroll(RoleId("b"));
+    // A completed performance closed the breaker.
+    EXPECT_EQ(inst.breaker_state(),
+              ScriptInstance::BreakerState::Closed);
+  });
+  net.spawn_process("B2", [&] {
+    sched.sleep_for(30);  // after the close: normal admission again
+    b2 = inst.enroll(RoleId("b"));
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_FALSE(a1.shed);
+  EXPECT_TRUE(a3.shed);
+  EXPECT_EQ(a3.retry_after, 20u);  // the full cooldown
+  EXPECT_TRUE(a4.shed);
+  EXPECT_EQ(a4.retry_after, 20u);  // open_until - now, same instant
+  EXPECT_FALSE(b1.shed);
+  EXPECT_FALSE(b2.shed);
+  EXPECT_EQ(inst.breaker_trips(), 1u);
+  EXPECT_EQ(inst.sheds(), 2u);
+  EXPECT_EQ(inst.performances_completed(), 2u);
+  EXPECT_EQ(inst.breaker_state(), ScriptInstance::BreakerState::Closed);
+}
+
+TEST(OverloadBreaker, ExhaustedHalfOpenProbesReopenTheBreaker) {
+  Scheduler sched;
+  Net net(sched);
+  // One probe only, and nothing ever completes: the probe is spent, the
+  // next arrival re-trips.
+  ScriptInstance inst(net, breaker_spec(1, 10, 1));
+  attach_trivial_bodies(inst);
+
+  std::optional<EnrollResult> a1, a3;
+  EnrollResult a2, a4;
+  net.spawn_process("A1", [&] { a1 = inst.enroll_for(RoleId("a"), 100); });
+  net.spawn_process("A2", [&] { a2 = inst.enroll(RoleId("a")); });
+  net.spawn_process("A3", [&] {
+    sched.sleep_for(15);  // past the cooldown: admitted as the probe
+    a3 = inst.enroll_for(RoleId("a"), 50);
+  });
+  net.spawn_process("A4", [&] {
+    sched.sleep_for(16);  // probes exhausted, none completed: re-trip
+    a4 = inst.enroll(RoleId("a"));
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_FALSE(a1.has_value());  // queued, timed out
+  EXPECT_TRUE(a2.shed);          // tripped it
+  EXPECT_FALSE(a3.has_value());  // the probe: admitted, timed out
+  EXPECT_TRUE(a4.shed);          // re-tripped it
+  EXPECT_EQ(inst.breaker_trips(), 2u);
+  EXPECT_EQ(inst.sheds(), 2u);
+  EXPECT_EQ(inst.breaker_state(), ScriptInstance::BreakerState::Open);
+}
+
+TEST(OverloadBreaker, HealthWatchdogLatchTripsAdmission) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  OverloadConfig cfg;
+  cfg.breaker_queue_depth = 100;  // unreachable: only the latch trips
+  cfg.breaker_cooldown = 50;
+  spec.overload(cfg);
+  script::obs::SloConfig slo;
+  slo.queue_depth = 1;  // the watchdog latches at depth > 1
+  spec.slo(slo);
+
+  // The monitor must outlive the instance (the destructor unregisters).
+  script::obs::HealthMonitor health(sched.bus());
+  ScriptInstance inst(net, spec);
+  attach_trivial_bodies(inst);
+  inst.enable_health(health);
+
+  std::optional<EnrollResult> a1, a2;
+  EnrollResult a3;
+  net.spawn_process("A1", [&] { a1 = inst.enroll_for(RoleId("a"), 40); });
+  net.spawn_process("A2", [&] { a2 = inst.enroll_for(RoleId("a"), 40); });
+  net.spawn_process("A3", [&] {
+    sched.sleep_for(5);  // the depth-2 queue has latched the watchdog
+    a3 = inst.enroll(RoleId("a"));
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_TRUE(a3.shed);
+  EXPECT_EQ(inst.breaker_trips(), 1u);
+  EXPECT_EQ(inst.breaker_state(), ScriptInstance::BreakerState::Open);
+  EXPECT_GE(health.violations(), 1u);
+}
+
+TEST(OverloadBudget, UncaughtTickBudgetCrashesTheRoleAndFeedsThePolicy) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("pair");
+  spec.role("a").role("b");
+  spec.initiation(Initiation::Delayed).termination(Termination::Delayed);
+  ExecutionBudget budget;
+  budget.max_virtual_ticks = 5;
+  spec.budget(budget);
+  ScriptInstance inst(net, spec);
+  inst.on_role("a", [&](RoleContext& ctx) {
+    ctx.scheduler().sleep_for(100);  // blows the 5-tick budget
+  });
+  inst.on_role("b", [](RoleContext&) {});
+
+  EnrollResult a_res, b_res;
+  ProcessId a_pid = 0;
+  a_pid = net.spawn_process("A", [&] { a_res = inst.enroll(RoleId("a")); });
+  net.spawn_process("B", [&] { b_res = inst.enroll(RoleId("b")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  // The cancellation unwound A like a crash: the performance aborted
+  // (FailurePolicy::Abort) and the partner saw it.
+  EXPECT_TRUE(sched.was_cancelled(a_pid));
+  EXPECT_TRUE(sched.has_crashed(a_pid));
+  EXPECT_TRUE(b_res.aborted);
+  EXPECT_EQ(inst.performances_aborted(), 1u);
+  EXPECT_EQ(sched.budget_cancels(), 1u);
+}
+
+TEST(OverloadBudget, RoleMayCatchTheBudgetAndFinishDegraded) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("solo");
+  spec.role("a");
+  spec.initiation(Initiation::Immediate).termination(Termination::Immediate);
+  ExecutionBudget budget;
+  budget.max_virtual_ticks = 5;
+  spec.budget(budget);
+  ScriptInstance inst(net, spec);
+  bool degraded = false;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    try {
+      ctx.scheduler().sleep_for(100);
+    } catch (const BudgetExceeded& e) {
+      degraded = e.kind == BudgetKind::VirtualTicks && e.limit == 5;
+    }
+  });
+  EnrollResult r;
+  net.spawn_process("A", [&] { r = inst.enroll(RoleId("a")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_TRUE(degraded);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(inst.performances_completed(), 1u);
+  EXPECT_EQ(inst.performances_aborted(), 0u);
+}
+
+TEST(OverloadBudget, StepBudgetBoundsARunawayRoleLoop) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("solo");
+  spec.role("a");
+  spec.initiation(Initiation::Immediate).termination(Termination::Immediate);
+  ExecutionBudget budget;
+  budget.max_dispatch_steps = 4;
+  spec.budget(budget);
+  ScriptInstance inst(net, spec);
+  int spins = 0;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    for (;;) {
+      ++spins;
+      ctx.scheduler().yield();
+    }
+  });
+  ProcessId pid = 0;
+  pid = net.spawn_process("A", [&] { inst.enroll(RoleId("a")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  // The arming dispatch runs the body's first iteration for free; the
+  // budget then allows 4 more dispatches before the cancel.
+  EXPECT_EQ(spins, 5);
+  EXPECT_TRUE(sched.was_cancelled(pid));
+  EXPECT_EQ(sched.budget_cancels(), 1u);
+}
+
+TEST(OverloadDeadline, RoleContextDeadlineCancelsAndClearsOnExit) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptSpec spec("solo");
+  spec.role("a");
+  spec.initiation(Initiation::Immediate).termination(Termination::Immediate);
+  ScriptInstance inst(net, spec);
+  bool caught = false;
+  std::uint64_t remaining_before = 0;
+  inst.on_role("a", [&](RoleContext& ctx) {
+    ctx.deadline(10);
+    remaining_before = ctx.remaining_deadline();
+    try {
+      ctx.scheduler().sleep_for(100);
+    } catch (const DeadlineExceeded&) {
+      caught = true;
+    }
+  });
+  bool after_ok = false;
+  net.spawn_process("A", [&] {
+    inst.enroll(RoleId("a"));
+    // The BudgetGuard cleared the role's deadline: the process's next
+    // activity is not haunted by it.
+    sched.sleep_for(500);
+    after_ok = true;
+  });
+  ASSERT_TRUE(sched.run().ok());
+
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(remaining_before, 10u);
+  EXPECT_TRUE(after_ok);
+  EXPECT_EQ(sched.deadline_cancels(), 1u);
+}
+
+TEST(OverloadSnapshot, ShedAndBreakerStateAppearOnlyOnceLive) {
+  Scheduler sched;
+  Net net(sched);
+  ScriptInstance plain_inst(net, pair_spec(0, OverflowPolicy::Block));
+  attach_trivial_bodies(plain_inst);
+  ScriptInstance shed_inst(net, pair_spec(1, OverflowPolicy::ShedNewest));
+  attach_trivial_bodies(shed_inst);
+
+  net.spawn_process("A1",
+                    [&] { shed_inst.enroll_for(RoleId("a"), 30); });
+  net.spawn_process("A2", [&] { shed_inst.enroll(RoleId("a")); });
+  ASSERT_TRUE(sched.run().ok());
+
+  // Untouched instance: no overload keys at all (golden-pin safety).
+  EXPECT_EQ(plain_inst.snapshot_json().find("sheds"), std::string::npos);
+  EXPECT_EQ(plain_inst.snapshot_json().find("breaker"), std::string::npos);
+  // One shed: the counter appears.
+  EXPECT_NE(shed_inst.snapshot_json().find("\"sheds\": 1"),
+            std::string::npos);
+}
+
+}  // namespace

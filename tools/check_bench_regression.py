@@ -44,6 +44,9 @@ ABS_LIMITS = {
     # docs/OBSERVABILITY.md: an armed flight recorder stays under 3%
     # on the C7 churn workload.
     "flight.overhead_pct": 3.0,
+    # docs/ROBUSTNESS.md: budgets/deadlines/backpressure armed but not
+    # firing stay under 3% on the performance-churn workload.
+    "overload.overhead_pct": 3.0,
 }
 
 
