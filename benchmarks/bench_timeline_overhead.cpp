@@ -1,0 +1,107 @@
+// Timeline overhead on the hot path.
+//
+// The timeline's claim to always-on status rests on the same argument
+// the flight recorder's does: with the default mask (every subsystem
+// except the Scheduler's per-dispatch firehose), the churn workload's
+// hot path pays one bit test per event. What the timeline does record
+// costs a map lookup and a ring-slot bump per event — this bench pins
+// that cost on the C7 fiber-churn workload, three ways:
+//
+//   plain  — no timeline; the baseline every other bench reports.
+//   armed  — arm_timeline() with default options. What CI and
+//            production runs pay ('timeline.overhead_pct', gated <3%).
+//   full   — Scheduler subsystem included (mask = kAllSubsystems):
+//            per-dispatch series at per-dispatch cost. Reported, not
+//            gated.
+//
+// Reps are interleaved round-robin across the configs so clock drift
+// and cache warm-up hit all three equally; each config reports its min
+// (noise on a shared host only ever inflates).
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+enum class Mode { kPlain, kArmed, kFull };
+
+double wall_us(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+constexpr std::size_t kWaves = 20;
+constexpr std::size_t kPerWave = 500;
+
+double run_churn(Mode mode) {
+  script::runtime::SchedulerOptions opts;
+  opts.stack_pool_max_idle = kPerWave;  // keep a full wave's stacks warm
+  bench::Scheduler sched(opts);
+  if (mode == Mode::kArmed) {
+    sched.arm_timeline();
+  } else if (mode == Mode::kFull) {
+    script::obs::TimelineOptions topts;
+    topts.mask = script::obs::EventBus::kAllSubsystems;
+    sched.arm_timeline(std::move(topts));
+  }
+  return wall_us([&] {
+    for (std::size_t w = 0; w < kWaves; ++w) {
+      for (std::size_t i = 0; i < kPerWave; ++i)
+        sched.spawn("c" + std::to_string(i), [&sched] { sched.yield(); });
+      if (!sched.run().ok()) std::abort();
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("timeline-overhead",
+                "cost of an armed timeline on the churn hot path");
+
+  bench::Telemetry telemetry("timeline_overhead");
+  constexpr int kReps = 5;
+  constexpr double kFibers = static_cast<double>(kWaves * kPerWave);
+
+  (void)run_churn(Mode::kPlain);  // warm-up: allocator + stack pool
+
+  double plain_us = 1e300, armed_us = 1e300, full_us = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    plain_us = std::min(plain_us, run_churn(Mode::kPlain));
+    armed_us = std::min(armed_us, run_churn(Mode::kArmed));
+    full_us = std::min(full_us, run_churn(Mode::kFull));
+  }
+
+  const double armed_pct = (armed_us - plain_us) / plain_us * 100.0;
+  const double full_pct = (full_us - plain_us) / plain_us * 100.0;
+
+  bench::Table table({"config", "wall ms", "us/fiber", "overhead %"});
+  table.add_row({"plain", bench::Table::num(plain_us / 1000.0, 2),
+                 bench::Table::num(plain_us / kFibers, 2), "-"});
+  table.add_row({"armed", bench::Table::num(armed_us / 1000.0, 2),
+                 bench::Table::num(armed_us / kFibers, 2),
+                 bench::Table::num(armed_pct, 2)});
+  table.add_row({"full", bench::Table::num(full_us / 1000.0, 2),
+                 bench::Table::num(full_us / kFibers, 2),
+                 bench::Table::num(full_pct, 2)});
+  table.print();
+
+  telemetry.gauge("churn.plain.us_per_fiber", plain_us / kFibers);
+  telemetry.gauge("churn.armed.us_per_fiber", armed_us / kFibers);
+  telemetry.gauge("churn.full.us_per_fiber", full_us / kFibers);
+  telemetry.gauge("timeline.overhead_pct", armed_pct);
+  telemetry.gauge("timeline.full_overhead_pct", full_pct);
+
+  bench::note("'armed' is arm_timeline() with defaults (Scheduler "
+              "subsystem excluded) — what the <3% CI gate covers; 'full' "
+              "buckets every subsystem including per-dispatch events.");
+  return 0;
+}

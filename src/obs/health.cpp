@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 
 namespace script::obs {
 
@@ -51,7 +52,14 @@ void HealthMonitor::watch_script(std::int32_t lane, std::string name,
           {},
           now_,
           false,
+          false,
+          "health.slo_ok@" + std::to_string(lane),
+          "health.slo_violation@" + std::to_string(lane),
           false};
+  // Burn windows default to 4× / 16× the rolling window, so a plain
+  // `error_budget = 0.1` is a complete config.
+  if (w.slo.fast_window == 0) w.slo.fast_window = 4 * window;
+  if (w.slo.slow_window == 0) w.slo.slow_window = 16 * window;
   watches_.insert_or_assign(lane, std::move(w));
 }
 
@@ -111,12 +119,16 @@ void HealthMonitor::on_event(const Event& e) {
               static_cast<double>(e.time - started->second);
           w.enroll_started.erase(started);
           w.enroll.observe(e.time, latency);
-          if (w.slo.enroll_latency != 0 &&
-              latency > static_cast<double>(w.slo.enroll_latency))
-            raise("health.slo.enroll", e.lane,
-                  w.name + ": enroll latency " + json::num(latency) +
-                      " > slo " + std::to_string(w.slo.enroll_latency),
-                  latency);
+          if (w.slo.enroll_latency != 0) {
+            const bool violating =
+                latency > static_cast<double>(w.slo.enroll_latency);
+            record_slo_sample(w, e.time, violating);
+            if (violating)
+              raise("health.slo.enroll", e.lane,
+                    w.name + ": enroll latency " + json::num(latency) +
+                        " > slo " + std::to_string(w.slo.enroll_latency),
+                    latency);
+          }
         }
       } else if (e.name.rfind("enroll.fail", 0) == 0) {
         if (e.pid != kNoPid) w.enroll_started.erase(e.pid);
@@ -131,13 +143,17 @@ void HealthMonitor::on_event(const Event& e) {
             const auto span = static_cast<double>(e.time - begin->second);
             w.perf_open.erase(begin);
             w.makespan.observe(e.time, span);
-            if (w.slo.makespan != 0 &&
-                span > static_cast<double>(w.slo.makespan))
-              raise("health.slo.makespan", e.lane,
-                    w.name + ": performance #" + std::to_string(number) +
-                        " makespan " + json::num(span) + " > slo " +
-                        std::to_string(w.slo.makespan),
-                    span);
+            if (w.slo.makespan != 0) {
+              const bool violating =
+                  span > static_cast<double>(w.slo.makespan);
+              record_slo_sample(w, e.time, violating);
+              if (violating)
+                raise("health.slo.makespan", e.lane,
+                      w.name + ": performance #" + std::to_string(number) +
+                          " makespan " + json::num(span) + " > slo " +
+                          std::to_string(w.slo.makespan),
+                      span);
+            }
           }
           if (w.perf_open.empty()) w.stuck_latched = false;
         }
@@ -148,12 +164,50 @@ void HealthMonitor::on_event(const Event& e) {
   poll(now_);
 }
 
+void HealthMonitor::record_slo_sample(Watch& w, std::uint64_t t,
+                                      bool violating) {
+  if (timeline_ == nullptr || w.slo.error_budget <= 0) return;
+  timeline_->bump(violating ? w.bad_series : w.ok_series, t);
+}
+
+double HealthMonitor::burn_over(const Watch& w,
+                                std::uint64_t window_ticks) const {
+  if (timeline_ == nullptr || w.slo.error_budget <= 0) return 0;
+  const std::uint64_t from =
+      now_ >= window_ticks ? now_ - window_ticks : 0;
+  const auto bad =
+      static_cast<double>(timeline_->counter_sum(w.bad_series, from, now_));
+  const auto ok =
+      static_cast<double>(timeline_->counter_sum(w.ok_series, from, now_));
+  if (bad + ok == 0) return 0;
+  return bad / (bad + ok) / w.slo.error_budget;
+}
+
 void HealthMonitor::poll(std::uint64_t now) {
   if (now > now_) now_ = now;
   if (now_ == last_poll_) return;
   last_poll_ = now_;
 
   for (auto& [lane, w] : watches_) {
+    if (w.slo.error_budget > 0 && timeline_ != nullptr) {
+      const double fast = burn_over(w, w.slo.fast_window);
+      const double slow = burn_over(w, w.slo.slow_window);
+      // Both windows must burn hot: the fast one makes the alert
+      // prompt, the slow one proves it is sustained. The latch releases
+      // on the fast window alone, so recovery is seen quickly.
+      if (fast >= w.slo.burn_threshold && slow >= w.slo.burn_threshold) {
+        if (!w.burn_latched) {
+          w.burn_latched = true;
+          raise("health.burn_rate", lane,
+                w.name + ": burning error budget at " + json::num(fast) +
+                    "x (fast) / " + json::num(slow) +
+                    "x (slow) the provisioned rate",
+                fast);
+        }
+      } else if (fast < w.slo.burn_threshold) {
+        w.burn_latched = false;
+      }
+    }
     if (w.slo.stuck_after != 0 && !w.perf_open.empty() && !w.stuck_latched &&
         now_ - w.last_progress >= w.slo.stuck_after) {
       w.stuck_latched = true;
@@ -227,6 +281,17 @@ bool HealthMonitor::stuck_latched(std::int32_t lane) const {
   return it != watches_.end() && it->second.stuck_latched;
 }
 
+double HealthMonitor::burn_rate(std::int32_t lane,
+                                std::uint64_t window_ticks) const {
+  const auto it = watches_.find(lane);
+  return it == watches_.end() ? 0 : burn_over(it->second, window_ticks);
+}
+
+bool HealthMonitor::burn_latched(std::int32_t lane) const {
+  const auto it = watches_.find(lane);
+  return it != watches_.end() && it->second.burn_latched;
+}
+
 bool HealthMonitor::restart_pressure() const {
   for (const SupWatch& sw : sup_watches_)
     for (const auto& [child, latched] : sw.latched)
@@ -251,6 +316,11 @@ std::string HealthMonitor::report() const {
     if (span.count() != 0)
       out += " makespan p50/p99 " + json::num(span.quantile(0.5)) + "/" +
              json::num(span.quantile(0.99));
+    if (w.slo.error_budget > 0 && timeline_ != nullptr) {
+      out += " burn fast/slow " + json::num(burn_over(w, w.slo.fast_window)) +
+             "x/" + json::num(burn_over(w, w.slo.slow_window)) + "x";
+      if (w.burn_latched) out += " [ALERT]";
+    }
     out += "\n";
   }
   // Report sections are newline-joined by the scheduler; no trailer.

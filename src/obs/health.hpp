@@ -37,6 +37,8 @@
 
 namespace script::obs {
 
+class Timeline;
+
 /// Per-script SLO thresholds, in virtual ticks. 0 disables a check.
 /// Carried by ScriptSpec::slo() and handed to the monitor when the
 /// instance enables health tracking.
@@ -46,6 +48,20 @@ struct SloConfig {
   std::uint64_t stuck_after = 0;     // watchdog: lane silent this long
   std::size_t queue_depth = 0;       // watchdog: queued enrollments
   std::uint64_t window = 4096;       // rolling-histogram epoch length
+
+  // ---- Burn-rate alerting (multi-window, SRE-style) ----
+  // Every enroll-latency/makespan sample is classified good/violating
+  // against the thresholds above and recorded on the timeline; the burn
+  // rate of a window is (violating share) / error_budget — 1.0 means
+  // "spending budget exactly as provisioned", 10 means "budget gone in
+  // a tenth of the intended period". health.burn_rate latches only when
+  // BOTH windows exceed burn_threshold: the fast window makes the alert
+  // prompt, the slow window keeps a brief blip from paging. Requires a
+  // Timeline (HealthMonitor::set_timeline); error_budget = 0 disables.
+  double error_budget = 0;           // allowed violating fraction (0,1]
+  double burn_threshold = 2.0;       // alert at this multiple of budget
+  std::uint64_t fast_window = 0;     // ticks; default 4 × window
+  std::uint64_t slow_window = 0;     // ticks; default 16 × window
 
   bool any() const {
     return enroll_latency != 0 || makespan != 0 || stuck_after != 0 ||
@@ -103,6 +119,13 @@ class HealthMonitor {
       std::function<std::vector<RestartPressure>()> provider);
   void unwatch_restarts(std::size_t id);
 
+  /// Back the burn-rate machinery with a timeline: SLO sample outcomes
+  /// are recorded as health.slo_ok@lane / health.slo_violation@lane
+  /// counter series there, and burn windows are sums over those series.
+  /// Without a timeline, burn alerting is off (nullptr detaches).
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+  Timeline* timeline() const { return timeline_; }
+
   /// Run the watchdogs as of `now`. The Scheduler calls this whenever
   /// the virtual clock advances; event arrival also polls.
   void poll(std::uint64_t now);
@@ -120,6 +143,12 @@ class HealthMonitor {
   /// True while any supervised child sits one crash away from its
   /// restart budget (a health.restart_pressure alarm is standing).
   bool restart_pressure() const;
+  /// Violating share of `lane`'s SLO samples over the trailing
+  /// `window_ticks`, divided by its error budget. 0 when unwatched, no
+  /// timeline, no budget, or no samples in the window.
+  double burn_rate(std::int32_t lane, std::uint64_t window_ticks) const;
+  /// True while the two-window burn alert is standing for `lane`.
+  bool burn_latched(std::int32_t lane) const;
   /// Human summary for deadlock/abort reports; empty when healthy.
   std::string report() const;
 
@@ -135,6 +164,11 @@ class HealthMonitor {
     std::uint64_t last_progress = 0;
     bool stuck_latched = false;
     bool queue_latched = false;
+    // Burn-rate state; series keys cached so the per-sample record is
+    // one map lookup inside Timeline::bump, no string assembly.
+    std::string ok_series;
+    std::string bad_series;
+    bool burn_latched = false;
   };
 
   struct SupWatch {
@@ -147,6 +181,10 @@ class HealthMonitor {
   void on_event(const Event& e);
   void raise(const char* name, std::int32_t lane, std::string detail,
              double value);
+  /// Record one classified SLO sample on the timeline (no-op without
+  /// one or without an error budget).
+  void record_slo_sample(Watch& w, std::uint64_t t, bool violating);
+  double burn_over(const Watch& w, std::uint64_t window_ticks) const;
 
   EventBus* bus_;
   EventBus::SubId sub_;
@@ -158,6 +196,7 @@ class HealthMonitor {
   std::uint64_t violations_ = 0;
   std::map<std::string, std::uint64_t> by_name_;
   bool raising_ = false;
+  Timeline* timeline_ = nullptr;
 };
 
 }  // namespace script::obs

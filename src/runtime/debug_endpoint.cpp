@@ -1,0 +1,145 @@
+#include "runtime/debug_endpoint.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace script::runtime {
+
+DebugEndpoint::~DebugEndpoint() { close(); }
+
+bool DebugEndpoint::listen(const std::string& path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  std::copy(path.begin(), path.end(), addr.sun_path);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return false;
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 8) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return false;
+  }
+  listen_fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+void DebugEndpoint::close() {
+  for (Conn& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+void DebugEndpoint::register_handler(const std::string& cmd, Handler fn) {
+  handlers_[cmd] = std::move(fn);
+}
+
+bool DebugEndpoint::flush(Conn& c) {
+  while (!c.out.empty()) {
+    const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone or hard error
+  }
+  return true;
+}
+
+void DebugEndpoint::handle_line(Conn& c, const std::string& line) {
+  std::string cmd = line;
+  std::string args;
+  const std::size_t sp = line.find(' ');
+  if (sp != std::string::npos) {
+    cmd = line.substr(0, sp);
+    args = line.substr(sp + 1);
+    // Trim surrounding blanks so "events   64" parses like "events 64".
+    const auto b = args.find_first_not_of(" \t\r");
+    const auto e = args.find_last_not_of(" \t\r");
+    args = b == std::string::npos ? "" : args.substr(b, e - b + 1);
+  }
+  if (!cmd.empty() && cmd.back() == '\r') cmd.pop_back();
+  ++requests_;
+
+  const auto it = handlers_.find(cmd);
+  if (it == handlers_.end()) {
+    c.out += "err unknown command: " + cmd + "\n";
+    return;
+  }
+  std::string err;
+  const std::string payload = it->second(args, &err);
+  if (!err.empty()) {
+    c.out += "err " + err + "\n";
+    return;
+  }
+  c.out += "ok " + std::to_string(payload.size()) + "\n";
+  c.out += payload;
+}
+
+std::size_t DebugEndpoint::service() {
+  if (listen_fd_ < 0) return 0;
+  const std::uint64_t before = requests_;
+
+  // Accept every pending connection.
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) break;  // EAGAIN (or a transient error: try next time)
+    conns_.push_back(Conn{fd, {}, {}});
+  }
+
+  for (Conn& c : conns_) {
+    // Read whatever is available; process complete lines.
+    char buf[1024];
+    if (!c.eof) {
+      for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          c.in.append(buf, static_cast<std::size_t>(n));
+          if (c.in.size() > kMaxLine && c.in.find('\n') == std::string::npos) {
+            c.out += "err request line too long\n";
+            c.eof = true;
+          }
+          continue;
+        }
+        if (n == 0) c.eof = true;
+        break;  // n<0: EAGAIN or error — either way stop reading
+      }
+    }
+    std::size_t nl;
+    while ((nl = c.in.find('\n')) != std::string::npos) {
+      const std::string line = c.in.substr(0, nl);
+      c.in.erase(0, nl + 1);
+      if (!line.empty()) handle_line(c, line);
+    }
+    if (!flush(c) || (c.eof && c.out.empty())) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const Conn& c) { return c.fd < 0; }),
+               conns_.end());
+  return static_cast<std::size_t>(requests_ - before);
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,88 @@
+// DebugEndpoint — an opt-in, line-oriented debug protocol over a
+// Unix-domain socket.
+//
+// This is the runtime's first piece of real I/O: `scriptctl top` and
+// `scriptctl watch` attach to a *running* scheduler instead of reading
+// post-mortem files. The determinism story survives because the
+// endpoint is passive: the socket is non-blocking end to end and is
+// only serviced from scheduler safepoints (loop entry/exit, clock
+// advances, every N dispatches). An unarmed scheduler pays one null
+// check; an armed one with no client pays one accept() probe per
+// safepoint. Nothing the endpoint does feeds back into scheduling
+// decisions, so golden traces and explore() are untouched either way —
+// requests only ever *read* snapshots.
+//
+// Protocol (line oriented, text):
+//   request:   <command> [args]\n
+//   response:  ok <nbytes>\n<nbytes of payload>
+//          or: err <reason>\n
+// Payloads are complete JSON or Prometheus-text documents; the byte
+// count makes framing trivial for clients (read the header line, then
+// exactly nbytes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace script::runtime {
+
+class DebugEndpoint {
+ public:
+  /// Handles one request line: `args` is everything after the command
+  /// word (may be empty). Returns the response payload; returning
+  /// nullopt-style failure is signalled by filling *err instead.
+  using Handler =
+      std::function<std::string(const std::string& args, std::string* err)>;
+
+  DebugEndpoint() = default;
+  ~DebugEndpoint();
+
+  DebugEndpoint(const DebugEndpoint&) = delete;
+  DebugEndpoint& operator=(const DebugEndpoint&) = delete;
+
+  /// Bind and listen on `path` (an existing stale socket file is
+  /// unlinked first). Returns false (with errno intact) on failure.
+  bool listen(const std::string& path);
+  bool listening() const { return listen_fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  void close();
+
+  /// Register `cmd` (a single word). Later registrations win.
+  void register_handler(const std::string& cmd, Handler fn);
+
+  /// One safepoint's worth of work: accept pending connections, read
+  /// whatever bytes are available, run handlers for complete request
+  /// lines, flush whatever output the sockets will take. Never blocks.
+  /// Returns the number of requests served.
+  std::size_t service();
+
+  std::uint64_t requests_served() const { return requests_; }
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    // Read side closed (one-shot clients shutdown(SHUT_WR) after the
+    // request); the connection stays until `out` drains.
+    bool eof = false;
+  };
+
+  void handle_line(Conn& c, const std::string& line);
+  static bool flush(Conn& c);  // false => connection dead
+
+  /// Guard against a client streaming garbage without a newline.
+  static constexpr std::size_t kMaxLine = 4096;
+
+  int listen_fd_ = -1;
+  std::string path_;
+  std::map<std::string, Handler> handlers_;
+  std::vector<Conn> conns_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace script::runtime

@@ -13,7 +13,10 @@
 #include "obs/inspector.hpp"
 #include "obs/json.hpp"
 #include "obs/log_bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_export.hpp"
+#include "runtime/debug_endpoint.hpp"
 #include "runtime/sanitizer_fiber.hpp"
 #include "support/panic.hpp"
 
@@ -98,6 +101,29 @@ Scheduler::Scheduler(SchedulerOptions opts)
                       "-" + std::to_string(flight_seq++);
     arm_flight_recorder(std::move(fopts));
   }
+  if (const char* base = std::getenv("SCRIPT_TIMELINE");
+      base != nullptr && *base != '\0') {
+    // Same collision discipline as SCRIPT_FLIGHT. Dumps fire only on
+    // failure escalations, so a green test run leaves no files behind.
+    static int timeline_seq = 0;
+    obs::TimelineOptions topts;
+    topts.dump_path = std::string(base) + "-" + std::to_string(getpid()) +
+                      "-" + std::to_string(timeline_seq++);
+    arm_timeline(std::move(topts));
+  }
+  if (const char* path = std::getenv("SCRIPT_DEBUG_SOCK");
+      path != nullptr && *path != '\0') {
+    // First scheduler in the process gets the exact path (the common
+    // case a human attaches to); later ones get numbered siblings.
+    static int sock_seq = 0;
+    const int n = sock_seq++;
+    const std::string p =
+        n == 0 ? std::string(path)
+               : std::string(path) + "." + std::to_string(n);
+    if (!arm_debug_endpoint(p))
+      std::fprintf(stderr, "SCRIPT_DEBUG_SOCK: could not bind %s\n",
+                   p.c_str());
+  }
 }
 
 Scheduler::~Scheduler() {
@@ -158,8 +184,109 @@ obs::HealthMonitor& Scheduler::enable_health() {
   if (health_ == nullptr) {
     health_ = std::make_unique<obs::HealthMonitor>(bus_);
     add_report_section([this] { return health_->report(); });
+    // Burn-rate windows live on the timeline; wire it in whichever
+    // order the two were enabled.
+    if (timeline_ != nullptr) health_->set_timeline(timeline_.get());
   }
   return *health_;
+}
+
+obs::Timeline& Scheduler::arm_timeline() {
+  return arm_timeline(obs::TimelineOptions{});
+}
+
+obs::Timeline& Scheduler::arm_timeline(obs::TimelineOptions opts) {
+  if (timeline_ == nullptr) {
+    timeline_ = std::make_unique<obs::Timeline>(bus_, std::move(opts));
+    timeline_->set_clock([this] { return now_; });
+    timeline_->set_lane_namer(
+        [this](std::int32_t lane) { return bus_.lane_name(lane); });
+    if (health_ != nullptr) health_->set_timeline(timeline_.get());
+  }
+  return *timeline_;
+}
+
+bool Scheduler::write_timeline(const std::string& path) const {
+  return timeline_ != nullptr && timeline_->write(path);
+}
+
+obs::Inspector& Scheduler::inspector() {
+  if (inspector_ == nullptr) {
+    inspector_ = std::make_unique<obs::Inspector>();
+    attach_inspector(*inspector_);
+  }
+  return *inspector_;
+}
+
+void Scheduler::service_debug() {
+  if (debug_ != nullptr) debug_->service();
+}
+
+bool Scheduler::arm_debug_endpoint(const std::string& path) {
+  if (debug_ != nullptr) return debug_->listening();
+  arm_timeline();  // `timeline`/`events` requests need it recording
+  debug_ = std::make_unique<DebugEndpoint>();
+  if (!debug_->listen(path)) {
+    debug_.reset();
+    return false;
+  }
+  register_debug_handlers();
+  return true;
+}
+
+void Scheduler::register_debug_handlers() {
+  debug_->register_handler(
+      "ping", [](const std::string&, std::string*) -> std::string {
+        return "pong\n";
+      });
+  debug_->register_handler(
+      "inspect", [this](const std::string&, std::string*) {
+        return inspector().snapshot_json();
+      });
+  debug_->register_handler(
+      "timeline", [this](const std::string&, std::string*) {
+        return timeline_->dump_json();
+      });
+  debug_->register_handler(
+      "events", [this](const std::string& args, std::string* err) {
+        std::size_t n = 64;
+        if (!args.empty()) {
+          char* end = nullptr;
+          const unsigned long v = std::strtoul(args.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') {
+            *err = "usage: events [count]";
+            return std::string();
+          }
+          n = static_cast<std::size_t>(v);
+        }
+        return timeline_->recent_json(n);
+      });
+  debug_->register_handler(
+      "metrics", [this](const std::string&, std::string*) {
+        // Assembled on demand — an armed-but-unscraped endpoint keeps
+        // zero metrics machinery running between requests.
+        obs::MetricsRegistry reg;
+        reg.gauge("scheduler.virtual_time", static_cast<double>(now_));
+        reg.gauge("scheduler.steps", static_cast<double>(steps_));
+        reg.gauge("scheduler.live_fibers", static_cast<double>(live_));
+        reg.gauge("scheduler.ready", static_cast<double>(ready_.size()));
+        reg.gauge("scheduler.timers", static_cast<double>(timers_.size()));
+        if (timeline_ != nullptr) timeline_->export_metrics(reg);
+        if (flight_ != nullptr) flight_->export_metrics(reg);
+        if (health_ != nullptr) {
+          auto& c = reg.counter("health.violations");
+          const std::uint64_t v = health_->violations();
+          if (v > c.value()) c.inc(v - c.value());
+        }
+        reg.import_tracelog_truncation(trace_);
+        return reg.expose_prometheus();
+      });
+  debug_->register_handler(
+      "health", [this](const std::string&, std::string*) {
+        if (health_ == nullptr) return std::string("health monitor off\n");
+        const std::string report = health_->report();
+        return report.empty() ? std::string("healthy\n") : report + "\n";
+      });
 }
 
 std::string Scheduler::snapshot_json() const {
@@ -247,8 +374,12 @@ RunResult Scheduler::run() {
   running_ = true;
   RunResult result;
   std::uint64_t dispatched = 0;
+  service_debug();  // safepoint: catch up with clients before dispatching
 
   for (;;) {
+    // Safepoint: a busy loop that never parks (so the clock never
+    // advances) still answers `scriptctl top` every few dozen steps.
+    if ((dispatched & 63) == 0) service_debug();
     // Same-instant ordering: deadlines before faults ("cancel beats
     // crash"); timers already beat both because advance_clock pops them
     // before firing either.
@@ -341,7 +472,9 @@ RunResult Scheduler::run() {
                     obs::kAutoTime, obs::kNoPid, obs::kNoLane, "deadlock",
                     "", static_cast<double>(result.blocked.size())});
     if (flight_ != nullptr) flight_->trigger_dump("deadlock");
+    if (timeline_ != nullptr) timeline_->trigger_dump("deadlock");
   }
+  service_debug();  // safepoint: drain any last requests before returning
   return result;
 }
 
@@ -989,6 +1122,9 @@ bool Scheduler::advance_clock() {
                     now_, obs::kNoPid, obs::kNoLane, "virtual_time", "",
                     static_cast<double>(now_)});
     if (now_ != before && health_ != nullptr) health_->poll(now_);
+    // Safepoint: virtual-time progress is when a paced (throttled)
+    // workload has something new to show a live dashboard.
+    if (now_ != before) service_debug();
     while (!timers_.empty() && timers_.top().due <= now_) {
       const Timer t = timers_.top();
       timers_.pop();

@@ -34,10 +34,14 @@ class FlightRecorder;
 struct FlightRecorderOptions;
 class HealthMonitor;
 class Inspector;
+class Timeline;
+struct TimelineOptions;
 class TraceExporter;
 }
 
 namespace script::runtime {
+
+class DebugEndpoint;
 
 enum class SchedulePolicy : std::uint8_t {
   Fifo,     // deterministic round-robin
@@ -307,6 +311,40 @@ class Scheduler {
   bool health_enabled() const { return health_ != nullptr; }
   obs::HealthMonitor* health_monitor() { return health_.get(); }
 
+  /// Arm the continuous time-series recorder: per-epoch event rates,
+  /// gauge trajectories, and derived latency quantiles, keyed by script
+  /// lane, over a bounded retention window (obs/timeline.hpp). Like the
+  /// flight recorder it auto-dumps on failure escalations; unlike it,
+  /// its dumps are history, not an event log. Idempotent. Setting
+  /// $SCRIPT_TIMELINE=<base path> arms at construction the way
+  /// $SCRIPT_FLIGHT does. Also backs the HealthMonitor's burn-rate
+  /// windows (wired automatically in either arming order).
+  obs::Timeline& arm_timeline();
+  obs::Timeline& arm_timeline(obs::TimelineOptions opts);
+  bool timeline_armed() const { return timeline_ != nullptr; }
+  obs::Timeline* timeline() { return timeline_.get(); }
+  /// Dump the timeline to `path`; false if unarmed or IO failed.
+  bool write_timeline(const std::string& path) const;
+
+  /// The scheduler-owned Inspector, created (with this scheduler
+  /// attached) on first use. Script instances, lock tables, and
+  /// supervisors can attach here too; the debug endpoint's `inspect`
+  /// command serves its snapshots.
+  obs::Inspector& inspector();
+
+  /// Arm the live debug endpoint on a Unix-domain socket at `path`
+  /// (runtime/debug_endpoint.hpp): `scriptctl top`/`watch`/`inspect`
+  /// attach to the running scheduler through it. Serviced only at
+  /// safepoints (run() entry/exit, clock advances, every few dozen
+  /// dispatches), never blocking, read-only — golden traces and
+  /// explore() are unaffected. Arms the timeline too (`timeline` and
+  /// `events` need it). Returns false if the socket cannot be bound.
+  /// Setting $SCRIPT_DEBUG_SOCK=<path> arms at construction; when
+  /// several schedulers share one process the n-th gets "<path>.n".
+  bool arm_debug_endpoint(const std::string& path);
+  bool debug_endpoint_armed() const { return debug_ != nullptr; }
+  DebugEndpoint* debug_endpoint() { return debug_.get(); }
+
   /// Live structured snapshot of the scheduler: clock, queue depths,
   /// and per-fiber state (Done fibers are elided unless crashed).
   std::string snapshot_json() const;
@@ -346,6 +384,12 @@ class Scheduler {
   void maybe_purge_timers();
   /// Return a Done fiber's stack to the pool (scheduler stack only).
   void reclaim_stack(Fiber& f);
+
+  /// Debug-endpoint safepoint: service pending requests. One null check
+  /// when unarmed; never blocks, never schedules.
+  void service_debug();
+  /// Wire up the endpoint's command handlers (arm_debug_endpoint).
+  void register_debug_handlers();
 
   /// Fire every due fault of the installed plan. Crashes unwind the
   /// victim synchronously (see kill_now); returns true if anything
@@ -424,6 +468,9 @@ class Scheduler {
   std::unique_ptr<obs::CausalTracker> causal_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::HealthMonitor> health_;
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<obs::Inspector> inspector_;
+  std::unique_ptr<DebugEndpoint> debug_;
   std::string trace_path_;  // from $SCRIPT_TRACE; written in the dtor
   std::vector<std::unique_ptr<Fiber>> fibers_;
   ReadyQueueT<ProcessId, kNoProcess> ready_;

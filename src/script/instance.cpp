@@ -5,6 +5,7 @@
 #include "obs/health.hpp"
 #include "obs/inspector.hpp"
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 #include "support/panic.hpp"
 
 namespace script::core {
@@ -1006,8 +1007,14 @@ void ScriptInstance::notify_state_change() {
 }
 
 std::int32_t ScriptInstance::obs_lane() {
-  if (obs_lane_ == obs::kNoLane)
+  if (obs_lane_ == obs::kNoLane) {
     obs_lane_ = scheduler().bus().add_lane(name_);
+    // Announce the lane as a timeline series identity, so an armed
+    // timeline shows this script (idle or not) from the moment it
+    // exists rather than from its first event.
+    if (obs::Timeline* tl = scheduler().timeline())
+      tl->declare_lane(obs_lane_);
+  }
   return obs_lane_;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeline.hpp"
+
 namespace {
 
 using script::obs::Event;
@@ -221,6 +223,121 @@ TEST(HealthMonitorTest, ReportIsEmptyWhenHealthyAndSummarizesOtherwise) {
   EXPECT_NE(report.find("[pay] enroll p50/p99"), std::string::npos);
   EXPECT_FALSE(report.empty());
   EXPECT_NE(report.back(), '\n');  // sections are joined by the caller
+}
+
+// ---- Burn-rate alerting (timeline-backed multi-window) ----
+
+// Shorthand: a Timeline with epochs much shorter than the burn windows,
+// wired into the monitor the way Scheduler::arm_timeline does it.
+script::obs::TimelineOptions burn_timeline_opts() {
+  script::obs::TimelineOptions opts;
+  opts.epoch_ticks = 50;
+  return opts;
+}
+
+SloConfig burn_slo() {
+  SloConfig slo;
+  slo.makespan = 10;
+  slo.window = 100;  // fast = 400 ticks, slow = 1600 ticks
+  slo.error_budget = 0.25;
+  slo.burn_threshold = 2.0;
+  return slo;
+}
+
+void publish_span(EventBus& bus, std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t number) {
+  bus.publish(perf_event(EventKind::SpanBegin, begin, number));
+  bus.publish(perf_event(EventKind::SpanEnd, end, number));
+}
+
+TEST(HealthMonitorTest, BurnRateLatchesWhenBothWindowsBurnAndRecovers) {
+  EventBus bus;
+  script::obs::Timeline tl(bus, burn_timeline_opts());
+  HealthMonitor hm(bus);
+  hm.set_timeline(&tl);
+  hm.watch_script(0, "pay", burn_slo());
+
+  // Every sample violating: both windows burn at 1/0.25 = 4x, above
+  // the 2x threshold — the alert latches once.
+  std::uint64_t number = 1;
+  for (std::uint64_t t = 100; t <= 800; t += 100)
+    publish_span(bus, t, t + 20, number++);
+  EXPECT_TRUE(hm.burn_latched(0));
+  EXPECT_EQ(hm.violations("health.burn_rate"), 1u);
+  EXPECT_GE(hm.burn_rate(0, 400), 2.0);
+
+  // Latched: further violations do not re-raise.
+  publish_span(bus, 850, 850 + 20, number++);
+  EXPECT_EQ(hm.violations("health.burn_rate"), 1u);
+
+  const std::string report = hm.report();
+  EXPECT_NE(report.find("burn fast/slow"), std::string::npos);
+  EXPECT_NE(report.find("[ALERT]"), std::string::npos);
+
+  // Healthy traffic pushes the bad epochs out of the fast window: the
+  // latch releases on the fast window alone (prompt recovery signal).
+  for (std::uint64_t t = 900; t <= 1300; t += 100)
+    publish_span(bus, t, t + 5, number++);
+  EXPECT_FALSE(hm.burn_latched(0));
+
+  // A renewed sustained burn raises a fresh alert.
+  for (std::uint64_t t = 1400; t <= 2100; t += 100)
+    publish_span(bus, t, t + 20, number++);
+  EXPECT_TRUE(hm.burn_latched(0));
+  EXPECT_EQ(hm.violations("health.burn_rate"), 2u);
+}
+
+TEST(HealthMonitorTest, BurnRateNeedsTheSlowWindowHotToo) {
+  EventBus bus;
+  script::obs::Timeline tl(bus, burn_timeline_opts());
+  HealthMonitor hm(bus);
+  hm.set_timeline(&tl);
+  hm.watch_script(0, "pay", burn_slo());
+
+  // Twelve healthy samples across the slow window...
+  std::uint64_t number = 1;
+  for (std::uint64_t t = 100; t <= 1200; t += 100)
+    publish_span(bus, t, t + 5, number++);
+  // ...then a violation burst inside the fast window: fast burns hot,
+  // but the slow window stays at 4/16 = budget exactly (burn 1x) — a
+  // brief blip must not page.
+  for (std::uint64_t t = 1300; t <= 1600; t += 100)
+    publish_span(bus, t - 90, t - 70, number++);
+
+  EXPECT_EQ(hm.violations("health.slo.makespan"), 4u);
+  EXPECT_GE(hm.burn_rate(0, 400), 2.0);
+  EXPECT_LT(hm.burn_rate(0, 1600), 2.0);
+  EXPECT_FALSE(hm.burn_latched(0));
+  EXPECT_EQ(hm.violations("health.burn_rate"), 0u);
+}
+
+TEST(HealthMonitorTest, BurnRateIsViolatingShareOverBudget) {
+  EventBus bus;
+  script::obs::Timeline tl(bus, burn_timeline_opts());
+  HealthMonitor hm(bus);
+  hm.set_timeline(&tl);
+  hm.watch_script(0, "pay", burn_slo());
+
+  // 1 violating of 4 samples in the window: share 0.25 == the budget,
+  // so the burn rate is exactly 1x ("spending as provisioned").
+  publish_span(bus, 100, 105, 1);
+  publish_span(bus, 200, 205, 2);
+  publish_span(bus, 300, 305, 3);
+  publish_span(bus, 400, 420, 4);
+  EXPECT_DOUBLE_EQ(hm.burn_rate(0, 400), 1.0);
+}
+
+TEST(HealthMonitorTest, NoBurnAlertingWithoutATimeline) {
+  EventBus bus;
+  HealthMonitor hm(bus);  // error budget set, but no set_timeline()
+  hm.watch_script(0, "pay", burn_slo());
+  for (std::uint64_t t = 100; t <= 2000; t += 100)
+    publish_span(bus, t, t + 20, t / 100);
+  EXPECT_EQ(hm.violations("health.burn_rate"), 0u);
+  EXPECT_FALSE(hm.burn_latched(0));
+  EXPECT_DOUBLE_EQ(hm.burn_rate(0, 400), 0.0);
+  // The makespan SLO itself still fires without burn accounting.
+  EXPECT_GT(hm.violations("health.slo.makespan"), 0u);
 }
 
 TEST(HealthMonitorTest, UnwatchStopsTracking) {

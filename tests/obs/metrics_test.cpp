@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "obs/health.hpp"  // RollingHistogram (built on Histogram)
+
 namespace {
 
 using script::obs::Event;
@@ -203,6 +205,107 @@ TEST(MetricsRegistryTest, PrometheusExposition) {
             std::string::npos);
   EXPECT_NE(text.find("enroll_latency_sum 4"), std::string::npos);
   EXPECT_NE(text.find("enroll_latency_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionGoldenPinned) {
+  // The debug endpoint's `metrics` command and scriptctl both serve
+  // this text verbatim — pin the whole document, not just substrings:
+  // name sanitization, map ordering (counters, then gauges, then
+  // histograms, each lexicographic), cumulative buckets, +Inf,
+  // _sum/_count trailer order.
+  MetricsRegistry reg;
+  reg.counter("script.enroll.ok").inc(2);
+  reg.counter("csp.rendezvous").inc();
+  reg.gauge("health.slo_ok@3", 7.5);
+  reg.histogram("makespan").observe(1);  // bucket le="2"
+  reg.histogram("makespan").observe(5);  // bucket le="8"
+
+  EXPECT_EQ(reg.expose_prometheus(),
+            "# TYPE csp_rendezvous counter\n"
+            "csp_rendezvous 1\n"
+            "# TYPE script_enroll_ok counter\n"
+            "script_enroll_ok 2\n"
+            "# TYPE health_slo_ok_3 gauge\n"
+            "health_slo_ok_3 7.5\n"
+            "# TYPE makespan histogram\n"
+            "makespan_bucket{le=\"2\"} 1\n"
+            "makespan_bucket{le=\"8\"} 2\n"
+            "makespan_bucket{le=\"+Inf\"} 2\n"
+            "makespan_sum 6\n"
+            "makespan_count 2\n");
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // empty: defined as 0
+
+  Histogram one;
+  one.observe(5);
+  // A single sample answers every quantile exactly — interpolation
+  // must not hand back a bucket bound.
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 5.0);
+
+  // Same-bucket samples: interpolated quantiles stay clamped inside
+  // [min, max], never at the bucket's wider bounds.
+  Histogram packed;
+  packed.observe(5);
+  packed.observe(6);
+  packed.observe(7);  // all bucket [4, 8)
+  EXPECT_DOUBLE_EQ(packed.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(packed.quantile(1.0), 7.0);
+  const double p50 = packed.quantile(0.5);
+  EXPECT_GE(p50, 5.0);
+  EXPECT_LE(p50, 7.0);
+}
+
+TEST(HistogramTest, AbsorbHandlesEmptySides) {
+  Histogram a, b;
+  a.absorb(b);  // empty absorbs empty: still empty
+  EXPECT_EQ(a.count(), 0u);
+
+  b.observe(3);
+  b.observe(9);
+  a.absorb(b);  // empty absorbs full: adopts min/max wholesale
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+  Histogram c;
+  a.absorb(c);  // full absorbs empty: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(RollingHistogramTest, EpochBoundaryRollover) {
+  script::obs::RollingHistogram rh(100);
+  // count==0 merged: the empty window is a valid state.
+  EXPECT_EQ(rh.merged().count(), 0u);
+
+  rh.observe(99, 1);   // last tick of epoch 0
+  rh.observe(100, 2);  // first tick of epoch 1: rotation, both visible
+  EXPECT_EQ(rh.merged().count(), 2u);
+  EXPECT_DOUBLE_EQ(rh.merged().min(), 1.0);
+  EXPECT_DOUBLE_EQ(rh.merged().max(), 2.0);
+
+  // merged() spanning exactly two epochs: epoch 2 evicts epoch 0 only.
+  rh.observe(200, 3);
+  const Histogram merged = rh.merged();
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.min(), 2.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 3.0);
+}
+
+TEST(RollingHistogramTest, SingleSampleWindow) {
+  script::obs::RollingHistogram rh(50);
+  rh.observe(10, 42);
+  const Histogram m = rh.merged();
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(m.quantile(0.99), 42.0);
 }
 
 }  // namespace

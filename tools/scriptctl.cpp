@@ -1,40 +1,78 @@
 // scriptctl — inspect a Script runtime from the command line.
 //
-//   scriptctl inspect <snapshot.json> [--raw]   render an Inspector
-//                                               snapshot (Scheduler::
-//                                               attach_inspector +
-//                                               Inspector::write_snapshot)
-//                                               as a human report; --raw
-//                                               prints the JSON verbatim
-//   scriptctl flight <dump.flight.json> [--tail N]
-//                                               summarize a flight-
-//                                               recorder dump: counts,
-//                                               drops, trigger, and the
-//                                               last N events (default 20)
+// Post-mortem (files):
+//   scriptctl inspect <snapshot.json> [--raw]     Inspector snapshot report
+//   scriptctl flight <dump.flight.json> [--tail N] flight-recorder summary
+//   scriptctl timeline <dump.timeline.json> [--raw] [--series PREFIX]
+//                                               [--epochs N]
+//                                                 time-series history report
+//   scriptctl top --from <dump.timeline.json> [--inspect <snapshot.json>]
+//                                                 one dashboard frame from
+//                                                 committed artifacts (CI)
+//   scriptctl watch --from <dump.timeline.json>   print a dump's recent
+//                                                 events once
 //
-// Snapshots come from Inspector::write_snapshot() (programs typically
-// expose a debug hook or write one on SIGUSR-style commands); flight
-// dumps are written automatically on crash escalation, deadlock, and
-// supervisor give-up, or by $SCRIPT_FLIGHT=<base>. Both renderings are
-// library functions (render_inspect_report / render_flight_report), so
-// tests pin them without exec'ing this binary.
+// Live (the same commands pointed at a debug socket — a scheduler armed
+// with arm_debug_endpoint() or $SCRIPT_DEBUG_SOCK=<path>):
+//   scriptctl top <socket> [--interval-ms N] [--count N] [--once]
+//                                                 auto-refreshing dashboard:
+//                                                 per-script rates,
+//                                                 sparklines, SLO burn
+//   scriptctl watch <socket> [--interval-ms N] [--count N]
+//                                                 follow events as they
+//                                                 happen
+//   scriptctl inspect|timeline|metrics|health|ping <socket>
+//                                                 one scrape
+//
+// The endpoint speaks a line protocol ("<cmd> [args]\n" →
+// "ok <nbytes>\n<payload>" or "err <reason>\n"); requests are serviced
+// at scheduler safepoints, so a paused program answers when it next
+// reaches one. Every rendering is a library function
+// (render_inspect_report / render_timeline_report / render_top_report /
+// render_event_lines), so tests pin them without exec'ing this binary.
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "obs/inspector.hpp"
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_read.hpp"
 
 namespace {
 
+constexpr const char* kVersion = "0.8.0";
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: scriptctl inspect <snapshot.json> [--raw]\n"
-               "       scriptctl flight <dump.flight.json> [--tail N]\n");
+  std::fprintf(
+      stderr,
+      "usage: scriptctl <command> [args]\n"
+      "\n"
+      "  inspect <snapshot.json|socket> [--raw]\n"
+      "  flight <dump.flight.json> [--tail N]\n"
+      "  timeline <dump.timeline.json|socket> [--raw] [--series PREFIX]\n"
+      "           [--epochs N]\n"
+      "  top <socket> [--interval-ms N] [--count N] [--once]\n"
+      "  top --from <dump.timeline.json> [--inspect <snapshot.json>]\n"
+      "  watch <socket> [--interval-ms N] [--count N]\n"
+      "  watch --from <dump.timeline.json>\n"
+      "  metrics <socket|file>\n"
+      "  health <socket>\n"
+      "  ping <socket>\n"
+      "\n"
+      "  --help     this text (to stdout, exit 0)\n"
+      "  --version  print the version\n");
   return 2;
 }
 
@@ -45,6 +83,135 @@ bool slurp(const char* path, std::string& out) {
   ss << in.rdbuf();
   out = ss.str();
   return true;
+}
+
+bool is_socket(const char* path) {
+  struct stat st{};
+  return ::stat(path, &st) == 0 && S_ISSOCK(st.st_mode);
+}
+
+/// Blocking client for the debug endpoint's line protocol.
+class DebugClient {
+ public:
+  ~DebugClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect(const char* path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (std::strlen(path) >= sizeof(addr.sun_path)) return false;
+    std::strcpy(addr.sun_path, path);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request; fill `payload` on ok, `err` on failure. False on
+  /// a transport error (connection unusable afterwards).
+  bool request(const std::string& line, std::string& payload,
+               std::string& err) {
+    std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n <= 0) return fail(err);
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string header;
+    if (!read_line(header)) return fail(err);
+    if (header.rfind("ok ", 0) == 0) {
+      const auto len = static_cast<std::size_t>(
+          std::strtoull(header.c_str() + 3, nullptr, 10));
+      payload.clear();
+      payload.reserve(len);
+      while (payload.size() < len) {
+        const std::size_t want =
+            std::min(len - payload.size(), buf_.size());
+        if (want == 0) break;
+        payload += buf_.substr(0, want);
+        buf_.erase(0, want);
+        if (payload.size() == len) break;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0) return fail(err);
+        buf_.append(chunk, static_cast<std::size_t>(n));
+      }
+      return true;
+    }
+    if (header.rfind("err ", 0) == 0) {
+      err = header.substr(4);
+      return false;
+    }
+    err = "malformed response: " + header;
+    return false;
+  }
+
+ private:
+  bool fail(std::string& err) {
+    if (err.empty()) err = "connection lost";
+    return false;
+  }
+
+  bool read_line(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the current message
+};
+
+/// Fetch `cmd`'s payload from a socket, or — when `source` is a regular
+/// file — its contents. Returns false with a message on stderr.
+bool fetch(const char* source, const std::string& cmd, std::string& out) {
+  if (is_socket(source)) {
+    DebugClient client;
+    if (!client.connect(source)) {
+      std::fprintf(stderr, "scriptctl: cannot connect to %s: %s\n", source,
+                   std::strerror(errno));
+      return false;
+    }
+    std::string err;
+    if (!client.request(cmd, out, err)) {
+      std::fprintf(stderr, "scriptctl: %s: %s\n", source, err.c_str());
+      return false;
+    }
+    return true;
+  }
+  if (!slurp(source, out)) {
+    std::fprintf(stderr, "scriptctl: cannot open %s\n", source);
+    return false;
+  }
+  return true;
+}
+
+std::optional<script::obs::json::Value> parse_or_complain(
+    const char* what, const std::string& text) {
+  std::string err;
+  auto doc = script::obs::json::parse(text, &err);
+  if (!doc.has_value())
+    std::fprintf(stderr, "scriptctl: %s is not valid JSON: %s\n", what,
+                 err.c_str());
+  return doc;
 }
 
 int cmd_inspect(int argc, char** argv) {
@@ -58,22 +225,14 @@ int cmd_inspect(int argc, char** argv) {
       return usage();
   }
   std::string text;
-  if (!slurp(path, text)) {
-    std::fprintf(stderr, "scriptctl: cannot open %s\n", path);
-    return 2;
-  }
+  if (!fetch(path, "inspect", text)) return 2;
   if (raw) {
     std::fputs(text.c_str(), stdout);
     if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
     return 0;
   }
-  std::string err;
-  const auto doc = script::obs::json::parse(text, &err);
-  if (!doc.has_value()) {
-    std::fprintf(stderr, "scriptctl: %s is not valid JSON: %s\n", path,
-                 err.c_str());
-    return 1;
-  }
+  const auto doc = parse_or_complain(path, text);
+  if (!doc.has_value()) return 1;
   std::fputs(script::obs::render_inspect_report(*doc).c_str(), stdout);
   return 0;
 }
@@ -101,13 +260,235 @@ int cmd_flight(int argc, char** argv) {
   return 0;
 }
 
+int cmd_timeline(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* path = argv[0];
+  bool raw = false;
+  std::string prefix;
+  std::size_t epochs = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--raw") == 0)
+      raw = true;
+    else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc)
+      prefix = argv[++i];
+    else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
+      epochs =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else
+      return usage();
+  }
+  std::string text;
+  if (!fetch(path, "timeline", text)) return 2;
+  if (raw) {
+    std::fputs(text.c_str(), stdout);
+    if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+    return 0;
+  }
+  const auto doc = parse_or_complain(path, text);
+  if (!doc.has_value()) return 1;
+  std::fputs(
+      script::obs::render_timeline_report(*doc, prefix, epochs).c_str(),
+      stdout);
+  return 0;
+}
+
+int cmd_metrics(int argc, char** argv) {
+  if (argc != 1) return usage();
+  std::string text;
+  if (!fetch(argv[0], "metrics", text)) return 2;
+  std::fputs(text.c_str(), stdout);
+  if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
+int cmd_health(int argc, char** argv) {
+  if (argc != 1) return usage();
+  std::string text;
+  if (!fetch(argv[0], "health", text)) return 2;
+  std::fputs(text.c_str(), stdout);
+  if (!text.empty() && text.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
+int cmd_ping(int argc, char** argv) {
+  if (argc != 1) return usage();
+  std::string text;
+  if (!fetch(argv[0], "ping", text)) return 2;
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+int cmd_watch(int argc, char** argv) {
+  const char* socket_path = nullptr;
+  const char* from = nullptr;
+  long interval_ms = 500;
+  long count = -1;  // forever
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc)
+      from = argv[++i];
+    else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc)
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc)
+      count = std::strtol(argv[++i], nullptr, 10);
+    else if (socket_path == nullptr)
+      socket_path = argv[i];
+    else
+      return usage();
+  }
+  if (from != nullptr) {
+    // A dump's "recent" section, printed once — the CI-able mode.
+    std::string text;
+    if (!slurp(from, text)) {
+      std::fprintf(stderr, "scriptctl: cannot open %s\n", from);
+      return 2;
+    }
+    const auto doc = parse_or_complain(from, text);
+    if (!doc.has_value()) return 1;
+    const script::obs::json::Value* recent = doc->get("recent");
+    std::uint64_t last = 0;
+    std::fputs(script::obs::render_event_lines(
+                   recent != nullptr ? *recent : *doc, 0, &last)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+  if (socket_path == nullptr) return usage();
+  DebugClient client;
+  if (!client.connect(socket_path)) {
+    std::fprintf(stderr, "scriptctl: cannot connect to %s: %s\n", socket_path,
+                 std::strerror(errno));
+    return 2;
+  }
+  std::uint64_t last_seq = 0;
+  for (long polls = 0; count < 0 || polls < count; ++polls) {
+    std::string payload, err;
+    if (!client.request("events 256", payload, err)) {
+      std::fprintf(stderr, "scriptctl: %s: %s\n", socket_path, err.c_str());
+      return 1;
+    }
+    const auto doc = parse_or_complain(socket_path, payload);
+    if (!doc.has_value()) return 1;
+    const std::string lines =
+        script::obs::render_event_lines(*doc, last_seq, &last_seq);
+    if (!lines.empty()) {
+      std::fputs(lines.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (count < 0 || polls + 1 < count)
+      ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+  return 0;
+}
+
+int cmd_top(int argc, char** argv) {
+  const char* socket_path = nullptr;
+  const char* from = nullptr;
+  const char* inspect_file = nullptr;
+  long interval_ms = 1000;
+  long count = -1;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--from") == 0 && i + 1 < argc)
+      from = argv[++i];
+    else if (std::strcmp(argv[i], "--inspect") == 0 && i + 1 < argc)
+      inspect_file = argv[++i];
+    else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc)
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc)
+      count = std::strtol(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--once") == 0)
+      count = 1;
+    else if (socket_path == nullptr)
+      socket_path = argv[i];
+    else
+      return usage();
+  }
+
+  if (from != nullptr) {
+    // One frame from committed artifacts — what CI pins.
+    std::string text;
+    if (!slurp(from, text)) {
+      std::fprintf(stderr, "scriptctl: cannot open %s\n", from);
+      return 2;
+    }
+    const auto dump = parse_or_complain(from, text);
+    if (!dump.has_value()) return 1;
+    std::optional<script::obs::json::Value> inspect;
+    if (inspect_file != nullptr) {
+      std::string itext;
+      if (!slurp(inspect_file, itext)) {
+        std::fprintf(stderr, "scriptctl: cannot open %s\n", inspect_file);
+        return 2;
+      }
+      inspect = parse_or_complain(inspect_file, itext);
+      if (!inspect.has_value()) return 1;
+    }
+    std::fputs(script::obs::render_top_report(
+                   *dump, inspect.has_value() ? &*inspect : nullptr)
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (socket_path == nullptr) return usage();
+  DebugClient client;
+  if (!client.connect(socket_path)) {
+    std::fprintf(stderr, "scriptctl: cannot connect to %s: %s\n", socket_path,
+                 std::strerror(errno));
+    return 2;
+  }
+  const bool live_screen = count != 1;
+  for (long frames = 0; count < 0 || frames < count; ++frames) {
+    std::string dump_text, inspect_text, err;
+    if (!client.request("timeline", dump_text, err) ||
+        !client.request("inspect", inspect_text, err)) {
+      std::fprintf(stderr, "scriptctl: %s: %s\n", socket_path, err.c_str());
+      return 1;
+    }
+    const auto dump = parse_or_complain(socket_path, dump_text);
+    if (!dump.has_value()) return 1;
+    const auto inspect = script::obs::json::parse(inspect_text);
+    if (live_screen) std::fputs("\033[H\033[2J", stdout);  // clear + home
+    std::fputs(script::obs::render_top_report(
+                   *dump, inspect.has_value() ? &*inspect : nullptr)
+                   .c_str(),
+               stdout);
+    std::fflush(stdout);
+    if (count < 0 || frames + 1 < count)
+      ::usleep(static_cast<useconds_t>(interval_ms) * 1000);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  if (std::strcmp(argv[1], "inspect") == 0)
-    return cmd_inspect(argc - 2, argv + 2);
-  if (std::strcmp(argv[1], "flight") == 0)
-    return cmd_flight(argc - 2, argv + 2);
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "--help") == 0 || std::strcmp(cmd, "-h") == 0 ||
+      std::strcmp(cmd, "help") == 0) {
+    // --help goes to stdout and succeeds; bad invocations get the same
+    // text on stderr with exit 2.
+    std::printf(
+        "scriptctl — inspect a Script runtime (live over a debug socket,\n"
+        "or post-mortem from dump files).\n\n");
+    std::fflush(stdout);
+    if (dup2(STDOUT_FILENO, STDERR_FILENO) < 0) return 1;
+    usage();
+    return 0;
+  }
+  if (std::strcmp(cmd, "--version") == 0) {
+    std::printf("scriptctl %s\n", kVersion);
+    return 0;
+  }
+  if (std::strcmp(cmd, "inspect") == 0) return cmd_inspect(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "flight") == 0) return cmd_flight(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "timeline") == 0)
+    return cmd_timeline(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "metrics") == 0) return cmd_metrics(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "health") == 0) return cmd_health(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "ping") == 0) return cmd_ping(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "watch") == 0) return cmd_watch(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "top") == 0) return cmd_top(argc - 2, argv + 2);
+  std::fprintf(stderr, "scriptctl: unknown command '%s'\n", cmd);
   return usage();
 }
