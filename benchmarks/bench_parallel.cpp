@@ -1,0 +1,180 @@
+// P1 — parallel execution mode: speedup vs. cores.
+//
+// The same two C7 workloads (rendezvous throughput, fiber churn), run
+// once on the deterministic single-threaded backend (workers=0, the
+// baseline) and then under the work-stealing M:N mode at 2/4/8
+// workers. Every configuration runs the *identical* program — groups
+// are created either way; the deterministic backend just ignores
+// placement — so the ratio is a pure backend comparison.
+//
+// Honesty clause: speedup gauges are only meaningful when the host has
+// at least as many cores as workers. The `cores` gauge records what
+// this machine had, and tools/check_bench_regression.py enforces the
+// 3x floor on rendezvous.w8.speedup_x ONLY when cores >= 8; on a
+// smaller host (the 1-core CI container included) the floors are
+// reported but not gated. What a starved host still shows is the
+// cache-locality design: group-pinned depth-first execution keeps a
+// rendezvous pair on one core, so parallel mode degrades gracefully
+// instead of thrashing.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "csp/net.hpp"
+
+namespace {
+
+using script::runtime::GroupId;
+using script::runtime::Scheduler;
+using script::runtime::SchedulerOptions;
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count()) /
+         1000.0;
+}
+
+SchedulerOptions opts_for(std::size_t workers) {
+  SchedulerOptions opts;
+  opts.workers = workers;
+  opts.seed = 42;
+  return opts;
+}
+
+constexpr std::size_t kGroups = 16;
+
+// C7 rendezvous throughput, sharded: kGroups independent Nets, each
+// with kPairs sender/receiver pairs exchanging kMsgs messages.
+constexpr std::size_t kPairs = 8;
+constexpr int kMsgs = 200;
+
+double rendezvous_wall_ms(std::size_t workers, std::uint64_t* steals) {
+  Scheduler sched(opts_for(workers));
+  std::vector<std::unique_ptr<script::csp::Net>> nets;
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    nets.push_back(std::make_unique<script::csp::Net>(sched));
+    script::csp::Net& net = *nets.back();
+    const GroupId gid = sched.new_group();
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      const auto rx = net.spawn_process_in_group(
+          gid, "rx" + std::to_string(g) + "_" + std::to_string(p), [&net] {
+            for (int m = 0; m < kMsgs; ++m)
+              if (!net.recv_any<int>("m")) std::abort();
+          });
+      net.spawn_process_in_group(
+          gid, "tx" + std::to_string(g) + "_" + std::to_string(p),
+          [&net, rx] {
+            for (int m = 0; m < kMsgs; ++m)
+              if (!net.send(rx, "m", m)) std::abort();
+          });
+    }
+  }
+  const double ms = wall_ms([&] {
+    if (!sched.run().ok()) std::abort();
+  });
+  *steals = sched.steal_count();
+  return ms;
+}
+
+// C7 churn, sharded: waves of short-lived fibers through one scheduler,
+// scattered over kGroups groups, each fiber yielding once and sleeping
+// one tick (so the timer/quiescence path is part of the measurement).
+constexpr std::size_t kWaves = 10;
+constexpr std::size_t kPerGroup = 50;
+
+double churn_wall_ms(std::size_t workers, std::uint64_t* steals) {
+  Scheduler sched(opts_for(workers));
+  const double ms = wall_ms([&] {
+    for (std::size_t w = 0; w < kWaves; ++w) {
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        const GroupId gid = sched.new_group();
+        for (std::size_t i = 0; i < kPerGroup; ++i)
+          sched.spawn_in_group(gid, "c", [&sched] {
+            sched.yield();
+            sched.sleep_for(1);
+          });
+      }
+      if (!sched.run().ok()) std::abort();
+    }
+  });
+  *steals = sched.steal_count();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("P1", "parallel mode: speedup vs. cores on C7 workloads");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host cores: %u\n\n", cores);
+
+  bench::Telemetry telemetry("parallel");
+  telemetry.gauge("cores", static_cast<double>(cores));
+
+  const std::size_t worker_counts[] = {0, 2, 4, 8};
+
+  {
+    const double total_msgs =
+        static_cast<double>(kGroups * kPairs) * kMsgs;
+    bench::Table table({"workers", "wall ms", "msgs/ms", "speedup",
+                        "steals"});
+    double base_ms = 0.0;
+    for (const std::size_t w : worker_counts) {
+      std::uint64_t steals = 0;
+      const double ms = rendezvous_wall_ms(w, &steals);
+      if (w == 0) base_ms = ms;
+      const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
+      table.add_row({w == 0 ? "0 (det)" : std::to_string(w),
+                     bench::Table::num(ms, 2),
+                     bench::Table::num(total_msgs / ms, 0),
+                     bench::Table::num(speedup, 2),
+                     bench::Table::integer(static_cast<std::int64_t>(
+                         steals))});
+      const std::string row = "rendezvous.w" + std::to_string(w);
+      telemetry.gauge(row + ".msgs_per_ms", total_msgs / ms);
+      if (w != 0) telemetry.gauge(row + ".speedup_x", speedup);
+    }
+    table.print();
+  }
+
+  {
+    std::printf("\n");
+    const double total_fibers =
+        static_cast<double>(kWaves * kGroups * kPerGroup);
+    bench::Table table({"workers", "wall ms", "us/fiber", "speedup",
+                        "steals"});
+    double base_ms = 0.0;
+    for (const std::size_t w : worker_counts) {
+      std::uint64_t steals = 0;
+      const double ms = churn_wall_ms(w, &steals);
+      if (w == 0) base_ms = ms;
+      const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
+      table.add_row({w == 0 ? "0 (det)" : std::to_string(w),
+                     bench::Table::num(ms, 2),
+                     bench::Table::num(ms * 1000.0 / total_fibers, 2),
+                     bench::Table::num(speedup, 2),
+                     bench::Table::integer(static_cast<std::int64_t>(
+                         steals))});
+      const std::string row = "churn.w" + std::to_string(w);
+      telemetry.gauge(row + ".us_per_fiber_info", ms * 1000.0 / total_fibers);
+      if (w != 0) telemetry.gauge(row + ".speedup_x", speedup);
+    }
+    table.print();
+  }
+
+  bench::note("groups are the unit of stealing, so every rendezvous "
+              "pair stays on one core; speedup gauges are gated by the "
+              "regression checker only when the host has cores >= "
+              "workers (see the `cores` gauge).");
+  return 0;
+}

@@ -34,8 +34,14 @@ Net::Net(runtime::Scheduler& sched) : sched_(&sched) {
 Net::~Net() { sched_->remove_crash_hook(crash_hook_id_); }
 
 ProcessId Net::spawn_process(std::string name, std::function<void()> body) {
-  const auto pid = sched_->spawn(
-      std::move(name), [this, body = std::move(body)] {
+  return spawn_process_in_group(runtime::kInheritGroup, std::move(name),
+                                std::move(body));
+}
+
+ProcessId Net::spawn_process_in_group(runtime::GroupId gid, std::string name,
+                                      std::function<void()> body) {
+  const auto pid = sched_->spawn_in_group(
+      gid, std::move(name), [this, body = std::move(body)] {
         body();
         mark_terminated(sched_->current());
       });
@@ -452,6 +458,14 @@ Message Net::complete_with(PendingOp* parked, Dir my_dir, Message my_value) {
   if (my_dir == Dir::Recv) sched_->causal_edge(parked->owner, me, "msg");
   const ProcessId woken =
       parked->group != nullptr ? parked->group->owner : parked->owner;
+  // A Net's matching tables are unlocked: every communicator of one Net
+  // must live in the same scheduler group so rendezvous never crosses a
+  // worker. The parallel scheduler pins whole groups to workers, so this
+  // holds by construction when processes are placed via
+  // spawn_process_in_group; a mixed-group rendezvous is a placement bug.
+  SCRIPT_ASSERT(!sched_->parallel_mode() ||
+                    sched_->group_of(me) == sched_->group_of(woken),
+                "csp::Net rendezvous across scheduler groups");
   sched_->wake_at(woken, lat);
   if (lat > 0) sched_->sleep_for(lat);
   return result;

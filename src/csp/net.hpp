@@ -234,6 +234,13 @@ class Net {
   /// automatically (even if the body returns early).
   ProcessId spawn_process(std::string name, std::function<void()> body);
 
+  /// Same, but placed in an explicit scheduler group. Under the parallel
+  /// scheduler all communicators of one Net must share a group (the Net's
+  /// matching tables are unlocked); this is the placement hook for
+  /// running several independent Nets on different workers.
+  ProcessId spawn_process_in_group(runtime::GroupId gid, std::string name,
+                                   std::function<void()> body);
+
  private:
   friend class Alternative;
 

@@ -10,6 +10,8 @@
 
 namespace script::runtime {
 
+DebugEndpoint::IoHooks DebugEndpoint::io = {&::send, &::recv, &::accept4};
+
 DebugEndpoint::~DebugEndpoint() { close(); }
 
 bool DebugEndpoint::listen(const std::string& path) {
@@ -55,11 +57,15 @@ void DebugEndpoint::register_handler(const std::string& cmd, Handler fn) {
 
 bool DebugEndpoint::flush(Conn& c) {
   while (!c.out.empty()) {
-    const ssize_t n = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+    const ssize_t n = io.send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
     if (n > 0) {
       c.out.erase(0, static_cast<std::size_t>(n));
       continue;
     }
+    // EINTR is not an error: a signal (SIGCHLD, a profiler tick, a
+    // resize while someone watches `scriptctl top`) interrupting the
+    // send must not tear down the session. Retry the write.
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     return false;  // peer gone or hard error
   }
@@ -102,8 +108,11 @@ std::size_t DebugEndpoint::service() {
 
   // Accept every pending connection.
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
-    if (fd < 0) break;  // EAGAIN (or a transient error: try next time)
+    const int fd = io.accept(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // signal, not "no more clients"
+      break;  // EAGAIN (or a transient error: try next time)
+    }
     conns_.push_back(Conn{fd, {}, {}});
   }
 
@@ -112,7 +121,8 @@ std::size_t DebugEndpoint::service() {
     char buf[1024];
     if (!c.eof) {
       for (;;) {
-        const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+        const ssize_t n = io.recv(c.fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR) continue;  // signal: keep reading
         if (n > 0) {
           c.in.append(buf, static_cast<std::size_t>(n));
           if (c.in.size() > kMaxLine && c.in.find('\n') == std::string::npos) {
@@ -131,7 +141,25 @@ std::size_t DebugEndpoint::service() {
       c.in.erase(0, nl + 1);
       if (!line.empty()) handle_line(c, line);
     }
-    if (!flush(c) || (c.eof && c.out.empty())) {
+    if (!flush(c)) {
+      ::close(c.fd);
+      c.fd = -1;
+      continue;
+    }
+    if (c.out.size() > kMaxOut) {
+      // The kernel took what it would and the residue still exceeds the
+      // cap: the reader has stalled while requests kept coming. Shed
+      // the connection rather than buffer without bound. The queued
+      // payloads are torn down; a short diagnostic goes out best-effort
+      // so a merely-slow client sees *why* it was dropped.
+      ++sheds_;
+      c.out = "err overloaded: outbound buffer cap exceeded, shedding\n";
+      flush(c);
+      ::close(c.fd);
+      c.fd = -1;
+      continue;
+    }
+    if (c.eof && c.out.empty()) {
       ::close(c.fd);
       c.fd = -1;
     }

@@ -21,6 +21,9 @@
 // exactly nbytes).
 #pragma once
 
+#include <sys/socket.h>
+#include <sys/types.h>
+
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -61,6 +64,20 @@ class DebugEndpoint {
 
   std::uint64_t requests_served() const { return requests_; }
   std::size_t connection_count() const { return conns_.size(); }
+  /// Connections dropped because a stalled reader let the outbound
+  /// buffer exceed kMaxOut (the overload-shedding taxonomy's counted
+  /// shed, applied to the debug path).
+  std::uint64_t connections_shed() const { return sheds_; }
+
+  /// Test seams: the raw socket calls, overridable so unit tests can
+  /// inject EINTR and short writes without arranging real signal
+  /// delivery. Default to ::send / ::recv / ::accept4.
+  struct IoHooks {
+    ssize_t (*send)(int fd, const void* buf, size_t len, int flags);
+    ssize_t (*recv)(int fd, void* buf, size_t len, int flags);
+    int (*accept)(int fd, sockaddr* addr, socklen_t* alen, int flags);
+  };
+  static IoHooks io;
 
  private:
   struct Conn {
@@ -77,12 +94,18 @@ class DebugEndpoint {
 
   /// Guard against a client streaming garbage without a newline.
   static constexpr std::size_t kMaxLine = 4096;
+  /// Cap on per-connection buffered output. A client that stops reading
+  /// (a wedged `scriptctl watch`) would otherwise grow `out` by one
+  /// payload per safepoint, without bound; past the cap the connection
+  /// is shed instead.
+  static constexpr std::size_t kMaxOut = 1u << 20;  // 1 MiB
 
   int listen_fd_ = -1;
   std::string path_;
   std::map<std::string, Handler> handlers_;
   std::vector<Conn> conns_;
   std::uint64_t requests_ = 0;
+  std::uint64_t sheds_ = 0;
 };
 
 }  // namespace script::runtime

@@ -4,10 +4,13 @@
 
 #include "runtime/fault.hpp"
 #include "runtime/overload.hpp"
+#include "runtime/sanitizer_fiber.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/panic.hpp"
 
 namespace script::runtime {
+
+Fiber::~Fiber() { sanitizer::tsan_destroy_context(tsan_ctx_); }
 
 Fiber::Fiber(ProcessId id, std::string name, std::function<void()> body,
              Stack stack)
@@ -65,11 +68,11 @@ void Fiber::run_body() {
   } catch (...) {
     failure_ = std::current_exception();
   }
-  state_ = FiberState::Done;
+  set_state(FiberState::Done);
   SCRIPT_ASSERT(scheduler_ != nullptr, "fiber ran without a scheduler");
   scheduler_->on_fiber_done(*this);
-  // Final switch back to the scheduler loop; never returns.
-  scheduler_->switch_out();
+  // Final switch back to the dispatching context; never returns.
+  scheduler_->switch_out(*this);
 }
 
 }  // namespace script::runtime

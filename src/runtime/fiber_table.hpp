@@ -1,0 +1,118 @@
+// FiberTable — append-only fiber storage with lock-free readers.
+//
+// The deterministic scheduler kept fibers in a std::vector, which is
+// perfect until the parallel mode lets worker threads spawn (push_back
+// may reallocate) while other workers resolve pids (operator[]). This
+// table keeps the same contract — pids are dense indices, entries never
+// move — but stores fibers in fixed-size chunks behind an
+// acquire/release size counter:
+//   * push() allocates a chunk at most once per kChunk spawns, writes
+//     the slot, then release-publishes the new size. Parallel spawns
+//     serialize on the scheduler's spawn mutex; the deterministic mode
+//     calls it plainly.
+//   * operator[] acquire-loads the size once (the bounds assert) and
+//     then reads plain memory the release store already published.
+// Also carries RelaxedU64, the shared counter idiom for hot scheduler
+// tallies (now_, steps_, live_) that parallel workers update: relaxed
+// atomics compile to plain loads/stores on x86, so the deterministic
+// mode pays nothing measurable.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "support/panic.hpp"
+
+namespace script::runtime {
+
+/// A uint64 counter that tolerates cross-thread readers: all accesses
+/// are relaxed atomics (no ordering implied — pair with the scheduler's
+/// own synchronization). Drop-in for the plain counters it replaces.
+class RelaxedU64 {
+ public:
+  RelaxedU64(std::uint64_t v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  operator std::uint64_t() const {  // NOLINT(runtime/explicit)
+    return v_.load(std::memory_order_relaxed);
+  }
+  RelaxedU64& operator=(std::uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t operator++() {
+    return v_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint64_t operator++(int) {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t operator--() {
+    return v_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  }
+  RelaxedU64& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+template <typename T>
+class FiberTableT {
+ public:
+  static constexpr std::size_t kChunkBits = 10;
+  static constexpr std::size_t kChunk = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = 1 << 14;  // 16M fibers
+
+  FiberTableT() = default;
+  ~FiberTableT() { clear(); }
+
+  FiberTableT(const FiberTableT&) = delete;
+  FiberTableT& operator=(const FiberTableT&) = delete;
+
+  std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Append (single writer at a time; the parallel spawn path holds the
+  /// scheduler's spawn mutex). Returns the new element's index.
+  std::size_t push(std::unique_ptr<T> t) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    const std::size_t c = i >> kChunkBits;
+    SCRIPT_ASSERT(c < kMaxChunks, "fiber table full");
+    if (chunks_[c] == nullptr) chunks_[c] = new Chunk{};
+    (*chunks_[c])[i & (kChunk - 1)] = t.release();
+    size_.store(i + 1, std::memory_order_release);
+    return i;
+  }
+
+  T& operator[](std::size_t i) const {
+    SCRIPT_ASSERT(i < size(), "unknown process id");
+    return *(*chunks_[i >> kChunkBits])[i & (kChunk - 1)];
+  }
+
+  /// Destroy every fiber (in spawn order, matching the std::vector
+  /// teardown semantics ~Scheduler relies on) and reset to empty.
+  void clear() {
+    const std::size_t n = size_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      delete (*chunks_[i >> kChunkBits])[i & (kChunk - 1)];
+      (*chunks_[i >> kChunkBits])[i & (kChunk - 1)] = nullptr;
+    }
+    for (auto& c : chunks_) {
+      delete c;
+      c = nullptr;
+    }
+    size_.store(0, std::memory_order_release);
+  }
+
+ private:
+  using Chunk = std::array<T*, kChunk>;
+  std::atomic<std::size_t> size_{0};
+  std::array<Chunk*, kMaxChunks> chunks_{};
+};
+
+}  // namespace script::runtime

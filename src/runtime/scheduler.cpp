@@ -17,6 +17,7 @@
 #include "obs/timeline.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/debug_endpoint.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/sanitizer_fiber.hpp"
 #include "support/panic.hpp"
 
@@ -80,14 +81,25 @@ std::string describe(const RunResult& result, const Scheduler& sched) {
 
 Scheduler::Scheduler(SchedulerOptions opts)
     : opts_(opts), rng_(opts.seed), stack_pool_(opts.stack_pool_max_idle) {
-  bus_.set_clock([this] { return now_; });
+  bus_.set_clock([this] { return static_cast<std::uint64_t>(now_); });
   // The prose TraceLog is a bus subscriber: script-layer milestones are
   // published once and worded here, keeping log and exporters in sync.
   obs::install_script_log_bridge(
       bus_, trace_, [this](obs::Pid p) { return name_of(p); });
   if (opts_.event_history != 0) bus_.set_history(opts_.event_history);
+  if (opts_.workers > 0) {
+    // M:N work-stealing backend. Workers publish and recycle stacks
+    // concurrently, so the bus and pool switch to their locked modes.
+    bus_.set_threaded(true);
+    stack_pool_.set_threaded(true);
+    parallel_ = std::make_unique<ParallelRuntime>(
+        *this, opts_.workers,
+        opts_.group_quantum == 0 ? 128 : opts_.group_quantum);
+  }
   if (const char* path = std::getenv("SCRIPT_TRACE");
-      path != nullptr && *path != '\0') {
+      path != nullptr && *path != '\0' && opts_.workers == 0) {
+    // Tracing needs causal tracking, which the parallel mode rejects —
+    // env-armed tracing quietly stays off there.
     enable_tracing();
     trace_path_ = path;
   }
@@ -137,6 +149,8 @@ Scheduler::~Scheduler() {
       std::fprintf(stderr, "SCRIPT_TRACE: could not write %s\n",
                    path.c_str());
   }
+  // Stop the worker threads before anything they might touch goes away.
+  parallel_.reset();
   // Destroy fibers before implicit member teardown: a fiber body may own
   // the last reference to an object whose destructor calls back into the
   // scheduler (csp::Net deregisters its crash hook), and crash_hooks_ —
@@ -198,7 +212,7 @@ obs::Timeline& Scheduler::arm_timeline() {
 obs::Timeline& Scheduler::arm_timeline(obs::TimelineOptions opts) {
   if (timeline_ == nullptr) {
     timeline_ = std::make_unique<obs::Timeline>(bus_, std::move(opts));
-    timeline_->set_clock([this] { return now_; });
+    timeline_->set_clock([this] { return static_cast<std::uint64_t>(now_); });
     timeline_->set_lane_namer(
         [this](std::int32_t lane) { return bus_.lane_name(lane); });
     if (health_ != nullptr) health_->set_timeline(timeline_.get());
@@ -271,6 +285,19 @@ void Scheduler::register_debug_handlers() {
         reg.gauge("scheduler.live_fibers", static_cast<double>(live_));
         reg.gauge("scheduler.ready", static_cast<double>(ready_.size()));
         reg.gauge("scheduler.timers", static_cast<double>(timers_.size()));
+        if (parallel_ != nullptr) {
+          reg.gauge("scheduler.workers",
+                    static_cast<double>(parallel_->workers()));
+          reg.gauge("scheduler.steals",
+                    static_cast<double>(parallel_->steals()));
+        }
+        auto& served = reg.counter("debug.requests_served");
+        if (debug_->requests_served() > served.value())
+          served.inc(debug_->requests_served() - served.value());
+        if (debug_->connections_shed() != 0) {
+          auto& shed = reg.counter("debug.connections_shed");
+          shed.inc(debug_->connections_shed() - shed.value());
+        }
         if (timeline_ != nullptr) timeline_->export_metrics(reg);
         if (flight_ != nullptr) flight_->export_metrics(reg);
         if (health_ != nullptr) {
@@ -292,8 +319,8 @@ void Scheduler::register_debug_handlers() {
 std::string Scheduler::snapshot_json() const {
   obs::json::Writer w;
   w.object();
-  w.key("now").value(now_);
-  w.key("steps").value(steps_);
+  w.key("now").value(static_cast<std::uint64_t>(now_));
+  w.key("steps").value(static_cast<std::uint64_t>(steps_));
   w.key("spawned").value(static_cast<std::uint64_t>(fibers_.size()));
   w.key("live").value(static_cast<std::uint64_t>(live_));
   w.key("ready").value(static_cast<std::uint64_t>(ready_.size()));
@@ -304,9 +331,14 @@ std::string Scheduler::snapshot_json() const {
   if (deadline_cancels_ != 0)
     w.key("deadline_cancels").value(deadline_cancels_);
   if (budget_cancels_ != 0) w.key("budget_cancels").value(budget_cancels_);
+  if (parallel_ != nullptr) {
+    w.key("workers").value(static_cast<std::uint64_t>(parallel_->workers()));
+    w.key("steals").value(parallel_->steals());
+  }
   w.key("fibers").array();
-  for (const auto& fp : fibers_) {
-    const Fiber& f = *fp;
+  const std::size_t fiber_count = fibers_.size();
+  for (std::size_t i = 0; i < fiber_count; ++i) {
+    const Fiber& f = fibers_[i];
     // Finished fibers say nothing about what the system is doing now —
     // except crashed ones, which are exactly what an inspector wants.
     if (f.state() == FiberState::Done && !f.crashed()) continue;
@@ -336,7 +368,7 @@ std::string Scheduler::snapshot_json() const {
 }
 
 std::size_t Scheduler::attach_inspector(obs::Inspector& inspector) {
-  inspector.set_clock([this] { return now_; });
+  inspector.set_clock([this] { return static_cast<std::uint64_t>(now_); });
   return inspector.attach("scheduler",
                           [this] { return snapshot_json(); });
 }
@@ -354,24 +386,60 @@ bool Scheduler::write_trace(const std::string& path) const {
 }
 
 ProcessId Scheduler::spawn(std::string name, std::function<void()> body) {
+  return spawn_in_group(kInheritGroup, std::move(name), std::move(body));
+}
+
+GroupId Scheduler::new_group() {
+  if (parallel_ != nullptr) return parallel_->new_group();
+  return det_next_group_++;
+}
+
+ProcessId Scheduler::spawn_in_group(GroupId gid, std::string name,
+                                    std::function<void()> body) {
+  if (parallel_ != nullptr)
+    return parallel_->spawn(gid, std::move(name), std::move(body));
   const auto pid = static_cast<ProcessId>(fibers_.size());
   auto f = std::make_unique<Fiber>(pid, std::move(name), std::move(body),
                                    stack_pool_.acquire(opts_.stack_bytes));
   f->scheduler_ = this;
-  fibers_.push_back(std::move(f));
-  joiners_.emplace_back();
+  fibers_.push(std::move(f));
+  // Deterministic mode records the placement (so group_of answers the
+  // same in both modes) but schedules globally, as it always has.
+  if (gid == kInheritGroup)
+    gid = current_ != kNoProcess ? det_group_of_[current_] : 0;
+  SCRIPT_ASSERT(gid < det_next_group_, "spawn_in_group: unknown group");
+  det_group_of_.push_back(gid);
   ++live_;
-  ready_push(*fibers_[pid]);
+  ready_push(fiber(pid));
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::Instant, obs::Subsystem::Scheduler,
                   obs::kAutoTime, pid, obs::kNoLane, "spawn",
-                  fibers_[pid]->name()});
+                  fiber(pid).name()});
   return pid;
 }
 
+GroupId Scheduler::group_of(ProcessId pid) const {
+  if (parallel_ != nullptr) return parallel_->group_of(pid);
+  SCRIPT_ASSERT(pid < det_group_of_.size(), "unknown process id");
+  return det_group_of_[pid];
+}
+
+std::size_t Scheduler::worker_count() const {
+  return parallel_ != nullptr ? parallel_->workers() : 0;
+}
+
+std::uint64_t Scheduler::steal_count() const {
+  return parallel_ != nullptr ? parallel_->steals() : 0;
+}
+
 RunResult Scheduler::run() {
+  if (parallel_ != nullptr) return parallel_->run();
   SCRIPT_ASSERT(!running_, "Scheduler::run is not reentrant");
   running_ = true;
+  // The deterministic loop's TSan identity, for fiber-switch
+  // annotations (no-op outside TSan builds).
+  if (main_exec_.tsan_ctx == nullptr)
+    main_exec_.tsan_ctx = sanitizer::tsan_current_context();
   RunResult result;
   std::uint64_t dispatched = 0;
   service_debug();  // safepoint: catch up with clients before dispatching
@@ -457,10 +525,12 @@ RunResult Scheduler::run() {
   result.final_time = now_;
   result.steps = steps_;
   if (result.outcome == RunResult::Outcome::StepLimit) return result;
-  for (const auto& f : fibers_) {
-    if (f->state() == FiberState::Blocked)
-      result.blocked.emplace_back(f->id(), f->block_reason());
-    SCRIPT_ASSERT(f->state() != FiberState::Sleeping,
+  const std::size_t fiber_count = fibers_.size();
+  for (std::size_t i = 0; i < fiber_count; ++i) {
+    const Fiber& f = fibers_[i];
+    if (f.state() == FiberState::Blocked)
+      result.blocked.emplace_back(f.id(), f.block_reason());
+    SCRIPT_ASSERT(f.state() != FiberState::Sleeping,
                   "sleeper left behind after clock drained");
   }
   result.outcome = result.blocked.empty() ? RunResult::Outcome::AllDone
@@ -480,13 +550,21 @@ RunResult Scheduler::run() {
 
 void Scheduler::yield() {
   Fiber& f = fiber(current());
+  if (parallel_ != nullptr) {
+    parallel_->yield(f);
+    return;
+  }
   f.set_state(FiberState::Ready);
   ready_push(f);
-  switch_out();
+  switch_out(f);
 }
 
 void Scheduler::block(const std::string& reason, ProcessId waiting_on) {
   Fiber& f = fiber(current());
+  if (parallel_ != nullptr) {
+    parallel_->block(f, reason, waiting_on);
+    return;
+  }
   check_cancel(f);  // blocking primitives are cancellation points
   f.set_state(FiberState::Blocked);
   f.set_block_reason(reason);
@@ -495,11 +573,15 @@ void Scheduler::block(const std::string& reason, ProcessId waiting_on) {
   if (bus_.wants(obs::Subsystem::Scheduler))
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason});
-  switch_out();
+  switch_out(f);
 }
 
 void Scheduler::sleep_for(std::uint64_t ticks) {
   Fiber& f = fiber(current());
+  if (parallel_ != nullptr) {
+    parallel_->sleep_for(f, ticks);
+    return;
+  }
   check_cancel(f);
   if (ticks == 0) {
     yield();
@@ -512,7 +594,7 @@ void Scheduler::sleep_for(std::uint64_t ticks) {
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "sleeping", "",
                   static_cast<double>(ticks)});
-  switch_out();
+  switch_out(f);
 }
 
 bool Scheduler::block_with_timeout(const std::string& reason,
@@ -520,6 +602,9 @@ bool Scheduler::block_with_timeout(const std::string& reason,
                                    std::function<void()> on_timeout,
                                    ProcessId waiting_on) {
   Fiber& f = fiber(current());
+  if (parallel_ != nullptr)
+    return parallel_->block_with_timeout(f, reason, ticks,
+                                         std::move(on_timeout), waiting_on);
   if (f.cancel_pending_ != Fiber::PendingCancel::None ||
       now_ >= f.deadline_ || now_ >= f.tick_budget_due_) {
     // Cancelling at entry: run the caller's self-clean hook first, just
@@ -539,22 +624,30 @@ bool Scheduler::block_with_timeout(const std::string& reason,
     bus_.publish({obs::EventKind::SpanBegin, obs::Subsystem::Scheduler,
                   obs::kAutoTime, f.id(), obs::kNoLane, "blocked", reason,
                   static_cast<double>(ticks)});
-  switch_out();
+  switch_out(f);
   return f.timed_out_;
 }
 
 void Scheduler::join(ProcessId pid) {
   SCRIPT_ASSERT(pid < fibers_.size(), "join: unknown process");
+  if (parallel_ != nullptr) {
+    parallel_->join(fiber(current()), pid);
+    return;
+  }
   if (fiber(pid).state() == FiberState::Done) return;
   // Cancel before registering: a joiner that unwound at block() entry
   // would leave a joiners_ entry behind, and a caught cancellation
   // could re-block the fiber elsewhere before the target finishes.
   check_cancel(fiber(current()));
-  joiners_[pid].push_back(current());
+  fiber(pid).joiners_.push_back(current());
   block("joining " + fiber(pid).name(), pid);
 }
 
 void Scheduler::unblock(ProcessId pid) {
+  if (parallel_ != nullptr) {
+    parallel_->unblock(pid);
+    return;
+  }
   Fiber& f = fiber(pid);
   SCRIPT_ASSERT(f.state() == FiberState::Blocked,
                 "unblock on non-blocked fiber " + f.name());
@@ -578,6 +671,10 @@ void Scheduler::unblock(ProcessId pid) {
 }
 
 void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
+  if (parallel_ != nullptr) {
+    parallel_->wake_at(pid, ticks_from_now);
+    return;
+  }
   if (ticks_from_now == 0) {
     unblock(pid);
     return;
@@ -608,9 +705,16 @@ void Scheduler::wake_at(ProcessId pid, std::uint64_t ticks_from_now) {
 }
 
 ProcessId Scheduler::current() const {
-  SCRIPT_ASSERT(current_ != kNoProcess,
-                "operation requires a running fiber");
-  return current_;
+  const ProcessId pid = parallel_ != nullptr
+                            ? parallel_->current_on_this_thread()
+                            : current_;
+  SCRIPT_ASSERT(pid != kNoProcess, "operation requires a running fiber");
+  return pid;
+}
+
+bool Scheduler::in_fiber() const {
+  return (parallel_ != nullptr ? parallel_->current_on_this_thread()
+                               : current_) != kNoProcess;
 }
 
 const std::string& Scheduler::name_of(ProcessId pid) const {
@@ -629,38 +733,48 @@ void Scheduler::trace_event(ProcessId subject, std::string what) {
 
 Fiber& Scheduler::fiber(ProcessId pid) {
   SCRIPT_ASSERT(pid < fibers_.size(), "unknown process id");
-  return *fibers_[pid];
+  return fibers_[pid];
 }
 
 const Fiber& Scheduler::fiber(ProcessId pid) const {
   SCRIPT_ASSERT(pid < fibers_.size(), "unknown process id");
-  return *fibers_[pid];
+  return fibers_[pid];
 }
 
-void Scheduler::switch_to(Fiber& f) {
-  sanitizer::start_switch(&main_fake_stack_, f.stack_.base(),
+void Scheduler::switch_to(ExecContext& from, Fiber& f) {
+  // The fiber returns control to whoever dispatched it — in parallel
+  // mode a stolen group's fibers resume the *stealing* worker.
+  f.resume_ = &from;
+  // TSan must learn about the stack change or it reports every
+  // fiber-to-fiber data hand-off as a race (no-ops outside TSan).
+  if (f.tsan_ctx_ == nullptr)
+    f.tsan_ctx_ = sanitizer::tsan_create_context();
+  sanitizer::tsan_switch(f.tsan_ctx_);
+  sanitizer::start_switch(&from.asan_fake_stack, f.stack_.base(),
                           f.stack_.size());
-  swapcontext(&main_context_, &f.context_);
-  sanitizer::finish_switch(main_fake_stack_, nullptr, nullptr);
+  swapcontext(&from.ctx, &f.context_);
+  sanitizer::finish_switch(from.asan_fake_stack, nullptr, nullptr);
 }
 
 void Scheduler::fiber_entered(Fiber& f) {
   // First entry has no saved fake stack (null); resumptions restore the
   // one saved at the matching start_switch in switch_out. Either way the
-  // "from" bounds are the scheduler's own stack — record them for the
-  // switch back (they never change; the scheduler loop stays put).
-  sanitizer::finish_switch(f.asan_fake_stack_, &main_stack_bottom_,
-                           &main_stack_size_);
+  // "from" bounds are the dispatching context's own stack — record them
+  // for the switch back (per-context they never change; each dispatching
+  // loop stays put on its own thread).
+  sanitizer::finish_switch(f.asan_fake_stack_, &f.resume_->stack_bottom,
+                           &f.resume_->stack_size);
 }
 
-void Scheduler::switch_out() {
-  Fiber& f = fiber(current_);
+void Scheduler::switch_out(Fiber& f) {
+  ExecContext& to = *f.resume_;
+  sanitizer::tsan_switch(to.tsan_ctx);
   // A Done fiber will never run again: hand ASan a null save slot so it
   // retires the fiber's fake stack instead of keeping it for a resume.
   sanitizer::start_switch(
       f.state() == FiberState::Done ? nullptr : &f.asan_fake_stack_,
-      main_stack_bottom_, main_stack_size_);
-  swapcontext(&f.context_, &main_context_);
+      to.stack_bottom, to.stack_size);
+  swapcontext(&f.context_, &to.ctx);
   sanitizer::finish_switch(f.asan_fake_stack_, nullptr, nullptr);
   if (f.kill_pending_) {
     // A FaultPlan crash fired while we were parked: unwind this fiber's
@@ -678,9 +792,13 @@ void Scheduler::switch_out() {
 
 void Scheduler::on_fiber_done(Fiber& f) {
   --live_;
-  for (const ProcessId waiter : joiners_[f.id()])
+  // Parallel mode: the worker drains joiners under the group mutex when
+  // it retires the fiber (ParallelRuntime::finish_done) — doing it here,
+  // on the dying fiber's own stack, would race the joiner's fast path.
+  if (parallel_ != nullptr) return;
+  for (const ProcessId waiter : f.joiners_)
     if (fiber(waiter).state() == FiberState::Blocked) unblock(waiter);
-  joiners_[f.id()].clear();
+  f.joiners_.clear();
 }
 
 void Scheduler::ready_push(Fiber& f) {
@@ -720,6 +838,8 @@ void Scheduler::maybe_purge_timers() {
 void Scheduler::reclaim_stack(Fiber& f) {
   SCRIPT_ASSERT(current_ == kNoProcess,
                 "stack reclaim must run from the scheduler loop");
+  sanitizer::tsan_destroy_context(f.tsan_ctx_);
+  f.tsan_ctx_ = nullptr;
   if (f.stack_.valid()) stack_pool_.release(f.release_stack());
 }
 
@@ -1116,7 +1236,7 @@ bool Scheduler::advance_clock() {
         std::min(std::min(timer_due, deadline_due), fault_due);
     if (due == kNoTrigger) break;
     const std::uint64_t before = now_;
-    now_ = std::max(now_, due);
+    if (due > before) now_ = due;
     if (now_ != before && bus_.wants(obs::Subsystem::Scheduler))
       bus_.publish({obs::EventKind::Counter, obs::Subsystem::Scheduler,
                     now_, obs::kNoPid, obs::kNoLane, "virtual_time", "",

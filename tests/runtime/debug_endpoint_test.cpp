@@ -1,0 +1,210 @@
+// DebugEndpoint I/O robustness: EINTR handling on every socket call
+// (a signal must never tear down a `scriptctl watch` session) and the
+// outbound-buffer cap that sheds stalled readers instead of buffering
+// without bound. The libc calls are interposed through
+// DebugEndpoint::io, so EINTR is injected deterministically — no real
+// signal delivery, no flakes.
+#include "runtime/debug_endpoint.hpp"
+
+#include <errno.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using script::runtime::DebugEndpoint;
+
+// Countdown state for the interposers: each call decrements its budget
+// and fails with EINTR until it hits zero, then delegates to libc.
+int g_send_eintr = 0;
+int g_recv_eintr = 0;
+int g_accept_eintr = 0;
+
+ssize_t eintr_send(int fd, const void* buf, size_t len, int flags) {
+  if (g_send_eintr > 0) {
+    --g_send_eintr;
+    errno = EINTR;
+    return -1;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+ssize_t eintr_recv(int fd, void* buf, size_t len, int flags) {
+  if (g_recv_eintr > 0) {
+    --g_recv_eintr;
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+int eintr_accept(int fd, sockaddr* addr, socklen_t* alen, int flags) {
+  if (g_accept_eintr > 0) {
+    --g_accept_eintr;
+    errno = EINTR;
+    return -1;
+  }
+  return ::accept4(fd, addr, alen, flags);
+}
+
+class DebugEndpointIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_io_ = DebugEndpoint::io;
+    g_send_eintr = g_recv_eintr = g_accept_eintr = 0;
+    path_ = "/tmp/script_dbg_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++) + ".sock";
+    ASSERT_TRUE(ep_.listen(path_));
+    ep_.register_handler("ping",
+                         [](const std::string&, std::string*) -> std::string {
+                           return "pong\n";
+                         });
+  }
+
+  void TearDown() override {
+    DebugEndpoint::io = saved_io_;
+    ep_.close();
+    if (client_ >= 0) ::close(client_);
+  }
+
+  void connect_client() {
+    client_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(client_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::copy(path_.begin(), path_.end(), addr.sun_path);
+    ASSERT_EQ(::connect(client_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+  }
+
+  std::string read_all_available() {
+    std::string got;
+    char buf[4096];
+    for (;;) {
+      // The client socket is blocking; peek with MSG_DONTWAIT so the
+      // test never hangs when the server has nothing more to say.
+      const ssize_t n = ::recv(client_, buf, sizeof buf, MSG_DONTWAIT);
+      if (n <= 0) break;
+      got.append(buf, static_cast<std::size_t>(n));
+    }
+    return got;
+  }
+
+  DebugEndpoint ep_;
+  DebugEndpoint::IoHooks saved_io_{};
+  std::string path_;
+  int client_ = -1;
+  static int counter_;
+};
+
+int DebugEndpointIo::counter_ = 0;
+
+TEST_F(DebugEndpointIo, ServesARequestWithoutInterference) {
+  connect_client();
+  ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
+  ep_.service();
+  EXPECT_EQ(ep_.requests_served(), 1u);
+  EXPECT_EQ(read_all_available(), "ok 5\npong\n");
+}
+
+TEST_F(DebugEndpointIo, SendRetriesOnEintr) {
+  connect_client();
+  ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
+  DebugEndpoint::io.send = &eintr_send;
+  g_send_eintr = 3;  // first three writes are "interrupted"
+  ep_.service();
+  // The fix: EINTR is retried, not treated as a dead peer. Before it,
+  // this service() closed the connection with the response undelivered.
+  EXPECT_EQ(ep_.connection_count(), 1u);
+  EXPECT_EQ(g_send_eintr, 0);
+  EXPECT_EQ(read_all_available(), "ok 5\npong\n");
+}
+
+TEST_F(DebugEndpointIo, RecvRetriesOnEintr) {
+  connect_client();
+  ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
+  DebugEndpoint::io.recv = &eintr_recv;
+  g_recv_eintr = 2;
+  ep_.service();
+  EXPECT_EQ(g_recv_eintr, 0);
+  EXPECT_EQ(ep_.requests_served(), 1u);
+  EXPECT_EQ(read_all_available(), "ok 5\npong\n");
+}
+
+TEST_F(DebugEndpointIo, AcceptRetriesOnEintr) {
+  DebugEndpoint::io.accept = &eintr_accept;
+  g_accept_eintr = 2;
+  connect_client();
+  ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
+  ep_.service();
+  EXPECT_EQ(g_accept_eintr, 0);
+  // The connection sitting behind the interrupted accept was picked up
+  // in the same safepoint, not deferred to the next one.
+  EXPECT_EQ(ep_.requests_served(), 1u);
+  EXPECT_EQ(read_all_available(), "ok 5\npong\n");
+}
+
+TEST_F(DebugEndpointIo, EintrSessionSurvivesManyRounds) {
+  // A watch-style session: repeated requests, every socket call hit by
+  // EINTR along the way. The session must survive all of it.
+  connect_client();
+  DebugEndpoint::io = {&eintr_send, &eintr_recv, &eintr_accept};
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
+    g_send_eintr = 1;
+    g_recv_eintr = 1;
+    ep_.service();
+    EXPECT_EQ(read_all_available(), "ok 5\npong\n") << "round " << round;
+  }
+  EXPECT_EQ(ep_.requests_served(), 10u);
+  EXPECT_EQ(ep_.connection_count(), 1u);
+}
+
+TEST_F(DebugEndpointIo, StalledReaderIsShedAtOutboundCap) {
+  // 8 MiB responses against a client that never reads: whatever the
+  // kernel buffers, the residue blows the 1 MiB cap and the connection
+  // is shed — counted, not silently — instead of `out` growing by one
+  // payload per safepoint forever.
+  ep_.register_handler("big",
+                       [](const std::string&, std::string*) -> std::string {
+                         return std::string(8u << 20, 'x');
+                       });
+  connect_client();
+  ASSERT_EQ(::send(client_, "big\nbig\n", 8, 0), 8);
+  ep_.service();
+  EXPECT_EQ(ep_.connections_shed(), 1u);
+  EXPECT_EQ(ep_.connection_count(), 0u);
+}
+
+TEST_F(DebugEndpointIo, PromptReaderIsNotShed) {
+  // Same big responses, but the client drains between requests: the
+  // buffer never accumulates, so the session lives on.
+  ep_.register_handler("big",
+                       [](const std::string&, std::string*) -> std::string {
+                         return std::string(64u << 10, 'x');
+                       });
+  connect_client();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(::send(client_, "big\n", 4, 0), 4);
+    ep_.service();
+    std::string got = read_all_available();
+    // Drain anything the endpoint could not flush in one safepoint.
+    while (got.size() < (64u << 10)) {
+      ep_.service();
+      const std::string more = read_all_available();
+      if (more.empty()) break;
+      got += more;
+    }
+  }
+  EXPECT_EQ(ep_.connections_shed(), 0u);
+  EXPECT_EQ(ep_.connection_count(), 1u);
+}
+
+}  // namespace
