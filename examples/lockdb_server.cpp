@@ -1,0 +1,510 @@
+// lockdb_server — the end-to-end recovery proof over REAL sockets.
+//
+// Three modes in one binary:
+//
+//   serve <self> <inc> <port> <wal> <id@port,...>
+//     One lock-table replica behind TcpTransport + PeerSupervisor +
+//     Wire, durable via FileWal. Prints READY when listening, SERVING
+//     after WAL recovery, TAKEOVER when it inherits the primary role.
+//
+//   grab <item> <id@port,...>
+//     A client that acquires a leased X lock on <item> and then goes
+//     silent forever — the kill -9 victim for the lease-reaping proof.
+//
+//   harness
+//     The orchestrator: boots a 3-replica cluster as real child
+//     processes, then proves on live sockets what the sim twin proves
+//     in CI —
+//       1. leases: kill -9 a client holding a lock; the lease expires
+//          and housekeeping reaps it, so a second client gets the lock;
+//       2. 2PC + WAL: commit across all three replicas;
+//       3. crash mid-2PC: stage a prepare on the primary, kill -9 the
+//          primary before the decision, commit on the survivors;
+//       4. takeover: the survivors' PeerSupervisors declare the dead
+//          primary gone and the next-lowest id inherits the role;
+//       5. recovery: respawn the dead replica (incarnation+1, same
+//          WAL); it replays, resolves the in-doubt prepare by asking
+//          the survivors, catches up, and converges to their digest.
+//     Prints HARNESS OK and exits 0 when every step holds.
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lockdb/wire_server.hpp"
+#include "runtime/peer_supervisor.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_log.hpp"
+#include "runtime/transport_tcp.hpp"
+#include "runtime/wire.hpp"
+
+namespace {
+
+using script::lockdb::FileWal;
+using script::lockdb::LockMode;
+using script::lockdb::LockTable;
+using script::lockdb::SimWal;
+using script::lockdb::WireDriver;
+using script::lockdb::WireDriverOptions;
+using script::lockdb::WireReplica;
+using script::lockdb::WireReplicaOptions;
+using script::runtime::PeerId;
+using script::runtime::PeerSupervisor;
+using script::runtime::PeerSupervisorOptions;
+using script::runtime::Scheduler;
+using script::runtime::SimLogStore;
+using script::runtime::TcpTransport;
+using script::runtime::Wire;
+
+struct PeerSpec {
+  PeerId id;
+  std::uint16_t port;
+};
+
+std::vector<PeerSpec> parse_peers(const std::string& s) {
+  std::vector<PeerSpec> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    const std::size_t at = tok.find('@');
+    if (at != std::string::npos)
+      out.push_back({static_cast<PeerId>(std::stoul(tok.substr(0, at))),
+                     static_cast<std::uint16_t>(
+                         std::stoul(tok.substr(at + 1)))});
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void say(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+// Timers tuned for the Wire pump's 500us idle tick: suspicion lands in
+// well under a second of real silence, slow CI machines included.
+PeerSupervisorOptions supervision() {
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 40;
+  o.suspect_after = 400;
+  o.gone_after = 1600;
+  return o;
+}
+
+// Clients never escalate a replica to Gone: Gone refuses sends, but a
+// client WANTS its queued frames to flush when the replica's next
+// incarnation reconnects (the suspicion machinery still drops anything
+// from the buried incarnation).
+PeerSupervisorOptions client_supervision() {
+  PeerSupervisorOptions o = supervision();
+  o.gone_after = 0;
+  return o;
+}
+
+// ---- serve ----
+
+int run_serve(PeerId self, std::uint64_t inc, std::uint16_t port,
+              const std::string& wal_path,
+              const std::vector<PeerSpec>& specs) {
+  Scheduler sched;
+  TcpTransport tcp(self);
+  if (!tcp.listen(port)) {
+    std::perror("listen");
+    return 1;
+  }
+  std::vector<PeerId> replicas;
+  for (const PeerSpec& p : specs) {
+    replicas.push_back(p.id);
+    // One dialer per pair: replica i dials replica j > i.
+    if (p.id > self) tcp.add_peer(p.id, "127.0.0.1", p.port);
+  }
+  PeerSupervisor sup(tcp, inc, supervision());
+  Wire wire(sched, sup, &sup);
+  LockTable table;
+  table.set_clock([&sched] { return sched.now(); });
+  FileWal wal(wal_path);
+  WireReplicaOptions ro;
+  ro.self = self;
+  ro.replicas = replicas;
+  ro.housekeeping_ticks = 25;
+  ro.recover_timeout = 600;
+  WireReplica rep(sched, wire, table, wal, ro);
+  sup.on_gone = [&](PeerId p, std::uint64_t gone_inc) {
+    say("GONE peer=%u inc=%llu", p,
+        static_cast<unsigned long long>(gone_inc));
+    rep.note_peer_gone(p);
+  };
+  sup.on_reenroll = [&](PeerId p, std::uint64_t new_inc) {
+    say("REENROLL peer=%u inc=%llu", p,
+        static_cast<unsigned long long>(new_inc));
+    rep.note_peer_back(p);
+  };
+  wire.start();
+  for (PeerId id : replicas)
+    if (id != self) sup.watch(id);
+  say("READY %u", static_cast<unsigned>(tcp.bound_port()));
+
+  sched.spawn("boot", [&] {
+    rep.recover();
+    rep.start();
+    say("SERVING digest=%s primary=%u replayed=%llu indoubt=%llu",
+        rep.digest().c_str(), rep.primary(),
+        static_cast<unsigned long long>(rep.replayed()),
+        static_cast<unsigned long long>(rep.indoubt_resolved()));
+  });
+  sched.spawn("role.monitor", [&] {
+    std::uint64_t seen = 0;
+    while (true) {  // runs until the process is killed
+      if (rep.takeovers() > seen) {
+        seen = rep.takeovers();
+        say("TAKEOVER self=%u", self);
+      }
+      sched.sleep_for(25);
+    }
+  });
+  sched.run();
+  return 0;
+}
+
+// ---- grab ----
+
+int run_grab(const std::string& item, const std::vector<PeerSpec>& specs) {
+  Scheduler sched;
+  TcpTransport tcp(101);
+  std::vector<PeerId> replicas;
+  for (const PeerSpec& p : specs) {
+    replicas.push_back(p.id);
+    tcp.add_peer(p.id, "127.0.0.1", p.port);
+  }
+  PeerSupervisor sup(tcp, 1, client_supervision());
+  Wire wire(sched, sup, &sup);
+  SimLogStore store;
+  SimWal wal(store.open("grab"));
+  WireDriverOptions o;
+  o.self = 101;
+  o.replicas = replicas;
+  o.attempts = 4;
+  o.lease_ticks = 2000;
+  WireDriver driver(sched, wire, wal, o);
+  wire.start();
+  for (PeerId id : replicas) sup.watch(id);
+  sched.spawn("grab", [&] {
+    if (driver.acquire(1, item, LockMode::Exclusive))
+      say("HELD %s", item.c_str());
+    else
+      say("GRAB-FAILED %s", item.c_str());
+    // Go silent holding the lease: the harness kill -9's us here, and
+    // only the lease reaper can free the lock.
+    while (true) sched.sleep_for(1000);
+  });
+  sched.run();
+  return 0;
+}
+
+// ---- harness ----
+
+struct Child {
+  pid_t pid = -1;
+  int out = -1;  // read end of the child's stdout
+  std::string buf;
+};
+
+Child spawn_child(const char* self_exe, std::vector<std::string> args) {
+  int fds[2];
+  if (::pipe(fds) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(self_exe));
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(self_exe, argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  Child c;
+  c.pid = pid;
+  c.out = fds[0];
+  return c;
+}
+
+/// Read child output (echoed with a prefix) until a line containing
+/// `needle` shows up or the deadline passes. Blocking variant for use
+/// OUTSIDE the scheduler.
+bool wait_for_line(Child& c, const std::string& needle, int timeout_ms,
+                   std::string* matched = nullptr) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::size_t nl;
+    while ((nl = c.buf.find('\n')) != std::string::npos) {
+      const std::string line = c.buf.substr(0, nl);
+      c.buf.erase(0, nl + 1);
+      say("  [pid %d] %s", static_cast<int>(c.pid), line.c_str());
+      if (line.find(needle) != std::string::npos) {
+        if (matched != nullptr) *matched = line;
+        return true;
+      }
+    }
+    struct pollfd pfd = {c.out, POLLIN, 0};
+    if (::poll(&pfd, 1, 50) <= 0) continue;
+    char tmp[4096];
+    const ssize_t n = ::read(c.out, tmp, sizeof tmp);
+    if (n <= 0) return false;  // child died or closed stdout
+    c.buf.append(tmp, static_cast<std::size_t>(n));
+  }
+  return false;
+}
+
+/// Same, but cooperative: yields to the scheduler between polls so the
+/// Wire pump (heartbeats!) keeps running while we watch a child boot.
+bool fiber_wait_for_line(Scheduler& sched, Child& c,
+                         const std::string& needle, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::size_t nl;
+    while ((nl = c.buf.find('\n')) != std::string::npos) {
+      const std::string line = c.buf.substr(0, nl);
+      c.buf.erase(0, nl + 1);
+      say("  [pid %d] %s", static_cast<int>(c.pid), line.c_str());
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    struct pollfd pfd = {c.out, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) > 0) {
+      char tmp[4096];
+      const ssize_t n = ::read(c.out, tmp, sizeof tmp);
+      if (n <= 0) return false;
+      c.buf.append(tmp, static_cast<std::size_t>(n));
+      continue;
+    }
+    sched.sleep_for(20);  // let the pump breathe
+  }
+  return false;
+}
+
+void kill9(Child& c) {
+  if (c.pid <= 0) return;
+  ::kill(c.pid, SIGKILL);
+  int status = 0;
+  ::waitpid(c.pid, &status, 0);
+  if (c.out >= 0) ::close(c.out);
+  c.pid = -1;
+  c.out = -1;
+}
+
+int run_harness(const char* self_exe) {
+  const std::uint16_t base =
+      static_cast<std::uint16_t>(40000 + (::getpid() % 20000));
+  const std::string peers = "0@" + std::to_string(base) + ",1@" +
+                            std::to_string(base + 1) + ",2@" +
+                            std::to_string(base + 2);
+  std::vector<std::string> wals;
+  for (int i = 0; i < 3; ++i) {
+    wals.push_back("/tmp/lockdb_harness_" + std::to_string(::getpid()) +
+                   "_r" + std::to_string(i) + ".wal");
+    std::remove(wals.back().c_str());
+  }
+  auto serve_args = [&](int i, std::uint64_t inc) {
+    return std::vector<std::string>{
+        "serve", std::to_string(i), std::to_string(inc),
+        std::to_string(base + i), wals[static_cast<std::size_t>(i)],
+        peers};
+  };
+
+  say("HARNESS booting 3 replicas on ports %u..%u", base, base + 2);
+  Child reps[3];
+  for (int i = 0; i < 3; ++i) {
+    reps[i] = spawn_child(self_exe, serve_args(i, 1));
+    if (!wait_for_line(reps[i], "READY", 15000)) {
+      say("HARNESS FAIL replica %d never came up", i);
+      for (Child& c : reps) kill9(c);
+      return 1;
+    }
+  }
+
+  // The in-process driver stack.
+  Scheduler sched;
+  TcpTransport tcp(100);
+  const std::vector<PeerSpec> specs = parse_peers(peers);
+  std::vector<PeerId> ids;
+  for (const PeerSpec& p : specs) {
+    ids.push_back(p.id);
+    tcp.add_peer(p.id, "127.0.0.1", p.port);
+  }
+  PeerSupervisor sup(tcp, 1, client_supervision());
+  Wire wire(sched, sup, &sup);
+  SimLogStore store;
+  SimWal dwal(store.open("harness-driver"));
+  WireDriverOptions dopts;
+  dopts.self = 100;
+  dopts.replicas = ids;
+  dopts.attempts = 4;
+  dopts.reply_timeout = 400;
+  // The lease must outlive a worst-case 2PC: timing out a dead replica
+  // costs attempts * reply_timeout ticks before the survivors vote.
+  dopts.lease_ticks = 8000;
+  WireDriver driver(sched, wire, dwal, dopts);
+  wire.start();
+  for (PeerId id : ids) sup.watch(id);
+
+  int rc = 1;
+  sched.spawn("harness", [&] {
+    std::uint64_t raw_seq = 0;
+    // One raw request outside WireDriver (role queries, the staged
+    // prepare): post "op <rtag> args" under the lkreq tag, await rtag.
+    auto raw = [&](PeerId to, const std::string& op_and_args,
+                   std::string* reply) {
+      const std::string rtag = "hx." + std::to_string(raw_seq++);
+      const std::size_t sp = op_and_args.find(' ');
+      const std::string op = op_and_args.substr(0, sp);
+      const std::string rest =
+          sp == std::string::npos ? "" : op_and_args.substr(sp);
+      wire.post(to, "lkreq", op + " " + rtag + rest);
+      Wire::Msg m;
+      if (!wire.recv(rtag, &m, 800, to)) return false;
+      *reply = m.payload;
+      return true;
+    };
+    auto fail = [&](const char* what) {
+      say("HARNESS FAIL %s", what);
+      wire.stop();
+    };
+    const auto real_deadline = [](int ms) {
+      return std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(ms);
+    };
+
+    // ---- Proof 1: lease reaping survives kill -9 of a client ----
+    Child grabber =
+        spawn_child(self_exe, {"grab", "hot", peers});
+    if (!fiber_wait_for_line(sched, grabber, "HELD", 15000))
+      return fail("grab client never took the lock");
+    kill9(grabber);
+    say("HARNESS killed lock holder pid; waiting for lease reap");
+    bool denied = false, got = false;
+    for (auto dl = real_deadline(20000);
+         std::chrono::steady_clock::now() < dl;) {
+      if (driver.acquire(2, "hot", LockMode::Exclusive)) {
+        got = true;
+        break;
+      }
+      denied = true;
+      sched.sleep_for(200);
+    }
+    if (!got) return fail("lease never reaped after holder kill -9");
+    say("HARNESS PROOF lease-reap ok (denied-while-leased=%d)", denied);
+    driver.release(2);
+
+    // ---- Proof 2: a clean 2PC commit lands on all three ----
+    if (!driver.acquire(10, "a", LockMode::Exclusive) ||
+        !driver.update(10, {{"a", "1"}}))
+      return fail("healthy 2PC did not commit");
+    const std::string d0 = driver.digest_of(0);
+    if (d0.empty() || d0 != driver.digest_of(1) ||
+        d0 != driver.digest_of(2))
+      return fail("replicas diverged after healthy commit");
+    say("HARNESS PROOF healthy-2pc ok digest=%s", d0.c_str());
+
+    // ---- Proof 3: kill -9 the primary MID-2PC ----
+    // Stage a prepare on replica 0 only, then kill it before any
+    // decision reaches it: a genuine in-doubt transaction in its WAL.
+    if (!driver.acquire(11, "b", LockMode::Exclusive))
+      return fail("could not lock b");
+    std::string vote;
+    if (!raw(0, "prep 11 b=2", &vote) || vote != "yes")
+      return fail("staged prepare on primary refused");
+    kill9(reps[0]);
+    say("HARNESS killed primary (replica 0) with prep.11 in doubt");
+    // The driver degrades: replica 0 times out, survivors commit.
+    if (!driver.update(11, {{"b", "2"}}))
+      return fail("2PC did not commit on the survivors");
+    if (!driver.degraded())
+      return fail("driver never noticed the dead replica");
+    say("HARNESS PROOF degraded-2pc ok");
+
+    // ---- Proof 4: the survivors take the role over ----
+    bool took_over = false;
+    for (auto dl = real_deadline(30000);
+         std::chrono::steady_clock::now() < dl;) {
+      std::string role;
+      if (raw(1, "role", &role) && role == "1") {
+        took_over = true;
+        break;
+      }
+      sched.sleep_for(200);
+    }
+    if (!took_over) return fail("replica 1 never inherited the role");
+    say("HARNESS PROOF takeover ok (primary=1)");
+
+    // ---- Proof 5: respawn, recover, reconverge ----
+    reps[0] = spawn_child(self_exe, serve_args(0, 2));
+    if (!fiber_wait_for_line(sched, reps[0], "SERVING", 20000))
+      return fail("restarted replica never finished recovery");
+    driver.revive(0);
+    bool consistent = false;
+    std::string dr, ds;
+    for (auto dl = real_deadline(20000);
+         std::chrono::steady_clock::now() < dl;) {
+      dr = driver.digest_of(0);
+      ds = driver.digest_of(1);
+      if (!dr.empty() && dr == ds) {
+        consistent = true;
+        break;
+      }
+      sched.sleep_for(200);
+    }
+    if (!consistent) return fail("restarted replica did not converge");
+    std::string b;
+    if (!raw(0, "get b", &b) || b != "2")
+      return fail("in-doubt commit lost on the restarted replica");
+    say("HARNESS PROOF recovery ok digest=%s b=%s", dr.c_str(),
+        b.c_str());
+
+    say("HARNESS OK");
+    rc = 0;
+    wire.stop();
+  });
+  sched.run();
+
+  for (Child& c : reps) kill9(c);
+  for (const std::string& w : wals) std::remove(w.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "serve" && argc == 7)
+    return run_serve(static_cast<PeerId>(std::stoul(argv[2])),
+                     std::stoull(argv[3]),
+                     static_cast<std::uint16_t>(std::stoul(argv[4])),
+                     argv[5], parse_peers(argv[6]));
+  if (mode == "grab" && argc == 4) return run_grab(argv[2], parse_peers(argv[3]));
+  if (mode == "harness" && argc == 2) return run_harness(argv[0]);
+  std::fprintf(stderr,
+               "usage: %s serve <self> <inc> <port> <wal> <id@port,...>\n"
+               "       %s grab <item> <id@port,...>\n"
+               "       %s harness\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

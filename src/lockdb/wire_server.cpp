@@ -1,0 +1,552 @@
+#include "lockdb/wire_server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace script::lockdb {
+
+namespace {
+
+constexpr const char* kReqTag = "lkreq";
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string t;
+  while (in >> t) out.push_back(t);
+  return out;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\t')
+      out += "\\t";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    out += s[i] == 't' ? '\t' : s[i] == 'n' ? '\n' : s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- kv helpers ----
+
+std::string lockdb_serialize_kv(const std::map<std::string, std::string>& kv) {
+  std::string out;
+  for (const auto& [k, v] : kv) {
+    if (!out.empty()) out += ';';
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> lockdb_parse_kv(const std::string& s) {
+  std::map<std::string, std::string> kv;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t semi = s.find(';', pos);
+    if (semi == std::string::npos) semi = s.size();
+    const std::string pair = s.substr(pos, semi - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos)
+      kv[pair.substr(0, eq)] = pair.substr(eq + 1);
+    pos = semi + 1;
+  }
+  return kv;
+}
+
+std::string lockdb_digest(const std::map<std::string, std::string>& kv) {
+  // FNV-1a 64 over the sorted (map order) "k=v\n" stream.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [k, v] : kv) {
+    mix(k);
+    mix("=");
+    mix(v);
+    mix("\n");
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+// ---- Wal backends ----
+
+void SimWal::append(const std::string& key, const std::string& value) {
+  log_->append(key, value);
+}
+
+std::optional<std::string> SimWal::last(const std::string& key) const {
+  return log_->last(key);
+}
+
+std::vector<std::pair<std::string, std::string>> SimWal::all() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& r : log_->records()) out.emplace_back(r.key, r.value);
+  return out;
+}
+
+FileWal::FileWal(std::string path) : path_(std::move(path)) {
+  std::FILE* f = std::fopen(path_.c_str(), "r");
+  if (f == nullptr) return;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c != '\n') {
+      line += static_cast<char>(c);
+      continue;
+    }
+    // Only newline-terminated lines count: a crash mid-append leaves a
+    // torn tail that must be discarded, same as any real WAL.
+    const std::size_t tab = line.find('\t');
+    if (tab != std::string::npos)
+      records_.emplace_back(unescape(line.substr(0, tab)),
+                            unescape(line.substr(tab + 1)));
+    line.clear();
+  }
+  std::fclose(f);
+}
+
+void FileWal::append(const std::string& key, const std::string& value) {
+  records_.emplace_back(key, value);
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return;
+  const std::string line = escape(key) + "\t" + escape(value) + "\n";
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fclose(f);  // close flushes; good enough durability for the demo
+}
+
+std::optional<std::string> FileWal::last(const std::string& key) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (it->first == key) return it->second;
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> FileWal::all() const {
+  return records_;
+}
+
+// ---- WireReplica ----
+
+WireReplica::WireReplica(runtime::Scheduler& sched, runtime::Wire& wire,
+                         LockTable& table, Wal& wal,
+                         WireReplicaOptions opts)
+    : sched_(&sched),
+      wire_(&wire),
+      table_(&table),
+      wal_(&wal),
+      opts_(std::move(opts)) {
+  std::sort(opts_.replicas.begin(), opts_.replicas.end());
+  recompute_primary("init");
+}
+
+void WireReplica::publish(const char* name, std::string detail,
+                          double value) {
+  if (bus_ == nullptr || !bus_->wants(obs::Subsystem::Recovery)) return;
+  obs::Event e;
+  e.subsystem = obs::Subsystem::Recovery;
+  e.name = name;
+  e.detail = std::move(detail);
+  e.value = value;
+  bus_->publish(e);
+}
+
+runtime::PeerId WireReplica::primary() const { return primary_; }
+
+void WireReplica::recompute_primary(const char* why) {
+  runtime::PeerId p = runtime::kNoPeer;
+  for (runtime::PeerId id : opts_.replicas) {
+    if (dead_.count(id) == 0) {
+      p = id;
+      break;
+    }
+  }
+  const runtime::PeerId old = primary_;
+  primary_ = p;
+  if (old != primary_ && primary_ == opts_.self && old != runtime::kNoPeer) {
+    ++takeovers_;
+    publish("lockdb.takeover",
+            "from=" + std::to_string(old) + " " + why,
+            static_cast<double>(opts_.self));
+  }
+}
+
+void WireReplica::note_peer_gone(runtime::PeerId peer) {
+  if (dead_.insert(peer).second) recompute_primary("peer gone");
+}
+
+void WireReplica::note_peer_back(runtime::PeerId peer) {
+  if (dead_.erase(peer) != 0) recompute_primary("peer back");
+}
+
+void WireReplica::apply_staged(const std::string& txn,
+                               const std::string& staged) {
+  for (const auto& [k, v] : lockdb_parse_kv(staged)) kv_[k] = v;
+  (void)txn;
+}
+
+void WireReplica::decide(const std::string& txn, bool commit) {
+  wal_->append("decision." + txn, commit ? "commit" : "abort");
+  const auto it = staged_.find(txn);
+  if (commit) {
+    if (it != staged_.end()) apply_staged(txn, it->second);
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  if (it != staged_.end()) staged_.erase(it);
+}
+
+bool WireReplica::ask(runtime::PeerId to, const std::string& op_and_args,
+                      std::string* reply, std::uint64_t timeout) {
+  const std::string rtag =
+      "rr" + std::to_string(opts_.self) + "." + std::to_string(reply_seq_++);
+  const std::size_t sp = op_and_args.find(' ');
+  const std::string op = op_and_args.substr(0, sp);
+  const std::string rest =
+      sp == std::string::npos ? "" : op_and_args.substr(sp);
+  wire_->post(to, kReqTag, op + " " + rtag + rest);
+  runtime::Wire::Msg m;
+  if (!wire_->recv(rtag, &m, timeout, to)) return false;
+  *reply = m.payload;
+  return true;
+}
+
+void WireReplica::recover() {
+  // Pass 1 — replay what stable storage remembers, in append order.
+  // A snapshot resets the world (catch-up from a previous recovery);
+  // prepare stages; a decision resolves its stage.
+  for (const auto& [k, v] : wal_->all()) {
+    ++replayed_;
+    if (k == "snapshot") {
+      kv_ = lockdb_parse_kv(v);
+      staged_.clear();
+    } else if (k.rfind("prep.", 0) == 0) {
+      staged_[k.substr(5)] = v;
+    } else if (k.rfind("decision.", 0) == 0) {
+      const std::string txn = k.substr(9);
+      const auto it = staged_.find(txn);
+      if (v == "commit" && it != staged_.end())
+        apply_staged(txn, it->second);
+      if (it != staged_.end()) staged_.erase(it);
+    }
+  }
+  publish("lockdb.replay", "records", static_cast<double>(replayed_));
+
+  // Pass 2 — in-doubt transactions: prepared, never decided. Ask the
+  // survivors (any replica that saw the decision logged it); when
+  // nobody knows, the transaction is PRESUMED ABORTED — the standard
+  // resolution, and the safe one (an undecided prepare can never have
+  // been acted on elsewhere without a logged decision somewhere).
+  std::vector<std::string> indoubt;
+  for (const auto& [txn, staged] : staged_) indoubt.push_back(txn);
+  for (const std::string& txn : indoubt) {
+    std::string outcome = "unknown";
+    for (runtime::PeerId id : opts_.replicas) {
+      if (id == opts_.self || dead_.count(id) != 0) continue;
+      std::string reply;
+      if (ask(id, "outcome " + txn, &reply, opts_.recover_timeout) &&
+          reply != "unknown") {
+        outcome = reply;
+        break;
+      }
+    }
+    ++indoubt_;
+    publish("lockdb.indoubt", "txn=" + txn + " -> " + outcome);
+    decide(txn, outcome == "commit");
+  }
+
+  // Pass 3 — catch up on everything committed while we were dead: the
+  // current primary's state is authoritative. Snapshot it into our WAL
+  // so the NEXT recovery starts from here.
+  for (runtime::PeerId id : opts_.replicas) {
+    if (id == opts_.self || dead_.count(id) != 0) continue;
+    std::string reply;
+    if (!ask(id, "digest", &reply, opts_.recover_timeout)) continue;
+    if (reply == digest()) break;  // already consistent
+    std::string dump;
+    if (ask(id, "sync", &dump, opts_.recover_timeout)) {
+      // Survivor-wins merge, not replace: there are no deletes in this
+      // model, so the union is correct — and an in-doubt commit we just
+      // resolved locally (whose phase 2 never reached the survivors)
+      // must not be wiped by the catch-up.
+      for (const auto& [k, v] : lockdb_parse_kv(dump)) kv_[k] = v;
+      wal_->append("snapshot", lockdb_serialize_kv(kv_));
+      publish("lockdb.catchup", "from=" + std::to_string(id),
+              static_cast<double>(kv_.size()));
+    }
+    break;
+  }
+}
+
+void WireReplica::start() {
+  stopping_ = false;
+  sched_->spawn("lockdb.replica" + std::to_string(opts_.self),
+                [this] { serve(); });
+}
+
+void WireReplica::stop() { stopping_ = true; }
+
+void WireReplica::serve() {
+  while (!stopping_) {
+    runtime::Wire::Msg m;
+    if (!wire_->recv(kReqTag, &m, opts_.housekeeping_ticks)) {
+      if (!wire_->running()) break;
+      // Idle housekeeping: reap expired leases so locks held by silent
+      // (dead) clients drain even when no request ever arrives again.
+      table_->reap_expired(sched_->now());
+      continue;
+    }
+    handle(m);
+  }
+}
+
+void WireReplica::handle(const runtime::Wire::Msg& m) {
+  const std::vector<std::string> tok = tokens(m.payload);
+  if (tok.size() < 2) return;  // no op or no reply tag: undeliverable
+  const std::string& op = tok[0];
+  const std::string& rtag = tok[1];
+  ++served_;
+  auto reply = [&](const std::string& payload) {
+    wire_->post(m.from, rtag, payload);
+  };
+
+  if (op == "acq" && tok.size() == 6) {
+    // acq <r> <txn> <item> <S|X> <lease_ticks>
+    const auto txn = static_cast<OwnerId>(std::stoul(tok[2]));
+    const LockMode mode =
+        tok[4] == "X" ? LockMode::Exclusive : LockMode::Shared;
+    const std::uint64_t lease = std::stoull(tok[5]);
+    table_->reap_expired(sched_->now());
+    const bool ok =
+        table_->acquire_leased(tok[3], mode, txn, sched_->now() + lease);
+    reply(ok ? "ok" : "no");
+  } else if (op == "rel" && tok.size() == 3) {
+    // rel <r> <txn>
+    const auto txn = static_cast<OwnerId>(std::stoul(tok[2]));
+    reply("ok " + std::to_string(table_->release_all(txn)));
+  } else if (op == "prep" && tok.size() >= 3) {
+    // prep <r> <txn> <k=v;k=v>   (vote yes only when the txn holds an
+    // X lock on every item it wants to write: 2PC rides ON the locks)
+    const std::string& txn = tok[2];
+    const std::string staged = tok.size() > 3 ? tok[3] : "";
+    const auto owner = static_cast<OwnerId>(std::stoul(txn));
+    bool can = true;
+    for (const auto& [k, v] : lockdb_parse_kv(staged))
+      if (!table_->holds(k, owner)) can = false;
+    if (can) {
+      staged_[txn] = staged;
+      wal_->append("prep." + txn, staged);
+      reply("yes");
+    } else {
+      reply("no");
+    }
+  } else if (op == "dec" && tok.size() == 4) {
+    // dec <r> <txn> <commit|abort>
+    const std::string& txn = tok[2];
+    decide(txn, tok[3] == "commit");
+    table_->release_all(static_cast<OwnerId>(std::stoul(txn)));
+    reply("ack");
+  } else if (op == "get" && tok.size() == 3) {
+    const auto it = kv_.find(tok[2]);
+    reply(it == kv_.end() ? "?" : it->second);
+  } else if (op == "digest" && tok.size() == 2) {
+    reply(digest());
+  } else if (op == "outcome" && tok.size() == 3) {
+    const auto v = wal_->last("decision." + tok[2]);
+    reply(v.value_or("unknown"));
+  } else if (op == "sync" && tok.size() == 2) {
+    reply(lockdb_serialize_kv(kv_));
+  } else if (op == "role" && tok.size() == 2) {
+    reply(std::to_string(primary_));
+  } else {
+    reply("err bad request");
+  }
+}
+
+std::string WireReplica::digest() const { return lockdb_digest(kv_); }
+
+// ---- WireDriver ----
+
+WireDriver::WireDriver(runtime::Scheduler& sched, runtime::Wire& wire,
+                       Wal& wal, WireDriverOptions opts)
+    : sched_(&sched), wire_(&wire), wal_(&wal), opts_(std::move(opts)) {
+  std::sort(opts_.replicas.begin(), opts_.replicas.end());
+}
+
+void WireDriver::publish(const char* name, std::string detail,
+                         double value) {
+  if (bus_ == nullptr || !bus_->wants(obs::Subsystem::Recovery)) return;
+  obs::Event e;
+  e.subsystem = obs::Subsystem::Recovery;
+  e.name = name;
+  e.detail = std::move(detail);
+  e.value = value;
+  bus_->publish(e);
+}
+
+std::vector<runtime::PeerId> WireDriver::live() const {
+  std::vector<runtime::PeerId> out;
+  for (runtime::PeerId id : opts_.replicas)
+    if (dead_.count(id) == 0) out.push_back(id);
+  return out;
+}
+
+void WireDriver::declare_dead(runtime::PeerId peer, const char* why) {
+  if (!dead_.insert(peer).second) return;
+  ++declared_dead_;
+  publish("lockdb.peer_dead", std::string(why),
+          static_cast<double>(peer));
+}
+
+void WireDriver::revive(runtime::PeerId peer) { dead_.erase(peer); }
+
+bool WireDriver::request(runtime::PeerId to, const std::string& op_and_args,
+                         std::string* reply) {
+  const std::size_t sp = op_and_args.find(' ');
+  const std::string op = op_and_args.substr(0, sp);
+  const std::string rest =
+      sp == std::string::npos ? "" : op_and_args.substr(sp);
+  for (unsigned attempt = 0; attempt < opts_.attempts; ++attempt) {
+    // Fresh reply tag per attempt: a late answer to attempt k must not
+    // satisfy attempt k+1 of a DIFFERENT request later on.
+    const std::string rtag = "rd" + std::to_string(opts_.self) + "." +
+                             std::to_string(reply_seq_++);
+    wire_->post(to, kReqTag, op + " " + rtag + rest);
+    runtime::Wire::Msg m;
+    if (wire_->recv(rtag, &m, opts_.reply_timeout, to)) {
+      *reply = m.payload;
+      return true;
+    }
+  }
+  declare_dead(to, "no reply");
+  return false;
+}
+
+bool WireDriver::acquire(std::uint32_t txn, const std::string& item,
+                         LockMode mode) {
+  const std::vector<runtime::PeerId> targets = live();
+  if (targets.size() < opts_.min_survivors) return false;
+  std::vector<runtime::PeerId> granted;
+  bool ok = true;
+  for (runtime::PeerId id : targets) {
+    std::string reply;
+    if (request(id,
+                "acq " + std::to_string(txn) + " " + item + " " +
+                    (mode == LockMode::Exclusive ? "X" : "S") + " " +
+                    std::to_string(opts_.lease_ticks),
+                &reply) &&
+        reply == "ok") {
+      granted.push_back(id);
+    } else if (dead_.count(id) != 0) {
+      // Dead replica: degrade, don't fail the acquire.
+      continue;
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    for (runtime::PeerId id : granted) {
+      std::string ignored;
+      request(id, "rel " + std::to_string(txn), &ignored);
+    }
+  }
+  return ok;
+}
+
+void WireDriver::release(std::uint32_t txn) {
+  for (runtime::PeerId id : live()) {
+    std::string ignored;
+    request(id, "rel " + std::to_string(txn), &ignored);
+  }
+}
+
+bool WireDriver::update(
+    std::uint32_t txn,
+    const std::vector<std::pair<std::string, std::string>>& writes) {
+  std::vector<runtime::PeerId> targets = live();
+  if (targets.size() < opts_.min_survivors) {
+    ++aborts_;
+    publish("lockdb.refused", "below min_survivors");
+    return false;
+  }
+  std::map<std::string, std::string> wmap(writes.begin(), writes.end());
+  const std::string staged = lockdb_serialize_kv(wmap);
+  const std::string t = std::to_string(txn);
+
+  // Phase 1 — prepare everywhere. A replica that dies mid-prepare
+  // degrades the set; a live "no" vetoes.
+  bool all_yes = true;
+  for (runtime::PeerId id : targets) {
+    std::string vote;
+    if (!request(id, "prep " + t + " " + staged, &vote)) continue;  // dead
+    if (vote != "yes") {
+      all_yes = false;
+      break;
+    }
+  }
+  if (live().size() < opts_.min_survivors) all_yes = false;
+
+  // The decision hits OUR log before any participant learns it: a
+  // coordinator crash after this line re-drives the same decision, and
+  // a participant crash resolves its in-doubt against this record via
+  // the survivors.
+  wal_->append("decision." + t, all_yes ? "commit" : "abort");
+
+  // Phase 2 — drive the decision to whoever is still alive.
+  for (runtime::PeerId id : live()) {
+    std::string ack;
+    request(id, "dec " + t + " " + (all_yes ? "commit" : "abort"), &ack);
+  }
+  if (all_yes)
+    ++commits_;
+  else
+    ++aborts_;
+  return all_yes;
+}
+
+std::optional<std::string> WireDriver::get(const std::string& key) {
+  for (runtime::PeerId id : live()) {
+    std::string reply;
+    if (request(id, "get " + key, &reply))
+      return reply == "?" ? std::nullopt
+                          : std::optional<std::string>(reply);
+  }
+  return std::nullopt;
+}
+
+std::string WireDriver::digest_of(runtime::PeerId replica) {
+  std::string reply;
+  if (!request(replica, "digest", &reply)) return "";
+  return reply;
+}
+
+}  // namespace script::lockdb

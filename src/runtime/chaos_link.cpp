@@ -1,0 +1,109 @@
+#include "runtime/chaos_link.hpp"
+
+#include <algorithm>
+
+namespace script::runtime {
+
+ChaosLink::ChaosLink(Transport& inner, ChaosOptions opts)
+    : inner_(&inner), opts_(opts), rng_(opts.seed) {}
+
+bool ChaosLink::partitioned(PeerId peer) const {
+  return std::find(partitioned_.begin(), partitioned_.end(), peer) !=
+         partitioned_.end();
+}
+
+void ChaosLink::partition(PeerId peer) {
+  if (!partitioned(peer)) {
+    partitioned_.push_back(peer);
+    publish("chaos.partition", "peer=" + std::to_string(peer));
+  }
+}
+
+void ChaosLink::heal(PeerId peer) {
+  const auto it = std::find(partitioned_.begin(), partitioned_.end(), peer);
+  if (it != partitioned_.end()) {
+    partitioned_.erase(it);
+    publish("chaos.heal", "peer=" + std::to_string(peer));
+  }
+}
+
+void ChaosLink::slow_close(PeerId peer) {
+  ++stats_.chaos_slow_closes;
+  publish("chaos.slow_close", "peer=" + std::to_string(peer));
+  inner_->slow_close(peer);
+}
+
+bool ChaosLink::send(PeerId to, std::string frame) {
+  // One Rng draw per configured rate, in a fixed order, whether or not
+  // an earlier fault already consumed the frame — the draw sequence
+  // must depend only on the send sequence, or two runs that differ in
+  // one drop diverge everywhere after it.
+  const bool drop = opts_.drop_rate > 0 && rng_.chance(opts_.drop_rate);
+  const bool dup = opts_.dup_rate > 0 && rng_.chance(opts_.dup_rate);
+  const bool delay = opts_.delay_rate > 0 && rng_.chance(opts_.delay_rate);
+
+  if (partitioned(to)) {
+    ++stats_.chaos_partitioned;
+    publish("chaos.eat", "peer=" + std::to_string(to));
+    return true;  // blackholed, like a real partition: sender sees "sent"
+  }
+  if (drop) {
+    ++stats_.chaos_dropped;
+    publish("chaos.drop", "peer=" + std::to_string(to));
+    return true;
+  }
+  if (delay) {
+    ++stats_.chaos_delayed;
+    publish("chaos.delay", "peer=" + std::to_string(to),
+            static_cast<double>(opts_.delay_ticks));
+    delayed_.push_back(
+        Delayed{clock_now() + opts_.delay_ticks, to, std::move(frame)});
+    return true;
+  }
+  if (dup) {
+    ++stats_.chaos_duplicated;
+    publish("chaos.duplicate", "peer=" + std::to_string(to));
+    inner_->send(to, frame);  // copy; original forwarded below
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += frame.size();
+  return inner_->send(to, std::move(frame));
+}
+
+std::size_t ChaosLink::poll(const PollFn& fn) {
+  std::size_t delivered = 0;
+  inner_->poll([&](PeerId from, std::string&& frame) {
+    if (partitioned(from)) {
+      // The partition eats inbound traffic too: a one-sided install
+      // still isolates this endpoint completely.
+      ++stats_.chaos_partitioned;
+      publish("chaos.eat", "peer=" + std::to_string(from) + " in");
+      return;
+    }
+    stats_.frames_received += 1;
+    stats_.bytes_received += frame.size();
+    ++delivered;
+    fn(from, std::move(frame));
+  });
+  return delivered;
+}
+
+void ChaosLink::service() {
+  bump_fallback_clock();
+  const std::uint64_t now = clock_now();
+  // Forward held frames whose delay has elapsed, preserving send order
+  // among those due at the same instant.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < delayed_.size(); ++i) {
+    if (delayed_[i].due <= now) {
+      inner_->send(delayed_[i].to, std::move(delayed_[i].bytes));
+    } else {
+      if (kept != i) delayed_[kept] = std::move(delayed_[i]);
+      ++kept;
+    }
+  }
+  delayed_.resize(kept);
+  inner_->service();
+}
+
+}  // namespace script::runtime

@@ -1,0 +1,85 @@
+// ChaosLink — a seeded frame-level fault interposer over any Transport.
+//
+// PR 2's FaultPlan injects faults at the csp::Net message level inside
+// one simulated process group; this decorator injects them at the WIRE
+// level, between transport backends, so the identical fault matrix can
+// run against the deterministic sim backend (CI twin) and the real TCP
+// backend (soak). Five fault kinds, all counted in TransportStats and
+// published as chaos.* Link events — a fault that fired invisibly is a
+// test that proves nothing:
+//
+//   drop       — frame vanishes after send()                (rate)
+//   delay      — frame held for delay_ticks of virtual time (rate)
+//   duplicate  — frame forwarded twice                      (rate)
+//   partition  — all frames to/from a peer eaten until heal (scripted)
+//   slow-close — link torn down mid-frame at the peer       (scripted)
+//
+// Rate faults draw from a private seeded Rng in send order, so a fixed
+// seed yields the same fault pattern on every run over the sim backend.
+// Scripted faults (partition/heal/slow_close) are driven by the test
+// harness at chosen instants.
+//
+// Stats split: chaos_* counters and the sent/received totals of frames
+// that crossed THIS decorator live in ChaosLink::stats(); wire-level
+// truth (what actually hit the medium) stays on the inner backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "support/rng.hpp"
+
+namespace script::runtime {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double delay_rate = 0.0;
+  std::uint64_t delay_ticks = 3;  // virtual-time hold per delayed frame
+};
+
+class ChaosLink final : public Transport {
+ public:
+  ChaosLink(Transport& inner, ChaosOptions opts);
+
+  PeerId self() const override { return inner_->self(); }
+  bool send(PeerId to, std::string frame) override;
+  std::size_t poll(const PollFn& fn) override;
+  void service() override;
+  void wait_io(int timeout_us) override { inner_->wait_io(timeout_us); }
+  void kick(PeerId peer) override { inner_->kick(peer); }
+  LinkState link_state(PeerId peer) const override {
+    return inner_->link_state(peer);
+  }
+  std::vector<PeerId> peers() const override { return inner_->peers(); }
+
+  // ---- Scripted faults ----
+
+  /// Eat every frame to/from `peer` (both directions at this endpoint)
+  /// until heal(). Symmetric partitions install one on each side.
+  void partition(PeerId peer);
+  void heal(PeerId peer);
+  bool partitioned(PeerId peer) const;
+
+  /// Tear the link to `peer` down mid-frame, right now.
+  void slow_close(PeerId peer) override;
+
+  Transport& inner() { return *inner_; }
+
+ private:
+  struct Delayed {
+    std::uint64_t due;
+    PeerId to;
+    std::string bytes;
+  };
+
+  Transport* inner_;
+  ChaosOptions opts_;
+  support::Rng rng_;
+  std::vector<PeerId> partitioned_;
+  std::vector<Delayed> delayed_;  // FIFO per due-tick (send order)
+};
+
+}  // namespace script::runtime

@@ -10,7 +10,7 @@
 
 namespace script::runtime {
 
-DebugEndpoint::IoHooks DebugEndpoint::io = {&::send, &::recv, &::accept4};
+DebugEndpoint::IoHooks& DebugEndpoint::io = support::io;
 
 DebugEndpoint::~DebugEndpoint() { close(); }
 

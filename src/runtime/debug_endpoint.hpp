@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "support/io.hpp"
+
 namespace script::runtime {
 
 class DebugEndpoint {
@@ -69,15 +71,14 @@ class DebugEndpoint {
   /// shed, applied to the debug path).
   std::uint64_t connections_shed() const { return sheds_; }
 
-  /// Test seams: the raw socket calls, overridable so unit tests can
+  /// Test seam: the raw socket calls, overridable so unit tests can
   /// inject EINTR and short writes without arranging real signal
-  /// delivery. Default to ::send / ::recv / ::accept4.
-  struct IoHooks {
-    ssize_t (*send)(int fd, const void* buf, size_t len, int flags);
-    ssize_t (*recv)(int fd, void* buf, size_t len, int flags);
-    int (*accept)(int fd, sockaddr* addr, socklen_t* alen, int flags);
-  };
-  static IoHooks io;
+  /// delivery. This is the shared support/io hook table (the TCP
+  /// transport goes through the same one, so a single interposer
+  /// covers every syscall site in the process); the member reference
+  /// survives for source compatibility with older tests.
+  using IoHooks = support::IoHooks;
+  static IoHooks& io;
 
  private:
   struct Conn {

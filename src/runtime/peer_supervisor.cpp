@@ -1,0 +1,213 @@
+#include "runtime/peer_supervisor.hpp"
+
+namespace script::runtime {
+
+namespace {
+constexpr std::size_t kHeader = 1 + 8;
+}  // namespace
+
+PeerSupervisor::PeerSupervisor(Transport& inner, std::uint64_t incarnation,
+                               PeerSupervisorOptions opts)
+    : inner_(&inner), self_inc_(incarnation), opts_(opts) {}
+
+std::string PeerSupervisor::encode(WireFrameType t, std::uint64_t inc,
+                                   const std::string& payload) {
+  std::string out;
+  out.reserve(kHeader + payload.size());
+  out.push_back(static_cast<char>(t));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((inc >> (8 * i)) & 0xff));
+  out += payload;
+  return out;
+}
+
+bool PeerSupervisor::decode(const std::string& frame, WireFrameType* t,
+                            std::uint64_t* inc, std::string* payload) {
+  if (frame.size() < kHeader) return false;
+  const auto raw = static_cast<std::uint8_t>(frame[0]);
+  if (raw > static_cast<std::uint8_t>(WireFrameType::SuspectNotice))
+    return false;
+  *t = static_cast<WireFrameType>(raw);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(frame[1 + i]))
+         << (8 * i);
+  *inc = v;
+  payload->assign(frame, kHeader, frame.size() - kHeader);
+  return true;
+}
+
+void PeerSupervisor::raw_send(PeerId to, WireFrameType t,
+                              std::string payload) {
+  inner_->send(to, encode(t, self_inc_, payload));
+}
+
+bool PeerSupervisor::send(PeerId to, std::string frame) {
+  const Peer& p = peer(to);
+  if (p.gone) {
+    ++stats_.frames_shed;
+    publish("wire.send_to_gone", "peer=" + std::to_string(to));
+    return false;
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += frame.size();
+  return inner_->send(to, encode(WireFrameType::Data, self_inc_, frame));
+}
+
+void PeerSupervisor::watch(PeerId id) {
+  Peer& p = peer(id);
+  p.last_heard = clock_now();
+  raw_send(id, WireFrameType::Hello, {});
+}
+
+void PeerSupervisor::on_frame(PeerId from, std::string&& frame,
+                              const PollFn& fn) {
+  WireFrameType type;
+  std::uint64_t inc;
+  std::string payload;
+  if (!decode(frame, &type, &inc, &payload)) {
+    ++stats_.torn_frames;
+    publish("wire.bad_frame", "peer=" + std::to_string(from));
+    return;
+  }
+  Peer& p = peer(from);
+
+  if (type == WireFrameType::SuspectNotice) {
+    // Someone buried incarnation `inc` of a peer. If that peer is US —
+    // the notice names an incarnation at least as new as ours — adopt a
+    // strictly newer identity and re-introduce ourselves everywhere.
+    // Resurrection is forbidden; restart is the only way back.
+    if (inc >= self_inc_) {
+      self_inc_ = inc + 1;
+      publish("wire.self_suspected",
+              "by=" + std::to_string(from) +
+                  " new_inc=" + std::to_string(self_inc_));
+      for (PeerId id : inner_->peers())
+        raw_send(id, WireFrameType::Hello, {});
+      if (on_self_suspected) on_self_suspected(self_inc_);
+    }
+    p.last_heard = clock_now();
+    p.heard_once = true;
+    return;
+  }
+
+  if (inc < p.inc) {
+    // Zombie traffic from a previous life of `from`: a frame written
+    // before its crash can surface after the restart's hello (kernel
+    // buffers, chaos delays). One counted drop, no state change.
+    ++stats_.stale_frames;
+    publish("wire.stale_frame",
+            "peer=" + std::to_string(from) + " inc=" + std::to_string(inc));
+    return;
+  }
+
+  if (inc > p.inc) {
+    // A genuinely new incarnation: suspicion was for the OLD life, so
+    // it resets — this is the only path out of sticky suspicion.
+    const bool rejoin = p.heard_once;
+    p.inc = inc;
+    p.suspected = false;
+    if (p.gone) {
+      p.gone = false;
+      ++stats_.reconnects;
+    }
+    p.last_heard = clock_now();
+    p.heard_once = true;
+    publish("wire.reenroll",
+            "peer=" + std::to_string(from) + " inc=" + std::to_string(inc));
+    if (rejoin && on_reenroll) on_reenroll(from, inc);
+  } else if (p.suspected) {
+    // Same incarnation we already declared dead: the link flapping back
+    // does NOT resurrect it. Drop, and tell the zombie why.
+    ++stats_.stale_frames;
+    publish("wire.suspected_frame", "peer=" + std::to_string(from));
+    // The notice names the BURIED incarnation (theirs, not ours): the
+    // zombie compares it against its own and reincarnates past it.
+    inner_->send(from, encode(WireFrameType::SuspectNotice, p.inc, {}));
+    return;
+  } else {
+    p.last_heard = clock_now();
+    p.heard_once = true;
+  }
+
+  switch (type) {
+    case WireFrameType::Data:
+      stats_.frames_received += 1;
+      stats_.bytes_received += payload.size();
+      fn(from, std::move(payload));
+      break;
+    case WireFrameType::Hello:
+      // Answer so the other side gets a liveness baseline even when the
+      // app has nothing to say yet.
+      raw_send(from, WireFrameType::Heartbeat, {});
+      break;
+    case WireFrameType::Heartbeat:
+    case WireFrameType::SuspectNotice:
+      break;
+  }
+}
+
+std::size_t PeerSupervisor::poll(const PollFn& fn) {
+  std::size_t delivered = 0;
+  inner_->poll([&](PeerId from, std::string&& frame) {
+    const std::uint64_t before = stats_.frames_received;
+    on_frame(from, std::move(frame), fn);
+    if (stats_.frames_received != before) ++delivered;
+  });
+  return delivered;
+}
+
+void PeerSupervisor::tick() {
+  const std::uint64_t now = clock_now();
+  for (auto& [id, p] : peers_) {
+    if (p.gone) continue;
+    if (now - p.last_sent >= opts_.heartbeat_every) {
+      p.last_sent = now;
+      raw_send(id, WireFrameType::Heartbeat, {});
+    }
+    if (!p.suspected && p.heard_once &&
+        now - p.last_heard > opts_.suspect_after) {
+      p.suspected = true;
+      p.suspected_at = now;
+      publish("wire.suspect",
+              "peer=" + std::to_string(id) + " inc=" + std::to_string(p.inc));
+      if (on_suspect) on_suspect(id, p.inc);
+    }
+    if (p.suspected && opts_.gone_after != 0 &&
+        now - p.suspected_at > opts_.gone_after) {
+      p.gone = true;
+      ++stats_.disconnects;
+      publish("wire.gone",
+              "peer=" + std::to_string(id) + " inc=" + std::to_string(p.inc));
+      if (on_gone) on_gone(id, p.inc);
+    }
+  }
+}
+
+void PeerSupervisor::service() {
+  bump_fallback_clock();
+  inner_->service();
+}
+
+LinkState PeerSupervisor::link_state(PeerId id) const {
+  const auto it = peers_.find(id);
+  if (it != peers_.end() && it->second.gone) return LinkState::Gone;
+  return inner_->link_state(id);
+}
+
+std::uint64_t PeerSupervisor::incarnation_of(PeerId id) const {
+  const auto it = peers_.find(id);
+  return it == peers_.end() ? 0 : it->second.inc;
+}
+
+bool PeerSupervisor::suspected(PeerId id) const {
+  const auto it = peers_.find(id);
+  return it != peers_.end() && it->second.suspected;
+}
+
+bool PeerSupervisor::gone(PeerId id) const {
+  const auto it = peers_.find(id);
+  return it != peers_.end() && it->second.gone;
+}
+
+}  // namespace script::runtime

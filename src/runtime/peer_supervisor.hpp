@@ -1,0 +1,131 @@
+// PeerSupervisor — connection supervision over any Transport.
+//
+// runtime::Supervisor supervises FIBERS (restart a crashed child, capped
+// backoff, escalation); this decorator supervises PEERS: remote
+// endpoints that can crash, hang, restart, or sit behind a partition.
+// It stacks over a backend (optionally through a ChaosLink) and speaks
+// a 9-byte supervision header in front of every application payload:
+//
+//   [u8 type][u64 incarnation, little-endian]
+//
+//   Data(0)          app payload follows
+//   Hello(1)         "peer `from` is alive as incarnation k"
+//   Heartbeat(2)     liveness keep-alive, sent every heartbeat_every
+//   SuspectNotice(3) "I have declared incarnation k of you dead"
+//
+// The incarnation number is the heart of the suspicion-flap fix
+// (ISSUE satellite 2). Suspicion is STICKY PER INCARNATION:
+//
+//   * frames with a stale incarnation are dropped and counted — a
+//     zombie that was declared dead cannot leak old-world traffic into
+//     the new world, even if its TCP connection flaps back;
+//   * frames with the suspected incarnation stay dropped forever, and
+//     each one is answered with a SuspectNotice so the zombie learns
+//     of its own funeral;
+//   * only a HIGHER incarnation — a genuine restart — re-admits the
+//     peer, via the on_reenroll callback (new world, no stale state).
+//
+// A peer that receives SuspectNotice(k >= its own incarnation) adopts
+// k+1 and re-hellos: a false suspicion (slow network, not dead peer)
+// resolves by forced re-enrollment, never by silent resurrection.
+//
+// All timing is on the virtual clock (set_clock), so every suspicion
+// schedule replays byte-identically over the sim backend.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+namespace script::runtime {
+
+enum class WireFrameType : std::uint8_t {
+  Data = 0,
+  Hello = 1,
+  Heartbeat = 2,
+  SuspectNotice = 3,
+};
+
+struct PeerSupervisorOptions {
+  std::uint64_t heartbeat_every = 50;  // ticks between heartbeats
+  std::uint64_t suspect_after = 200;   // silence before suspicion
+  std::uint64_t gone_after = 1000;     // suspicion before Gone (0 = never)
+};
+
+class PeerSupervisor final : public Transport {
+ public:
+  /// `incarnation` identifies THIS process-lifetime; a restarted
+  /// process must come back with a strictly higher one (the lockdb
+  /// harness passes it via argv, tests bump it by hand).
+  PeerSupervisor(Transport& inner, std::uint64_t incarnation,
+                 PeerSupervisorOptions opts = {});
+
+  PeerId self() const override { return inner_->self(); }
+  /// Wraps `frame` in a Data header. Refused (false, counted) when the
+  /// peer is Gone — the caller must degrade, not queue into a void.
+  bool send(PeerId to, std::string frame) override;
+  /// Delivers only Data payloads of the current, unsuspected
+  /// incarnation; supervision frames are consumed internally.
+  std::size_t poll(const PollFn& fn) override;
+  void service() override;
+  void wait_io(int timeout_us) override { inner_->wait_io(timeout_us); }
+  void kick(PeerId peer) override { inner_->kick(peer); }
+  void slow_close(PeerId peer) override { inner_->slow_close(peer); }
+  LinkState link_state(PeerId peer) const override;
+  std::vector<PeerId> peers() const override { return inner_->peers(); }
+
+  /// Announce ourselves to `peer` and start expecting heartbeats back.
+  /// Until the first frame arrives the peer is not suspect-eligible
+  /// (suspicion needs a baseline, or startup order becomes a flap).
+  void watch(PeerId peer);
+
+  /// Heartbeat/suspicion timers; call once per pump iteration.
+  void tick();
+
+  std::uint64_t self_incarnation() const { return self_inc_; }
+  std::uint64_t incarnation_of(PeerId peer) const;
+  bool suspected(PeerId peer) const;
+  bool gone(PeerId peer) const;
+
+  // ---- Escalation callbacks (all optional) ----
+  /// Incarnation `inc` of `peer` declared dead (suspect_after silence).
+  std::function<void(PeerId, std::uint64_t inc)> on_suspect;
+  /// `peer` came back with a higher incarnation — re-enroll it.
+  std::function<void(PeerId, std::uint64_t inc)> on_reenroll;
+  /// `peer` stayed suspected for gone_after: degrade or abort.
+  std::function<void(PeerId, std::uint64_t inc)> on_gone;
+  /// Someone declared US dead; we adopted a new incarnation and
+  /// re-helloed. The app layer must re-enroll its own state.
+  std::function<void(std::uint64_t new_inc)> on_self_suspected;
+
+  /// Wire codec, shared with tests and WireCast.
+  static std::string encode(WireFrameType t, std::uint64_t inc,
+                            const std::string& payload);
+  static bool decode(const std::string& frame, WireFrameType* t,
+                     std::uint64_t* inc, std::string* payload);
+
+ private:
+  struct Peer {
+    std::uint64_t inc = 0;         // highest incarnation seen
+    std::uint64_t last_heard = 0;  // tick of last frame (any type)
+    std::uint64_t last_sent = 0;   // tick of last heartbeat out
+    std::uint64_t suspected_at = 0;
+    bool heard_once = false;
+    bool suspected = false;  // sticky for `inc`
+    bool gone = false;
+  };
+
+  void raw_send(PeerId to, WireFrameType t, std::string payload);
+  void on_frame(PeerId from, std::string&& frame, const PollFn& fn);
+  Peer& peer(PeerId id) { return peers_[id]; }
+
+  Transport* inner_;
+  std::uint64_t self_inc_;
+  PeerSupervisorOptions opts_;
+  std::map<PeerId, Peer> peers_;  // ordered: deterministic tick() sweep
+};
+
+}  // namespace script::runtime

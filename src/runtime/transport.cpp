@@ -1,0 +1,212 @@
+#include "runtime/transport.hpp"
+
+#include <algorithm>
+
+namespace script::runtime {
+
+const char* link_state_name(LinkState s) {
+  switch (s) {
+    case LinkState::Down:
+      return "down";
+    case LinkState::Connecting:
+      return "connecting";
+    case LinkState::Backoff:
+      return "backoff";
+    case LinkState::Up:
+      return "up";
+    case LinkState::Gone:
+      return "gone";
+  }
+  return "?";
+}
+
+void Transport::publish(const char* name, std::string detail, double value) {
+  if (bus_ == nullptr || !bus_->wants(obs::Subsystem::Link)) return;
+  obs::Event e;
+  e.subsystem = obs::Subsystem::Link;
+  e.name = name;
+  e.detail = std::move(detail);
+  e.value = value;
+  bus_->publish(e);
+}
+
+// ---- SimNetwork ----
+
+void SimNetwork::attach(PeerId id, SimTransport* t) {
+  if (endpoints_.size() <= id) {
+    endpoints_.resize(id + 1, nullptr);
+    down_.resize(id + 1, false);
+  }
+  endpoints_[id] = t;
+}
+
+void SimNetwork::detach(PeerId id, SimTransport* t) {
+  if (id < endpoints_.size() && endpoints_[id] == t) endpoints_[id] = nullptr;
+}
+
+SimTransport* SimNetwork::endpoint(PeerId id) const {
+  return id < endpoints_.size() ? endpoints_[id] : nullptr;
+}
+
+void SimNetwork::set_down(PeerId peer) {
+  if (down_.size() <= peer) down_.resize(peer + 1, false);
+  if (down_[peer]) return;
+  down_[peer] = true;
+  // A dead peer loses what its kernel had buffered: everything already
+  // in flight toward it evaporates, exactly like a real crash.
+  if (SimTransport* t = endpoint(peer)) t->inbox_.clear();
+  // Every other endpoint sees its link to `peer` drop.
+  for (SimTransport* t : endpoints_) {
+    if (t == nullptr || t->self() == peer) continue;
+    ++t->stats_.disconnects;
+    t->publish("wire.link_down", "peer=" + std::to_string(peer));
+  }
+}
+
+void SimNetwork::set_up(PeerId peer) {
+  if (down_.size() <= peer) down_.resize(peer + 1, false);
+  if (!down_[peer]) return;
+  down_[peer] = false;
+  for (SimTransport* t : endpoints_) {
+    if (t == nullptr || t->self() == peer) continue;
+    ++t->stats_.reconnects;
+    t->publish("wire.link_up", "peer=" + std::to_string(peer));
+  }
+}
+
+bool SimNetwork::is_down(PeerId peer) const {
+  return peer < down_.size() && down_[peer];
+}
+
+// ---- SimTransport ----
+
+SimTransport::SimTransport(SimNetwork& net, PeerId self)
+    : net_(&net), self_(self) {
+  net_->attach(self_, this);
+}
+
+SimTransport::~SimTransport() { net_->detach(self_, this); }
+
+bool SimTransport::send(PeerId to, std::string frame) {
+  if (net_->is_down(to) || net_->endpoint(to) == nullptr) {
+    // The link is down: queue at the sender, bounded. This mirrors the
+    // TCP backend's per-peer outbound queue during reconnect — sends
+    // succeed until the bound, then shed with a count.
+    if (pending_bytes_ + frame.size() > max_pending_) {
+      ++stats_.frames_shed;
+      publish("wire.shed", "peer=" + std::to_string(to),
+              static_cast<double>(frame.size()));
+      return false;
+    }
+    pending_bytes_ += frame.size();
+    pending_.push_back(Pending{to, std::move(frame)});
+    return true;
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += frame.size();
+  SimNetwork::InFlight f;
+  f.due = clock_now() + net_->latency_ticks();
+  f.seq = net_->seq_++;
+  f.from = self_;
+  f.bytes = std::move(frame);
+  net_->endpoint(to)->deposit(std::move(f));
+  return true;
+}
+
+void SimTransport::deposit(SimNetwork::InFlight f) {
+  // Keep the inbox sorted by (due, seq): delivery order is a pure
+  // function of virtual send time, never of host scheduling.
+  const auto pos = std::upper_bound(
+      inbox_.begin(), inbox_.end(), f,
+      [](const SimNetwork::InFlight& a, const SimNetwork::InFlight& b) {
+        return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+      });
+  inbox_.insert(pos, std::move(f));
+}
+
+std::size_t SimTransport::poll(const PollFn& fn) {
+  const std::uint64_t now = clock_now();
+  std::size_t delivered = 0;
+  while (!inbox_.empty() && inbox_.front().due <= now) {
+    SimNetwork::InFlight f = std::move(inbox_.front());
+    inbox_.erase(inbox_.begin());
+    if (f.torn) {
+      // A slow-close left a partial frame on the wire: it is counted
+      // and discarded, never surfaced as a (corrupt) message.
+      ++stats_.torn_frames;
+      publish("wire.torn_frame", "peer=" + std::to_string(f.from));
+      continue;
+    }
+    stats_.frames_received += 1;
+    stats_.bytes_received += f.bytes.size();
+    ++delivered;
+    fn(f.from, std::move(f.bytes));
+  }
+  return delivered;
+}
+
+void SimTransport::flush_pending() {
+  if (pending_.empty()) return;
+  std::vector<Pending> still;
+  for (Pending& p : pending_) {
+    if (net_->is_down(p.to) || net_->endpoint(p.to) == nullptr) {
+      still.push_back(std::move(p));
+      continue;
+    }
+    pending_bytes_ -= p.bytes.size();
+    send(p.to, std::move(p.bytes));
+  }
+  pending_ = std::move(still);
+}
+
+void SimTransport::service() {
+  bump_fallback_clock();
+  flush_pending();
+}
+
+void SimTransport::kick(PeerId peer) {
+  // A kicked sim link flaps: down now, back up on the next service().
+  // In-flight frames toward us from that peer are lost, like a RST.
+  inbox_.erase(std::remove_if(inbox_.begin(), inbox_.end(),
+                              [&](const SimNetwork::InFlight& f) {
+                                return f.from == peer;
+                              }),
+               inbox_.end());
+  ++stats_.disconnects;
+  ++stats_.reconnects;
+  publish("wire.link_down", "peer=" + std::to_string(peer) + " kick");
+  publish("wire.link_up", "peer=" + std::to_string(peer) + " kick");
+}
+
+void SimTransport::slow_close(PeerId peer) {
+  // Leave half a frame on the peer's wire, then flap the link: the
+  // receiver must count a torn frame and carry on, never surface it.
+  if (SimTransport* t = net_->endpoint(peer)) {
+    // Kick first (losing whatever of ours was still in flight, like a
+    // RST), then leave the torn residue that "arrived" before the close.
+    t->kick(self_);
+    SimNetwork::InFlight f;
+    f.due = clock_now() + net_->latency_ticks();
+    f.seq = net_->seq_++;
+    f.from = self_;
+    f.bytes = "\x00\x00";  // a prefix of a length header, nothing more
+    f.torn = true;
+    t->deposit(std::move(f));
+  }
+}
+
+LinkState SimTransport::link_state(PeerId peer) const {
+  if (net_->is_down(peer)) return LinkState::Down;
+  return net_->endpoint(peer) != nullptr ? LinkState::Up : LinkState::Down;
+}
+
+std::vector<PeerId> SimTransport::peers() const {
+  std::vector<PeerId> out;
+  for (PeerId id = 0; id < net_->endpoints_.size(); ++id)
+    if (id != self_ && net_->endpoints_[id] != nullptr) out.push_back(id);
+  return out;
+}
+
+std::size_t SimTransport::pending_frames() const { return pending_.size(); }
+
+}  // namespace script::runtime

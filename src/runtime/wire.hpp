@@ -1,0 +1,117 @@
+// Wire — tagged fiber messaging over a Transport.
+//
+// csp::Net gives fibers synchronous rendezvous INSIDE one scheduler;
+// Wire gives them asynchronous tagged messages BETWEEN schedulers
+// (other processes over TcpTransport, other SimTransport endpoints in
+// the CI twin). A fiber posts `(peer, tag, payload)` and parks in
+// recv(tag) until a matching message arrives — the blocking shape of
+// an entry call, the delivery guarantees of a datagram over TCP.
+//
+// The bridge between real sockets and virtual time is the PUMP FIBER:
+//
+//   while (!stopping) {
+//     supervisor.tick();            // heartbeats, suspicion (virtual)
+//     transport.service();          // non-blocking I/O pump
+//     if (transport.poll(deliver) == 0)
+//       transport.wait_io(tick_us); // idle: real-block in epoll_wait
+//     sched.sleep_for(1);           // advance the virtual clock
+//   }
+//
+// Over TCP the wait_io call paces the virtual clock at >= tick_us real
+// time per tick when idle (and full speed under load), so heartbeat
+// and suspicion intervals written in ticks mean real time too. Over
+// the sim backend wait_io is a no-op and the same loop is a pure
+// discrete-event process — the scheduler stays deterministic because
+// nothing the pump observes feeds back into dispatch order, exactly
+// the DebugEndpoint argument.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/peer_supervisor.hpp"
+#include "runtime/transport.hpp"
+
+namespace script::runtime {
+
+struct WireOptions {
+  int tick_us = 500;  // real-time floor per idle virtual tick (TCP)
+  std::size_t max_mailbox_bytes = 1u << 20;  // undrained-message cap
+};
+
+class Wire {
+ public:
+  using Options = WireOptions;
+
+  static constexpr std::uint64_t kNoTimeout = static_cast<std::uint64_t>(-1);
+
+  struct Msg {
+    PeerId from = kNoPeer;
+    std::string tag;
+    std::string payload;
+  };
+
+  /// `sup` (optional) gets tick() called from the pump loop; pass the
+  /// PeerSupervisor that `transport` stacks over.
+  Wire(Scheduler& sched, Transport& transport,
+       PeerSupervisor* sup = nullptr, Options opts = Options());
+  ~Wire();
+
+  /// Spawn the pump fiber. The transport's clock is pointed at the
+  /// scheduler's.
+  void start();
+  /// Ask the pump fiber to exit at its next iteration (the scheduler
+  /// only finishes a run() when every fiber does).
+  void stop();
+
+  /// Fire-and-forget: send `payload` under `tag` to `to`. False when
+  /// the transport shed the frame (bounded queue / gone peer).
+  bool post(PeerId to, const std::string& tag, const std::string& payload);
+
+  /// Park until a message tagged `tag` arrives (from `from`, or from
+  /// anyone when kNoPeer). Returns false on timeout or wire shutdown.
+  bool recv(const std::string& tag, Msg* out,
+            std::uint64_t timeout_ticks = kNoTimeout,
+            PeerId from = kNoPeer);
+
+  /// Messages accepted but not yet recv()'d (for drain assertions).
+  std::size_t queued() const { return queued_; }
+  std::uint64_t messages_shed() const { return shed_; }
+  bool running() const { return pump_ != kNoProcess && !stopping_; }
+
+  /// Tag codec for one frame: [u32 tag_len][tag][payload].
+  static std::string encode(const std::string& tag,
+                            const std::string& payload);
+  static bool decode(const std::string& frame, std::string* tag,
+                     std::string* payload);
+
+ private:
+  struct Waiter {
+    std::string tag;
+    PeerId from;
+    Msg* out;
+    ProcessId pid;
+    bool filled = false;
+  };
+
+  void deliver(PeerId from, std::string&& frame);
+  void pump();
+
+  Scheduler* sched_;
+  Transport* transport_;
+  PeerSupervisor* sup_;
+  Options opts_;
+  ProcessId pump_ = kNoProcess;
+  bool stopping_ = false;
+  std::deque<Msg> mailbox_;
+  std::size_t mailbox_bytes_ = 0;
+  std::size_t queued_ = 0;
+  std::uint64_t shed_ = 0;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace script::runtime

@@ -1,0 +1,81 @@
+#include "script/wire_cast.hpp"
+
+#include "support/panic.hpp"
+
+namespace script::core {
+
+WireCast::WireCast(runtime::Wire& wire, std::vector<runtime::PeerId> members,
+                   std::size_t my_index, std::string name)
+    : wire_(&wire),
+      members_(std::move(members)),
+      my_index_(my_index),
+      name_(std::move(name)),
+      suspected_(members_.size(), false) {
+  SCRIPT_ASSERT(my_index_ < members_.size(),
+                "WireCast my_index out of range");
+}
+
+void WireCast::set_fault_options(CastFaultOptions opts) {
+  tolerant_ = true;
+  fault_ = opts;
+}
+
+std::size_t WireCast::suspected_count() const {
+  std::size_t n = 0;
+  for (bool s : suspected_)
+    if (s) ++n;
+  return n;
+}
+
+void WireCast::suspect_peer(runtime::PeerId peer) {
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i] == peer) suspected_[i] = true;
+}
+
+void WireCast::all_to_all(char phase) {
+  // The generation rides in the tag: a straggler re-sending round g
+  // can never satisfy a waiter in round g+1.
+  const std::string tag =
+      "cast." + name_ + "." + phase + std::to_string(generation_);
+  // Round trip 1/2: tell everyone (posts are async; order is free).
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (j == my_index_ || suspected_[j]) continue;
+    wire_->post(members_[j], tag, std::to_string(my_index_));
+    ++messages_;
+  }
+  // Round trip 2/2: hear everyone (any arrival order; tag matching
+  // parks us until the right message lands).
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    if (j == my_index_ || suspected_[j]) continue;
+    runtime::Wire::Msg m;
+    if (!tolerant_) {
+      if (!wire_->recv(tag, &m, runtime::Wire::kNoTimeout, members_[j]))
+        SCRIPT_PANIC("WireCast: wire shut down mid-round");
+      continue;
+    }
+    std::uint64_t wait = fault_.timeout_ticks;
+    bool heard = false;
+    for (unsigned attempt = 0; attempt < fault_.max_attempts; ++attempt) {
+      if (wire_->recv(tag, &m, wait, members_[j])) {
+        heard = true;
+        break;
+      }
+      // Re-post before the next, longer wait: our original announcement
+      // may have been the casualty (chaos drop, reconnect shed).
+      wire_->post(members_[j], tag, std::to_string(my_index_));
+      ++messages_;
+      wait *= fault_.backoff_factor;
+    }
+    if (!heard) suspected_[j] = true;
+  }
+}
+
+std::uint64_t WireCast::enroll() {
+  ++generation_;
+  all_to_all('e');
+  return generation_;
+}
+
+void WireCast::complete() { all_to_all('d'); }
+
+}  // namespace script::core

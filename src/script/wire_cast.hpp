@@ -1,0 +1,80 @@
+// WireCast — DistributedCast's two-round protocol over the Transport
+// seam.
+//
+// DistributedCast synchronizes roles INSIDE one scheduler (members are
+// csp::ProcessIds, exchanges are rendezvous). WireCast is the same
+// supervisor-free generalization of §IV/§V between SCHEDULERS: each
+// member is a peer — another OS process over TcpTransport, or another
+// SimTransport endpoint in the CI twin — and the two all-to-all rounds
+// ride tagged Wire messages instead of rendezvous:
+//
+//   ENROLL: post "cast.<name>.e<g>" to all, await one from each —
+//     having heard all n-1, the cast of generation g is complete;
+//   DONE:   post "cast.<name>.d<g>" to all, await all — generation g
+//     is over, g+1 may begin (successive-activations, pairwise).
+//
+// The generation number lives in the TAG, so a straggler's re-send of
+// an old round can never satisfy a new round's wait.
+//
+// Fault tolerance mirrors CastFaultOptions: every await is timed and
+// retried with exponential backoff; a peer that stays silent is
+// SUSPECTED and skipped from then on — the surviving majority degrades
+// rather than hangs (the Degrade policy; callers wanting Abort check
+// suspected_count() and panic). Incarnation hygiene — making sure a
+// suspect that flaps back cannot rejoin mid-generation — is the
+// PeerSupervisor layer's job, not re-implemented here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/wire.hpp"
+#include "script/distributed.hpp"
+
+namespace script::core {
+
+class WireCast {
+ public:
+  /// `members[i]` is the PeerId playing role i; `my_index` is ours.
+  /// All members run the same constructor arguments (same order).
+  WireCast(runtime::Wire& wire, std::vector<runtime::PeerId> members,
+           std::size_t my_index, std::string name);
+
+  /// Announce for the next generation; block until every unsuspected
+  /// member has announced too. Returns the generation number.
+  std::uint64_t enroll();
+
+  /// Exchange completion marks; block until all unsuspected members
+  /// completed generation `generation`.
+  void complete();
+
+  std::size_t members() const { return members_.size(); }
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t generation() const { return generation_; }
+
+  /// Crash-tolerant rounds (see CastFaultOptions). Without this, a
+  /// silent peer blocks enroll()/complete() forever — strict mode.
+  void set_fault_options(CastFaultOptions opts);
+  bool is_suspected(std::size_t index) const { return suspected_[index]; }
+  std::size_t suspected_count() const;
+
+  /// Externally-learned death (PeerSupervisor on_suspect/on_gone):
+  /// skip `peer` in all future rounds without waiting out a timeout.
+  void suspect_peer(runtime::PeerId peer);
+
+ private:
+  void all_to_all(char phase);
+
+  runtime::Wire* wire_;
+  std::vector<runtime::PeerId> members_;
+  std::size_t my_index_;
+  std::string name_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t messages_ = 0;
+  bool tolerant_ = false;
+  CastFaultOptions fault_;
+  std::vector<bool> suspected_;
+};
+
+}  // namespace script::core

@@ -1,0 +1,7 @@
+#include "support/io.hpp"
+
+namespace script::support {
+
+IoHooks io = {&::send, &::recv, &::accept4, &::connect};
+
+}  // namespace script::support

@@ -1,0 +1,243 @@
+// The sim twin contract: the chaos fault matrix that soaks the TCP
+// backend runs against SimTransport byte-identically under a fixed
+// seed. Every injected fault kind must be OBSERVABLE via transport
+// stats (a fault that fired invisibly proves nothing), identical seeds
+// must replay identical delivery transcripts, and the full lockdb
+// stack must converge when run over chaotic links.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lockdb/wire_server.hpp"
+#include "runtime/chaos_link.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/sim_log.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/wire.hpp"
+
+namespace {
+
+using script::lockdb::LockMode;
+using script::lockdb::LockTable;
+using script::lockdb::SimWal;
+using script::lockdb::WireDriver;
+using script::lockdb::WireDriverOptions;
+using script::lockdb::WireReplica;
+using script::lockdb::WireReplicaOptions;
+using script::runtime::ChaosLink;
+using script::runtime::ChaosOptions;
+using script::runtime::PeerId;
+using script::runtime::Scheduler;
+using script::runtime::SimLogStore;
+using script::runtime::SimNetwork;
+using script::runtime::SimTransport;
+using script::runtime::TransportStats;
+using script::runtime::Wire;
+
+/// One deterministic run of the fault matrix over the sim backend:
+/// endpoint 0 sends 100 frames to endpoint 1 through a ChaosLink with
+/// every rate fault armed, plus a scripted partition window and a
+/// scripted slow-close. Returns the full delivery transcript.
+struct TwinRun {
+  std::string transcript;
+  TransportStats chaos;     // the sender-side chaos link's counters
+  TransportStats receiver;  // the receiving backend's counters
+};
+
+TwinRun run_fault_matrix(std::uint64_t seed) {
+  SimNetwork net(1);
+  SimTransport ta(net, 0);
+  SimTransport tb(net, 1);
+  std::uint64_t tick = 0;
+  const auto clock = [&tick] { return tick; };
+  ta.set_clock(clock);
+  tb.set_clock(clock);
+
+  ChaosOptions co;
+  co.seed = seed;
+  co.drop_rate = 0.15;
+  co.dup_rate = 0.15;
+  co.delay_rate = 0.2;
+  co.delay_ticks = 4;
+  ChaosLink ca(ta, co);
+  ca.set_clock(clock);
+
+  TwinRun out;
+  const auto record = [&](PeerId from, std::string&& frame) {
+    out.transcript += "t" + std::to_string(tick) + " p" +
+                      std::to_string(from) + " " + frame + "\n";
+  };
+
+  for (int i = 0; i < 100; ++i) {
+    if (i == 40) ca.partition(1);
+    if (i == 60) ca.heal(1);
+    if (i == 80) ca.slow_close(1);
+    ca.send(1, "m" + std::to_string(i));
+    ++tick;
+    ca.service();
+    tb.service();
+    tb.poll(record);
+  }
+  // Drain: let delayed frames mature and in-flight frames land.
+  for (int i = 0; i < 20; ++i) {
+    ++tick;
+    ca.service();
+    tb.service();
+    tb.poll(record);
+  }
+  out.chaos = ca.stats();
+  out.receiver = tb.stats();
+  return out;
+}
+
+TEST(WireTwin, EveryFaultKindIsObservableInStats) {
+  const TwinRun r = run_fault_matrix(42);
+  // Rate faults fired and were counted — nothing injected invisibly.
+  EXPECT_GT(r.chaos.chaos_dropped, 0u);
+  EXPECT_GT(r.chaos.chaos_duplicated, 0u);
+  EXPECT_GT(r.chaos.chaos_delayed, 0u);
+  // Scripted faults too: the partition window ate frames, and the
+  // slow-close surfaced at the RECEIVER as a counted torn frame.
+  EXPECT_GT(r.chaos.chaos_partitioned, 0u);
+  EXPECT_EQ(r.chaos.chaos_slow_closes, 1u);
+  EXPECT_GE(r.receiver.torn_frames, 1u);
+  // And the link still did its job around the faults.
+  EXPECT_GT(r.receiver.frames_received, 20u);
+  EXPECT_LT(r.receiver.frames_received, 200u);
+}
+
+TEST(WireTwin, IdenticalSeedsReplayByteIdentically) {
+  const TwinRun a = run_fault_matrix(42);
+  const TwinRun b = run_fault_matrix(42);
+  EXPECT_EQ(a.transcript, b.transcript) << "sim replay must be exact";
+  EXPECT_EQ(a.chaos.chaos_dropped, b.chaos.chaos_dropped);
+  EXPECT_EQ(a.chaos.chaos_duplicated, b.chaos.chaos_duplicated);
+  EXPECT_EQ(a.chaos.chaos_delayed, b.chaos.chaos_delayed);
+  EXPECT_EQ(a.receiver.frames_received, b.receiver.frames_received);
+  EXPECT_EQ(a.receiver.bytes_received, b.receiver.bytes_received);
+}
+
+TEST(WireTwin, DifferentSeedsDiverge) {
+  const TwinRun a = run_fault_matrix(1);
+  const TwinRun b = run_fault_matrix(2);
+  EXPECT_NE(a.transcript, b.transcript)
+      << "the seed must actually steer the fault pattern";
+}
+
+/// End-to-end twin: the full lockdb wire stack (replicas + driver +
+/// 2PC + leases) with EVERY link wrapped in a chaos interposer. The
+/// protocol's retries and timeouts must converge to consistent state,
+/// and the whole run must be deterministic under fixed seeds.
+struct ChaosClusterResult {
+  std::string digests;  // concatenated per-live-replica digests
+  std::uint64_t commits = 0;
+  std::uint64_t dropped = 0;
+};
+
+ChaosClusterResult run_chaos_cluster(std::uint64_t seed) {
+  Scheduler sched;
+  SimNetwork net(1);
+  SimLogStore store;
+  const std::vector<PeerId> members{0, 1, 2};
+
+  std::vector<std::unique_ptr<SimTransport>> trans;
+  std::vector<std::unique_ptr<ChaosLink>> chaos;
+  std::vector<std::unique_ptr<Wire>> wires;
+  std::vector<std::unique_ptr<LockTable>> tables;
+  std::vector<std::unique_ptr<SimWal>> wals;
+  std::vector<std::unique_ptr<WireReplica>> reps;
+
+  ChaosOptions co;
+  co.drop_rate = 0.03;
+  co.dup_rate = 0.03;
+  co.delay_rate = 0.10;
+  co.delay_ticks = 2;
+
+  for (PeerId id : members) {
+    trans.push_back(std::make_unique<SimTransport>(net, id));
+    ChaosOptions mine = co;
+    mine.seed = seed + id;
+    chaos.push_back(std::make_unique<ChaosLink>(*trans.back(), mine));
+    wires.push_back(std::make_unique<Wire>(sched, *chaos.back()));
+    trans.back()->set_clock([&sched] { return sched.now(); });
+    wires.back()->start();
+    tables.push_back(std::make_unique<LockTable>());
+    tables.back()->set_clock([&sched] { return sched.now(); });
+    wals.push_back(
+        std::make_unique<SimWal>(store.open("r" + std::to_string(id))));
+    WireReplicaOptions ro;
+    ro.self = id;
+    ro.replicas = members;
+    reps.push_back(std::make_unique<WireReplica>(
+        sched, *wires.back(), *tables.back(), *wals.back(), ro));
+    reps.back()->start();
+  }
+
+  auto dtrans = std::make_unique<SimTransport>(net, 100);
+  ChaosOptions dco = co;
+  dco.seed = seed + 100;
+  auto dchaos = std::make_unique<ChaosLink>(*dtrans, dco);
+  auto dwire = std::make_unique<Wire>(sched, *dchaos);
+  dtrans->set_clock([&sched] { return sched.now(); });
+  dwire->start();
+  auto dwal = std::make_unique<SimWal>(store.open("driver"));
+  WireDriverOptions dopts;
+  dopts.self = 100;
+  dopts.replicas = members;
+  dopts.attempts = 4;  // chaos drops force retries; don't declare death
+  auto driver =
+      std::make_unique<WireDriver>(sched, *dwire, *dwal, dopts);
+
+  ChaosClusterResult res;
+  sched.spawn("driver", [&] {
+    for (std::uint32_t txn = 1; txn <= 5; ++txn) {
+      const std::string key = "k" + std::to_string(txn % 3);
+      if (driver->acquire(txn, key, LockMode::Exclusive))
+        driver->update(txn, {{key, "v" + std::to_string(txn)}});
+      else
+        driver->release(txn);
+    }
+    for (PeerId id : driver->live())
+      res.digests += std::to_string(id) + ":" + driver->digest_of(id) + " ";
+    res.commits = driver->commits();
+    for (auto& r : reps) r->stop();
+    for (auto& w : wires) w->stop();
+    dwire->stop();
+  });
+  sched.run();
+  for (auto& c : chaos) res.dropped += c->stats().chaos_dropped;
+  res.dropped += dchaos->stats().chaos_dropped;
+  return res;
+}
+
+TEST(WireTwin, LockdbClusterConvergesOverChaoticLinks) {
+  const ChaosClusterResult r = run_chaos_cluster(7);
+  EXPECT_GE(r.commits, 1u) << "chaos at these rates must not stall 2PC";
+  EXPECT_GT(r.dropped, 0u) << "the chaos must actually have fired";
+  // Every live replica reported the same digest: split the transcript
+  // and compare the digest parts pairwise.
+  std::vector<std::string> digests;
+  std::size_t pos = 0;
+  while (pos < r.digests.size()) {
+    const std::size_t sp = r.digests.find(' ', pos);
+    const std::string tok = r.digests.substr(pos, sp - pos);
+    digests.push_back(tok.substr(tok.find(':') + 1));
+    pos = sp + 1;
+  }
+  ASSERT_GE(digests.size(), 2u) << "cluster must not have collapsed";
+  for (std::size_t i = 1; i < digests.size(); ++i)
+    EXPECT_EQ(digests[0], digests[i]) << "replica divergence";
+}
+
+TEST(WireTwin, ChaosClusterRunsAreDeterministic) {
+  const ChaosClusterResult a = run_chaos_cluster(7);
+  const ChaosClusterResult b = run_chaos_cluster(7);
+  EXPECT_EQ(a.digests, b.digests);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.dropped, b.dropped);
+}
+
+}  // namespace

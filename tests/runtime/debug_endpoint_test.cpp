@@ -155,7 +155,7 @@ TEST_F(DebugEndpointIo, EintrSessionSurvivesManyRounds) {
   // A watch-style session: repeated requests, every socket call hit by
   // EINTR along the way. The session must survive all of it.
   connect_client();
-  DebugEndpoint::io = {&eintr_send, &eintr_recv, &eintr_accept};
+  DebugEndpoint::io = {&eintr_send, &eintr_recv, &eintr_accept, &::connect};
   for (int round = 0; round < 10; ++round) {
     ASSERT_EQ(::send(client_, "ping\n", 5, 0), 5);
     g_send_eintr = 1;

@@ -1,0 +1,457 @@
+// Transport seam: SimTransport delivery semantics, the ChaosLink fault
+// matrix (every fault kind visible in TransportStats — satellite 3's
+// "observable via transport metrics"), and PeerSupervisor's sticky
+// per-incarnation suspicion (satellite 2's flap regression).
+#include "runtime/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/chaos_link.hpp"
+#include "runtime/peer_supervisor.hpp"
+
+namespace {
+
+using script::runtime::ChaosLink;
+using script::runtime::ChaosOptions;
+using script::runtime::LinkState;
+using script::runtime::PeerId;
+using script::runtime::PeerSupervisor;
+using script::runtime::PeerSupervisorOptions;
+using script::runtime::SimNetwork;
+using script::runtime::SimTransport;
+using script::runtime::Transport;
+using script::runtime::WireFrameType;
+
+/// Drive a transport stack on a hand-cranked clock: each step() is one
+/// virtual tick with a service()+drain at every endpoint.
+struct Clock {
+  std::uint64_t now = 0;
+  void wire(Transport& t) {
+    t.set_clock([this] { return now; });
+  }
+};
+
+std::vector<std::pair<PeerId, std::string>> drain(Transport& t) {
+  std::vector<std::pair<PeerId, std::string>> got;
+  t.poll([&](PeerId from, std::string&& f) { got.emplace_back(from, f); });
+  return got;
+}
+
+TEST(SimTransport, DeliversAfterLatencyInSendOrder) {
+  SimNetwork net(/*latency_ticks=*/2);
+  SimTransport a(net, 0), b(net, 1);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+
+  EXPECT_TRUE(a.send(1, "first"));
+  EXPECT_TRUE(a.send(1, "second"));
+  EXPECT_TRUE(drain(b).empty()) << "not due yet";
+  clk.now = 2;
+  const auto got = drain(b);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, "first");
+  EXPECT_EQ(got[1].second, "second");
+  EXPECT_EQ(got[0].first, 0u);
+  EXPECT_EQ(a.stats().frames_sent, 2u);
+  EXPECT_EQ(b.stats().frames_received, 2u);
+}
+
+TEST(SimTransport, DownPeerQueuesAtSenderThenShedsAtBound) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  a.set_max_pending_bytes(10);
+
+  net.set_down(1);
+  EXPECT_EQ(a.link_state(1), LinkState::Down);
+  EXPECT_TRUE(a.send(1, "12345"));    // queued (5 bytes)
+  EXPECT_TRUE(a.send(1, "12345"));    // queued (10 bytes: at the bound)
+  EXPECT_FALSE(a.send(1, "x"));       // over: shed, counted
+  EXPECT_EQ(a.stats().frames_shed, 1u);
+  EXPECT_EQ(a.pending_frames(), 2u);
+
+  net.set_up(1);
+  a.service();  // flush the queue
+  clk.now = 1;
+  EXPECT_EQ(drain(b).size(), 2u);
+  EXPECT_EQ(a.pending_frames(), 0u);
+  EXPECT_GE(a.stats().reconnects, 1u) << "the surviving side saw a reconnect";
+}
+
+TEST(SimTransport, CrashLosesInFlightFrames) {
+  SimNetwork net(5);
+  SimTransport a(net, 0), b(net, 1);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  a.send(1, "doomed");
+  net.set_down(1);  // crash while the frame is in flight
+  net.set_up(1);
+  clk.now = 10;
+  EXPECT_TRUE(drain(b).empty()) << "a crash must lose kernel buffers";
+}
+
+TEST(SimTransport, SlowCloseArrivesAsCountedTornFrame) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  a.slow_close(1);
+  clk.now = 1;
+  EXPECT_TRUE(drain(b).empty()) << "torn frame must never surface as data";
+  EXPECT_EQ(b.stats().torn_frames, 1u);
+}
+
+// ---- ChaosLink: every fault kind observable via stats ----
+
+TEST(ChaosLink, DropRateIsSeededAndCounted) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  ChaosOptions co;
+  co.seed = 42;
+  co.drop_rate = 0.5;
+  ChaosLink chaos(a, co);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  clk.wire(chaos);
+
+  for (int i = 0; i < 100; ++i) chaos.send(1, "m" + std::to_string(i));
+  clk.now = 1;
+  const auto got = drain(b);
+  EXPECT_EQ(chaos.stats().chaos_dropped, 100u - got.size());
+  EXPECT_GT(chaos.stats().chaos_dropped, 20u) << "rate 0.5 over 100 sends";
+  EXPECT_LT(chaos.stats().chaos_dropped, 80u);
+
+  // Same seed, same matrix: the fault pattern is a pure function of
+  // the seed and the send sequence.
+  SimNetwork net2(1);
+  SimTransport a2(net2, 0), b2(net2, 1);
+  ChaosLink chaos2(a2, co);
+  Clock clk2;
+  clk2.wire(a2);
+  clk2.wire(b2);
+  clk2.wire(chaos2);
+  for (int i = 0; i < 100; ++i) chaos2.send(1, "m" + std::to_string(i));
+  clk2.now = 1;
+  const auto got2 = drain(b2);
+  ASSERT_EQ(got.size(), got2.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].second, got2[i].second) << "replay must be identical";
+}
+
+TEST(ChaosLink, DuplicateDeliversTwiceAndCounts) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  ChaosOptions co;
+  co.seed = 7;
+  co.dup_rate = 1.0;  // every frame duplicated
+  ChaosLink chaos(a, co);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  clk.wire(chaos);
+  chaos.send(1, "twice");
+  clk.now = 1;
+  const auto got = drain(b);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, "twice");
+  EXPECT_EQ(got[1].second, "twice");
+  EXPECT_EQ(chaos.stats().chaos_duplicated, 1u);
+}
+
+TEST(ChaosLink, DelayHoldsFramesForDelayTicks) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  ChaosOptions co;
+  co.seed = 7;
+  co.delay_rate = 1.0;
+  co.delay_ticks = 5;
+  ChaosLink chaos(a, co);
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  clk.wire(chaos);
+  chaos.send(1, "late");
+  EXPECT_EQ(chaos.stats().chaos_delayed, 1u);
+  clk.now = 4;
+  chaos.service();
+  clk.now = 5;
+  EXPECT_TRUE(drain(b).empty()) << "held until due + link latency";
+  chaos.service();  // due now: forwarded into the sim link
+  clk.now = 6;
+  const auto got = drain(b);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, "late");
+}
+
+TEST(ChaosLink, PartitionEatsBothDirectionsUntilHeal) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  ChaosLink chaos(a, ChaosOptions{});
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  clk.wire(chaos);
+
+  chaos.partition(1);
+  EXPECT_TRUE(chaos.send(1, "eaten"));  // blackholed: sender can't tell
+  b.send(0, "also eaten");
+  clk.now = 1;
+  EXPECT_EQ(drain(chaos).size(), 0u);
+  EXPECT_EQ(chaos.stats().chaos_partitioned, 2u);
+
+  chaos.heal(1);
+  chaos.send(1, "through");
+  clk.now = 2;
+  const auto got = drain(b);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, "through");
+}
+
+TEST(ChaosLink, SlowCloseCountsOnBothSides) {
+  SimNetwork net(1);
+  SimTransport a(net, 0), b(net, 1);
+  ChaosLink chaos(a, ChaosOptions{});
+  Clock clk;
+  clk.wire(a);
+  clk.wire(b);
+  clk.wire(chaos);
+  chaos.slow_close(1);
+  clk.now = 1;
+  EXPECT_TRUE(drain(b).empty());
+  EXPECT_EQ(chaos.stats().chaos_slow_closes, 1u);
+  EXPECT_EQ(b.stats().torn_frames, 1u);
+}
+
+// ---- PeerSupervisor: suspicion is sticky per incarnation ----
+
+struct SupPair {
+  SimNetwork net{1};
+  SimTransport ta, tb;
+  PeerSupervisor a, b;
+  Clock clk;
+
+  explicit SupPair(PeerSupervisorOptions o = PeerSupervisorOptions())
+      : ta(net, 0), tb(net, 1), a(ta, 1, o), b(tb, 1, o) {
+    clk.wire(ta);
+    clk.wire(tb);
+    clk.wire(a);
+    clk.wire(b);
+  }
+
+  /// One virtual tick: both ends tick timers and drain.
+  std::vector<std::pair<PeerId, std::string>> step_collect_b() {
+    ++clk.now;
+    a.tick();
+    b.tick();
+    std::vector<std::pair<PeerId, std::string>> got;
+    a.poll([](PeerId, std::string&&) {});
+    b.poll([&](PeerId from, std::string&& f) { got.emplace_back(from, f); });
+    return got;
+  }
+};
+
+TEST(PeerSupervisor, DataFlowsAndHeartbeatsKeepPeersUnsuspected) {
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 2;
+  o.suspect_after = 6;
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.a.send(1, "hello world");
+  auto got = p.step_collect_b();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, "hello world");
+  for (int i = 0; i < 50; ++i) p.step_collect_b();
+  EXPECT_FALSE(p.a.suspected(1));
+  EXPECT_FALSE(p.b.suspected(0));
+}
+
+TEST(PeerSupervisor, SilentPeerIsSuspectedThenGone) {
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 2;
+  o.suspect_after = 5;
+  o.gone_after = 10;
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.step_collect_b();
+
+  std::vector<std::uint64_t> suspected, gone;
+  p.a.on_suspect = [&](PeerId id, std::uint64_t inc) {
+    suspected.push_back(id);
+    (void)inc;
+  };
+  p.a.on_gone = [&](PeerId id, std::uint64_t) { gone.push_back(id); };
+
+  p.net.set_down(1);  // b crashes (and stays down)
+  for (int i = 0; i < 30; ++i) {
+    ++p.clk.now;
+    p.a.tick();
+    p.a.poll([](PeerId, std::string&&) {});
+  }
+  ASSERT_EQ(suspected.size(), 1u);
+  EXPECT_EQ(suspected[0], 1u);
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_EQ(p.a.link_state(1), LinkState::Gone);
+  // Sends to a gone peer are refused, counted — degrade, don't queue.
+  EXPECT_FALSE(p.a.send(1, "into the void"));
+}
+
+TEST(PeerSupervisor, FlappingLinkDoesNotResurrectSuspectedIncarnation) {
+  // THE satellite-2 regression: after suspicion, the same incarnation
+  // reconnecting (link flap, partition heal) must stay dead. Its
+  // frames are dropped and counted, not delivered.
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 100;  // no heartbeats: drive traffic by hand
+  o.suspect_after = 5;
+  o.gone_after = 0;  // never escalate to Gone: isolate stickiness
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.step_collect_b();
+
+  // b goes silent long enough for a to suspect incarnation 1.
+  for (int i = 0; i < 10; ++i) {
+    ++p.clk.now;
+    p.a.tick();
+    p.a.poll([](PeerId, std::string&&) {});
+  }
+  ASSERT_TRUE(p.a.suspected(1));
+
+  // The link flaps back and the SAME incarnation sends again.
+  const auto before = p.a.stats().stale_frames;
+  p.b.send(0, "i never died");
+  ++p.clk.now;
+  std::size_t delivered = 0;
+  p.a.poll([&](PeerId, std::string&&) { ++delivered; });
+  EXPECT_EQ(delivered, 0u) << "suspected incarnation must stay dead";
+  EXPECT_GT(p.a.stats().stale_frames, before);
+  EXPECT_TRUE(p.a.suspected(1)) << "suspicion is sticky";
+}
+
+TEST(PeerSupervisor, HigherIncarnationReenrollsAndClearsSuspicion) {
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 100;
+  o.suspect_after = 5;
+  o.gone_after = 0;
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.step_collect_b();
+  for (int i = 0; i < 10; ++i) {
+    ++p.clk.now;
+    p.a.tick();
+    p.a.poll([](PeerId, std::string&&) {});
+  }
+  ASSERT_TRUE(p.a.suspected(1));
+
+  // The peer restarts: same PeerId, incarnation 2.
+  PeerSupervisor b2(p.tb, 2, o);
+  p.clk.wire(b2);
+  std::vector<std::uint64_t> reenrolled;
+  p.a.on_reenroll = [&](PeerId, std::uint64_t inc) {
+    reenrolled.push_back(inc);
+  };
+  b2.watch(0);
+  ++p.clk.now;
+  p.a.poll([](PeerId, std::string&&) {});
+  ASSERT_EQ(reenrolled.size(), 1u);
+  EXPECT_EQ(reenrolled[0], 2u);
+  EXPECT_FALSE(p.a.suspected(1));
+  EXPECT_EQ(p.a.incarnation_of(1), 2u);
+
+  // And new-world data flows again.
+  b2.send(0, "born again");
+  ++p.clk.now;
+  std::string got;
+  p.a.poll([&](PeerId, std::string&& f) { got = f; });
+  EXPECT_EQ(got, "born again");
+}
+
+TEST(PeerSupervisor, StaleIncarnationFramesAreDroppedAfterRestart) {
+  // Zombie frames from the old life surfacing AFTER the restart's
+  // hello (reordered by chaos delay or kernel buffers) must not leak
+  // into the new world.
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 100;
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.step_collect_b();
+
+  PeerSupervisor b2(p.tb, 2, o);
+  p.clk.wire(b2);
+  b2.watch(0);  // hello with incarnation 2 arrives first
+  ++p.clk.now;
+  p.a.poll([](PeerId, std::string&&) {});
+  ASSERT_EQ(p.a.incarnation_of(1), 2u);
+
+  const auto before = p.a.stats().stale_frames;
+  p.b.send(0, "from the grave");  // incarnation 1 zombie traffic
+  ++p.clk.now;
+  std::size_t delivered = 0;
+  p.a.poll([&](PeerId, std::string&&) { ++delivered; });
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(p.a.stats().stale_frames, before + 1);
+}
+
+TEST(PeerSupervisor, SuspectNoticeForcesSelfReincarnation) {
+  // A falsely-suspected peer (slow network, not dead) learns of its
+  // funeral via SuspectNotice and must come back as a NEW incarnation,
+  // never silently resume the old one.
+  PeerSupervisorOptions o;
+  o.heartbeat_every = 100;
+  o.suspect_after = 5;
+  o.gone_after = 0;
+  SupPair p(o);
+  p.a.watch(1);
+  p.b.watch(0);
+  p.step_collect_b();
+  for (int i = 0; i < 10; ++i) {
+    ++p.clk.now;
+    p.a.tick();
+    p.a.poll([](PeerId, std::string&&) {});
+  }
+  ASSERT_TRUE(p.a.suspected(1));
+
+  std::uint64_t new_inc = 0;
+  p.b.on_self_suspected = [&](std::uint64_t inc) { new_inc = inc; };
+
+  // b (still incarnation 1) sends; a answers with SuspectNotice(1);
+  // b adopts incarnation 2 and re-hellos; a re-enrolls it.
+  p.b.send(0, "am i dead?");
+  ++p.clk.now;
+  p.a.poll([](PeerId, std::string&&) {});  // drop + notice out
+  ++p.clk.now;
+  p.b.poll([](PeerId, std::string&&) {});  // notice lands: reincarnate
+  EXPECT_EQ(new_inc, 2u);
+  EXPECT_EQ(p.b.self_incarnation(), 2u);
+  ++p.clk.now;
+  p.a.poll([](PeerId, std::string&&) {});  // re-hello lands
+  EXPECT_FALSE(p.a.suspected(1));
+  EXPECT_EQ(p.a.incarnation_of(1), 2u);
+}
+
+TEST(PeerSupervisor, CodecRoundTrips) {
+  const std::string frame = PeerSupervisor::encode(
+      WireFrameType::Data, 0x1122334455667788ull, "payload");
+  WireFrameType t;
+  std::uint64_t inc;
+  std::string payload;
+  ASSERT_TRUE(PeerSupervisor::decode(frame, &t, &inc, &payload));
+  EXPECT_EQ(t, WireFrameType::Data);
+  EXPECT_EQ(inc, 0x1122334455667788ull);
+  EXPECT_EQ(payload, "payload");
+  EXPECT_FALSE(PeerSupervisor::decode("x", &t, &inc, &payload));
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// WireCast: the DistributedCast two-round protocol between schedulers'
+// worth of state, run here over SimTransport endpoints in one scheduler
+// (the CI twin of the multi-process TCP deployment).
+#include "script/wire_cast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/wire.hpp"
+
+namespace {
+
+using script::core::CastFaultOptions;
+using script::core::WireCast;
+using script::runtime::PeerId;
+using script::runtime::Scheduler;
+using script::runtime::SimNetwork;
+using script::runtime::SimTransport;
+using script::runtime::Wire;
+
+TEST(WireCast, ThreeMembersRunGenerationsInLockstep) {
+  Scheduler sched;
+  SimNetwork net(1);
+  std::vector<std::unique_ptr<SimTransport>> trans;
+  std::vector<std::unique_ptr<Wire>> wires;
+  for (PeerId id = 0; id < 3; ++id) {
+    trans.push_back(std::make_unique<SimTransport>(net, id));
+    wires.push_back(std::make_unique<Wire>(sched, *trans.back()));
+    wires.back()->start();
+  }
+  const std::vector<PeerId> members{0, 1, 2};
+
+  // Each member appends its generation marks; the two-round gate means
+  // no member can start generation g+1 before ALL finished g.
+  std::vector<std::vector<std::uint64_t>> log(3);
+  std::vector<std::uint64_t> finished_at(3, 0);
+  int running = 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sched.spawn("member" + std::to_string(i), [&, i] {
+      WireCast cast(*wires[i], members, i, "gens");
+      for (int round = 0; round < 5; ++round) {
+        const std::uint64_t g = cast.enroll();
+        log[i].push_back(g);
+        cast.complete();
+      }
+      EXPECT_EQ(cast.messages(), 5u * 2u * 2u) << "2 rounds x 2 peers each";
+      if (--running == 0)
+        for (auto& w : wires) w->stop();
+    });
+  }
+  sched.run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(log[i].size(), 5u);
+    for (std::uint64_t g = 1; g <= 5; ++g) EXPECT_EQ(log[i][g - 1], g);
+  }
+}
+
+TEST(WireCast, SilentMemberIsSuspectedAndSurvivorsDegrade) {
+  Scheduler sched;
+  SimNetwork net(1);
+  std::vector<std::unique_ptr<SimTransport>> trans;
+  std::vector<std::unique_ptr<Wire>> wires;
+  for (PeerId id = 0; id < 3; ++id) {
+    trans.push_back(std::make_unique<SimTransport>(net, id));
+    wires.push_back(std::make_unique<Wire>(sched, *trans.back()));
+    wires.back()->start();
+  }
+  const std::vector<PeerId> members{0, 1, 2};
+  CastFaultOptions fo;
+  fo.timeout_ticks = 30;
+  fo.max_attempts = 2;
+
+  // Member 2 crashes after generation 1: it never enrolls again.
+  std::vector<std::uint64_t> generations_done(2, 0);
+  int running = 2;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sched.spawn("survivor" + std::to_string(i), [&, i] {
+      WireCast cast(*wires[i], members, i, "crashy");
+      cast.set_fault_options(fo);
+      for (int round = 0; round < 3; ++round) {
+        cast.enroll();
+        cast.complete();
+        generations_done[i] = cast.generation();
+      }
+      EXPECT_TRUE(cast.is_suspected(2));
+      EXPECT_EQ(cast.suspected_count(), 1u);
+      if (--running == 0)
+        for (auto& w : wires) w->stop();
+    });
+  }
+  sched.spawn("member2", [&] {
+    WireCast cast(*wires[2], members, 2, "crashy");
+    cast.set_fault_options(fo);
+    cast.enroll();
+    cast.complete();
+    // ... and dies silently (fiber just returns).
+  });
+  sched.run();
+  // Survivors pushed through all 3 generations without member 2.
+  EXPECT_EQ(generations_done[0], 3u);
+  EXPECT_EQ(generations_done[1], 3u);
+}
+
+TEST(WireCast, ExternallySuspectedPeerIsSkippedWithoutTimeout) {
+  Scheduler sched;
+  SimNetwork net(1);
+  SimTransport t0(net, 0), t1(net, 1);
+  Wire w0(sched, t0), w1(sched, t1);
+  w0.start();
+  w1.start();
+  const std::vector<PeerId> members{0, 1, 7};  // peer 7 never existed
+
+  int running = 2;
+  auto body = [&](Wire& w, std::size_t idx) {
+    WireCast cast(w, members, idx, "ext");
+    cast.set_fault_options(CastFaultOptions{});
+    cast.suspect_peer(7);  // e.g. PeerSupervisor::on_gone fired earlier
+    const std::uint64_t before = sched.now();
+    cast.enroll();
+    cast.complete();
+    // No timeout was waited out for peer 7: the round cost stayed in
+    // the same ballpark as a healthy pairwise exchange.
+    EXPECT_LT(sched.now() - before, CastFaultOptions{}.timeout_ticks);
+    EXPECT_TRUE(cast.is_suspected(2));
+    if (--running == 0) {
+      w0.stop();
+      w1.stop();
+    }
+  };
+  sched.spawn("m0", [&] { body(w0, 0); });
+  sched.spawn("m1", [&] { body(w1, 1); });
+  sched.run();
+}
+
+}  // namespace

@@ -51,6 +51,10 @@ ABS_LIMITS = {
     # docs/OBSERVABILITY.md: an armed timeline recorder stays under 3%
     # on the C7 churn workload.
     "timeline.overhead_pct": 3.0,
+    # docs/DISTRIBUTION.md: mounting the wire stack (SimTransport +
+    # PeerSupervisor + Wire pumps, heartbeats live, no app frames)
+    # beside a dense fiber churn stays under 5%.
+    "wire.arming_overhead_pct": 5.0,
 }
 
 # Hardware-gated speedup floors (bigger is better, unlike ABS_LIMITS).
